@@ -1,0 +1,19 @@
+"""Shared bench plumbing: persist each experiment's formatted output.
+
+pytest captures stdout, so every bench also writes its table to
+``benchmarks/results/<name>.txt`` — the artifacts EXPERIMENTS.md cites.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist one experiment's formatted result."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

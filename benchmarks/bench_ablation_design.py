@@ -1,0 +1,124 @@
+"""Ablation benches for design choices DESIGN.md calls out (not paper
+figures): slice-vector length ``v``, RLE index width, and the DBS z-score.
+
+These answer "why did the paper pick v=4, 4-bit indices, and this typing
+rule?" with measurements from our own substrate.
+"""
+
+import numpy as np
+from _util import emit
+
+from repro.bitslice.rle import rle_index_bits
+from repro.bitslice.slicing import slice_unsigned
+from repro.bitslice.vectors import activation_vector_mask, vector_sparsity
+from repro.eval.tables import format_table
+from repro.models.configs import get_config
+from repro.models.distributions import sample_activation
+from repro.models.workloads import QuantPolicy, profile_model
+from repro.quant.uniform import asymmetric_params, quantize
+
+
+def _codes(seed=0, k=2048, n=128):
+    cfg = get_config("opt_2p7b")
+    layer = cfg.layers[3]
+    rng = np.random.default_rng(seed)
+    x = sample_activation(layer.act, k, n, rng)
+    params = asymmetric_params(x, 8)
+    return quantize(x, params), int(params.zero_point)
+
+
+def test_vector_length_tradeoff(benchmark):
+    """v sweep: longer vectors cut index overhead but lose sparsity.
+
+    The paper's v=4 sits where vector sparsity is still close to the
+    slice-level ceiling.
+    """
+    codes, zp = _codes()
+    ho = slice_unsigned(codes, 8).ho
+    r = zp >> 4
+    slice_sparsity = float(np.mean(ho == r))
+
+    def sweep():
+        rows = []
+        for v in (1, 2, 4, 8, 16):
+            mask = activation_vector_mask(ho, v=v, compress_value=r)
+            rho = vector_sparsity(mask)
+            idx_bits = sum(rle_index_bits(col) for col in mask.T)
+            payload_bits = int(mask.sum()) * v * 4
+            rows.append([v, rho, rho / slice_sparsity,
+                         (payload_bits + idx_bits) / 1024.0])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_vector_length", format_table(
+        ["v", "vector rho", "vs slice ceiling", "HO wire KiB"], rows,
+        title=f"vector-length ablation (slice sparsity {slice_sparsity:.3f})"))
+    rho_by_v = {row[0]: row[1] for row in rows}
+    assert rho_by_v[1] >= rho_by_v[4] >= rho_by_v[16]
+    # v=4 retains a healthy share of the slice-level ceiling (~3/4 here);
+    # the rest of its justification is the 4x4-outer-product OPC mapping
+    assert rho_by_v[4] > 0.65 * rho_by_v[1]
+    assert rho_by_v[16] < 0.6 * rho_by_v[1]
+
+
+def test_rle_index_width(benchmark):
+    """Index-width sweep at two sparsity regimes.
+
+    Narrow indices win when payloads dominate (every payload carries one
+    index); wide indices win when long compressed runs dominate (fewer
+    continuation tokens).  4-bit indices are the compromise that stays
+    near-optimal in the high-sparsity regime the AQS-GEMM targets.
+    """
+    rng = np.random.default_rng(1)
+
+    def sweep():
+        rows = []
+        for label, rho in (("moderate (rho=0.65)", 0.65),
+                           ("high (rho=0.97)", 0.97)):
+            mask = rng.random((2048, 64)) >= rho
+            for bits in (2, 4, 8):
+                total = sum(rle_index_bits(col, bits) for col in mask.T)
+                rows.append([label, bits, total / 1024.0])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_rle_bits", format_table(
+        ["regime", "index bits", "index KiB"], rows,
+        title="RLE index-width ablation"))
+    high = {row[1]: row[2] for row in rows if row[0].startswith("high")}
+    moderate = {row[1]: row[2] for row in rows if row[0].startswith("mod")}
+    # at high sparsity, 4-bit indices beat 2-bit (fewer continuation
+    # tokens); at moderate sparsity they beat 8-bit (cheaper payload
+    # indices) — the compromise the paper ships
+    assert high[4] < high[2]
+    assert moderate[4] < moderate[8]
+
+
+def test_dbs_z_score(benchmark):
+    """z sweep: higher z escalates more layers to wide slicing.
+
+    Sparsity rises monotonically with z; the accuracy cost (LSB truncation)
+    rises with it — the calibration-time dial the paper's z-table encodes.
+    """
+    cfg = get_config("deit_base")
+    import dataclasses
+
+    small = dataclasses.replace(cfg, layers=tuple(cfg.layers[:12]))
+
+    def sweep():
+        rows = []
+        for z in (1.0, 2.0, 4.0):
+            profiles = profile_model(
+                small, QuantPolicy(scheme="aqs", z=z),
+                n_sample=64, m_cap=256, seed=0, keep_masks=False)
+            types = [p.dbs_type for p in profiles]
+            rows.append([z, float(np.mean([p.rho_x for p in profiles])),
+                         types.count(2) + types.count(3)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_dbs_z", format_table(
+        ["z", "mean rho_x", "wide-typed layers"], rows,
+        title="DBS z-score ablation (DeiT-base, first 2 blocks)"))
+    rhos = [row[1] for row in rows]
+    assert rhos[-1] >= rhos[0] - 0.02

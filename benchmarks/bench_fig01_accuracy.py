@@ -1,0 +1,22 @@
+"""Bench F1 — Fig. 1: asymmetric activation quantization preserves quality."""
+
+from _util import emit
+
+from repro.eval.experiments import fig01_accuracy
+
+
+def test_fig01_accuracy(benchmark):
+    result = benchmark.pedantic(
+        fig01_accuracy.run,
+        kwargs=dict(models=("bert_base", "gpt2", "opt_350m")),
+        rounds=1, iterations=1)
+    emit("fig01_accuracy", result.format())
+    # asymmetric must win (or tie) on a clear majority of models
+    assert result.asym_win_fraction >= 0.66
+    for row in result.rows:
+        if row.metric == "ppl_ratio":
+            assert row.asymmetric < 2.0  # 8-bit PTQ stays usable
+
+
+if __name__ == "__main__":
+    print(fig01_accuracy.run().format())

@@ -1,0 +1,24 @@
+"""Bench F5 — Fig. 5: motivation — r-slices dominate, zero slices are rare."""
+
+from _util import emit
+
+from repro.eval.experiments import fig05_motivation
+
+
+def test_fig05_motivation(benchmark):
+    result = benchmark.pedantic(fig05_motivation.run, rounds=1, iterations=1)
+    emit("fig05_motivation", result.format())
+    # the central claim: asymmetric quantization leaves (next to) nothing for
+    # a zero-only skipper on layers whose zp is away from 0, while the
+    # r-valued slice is frequent everywhere
+    for row in result.histogram_rows:
+        assert row.r_fraction_asym >= row.zero_fraction_asym - 1e-9
+        assert row.r_fraction_asym > 0.4
+    away_from_zero = [r for r in result.histogram_rows if r.zp >= 32]
+    assert any(r.zero_fraction_asym < 0.05 for r in away_from_zero)
+    # Fig. 5(b): the AQS-GEMM (asym) matches or beats symmetric int accuracy
+    assert result.accuracy["aqs"] >= result.accuracy["symmetric"] - 0.02
+
+
+if __name__ == "__main__":
+    print(fig05_motivation.run().format())

@@ -1,0 +1,18 @@
+"""Bench F8 — Fig. 8: ZPM sparsity gain (paper example: 68% -> 98%)."""
+
+from _util import emit
+
+from repro.eval.experiments import fig08_zpm
+
+
+def test_fig08_zpm(benchmark):
+    result = benchmark.pedantic(fig08_zpm.run, rounds=1, iterations=1)
+    emit("fig08_zpm", result.format())
+    worst = result.worst_case
+    assert worst.sparsity_before < 0.75
+    assert worst.sparsity_after > 0.90
+    assert worst.gain_points > 20.0
+
+
+if __name__ == "__main__":
+    print(fig08_zpm.run().format())

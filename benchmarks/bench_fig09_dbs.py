@@ -1,0 +1,20 @@
+"""Bench F9/F10 — DBS typing and its sparsity gains."""
+
+from _util import emit
+
+from repro.eval.experiments import fig09_dbs
+
+
+def test_fig09_dbs(benchmark):
+    result = benchmark.pedantic(fig09_dbs.run, rounds=1, iterations=1)
+    emit("fig09_dbs", result.format())
+    # DBS must never reduce sparsity and must help wide layers a lot
+    assert all(r.rho_with_dbs >= r.rho_without_dbs - 1e-9
+               for r in result.rows)
+    assert result.max_gain_points > 40.0
+    types = {r.dbs_type for r in result.rows}
+    assert types & {2, 3}, "expected some wide layers to trigger DBS"
+
+
+if __name__ == "__main__":
+    print(fig09_dbs.run().format())

@@ -1,0 +1,31 @@
+"""Bench F13 — Fig. 13: throughput across the sparsity design space."""
+
+from _util import emit
+
+from repro.eval.experiments import fig13_design_space
+
+
+def test_fig13_design_space(benchmark):
+    result = benchmark.pedantic(fig13_design_space.run, rounds=1,
+                                iterations=1)
+    emit("fig13_design_space", result.format())
+    claims = {c.description: c for c in result.claims}
+    # shape checks mirroring the figure
+    high_speedup = claims["speedup vs SA-WS at high sparsity "
+                          "(paper: up to 3.7x)"]
+    assert high_speedup.measured_value > 2.5
+    low = claims["Panacea-4DWO behind SIMD at zero sparsity "
+                 "(paper: ratio < 1)"]
+    assert low.measured_value < 1.0
+    dtp = claims["DTP gain at high sparsity, 4DWO+8SWO (paper: ~1.11x)"]
+    assert dtp.measured_value >= 1.0
+    # throughput is monotone in sparsity for each configuration
+    for config in ("4dwo8swo", "8dwo4swo"):
+        for size in ("small", "large"):
+            series = [p.tops for p in result.points
+                      if p.config == config and p.size == size and p.dtp]
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+
+if __name__ == "__main__":
+    print(fig13_design_space.run().format())

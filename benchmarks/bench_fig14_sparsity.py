@@ -1,0 +1,34 @@
+"""Bench F14 — Fig. 14: per-layer and per-model HO vector sparsity."""
+
+import numpy as np
+from _util import emit
+
+from repro.eval.experiments import fig14_sparsity
+
+
+def test_fig14_sparsity(benchmark):
+    result = benchmark.pedantic(fig14_sparsity.run, rounds=1, iterations=1)
+    emit("fig14_sparsity", result.format())
+
+    rows = result.part_a
+    # (a) the previous bit-slice GEMM finds almost nothing on most layers...
+    zero_skip = [r.previous_bitslice for r in rows]
+    assert np.median(zero_skip) < 0.3
+    # ...except the GELU-fed MLP.FC2, which piles values near code 0
+    fc2 = [r for r in rows if "fc2" in r.layer][0]
+    assert fc2.previous_bitslice > 0.3
+    # the AQS-GEMM unlocks sparsity on every layer, ZPM/DBS never hurt
+    for r in rows:
+        assert r.aqs_full >= 0.3
+        assert r.aqs_full >= r.aqs_plain - 0.05
+
+    # (b) Panacea's sparsity is comparable to Sibia's symmetric sparsity
+    for model, methods in result.part_b.items():
+        rho_w_p, rho_x_p = methods["panacea"]
+        rho_w_s, rho_x_s = methods["sibia"]
+        assert abs(rho_w_p - rho_w_s) < 0.15   # same SBR weights
+        assert rho_x_p > rho_x_s - 0.15
+
+
+if __name__ == "__main__":
+    print(fig14_sparsity.run().format())

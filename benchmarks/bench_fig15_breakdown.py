@@ -1,0 +1,32 @@
+"""Bench F15 — Fig. 15: energy breakdown, throughput, ablations and area."""
+
+from _util import emit
+
+from repro.eval.experiments import fig15_breakdown
+
+
+def test_fig15_breakdown(benchmark):
+    result = benchmark.pedantic(fig15_breakdown.run, rounds=1, iterations=1)
+    emit("fig15_breakdown", result.format())
+
+    # Panacea uses the least energy and the most throughput on every model
+    for model in result.breakdowns:
+        energies = {d: sum(parts.values())
+                    for d, parts in result.breakdowns[model].items()}
+        assert energies["panacea"] == min(energies.values())
+        assert result.throughput[model]["panacea"] == max(
+            result.throughput[model].values())
+
+    # each optimization step helps both energy and throughput
+    for step, gains in result.ablation.items():
+        assert gains["energy_gain"] >= 0.99, step
+        assert gains["throughput_gain"] >= 0.99, step
+
+    # area: ZPM free, DBS cheap, DTP visible but modest
+    assert result.area["+zpm"] == 1.0
+    assert result.area["+dbs"] < 1.01
+    assert 1.0 < result.area["+dtp"] < 1.15
+
+
+if __name__ == "__main__":
+    print(fig15_breakdown.run().format())

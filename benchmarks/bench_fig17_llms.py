@@ -1,0 +1,23 @@
+"""Bench F17 — Fig. 17: LLM energy efficiency and perplexity."""
+
+from _util import emit
+
+from repro.eval.experiments import fig17_llms
+
+
+def test_fig17_llms(benchmark):
+    result = benchmark.pedantic(fig17_llms.run, rounds=1, iterations=1)
+    emit("fig17_llms", result.format())
+
+    for row in result.rows:
+        # Panacea ahead of Sibia and the dense designs on every LLM
+        assert row.panacea_vs_sibia > 1.0, row.model
+        assert row.efficiency["panacea"] > row.efficiency["simd"]
+        # quantized PPL stays in the same regime as FP (no blow-up)
+        assert row.ppl_panacea < 2.5 * row.ppl_fp
+        # asymmetric Panacea quality >= symmetric Sibia quality
+        assert row.ppl_panacea <= row.ppl_sibia * 1.10
+
+
+if __name__ == "__main__":
+    print(fig17_llms.run().format())

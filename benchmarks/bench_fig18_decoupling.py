@@ -1,0 +1,27 @@
+"""Bench F18 — Fig. 18: decoupling quantization scheme from HW benefit."""
+
+from _util import emit
+
+from repro.eval.experiments import fig18_decoupling
+
+
+def test_fig18_decoupling(benchmark):
+    result = benchmark.pedantic(fig18_decoupling.run, rounds=1, iterations=1)
+    emit("fig18_decoupling", result.format())
+
+    # (a) symmetric and asymmetric modes cost Panacea about the same
+    a = result.part_a
+    ratio = a["asymmetric"]["tops_per_watt"] / a["symmetric"]["tops_per_watt"]
+    assert 0.9 < ratio < 1.15
+    # but asymmetric quantization gives equal-or-better quality
+    assert a["asymmetric"]["ppl"] <= a["symmetric"]["ppl"] * 1.05
+
+    # (b) the AQS-GEMM clearly beats zero-only skipping
+    full = result.part_b["zero+nonzero (AQS-GEMM)"]
+    zero = result.part_b["zero-only [53]-style"]
+    assert full["tops"] / zero["tops"] > 1.5
+    assert full["tops_per_watt"] / zero["tops_per_watt"] > 1.25
+
+
+if __name__ == "__main__":
+    print(fig18_decoupling.run().format())

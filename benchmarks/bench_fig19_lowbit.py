@@ -1,0 +1,40 @@
+"""Bench F19 — Fig. 19: 4-bit OPTQ weights on OPT-2.7B."""
+
+from _util import emit
+
+from repro.eval.experiments import fig19_lowbit
+
+
+def test_fig19_lowbit(benchmark):
+    result = benchmark.pedantic(fig19_lowbit.run, rounds=1, iterations=1)
+    emit("fig19_lowbit", result.format())
+
+    perf = result.perf
+    # Panacea is faster and cheaper than Sibia at both widths, and the gap
+    # widens at 4-bit (DTP engages with the halved weight footprint)
+    for bits in (7, 4):
+        assert (perf[("panacea", bits)]["latency_ms"]
+                < perf[("sibia", bits)]["latency_ms"])
+        assert (perf[("panacea", bits)]["energy_mj"]
+                < perf[("sibia", bits)]["energy_mj"])
+    gain7 = (perf[("sibia", 7)]["latency_ms"]
+             / perf[("panacea", 7)]["latency_ms"])
+    gain4 = (perf[("sibia", 4)]["latency_ms"]
+             / perf[("panacea", 4)]["latency_ms"])
+    # Panacea's latency edge survives at 4-bit (in our DRAM-bound regime
+    # the edge compresses; the paper's compute-bound runs amplify it)
+    assert gain4 > gain7 * 0.85
+    # 4-bit weights cut everyone's energy vs 7-bit; Panacea drops to ~0.56x
+    # of Sibia as the DTP engages (paper's headline for this figure)
+    assert (perf[("panacea", 4)]["energy_mj"]
+            < perf[("panacea", 7)]["energy_mj"])
+    assert (perf[("panacea", 4)]["energy_mj"]
+            < 0.7 * perf[("sibia", 4)]["energy_mj"])
+    # OPTQ keeps 4-bit perplexity in the same band as (or below) strong
+    # per-channel RTN; its decisive win is on the layerwise reconstruction
+    # objective (see tests/test_quant_optq.py)
+    assert result.ppl["optq_w4"] <= result.ppl["rtn_w4"] * 1.10
+
+
+if __name__ == "__main__":
+    print(fig19_lowbit.run().format())

@@ -1,0 +1,21 @@
+"""Bench F20 — Fig. 20: ASIC-level comparison table."""
+
+from _util import emit
+
+from repro.eval.experiments import fig20_asic
+
+
+def test_fig20_asic(benchmark):
+    result = benchmark.pedantic(fig20_asic.run, rounds=1, iterations=1)
+    emit("fig20_asic", result.format())
+
+    rows = {r.design: r for r in result.rows}
+    # Panacea carries 2x Sibia's multipliers with a bounded area overhead...
+    assert rows["panacea"].n_mul4 == 2 * rows["sibia [53]"].n_mul4
+    assert rows["panacea"].core_area_mm2 < 1.4 * rows["lutein [56]"].core_area_mm2
+    # ...and wins on efficiency for the sparse workload
+    assert rows["panacea"].eff_tops_w > rows["sibia [53]"].eff_tops_w
+
+
+if __name__ == "__main__":
+    print(fig20_asic.run().format())

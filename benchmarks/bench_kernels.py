@@ -1,0 +1,50 @@
+"""Bench K0 — raw functional-kernel performance (extra, not a paper figure).
+
+Times the NumPy AQS-GEMM against the dense integer GEMM and reports the
+measured MAC reduction (the paper's headline "61% fewer MACs than dense").
+"""
+
+import numpy as np
+from _util import emit
+
+from repro.core.aqs_gemm import AqsGemmConfig, aqs_gemm
+from repro.eval.tables import PaperClaim, format_claims
+
+
+def _operands(m=256, k=1024, n=128, seed=0):
+    rng = np.random.default_rng(seed)
+    w = np.clip(np.rint(rng.standard_t(5, (m, k)) * 4), -64, 63).astype(int)
+    zp = 168
+    x = np.clip(np.rint(rng.standard_t(4, (k, n)) * 4 + zp), 0,
+                255).astype(np.int64)
+    return w, x, zp
+
+
+def test_aqs_gemm_kernel(benchmark):
+    w, x, zp = _operands()
+    config = AqsGemmConfig(count_ops=False)
+    result = benchmark(aqs_gemm, w, x, zp, config)
+    assert np.array_equal(result.acc, w.astype(np.int64) @ x)
+
+
+def test_mac_reduction_vs_dense(benchmark):
+    w, x, zp = _operands()
+
+    def measure():
+        return aqs_gemm(w, x, zp)
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    dense_mul4 = 4 * w.shape[0] * w.shape[1] * x.shape[1]
+    reduction = 100.0 * (1.0 - result.ops.mul4 / dense_mul4)
+    emit("kernels_mac_reduction", format_claims([
+        PaperClaim("MAC-operation reduction vs dense GEMM (paper: 61%)",
+                   61.0, reduction, unit="%"),
+    ]))
+    assert reduction > 40.0
+
+
+if __name__ == "__main__":
+    w, x, zp = _operands()
+    res = aqs_gemm(w, x, zp)
+    dense = 4 * w.shape[0] * w.shape[1] * x.shape[1]
+    print(f"mul4 reduction vs dense: {100 * (1 - res.ops.mul4 / dense):.1f}%")

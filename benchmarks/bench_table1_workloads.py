@@ -1,0 +1,20 @@
+"""Bench T1 — Table I: analytic workload formulas vs measured op counts."""
+
+from _util import emit
+
+from repro.eval.experiments import table1
+
+
+def test_table1_workloads(benchmark):
+    result = benchmark.pedantic(table1.run, kwargs=dict(k=1024),
+                                rounds=1, iterations=1)
+    emit("table1_workloads", result.format())
+    # the closed forms must track the measured kernels tightly
+    assert result.max_mul_error < 0.05
+    for row in result.rows:
+        if row.design == "panacea":
+            assert row.measured_ema <= 16 * result.k + 1  # never above dense
+
+
+if __name__ == "__main__":
+    print(table1.run(k=1024).format())

@@ -1,0 +1,50 @@
+"""Architect's scenario: explore Panacea's operator design space.
+
+Reproduces the paper's Fig. 13 reasoning interactively: how should the 12
+operators per PEA be split between dynamic-workload operators (DWOs, the
+sparse slice products) and static-workload operators (SWOs, the dense
+``W_LO x_LO``), and when does double-tile processing pay?
+
+Run:  python examples/design_space.py
+"""
+
+from repro.eval import format_table
+from repro.hw import HwConfig, MemoryConfig, PanaceaConfig, PanaceaModel
+from repro.models import synthetic_profile
+
+hw = HwConfig(mem=MemoryConfig(dram_bits_per_cycle=2048))  # compute-bound
+
+# --- sweep DWO/SWO splits across sparsity levels --------------------------
+print("== throughput (TOPS) by operator split and HO vector sparsity")
+splits = [(2, 10), (4, 8), (6, 6), (8, 4)]
+sparsities = [0.0, 0.5, 0.8, 0.95]
+rows = []
+for n_dwo, n_swo in splits:
+    model = PanaceaModel(hw, PanaceaConfig(n_dwo=n_dwo, n_swo=n_swo,
+                                           dtp=False, sample_steps=192))
+    row = [f"{n_dwo} DWO + {n_swo} SWO"]
+    for rho in sparsities:
+        prof = synthetic_profile(1024, 1024, 512, rho, rho, seed=0)
+        row.append(model.simulate_model([prof], "sweep").tops)
+    rows.append(row)
+print(format_table(["config"] + [f"rho={r}" for r in sparsities], rows))
+print("-> few DWOs lose at low sparsity (dense slice products queue on"
+      "\n   them); few SWOs cap the speedup at high sparsity.  The paper"
+      "\n   ships 4+8 because real transformer activations sit at high rho"
+      "\n   (Fig. 14) while weights vary.\n")
+
+# --- DTP: filling idle operators at high sparsity --------------------------
+print("== double-tile processing at high sparsity (rho_w = rho_x = 0.9)")
+rows = []
+for n_dwo, n_swo in splits:
+    prof = synthetic_profile(1024, 1024, 512, 0.9, 0.9, seed=1)
+    off = PanaceaModel(hw, PanaceaConfig(n_dwo=n_dwo, n_swo=n_swo,
+                                         dtp=False, sample_steps=192))
+    on = PanaceaModel(hw, PanaceaConfig(n_dwo=n_dwo, n_swo=n_swo,
+                                        dtp=True, sample_steps=192))
+    t_off = off.simulate_model([prof], "sweep").tops
+    t_on = on.simulate_model([prof], "sweep").tops
+    rows.append([f"{n_dwo} DWO + {n_swo} SWO", t_off, t_on, t_on / t_off])
+print(format_table(["config", "TOPS (no DTP)", "TOPS (DTP)", "gain"], rows))
+print("-> DTP matters most where SWOs bound the schedule: the second"
+      "\n   tile's dense products overflow onto otherwise-idle DWOs.")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs cannot build; keeping a ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — a reproduction of Panacea (HPCA 2025).
+
+Panacea is a DNN accelerator built around the Asymmetrically-Quantized
+bit-Slice GEMM (AQS-GEMM), which compresses and skips the frequent nonzero
+high-order bit-slices that asymmetric activation quantization produces, plus
+two algorithm/hardware co-optimizations (zero-point manipulation and
+distribution-based bit-slicing) and a sparsity-aware PE architecture.
+
+Public API layers:
+
+* ``repro.quant`` — uniform PTQ quantization, observers, OPTQ;
+* ``repro.bitslice`` — slice formats (SBR/straightforward/DBS), vectors, RLE;
+* ``repro.gemm`` — dense-integer and Sibia baseline GEMM engines;
+* ``repro.core`` — AQS-GEMM, ZPM, DBS, and the PTQ pipeline;
+* ``repro.nn`` / ``repro.models`` — the NumPy NN substrate and model zoo;
+* ``repro.hw`` — Panacea / Sibia / systolic / SIMD performance models;
+* ``repro.eval`` — experiment drivers reproducing the paper's figures.
+"""
+
+from . import bitslice, core, gemm, nn, quant
+from .core import (
+    AqsGemmConfig,
+    ExecutionTrace,
+    PtqConfig,
+    PtqPipeline,
+    aqs_gemm,
+    dbs_calibrate,
+    manipulate_zero_point,
+)
+from .quant import QuantParams, asymmetric_params, quantize, symmetric_params
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bitslice",
+    "core",
+    "gemm",
+    "nn",
+    "quant",
+    "AqsGemmConfig",
+    "ExecutionTrace",
+    "PtqConfig",
+    "PtqPipeline",
+    "aqs_gemm",
+    "dbs_calibrate",
+    "manipulate_zero_point",
+    "QuantParams",
+    "asymmetric_params",
+    "quantize",
+    "symmetric_params",
+    "__version__",
+]

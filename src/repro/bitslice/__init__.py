@@ -1,0 +1,65 @@
+"""Bit-slice substrate: slicing formats, vectors, RLE, sparsity analytics."""
+
+from .slicing import (
+    SliceStack,
+    dbs_reconstruct_codes,
+    sbr_total_bits,
+    slice_dbs,
+    slice_sbr,
+    slice_unsigned,
+)
+from .vectors import (
+    activation_vector_mask,
+    expand_activation_mask,
+    expand_weight_mask,
+    pad_to_multiple,
+    vector_sparsity,
+    weight_vector_mask,
+)
+from .rle import RleStream, RleToken, rle_decode, rle_encode, rle_index_bits
+from .formats import (
+    CompressedTensor,
+    compress_activation_slices,
+    compress_weight_slices,
+    decompress_activation_ho,
+    decompress_weight_ho,
+    dense_storage_bits,
+)
+from .sparsity import (
+    SparsityReport,
+    activation_sparsity_report,
+    ho_slice_histogram,
+    slice_level_sparsity,
+    weight_sparsity_report,
+)
+
+__all__ = [
+    "SliceStack",
+    "slice_unsigned",
+    "slice_sbr",
+    "slice_dbs",
+    "sbr_total_bits",
+    "dbs_reconstruct_codes",
+    "weight_vector_mask",
+    "activation_vector_mask",
+    "expand_weight_mask",
+    "expand_activation_mask",
+    "pad_to_multiple",
+    "vector_sparsity",
+    "RleToken",
+    "RleStream",
+    "rle_encode",
+    "rle_decode",
+    "rle_index_bits",
+    "CompressedTensor",
+    "compress_weight_slices",
+    "compress_activation_slices",
+    "decompress_weight_ho",
+    "decompress_activation_ho",
+    "dense_storage_bits",
+    "SparsityReport",
+    "slice_level_sparsity",
+    "weight_sparsity_report",
+    "activation_sparsity_report",
+    "ho_slice_histogram",
+]

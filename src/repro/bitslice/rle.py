@@ -1,0 +1,111 @@
+"""Run-length encoding of compressed slice-vector streams (paper Fig. 7).
+
+The accelerator stores only the *uncompressed* slice vectors together with
+run-length indices describing how many compressed vectors precede each of
+them.  With ``index_bits = 4`` an index encodes runs of up to 15 compressed
+vectors; longer runs are carried by ``MAX_RUN`` continuation tokens that have
+no payload — this matches "we can compress up to 15 successive vectors into
+an index".
+
+The encoder works on the per-stream boolean mask where ``True`` means the
+vector is *uncompressed* (has a payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RleToken", "RleStream", "rle_encode", "rle_decode", "rle_index_bits"]
+
+
+@dataclass(frozen=True)
+class RleToken:
+    """One RLE index.
+
+    ``run`` compressed vectors are skipped, then — iff ``has_payload`` — one
+    uncompressed vector follows.  A token with ``run == max_run`` and no
+    payload is a continuation for longer runs.
+    """
+
+    run: int
+    has_payload: bool
+
+
+@dataclass(frozen=True)
+class RleStream:
+    """An encoded stream: tokens plus the total vector count."""
+
+    tokens: tuple[RleToken, ...]
+    length: int
+    index_bits: int
+
+    @property
+    def n_payloads(self) -> int:
+        return sum(1 for t in self.tokens if t.has_payload)
+
+    @property
+    def index_storage_bits(self) -> int:
+        """Total bits spent on RLE indices."""
+        return len(self.tokens) * self.index_bits
+
+
+def rle_encode(uncompressed: np.ndarray, index_bits: int = 4) -> RleStream:
+    """Encode a 1-D uncompressed mask into RLE tokens."""
+    mask = np.asarray(uncompressed, dtype=bool).ravel()
+    max_run = (1 << index_bits) - 1
+    tokens: list[RleToken] = []
+    run = 0
+    for is_payload in mask:
+        if is_payload:
+            tokens.append(RleToken(run=run, has_payload=True))
+            run = 0
+        else:
+            run += 1
+            if run == max_run:
+                tokens.append(RleToken(run=max_run, has_payload=False))
+                run = 0
+    if run:
+        tokens.append(RleToken(run=run, has_payload=False))
+    return RleStream(tokens=tuple(tokens), length=mask.size, index_bits=index_bits)
+
+
+def rle_decode(stream: RleStream) -> np.ndarray:
+    """Decode back to the boolean uncompressed mask."""
+    out = np.zeros(stream.length, dtype=bool)
+    pos = 0
+    for token in stream.tokens:
+        pos += token.run
+        if token.has_payload:
+            if pos >= stream.length:
+                raise ValueError("RLE stream overruns its declared length")
+            out[pos] = True
+            pos += 1
+    if pos > stream.length:
+        raise ValueError("RLE stream overruns its declared length")
+    return out
+
+
+def rle_index_bits(uncompressed: np.ndarray, index_bits: int = 4) -> int:
+    """Bits of index storage needed to encode ``uncompressed`` (fast path).
+
+    Equivalent to ``rle_encode(...).index_storage_bits`` but vectorized so the
+    EMA accounting of full-size layers stays cheap: one token per payload plus
+    one continuation token per ``max_run`` compressed vectors in each gap,
+    plus a trailing token when the stream ends in a partial run.
+    """
+    mask = np.asarray(uncompressed, dtype=bool).ravel()
+    max_run = (1 << index_bits) - 1
+    payload_positions = np.flatnonzero(mask)
+    n_payloads = payload_positions.size
+    # Gap lengths: compressed run before each payload, plus the trailing run.
+    boundaries = np.concatenate([[-1], payload_positions, [mask.size]])
+    gaps = np.diff(boundaries) - 1
+    # One payload token each (absorbing gap % max_run), one continuation token
+    # per full max_run within any gap, and one final token if the trailing gap
+    # leaves a partial run with no payload to absorb it.
+    n_tokens = n_payloads + int(np.sum(gaps // max_run))
+    if gaps[-1] % max_run:
+        n_tokens += 1
+    return n_tokens * index_bits

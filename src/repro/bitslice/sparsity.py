@@ -1,0 +1,102 @@
+"""Slice- and vector-level sparsity analytics (paper Figs. 5a, 8, 14).
+
+These helpers answer the questions the paper's evaluation asks of every
+layer: how many HO slices are skippable, how does that survive grouping into
+``v``-length vectors, and what does the histogram of HO slice values look
+like under asymmetric quantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .slicing import slice_dbs, slice_sbr, slice_unsigned
+from .vectors import activation_vector_mask, vector_sparsity, weight_vector_mask
+
+__all__ = [
+    "SparsityReport",
+    "slice_level_sparsity",
+    "weight_sparsity_report",
+    "activation_sparsity_report",
+    "ho_slice_histogram",
+]
+
+
+@dataclass(frozen=True)
+class SparsityReport:
+    """Sparsity of one tensor's high-order slices.
+
+    ``slice_sparsity`` is the fraction of individual HO slices equal to the
+    compressible value; ``vector_sparsity`` is the fraction of whole ``v``-
+    length vectors that are compressible (always <= slice_sparsity).
+    """
+
+    slice_sparsity: float
+    vector_sparsity: float
+    compress_value: int
+    v: int
+    n_slices: int
+
+    def __post_init__(self) -> None:
+        if self.vector_sparsity > self.slice_sparsity + 1e-9:
+            raise AssertionError(
+                "vector sparsity cannot exceed slice sparsity "
+                f"({self.vector_sparsity} > {self.slice_sparsity})"
+            )
+
+
+def slice_level_sparsity(ho_plane: np.ndarray, compress_value: int = 0) -> float:
+    """Fraction of HO slices equal to ``compress_value``."""
+    plane = np.asarray(ho_plane)
+    if plane.size == 0:
+        return 0.0
+    return float(np.count_nonzero(plane == compress_value)) / plane.size
+
+
+def weight_sparsity_report(w_q: np.ndarray, total_bits: int = 7,
+                           v: int = 4) -> SparsityReport:
+    """SBR HO-slice sparsity of a symmetric integer weight matrix ``(M, K)``."""
+    stack = slice_sbr(w_q, total_bits=total_bits)
+    mask = weight_vector_mask(stack.ho, v=v, compress_value=0)
+    return SparsityReport(
+        slice_sparsity=slice_level_sparsity(stack.ho, 0),
+        vector_sparsity=vector_sparsity(mask),
+        compress_value=0,
+        v=v,
+        n_slices=stack.n_slices,
+    )
+
+
+def activation_sparsity_report(x_q: np.ndarray, r: int, lo_bits: int = 4,
+                               total_bits: int = 8, v: int = 4) -> SparsityReport:
+    """HO-slice sparsity of an asymmetric activation matrix ``(K, N)``.
+
+    ``r`` is the compressible HO value (``zp'_HO`` after ZPM/DBS); ``lo_bits``
+    selects the DBS split.  For symmetric baselines pass the signed codes
+    shifted into unsigned range by the caller.
+    """
+    if lo_bits == 4:
+        stack = slice_unsigned(x_q, total_bits=total_bits, slice_bits=4)
+    else:
+        stack = slice_dbs(x_q, lo_bits=lo_bits, total_bits=total_bits)
+    mask = activation_vector_mask(stack.ho, v=v, compress_value=r)
+    return SparsityReport(
+        slice_sparsity=slice_level_sparsity(stack.ho, r),
+        vector_sparsity=vector_sparsity(mask),
+        compress_value=r,
+        v=v,
+        n_slices=stack.n_slices,
+    )
+
+
+def ho_slice_histogram(x_q: np.ndarray, lo_bits: int = 4,
+                       total_bits: int = 8) -> np.ndarray:
+    """Histogram of HO slice values (paper Fig. 5a / Fig. 8 distributions)."""
+    if lo_bits == 4:
+        ho = slice_unsigned(x_q, total_bits=total_bits, slice_bits=4).ho
+    else:
+        ho = slice_dbs(x_q, lo_bits=lo_bits, total_bits=total_bits).ho
+    n_values = 1 << (total_bits - lo_bits)
+    return np.bincount(ho.ravel().astype(np.int64), minlength=n_values)

@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the everyday workflows:
+
+* ``list-models`` — the benchmark zoo with shapes and MAC counts;
+* ``profile <model>`` — per-layer bit-slice sparsity under a policy;
+* ``simulate <model>`` — run the accelerator models and print the
+  comparison table;
+* ``experiment <id>`` — regenerate one paper figure/table (e.g. ``fig13``,
+  ``table1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENTS = {
+    "table1": "table1",
+    "fig01": "fig01_accuracy",
+    "fig05": "fig05_motivation",
+    "fig08": "fig08_zpm",
+    "fig09": "fig09_dbs",
+    "fig13": "fig13_design_space",
+    "fig14": "fig14_sparsity",
+    "fig15": "fig15_breakdown",
+    "fig16": "fig16_models",
+    "fig17": "fig17_llms",
+    "fig18": "fig18_decoupling",
+    "fig19": "fig19_lowbit",
+    "fig20": "fig20_asic",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Panacea (HPCA 2025) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="list the benchmark model zoo")
+
+    p_prof = sub.add_parser("profile",
+                            help="per-layer sparsity profile of one model")
+    p_prof.add_argument("model")
+    p_prof.add_argument("--scheme", default="aqs",
+                        choices=["aqs", "sibia", "dense"])
+    p_prof.add_argument("--no-zpm", action="store_true")
+    p_prof.add_argument("--no-dbs", action="store_true")
+    p_prof.add_argument("--stride", type=int, default=4,
+                        help="simulate every Nth transformer block")
+    p_prof.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate",
+                           help="run the accelerator models on one model")
+    p_sim.add_argument("model")
+    p_sim.add_argument("--stride", type=int, default=4)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_exp = sub.add_parser("experiment",
+                           help="regenerate one paper figure/table")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    return parser
+
+
+def _cmd_list_models(out) -> int:
+    from .eval.tables import format_table
+    from .models.configs import MODEL_CONFIGS
+
+    rows = [[c.name, c.family, len(c.layers), c.seq_len,
+             c.params_millions, c.total_macs / 1e9]
+            for c in MODEL_CONFIGS.values()]
+    print(format_table(
+        ["model", "family", "gemm layers", "seq", "params (M)", "GMACs"],
+        rows, title="benchmark model zoo"), file=out)
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    import numpy as np
+
+    from .eval.experiments.common import subsample_blocks
+    from .eval.tables import format_table
+    from .models.configs import get_config
+    from .models.workloads import policy_for_model, profile_model
+
+    config = subsample_blocks(get_config(args.model), args.stride)
+    policy = policy_for_model(config, args.scheme,
+                              enable_zpm=not args.no_zpm,
+                              enable_dbs=not args.no_dbs)
+    profiles = profile_model(config, policy, n_sample=96, m_cap=384,
+                             seed=args.seed, keep_masks=False)
+    rows = [[p.name, p.layer.m, p.layer.k, p.layer.n, p.rho_w, p.rho_x,
+             p.dbs_type] for p in profiles]
+    print(format_table(["layer", "M", "K", "N", "rho_w", "rho_x", "type"],
+                       rows, title=f"{args.model} / {args.scheme}"),
+          file=out)
+    print(f"mean rho_x {np.mean([p.rho_x for p in profiles]):.3f}  "
+          f"mean rho_w {np.mean([p.rho_w for p in profiles]):.3f}",
+          file=out)
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    from .eval.experiments.common import DESIGN_NAMES, run_all_designs
+    from .eval.tables import format_table
+    from .models.configs import get_config
+
+    res = run_all_designs(get_config(args.model), stride=args.stride,
+                          seed=args.seed)
+    rows = [[d, res[d].latency_s * 1e3, res[d].tops, res[d].tops_per_watt,
+             res[d].ema_bytes / 2 ** 20] for d in DESIGN_NAMES]
+    print(format_table(
+        ["design", "latency (ms)", "TOPS", "TOPS/W", "EMA (MB)"], rows,
+        title=f"{args.model} on the shared 3072-multiplier budget"),
+        file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    import importlib
+
+    module = importlib.import_module(
+        f".eval.experiments.{EXPERIMENTS[args.id]}", package=__package__)
+    result = module.run()
+    print(result.format(), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list-models":
+        return _cmd_list_models(out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

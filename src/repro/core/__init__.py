@@ -1,0 +1,57 @@
+"""Panacea's algorithmic contributions: AQS-GEMM, ZPM, DBS, PTQ pipeline."""
+
+from .aqs_gemm import (
+    AqsGemmConfig,
+    AqsGemmResult,
+    aqs_gemm,
+    compensation_bias,
+    frequent_ho_slice,
+)
+from .zpm import ZpmReport, apply_zpm, in_skip_fraction, manipulate_zero_point, skip_range
+from .dbs import DBS_LO_BITS, DbsDecision, DbsType, classify_distribution, dbs_calibrate
+from .pipeline import (
+    SCHEMES,
+    ExecutionTrace,
+    LayerExecution,
+    LayerQuantRecord,
+    PtqConfig,
+    PtqPipeline,
+    QuantizedConv2d,
+    QuantizedLinear,
+)
+from .ppu import (
+    PWL_FUNCTIONS,
+    PiecewiseLinear,
+    PostProcessingUnit,
+    PpuConfig,
+)
+
+__all__ = [
+    "AqsGemmConfig",
+    "AqsGemmResult",
+    "aqs_gemm",
+    "compensation_bias",
+    "frequent_ho_slice",
+    "ZpmReport",
+    "apply_zpm",
+    "in_skip_fraction",
+    "manipulate_zero_point",
+    "skip_range",
+    "DBS_LO_BITS",
+    "DbsDecision",
+    "DbsType",
+    "classify_distribution",
+    "dbs_calibrate",
+    "SCHEMES",
+    "ExecutionTrace",
+    "LayerExecution",
+    "LayerQuantRecord",
+    "PtqConfig",
+    "PtqPipeline",
+    "QuantizedConv2d",
+    "QuantizedLinear",
+    "PWL_FUNCTIONS",
+    "PiecewiseLinear",
+    "PostProcessingUnit",
+    "PpuConfig",
+]

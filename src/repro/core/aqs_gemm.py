@@ -1,0 +1,264 @@
+"""AQS-GEMM: the asymmetrically-quantized bit-slice GEMM (paper Section III-B).
+
+This is the paper's primary contribution.  Weights are symmetric SBR slices
+(all-zero HO vectors compress); activations are *asymmetric unsigned* slices
+where the compressible HO value is ``r = zp >> l`` — the HO slice of the
+zero-point — because asymmetric quantization piles values around ``zp``
+(paper Fig. 5a).  Skipping ``r``-valued vectors is *not* exact by itself, so
+the kernel adds the Eq. 6 compensation term
+
+``(W_HO + W_LO) x_HO  =  (W_HO + W_LO) x_HO^U  -  r (W_HO + W_LO) J^U  +  b'``
+
+which reuses the weight slices already loaded for the uncompressed products
+(no extra memory traffic) plus the offline-precomputed
+``b' = (W_HO + W_LO)(r * 1)``.
+
+The kernel is bit-exact against the dense integer GEMM for ``l = 4`` and
+bit-exact against the DBS-truncated activation codes for ``l > 4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitslice.rle import rle_index_bits
+from ..bitslice.slicing import SliceStack, slice_dbs, slice_sbr, slice_unsigned
+from ..bitslice.vectors import (
+    activation_vector_mask,
+    expand_activation_mask,
+    vector_sparsity,
+    weight_vector_mask,
+)
+from ..gemm.workload import OpCounts
+
+__all__ = ["AqsGemmConfig", "AqsGemmResult", "aqs_gemm", "compensation_bias",
+           "frequent_ho_slice"]
+
+
+def _exact_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Float64 BLAS matmul, exact for the bounded integer magnitudes here."""
+    return np.rint(a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class AqsGemmConfig:
+    """Static configuration of the AQS-GEMM kernel.
+
+    ``w_bits`` must be of the SBR form ``3n + 4``; ``x_bits`` is the stored
+    activation width (``4k + 4``); ``lo_bits`` is the DBS split ``l`` (4 =
+    basic scheme, 5/6 = DBS type-2/3).  ``v`` is the slice-vector length and
+    ``index_bits`` the RLE index width.
+    """
+
+    w_bits: int = 7
+    x_bits: int = 8
+    lo_bits: int = 4
+    v: int = 4
+    index_bits: int = 4
+    count_ops: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.w_bits - 4) % 3:
+            raise ValueError(f"w_bits must be 3n+4, got {self.w_bits}")
+        if self.x_bits % 4:
+            raise ValueError(f"x_bits must be 4k+4, got {self.x_bits}")
+        if self.lo_bits != 4 and self.x_bits != 8:
+            raise ValueError("DBS slicing (lo_bits != 4) is defined for 8-bit x")
+        if not 4 <= self.lo_bits < self.x_bits:
+            raise ValueError(f"lo_bits must be in [4, {self.x_bits - 1}]")
+
+
+@dataclass
+class AqsGemmResult:
+    """Output accumulators, op ledger and observed sparsities."""
+
+    acc: np.ndarray
+    ops: OpCounts
+    rho_w: float
+    rho_x: float
+    r: int
+    uw_mask: np.ndarray = field(repr=False, default=None)
+    ux_mask: np.ndarray = field(repr=False, default=None)
+
+
+def frequent_ho_slice(zp: int, lo_bits: int = 4) -> int:
+    """The compressible HO slice value ``r`` for a given zero-point.
+
+    Asymmetric quantization centres codes around ``zp``; the HO slice that
+    dominates is therefore ``zp >> l`` (paper: "r is an HO slice of the 8-bit
+    zero point").  After ZPM, ``zp' = 2^l * m + 2^(l-1)`` and this returns
+    ``m``, the centre of the widened skip range.
+    """
+    if zp < 0:
+        raise ValueError(f"zero-point must be non-negative, got {zp}")
+    return zp >> lo_bits
+
+
+def compensation_bias(w_q: np.ndarray, r: int, ho_shift: int,
+                      n: int) -> np.ndarray:
+    """Offline term ``b' = (W_HO + W_LO)(r * 1_{KxN})`` of Eq. 6.
+
+    ``ho_shift`` is the bit position of the activation HO slice (``l`` for
+    the two-slice case, ``x_bits - 4`` for three slices).  Because the SBR
+    planes reconstruct ``W`` exactly, this is ``r * 2^ho_shift * rowsum(W)``
+    broadcast over ``n`` columns; shape ``(M, n)``.
+    """
+    rowsum = np.asarray(w_q, dtype=np.int64).sum(axis=1)
+    return np.broadcast_to((r << ho_shift) * rowsum[:, None],
+                           (rowsum.size, n)).copy()
+
+
+def _slice_activation(x_q: np.ndarray, config: AqsGemmConfig) -> SliceStack:
+    if config.lo_bits == 4:
+        return slice_unsigned(x_q, total_bits=config.x_bits, slice_bits=4)
+    return slice_dbs(x_q, lo_bits=config.lo_bits, total_bits=config.x_bits)
+
+
+def aqs_gemm(
+    w_q: np.ndarray,
+    x_q: np.ndarray,
+    zp: int,
+    config: AqsGemmConfig | None = None,
+) -> AqsGemmResult:
+    """Execute the AQS-GEMM ``W_q @ x_q`` with slice skipping + compensation.
+
+    ``w_q`` is the signed SBR-format weight ``(M, K)``; ``x_q`` the unsigned
+    asymmetric activation ``(K, N)``; ``zp`` its zero-point.  The returned
+    accumulator excludes the Eq. 3 zero-point bias fold (``b_hat``), which the
+    caller applies — it equals ``W_q @ x_codes`` exactly, where ``x_codes``
+    is ``x_q`` for ``l = 4`` and the DBS-truncated codes for ``l > 4``.
+    """
+    config = config or AqsGemmConfig()
+    w_q = np.asarray(w_q, dtype=np.int64)
+    x_q = np.asarray(x_q, dtype=np.int64)
+    m, k = w_q.shape
+    k2, n = x_q.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: W is {w_q.shape}, x is {x_q.shape}")
+
+    v = config.v
+    w_stack = slice_sbr(w_q, total_bits=config.w_bits)
+    x_stack = _slice_activation(x_q, config)
+    # The compressible HO value is the zero-point's top slice; the HO slice
+    # sits at bit position log2(ho_weight) (= l for two slices, x_bits-4 for
+    # three).
+    ho_shift = int(x_stack.ho_weight).bit_length() - 1
+    r = frequent_ho_slice(zp, ho_shift)
+
+    uw = weight_vector_mask(w_stack.ho, v=v, compress_value=0)
+    ux = activation_vector_mask(x_stack.ho, v=v, compress_value=r)
+    ux_e = expand_activation_mask(ux, v, n).astype(np.int64)
+
+    # --- bit-slice GEMMs over uncompressed slices (Eq. 5, first term) -----
+    # Compressed weight HO vectors are all-zero, so using the raw HO plane is
+    # already the skipped computation; the activation HO plane is masked to
+    # its uncompressed vectors and the skipped all-r parts are restored by
+    # the compensation term below.  All lower activation planes are dense.
+    x_ho_u = x_stack.ho * ux_e
+    acc = np.zeros((m, n), dtype=np.int64)
+    for wi, w_plane in enumerate(w_stack.planes):
+        w_scale = w_stack.weights[wi]
+        acc += (w_scale * x_stack.ho_weight) * _exact_matmul(w_plane, x_ho_u)
+        for xi in range(x_stack.n_slices - 1):
+            acc += (w_scale * x_stack.weights[xi]) * _exact_matmul(
+                w_plane, x_stack.planes[xi])
+
+    # --- compensation (Eq. 6): reuse loaded weight slices -----------------
+    # -r*(W_HO+W_LO) J^U + b'   with   b' = (W_HO+W_LO)(r * 1)
+    b_prime = compensation_bias(w_q, r, ho_shift, n)
+    acc += b_prime - (r << ho_shift) * _exact_matmul(w_q, ux_e)
+
+    ops = OpCounts()
+    if config.count_ops:
+        _count_aqs_ops(ops, w_stack, x_stack, uw, ux, config, m, k, n)
+    # A lone 4-bit weight slice has no HO plane, so no weight-side skipping
+    # (paper Fig. 19); report zero exploitable weight sparsity.
+    rho_w = vector_sparsity(uw) if w_stack.n_slices > 1 else 0.0
+    return AqsGemmResult(
+        acc=acc,
+        ops=ops,
+        rho_w=rho_w,
+        rho_x=vector_sparsity(ux),
+        r=r,
+        uw_mask=uw,
+        ux_mask=ux,
+    )
+
+
+def _count_aqs_ops(
+    ops: OpCounts,
+    w_stack: SliceStack,
+    x_stack: SliceStack,
+    uw: np.ndarray,
+    ux: np.ndarray,
+    config: AqsGemmConfig,
+    m: int,
+    k: int,
+    n: int,
+) -> None:
+    """Fill the measured-op ledger from the compressibility masks.
+
+    Counting is done at outer-product granularity: each executed product is
+    ``v*v`` multiplies plus ``v*v`` accumulator additions.  The Eq. 6
+    compensation adds one ``v x v`` outer product per output tile and
+    ``v * n_w_planes`` weight-slice accumulations per uncompressed
+    activation vector.
+    """
+    v = config.v
+    mg, ng = uw.shape[0], ux.shape[1]
+    nw = w_stack.n_slices
+    nx = x_stack.n_slices
+    unit = v * v
+    sum_uw = int(uw.sum())
+    sum_ux = int(ux.sum())
+    if nw == 1:
+        # 4-bit weights have a single slice and no HO plane to skip (paper
+        # Fig. 19); the lone plane behaves like a dense LO plane.
+        hoho = 0
+        loho = mg * sum_ux
+        holo = 0
+        lolo = (nx - 1) * mg * k * ng
+    else:
+        # HO(w) x HO(x): both vectors must be uncompressed, joint per-k
+        # coupling.
+        hoho = int((uw.sum(axis=0).astype(np.int64)
+                    * ux.sum(axis=1).astype(np.int64)).sum())
+        # lower W planes x HO(x): runs wherever the activation vector
+        # survives.
+        loho = (nw - 1) * mg * sum_ux
+        # HO(w) x LO(x): runs wherever the weight vector survives.
+        holo = (nx - 1) * ng * sum_uw
+        # lower x lower: fully dense (the SWO workload).
+        lolo = (nw - 1) * (nx - 1) * mg * k * ng
+    gemm_products = hoho + loho + holo + lolo
+    ops.mul4 = unit * gemm_products
+    ops.add = unit * gemm_products
+    ops.notes["dynamic_products"] = hoho + loho + holo
+    ops.notes["static_products"] = lolo
+
+    # Compensation: one outer product per (mg, ng) output tile; weight-slice
+    # accumulation for every uncompressed activation vector.
+    ops.comp_mul4 = unit * mg * ng
+    ops.comp_add = v * nw * mg * sum_ux
+    ops.mul4 += ops.comp_mul4
+    ops.add += ops.comp_add
+    # The naive Eq. 5 compensation would instead reload weights for the
+    # *compressed* vectors; Table I prices it at 8K*rho_x adds + EMA.
+    ops.notes["naive_comp_add"] = v * nw * mg * (ux.size - sum_ux)
+
+    # EMA: payload HO vectors + dense lower planes, in nibbles; RLE indices
+    # accounted separately.
+    if nw == 1:
+        ops.ema_nibbles = v * mg * k          # dense single weight plane
+    else:
+        ops.ema_nibbles = v * (sum_uw + (nw - 1) * mg * k)
+    ops.ema_nibbles += v * (sum_ux + (nx - 1) * k * ng)
+    rle_bits = 0
+    if nw > 1:
+        for row in uw:                  # weight streams run along K per row
+            rle_bits += rle_index_bits(row, config.index_bits)
+    for col in ux.T:                    # activation streams run along K per column
+        rle_bits += rle_index_bits(col, config.index_bits)
+    ops.rle_index_bits = rle_bits

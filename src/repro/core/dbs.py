@@ -1,0 +1,114 @@
+"""Distribution-based bit-slicing (paper Figs. 9 and 10).
+
+Some layers produce quantized distributions too wide for the basic ``l = 4``
+skip range.  During calibration the DBS:
+
+1. monitors the histogram of quantized activations and computes its standard
+   deviation (``std``);
+2. compares ``std * z`` — the half-width containing the target probability
+   mass per the z-score table — against the half-widths of the candidate
+   skip ranges ``2^(l-1)`` for ``l`` in {4, 5, 6};
+3. assigns DBS **type-1** (``l = 4``), **type-2** (``l = 5``) or **type-3**
+   (``l = 6``), trading ``l - 4`` activation LSBs (hardware keeps 4-bit
+   datapaths) for a 2x / 4x wider skip range;
+4. re-applies the ZPM with the chosen ``l`` ("type-based ZPM", computing
+   ``zp''`` and ``r''``).
+
+At inference the only hardware change is the S-ACC shift amount, which is why
+the paper calls the overhead "small" (Fig. 15c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quant.uniform import QuantParams
+from .zpm import manipulate_zero_point
+
+__all__ = [
+    "DbsType",
+    "DbsDecision",
+    "classify_distribution",
+    "dbs_calibrate",
+    "DBS_LO_BITS",
+]
+
+#: LO-slice width per DBS type (paper Section III-C).
+DBS_LO_BITS = {1: 4, 2: 5, 3: 6}
+
+
+@dataclass(frozen=True)
+class DbsType:
+    """One row of the type table: id, LO bits, and skip-range width."""
+
+    type_id: int
+    lo_bits: int
+
+    @property
+    def skip_width(self) -> int:
+        return 1 << self.lo_bits
+
+    @property
+    def dropped_lsbs(self) -> int:
+        return self.lo_bits - 4
+
+
+@dataclass(frozen=True)
+class DbsDecision:
+    """Calibration output for one layer's activation tensor."""
+
+    dbs_type: DbsType
+    zp: int                 # type-based ZPM zero-point (zp'')
+    r: int                  # compressible HO slice value (r'')
+    std: float
+    z: float
+
+    @property
+    def lo_bits(self) -> int:
+        return self.dbs_type.lo_bits
+
+
+def classify_distribution(std: float, z: float = 2.0) -> DbsType:
+    """Pick the DBS type whose skip range covers ``±std*z`` around the mean.
+
+    ``std`` is the standard deviation of the *quantized* codes; ``z`` the
+    z-score for the target in-range probability (z=2 ≈ 95 % for a normal
+    distribution).  Type-1 keeps the basic ``l=4`` slicing; wider
+    distributions escalate to type-2/3.
+    """
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    half_width = std * z
+    for type_id in (1, 2, 3):
+        lo_bits = DBS_LO_BITS[type_id]
+        if half_width <= (1 << (lo_bits - 1)):
+            return DbsType(type_id=type_id, lo_bits=lo_bits)
+    return DbsType(type_id=3, lo_bits=DBS_LO_BITS[3])
+
+
+def dbs_calibrate(params: QuantParams, std: float, z: float = 2.0,
+                  enable_zpm: bool = True,
+                  sparsity_at_l4: float | None = None,
+                  target_sparsity: float = 0.93) -> DbsDecision:
+    """Run DBS typing plus type-based ZPM for one layer.
+
+    ``params`` are the layer's asymmetric quantization parameters (post
+    Eq. 2 calibration); ``std`` the quantized-code standard deviation from
+    the histogram observer.  When the observed ``sparsity_at_l4`` is given
+    and already meets ``target_sparsity``, the layer stays type-1 — per the
+    paper's Fig. 9, "type-1 means the slice sparsity is originally high,
+    and type-2 or 3 means the observed sparsity is lower than our target
+    sparsity" — so narrow layers never pay the LSB-truncation cost.
+    """
+    if sparsity_at_l4 is not None and sparsity_at_l4 >= target_sparsity:
+        dbs_type = DbsType(type_id=1, lo_bits=DBS_LO_BITS[1])
+    else:
+        dbs_type = classify_distribution(std, z)
+    zp = int(np.max(params.zero_point)) if not params.is_symmetric else (
+        1 << (params.bits - 1))
+    if enable_zpm:
+        zp = manipulate_zero_point(zp, dbs_type.lo_bits)
+    r = zp >> dbs_type.lo_bits
+    return DbsDecision(dbs_type=dbs_type, zp=zp, r=r, std=std, z=z)

@@ -1,0 +1,419 @@
+"""End-to-end PTQ calibration and quantized inference (paper Fig. 6).
+
+The pipeline follows the paper's flow exactly:
+
+1. **Calibration** — run a small calibration set through the FP model with
+   observers attached to every ``Linear``/``Conv2d`` input; derive Eq. 1
+   weight parameters and Eq. 2 activation parameters.
+2. **ZPM + DBS** — adjust each layer's zero-point (Eq. 7) and pick its DBS
+   type from the quantized-code histogram's standard deviation.
+3. **Conversion** — swap each GEMM layer for a quantized layer that executes
+   one of four engines: ``fp32`` (reference), ``int8_dense`` (Eq. 3, the
+   SIMD/systolic baselines), ``sibia`` (symmetric bit-slice GEMM) or ``aqs``
+   (the paper's AQS-GEMM).
+4. **Inference** — quantized layers re-quantize their outputs' inputs on the
+   fly and log per-layer sparsity and op counts into an
+   :class:`ExecutionTrace` the hardware model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gemm.dense import fold_bias
+from ..gemm.sibia_gemm import sibia_gemm
+from ..gemm.workload import OpCounts
+from ..nn.layers import Conv2d, Linear, im2col
+from ..nn.module import Module
+from ..quant.observers import HistogramObserver, make_observer
+from ..quant.uniform import QuantParams, quantize, symmetric_params
+from .aqs_gemm import AqsGemmConfig, aqs_gemm
+from .dbs import DbsDecision, DbsType, dbs_calibrate
+from .zpm import manipulate_zero_point
+
+__all__ = [
+    "PtqConfig",
+    "LayerQuantRecord",
+    "LayerExecution",
+    "ExecutionTrace",
+    "QuantizedLinear",
+    "QuantizedConv2d",
+    "PtqPipeline",
+    "SCHEMES",
+]
+
+SCHEMES = ("fp32", "int8_dense", "sibia", "aqs")
+
+
+@dataclass(frozen=True)
+class PtqConfig:
+    """Quantization scheme configuration for one model conversion."""
+
+    scheme: str = "aqs"
+    w_bits: int = 7
+    x_bits: int = 8
+    enable_zpm: bool = True
+    enable_dbs: bool = True
+    z: float = 2.0
+    v: int = 4
+    observer: str = "histogram"
+    per_layer_w_bits: dict = field(default_factory=dict)
+    per_layer_x_bits: dict = field(default_factory=dict)
+    #: Panacea's symmetric mode (Fig. 18a): "setting every zero-point to 128
+    #: within the 8-bit range" — a symmetric range mapped onto the unsigned
+    #: AQS-GEMM format.
+    force_symmetric_zp: bool = False
+    #: "per_tensor" (default) or "per_channel" weight scales.  Per-channel
+    #: preserves externally-prepared grids (e.g. OPTQ's per-row scales).
+    w_granularity: str = "per_tensor"
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        if self.scheme == "sibia" and (self.x_bits - 4) % 3:
+            raise ValueError(
+                f"sibia needs SBR-formatted activations (3k+4 bits); "
+                f"got x_bits={self.x_bits}"
+            )
+        if self.scheme in ("sibia", "aqs") and (self.w_bits - 4) % 3:
+            raise ValueError(
+                f"bit-slice schemes need SBR-formatted weights (3n+4 bits); "
+                f"got w_bits={self.w_bits}"
+            )
+
+    def weight_bits_for(self, name: str) -> int:
+        return self.per_layer_w_bits.get(name, self.w_bits)
+
+    def activation_bits_for(self, name: str) -> int:
+        return self.per_layer_x_bits.get(name, self.x_bits)
+
+
+@dataclass
+class LayerQuantRecord:
+    """Everything calibration decided about one GEMM layer."""
+
+    name: str
+    w_q: np.ndarray
+    w_params: QuantParams
+    x_params: QuantParams
+    dbs: DbsDecision | None
+    w_bits: int
+    x_bits: int
+
+    @property
+    def zp(self) -> int:
+        if self.x_params.is_symmetric:
+            return 0
+        return int(np.max(self.x_params.zero_point))
+
+    @property
+    def lo_bits(self) -> int:
+        return self.dbs.lo_bits if self.dbs is not None else 4
+
+
+@dataclass
+class LayerExecution:
+    """One observed layer execution: shape, sparsity and op counts."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    rho_w: float
+    rho_x: float
+    ops: OpCounts
+    scheme: str
+    w_bits: int
+    x_bits: int
+    lo_bits: int = 4
+    uw_mask: np.ndarray | None = field(default=None, repr=False)
+    ux_mask: np.ndarray | None = field(default=None, repr=False)
+
+
+class ExecutionTrace:
+    """Accumulates :class:`LayerExecution` records across a forward pass."""
+
+    def __init__(self, keep_masks: bool = False) -> None:
+        self.records: list[LayerExecution] = []
+        self.keep_masks = keep_masks
+
+    def add(self, record: LayerExecution) -> None:
+        if not self.keep_masks:
+            record.uw_mask = None
+            record.ux_mask = None
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def total_ops(self) -> OpCounts:
+        total = OpCounts()
+        for rec in self.records:
+            total = total.merge(rec.ops)
+        return total
+
+    def by_layer(self) -> dict[str, list[LayerExecution]]:
+        grouped: dict[str, list[LayerExecution]] = {}
+        for rec in self.records:
+            grouped.setdefault(rec.name, []).append(rec)
+        return grouped
+
+
+def _run_engine(record: LayerQuantRecord, x_q: np.ndarray, scheme: str,
+                v: int, count_ops: bool):
+    """Dispatch one ``(K, N)`` activation matrix to the configured engine.
+
+    Returns ``(acc, rho_w, rho_x, ops)`` where ``acc`` excludes the bias
+    fold.
+    """
+    if scheme == "int8_dense":
+        acc = np.rint(
+            record.w_q.astype(np.float64) @ x_q.astype(np.float64)
+        ).astype(np.int64)
+        ops = OpCounts()
+        if count_ops:
+            m, k = record.w_q.shape
+            n = x_q.shape[1]
+            ops.mul4 = 4 * m * k * n
+            ops.add = m * k * n
+            ops.ema_nibbles = (m * k * -(-record.w_bits // 4)
+                               + k * n * -(-record.x_bits // 4))
+        return acc, 0.0, 0.0, ops
+    if scheme == "sibia":
+        result = sibia_gemm(record.w_q, x_q, w_bits=record.w_bits,
+                            x_bits=record.x_bits, v=v, count_ops=count_ops)
+        return result.acc, result.rho_w, result.rho_x, result.ops
+    if scheme == "aqs":
+        config = AqsGemmConfig(w_bits=record.w_bits, x_bits=record.x_bits,
+                               lo_bits=record.lo_bits, v=v,
+                               count_ops=count_ops)
+        result = aqs_gemm(record.w_q, x_q, record.zp, config)
+        return result.acc, result.rho_w, result.rho_x, result.ops
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+class _QuantizedGemmBase(Module):
+    """Shared machinery of the quantized Linear/Conv layers."""
+
+    def __init__(self, name: str, record: LayerQuantRecord, scheme: str,
+                 v: int, bias: np.ndarray | None,
+                 trace: ExecutionTrace | None, count_ops: bool) -> None:
+        super().__init__()
+        self.name = name
+        self.record = record
+        self.scheme = scheme
+        self.v = v
+        self.trace = trace
+        self.count_ops = count_ops
+        self._bias = bias
+        zp = record.zp if scheme in ("int8_dense", "aqs") else 0
+        bias_int = None
+        if bias is not None:
+            combined = (np.asarray(record.w_params.scale).max()
+                        * np.asarray(record.x_params.scale).max())
+            bias_int = np.rint(bias / combined).astype(np.int64)
+        self._b_hat = fold_bias(record.w_q, bias_int, zp)
+        if scheme == "aqs" and record.lo_bits > 4:
+            # DBS truncation drops the l-4 LSBs (floor), a systematic
+            # per-value deficit of ((2^(l-4)-1)/2) codes on average.  Like
+            # b' in Eq. 6, its expectation only involves the weight row sums
+            # and is folded into the bias offline.
+            mean_deficit = ((1 << (record.lo_bits - 4)) - 1) / 2.0
+            correction = np.rint(
+                mean_deficit * record.w_q.sum(axis=1)).astype(np.int64)
+            self._b_hat = self._b_hat + correction
+
+    def _gemm(self, x2d: np.ndarray) -> np.ndarray:
+        """Quantize ``(K, N)`` float activations, run the engine, dequantize."""
+        record = self.record
+        x_q = quantize(x2d, record.x_params)
+        acc, rho_w, rho_x, ops = _run_engine(record, x_q, self.scheme,
+                                             self.v, self.count_ops)
+        acc = acc + self._b_hat[:, None]
+        scale = (np.asarray(record.w_params.scale).reshape(-1, 1)
+                 * np.asarray(record.x_params.scale).max())
+        out = acc.astype(np.float64) * scale
+        if self.trace is not None:
+            m, k = record.w_q.shape
+            self.trace.add(LayerExecution(
+                name=self.name, m=m, k=k, n=x2d.shape[1],
+                rho_w=rho_w, rho_x=rho_x, ops=ops, scheme=self.scheme,
+                w_bits=record.w_bits, x_bits=record.x_bits,
+                lo_bits=record.lo_bits,
+            ))
+        return out
+
+
+class QuantizedLinear(_QuantizedGemmBase):
+    """Drop-in quantized replacement for :class:`repro.nn.Linear`."""
+
+    def __init__(self, name: str, linear: Linear, record: LayerQuantRecord,
+                 scheme: str, v: int = 4, trace: ExecutionTrace | None = None,
+                 count_ops: bool = False) -> None:
+        super().__init__(name, record, scheme, v, linear.bias, trace,
+                         count_ops)
+        self.in_features = linear.in_features
+        self.out_features = linear.out_features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        lead = x.shape[:-1]
+        x2d = x.reshape(-1, x.shape[-1]).T  # (K, N)
+        out = self._gemm(x2d)               # (M, N)
+        return out.T.reshape(*lead, self.out_features)
+
+
+class QuantizedConv2d(_QuantizedGemmBase):
+    """Drop-in quantized replacement for :class:`repro.nn.Conv2d`."""
+
+    def __init__(self, name: str, conv: Conv2d, record: LayerQuantRecord,
+                 scheme: str, v: int = 4, trace: ExecutionTrace | None = None,
+                 count_ops: bool = False) -> None:
+        super().__init__(name, record, scheme, v, conv.bias, trace, count_ops)
+        self.kernel_size = conv.kernel_size
+        self.stride = conv.stride
+        self.padding = conv.padding
+        self.out_channels = conv.out_channels
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, oh, ow = im2col(x, self.kernel_size, self.kernel_size,
+                              self.stride, self.padding)
+        out = self._gemm(cols)
+        b = x.shape[0]
+        return out.reshape(self.out_channels, b, oh, ow).transpose(1, 0, 2, 3)
+
+
+class PtqPipeline:
+    """Calibrate a float model and convert it to a quantized one."""
+
+    def __init__(self, model: Module, config: PtqConfig | None = None) -> None:
+        self.model = model
+        self.config = config or PtqConfig()
+        self.records: dict[str, LayerQuantRecord] = {}
+        self._observers: dict = {}
+
+    # -- step 1+2: calibration ------------------------------------------------
+    def calibrate(self, batches) -> dict[str, LayerQuantRecord]:
+        """Observe activations over ``batches`` and derive all parameters."""
+        cfg = self.config
+        symmetric_x = cfg.scheme == "sibia"
+        removers = []
+        observers: dict[str, HistogramObserver] = {}
+        for name, module in self.model.named_modules():
+            if not isinstance(module, (Linear, Conv2d)):
+                continue
+            obs = make_observer(cfg.observer,
+                                bits=cfg.activation_bits_for(name),
+                                symmetric=symmetric_x)
+            observers[name] = obs
+            removers.append(self._attach(module, obs))
+        try:
+            for batch in batches:
+                self.model(batch)
+        finally:
+            for remove in removers:
+                remove()
+
+        for name, module in self.model.named_modules():
+            if name not in observers:
+                continue
+            self.records[name] = self._make_record(name, module,
+                                                   observers[name])
+        return self.records
+
+    def _attach(self, module: Module, observer) -> callable:
+        def hook(_module, args, _out) -> None:
+            x = args[0]
+            if isinstance(module, Conv2d):
+                cols, _, _ = im2col(x, module.kernel_size, module.kernel_size,
+                                    module.stride, module.padding)
+                observer.observe(cols)
+            else:
+                observer.observe(x)
+
+        return module.register_forward_hook(hook)
+
+    def _make_record(self, name: str, module: Module,
+                     observer) -> LayerQuantRecord:
+        cfg = self.config
+        w_bits = cfg.weight_bits_for(name)
+        x_bits = cfg.activation_bits_for(name)
+        weight = (module.weight_matrix if isinstance(module, Conv2d)
+                  else module.weight)
+        axis = 0 if cfg.w_granularity == "per_channel" else None
+        w_params = symmetric_params(weight, w_bits, axis=axis)
+        w_q = quantize(weight, w_params)
+        x_params = observer.params()
+        if cfg.force_symmetric_zp and cfg.scheme == "aqs":
+            from ..quant.uniform import params_from_range
+
+            lo, hi = observer.range()
+            amax = max(abs(lo), abs(hi))
+            x_params = params_from_range(-amax, amax, x_bits,
+                                         symmetric=False)
+        dbs: DbsDecision | None = None
+        if cfg.scheme == "aqs":
+            if (cfg.enable_dbs and x_bits == 8
+                    and isinstance(observer, HistogramObserver)):
+                zp_obs = int(np.max(x_params.zero_point))
+                dbs = dbs_calibrate(
+                    x_params, observer.quantized_std(), z=cfg.z,
+                    enable_zpm=cfg.enable_zpm,
+                    sparsity_at_l4=observer.in_skip_fraction(zp_obs, 4))
+            else:
+                zp = int(np.max(x_params.zero_point))
+                if cfg.enable_zpm:
+                    zp = manipulate_zero_point(zp, 4)
+                dbs = DbsDecision(dbs_type=DbsType(type_id=1, lo_bits=4),
+                                  zp=zp, r=zp >> 4, std=0.0, z=cfg.z)
+            if cfg.enable_zpm and not cfg.force_symmetric_zp:
+                # The ZPM shift would clip live codes at a range edge, so
+                # reserve exactly |shift| codes on the side the shift vacates
+                # and cap the shift at +/-8 — "the slight distribution shift
+                # of the ZPM does not cause a considerable change in
+                # accuracy" presumes the shift is small and clip-free.  For
+                # DBS type-2/3 the (near-)centred zero-point still lands
+                # well inside the 2x/4x wider skip range.
+                lo, hi = observer.range()
+                lo, hi = min(lo, 0.0), max(hi, 0.0)
+                qmax = (1 << x_bits) - 1
+                scale0 = max(hi - lo, 1e-12) / qmax
+                zp_nominal = int(np.rint(-lo / scale0))
+                shift = int(np.clip(
+                    manipulate_zero_point(zp_nominal, dbs.lo_bits)
+                    - zp_nominal, -8, 8))
+                scale = max(hi - lo, 1e-12) / (qmax - abs(shift))
+                zp_base = int(np.rint(-lo / scale)) + max(0, -shift)
+                zp1 = zp_base + shift
+                x_params = QuantParams(scale=scale, zero_point=zp1,
+                                       bits=x_bits, signed=False)
+                dbs = DbsDecision(dbs_type=dbs.dbs_type, zp=zp1,
+                                  r=zp1 >> dbs.lo_bits, std=dbs.std,
+                                  z=dbs.z)
+            else:
+                x_params = x_params.with_zero_point(dbs.zp)
+        return LayerQuantRecord(name=name, w_q=w_q, w_params=w_params,
+                                x_params=x_params, dbs=dbs, w_bits=w_bits,
+                                x_bits=x_bits)
+
+    # -- step 3: conversion ----------------------------------------------------
+    def convert(self, trace: ExecutionTrace | None = None,
+                count_ops: bool = False) -> Module:
+        """Swap calibrated GEMM layers for quantized ones (in place)."""
+        if self.config.scheme == "fp32":
+            return self.model
+        if not self.records:
+            raise RuntimeError("calibrate() must run before convert()")
+        for name, record in self.records.items():
+            module = dict(self.model.named_modules())[name]
+            if isinstance(module, Conv2d):
+                replacement = QuantizedConv2d(name, module, record,
+                                              self.config.scheme,
+                                              self.config.v, trace, count_ops)
+            else:
+                replacement = QuantizedLinear(name, module, record,
+                                              self.config.scheme,
+                                              self.config.v, trace, count_ops)
+            self.model.replace_child(name, replacement)
+        return self.model

@@ -1,0 +1,149 @@
+"""Post-processing unit (PPU) — paper Fig. 11, Section III-D.
+
+After the AQS-GEMM core accumulates a tile, the PPU: (1) applies the
+layer's nonlinear function with a piecewise-linear approximation, (2)
+re-quantizes the result for the next layer, (3) bit-slices it, (4)
+compresses the HO slices and (5) RLE-encodes the indices, so the next layer
+reads the compressed wire format straight from OMEM.
+
+The PWL tables are built offline during calibration (segment breakpoints,
+slopes and intercepts in fixed point); at inference the PPU does one
+segment lookup and one multiply-add per element, which is what makes the
+hardware cost small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..bitslice.formats import CompressedTensor, compress_activation_slices
+from ..bitslice.slicing import slice_dbs, slice_unsigned
+from ..nn import functional as F
+from ..quant.uniform import QuantParams, quantize
+
+__all__ = ["PiecewiseLinear", "PpuConfig", "PostProcessingUnit",
+           "PWL_FUNCTIONS"]
+
+
+@dataclass(frozen=True)
+class PiecewiseLinear:
+    """A fitted piecewise-linear approximation of a scalar function.
+
+    ``breakpoints`` has ``n_segments + 1`` entries; segment ``i`` covers
+    ``[breakpoints[i], breakpoints[i+1])`` with ``y = slope[i]*x +
+    intercept[i]``.  Inputs outside the fitted range clamp to the end
+    segments, matching a hardware table lookup.
+    """
+
+    breakpoints: np.ndarray
+    slopes: np.ndarray
+    intercepts: np.ndarray
+
+    @property
+    def n_segments(self) -> int:
+        return self.slopes.size
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        idx = np.clip(np.searchsorted(self.breakpoints, x) - 1, 0,
+                      self.n_segments - 1)
+        return self.slopes[idx] * x + self.intercepts[idx]
+
+    def max_error(self, reference: Callable, n_probe: int = 4096) -> float:
+        probe = np.linspace(self.breakpoints[0], self.breakpoints[-1],
+                            n_probe)
+        return float(np.max(np.abs(self(probe) - reference(probe))))
+
+    @classmethod
+    def fit(cls, fn: Callable, lo: float, hi: float,
+            n_segments: int = 16) -> "PiecewiseLinear":
+        """Fit ``fn`` over ``[lo, hi]`` with equal-width chord segments."""
+        if n_segments < 1:
+            raise ValueError("need at least one segment")
+        if hi <= lo:
+            raise ValueError("need hi > lo")
+        breakpoints = np.linspace(lo, hi, n_segments + 1)
+        y = fn(breakpoints)
+        slopes = np.diff(y) / np.diff(breakpoints)
+        intercepts = y[:-1] - slopes * breakpoints[:-1]
+        return cls(breakpoints=breakpoints, slopes=slopes,
+                   intercepts=intercepts)
+
+
+#: The nonlinearities the paper's benchmark models need.
+PWL_FUNCTIONS: dict[str, Callable] = {
+    "identity": lambda x: x,
+    "relu": F.relu,
+    "gelu": F.gelu,
+    "silu": F.silu,
+    "exp": lambda x: np.exp(np.clip(x, -30.0, 10.0)),
+}
+
+
+@dataclass(frozen=True)
+class PpuConfig:
+    """Static configuration of the post-processing path."""
+
+    nonlinearity: str = "identity"
+    pwl_segments: int = 16
+    pwl_range: tuple[float, float] = (-8.0, 8.0)
+    lo_bits: int = 4            # next layer's DBS split
+    v: int = 4
+    index_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.nonlinearity not in PWL_FUNCTIONS:
+            raise ValueError(
+                f"unknown nonlinearity {self.nonlinearity!r}; choose from "
+                f"{sorted(PWL_FUNCTIONS)}")
+
+
+@dataclass
+class PpuOutput:
+    """Everything the PPU hands to OMEM for one tile."""
+
+    codes: np.ndarray               # next layer's quantized activations
+    compressed: CompressedTensor    # the wire format (payloads + RLE)
+    float_values: np.ndarray        # post-nonlinearity reals (for checking)
+
+
+class PostProcessingUnit:
+    """Functional model of the PPU pipeline stage."""
+
+    def __init__(self, config: PpuConfig | None = None) -> None:
+        self.config = config or PpuConfig()
+        fn = PWL_FUNCTIONS[self.config.nonlinearity]
+        lo, hi = self.config.pwl_range
+        if self.config.nonlinearity == "identity":
+            self.pwl = None
+        else:
+            self.pwl = PiecewiseLinear.fit(fn, lo, hi,
+                                           self.config.pwl_segments)
+
+    def apply_nonlinearity(self, x: np.ndarray) -> np.ndarray:
+        if self.pwl is None:
+            return np.asarray(x, dtype=np.float64)
+        return self.pwl(np.asarray(x, dtype=np.float64))
+
+    def process(self, acc: np.ndarray, acc_scale: float,
+                next_params: QuantParams, next_zp: int) -> PpuOutput:
+        """Run one accumulated tile through the full PPU pipeline.
+
+        ``acc`` is the integer GEMM accumulator; ``acc_scale`` its
+        dequantization scale (``s_W * s_x``); ``next_params``/``next_zp``
+        the next layer's calibrated activation quantizer (zp post-ZPM).
+        """
+        reals = self.apply_nonlinearity(acc.astype(np.float64) * acc_scale)
+        codes = quantize(reals, next_params.with_zero_point(next_zp))
+        if self.config.lo_bits == 4:
+            stack = slice_unsigned(codes, next_params.bits)
+        else:
+            stack = slice_dbs(codes, self.config.lo_bits, next_params.bits)
+        r = next_zp >> (int(stack.ho_weight).bit_length() - 1)
+        compressed = compress_activation_slices(stack, r=r,
+                                                v=self.config.v,
+                                                index_bits=self.config.index_bits)
+        return PpuOutput(codes=codes, compressed=compressed,
+                         float_values=reals)

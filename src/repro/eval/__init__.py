@@ -1,0 +1,25 @@
+"""Evaluation harness: metrics, sparsity stats, tables, experiment drivers."""
+
+from .accuracy import (
+    AccuracyResult,
+    classification_agreement,
+    lm_perplexity,
+    perplexity,
+    top1_agreement,
+)
+from .sparsity_stats import MethodSparsity, mean_sparsity, sparsity_by_method
+from .tables import PaperClaim, format_claims, format_table
+
+__all__ = [
+    "AccuracyResult",
+    "classification_agreement",
+    "lm_perplexity",
+    "perplexity",
+    "top1_agreement",
+    "MethodSparsity",
+    "mean_sparsity",
+    "sparsity_by_method",
+    "PaperClaim",
+    "format_claims",
+    "format_table",
+]

@@ -1,0 +1,71 @@
+"""Accuracy and perplexity metrics for FP-vs-quantized comparisons.
+
+Per DESIGN.md §4, accuracy on synthetic data is measured as *agreement with
+the FP model* (top-1 consistency) and language-model quality as perplexity
+on teacher-sampled sequences; both reproduce the relative degradation
+ordering the paper reports (symmetric < asymmetric activation quantization,
+4-bit needs OPTQ, Llama harder than OPT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+
+__all__ = [
+    "AccuracyResult",
+    "top1_agreement",
+    "perplexity",
+    "classification_agreement",
+    "lm_perplexity",
+]
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Agreement of a quantized model with its FP reference."""
+
+    agreement: float
+    n_samples: int
+
+    @property
+    def accuracy_loss_points(self) -> float:
+        """Loss in percentage points relative to the FP model (= 100 * (1-a))."""
+        return 100.0 * (1.0 - self.agreement)
+
+
+def top1_agreement(logits_a: np.ndarray, logits_b: np.ndarray) -> float:
+    """Fraction of samples where both logit sets pick the same class."""
+    pred_a = np.argmax(logits_a, axis=-1).ravel()
+    pred_b = np.argmax(logits_b, axis=-1).ravel()
+    if pred_a.size == 0:
+        return 1.0
+    return float(np.mean(pred_a == pred_b))
+
+
+def perplexity(logits: np.ndarray, targets: np.ndarray) -> float:
+    """``exp(mean NLL)`` of integer targets under ``(..., vocab)`` logits."""
+    return float(np.exp(F.cross_entropy(logits, targets)))
+
+
+def classification_agreement(fp_model: Module, q_model: Module,
+                             batches: list[np.ndarray]) -> AccuracyResult:
+    """Top-1 agreement between an FP model and its quantized version."""
+    agree = 0
+    total = 0
+    for batch in batches:
+        ref = np.argmax(fp_model(batch), axis=-1).ravel()
+        out = np.argmax(q_model(batch), axis=-1).ravel()
+        agree += int(np.sum(ref == out))
+        total += ref.size
+    return AccuracyResult(agreement=agree / max(total, 1), n_samples=total)
+
+
+def lm_perplexity(model: Module, token_ids: np.ndarray) -> float:
+    """Next-token perplexity of a causal LM on ``(batch, seq)`` ids."""
+    logits = model(token_ids)
+    return perplexity(logits[:, :-1, :], token_ids[:, 1:])

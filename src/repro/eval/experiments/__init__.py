@@ -1,0 +1,40 @@
+"""Per-figure experiment drivers.
+
+Each module reproduces one table/figure of the paper (see DESIGN.md's
+experiment index) and exposes ``run(...)`` returning a result object with a
+``format()`` method used by the corresponding bench in ``benchmarks/``.
+"""
+
+from . import (
+    common,
+    fig01_accuracy,
+    fig05_motivation,
+    fig08_zpm,
+    fig09_dbs,
+    fig13_design_space,
+    fig14_sparsity,
+    fig15_breakdown,
+    fig16_models,
+    fig17_llms,
+    fig18_decoupling,
+    fig19_lowbit,
+    fig20_asic,
+    table1,
+)
+
+__all__ = [
+    "common",
+    "table1",
+    "fig01_accuracy",
+    "fig05_motivation",
+    "fig08_zpm",
+    "fig09_dbs",
+    "fig13_design_space",
+    "fig14_sparsity",
+    "fig15_breakdown",
+    "fig16_models",
+    "fig17_llms",
+    "fig18_decoupling",
+    "fig19_lowbit",
+    "fig20_asic",
+]

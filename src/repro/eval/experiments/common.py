@@ -1,0 +1,101 @@
+"""Shared plumbing for the per-figure experiment drivers.
+
+The drivers all need the same two moves: (1) profile a benchmark model under
+the right policy per design, (2) run every accelerator model on it.  Large
+models are block-subsampled with a documented stride — per-layer metrics are
+ratios and sums over structurally identical blocks, so simulating every
+``stride``-th block and scaling preserves them while keeping bench runtimes
+in seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...hw import (
+    HwConfig,
+    ModelPerf,
+    PanaceaConfig,
+    PanaceaModel,
+    SibiaModel,
+    SimdModel,
+    SystolicConfig,
+    SystolicModel,
+)
+from ...models.configs import ModelConfig
+from ...models.workloads import policy_for_model, profile_model
+
+__all__ = ["subsample_blocks", "run_all_designs", "DESIGN_NAMES",
+           "panacea_perf"]
+
+DESIGN_NAMES = ("panacea", "sibia", "simd", "sa_ws", "sa_os")
+
+
+def subsample_blocks(config: ModelConfig, stride: int) -> ModelConfig:
+    """Keep every ``stride``-th transformer block (all layers of it).
+
+    ResNet-style configs (no homogeneous blocks) are returned unchanged.
+    """
+    if stride <= 1 or config.family == "resnet":
+        return config
+    kept = tuple(l for l in config.layers if l.block_index % stride == 0)
+    return dataclasses.replace(config, layers=kept)
+
+
+def run_all_designs(
+    config: ModelConfig,
+    hw: HwConfig | None = None,
+    stride: int = 1,
+    n_sample: int = 128,
+    m_cap: int = 512,
+    seed: int = 0,
+    panacea_arch: PanaceaConfig | None = None,
+    enable_zpm: bool = True,
+    enable_dbs: bool = True,
+) -> dict[str, ModelPerf]:
+    """Simulate all five designs on one benchmark model."""
+    hw = hw or HwConfig()
+    cfg = subsample_blocks(config, stride)
+    prof_aqs = profile_model(
+        cfg, policy_for_model(cfg, "aqs", enable_zpm=enable_zpm,
+                              enable_dbs=enable_dbs),
+        n_sample=n_sample, m_cap=m_cap, seed=seed)
+    prof_sib = profile_model(cfg, policy_for_model(cfg, "sibia"),
+                             n_sample=n_sample, m_cap=m_cap, seed=seed)
+    prof_dense = profile_model(cfg, policy_for_model(cfg, "dense"),
+                               n_sample=min(n_sample, 32),
+                               m_cap=min(m_cap, 128), seed=seed)
+    designs = {
+        "panacea": (PanaceaModel(hw, panacea_arch), prof_aqs),
+        "sibia": (SibiaModel(hw), prof_sib),
+        "simd": (SimdModel(hw), prof_dense),
+        "sa_ws": (SystolicModel(hw, SystolicConfig(dataflow="ws")),
+                  prof_dense),
+        "sa_os": (SystolicModel(hw, SystolicConfig(dataflow="os")),
+                  prof_dense),
+    }
+    return {name: model.simulate_model(profiles, config.name, seed=seed)
+            for name, (model, profiles) in designs.items()}
+
+
+def panacea_perf(
+    config: ModelConfig,
+    hw: HwConfig | None = None,
+    stride: int = 1,
+    n_sample: int = 128,
+    m_cap: int = 512,
+    seed: int = 0,
+    arch: PanaceaConfig | None = None,
+    enable_zpm: bool = True,
+    enable_dbs: bool = True,
+    w_bits: int = 7,
+) -> ModelPerf:
+    """Panacea alone under a specific optimization/bit-width setting."""
+    hw = hw or HwConfig()
+    cfg = subsample_blocks(config, stride)
+    policy = policy_for_model(cfg, "aqs", w_bits=w_bits,
+                              enable_zpm=enable_zpm, enable_dbs=enable_dbs)
+    profiles = profile_model(cfg, policy, n_sample=n_sample, m_cap=m_cap,
+                             seed=seed)
+    return PanaceaModel(hw, arch).simulate_model(profiles, config.name,
+                                                 seed=seed)

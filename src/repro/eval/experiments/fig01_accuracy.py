@@ -1,0 +1,109 @@
+"""Experiment F1 — Fig. 1: asymmetric activation quantization preserves
+accuracy where symmetric quantization loses it.
+
+Fig. 1 is an *algorithm-level* comparison of published PTQ methods, so the
+asymmetric side here is plain Eq. 2 PTQ (no ZPM/DBS — those are Panacea's
+hardware co-optimizations, evaluated in Figs. 15-18).  Runs the proxy
+benchmark models under symmetric-activation (7-bit bit-slice format) and
+asymmetric-activation (8-bit) PTQ and reports agreement with the FP model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.pipeline import PtqConfig, PtqPipeline
+from ...models.synthetic import classification_set, teacher_sample, token_batches
+from ...models.zoo import PROXY_SPECS, build_proxy
+from ..accuracy import classification_agreement, top1_agreement
+from ..tables import format_table
+
+__all__ = ["AccuracyRow", "Fig1Result", "run"]
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    model: str
+    metric: str                 # "agreement" or "ppl_ratio"
+    fp32: float
+    symmetric: float
+    asymmetric: float
+
+    @property
+    def asym_wins(self) -> bool:
+        if self.metric == "agreement":
+            return self.asymmetric >= self.symmetric
+        return self.asymmetric <= self.symmetric
+
+
+@dataclass
+class Fig1Result:
+    rows: list[AccuracyRow]
+
+    @property
+    def asym_win_fraction(self) -> float:
+        return sum(r.asym_wins for r in self.rows) / max(len(self.rows), 1)
+
+    def format(self) -> str:
+        header = ["model", "metric", "fp32", "sym (7b)", "asym (8b)"]
+        body = [[r.model, r.metric, r.fp32, r.symmetric, r.asymmetric]
+                for r in self.rows]
+        return format_table(header, body,
+                            title="Fig. 1: symmetric vs asymmetric "
+                                  "activation quantization")
+
+
+def _classifier_row(name: str, seed: int) -> AccuracyRow:
+    spec = PROXY_SPECS[name]
+    fp, _ = build_proxy(name, seed=seed)
+    batches = classification_set(16, 24, spec.dim, 6, seed=seed + 1)
+    results = {}
+    for label, scheme, x_bits in (("symmetric", "sibia", 7),
+                                  ("asymmetric", "aqs", 8)):
+        model, _ = build_proxy(name, seed=seed)
+        pipe = PtqPipeline(model, PtqConfig(scheme=scheme, x_bits=x_bits,
+                                            enable_zpm=False,
+                                            enable_dbs=False))
+        pipe.calibrate(batches[:2])
+        results[label] = classification_agreement(
+            fp, pipe.convert(), batches).agreement
+    return AccuracyRow(model=name, metric="agreement", fp32=1.0,
+                       symmetric=results["symmetric"],
+                       asymmetric=results["asymmetric"])
+
+
+def _lm_row(name: str, seed: int, seq: int = 48) -> AccuracyRow:
+    """Next-token top-1 agreement with the FP model over all positions.
+
+    Agreement over hundreds of positions is a far lower-variance probe of
+    quantization damage than the perplexity ratio on proxy-scale models.
+    """
+    spec = PROXY_SPECS[name]
+    fp, _ = build_proxy(name, seed=seed)
+    eval_ids = teacher_sample(fp, spec.vocab, batch=3, seq=seq, seed=seed + 2)
+    fp_logits = fp(eval_ids)
+    calib = token_batches(spec.vocab, 2, seq, 2, seed=seed + 3)
+    results = {}
+    for label, scheme, x_bits in (("symmetric", "sibia", 7),
+                                  ("asymmetric", "aqs", 8)):
+        model, _ = build_proxy(name, seed=seed)
+        pipe = PtqPipeline(model, PtqConfig(scheme=scheme, x_bits=x_bits,
+                                            enable_zpm=False,
+                                            enable_dbs=False))
+        pipe.calibrate(calib)
+        results[label] = top1_agreement(fp_logits,
+                                        pipe.convert()(eval_ids))
+    return AccuracyRow(model=name, metric="agreement", fp32=1.0,
+                       symmetric=results["symmetric"],
+                       asymmetric=results["asymmetric"])
+
+
+def run(models=("bert_base", "deit_base", "gpt2", "opt_350m"),
+        seed: int = 0) -> Fig1Result:
+    rows = []
+    for name in models:
+        if PROXY_SPECS[name].kind == "classifier":
+            rows.append(_classifier_row(name, seed))
+        elif PROXY_SPECS[name].kind == "lm":
+            rows.append(_lm_row(name, seed))
+    return Fig1Result(rows=rows)

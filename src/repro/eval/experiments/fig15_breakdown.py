@@ -1,0 +1,116 @@
+"""Experiment F15 — Fig. 15: energy breakdown, throughput, area trade-offs.
+
+(a) Per-design energy breakdown (MAC / SRAM / DRAM / control) on the
+    benchmark models;
+(b) throughput of the five designs;
+(+) the ZPM/DBS/DTP ablation on GPT-2 (paper: ZPM +10% energy / +17%
+    throughput, DBS +11% / +12%, DTP +8.9% / +7.6%);
+(c) relative area of Panacea base / +ZPM / +DBS / +DTP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...hw import HwConfig, PanaceaConfig, panacea_area
+from ...models.configs import get_config
+from ..tables import PaperClaim, format_claims, format_table
+from .common import DESIGN_NAMES, panacea_perf, run_all_designs
+
+__all__ = ["Fig15Result", "run", "run_ablation"]
+
+
+@dataclass
+class Fig15Result:
+    breakdowns: dict            # model -> design -> {component: pJ}
+    throughput: dict            # model -> design -> TOPS
+    ablation: dict              # step -> {"energy_gain": x, "thr_gain": x}
+    area: dict                  # variant -> relative area
+    claims: list[PaperClaim]
+
+    def format(self) -> str:
+        rows = []
+        for model, designs in self.breakdowns.items():
+            for design, parts in designs.items():
+                total = sum(parts.values())
+                rows.append([model, design, total * 1e-9,
+                             parts["mac"] / total, parts["sram"] / total,
+                             parts["dram"] / total,
+                             self.throughput[model][design]])
+        out = format_table(
+            ["model", "design", "energy (mJ)", "mac %", "sram %", "dram %",
+             "TOPS"], rows, title="Fig. 15(a,b): energy breakdown and "
+                                  "throughput")
+        rows_ab = [[step, v["energy_gain"], v["throughput_gain"]]
+                   for step, v in self.ablation.items()]
+        out += "\n" + format_table(["optimization", "energy gain",
+                                    "throughput gain"], rows_ab,
+                                   title="GPT-2 ablation (cumulative steps)")
+        rows_area = [[k, v] for k, v in self.area.items()]
+        out += "\n" + format_table(["variant", "relative area"], rows_area,
+                                   title="Fig. 15(c): relative area")
+        return out + "\n" + format_claims(self.claims)
+
+
+def run_ablation(model: str = "gpt2", stride: int = 3, seed: int = 0,
+                 hw: HwConfig | None = None) -> dict:
+    """Cumulative ZPM -> DBS -> DTP gains on one model."""
+    cfg = get_config(model)
+    steps = {
+        "base": dict(enable_zpm=False, enable_dbs=False,
+                     arch=PanaceaConfig(dtp=False)),
+        "+zpm": dict(enable_zpm=True, enable_dbs=False,
+                     arch=PanaceaConfig(dtp=False)),
+        "+dbs": dict(enable_zpm=True, enable_dbs=True,
+                     arch=PanaceaConfig(dtp=False)),
+        "+dtp": dict(enable_zpm=True, enable_dbs=True,
+                     arch=PanaceaConfig(dtp=True)),
+    }
+    perfs = {name: panacea_perf(cfg, hw=hw, stride=stride, seed=seed, **kw)
+             for name, kw in steps.items()}
+    out = {}
+    prev = None
+    for name, perf in perfs.items():
+        if prev is not None:
+            out[name] = {
+                "energy_gain": prev.total_energy_pj / perf.total_energy_pj,
+                "throughput_gain": perf.tops / prev.tops,
+            }
+        prev = perf
+    return out
+
+
+def run(models=("deit_base", "bert_base", "gpt2", "resnet18"),
+        stride: int = 4, seed: int = 0) -> Fig15Result:
+    hw = HwConfig()
+    breakdowns = {}
+    throughput = {}
+    for name in models:
+        res = run_all_designs(get_config(name), hw=hw, stride=stride,
+                              seed=seed)
+        breakdowns[name] = {d: res[d].energy_breakdown().as_dict()
+                            for d in DESIGN_NAMES}
+        throughput[name] = {d: res[d].tops for d in DESIGN_NAMES}
+
+    ablation = run_ablation(seed=seed, hw=hw)
+
+    base_area = panacea_area(dbs=False, dtp=False).total
+    area = {
+        "base": 1.0,
+        "+zpm": 1.0,  # calibration-time only: zero hardware cost
+        "+dbs": panacea_area(dbs=True, dtp=False).total / base_area,
+        "+dtp": panacea_area(dbs=True, dtp=True).total / base_area,
+    }
+
+    claims = [
+        PaperClaim("ZPM throughput gain on GPT-2 (paper: 1.17x)", 1.17,
+                   ablation["+zpm"]["throughput_gain"]),
+        PaperClaim("DBS throughput gain on GPT-2 (paper: 1.12x)", 1.12,
+                   ablation["+dbs"]["throughput_gain"]),
+        PaperClaim("DTP throughput gain on GPT-2 (paper: 1.076x)", 1.076,
+                   ablation["+dtp"]["throughput_gain"]),
+        PaperClaim("ZPM energy gain on GPT-2 (paper: 1.10x)", 1.10,
+                   ablation["+zpm"]["energy_gain"]),
+    ]
+    return Fig15Result(breakdowns=breakdowns, throughput=throughput,
+                       ablation=ablation, area=area, claims=claims)

@@ -1,0 +1,114 @@
+"""Experiment F16 — Fig. 16: energy efficiency, throughput and accuracy loss
+across the benchmark models and all five designs.
+
+Hardware metrics come from the performance models on full-shape workload
+profiles; accuracy loss comes from the runnable proxies (agreement/PPL vs
+FP), matching the figure's three panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.pipeline import PtqConfig, PtqPipeline
+from ...models.configs import get_config
+from ...models.synthetic import classification_set, gaussian_images, teacher_sample, token_batches
+from ...models.zoo import PROXY_SPECS, build_proxy
+from ..accuracy import classification_agreement, lm_perplexity
+from ..tables import PaperClaim, format_claims, format_table
+from .common import DESIGN_NAMES, run_all_designs
+
+__all__ = ["Fig16Result", "run", "accuracy_loss_for"]
+
+
+@dataclass
+class Fig16Result:
+    efficiency: dict            # model -> design -> TOPS/W
+    throughput: dict            # model -> design -> TOPS
+    accuracy_loss: dict         # model -> scheme -> loss (pts or ppl ratio-1)
+    claims: list[PaperClaim]
+
+    def format(self) -> str:
+        rows = []
+        for model in self.efficiency:
+            for design in DESIGN_NAMES:
+                rows.append([model, design,
+                             self.efficiency[model][design],
+                             self.throughput[model][design]])
+        out = format_table(["model", "design", "TOPS/W", "TOPS"], rows,
+                           title="Fig. 16: efficiency and throughput")
+        rows_acc = []
+        for model, losses in self.accuracy_loss.items():
+            for scheme, loss in losses.items():
+                rows_acc.append([model, scheme, loss])
+        out += "\n" + format_table(["model", "scheme", "quality loss"],
+                                   rows_acc,
+                                   title="Fig. 16: accuracy/PPL loss vs FP "
+                                         "(lower is better)")
+        return out + "\n" + format_claims(self.claims)
+
+
+def accuracy_loss_for(name: str, seed: int = 0) -> dict:
+    """Quality loss vs FP for the sym (Sibia) and asym (Panacea) schemes."""
+    spec = PROXY_SPECS[name]
+    fp, _ = build_proxy(name, seed=seed)
+    out = {}
+    if spec.kind == "classifier":
+        batches = classification_set(16, 24, spec.dim, 6, seed=seed + 1)
+        evaluate = lambda m: 100.0 * (1.0 - classification_agreement(  # noqa: E731
+            fp, m, batches).agreement)
+        calib = batches[:2]
+    elif spec.kind == "resnet":
+        batches = [gaussian_images(6, 3, 32, seed=seed + i)
+                   for i in range(5)]
+        evaluate = lambda m: 100.0 * (1.0 - classification_agreement(  # noqa: E731
+            fp, m, batches).agreement)
+        calib = batches[:2]
+    else:
+        eval_ids = teacher_sample(fp, spec.vocab, 2, 40, seed=seed + 2)
+        ppl_fp = lm_perplexity(fp, eval_ids)
+        evaluate = lambda m: 100.0 * (lm_perplexity(m, eval_ids)  # noqa: E731
+                                      / ppl_fp - 1.0)
+        calib = token_batches(spec.vocab, 2, 40, 2, seed=seed + 3)
+    for scheme, x_bits in (("sibia", 7), ("aqs", 8)):
+        model, _ = build_proxy(name, seed=seed)
+        pipe = PtqPipeline(model, PtqConfig(scheme=scheme, x_bits=x_bits))
+        pipe.calibrate(calib)
+        out[scheme] = evaluate(pipe.convert())
+    return out
+
+
+def run(models=("gpt2", "bert_base", "deit_base", "resnet18"),
+        stride: int = 4, seed: int = 0,
+        with_accuracy: bool = True) -> Fig16Result:
+    efficiency = {}
+    throughput = {}
+    accuracy_loss = {}
+    for name in models:
+        res = run_all_designs(get_config(name), stride=stride, seed=seed)
+        efficiency[name] = {d: res[d].tops_per_watt for d in DESIGN_NAMES}
+        throughput[name] = {d: res[d].tops for d in DESIGN_NAMES}
+        if with_accuracy:
+            accuracy_loss[name] = accuracy_loss_for(name, seed=seed)
+
+    claims = []
+    if "gpt2" in efficiency:
+        eff = efficiency["gpt2"]
+        claims += [
+            PaperClaim("GPT-2 efficiency vs Sibia (paper: 2.03x)", 2.03,
+                       eff["panacea"] / eff["sibia"]),
+            PaperClaim("GPT-2 efficiency vs SA-WS (paper: 3.82x)", 3.82,
+                       eff["panacea"] / eff["sa_ws"]),
+            PaperClaim("GPT-2 efficiency vs SIMD (paper: 3.81x)", 3.81,
+                       eff["panacea"] / eff["simd"]),
+            PaperClaim("GPT-2 throughput vs Sibia (paper: 1.34x)", 1.34,
+                       throughput["gpt2"]["panacea"]
+                       / throughput["gpt2"]["sibia"]),
+        ]
+    if "resnet18" in efficiency:
+        eff = efficiency["resnet18"]
+        claims.append(PaperClaim("ResNet-18 efficiency vs Sibia (paper: "
+                                 "1.49x)", 1.49,
+                                 eff["panacea"] / eff["sibia"]))
+    return Fig16Result(efficiency=efficiency, throughput=throughput,
+                       accuracy_loss=accuracy_loss, claims=claims)

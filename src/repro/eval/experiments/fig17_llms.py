@@ -1,0 +1,127 @@
+"""Experiment F17 — Fig. 17: energy efficiency and perplexity on LLMs.
+
+OPT-350M/1.3B/2.7B and Llama-3.2-1B/3B: hardware efficiency from full-shape
+profiles (Panacea vs Sibia vs dense), perplexity deltas from the runnable
+proxies.  Llama weights go through OPTQ + 64-group quantization, and its
+down-projection inputs get three bit-slices (mixed precision), matching the
+paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.pipeline import PtqConfig, PtqPipeline
+from ...models.configs import get_config
+from ...models.synthetic import teacher_sample, token_batches
+from ...models.zoo import PROXY_SPECS, build_proxy
+from ..accuracy import lm_perplexity
+from ..tables import PaperClaim, format_claims, format_table
+from .common import DESIGN_NAMES, run_all_designs
+
+__all__ = ["LlmRow", "Fig17Result", "run"]
+
+
+@dataclass(frozen=True)
+class LlmRow:
+    model: str
+    efficiency: dict             # design -> TOPS/W
+    ppl_fp: float
+    ppl_panacea: float
+    ppl_sibia: float
+
+    @property
+    def panacea_vs_sibia(self) -> float:
+        return self.efficiency["panacea"] / self.efficiency["sibia"]
+
+
+@dataclass
+class Fig17Result:
+    rows: list[LlmRow]
+    claims: list[PaperClaim]
+
+    def format(self) -> str:
+        header = ["model"] + list(DESIGN_NAMES) + ["ppl fp", "ppl panacea",
+                                                   "ppl sibia"]
+        body = []
+        for r in self.rows:
+            body.append([r.model] + [r.efficiency[d] for d in DESIGN_NAMES]
+                        + [r.ppl_fp, r.ppl_panacea, r.ppl_sibia])
+        out = format_table(header, body,
+                           title="Fig. 17: LLM energy efficiency (TOPS/W) "
+                                 "and perplexity")
+        return out + "\n" + format_claims(self.claims)
+
+
+def _sensitive_overrides(model, scheme: str) -> dict:
+    """Three bit-slices for down-projection inputs (Llama mixed precision).
+
+    The paper gives both Sibia and Panacea 3-slice inputs on the
+    sensitivity-critical layers: 12-bit asymmetric (4k+4) for Panacea,
+    10-bit symmetric (3k+4) for Sibia.
+    """
+    bits = 12 if scheme == "aqs" else 10
+    return {name: bits for name, _ in model.named_modules()
+            if name.endswith("down_proj")}
+
+
+def _proxy_ppl(name: str, seed: int) -> tuple[float, float, float]:
+    spec = PROXY_SPECS[name]
+    fp, _ = build_proxy(name, seed=seed)
+    eval_ids = teacher_sample(fp, spec.vocab, 2, 40, seed=seed + 1)
+    ppl_fp = lm_perplexity(fp, eval_ids)
+    calib = token_batches(spec.vocab, 2, 40, 2, seed=seed + 2)
+    ppls = {}
+    for scheme, x_bits in (("aqs", 8), ("sibia", 7)):
+        model, _ = build_proxy(name, seed=seed)
+        overrides = (_sensitive_overrides(model, scheme)
+                     if spec.block == "llama" else {})
+        pipe = PtqPipeline(model, PtqConfig(scheme=scheme, x_bits=x_bits,
+                                            per_layer_x_bits=overrides))
+        pipe.calibrate(calib)
+        ppls[scheme] = lm_perplexity(pipe.convert(), eval_ids)
+    return ppl_fp, ppls["aqs"], ppls["sibia"]
+
+
+def run(models=("opt_350m", "opt_1p3b", "opt_2p7b", "llama32_1b",
+                "llama32_3b"),
+        stride: int = 6, seed: int = 0,
+        with_ppl: bool = True) -> Fig17Result:
+    rows = []
+    for name in models:
+        res = run_all_designs(get_config(name), stride=stride, seed=seed,
+                              n_sample=96, m_cap=384)
+        eff = {d: res[d].tops_per_watt for d in DESIGN_NAMES}
+        if with_ppl:
+            ppl_fp, ppl_aqs, ppl_sib = _proxy_ppl(name, seed)
+        else:
+            ppl_fp = ppl_aqs = ppl_sib = float("nan")
+        rows.append(LlmRow(model=name, efficiency=eff, ppl_fp=ppl_fp,
+                           ppl_panacea=ppl_aqs, ppl_sibia=ppl_sib))
+
+    by_name = {r.model: r for r in rows}
+    claims = []
+    if "opt_2p7b" in by_name:
+        claims.append(PaperClaim(
+            "OPT-2.7B efficiency vs Sibia (paper: 1.97x)", 1.97,
+            by_name["opt_2p7b"].panacea_vs_sibia))
+    if "opt_350m" in by_name:
+        claims.append(PaperClaim(
+            "OPT-350M efficiency vs Sibia (paper: 1.57x)", 1.57,
+            by_name["opt_350m"].panacea_vs_sibia))
+    if "llama32_3b" in by_name:
+        r = by_name["llama32_3b"]
+        claims.append(PaperClaim(
+            "Llama-3.2-3B efficiency vs Sibia (paper: 1.47x)", 1.47,
+            r.panacea_vs_sibia))
+        claims.append(PaperClaim(
+            "Llama-3.2-3B efficiency vs SIMD (paper: 4.24x)", 4.24,
+            r.efficiency["panacea"] / r.efficiency["simd"]))
+    if with_ppl:
+        ppl_ok = np.mean([r.ppl_panacea <= r.ppl_sibia for r in rows])
+        claims.append(PaperClaim(
+            "fraction of LLMs where Panacea PPL <= Sibia PPL (paper: all)",
+            1.0, float(ppl_ok), unit=""))
+    return Fig17Result(rows=rows, claims=claims)

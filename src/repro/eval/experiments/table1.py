@@ -1,0 +1,97 @@
+"""Experiment T1 — validate Table I's closed-form workload models.
+
+Sweeps the HO vector sparsities, executes the functional Sibia and AQS-GEMM
+kernels on matching synthetic operands, and compares the *measured*
+multiplication/addition/EMA counts against the analytic formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.aqs_gemm import aqs_gemm
+from ...gemm.sibia_gemm import sibia_gemm
+from ...gemm.workload import table1_panacea, table1_sibia
+from ..tables import format_table
+
+__all__ = ["Table1Row", "Table1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    rho_w: float
+    rho_x: float
+    design: str
+    measured_mul: float
+    analytic_mul: float
+    measured_ema: float
+    analytic_ema: float
+
+    @property
+    def mul_error(self) -> float:
+        return abs(self.measured_mul - self.analytic_mul) / self.analytic_mul
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row]
+    k: int
+
+    @property
+    def max_mul_error(self) -> float:
+        return max(r.mul_error for r in self.rows)
+
+    def format(self) -> str:
+        header = ["design", "rho_w", "rho_x", "mul4 meas", "mul4 Table I",
+                  "EMA meas", "EMA Table I"]
+        body = [[r.design, r.rho_w, r.rho_x, r.measured_mul, r.analytic_mul,
+                 r.measured_ema, r.analytic_ema] for r in self.rows]
+        return format_table(header, body,
+                            title=f"Table I validation (K={self.k}, 4xK by Kx4)")
+
+
+def _weights_at_sparsity(rng, k, rho_w, bits=7):
+    """4 x K int7 weights whose HO vector sparsity is about rho_w."""
+    sparse_cols = rng.random(k) < rho_w
+    w = np.where(sparse_cols[None, :],
+                 rng.integers(-8, 8, (4, k)),          # zero HO vectors
+                 rng.choice([-60, -40, 40, 60], (4, k)))
+    return w.astype(np.int64)
+
+
+def _acts_at_sparsity(rng, k, rho_x, zp=168):
+    sparse_rows = rng.random(k) < rho_x
+    in_range = rng.integers(160, 176, (k, 4))          # HO slice == 10
+    out_range = rng.choice([40, 80, 220, 250], (k, 4))
+    return np.where(sparse_rows[:, None], in_range, out_range).astype(np.int64)
+
+
+def _sym_acts_at_sparsity(rng, k, rho_x):
+    sparse_rows = rng.random(k) < rho_x
+    near_zero = rng.integers(-8, 8, (k, 4))
+    far = rng.choice([-60, -40, 40, 60], (k, 4))
+    return np.where(sparse_rows[:, None], near_zero, far).astype(np.int64)
+
+
+def run(k: int = 1024, sparsities=(0.0, 0.25, 0.5, 0.75, 0.95),
+        seed: int = 0) -> Table1Result:
+    """Validate both designs' Table I rows over a sparsity sweep."""
+    rng = np.random.default_rng(seed)
+    rows: list[Table1Row] = []
+    for rho in sparsities:
+        w = _weights_at_sparsity(rng, k, rho)
+        x = _acts_at_sparsity(rng, k, rho)
+        res = aqs_gemm(w, x, zp=168)
+        analytic = table1_panacea(k, res.rho_w, res.rho_x)
+        rows.append(Table1Row(res.rho_w, res.rho_x, "panacea",
+                              res.ops.mul4, analytic.mul4,
+                              res.ops.ema_nibbles, analytic.ema_nibbles))
+        xs = _sym_acts_at_sparsity(rng, k, rho)
+        sres = sibia_gemm(w, xs)
+        s_analytic = table1_sibia(k, sres.rho_w, sres.rho_x)
+        rows.append(Table1Row(sres.rho_w, sres.rho_x, "sibia",
+                              sres.ops.mul4, s_analytic.mul4,
+                              sres.ops.ema_nibbles, s_analytic.ema_nibbles))
+    return Table1Result(rows=rows, k=k)

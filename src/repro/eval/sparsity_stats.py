@@ -1,0 +1,85 @@
+"""Model-level sparsity statistics (paper Figs. 5a, 14a, 14b).
+
+Thin aggregation layer over :mod:`repro.models.workloads`: run the profiler
+under several GEMM methods and collate per-layer HO vector sparsities so the
+figure drivers and benches can print them side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.configs import ModelConfig
+from ..models.workloads import LayerProfile, policy_for_model, profile_model
+
+__all__ = ["MethodSparsity", "sparsity_by_method", "mean_sparsity"]
+
+
+@dataclass(frozen=True)
+class MethodSparsity:
+    """Per-layer activation/weight vector sparsity under one GEMM method."""
+
+    method: str
+    layer_names: tuple[str, ...]
+    rho_x: tuple[float, ...]
+    rho_w: tuple[float, ...]
+    dbs_types: tuple[int, ...]
+
+    @property
+    def mean_rho_x(self) -> float:
+        return float(np.mean(self.rho_x)) if self.rho_x else 0.0
+
+    @property
+    def mean_rho_w(self) -> float:
+        return float(np.mean(self.rho_w)) if self.rho_w else 0.0
+
+
+def _collect(method: str, profiles: list[LayerProfile]) -> MethodSparsity:
+    return MethodSparsity(
+        method=method,
+        layer_names=tuple(p.name for p in profiles),
+        rho_x=tuple(p.rho_x for p in profiles),
+        rho_w=tuple(p.rho_w for p in profiles),
+        dbs_types=tuple(p.dbs_type for p in profiles),
+    )
+
+
+def sparsity_by_method(
+    config: ModelConfig,
+    methods: tuple[str, ...] = ("sibia", "aqs_plain", "aqs_zpm", "aqs_full"),
+    n_sample: int = 128,
+    m_cap: int = 512,
+    seed: int = 0,
+) -> dict[str, MethodSparsity]:
+    """Profile one model under several GEMM methods.
+
+    Methods: ``sibia`` (symmetric, zero-vector skipping), ``aqs_plain``
+    (AQS-GEMM without ZPM/DBS), ``aqs_zpm`` (+ZPM), ``aqs_full`` (+ZPM+DBS
+    — the shipping Panacea configuration).
+    """
+    flags = {
+        "sibia": ("sibia", False, False),
+        "aqs_plain": ("aqs", False, False),
+        "aqs_zpm": ("aqs", True, False),
+        "aqs_full": ("aqs", True, True),
+    }
+    out: dict[str, MethodSparsity] = {}
+    for method in methods:
+        try:
+            scheme, zpm, dbs = flags[method]
+        except KeyError:
+            raise ValueError(f"unknown method {method!r}; "
+                             f"choose from {sorted(flags)}") from None
+        policy = policy_for_model(config, scheme=scheme, enable_zpm=zpm,
+                                  enable_dbs=dbs)
+        profiles = profile_model(config, policy, n_sample=n_sample,
+                                 m_cap=m_cap, seed=seed, keep_masks=False)
+        out[method] = _collect(method, profiles)
+    return out
+
+
+def mean_sparsity(stats: dict[str, MethodSparsity]) -> dict[str, float]:
+    """Mean activation vector sparsity per method."""
+    return {m: s.mean_rho_x for m, s in stats.items()}

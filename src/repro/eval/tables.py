@@ -1,0 +1,68 @@
+"""ASCII table formatting and paper-vs-measured reporting.
+
+Every bench prints its results through these helpers so EXPERIMENTS.md and
+the bench output stay consistent: a plain table plus, where the paper states
+a number, a ``paper vs measured`` line with the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["format_table", "PaperClaim", "format_claims"]
+
+
+def format_table(headers: list[str], rows: list[list],
+                 title: str | None = None, precision: int = 3) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000 or abs(value) < 10 ** (-precision):
+                return f"{value:.{precision}e}"
+            return f"{value:.{precision}g}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative claim from the paper and our measurement of it."""
+
+    description: str
+    paper_value: float
+    measured_value: float
+    unit: str = "x"
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value == 0:
+            return float("inf")
+        return self.measured_value / self.paper_value
+
+    def line(self) -> str:
+        return (f"  {self.description}: paper {self.paper_value:g}{self.unit}"
+                f" | measured {self.measured_value:.3g}{self.unit}"
+                f" | measured/paper = {self.ratio:.2f}")
+
+
+def format_claims(claims: list[PaperClaim], title: str = "paper vs measured"
+                  ) -> str:
+    lines = [title + ":"]
+    lines.extend(claim.line() for claim in claims)
+    return "\n".join(lines)

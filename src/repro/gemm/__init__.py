@@ -1,0 +1,17 @@
+"""GEMM engines: dense integer reference, Sibia baseline, workload math."""
+
+from .dense import DenseGemmResult, dense_gemm_reference, fold_bias, integer_gemm
+from .sibia_gemm import SibiaGemmResult, sibia_gemm
+from .workload import OpCounts, table1_panacea, table1_sibia
+
+__all__ = [
+    "DenseGemmResult",
+    "dense_gemm_reference",
+    "fold_bias",
+    "integer_gemm",
+    "SibiaGemmResult",
+    "sibia_gemm",
+    "OpCounts",
+    "table1_sibia",
+    "table1_panacea",
+]

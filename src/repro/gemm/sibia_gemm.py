@@ -1,0 +1,141 @@
+"""Sibia-style symmetric bit-slice GEMM (paper Section II-B, Fig. 4).
+
+Sibia [53] quantizes both operands symmetrically, slices both with the SBR,
+groups HO slices into ``v``-length vectors, and skips the slice products that
+involve the *tracked* side's HO plane wherever that side's vector is all
+zero.  Per Table I it exploits ``max(rho_w, rho_x)`` — one side's sparsity —
+and ships dense operands over DRAM.
+
+Skipping all-zero vectors is exact, so the result always equals the plain
+integer GEMM; what differs from the AQS-GEMM is *which* workloads can be
+skipped (none, under asymmetric quantization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitslice.slicing import SliceStack, slice_sbr
+from ..bitslice.vectors import (
+    activation_vector_mask,
+    expand_activation_mask,
+    expand_weight_mask,
+    vector_sparsity,
+    weight_vector_mask,
+)
+from .workload import OpCounts
+
+__all__ = ["SibiaGemmResult", "sibia_gemm"]
+
+
+def _exact_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """BLAS matmul that is exact for the integer magnitudes involved.
+
+    All accumulators in 8-bit-ish GEMMs stay far below 2**53, so float64
+    arithmetic is exact and vastly faster than NumPy's integer matmul.
+    """
+    return np.rint(a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class SibiaGemmResult:
+    """Integer accumulators plus measured op counts and observed sparsities."""
+
+    acc: np.ndarray
+    ops: OpCounts
+    rho_w: float
+    rho_x: float
+    tracked: str
+
+
+def sibia_gemm(
+    w_q: np.ndarray,
+    x_q: np.ndarray,
+    w_bits: int = 7,
+    x_bits: int = 7,
+    v: int = 4,
+    tracked: str = "auto",
+    count_ops: bool = True,
+) -> SibiaGemmResult:
+    """Execute the Sibia bit-slice GEMM ``W_q @ x_q``.
+
+    ``tracked`` selects which operand's HO sparsity is exploited
+    (``"weight"``, ``"activation"`` or ``"auto"`` = the sparser one, matching
+    Table I's ``max``).  Both operands are signed SBR integers.
+    """
+    w_q = np.asarray(w_q, dtype=np.int64)
+    x_q = np.asarray(x_q, dtype=np.int64)
+    m, k = w_q.shape
+    k2, n = x_q.shape
+    if k != k2:
+        raise ValueError(f"shape mismatch: W is {w_q.shape}, x is {x_q.shape}")
+
+    w_stack = slice_sbr(w_q, total_bits=w_bits)
+    x_stack = slice_sbr(x_q, total_bits=x_bits)
+    uw = weight_vector_mask(w_stack.ho, v=v, compress_value=0)
+    ux = activation_vector_mask(x_stack.ho, v=v, compress_value=0)
+    # A lone 4-bit slice has no HO plane to skip (paper Fig. 19).
+    rho_w = vector_sparsity(uw) if w_stack.n_slices > 1 else 0.0
+    rho_x = vector_sparsity(ux) if x_stack.n_slices > 1 else 0.0
+    if w_stack.n_slices == 1:
+        uw = np.ones_like(uw, dtype=bool)
+        tracked = "activation" if tracked in ("auto", "weight") else tracked
+    if tracked == "auto":
+        tracked = "weight" if rho_w >= rho_x else "activation"
+    if tracked not in ("weight", "activation"):
+        raise ValueError(f"tracked must be weight/activation/auto, got {tracked!r}")
+
+    # Functional result: skipping all-zero tracked vectors never changes the
+    # sum, so accumulate every slice product of the (masked) planes.
+    acc = np.zeros((m, n), dtype=np.int64)
+    uw_e = expand_weight_mask(uw, v, m)
+    ux_e = expand_activation_mask(ux, v, n)
+    for wi, w_plane in enumerate(w_stack.planes):
+        w_eff = w_plane * uw_e if (tracked == "weight" and wi == w_stack.n_slices - 1) else w_plane
+        for xi, x_plane in enumerate(x_stack.planes):
+            x_eff = x_plane * ux_e if (tracked == "activation" and xi == x_stack.n_slices - 1) else x_plane
+            scale = w_stack.weights[wi] * x_stack.weights[xi]
+            acc += scale * _exact_matmul(w_eff, x_eff)
+
+    ops = OpCounts()
+    if count_ops:
+        _count_sibia_ops(ops, w_stack, x_stack, uw, ux, tracked, v, m, k, n,
+                         w_bits, x_bits)
+    return SibiaGemmResult(acc=acc, ops=ops, rho_w=rho_w, rho_x=rho_x,
+                           tracked=tracked)
+
+
+def _count_sibia_ops(
+    ops: OpCounts,
+    w_stack: SliceStack,
+    x_stack: SliceStack,
+    uw: np.ndarray,
+    ux: np.ndarray,
+    tracked: str,
+    v: int,
+    m: int,
+    k: int,
+    n: int,
+    w_bits: int,
+    x_bits: int,
+) -> None:
+    mg, ng = uw.shape[0], ux.shape[1]
+    sum_uw = int(uw.sum())
+    sum_ux = int(ux.sum())
+    nw, nx = w_stack.n_slices, x_stack.n_slices
+    unit = v * v  # one outer product = v*v multiplies and accumulations
+    if tracked == "weight":
+        # Products with W's HO plane run only for uncompressed weight vectors.
+        sparse_products = nx * ng * sum_uw
+        dense_products = (nw - 1) * nx * mg * k * ng
+    else:
+        sparse_products = nw * mg * sum_ux
+        dense_products = nw * (nx - 1) * mg * k * ng
+    total = unit * (sparse_products + dense_products)
+    ops.mul4 = total
+    ops.add = total
+    # Sibia ships dense operands: value_bits per element, in nibbles.
+    ops.ema_nibbles = int(np.ceil(m * k * w_bits / 4.0)
+                          + np.ceil(k * n * x_bits / 4.0))

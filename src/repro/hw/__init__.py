@@ -1,0 +1,49 @@
+"""Hardware performance models: Panacea and the four baseline designs."""
+
+from .accelerator import AcceleratorModel, HwConfig, LayerPerf, ModelPerf
+from .analysis import BoundReport, LayerBound, analyze, roofline_point
+from .area import AreaReport, AreaTable, DEFAULT_AREA, panacea_area
+from .energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyTable
+from .memory import MemoryConfig, TrafficPlan, plan_layer_traffic
+from .panacea import PanaceaConfig, PanaceaModel, compressed_layer_bytes
+from .report import DesignComparison, compare, relative
+from .schedule import pea_cycles, pea_cycles_dtp, step_cycles
+from .sibia import SibiaConfig, SibiaModel
+from .simd import SimdConfig, SimdModel
+from .systolic import SystolicConfig, SystolicModel
+
+__all__ = [
+    "AcceleratorModel",
+    "HwConfig",
+    "LayerPerf",
+    "ModelPerf",
+    "BoundReport",
+    "LayerBound",
+    "analyze",
+    "roofline_point",
+    "AreaReport",
+    "AreaTable",
+    "DEFAULT_AREA",
+    "panacea_area",
+    "DEFAULT_ENERGY",
+    "EnergyBreakdown",
+    "EnergyTable",
+    "MemoryConfig",
+    "TrafficPlan",
+    "plan_layer_traffic",
+    "PanaceaConfig",
+    "PanaceaModel",
+    "compressed_layer_bytes",
+    "DesignComparison",
+    "compare",
+    "relative",
+    "pea_cycles",
+    "pea_cycles_dtp",
+    "step_cycles",
+    "SibiaConfig",
+    "SibiaModel",
+    "SimdConfig",
+    "SimdModel",
+    "SystolicConfig",
+    "SystolicModel",
+]

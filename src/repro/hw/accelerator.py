@@ -1,0 +1,147 @@
+"""Shared accelerator-model framework: configs, per-layer and model results.
+
+Every design (Panacea, Sibia, SA-WS, SA-OS, SIMD) consumes the same
+:class:`repro.models.workloads.LayerProfile` records and the same resource
+budget — 3072 4b x 4b multipliers (one 8b x 8b = four 4b x 4b), 192 KB SRAM
+and 256 bit/cycle DRAM bandwidth (paper Section IV) — and produces
+:class:`LayerPerf`/:class:`ModelPerf` reports with cycle counts and an
+energy breakdown.
+
+Throughput is reported as effective 8-bit TOPS (``2*M*K*N`` useful ops per
+GEMM regardless of internal slicing), so ratios between designs equal
+inverse latency ratios, exactly as the paper plots them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.workloads import LayerProfile
+from .energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyTable
+from .memory import MemoryConfig
+
+__all__ = ["HwConfig", "LayerPerf", "ModelPerf", "AcceleratorModel"]
+
+
+@dataclass(frozen=True)
+class HwConfig:
+    """Resource budget shared by all modelled designs."""
+
+    freq_mhz: float = 500.0
+    n_mul4: int = 3072
+    mem: MemoryConfig = field(default_factory=MemoryConfig)
+    energy: EnergyTable = field(default_factory=lambda: DEFAULT_ENERGY)
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e3 / self.freq_mhz
+
+
+@dataclass
+class LayerPerf:
+    """Performance of one layer on one design."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    compute_cycles: float
+    dram_cycles: float
+    energy: EnergyBreakdown
+    ema_bytes: float
+    sram_bytes: float
+    dtp_enabled: bool = False
+    utilization: float = 1.0
+
+    @property
+    def cycles(self) -> float:
+        """Compute and DRAM are double-buffered; the slower one dominates."""
+        return max(self.compute_cycles, self.dram_cycles)
+
+    @property
+    def effective_macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass
+class ModelPerf:
+    """Whole-model performance summary on one design."""
+
+    accelerator: str
+    model: str
+    layers: list[LayerPerf]
+    freq_mhz: float
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(l.cycles for l in self.layers))
+
+    @property
+    def latency_s(self) -> float:
+        return self.total_cycles / (self.freq_mhz * 1e6)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return float(sum(l.energy.total for l in self.layers))
+
+    @property
+    def effective_macs(self) -> int:
+        return sum(l.effective_macs for l in self.layers)
+
+    @property
+    def tops(self) -> float:
+        """Effective throughput: 2 ops per MAC over the end-to-end latency."""
+        if self.latency_s == 0:
+            return 0.0
+        return 2.0 * self.effective_macs / self.latency_s / 1e12
+
+    @property
+    def watts(self) -> float:
+        if self.latency_s == 0:
+            return 0.0
+        return self.total_energy_pj * 1e-12 / self.latency_s
+
+    @property
+    def tops_per_watt(self) -> float:
+        if self.total_energy_pj == 0:
+            return 0.0
+        return 2.0 * self.effective_macs / self.total_energy_pj
+
+    @property
+    def ema_bytes(self) -> float:
+        return float(sum(l.ema_bytes for l in self.layers))
+
+    def energy_breakdown(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for layer in self.layers:
+            total = total.merge(layer.energy)
+        return total
+
+
+class AcceleratorModel:
+    """Base class: simulate layers, aggregate into a model report."""
+
+    name = "abstract"
+
+    def __init__(self, hw: HwConfig | None = None) -> None:
+        self.hw = hw or HwConfig()
+
+    def simulate_layer(self, profile: LayerProfile,
+                       rng: np.random.Generator) -> LayerPerf:
+        raise NotImplementedError
+
+    def simulate_model(self, profiles: list[LayerProfile], model_name: str,
+                       seed: int = 0) -> ModelPerf:
+        rng = np.random.default_rng(seed)
+        layers = [self.simulate_layer(p, rng) for p in profiles]
+        return ModelPerf(accelerator=self.name, model=model_name,
+                         layers=layers, freq_mhz=self.hw.freq_mhz)
+
+
+def scale_mask_sums(mask: np.ndarray, full: int, axis_elems: int) -> float:
+    """Scale a capped mask count up to the full tensor dimension."""
+    if axis_elems == 0:
+        return 0.0
+    return float(mask.sum()) * (full / axis_elems)

@@ -1,0 +1,93 @@
+"""Bound/utilization analysis over performance-model results.
+
+Answers the architect's follow-up questions about a simulated model: which
+layers are compute-bound vs DRAM-bound, where does the energy go, how well
+are the operators utilized, and what is the roofline position of each layer
+(arithmetic intensity vs the machine balance point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .accelerator import HwConfig, LayerPerf, ModelPerf
+
+__all__ = ["LayerBound", "BoundReport", "analyze", "roofline_point"]
+
+
+@dataclass(frozen=True)
+class LayerBound:
+    """One layer's bound classification and roofline coordinates."""
+
+    name: str
+    bound: str                   # "compute" or "dram"
+    compute_cycles: float
+    dram_cycles: float
+    utilization: float
+    arithmetic_intensity: float  # effective MACs per DRAM byte
+    energy_pj: float
+
+    @property
+    def slack(self) -> float:
+        """How far from balanced: max(cycles)/min(cycles)."""
+        lo = min(self.compute_cycles, self.dram_cycles)
+        hi = max(self.compute_cycles, self.dram_cycles)
+        return hi / max(lo, 1e-9)
+
+
+@dataclass
+class BoundReport:
+    """Whole-model bound analysis."""
+
+    layers: list[LayerBound]
+    machine_balance: float       # MACs/byte at which compute == DRAM time
+
+    @property
+    def dram_bound_fraction(self) -> float:
+        """Fraction of total cycles spent in DRAM-bound layers."""
+        total = sum(max(l.compute_cycles, l.dram_cycles)
+                    for l in self.layers)
+        dram = sum(max(l.compute_cycles, l.dram_cycles)
+                   for l in self.layers if l.bound == "dram")
+        return dram / max(total, 1e-9)
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(np.mean([l.utilization for l in self.layers]))
+
+    def worst_layers(self, n: int = 5) -> list[LayerBound]:
+        """The n layers with the largest compute/DRAM imbalance."""
+        return sorted(self.layers, key=lambda l: l.slack, reverse=True)[:n]
+
+
+def roofline_point(perf: LayerPerf) -> float:
+    """Effective MACs per DRAM byte for one layer."""
+    return perf.effective_macs / max(perf.ema_bytes, 1e-9)
+
+
+def analyze(perf: ModelPerf, hw: HwConfig | None = None,
+            macs_per_cycle: float = 768.0) -> BoundReport:
+    """Classify each layer of a simulated model run.
+
+    ``macs_per_cycle`` is the design's peak effective MAC rate (768 8-bit
+    MACs for the shared 3072-multiplier budget); the machine balance point
+    is that rate divided by the DRAM bytes per cycle.
+    """
+    hw = hw or HwConfig()
+    bytes_per_cycle = hw.mem.dram_bits_per_cycle / 8.0
+    balance = macs_per_cycle / bytes_per_cycle
+    layers = []
+    for layer in perf.layers:
+        bound = "dram" if layer.dram_cycles > layer.compute_cycles else "compute"
+        layers.append(LayerBound(
+            name=layer.name,
+            bound=bound,
+            compute_cycles=layer.compute_cycles,
+            dram_cycles=layer.dram_cycles,
+            utilization=layer.utilization,
+            arithmetic_intensity=roofline_point(layer),
+            energy_pj=layer.energy.total,
+        ))
+    return BoundReport(layers=layers, machine_balance=balance)

@@ -1,0 +1,89 @@
+"""Area model for the ASIC-level comparisons (paper Fig. 15c and Fig. 20).
+
+Component areas are 28 nm-class gate-count estimates (µm²).  As with energy,
+only *relative* areas matter for the reproduced claims: ZPM costs nothing
+(calibration-time only), DBS adds shifters to every S-ACC, DTP doubles the
+compensators/S-ACCs and the local partial-sum buffers plus on-chip memory
+head-room.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AreaTable", "AreaReport", "panacea_area", "DEFAULT_AREA"]
+
+
+@dataclass(frozen=True)
+class AreaTable:
+    """Component areas in µm² at 28 nm (gate-count-based estimates)."""
+
+    mul4: float = 180.0
+    adder_tree_per_opc: float = 900.0     # 16-input product reduction
+    s_acc: float = 650.0                  # shift-and-accumulate unit
+    dbs_shifter: float = 120.0            # extra shift range for DBS
+    compensator: float = 2600.0           # CS = four small S-ACCs
+    idx_decoder: float = 1800.0           # RLE index decoder per PEA
+    scheduler: float = 2200.0             # workload scheduler per PEA
+    sram_per_kb: float = 7000.0           # dense single-port SRAM macro
+    buffer_per_byte: float = 9.0          # register-file style buffers
+    ppu: float = 90000.0                  # post-processing unit (shared)
+    controller: float = 60000.0           # top controller (shared)
+
+
+DEFAULT_AREA = AreaTable()
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Total area split by category, in mm²."""
+
+    operators: float
+    sparsity_logic: float
+    buffers: float
+    sram: float
+    shared: float
+
+    @property
+    def total(self) -> float:
+        return (self.operators + self.sparsity_logic + self.buffers
+                + self.sram + self.shared)
+
+
+def panacea_area(
+    n_pea: int = 16,
+    n_dwo: int = 4,
+    n_swo: int = 8,
+    v: int = 4,
+    sram_kb: int = 192,
+    dbs: bool = True,
+    dtp: bool = True,
+    table: AreaTable | None = None,
+) -> AreaReport:
+    """Area of a Panacea configuration (µm² components → mm² report).
+
+    With DTP each PEA doubles its compensators and S-ACCs and the local
+    partial-sum buffer, and the weight buffer holds two sub-tiles; the DBS
+    adds a shifter per S-ACC.
+    """
+    t = table or DEFAULT_AREA
+    opc = v * v * t.mul4 + t.adder_tree_per_opc
+    n_opc = n_pea * (n_dwo + n_swo)
+    n_sacc = n_pea * (4 if dtp else 2)
+    n_cs = n_pea * (2 if dtp else 1) * 2
+    operators = n_opc * opc + n_sacc * t.s_acc
+    sparsity = n_pea * (t.idx_decoder + t.scheduler) + n_cs * t.compensator
+    if dbs:
+        sparsity += n_sacc * t.dbs_shifter
+    psum_bytes = n_pea * v * v * 4 * (2 if dtp else 1)
+    wbuf_bytes = n_pea * v * 32 * 2 * (2 if dtp else 1)  # v x TK, two planes
+    buffers = (psum_bytes + wbuf_bytes + 4096) * t.buffer_per_byte
+    sram = sram_kb * t.sram_per_kb
+    shared = t.ppu + t.controller
+    return AreaReport(
+        operators=operators / 1e6,
+        sparsity_logic=sparsity / 1e6,
+        buffers=buffers / 1e6,
+        sram=sram / 1e6,
+        shared=shared / 1e6,
+    )

@@ -1,0 +1,83 @@
+"""Energy model: 28 nm-class per-operation costs (paper Section IV setup).
+
+The paper estimates energy from post-layout building blocks (multipliers,
+adders, buffers) in 28 nm plus CACTI 7.0 for DRAM.  Absolute joules are not
+reproducible without that flow, but the paper's results are *ratios between
+designs sharing the same budgets*, which only need the relative cost
+ordering (DRAM >> SRAM >> register >> MAC) — see DESIGN.md §4.  Constants
+below are literature-typical 28 nm values and are printed by every bench so
+results stay auditable.
+
+References for the orders of magnitude: Horowitz, ISSCC'14 ("Computing's
+energy problem") scaled from 45 nm; CACTI-class LPDDR4 DRAM estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyTable", "EnergyBreakdown", "DEFAULT_ENERGY"]
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-operation energies in picojoules."""
+
+    mul4: float = 0.05          # 4b x 4b multiply
+    mul8: float = 0.20          # 8b x 8b multiply (= 4 mul4, paper's rule)
+    add8: float = 0.03
+    add16: float = 0.05
+    acc32: float = 0.10         # 32-bit accumulator update
+    shift: float = 0.01         # S-ACC shifter step (DBS support)
+    reg_byte: float = 0.06      # pipeline/register file access per byte
+    sram_byte_16kb: float = 0.45   # per byte at a 16 KB macro
+    sram_size_exponent: float = 0.25  # energy ~ (size/16KB)^exp
+    dram_byte: float = 40.0     # LPDDR4-class external access per byte
+    ctrl_per_cycle: float = 2.0  # controller + clock tree, whole chip
+
+    def sram_byte(self, size_kb: float) -> float:
+        """CACTI-like size scaling of the per-byte SRAM access energy."""
+        if size_kb <= 0:
+            raise ValueError("SRAM size must be positive")
+        return self.sram_byte_16kb * (size_kb / 16.0) ** self.sram_size_exponent
+
+
+DEFAULT_ENERGY = EnergyTable()
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (pJ) by component, the paper's Fig. 15(a)/19 breakdown axes."""
+
+    mac: float = 0.0            # multipliers + accumulator adds
+    compensation: float = 0.0   # the AQS-GEMM Eq. 6 compensator
+    sram: float = 0.0           # on-chip buffer traffic
+    dram: float = 0.0           # external memory accesses
+    control: float = 0.0        # controller/clock overhead
+    other: float = 0.0          # shifters, RLE decode, misc
+    components: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return (self.mac + self.compensation + self.sram + self.dram
+                + self.control + self.other)
+
+    def merge(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            mac=self.mac + other.mac,
+            compensation=self.compensation + other.compensation,
+            sram=self.sram + other.sram,
+            dram=self.dram + other.dram,
+            control=self.control + other.control,
+            other=self.other + other.other,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "mac": self.mac,
+            "compensation": self.compensation,
+            "sram": self.sram,
+            "dram": self.dram,
+            "control": self.control,
+            "other": self.other,
+        }

@@ -1,0 +1,111 @@
+"""On-chip memory and DRAM traffic planning (paper Section III-D dataflow).
+
+Panacea's output-stationary dataflow keeps a ``TM x K`` weight stripe
+resident in WMEM "if possible" and streams activation tiles through a shared
+global buffer.  When tensors exceed their SRAM partitions the planner picks
+the cheaper reload orientation — re-streaming weights per activation chunk
+or activations per weight stripe — which is where compression pays twice:
+fewer bytes per load *and* fewer reloads because more data fits (the paper's
+Fig. 13 observation that small activations mute the benefit).
+
+DRAM bandwidth is 256 bits/cycle for every design (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryConfig", "TrafficPlan", "plan_layer_traffic"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """SRAM partitioning and DRAM interface shared by all designs."""
+
+    total_sram_kb: float = 192.0
+    wmem_fraction: float = 0.75
+    amem_fraction: float = 0.15
+    dram_bits_per_cycle: int = 256
+
+    @property
+    def wmem_bytes(self) -> float:
+        return self.total_sram_kb * 1024 * self.wmem_fraction
+
+    @property
+    def amem_bytes(self) -> float:
+        return self.total_sram_kb * 1024 * self.amem_fraction
+
+    @property
+    def omem_bytes(self) -> float:
+        return self.total_sram_kb * 1024 * (
+            1.0 - self.wmem_fraction - self.amem_fraction)
+
+    def dram_cycles(self, bytes_moved: float) -> float:
+        return bytes_moved * 8.0 / self.dram_bits_per_cycle
+
+
+@dataclass(frozen=True)
+class TrafficPlan:
+    """External/on-chip traffic decision for one layer."""
+
+    weight_bytes: float          # compressed weight footprint (one copy)
+    act_bytes: float             # compressed activation footprint
+    out_bytes: float
+    weight_loads: float          # how many times the full weight is streamed
+    act_loads: float
+    dtp_enabled: bool
+
+    @property
+    def dram_bytes(self) -> float:
+        return (self.weight_bytes * self.weight_loads
+                + self.act_bytes * self.act_loads + self.out_bytes)
+
+
+def plan_layer_traffic(
+    weight_bytes: float,
+    act_bytes: float,
+    out_bytes: float,
+    m: int,
+    tm: int,
+    mem: MemoryConfig,
+    dtp_capable: bool = False,
+) -> TrafficPlan:
+    """Choose reload counts for one layer under the SRAM partitions.
+
+    * both fit → each loaded once;
+    * otherwise compare re-streaming activations once per weight stripe
+      against re-streaming weights once per activation chunk and take the
+      cheaper total.
+
+    DTP needs a ``2*TM x K`` weight stripe (double sub-tiles) to fit WMEM
+    (paper Section III-D).
+    """
+    n_stripes = max(1, -(-m // tm))
+    stripe_bytes = weight_bytes / n_stripes
+    # Panacea's on-chip memory is run by a unified memory manager
+    # (Fig. 11); when activations stream, part of AMEM backs the second
+    # weight stripe, so the DTP capacity is WMEM plus that idle headroom.
+    dtp_capacity = mem.wmem_bytes + 0.6 * mem.amem_bytes
+    dtp_enabled = bool(dtp_capable and 2.0 * stripe_bytes <= dtp_capacity)
+
+    w_fits = weight_bytes <= mem.wmem_bytes
+    a_fits = act_bytes <= mem.amem_bytes
+    if a_fits or w_fits:
+        w_loads, a_loads = 1.0, 1.0
+    else:
+        stripes = float(-(-m // (2 * tm if dtp_enabled else tm)))
+        act_chunks = max(1.0, act_bytes / mem.amem_bytes)
+        cost_act_stream = weight_bytes + act_bytes * stripes
+        cost_weight_stream = weight_bytes * act_chunks + act_bytes
+        if cost_act_stream <= cost_weight_stream:
+            w_loads, a_loads = 1.0, stripes
+        else:
+            w_loads, a_loads = act_chunks, 1.0
+    return TrafficPlan(
+        weight_bytes=weight_bytes,
+        act_bytes=act_bytes,
+        out_bytes=out_bytes,
+        weight_loads=w_loads,
+        act_loads=a_loads,
+        dtp_enabled=dtp_enabled,
+    )

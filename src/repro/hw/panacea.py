@@ -1,0 +1,273 @@
+"""Panacea accelerator performance model (paper Section III-D, Fig. 11/12).
+
+The model reproduces the architecture's behaviour at tile granularity:
+
+* 16 PEAs, each owning ``n_dwo`` DWOs (sparse slice products) and ``n_swo``
+  SWOs (the dense ``W_LO x_LO``), one ``v x v`` outer product per operator
+  per cycle — 16 x (4+8) x 16 = 3072 multipliers in the default config;
+* output-stationary tiled dataflow with ``v=4, P=16, TM=64, TK=32, TN=64,
+  R=16``; all PEAs synchronize on the shared activation broadcast, so a
+  tile-step costs the *slowest* PEA's makespan (load imbalance is real);
+* double-tile processing (DTP) when two ``TM x K`` weight stripes fit WMEM:
+  two weight sub-tiles share a PEA, halving m-steps and letting DWOs absorb
+  the second tile's static products;
+* compressed EMA: only uncompressed HO vectors plus dense LO planes and RLE
+  indices travel from DRAM (Section III-B).
+
+Cycle counts come from *sampled tile-step simulation* over the layer's
+measured compressibility masks — the exact schedule is evaluated on a random
+sample of tile-steps and scaled, trading variance for runtime (cross-checked
+against exhaustive enumeration in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitslice.rle import rle_index_bits
+from ..models.workloads import LayerProfile
+from .accelerator import AcceleratorModel, HwConfig, LayerPerf
+from .energy import EnergyBreakdown
+from .memory import plan_layer_traffic
+from .schedule import step_cycles
+
+__all__ = ["PanaceaConfig", "PanaceaModel", "compressed_layer_bytes"]
+
+
+@dataclass(frozen=True)
+class PanaceaConfig:
+    """Micro-architecture parameters (paper defaults)."""
+
+    n_pea: int = 16
+    n_dwo: int = 4
+    n_swo: int = 8
+    v: int = 4
+    tk: int = 32
+    tn: int = 64
+    dtp: bool = True
+    skip_nonzero: bool = True   # False = zero-slices only (Fig. 18b ablation)
+    pipeline_overhead: int = 8  # fill/drain cycles per weight sub-tile load
+    sample_steps: int = 384
+
+    @property
+    def tm(self) -> int:
+        return self.n_pea * self.v
+
+    @property
+    def n_mul4(self) -> int:
+        return self.n_pea * (self.n_dwo + self.n_swo) * self.v * self.v
+
+
+def compressed_layer_bytes(profile: LayerProfile, v: int = 4,
+                           index_bits: int = 4) -> tuple[float, float]:
+    """Full-scale compressed (weight_bytes, act_bytes) for one layer.
+
+    Payload HO vectors + dense LO planes in nibbles plus RLE index bits,
+    scaled from the capped masks to the true ``(M, K, N)``.
+    """
+    layer = profile.layer
+    nw, nx = profile.n_w_slices, profile.n_x_slices
+    uw, ux = profile.uw_mask, profile.ux_mask
+    scale_m = layer.m / (uw.shape[0] * v)
+    scale_n = layer.n / (ux.shape[1] * v)
+
+    if nw == 1:
+        w_nibbles = layer.m * layer.k
+        w_rle_bits = 0.0
+    else:
+        w_nibbles = v * float(uw.sum()) * scale_m + (nw - 1) * layer.m * layer.k
+        w_rle_bits = sum(rle_index_bits(row, index_bits) for row in uw) * scale_m
+    x_nibbles = v * float(ux.sum()) * scale_n + (nx - 1) * layer.k * layer.n
+    x_rle_bits = sum(rle_index_bits(col, index_bits) for col in ux.T) * scale_n
+    return (w_nibbles / 2.0 + w_rle_bits / 8.0,
+            x_nibbles / 2.0 + x_rle_bits / 8.0)
+
+
+@dataclass
+class _OpTotals:
+    """Full-scale operation totals derived from the capped masks."""
+
+    dynamic: float = 0.0        # vxv outer products on DWOs
+    static: float = 0.0         # vxv outer products on SWOs
+    comp_mul: float = 0.0
+    comp_add: float = 0.0
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def mul4(self) -> float:
+        return 16.0 * (self.dynamic + self.static) + self.comp_mul
+
+    @property
+    def add(self) -> float:
+        return 16.0 * (self.dynamic + self.static) + self.comp_add
+
+
+def _op_totals(profile: LayerProfile, v: int) -> _OpTotals:
+    layer = profile.layer
+    nw, nx = profile.n_w_slices, profile.n_x_slices
+    uw, ux = profile.uw_mask, profile.ux_mask
+    scale_m = layer.m / (uw.shape[0] * v)
+    scale_n = layer.n / (ux.shape[1] * v)
+    mg = layer.m / v
+    ng = layer.n / v
+    sum_uw = float(uw.sum()) * scale_m
+    sum_ux = float(ux.sum()) * scale_n
+    if nw == 1:
+        hoho = 0.0
+        loho = mg * sum_ux
+        holo = 0.0
+        lolo = (nx - 1) * mg * layer.k * ng
+    else:
+        joint = float((uw.sum(axis=0).astype(np.float64)
+                       * ux.sum(axis=1).astype(np.float64)).sum())
+        hoho = joint * scale_m * scale_n
+        loho = (nw - 1) * mg * sum_ux
+        holo = (nx - 1) * ng * sum_uw
+        lolo = (nw - 1) * (nx - 1) * mg * layer.k * ng
+    return _OpTotals(
+        dynamic=hoho + loho + holo,
+        static=lolo,
+        comp_mul=16.0 * mg * ng,
+        comp_add=v * nw * mg * sum_ux,
+        notes={"hoho": hoho, "loho": loho, "holo": holo, "lolo": lolo},
+    )
+
+
+class PanaceaModel(AcceleratorModel):
+    """Cycle/energy model of the Panacea accelerator."""
+
+    name = "panacea"
+
+    def __init__(self, hw: HwConfig | None = None,
+                 arch: PanaceaConfig | None = None) -> None:
+        super().__init__(hw)
+        self.arch = arch or PanaceaConfig()
+
+    # -- sampled tile-step schedule ----------------------------------------
+    def _sample_step_cycles(self, profile: LayerProfile, dtp: bool,
+                            rng: np.random.Generator) -> tuple[float, float]:
+        """Mean cycles per tile-step and mean operator utilization."""
+        arch = self.arch
+        nw, nx = profile.n_w_slices, profile.n_x_slices
+        uw = profile.uw_mask
+        ux = profile.ux_mask
+        if not arch.skip_nonzero and profile.r != 0:
+            # Fig. 18(b) ablation: a design that only skips *zero* slices
+            # cannot compress the r-valued vectors of asymmetric activations.
+            ux = np.ones_like(ux, dtype=bool)
+        k = uw.shape[1]
+        tk = min(arch.tk, k)
+        n_ktiles = max(1, k // tk)
+        n_mtiles = max(1, uw.shape[0] // arch.n_pea)
+        s = arch.sample_steps
+
+        mt = rng.integers(0, n_mtiles, size=s)
+        kt = rng.integers(0, n_ktiles, size=s)
+        ng = rng.integers(0, ux.shape[1], size=s)
+        rows = (mt[:, None] * arch.n_pea
+                + np.arange(arch.n_pea)[None, :])        # (s, n_pea)
+        kcols = (kt[:, None] * tk + np.arange(tk)[None, :])  # (s, tk)
+        uw_sel = uw[rows[:, :, None], kcols[:, None, :]]     # (s, pea, tk)
+        ux_sel = ux[kcols, ng[:, None]]                      # (s, tk)
+
+        dyn, stat = self._step_workloads(uw_sel, ux_sel, nw, nx, tk)
+        if dtp:
+            mt2 = rng.integers(0, n_mtiles, size=s)
+            rows2 = (mt2[:, None] * arch.n_pea
+                     + np.arange(arch.n_pea)[None, :])
+            uw2 = uw[rows2[:, :, None], kcols[:, None, :]]
+            dyn2, stat2 = self._step_workloads(uw2, ux_sel, nw, nx, tk)
+            dyn, stat = dyn + dyn2, stat + stat2
+        cycles = step_cycles(dyn, stat, arch.n_dwo, arch.n_swo, dtp)
+        work = (dyn + stat).sum(axis=1)
+        capacity = cycles * arch.n_pea * (arch.n_dwo + arch.n_swo)
+        util = float((work / np.maximum(capacity, 1e-9)).mean())
+        return float(cycles.mean()), util
+
+    @staticmethod
+    def _step_workloads(uw_sel: np.ndarray, ux_sel: np.ndarray, nw: int,
+                        nx: int, tk: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-PEA dynamic/static outer-product counts for sampled steps."""
+        ux_sum = ux_sel.sum(axis=1).astype(np.float64)       # (s,)
+        if nw == 1:
+            dyn = np.broadcast_to(ux_sum[:, None], uw_sel.shape[:2]).copy()
+            stat = np.full(uw_sel.shape[:2], float((nx - 1) * tk))
+            return dyn, stat
+        hoho = np.einsum("spk,sk->sp", uw_sel.astype(np.float64),
+                         ux_sel.astype(np.float64))
+        loho = (nw - 1) * ux_sum[:, None]
+        holo = (nx - 1) * uw_sel.sum(axis=2).astype(np.float64)
+        dyn = hoho + loho + holo
+        stat = np.full(uw_sel.shape[:2], float((nw - 1) * (nx - 1) * tk))
+        return dyn, stat
+
+    # -- full layer ----------------------------------------------------------
+    def simulate_layer(self, profile: LayerProfile,
+                       rng: np.random.Generator) -> LayerPerf:
+        arch = self.arch
+        layer = profile.layer
+        m, k, n = layer.m, layer.k, layer.n
+        e = self.hw.energy
+
+        w_bytes, x_bytes = compressed_layer_bytes(profile, arch.v)
+        if not arch.skip_nonzero and profile.r != 0:
+            nx = profile.n_x_slices
+            x_bytes = k * n * nx * 4 / 8.0  # no compressible activation slices
+        out_bytes = float(m * n)
+        plan = plan_layer_traffic(w_bytes, x_bytes, out_bytes, m, arch.tm,
+                                  self.hw.mem, dtp_capable=arch.dtp)
+        # DTP pairs two weight sub-tiles per PEA; with a single stripe
+        # (M <= TM) there is no second tile to pair.
+        dtp = plan.dtp_enabled and m > arch.tm
+
+        mean_step, util = self._sample_step_cycles(profile, dtp, rng)
+        tm_eff = arch.tm * (2 if dtp else 1)
+        n_mtiles = -(-m // tm_eff)
+        n_ktiles = -(-k // arch.tk)
+        n_nvec = -(-n // arch.v)
+        total_steps = n_mtiles * n_ktiles * n_nvec
+        n_ntiles = -(-n // arch.tn)
+        overhead = arch.pipeline_overhead * n_mtiles * n_ktiles * n_ntiles
+        compute_cycles = mean_step * total_steps + overhead
+
+        dram_bytes = plan.dram_bytes
+        dram_cycles = self.hw.mem.dram_cycles(dram_bytes)
+
+        ops = _op_totals(profile, arch.v)
+        if not arch.skip_nonzero and profile.r != 0:
+            dense_ux = np.ones_like(profile.ux_mask, dtype=bool)
+            dense_profile = LayerProfile(
+                layer=layer, w_bits=profile.w_bits, x_bits=profile.x_bits,
+                lo_bits=profile.lo_bits, dbs_type=profile.dbs_type,
+                zp=profile.zp, r=profile.r, rho_w=profile.rho_w, rho_x=0.0,
+                uw_mask=profile.uw_mask, ux_mask=dense_ux)
+            ops = _op_totals(dense_profile, arch.v)
+
+        # SRAM traffic: WMEM->WBUF per TN tile, AMEM->core per m-pass.
+        sram_bytes = (w_bytes * n_ntiles + x_bytes * n_mtiles
+                      + out_bytes * 2.0)
+        sram_pj = (w_bytes * n_ntiles * e.sram_byte(
+                       self.hw.mem.wmem_bytes / 1024)
+                   + x_bytes * n_mtiles * e.sram_byte(
+                       self.hw.mem.amem_bytes / 1024)
+                   + out_bytes * 2.0 * e.sram_byte(
+                       self.hw.mem.omem_bytes / 1024))
+
+        gemm_mul = 16.0 * (ops.dynamic + ops.static)
+        energy = EnergyBreakdown(
+            mac=gemm_mul * e.mul4 + gemm_mul * e.add8,
+            compensation=ops.comp_mul * e.mul4 + ops.comp_add * e.add8,
+            sram=sram_pj,
+            dram=dram_bytes * e.dram_byte,
+            control=max(compute_cycles, dram_cycles) * e.ctrl_per_cycle,
+            other=(ops.dynamic + ops.static) * e.shift
+            + (w_bytes + x_bytes) * 0.05 * e.reg_byte,
+        )
+        return LayerPerf(
+            name=layer.name, m=m, k=k, n=n,
+            compute_cycles=compute_cycles, dram_cycles=dram_cycles,
+            energy=energy, ema_bytes=dram_bytes, sram_bytes=sram_bytes,
+            dtp_enabled=dtp, utilization=util,
+        )

@@ -1,0 +1,91 @@
+"""Exhaustive small-scale reference simulator (validation only).
+
+Enumerates *every* tile-step of the Panacea schedule instead of sampling, so
+tests can check that :class:`repro.hw.panacea.PanaceaModel`'s sampled
+estimate converges to the exact count.  Quadratic in problem size — only use
+on small layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.workloads import LayerProfile
+from .panacea import PanaceaConfig, PanaceaModel
+from .schedule import step_cycles
+
+__all__ = ["exhaustive_compute_cycles"]
+
+
+def exhaustive_compute_cycles(profile: LayerProfile,
+                              arch: PanaceaConfig | None = None,
+                              dtp: bool = False) -> float:
+    """Exact schedule cycles for a layer whose masks cover the full shape.
+
+    Requires the profile masks to be uncapped (``m_cap >= M``,
+    ``n_sample >= N``) and the dimensions to be multiples of the tile sizes.
+    """
+    arch = arch or PanaceaConfig()
+    layer = profile.layer
+    uw, ux = profile.uw_mask, profile.ux_mask
+    if uw.shape[0] * arch.v != layer.m or ux.shape[1] * arch.v != layer.n:
+        raise ValueError("exhaustive simulation needs uncapped masks")
+    if layer.m % (arch.tm * (2 if dtp else 1)) or layer.k % arch.tk:
+        raise ValueError("dimensions must be tile-aligned")
+    nw, nx = profile.n_w_slices, profile.n_x_slices
+
+    tm_groups = arch.n_pea * (2 if dtp else 1)
+    n_mtiles = uw.shape[0] // tm_groups
+    n_ktiles = layer.k // arch.tk
+    total = 0.0
+    for mt in range(n_mtiles):
+        rows = uw[mt * tm_groups:(mt + 1) * tm_groups]
+        if dtp:
+            rows_a = rows[:arch.n_pea]
+            rows_b = rows[arch.n_pea:]
+        for kt in range(n_ktiles):
+            ksl = slice(kt * arch.tk, (kt + 1) * arch.tk)
+            ux_t = ux[ksl]                      # (tk, NG)
+            for ng in range(ux.shape[1]):
+                xcol = ux_t[:, ng].astype(np.float64)
+                if dtp:
+                    dyn, stat = _pea_loads(rows_a[:, ksl], xcol, nw, nx,
+                                           arch.tk)
+                    dyn2, stat2 = _pea_loads(rows_b[:, ksl], xcol, nw, nx,
+                                             arch.tk)
+                    dyn, stat = dyn + dyn2, stat + stat2
+                else:
+                    dyn, stat = _pea_loads(rows[:, ksl], xcol, nw, nx,
+                                           arch.tk)
+                total += float(step_cycles(dyn[None], stat[None],
+                                           arch.n_dwo, arch.n_swo, dtp)[0])
+    return total
+
+
+def _pea_loads(uw_rows: np.ndarray, xcol: np.ndarray, nw: int, nx: int,
+               tk: int) -> tuple[np.ndarray, np.ndarray]:
+    uw_f = uw_rows.astype(np.float64)
+    if nw == 1:
+        dyn = np.full(uw_rows.shape[0], xcol.sum())
+        stat = np.full(uw_rows.shape[0], float((nx - 1) * tk))
+        return dyn, stat
+    hoho = uw_f @ xcol
+    loho = (nw - 1) * xcol.sum()
+    holo = (nx - 1) * uw_f.sum(axis=1)
+    stat = np.full(uw_rows.shape[0], float((nw - 1) * (nx - 1) * tk))
+    return hoho + loho + holo, stat
+
+
+def sampled_vs_exhaustive(profile: LayerProfile, dtp: bool = False,
+                          seed: int = 0) -> tuple[float, float]:
+    """Convenience: (sampled estimate, exact count) of schedule cycles."""
+    arch = PanaceaConfig(dtp=dtp, sample_steps=2048)
+    model = PanaceaModel(arch=arch)
+    rng = np.random.default_rng(seed)
+    mean_step, _ = model._sample_step_cycles(profile, dtp, rng)
+    layer = profile.layer
+    tm_eff = arch.tm * (2 if dtp else 1)
+    total_steps = (-(-layer.m // tm_eff) * (-(-layer.k // arch.tk))
+                   * (-(-layer.n // arch.v)))
+    return mean_step * total_steps, exhaustive_compute_cycles(profile, arch,
+                                                              dtp)

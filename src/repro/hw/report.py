@@ -1,0 +1,50 @@
+"""Cross-design comparison reports (the rows the paper's figures plot)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accelerator import ModelPerf
+
+__all__ = ["DesignComparison", "compare", "relative"]
+
+
+@dataclass(frozen=True)
+class DesignComparison:
+    """One design's headline numbers for one model."""
+
+    accelerator: str
+    model: str
+    latency_ms: float
+    tops: float
+    tops_per_watt: float
+    energy_mj: float
+    ema_mb: float
+
+    @classmethod
+    def from_perf(cls, perf: ModelPerf) -> "DesignComparison":
+        return cls(
+            accelerator=perf.accelerator,
+            model=perf.model,
+            latency_ms=perf.latency_s * 1e3,
+            tops=perf.tops,
+            tops_per_watt=perf.tops_per_watt,
+            energy_mj=perf.total_energy_pj * 1e-9,
+            ema_mb=perf.ema_bytes / 2 ** 20,
+        )
+
+
+def compare(perfs: list[ModelPerf]) -> list[DesignComparison]:
+    return [DesignComparison.from_perf(p) for p in perfs]
+
+
+def relative(perfs: list[ModelPerf], baseline: str,
+             metric: str = "tops_per_watt") -> dict[str, float]:
+    """Each design's ``metric`` normalized to ``baseline`` (paper-style x)."""
+    rows = {c.accelerator: getattr(c, metric) for c in compare(perfs)}
+    if baseline not in rows:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(rows)}")
+    base = rows[baseline]
+    if base == 0:
+        raise ZeroDivisionError(f"baseline {baseline!r} has zero {metric}")
+    return {name: value / base for name, value in rows.items()}

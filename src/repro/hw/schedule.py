@@ -1,0 +1,57 @@
+"""DWO/SWO operator scheduling and the DTP makespan (paper Section III-D).
+
+Each PEA owns ``n_dwo`` dynamic-workload operators, which execute the sparse
+slice products (``W_HO x_HO``, ``W_LO x_HO``, ``W_HO x_LO``), and ``n_swo``
+static-workload operators restricted to the dense ``W_LO x_LO``.  One
+operator retires one ``v x v`` outer product per cycle.
+
+* Without DTP the two pools are independent:
+  ``T = max(ceil(D/n_dwo), ceil(S/n_swo))``.
+* With DTP two weight sub-tiles share the PEA and the *second* tile's static
+  products may spill onto DWOs ("to avoid the bounded throughput by few
+  SWOs"), but SWOs can never take dynamic work:
+  ``T = max(ceil(D/n_dwo), ceil((D+S)/(n_dwo+n_swo)))``.
+
+The vectorized forms operate on arrays of per-tile-step workloads so the
+sampled-tile simulator stays NumPy-speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pea_cycles", "pea_cycles_dtp", "step_cycles"]
+
+
+def pea_cycles(dynamic_ops, static_ops, n_dwo: int, n_swo: int):
+    """Makespan (cycles) of one PEA without DTP; array-friendly."""
+    if n_dwo <= 0 or n_swo < 0:
+        raise ValueError("operator counts must be positive")
+    dyn = np.ceil(np.asarray(dynamic_ops, dtype=np.float64) / n_dwo)
+    if n_swo == 0:
+        stat = np.where(np.asarray(static_ops) > 0, np.inf, 0.0)
+    else:
+        stat = np.ceil(np.asarray(static_ops, dtype=np.float64) / n_swo)
+    return np.maximum(dyn, stat)
+
+
+def pea_cycles_dtp(dynamic_ops, static_ops, n_dwo: int, n_swo: int):
+    """Makespan with DTP: DWOs may absorb overflow static work."""
+    dyn = np.asarray(dynamic_ops, dtype=np.float64)
+    stat = np.asarray(static_ops, dtype=np.float64)
+    bound_dyn = np.ceil(dyn / n_dwo)
+    bound_all = np.ceil((dyn + stat) / (n_dwo + n_swo))
+    return np.maximum(bound_dyn, bound_all)
+
+
+def step_cycles(dynamic_per_pea: np.ndarray, static_per_pea: np.ndarray,
+                n_dwo: int, n_swo: int, dtp: bool) -> np.ndarray:
+    """Cycles of each tile-step: the slowest of the PEAs working in lockstep.
+
+    ``dynamic_per_pea``/``static_per_pea`` have shape ``(steps, n_pea)``;
+    the per-step cost is the maximum over PEAs because all PEAs synchronize
+    on the shared activation broadcast (load imbalance shows up here).
+    """
+    fn = pea_cycles_dtp if dtp else pea_cycles
+    per_pea = fn(dynamic_per_pea, static_per_pea, n_dwo, n_swo)
+    return per_pea.max(axis=-1)

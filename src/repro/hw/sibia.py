@@ -1,0 +1,153 @@
+"""Sibia accelerator performance model (baseline, paper Table I column 1).
+
+Sibia [53] is the previous bit-slice accelerator: symmetric quantization on
+both operands, SBR slicing, and skipping of slice products that involve the
+*tracked* side's all-zero HO vectors.  Per Table I it exploits
+``max(rho_w, rho_x)`` and ships *dense* operands over DRAM ("uncompressed
+data format from DRAM to the processing core").  The model gives it the same
+3072-multiplier budget organized as 16 clusters x 12 flexible operators — a
+homogeneous pool, since Sibia has no DWO/SWO split — and no DTP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.workloads import LayerProfile
+from .accelerator import AcceleratorModel, HwConfig, LayerPerf
+from .energy import EnergyBreakdown
+from .memory import plan_layer_traffic
+
+__all__ = ["SibiaConfig", "SibiaModel"]
+
+
+@dataclass(frozen=True)
+class SibiaConfig:
+    n_cluster: int = 16
+    n_ops_per_cluster: int = 12
+    v: int = 4
+    tk: int = 32
+    tn: int = 64
+    pipeline_overhead: int = 8
+    sample_steps: int = 384
+
+    @property
+    def tm(self) -> int:
+        return self.n_cluster * self.v
+
+    @property
+    def n_mul4(self) -> int:
+        return self.n_cluster * self.n_ops_per_cluster * self.v * self.v
+
+
+class SibiaModel(AcceleratorModel):
+    name = "sibia"
+
+    def __init__(self, hw: HwConfig | None = None,
+                 arch: SibiaConfig | None = None) -> None:
+        super().__init__(hw)
+        self.arch = arch or SibiaConfig()
+
+    @staticmethod
+    def _tracked(profile: LayerProfile) -> str:
+        if profile.n_w_slices == 1:
+            return "activation"
+        return "weight" if profile.rho_w >= profile.rho_x else "activation"
+
+    def _sample_step_cycles(self, profile: LayerProfile,
+                            rng: np.random.Generator) -> tuple[float, float]:
+        arch = self.arch
+        nw, nx = profile.n_w_slices, profile.n_x_slices
+        uw, ux = profile.uw_mask, profile.ux_mask
+        tracked = self._tracked(profile)
+        k = uw.shape[1]
+        tk = min(arch.tk, k)
+        n_ktiles = max(1, k // tk)
+        n_mtiles = max(1, uw.shape[0] // arch.n_cluster)
+        s = arch.sample_steps
+
+        mt = rng.integers(0, n_mtiles, size=s)
+        kt = rng.integers(0, n_ktiles, size=s)
+        ng = rng.integers(0, ux.shape[1], size=s)
+        rows = mt[:, None] * arch.n_cluster + np.arange(arch.n_cluster)[None, :]
+        kcols = kt[:, None] * tk + np.arange(tk)[None, :]
+        uw_sel = uw[rows[:, :, None], kcols[:, None, :]].astype(np.float64)
+        ux_sel = ux[kcols, ng[:, None]].astype(np.float64)
+
+        if tracked == "activation":
+            # products with x_HO run per uncompressed activation vector;
+            # everything else is dense — identical across clusters.
+            per = nw * ux_sel.sum(axis=1) + nw * (nx - 1) * tk
+            products = np.broadcast_to(per[:, None],
+                                       (s, arch.n_cluster)).copy()
+        else:
+            per = nx * uw_sel.sum(axis=2) + (nw - 1) * nx * tk
+            products = per
+        cycles = np.ceil(products / arch.n_ops_per_cluster).max(axis=1)
+        capacity = cycles * arch.n_cluster * arch.n_ops_per_cluster
+        util = float((products.sum(axis=1) / np.maximum(capacity, 1e-9)).mean())
+        return float(cycles.mean()), util
+
+    def simulate_layer(self, profile: LayerProfile,
+                       rng: np.random.Generator) -> LayerPerf:
+        arch = self.arch
+        layer = profile.layer
+        m, k, n = layer.m, layer.k, layer.n
+        e = self.hw.energy
+        nw, nx = profile.n_w_slices, profile.n_x_slices
+        tracked = self._tracked(profile)
+
+        mean_step, util = self._sample_step_cycles(profile, rng)
+        n_mtiles = -(-m // arch.tm)
+        n_ktiles = -(-k // arch.tk)
+        n_nvec = -(-n // arch.v)
+        total_steps = n_mtiles * n_ktiles * n_nvec
+        n_ntiles = -(-n // arch.tn)
+        overhead = arch.pipeline_overhead * n_mtiles * n_ktiles * n_ntiles
+        compute_cycles = mean_step * total_steps + overhead
+
+        # Dense EMA at the stored bit-widths (Table I: 14K nibbles).
+        w_bytes = m * k * profile.w_bits / 8.0
+        x_bytes = k * n * profile.x_bits / 8.0
+        out_bytes = float(m * n)
+        plan = plan_layer_traffic(w_bytes, x_bytes, out_bytes, m, arch.tm,
+                                  self.hw.mem, dtp_capable=False)
+        dram_bytes = plan.dram_bytes
+        dram_cycles = self.hw.mem.dram_cycles(dram_bytes)
+
+        # Op totals from Table I's skip rule, scaled to full shape.
+        rho = max(profile.rho_w, profile.rho_x)
+        mg, ng_count = m / arch.v, n / arch.v
+        if tracked == "activation":
+            products = (nw * (1.0 - profile.rho_x) * k
+                        + nw * (nx - 1) * k) * mg * ng_count
+        else:
+            products = (nx * (1.0 - profile.rho_w) * k
+                        + (nw - 1) * nx * k) * mg * ng_count
+        mul4 = 16.0 * products
+        del rho
+
+        sram_bytes = (w_bytes * n_ntiles + x_bytes * n_mtiles
+                      + out_bytes * 2.0)
+        sram_pj = (w_bytes * n_ntiles * e.sram_byte(
+                       self.hw.mem.wmem_bytes / 1024)
+                   + x_bytes * n_mtiles * e.sram_byte(
+                       self.hw.mem.amem_bytes / 1024)
+                   + out_bytes * 2.0 * e.sram_byte(
+                       self.hw.mem.omem_bytes / 1024))
+        energy = EnergyBreakdown(
+            mac=mul4 * e.mul4 + mul4 * e.add8,
+            compensation=0.0,
+            sram=sram_pj,
+            dram=dram_bytes * e.dram_byte,
+            control=max(compute_cycles, dram_cycles) * e.ctrl_per_cycle,
+            other=products * e.shift,
+        )
+        return LayerPerf(
+            name=layer.name, m=m, k=k, n=n,
+            compute_cycles=compute_cycles, dram_cycles=dram_cycles,
+            energy=energy, ema_bytes=dram_bytes, sram_bytes=sram_bytes,
+            utilization=util,
+        )

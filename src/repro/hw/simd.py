@@ -1,0 +1,73 @@
+"""SIMD accelerator baseline (paper ref [59]).
+
+A dense vector design with 768 8b x 8b MAC lanes and per-vector scaling.
+Control is simple, utilization is high, but every operand pair is fetched
+from on-chip memory (no systolic register reuse), so its energy per MAC is
+the worst of the dense designs even though its raw throughput is the best
+(paper Fig. 13: Panacea trails SIMD at very low sparsity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.workloads import LayerProfile
+from .accelerator import AcceleratorModel, HwConfig, LayerPerf
+from .energy import EnergyBreakdown
+from .memory import plan_layer_traffic
+
+__all__ = ["SimdConfig", "SimdModel"]
+
+
+@dataclass(frozen=True)
+class SimdConfig:
+    n_lanes: int = 768
+    utilization: float = 0.95   # vector-tail and issue losses
+    operand_reuse: float = 4.0  # register-file reuse factor per operand
+
+
+class SimdModel(AcceleratorModel):
+    name = "simd"
+
+    def __init__(self, hw: HwConfig | None = None,
+                 arch: SimdConfig | None = None) -> None:
+        super().__init__(hw)
+        self.arch = arch or SimdConfig()
+
+    def simulate_layer(self, profile: LayerProfile,
+                       rng: np.random.Generator) -> LayerPerf:
+        arch = self.arch
+        layer = profile.layer
+        m, k, n = layer.m, layer.k, layer.n
+        e = self.hw.energy
+
+        macs = float(m) * k * n
+        compute_cycles = macs / (arch.n_lanes * arch.utilization)
+
+        w_bytes = m * k * 1.0
+        x_bytes = k * n * 1.0
+        out_bytes = float(m * n)
+        plan = plan_layer_traffic(w_bytes, x_bytes, out_bytes, m, 64,
+                                  self.hw.mem, dtp_capable=False)
+        dram_bytes = plan.dram_bytes
+        dram_cycles = self.hw.mem.dram_cycles(dram_bytes)
+
+        # every MAC fetches two operands, amortized by register reuse
+        operand_bytes = 2.0 * macs / arch.operand_reuse
+        sram_bytes = operand_bytes + out_bytes
+        sram_kb = self.hw.mem.total_sram_kb / 3
+        energy = EnergyBreakdown(
+            mac=macs * (e.mul8 + e.acc32),
+            sram=sram_bytes * e.sram_byte(sram_kb),
+            dram=dram_bytes * e.dram_byte,
+            control=max(compute_cycles, dram_cycles) * e.ctrl_per_cycle,
+            other=macs * e.reg_byte * 0.25,
+        )
+        return LayerPerf(
+            name=layer.name, m=m, k=k, n=n,
+            compute_cycles=compute_cycles, dram_cycles=dram_cycles,
+            energy=energy, ema_bytes=dram_bytes, sram_bytes=sram_bytes,
+            utilization=arch.utilization,
+        )

@@ -1,0 +1,99 @@
+"""Systolic-array baselines: SA-WS and SA-OS (paper refs [57], [58]).
+
+Both are dense 8-bit designs with 768 8b x 8b MACs (= 3072 4b x 4b under the
+paper's normalization rule) arranged as a 32 x 24 array.
+
+* **SA-WS** (weight stationary): weights are pinned per tile; activations
+  stream; partial sums exit the array every tile, so when K is tiled the
+  psums spill to SRAM and return — extra on-chip traffic.
+* **SA-OS** (output stationary): outputs accumulate in place; operands
+  stream; no psum spills, but both operands are re-fetched per output tile.
+
+Both pay pipeline fill/drain per tile, which is what lets the denser-control
+SIMD design edge past them in raw throughput (paper Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.workloads import LayerProfile
+from .accelerator import AcceleratorModel, HwConfig, LayerPerf
+from .energy import EnergyBreakdown
+from .memory import plan_layer_traffic
+
+__all__ = ["SystolicConfig", "SystolicModel"]
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    rows: int = 32              # output-channel dimension
+    cols: int = 24              # reduction dimension
+    dataflow: str = "ws"        # "ws" or "os"
+
+    def __post_init__(self) -> None:
+        if self.dataflow not in ("ws", "os"):
+            raise ValueError(f"dataflow must be ws/os, got {self.dataflow!r}")
+
+    @property
+    def n_macs(self) -> int:
+        return self.rows * self.cols
+
+
+class SystolicModel(AcceleratorModel):
+    def __init__(self, hw: HwConfig | None = None,
+                 arch: SystolicConfig | None = None) -> None:
+        super().__init__(hw)
+        self.arch = arch or SystolicConfig()
+        self.name = f"sa_{self.arch.dataflow}"
+
+    def simulate_layer(self, profile: LayerProfile,
+                       rng: np.random.Generator) -> LayerPerf:
+        arch = self.arch
+        layer = profile.layer
+        m, k, n = layer.m, layer.k, layer.n
+        e = self.hw.energy
+
+        m_tiles = -(-m // arch.rows)
+        k_tiles = -(-k // arch.cols)
+        fill = arch.rows + arch.cols
+        if arch.dataflow == "ws":
+            # each (m, k) weight tile streams all N activations
+            compute_cycles = m_tiles * k_tiles * (n + fill)
+            # psum spill/reload whenever K is tiled
+            psum_bytes = 4.0 * m * n * 2 * max(0, k_tiles - 1)
+        else:
+            # each (m, n-chunk) output tile streams K; outputs stay put
+            n_tiles = -(-n // arch.cols)
+            compute_cycles = m_tiles * n_tiles * (k + fill)
+            psum_bytes = 0.0
+
+        w_bytes = m * k * 1.0   # dense 8-bit
+        x_bytes = k * n * 1.0
+        out_bytes = float(m * n)
+        plan = plan_layer_traffic(w_bytes, x_bytes, out_bytes, m, arch.rows,
+                                  self.hw.mem, dtp_capable=False)
+        dram_bytes = plan.dram_bytes
+        dram_cycles = self.hw.mem.dram_cycles(dram_bytes)
+
+        macs = float(m) * k * n
+        n_reload = -(-n // self.arch.cols) if arch.dataflow == "os" else 1
+        sram_bytes = (w_bytes * (n_reload if arch.dataflow == "os" else 1)
+                      + x_bytes * m_tiles + out_bytes + psum_bytes)
+        sram_kb = self.hw.mem.total_sram_kb / 3
+        energy = EnergyBreakdown(
+            mac=macs * (e.mul8 + e.acc32),
+            sram=sram_bytes * e.sram_byte(sram_kb),
+            dram=dram_bytes * e.dram_byte,
+            control=max(compute_cycles, dram_cycles) * e.ctrl_per_cycle,
+            other=macs * 2.0 * e.reg_byte * 0.125,  # systolic register hops
+        )
+        util = macs / max(compute_cycles * arch.n_macs, 1e-9)
+        return LayerPerf(
+            name=layer.name, m=m, k=k, n=n,
+            compute_cycles=compute_cycles, dram_cycles=dram_cycles,
+            energy=energy, ema_bytes=dram_bytes, sram_bytes=sram_bytes,
+            utilization=min(util, 1.0),
+        )

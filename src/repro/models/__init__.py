@@ -1,0 +1,43 @@
+"""Model zoo: full-shape configs, runnable proxies, synthetic data, profiles."""
+
+from .configs import MODEL_CONFIGS, GemmLayer, ModelConfig, get_config
+from .distributions import FAMILIES, ActivationSpec, sample_activation, sample_weight
+from .synthetic import (
+    classification_set,
+    gaussian_images,
+    teacher_sample,
+    token_batches,
+    zipf_tokens,
+)
+from .workloads import (
+    LayerProfile,
+    QuantPolicy,
+    policy_for_model,
+    profile_model,
+    synthetic_profile,
+)
+from .zoo import PROXY_SPECS, ProxySpec, build_proxy
+
+__all__ = [
+    "MODEL_CONFIGS",
+    "GemmLayer",
+    "ModelConfig",
+    "get_config",
+    "FAMILIES",
+    "ActivationSpec",
+    "sample_activation",
+    "sample_weight",
+    "classification_set",
+    "gaussian_images",
+    "teacher_sample",
+    "token_batches",
+    "zipf_tokens",
+    "LayerProfile",
+    "QuantPolicy",
+    "policy_for_model",
+    "profile_model",
+    "synthetic_profile",
+    "PROXY_SPECS",
+    "ProxySpec",
+    "build_proxy",
+]

@@ -1,0 +1,215 @@
+"""Full-shape configurations of the paper's benchmark models.
+
+Each config enumerates every GEMM the accelerator executes — the exact
+``(M, K, N)`` the real model presents — together with the distribution
+family of the layer's input activation.  These drive the workload/sparsity
+profiles the hardware models consume.  Shapes follow the published
+architectures:
+
+* DeiT-base: 12 x (d=768, heads=12, mlp=3072), 197 tokens;
+* BERT-base: 12 x (768, 12, 3072), 128-token GLUE sequences;
+* GPT-2 (124M): 12 x (768, 12, 3072), 1024-token WikiText-2 windows;
+* OPT-350M/1.3B/2.7B: 24/24/32 layers, d=1024/2048/2560, mlp=4d;
+* Llama-3.2-1B/3B: 16/28 layers, d=2048/3072, GQA (8 KV heads),
+  SwiGLU mlp=8192;
+* ResNet-18 at 224x224 (im2col conv GEMMs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .distributions import ActivationSpec
+
+__all__ = ["GemmLayer", "ModelConfig", "MODEL_CONFIGS", "get_config"]
+
+
+@dataclass(frozen=True)
+class GemmLayer:
+    """One GEMM workload: ``(M, K)`` weights times ``(K, N)`` activations."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    kind: str
+    act: ActivationSpec
+    block_index: int = 0
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A benchmark model: metadata plus its full GEMM inventory."""
+
+    name: str
+    family: str
+    layers: tuple[GemmLayer, ...]
+    params_millions: float
+    seq_len: int
+    notes: str = ""
+    sensitive_layers: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    def layer(self, name: str) -> GemmLayer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"{self.name} has no layer {name!r}")
+
+
+def _depth_spread(i: int, n_layers: int, base: float = 1.0,
+                  growth: float = 1.0) -> float:
+    """Later blocks produce wider activation ranges (growth > 1)."""
+    if n_layers <= 1:
+        return base
+    return base * growth ** (i / (n_layers - 1))
+
+
+def _transformer_layers(
+    n_layers: int,
+    dim: int,
+    mlp: int,
+    seq: int,
+    kv_dim: int | None = None,
+    swiglu: bool = False,
+    outlier_channels: int = 0,
+    outlier_scale: float = 1.0,
+    spread_growth: float = 1.6,
+) -> tuple[GemmLayer, ...]:
+    kv_dim = kv_dim or dim
+    layers: list[GemmLayer] = []
+    for i in range(n_layers):
+        spread = _depth_spread(i, n_layers, growth=spread_growth)
+        ln_spec = ActivationSpec("layernorm", spread=spread,
+                                 outlier_channels=outlier_channels,
+                                 outlier_scale=outlier_scale)
+        attn_in = ActivationSpec("layernorm", spread=spread)
+        for proj, m in (("q_proj", dim), ("k_proj", kv_dim), ("v_proj", kv_dim)):
+            layers.append(GemmLayer(f"block{i}.attn.{proj}", m, dim, seq,
+                                    "qkv", ln_spec, i))
+        layers.append(GemmLayer(f"block{i}.attn.out_proj", dim, dim, seq,
+                                "attn_out", attn_in, i))
+        if swiglu:
+            mlp_in = ActivationSpec("layernorm", spread=spread,
+                                    outlier_channels=outlier_channels,
+                                    outlier_scale=outlier_scale)
+            layers.append(GemmLayer(f"block{i}.mlp.gate_proj", mlp, dim, seq,
+                                    "fc1", mlp_in, i))
+            layers.append(GemmLayer(f"block{i}.mlp.up_proj", mlp, dim, seq,
+                                    "fc1", mlp_in, i))
+            layers.append(GemmLayer(
+                f"block{i}.mlp.down_proj", dim, mlp, seq, "fc2",
+                ActivationSpec("swiglu", spread=spread,
+                               outlier_channels=outlier_channels * 2,
+                               outlier_scale=outlier_scale), i))
+        else:
+            layers.append(GemmLayer(f"block{i}.mlp.fc1", mlp, dim, seq, "fc1",
+                                    ln_spec, i))
+            layers.append(GemmLayer(f"block{i}.mlp.fc2", dim, mlp, seq, "fc2",
+                                    ActivationSpec("gelu", spread=spread), i))
+    return tuple(layers)
+
+
+def _resnet18_layers(image: int = 224) -> tuple[GemmLayer, ...]:
+    layers: list[GemmLayer] = []
+
+    def conv(name: str, cin: int, cout: int, k: int, stride: int, size: int,
+             family: str, block: int) -> int:
+        out = size // stride
+        layers.append(GemmLayer(name, cout, cin * k * k, out * out, "conv",
+                                ActivationSpec(family), block))
+        return out
+
+    size = conv("stem", 3, 64, 7, 2, image, "image", 0)
+    size //= 2  # max pool
+    channels = [(64, 1), (128, 2), (256, 2), (512, 2)]
+    cin = 64
+    for si, (cout, stride) in enumerate(channels):
+        size_a = conv(f"stage{si}.a.conv1", cin, cout, 3, stride, size,
+                      "relu", si + 1)
+        conv(f"stage{si}.a.conv2", cout, cout, 3, 1, size_a, "relu", si + 1)
+        if stride != 1 or cin != cout:
+            conv(f"stage{si}.a.down", cin, cout, 1, stride, size, "relu",
+                 si + 1)
+        conv(f"stage{si}.b.conv1", cout, cout, 3, 1, size_a, "relu", si + 1)
+        conv(f"stage{si}.b.conv2", cout, cout, 3, 1, size_a, "relu", si + 1)
+        cin, size = cout, size_a
+    layers.append(GemmLayer("fc", 1000, 512, 1, "head",
+                            ActivationSpec("relu"), 5))
+    return tuple(layers)
+
+
+def _build_configs() -> dict[str, ModelConfig]:
+    configs = {}
+    configs["deit_base"] = ModelConfig(
+        name="deit_base", family="vit",
+        layers=_transformer_layers(12, 768, 3072, 197, spread_growth=2.2),
+        params_millions=86, seq_len=197,
+        notes="ImageNet-1k ViT; 197 tokens (196 patches + CLS)")
+    configs["bert_base"] = ModelConfig(
+        name="bert_base", family="bert",
+        layers=_transformer_layers(12, 768, 3072, 128, spread_growth=1.8),
+        params_millions=110, seq_len=128,
+        notes="GLUE/MNLI, 128-token sequences")
+    configs["gpt2"] = ModelConfig(
+        name="gpt2", family="gpt",
+        layers=_transformer_layers(12, 768, 3072, 1024, outlier_channels=4,
+                                   outlier_scale=12.0, spread_growth=2.0),
+        params_millions=124, seq_len=1024,
+        notes="WikiText-2, 1024-token windows; MLP weights use 10-bit SBR")
+    configs["opt_350m"] = ModelConfig(
+        name="opt_350m", family="opt",
+        layers=_transformer_layers(24, 1024, 4096, 2048, outlier_channels=6,
+                                   outlier_scale=20.0, spread_growth=2.0),
+        params_millions=350, seq_len=2048)
+    configs["opt_1p3b"] = ModelConfig(
+        name="opt_1p3b", family="opt",
+        layers=_transformer_layers(24, 2048, 8192, 2048, outlier_channels=8,
+                                   outlier_scale=24.0, spread_growth=2.0),
+        params_millions=1300, seq_len=2048)
+    configs["opt_2p7b"] = ModelConfig(
+        name="opt_2p7b", family="opt",
+        layers=_transformer_layers(32, 2560, 10240, 2048, outlier_channels=8,
+                                   outlier_scale=24.0, spread_growth=2.0),
+        params_millions=2700, seq_len=2048)
+    configs["llama32_1b"] = ModelConfig(
+        name="llama32_1b", family="llama",
+        layers=_transformer_layers(16, 2048, 8192, 2048, kv_dim=512,
+                                   swiglu=True, outlier_channels=10,
+                                   outlier_scale=40.0, spread_growth=2.4),
+        params_millions=1240, seq_len=2048,
+        notes="GQA 32q/8kv heads; weights need OPTQ + 64-group quantization",
+        sensitive_layers=tuple(f"block{i}.mlp.down_proj" for i in range(16)))
+    configs["llama32_3b"] = ModelConfig(
+        name="llama32_3b", family="llama",
+        layers=_transformer_layers(28, 3072, 8192, 2048, kv_dim=1024,
+                                   swiglu=True, outlier_channels=12,
+                                   outlier_scale=40.0, spread_growth=2.4),
+        params_millions=3210, seq_len=2048,
+        sensitive_layers=tuple(f"block{i}.mlp.down_proj" for i in range(28)))
+    configs["resnet18"] = ModelConfig(
+        name="resnet18", family="resnet",
+        layers=_resnet18_layers(224),
+        params_millions=11.7, seq_len=1,
+        notes="224x224 ImageNet input; conv GEMMs via im2col")
+    return configs
+
+
+MODEL_CONFIGS = _build_configs()
+
+
+def get_config(name: str) -> ModelConfig:
+    """Look up a benchmark model config by name."""
+    try:
+        return MODEL_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_CONFIGS)}"
+        ) from None

@@ -1,0 +1,81 @@
+"""Synthetic datasets (DESIGN.md §4 substitution for ImageNet/GLUE/WikiText).
+
+Three generators cover the paper's data needs:
+
+* :func:`zipf_tokens` — Zipfian token streams standing in for natural text
+  (calibration data for LM proxies);
+* :func:`teacher_sample` — evaluation sequences sampled *from the FP model
+  itself*, so the FP model scores a low perplexity on them and quantization
+  degradation is measured as a PPL increase relative to that baseline;
+* :func:`gaussian_images` / :func:`classification_set` — image-like tensors
+  and labelled sets for the classifier proxies (accuracy is measured as
+  top-1 agreement with the FP model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.module import Module
+
+__all__ = [
+    "zipf_tokens",
+    "teacher_sample",
+    "gaussian_images",
+    "classification_set",
+    "token_batches",
+]
+
+
+def zipf_tokens(vocab: int, n_tokens: int, seed: int = 0,
+                alpha: float = 1.3) -> np.ndarray:
+    """A Zipf-distributed token stream over ``vocab`` symbols."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, vocab + 1, dtype=np.float64)
+    probs = ranks ** (-alpha)
+    probs /= probs.sum()
+    return rng.choice(vocab, size=n_tokens, p=probs).astype(np.int64)
+
+
+def token_batches(vocab: int, batch: int, seq: int, n_batches: int,
+                  seed: int = 0) -> list[np.ndarray]:
+    """Calibration batches of Zipfian token ids, shape ``(batch, seq)``."""
+    stream = zipf_tokens(vocab, batch * seq * n_batches, seed)
+    return list(stream.reshape(n_batches, batch, seq))
+
+
+def teacher_sample(model: Module, vocab: int, batch: int, seq: int,
+                   temperature: float = 0.8, seed: int = 0) -> np.ndarray:
+    """Sample token sequences from the FP model's own distribution.
+
+    Autoregressive sampling at moderate temperature produces sequences the
+    model itself assigns high likelihood, giving a meaningful perplexity
+    baseline for random-weight proxies (see DESIGN.md §4).
+    """
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, vocab, size=(batch, 1))
+    for _ in range(seq - 1):
+        logits = model(ids)[:, -1, :] / max(temperature, 1e-6)
+        probs = F.softmax(logits, axis=-1)
+        nxt = np.array([rng.choice(vocab, p=p) for p in probs])
+        ids = np.concatenate([ids, nxt[:, None]], axis=1)
+    return ids
+
+
+def gaussian_images(batch: int, channels: int, size: int,
+                    seed: int = 0) -> np.ndarray:
+    """Normalized image-like tensors ``(B, C, H, W)``."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(0.0, 1.0, (batch, channels, size, size))
+    # add low-frequency structure so convolutions see spatial correlation
+    blur = np.cumsum(np.cumsum(base, axis=2), axis=3)
+    blur = (blur - blur.mean()) / (blur.std() + 1e-9)
+    return 0.5 * base + 0.5 * blur
+
+
+def classification_set(batch: int, seq: int, dim: int, n_batches: int,
+                       seed: int = 0) -> list[np.ndarray]:
+    """Token-embedding-like float inputs for classifier proxies."""
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0.0, 1.0, (batch, seq, dim)) for _ in range(n_batches)]

@@ -1,0 +1,269 @@
+"""Per-layer workload + sparsity profiling (the hardware model's input).
+
+For every GEMM layer of a benchmark model this module measures, under a
+given quantization policy, the HO vector-level sparsities ``rho_w`` and
+``rho_x`` together with sampled compressibility masks.  Weights are sampled
+at (capped) layer shape from the trained-weight distribution; activations
+are sampled from the layer's distribution family and calibrated exactly like
+the PTQ pipeline would (Eq. 2 → ZPM → DBS).
+
+Sampling caps (``m_cap``/``n_sample``) keep 2.7-B-parameter models tractable:
+sparsity is a per-vector statistic, so a row/column subsample is an unbiased
+estimate, and the hardware model scales op counts back to the true
+``(M, K, N)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitslice.slicing import slice_dbs, slice_sbr, slice_unsigned
+from ..bitslice.vectors import (
+    activation_vector_mask,
+    vector_sparsity,
+    weight_vector_mask,
+)
+from ..core.dbs import dbs_calibrate
+from ..quant.observers import HistogramObserver
+from ..quant.uniform import quantize, symmetric_params
+from .configs import GemmLayer, ModelConfig
+from .distributions import sample_activation, sample_weight
+
+__all__ = ["QuantPolicy", "LayerProfile", "profile_model", "policy_for_model",
+           "synthetic_profile"]
+
+
+@dataclass(frozen=True)
+class QuantPolicy:
+    """Bit-width and optimization policy applied when profiling a model."""
+
+    scheme: str = "aqs"            # "aqs", "sibia", "dense"
+    w_bits: int = 7
+    x_bits: int = 8
+    enable_zpm: bool = True
+    enable_dbs: bool = True
+    z: float = 2.0
+    v: int = 4
+    w_bits_overrides: dict = field(default_factory=dict)   # layer kind -> bits
+    x_bits_overrides: dict = field(default_factory=dict)
+
+    def weight_bits(self, layer: GemmLayer) -> int:
+        return self.w_bits_overrides.get(layer.kind, self.w_bits)
+
+    def activation_bits(self, layer: GemmLayer) -> int:
+        return self.x_bits_overrides.get(layer.kind, self.x_bits)
+
+
+def policy_for_model(config: ModelConfig, scheme: str = "aqs",
+                     w_bits: int = 7, x_bits: int = 8,
+                     enable_zpm: bool = True, enable_dbs: bool = True,
+                     ) -> QuantPolicy:
+    """The paper's per-model mixed-precision rules.
+
+    * GPT-2 MLP weights use 10-bit SBR (three slices) to avoid accuracy loss
+      (Fig. 14 footnote 1);
+    * Llama sensitivity-critical down-projection inputs use three activation
+      slices (12-bit asymmetric for Panacea, 10-bit symmetric for Sibia —
+      Sibia's SBR caps a 3-slice value at ``3k+4`` bits, Fig. 17 discussion).
+    """
+    w_over: dict = {}
+    x_over: dict = {}
+    if scheme in ("aqs", "sibia"):
+        if config.family == "gpt":
+            w_over["fc1"] = 10
+            w_over["fc2"] = 10
+        if config.family == "llama":
+            x_over["fc2"] = 12 if scheme == "aqs" else 10
+    if scheme == "sibia":
+        x_bits = 7 if x_bits == 8 else x_bits
+    return QuantPolicy(scheme=scheme, w_bits=w_bits, x_bits=x_bits,
+                       enable_zpm=enable_zpm, enable_dbs=enable_dbs,
+                       w_bits_overrides=w_over, x_bits_overrides=x_over)
+
+
+@dataclass
+class LayerProfile:
+    """Measured sparsity profile of one GEMM layer under a policy."""
+
+    layer: GemmLayer
+    w_bits: int
+    x_bits: int
+    lo_bits: int
+    dbs_type: int
+    zp: int
+    r: int
+    rho_w: float
+    rho_x: float
+    uw_mask: np.ndarray = field(repr=False, default=None)
+    ux_mask: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def name(self) -> str:
+        return self.layer.name
+
+    @property
+    def n_w_slices(self) -> int:
+        return 1 if self.w_bits == 4 else (self.w_bits - 4) // 3 + 1
+
+    @property
+    def n_x_slices(self) -> int:
+        return max(self.x_bits // 4, (self.x_bits + 3) // 4)
+
+
+# Weight tail heaviness by layer kind: attention projections of trained
+# transformers are sparser under SBR than MLP matrices; convolutions are
+# heavier-tailed still.  The per-layer jitter spreads rho_w across blocks the
+# way Fig. 14(b) shows.
+_WEIGHT_TAIL_DF = {
+    "qkv": 5.0,
+    "attn_out": 6.5,
+    "fc1": 6.0,
+    "fc2": 7.5,
+    "conv": 4.5,
+    "head": 8.0,
+}
+
+
+def _profile_weight(layer: GemmLayer, w_bits: int, v: int,
+                    rng: np.random.Generator, m_cap: int) -> tuple[float, np.ndarray]:
+    m = min(layer.m, m_cap)
+    df = _WEIGHT_TAIL_DF.get(layer.kind, 6.0) + rng.uniform(0.0, 2.5)
+    w = sample_weight(m, layer.k, rng, tail_df=df)
+    params = symmetric_params(w, w_bits)
+    w_q = quantize(w, params)
+    if w_bits == 4:
+        # 4-bit weights have a single slice and no HO plane to skip
+        # (paper Fig. 19 discussion); everything is dense.
+        mask = np.ones((-(-m // v), layer.k), dtype=bool)
+        return 0.0, mask
+    stack = slice_sbr(w_q, total_bits=w_bits)
+    mask = weight_vector_mask(stack.ho, v=v, compress_value=0)
+    return vector_sparsity(mask), mask
+
+
+def _profile_activation_aqs(layer: GemmLayer, policy: QuantPolicy,
+                            x_bits: int, x: np.ndarray,
+                            ) -> tuple[float, np.ndarray, int, int, int]:
+    obs = HistogramObserver(bits=x_bits, symmetric=False)
+    obs.observe(x)
+    params = obs.params()
+    if policy.enable_dbs and x_bits == 8:
+        zp_obs = int(np.max(params.zero_point))
+        decision = dbs_calibrate(
+            params, obs.quantized_std(), z=policy.z,
+            enable_zpm=policy.enable_zpm,
+            sparsity_at_l4=obs.in_skip_fraction(zp_obs, 4))
+        lo_bits, zp, r = decision.lo_bits, decision.zp, decision.r
+        type_id = decision.dbs_type.type_id
+    else:
+        from ..core.zpm import manipulate_zero_point
+
+        # For multi-slice activations (x_bits > 8) the compressible slice is
+        # the top plane at bit position x_bits - 4.
+        ho_shift = max(4, x_bits - 4)
+        zp = int(np.max(params.zero_point))
+        if policy.enable_zpm:
+            zp = manipulate_zero_point(zp, ho_shift)
+        lo_bits, r, type_id = 4, zp >> ho_shift, 1
+    x_q = quantize(x, params.with_zero_point(zp))
+    if lo_bits == 4:
+        stack = slice_unsigned(x_q, total_bits=x_bits, slice_bits=4)
+    else:
+        stack = slice_dbs(x_q, lo_bits=lo_bits, total_bits=x_bits)
+    mask = activation_vector_mask(stack.ho, v=policy.v, compress_value=r)
+    return vector_sparsity(mask), mask, lo_bits, zp, r
+
+
+def _profile_activation_sym(layer: GemmLayer, policy: QuantPolicy,
+                            x_bits: int, x: np.ndarray,
+                            ) -> tuple[float, np.ndarray]:
+    params = symmetric_params(x, x_bits)
+    x_q = quantize(x, params)
+    stack = slice_sbr(x_q, total_bits=x_bits)
+    mask = activation_vector_mask(stack.ho, v=policy.v, compress_value=0)
+    return vector_sparsity(mask), mask
+
+
+def profile_model(
+    config: ModelConfig,
+    policy: QuantPolicy | None = None,
+    n_sample: int = 256,
+    m_cap: int = 1024,
+    seed: int = 0,
+    keep_masks: bool = True,
+) -> list[LayerProfile]:
+    """Measure every layer's sparsity profile under ``policy``.
+
+    ``n_sample`` caps the sampled token count and ``m_cap`` the sampled
+    weight rows; masks are kept at the capped shapes for the hardware
+    model's tile-level simulation.
+    """
+    policy = policy or QuantPolicy()
+    profiles: list[LayerProfile] = []
+    for i, layer in enumerate(config.layers):
+        rng = np.random.default_rng(seed + i * 977)
+        w_bits = policy.weight_bits(layer)
+        x_bits = policy.activation_bits(layer)
+        rho_w, uw = _profile_weight(layer, w_bits, policy.v, rng, m_cap)
+        n = min(layer.n, n_sample)
+        x = sample_activation(layer.act, layer.k, n, rng)
+        if policy.scheme == "aqs":
+            rho_x, ux, lo_bits, zp, r = _profile_activation_aqs(
+                layer, policy, x_bits, x)
+            type_id = {4: 1, 5: 2, 6: 3}[lo_bits]
+        elif policy.scheme == "sibia":
+            rho_x, ux = _profile_activation_sym(layer, policy, x_bits, x)
+            lo_bits, zp, r, type_id = 4, 0, 0, 1
+        else:  # dense: no slice sparsity exploited
+            rho_x, lo_bits, zp, r, type_id = 0.0, 4, 0, 0, 1
+            ux = np.ones((layer.k, -(-n // policy.v)), dtype=bool)
+            rho_w = 0.0
+            uw = np.ones_like(uw, dtype=bool)
+        profiles.append(LayerProfile(
+            layer=layer, w_bits=w_bits, x_bits=x_bits, lo_bits=lo_bits,
+            dbs_type=type_id, zp=zp, r=r, rho_w=rho_w, rho_x=rho_x,
+            uw_mask=uw if keep_masks else None,
+            ux_mask=ux if keep_masks else None,
+        ))
+    return profiles
+
+
+def synthetic_profile(
+    m: int,
+    k: int,
+    n: int,
+    rho_w: float,
+    rho_x: float,
+    w_bits: int = 7,
+    x_bits: int = 8,
+    v: int = 4,
+    m_cap: int = 1024,
+    n_cap: int = 256,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> LayerProfile:
+    """A layer profile with Bernoulli compressibility masks at given rho.
+
+    Used by the design-space sweeps (paper Fig. 13), which vary the HO
+    vector sparsities directly rather than deriving them from a model.
+    """
+    if not 0.0 <= rho_w <= 1.0 or not 0.0 <= rho_x <= 1.0:
+        raise ValueError("sparsities must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    from .configs import GemmLayer
+    from .distributions import ActivationSpec
+
+    layer = GemmLayer(name, m, k, n, "synthetic", ActivationSpec("layernorm"))
+    mg = -(-min(m, m_cap) // v)
+    ng = -(-min(n, n_cap) // v)
+    uw = rng.random((mg, k)) >= rho_w
+    ux = rng.random((k, ng)) >= rho_x
+    if w_bits == 4:
+        uw = np.ones_like(uw, dtype=bool)
+        rho_w = 0.0
+    return LayerProfile(
+        layer=layer, w_bits=w_bits, x_bits=x_bits, lo_bits=4, dbs_type=1,
+        zp=128, r=8, rho_w=rho_w, rho_x=rho_x, uw_mask=uw, ux_mask=ux,
+    )

@@ -1,0 +1,101 @@
+"""Runnable proxy models for accuracy/perplexity experiments.
+
+The full-shape configs in :mod:`repro.models.configs` drive the hardware
+model; accuracy and perplexity need *executable* networks.  Building
+2.7-B-parameter models in NumPy is neither feasible nor necessary — the
+quantities of interest are FP-vs-quantized deltas, which depend on layer
+types and activation statistics, not parameter count.  Each proxy keeps its
+family's structure (GELU MLPs, SwiGLU + GQA, outlier channels, ReLU convs)
+at a laptop-scale width/depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn import CausalLM, ResNet, TransformerClassifier
+from ..nn.module import Module
+from .configs import ModelConfig, get_config
+
+__all__ = ["ProxySpec", "PROXY_SPECS", "build_proxy"]
+
+
+@dataclass(frozen=True)
+class ProxySpec:
+    """Scaled-down runnable stand-in for one benchmark model."""
+
+    config_name: str
+    kind: str                   # "lm", "classifier", "resnet"
+    dim: int = 256
+    n_layers: int = 4
+    n_heads: int = 4
+    mlp_hidden: int = 1024
+    vocab: int = 512
+    n_classes: int = 16
+    n_kv_heads: int | None = None
+    block: str = "gpt"
+    n_outliers: int = 0
+    outlier_scale: float = 1.0
+    width: int = 32
+
+    def build(self, seed: int = 0) -> Module:
+        if self.kind == "lm":
+            return CausalLM(self.vocab, self.dim, self.n_layers, self.n_heads,
+                            self.mlp_hidden, block=self.block,
+                            n_kv_heads=self.n_kv_heads,
+                            n_outliers=self.n_outliers,
+                            outlier_scale=self.outlier_scale, seed=seed)
+        if self.kind == "classifier":
+            return TransformerClassifier(self.dim, self.n_layers,
+                                         self.n_heads, self.mlp_hidden,
+                                         self.n_classes,
+                                         n_outliers=self.n_outliers,
+                                         outlier_scale=self.outlier_scale,
+                                         seed=seed)
+        if self.kind == "resnet":
+            return ResNet(n_classes=self.n_classes, width=self.width,
+                          outlier_scale=self.outlier_scale, seed=seed)
+        raise ValueError(f"unknown proxy kind {self.kind!r}")
+
+
+PROXY_SPECS: dict[str, ProxySpec] = {
+    "deit_base": ProxySpec("deit_base", "classifier", dim=192, n_layers=4,
+                           n_heads=4, mlp_hidden=768, n_classes=32,
+                           n_outliers=4, outlier_scale=10.0),
+    "bert_base": ProxySpec("bert_base", "classifier", dim=192, n_layers=4,
+                           n_heads=4, mlp_hidden=768, n_classes=3,
+                           n_outliers=4, outlier_scale=10.0),
+    "gpt2": ProxySpec("gpt2", "lm", dim=192, n_layers=3, n_heads=4,
+                      mlp_hidden=768, vocab=512, n_outliers=3,
+                      outlier_scale=8.0),
+    "opt_350m": ProxySpec("opt_350m", "lm", dim=192, n_layers=3, n_heads=4,
+                          mlp_hidden=768, vocab=512, n_outliers=4,
+                          outlier_scale=12.0),
+    "opt_1p3b": ProxySpec("opt_1p3b", "lm", dim=256, n_layers=3, n_heads=4,
+                          mlp_hidden=1024, vocab=512, n_outliers=5,
+                          outlier_scale=14.0),
+    "opt_2p7b": ProxySpec("opt_2p7b", "lm", dim=256, n_layers=4, n_heads=4,
+                          mlp_hidden=1024, vocab=512, n_outliers=6,
+                          outlier_scale=16.0),
+    "llama32_1b": ProxySpec("llama32_1b", "lm", dim=256, n_layers=3,
+                            n_heads=8, n_kv_heads=2, mlp_hidden=1024,
+                            vocab=512, block="llama", n_outliers=8,
+                            outlier_scale=28.0),
+    "llama32_3b": ProxySpec("llama32_3b", "lm", dim=256, n_layers=4,
+                            n_heads=8, n_kv_heads=2, mlp_hidden=1024,
+                            vocab=512, block="llama", n_outliers=10,
+                            outlier_scale=28.0),
+    "resnet18": ProxySpec("resnet18", "resnet", n_classes=16, width=16,
+                          outlier_scale=6.0),
+}
+
+
+def build_proxy(name: str, seed: int = 0) -> tuple[Module, ModelConfig]:
+    """Return ``(runnable proxy, full-shape config)`` for a benchmark model."""
+    try:
+        spec = PROXY_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"no proxy for {name!r}; available: {sorted(PROXY_SPECS)}"
+        ) from None
+    return spec.build(seed=seed), get_config(name)

@@ -1,0 +1,39 @@
+"""NumPy NN substrate: modules, layers, transformer/ResNet skeletons."""
+
+from . import functional
+from .module import Module
+from .layers import Conv2d, Embedding, LayerNorm, Linear, RMSNorm, im2col
+from .attention import MultiHeadAttention
+from .transformer import (
+    CausalLM,
+    DecoderBlock,
+    EncoderBlock,
+    LlamaBlock,
+    Mlp,
+    OutlierChannelScaler,
+    SwiGluMlp,
+    TransformerClassifier,
+)
+from .resnet import BasicBlock, ResNet
+
+__all__ = [
+    "functional",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "LayerNorm",
+    "RMSNorm",
+    "Embedding",
+    "im2col",
+    "MultiHeadAttention",
+    "Mlp",
+    "SwiGluMlp",
+    "EncoderBlock",
+    "DecoderBlock",
+    "LlamaBlock",
+    "CausalLM",
+    "TransformerClassifier",
+    "OutlierChannelScaler",
+    "BasicBlock",
+    "ResNet",
+]

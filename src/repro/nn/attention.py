@@ -1,0 +1,61 @@
+"""Multi-head attention with optional causal masking and grouped KV heads.
+
+Covers the attention variants of the paper's benchmarks: bidirectional
+(BERT, DeiT), causal (GPT-2, OPT) and grouped-query (Llama-3.2).  The QKV
+and output projections are ``Linear`` layers — the GEMMs the accelerator
+runs; the score/value matmuls are dynamic activation-activation products the
+evaluation treats identically across designs (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Linear
+from .module import Module
+
+__all__ = ["MultiHeadAttention"]
+
+
+class MultiHeadAttention(Module):
+    def __init__(self, dim: int, n_heads: int, n_kv_heads: int | None = None,
+                 causal: bool = False,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if dim % n_heads:
+            raise ValueError(f"dim {dim} not divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.n_kv_heads = n_kv_heads or n_heads
+        if n_heads % self.n_kv_heads:
+            raise ValueError("n_heads must be a multiple of n_kv_heads")
+        self.head_dim = dim // n_heads
+        self.causal = causal
+        kv_dim = self.n_kv_heads * self.head_dim
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, kv_dim, rng=rng)
+        self.v_proj = Linear(dim, kv_dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def _split(self, x: np.ndarray, n_heads: int) -> np.ndarray:
+        b, t, _ = x.shape
+        return x.reshape(b, t, n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        q = self._split(self.q_proj(x), self.n_heads)
+        k = self._split(self.k_proj(x), self.n_kv_heads)
+        v = self._split(self.v_proj(x), self.n_kv_heads)
+        if self.n_kv_heads != self.n_heads:
+            reps = self.n_heads // self.n_kv_heads
+            k = np.repeat(k, reps, axis=1)
+            v = np.repeat(v, reps, axis=1)
+        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
+        if self.causal:
+            mask = np.triu(np.full((t, t), -np.inf), k=1)
+            scores = scores + mask
+        attn = F.softmax(scores, axis=-1)
+        out = (attn @ v).transpose(0, 2, 1, 3).reshape(b, t, self.dim)
+        return self.out_proj(out)

@@ -1,0 +1,161 @@
+"""Parametric layers of the NumPy NN substrate.
+
+``Linear`` and ``Conv2d`` are the layers the accelerator actually executes as
+GEMMs (convolution through im2col); the normalization/embedding layers exist
+so whole benchmark models run end to end and produce realistic activation
+distributions for calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .module import Module
+
+__all__ = ["Linear", "Conv2d", "LayerNorm", "RMSNorm", "Embedding", "im2col"]
+
+
+def _kaiming(rng: np.random.Generator, fan_in: int,
+             shape: tuple[int, ...]) -> np.ndarray:
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` with weight shape ``(out, in)``.
+
+    As a GEMM workload this is ``M = out_features``, ``K = in_features``,
+    ``N = number of tokens`` — the orientation used throughout the paper.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.register_parameter(
+            "weight", _kaiming(rng, in_features, (out_features, in_features))
+        )
+        self.register_parameter(
+            "bias", np.zeros(out_features) if bias else None
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = x @ self.weight.T
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    def gemm_shape(self, n_tokens: int) -> tuple[int, int, int]:
+        """The (M, K, N) this layer presents to the accelerator."""
+        return self.out_features, self.in_features, n_tokens
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}"
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+           padding: int) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(B, C, H, W)`` into ``(C*kh*kw, B*oh*ow)`` patch columns.
+
+    This is how a convolution becomes the ``K x N`` activation matrix of a
+    GEMM with ``M = out_channels`` and ``K = C*kh*kw``.
+    """
+    b, c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c, oh, ow, kh, kw),
+        strides=(strides[0], strides[1], strides[2] * stride,
+                 strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = windows.transpose(1, 4, 5, 0, 2, 3).reshape(c * kh * kw, b * oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+class Conv2d(Module):
+    """2-D convolution evaluated as an im2col GEMM."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.register_parameter(
+            "weight",
+            _kaiming(rng, fan_in, (out_channels, in_channels, kernel_size,
+                                   kernel_size)),
+        )
+        self.register_parameter(
+            "bias", np.zeros(out_channels) if bias else None
+        )
+
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """The flattened ``(M, K)`` GEMM view of the kernel."""
+        return self.weight.reshape(self.out_channels, -1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, oh, ow = im2col(x, self.kernel_size, self.kernel_size,
+                              self.stride, self.padding)
+        y = self.weight_matrix @ cols
+        if self.bias is not None:
+            y = y + self.bias[:, None]
+        b = x.shape[0]
+        return y.reshape(self.out_channels, b, oh, ow).transpose(1, 0, 2, 3)
+
+    def gemm_shape(self, h: int, w: int, batch: int = 1) -> tuple[int, int, int]:
+        oh = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        ow = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        k = self.in_channels * self.kernel_size * self.kernel_size
+        return self.out_channels, k, batch * oh * ow
+
+    def extra_repr(self) -> str:
+        return (f"in={self.in_channels}, out={self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding}")
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.register_parameter("gamma", np.ones(dim))
+        self.register_parameter("beta", np.zeros(dim))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.layer_norm(x, self.gamma, self.beta, self.eps)
+
+
+class RMSNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.eps = eps
+        self.register_parameter("gamma", np.ones(dim))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.rms_norm(x, self.gamma, self.eps)
+
+
+class Embedding(Module):
+    def __init__(self, vocab: int, dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.vocab = vocab
+        self.dim = dim
+        self.register_parameter("weight", rng.normal(0.0, 0.02, (vocab, dim)))
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        return self.weight[np.asarray(ids, dtype=np.int64)]

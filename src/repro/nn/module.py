@@ -1,0 +1,95 @@
+"""Minimal module system for the NumPy NN substrate.
+
+Provides the small subset of a deep-learning framework the reproduction
+needs: named parameters, module trees, forward hooks (used by PTQ
+calibration to observe activations) and child replacement (used to swap
+``Linear`` layers for quantized ones).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+__all__ = ["Module"]
+
+Hook = Callable[["Module", tuple, np.ndarray], None]
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self._modules: dict[str, Module] = {}
+        self._params: dict[str, np.ndarray] = {}
+        self._forward_hooks: list[Hook] = []
+
+    # -- attribute plumbing -------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, value: np.ndarray) -> None:
+        self._params[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- tree traversal ------------------------------------------------------
+    def children(self) -> Iterator[tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs, depth-first, self included."""
+        yield prefix or "", self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, value in self._params.items():
+            yield (f"{prefix}.{name}" if prefix else name), value
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def n_parameters(self) -> int:
+        return sum(int(p.size) for _, p in self.named_parameters())
+
+    def replace_child(self, dotted_name: str, new: "Module") -> None:
+        """Replace a descendant module addressed by its dotted path."""
+        parts = dotted_name.split(".")
+        parent = self
+        for part in parts[:-1]:
+            parent = parent._modules[part]
+        if parts[-1] not in parent._modules:
+            raise KeyError(f"no child named {dotted_name!r}")
+        parent._modules[parts[-1]] = new
+        object.__setattr__(parent, parts[-1], new)
+
+    # -- execution ------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        out = self.forward(*args, **kwargs)
+        for hook in self._forward_hooks:
+            hook(self, args, out)
+        return out
+
+    def register_forward_hook(self, hook: Hook) -> Callable[[], None]:
+        """Attach a hook; returns a zero-argument remover."""
+        self._forward_hooks.append(hook)
+
+        def remove() -> None:
+            if hook in self._forward_hooks:
+                self._forward_hooks.remove(hook)
+
+        return remove
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        inner = self.extra_repr()
+        return f"{type(self).__name__}({inner})"

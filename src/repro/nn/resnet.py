@@ -1,0 +1,109 @@
+"""ResNet-18-style convolutional network (the paper's non-transformer model).
+
+Batch-norm is folded into the convolutions (inference-time standard), so the
+quantizable layers are plain ``Conv2d`` + the final ``Linear`` — exactly the
+GEMMs the accelerator executes through im2col.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Conv2d, Linear
+from .module import Module
+
+__all__ = ["BasicBlock", "ResNet"]
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual (optionally strided) shortcut."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride,
+                            padding=1, rng=rng)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1,
+                            padding=1, rng=rng)
+        self.downsample = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Conv2d(in_channels, out_channels, 1,
+                                     stride=stride, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = self.downsample(x) if self.downsample is not None else x
+        out = F.relu(self.conv1(x))
+        out = self.conv2(out)
+        return F.relu(out + identity)
+
+
+class ResNet(Module):
+    """ResNet-18 topology: stem + 4 stages of 2 basic blocks + classifier.
+
+    Trained CNNs have selective filters: a few channels dominate the
+    activation range while most stay small.  ``outlier_scale`` re-creates
+    that in random proxies by boosting a fraction of each block's output
+    filters, giving the heavy-tailed post-ReLU distributions real ResNets
+    show under PTQ.
+    """
+
+    def __init__(self, n_classes: int = 1000, width: int = 64,
+                 image_channels: int = 3, outlier_scale: float = 1.0,
+                 outlier_fraction: float = 0.08, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = Conv2d(image_channels, width, 7, stride=2, padding=3,
+                           rng=rng)
+        widths = [width, width * 2, width * 4, width * 8]
+        stages = _StageList()
+        in_ch = width
+        for si, out_ch in enumerate(widths):
+            stride = 1 if si == 0 else 2
+            setattr(stages, f"s{si}a",
+                    BasicBlock(in_ch, out_ch, stride=stride, rng=rng))
+            setattr(stages, f"s{si}b", BasicBlock(out_ch, out_ch, rng=rng))
+            in_ch = out_ch
+        self.stages = stages
+        self.fc = Linear(widths[-1], n_classes, rng=rng)
+        if outlier_scale > 1.0:
+            self._boost_channels(rng, outlier_scale, outlier_fraction)
+
+    def _boost_channels(self, rng: np.random.Generator, scale: float,
+                        fraction: float) -> None:
+        for _, block in self.stages.children():
+            for conv in (block.conv1, block.conv2):
+                n = max(1, int(fraction * conv.out_channels))
+                idx = rng.choice(conv.out_channels, size=n, replace=False)
+                conv.weight[idx] *= scale
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = F.relu(self.stem(x))
+        # 3x3 stride-2 max pool
+        out = _max_pool(out, 3, 2, 1)
+        for _, block in self.stages.children():
+            out = block(out)
+        pooled = np.mean(out, axis=(2, 3))
+        return self.fc(pooled)
+
+
+class _StageList(Module):
+    def forward(self, *args, **kwargs):  # pragma: no cover - container only
+        raise RuntimeError("_StageList is a container, not a layer")
+
+
+def _max_pool(x: np.ndarray, k: int, stride: int, padding: int) -> np.ndarray:
+    b, c, h, w = x.shape
+    x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+               constant_values=-np.inf)
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (w + 2 * padding - k) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(b, c, oh, ow, k, k),
+        strides=(strides[0], strides[1], strides[2] * stride,
+                 strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    return windows.max(axis=(4, 5))

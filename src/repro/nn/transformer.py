@@ -1,0 +1,214 @@
+"""Transformer blocks and model skeletons.
+
+Three block flavours match the paper's benchmark families:
+
+* :class:`EncoderBlock` — pre-LN, GELU MLP (BERT-base, DeiT-base);
+* :class:`DecoderBlock` — pre-LN causal, GELU MLP (GPT-2, OPT);
+* :class:`LlamaBlock` — RMSNorm, grouped-query attention, SwiGLU MLP
+  (Llama-3.2), whose down-projection input is the paper's
+  "sensitivity-critical layer" (Fig. 17 discussion).
+
+:class:`CausalLM` and :class:`TransformerClassifier` are the runnable model
+skeletons the accuracy/perplexity evaluations use; `OutlierChannelScaler`
+injects the per-channel outliers that make OPT/Llama-style residual streams
+hard to quantize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .attention import MultiHeadAttention
+from .layers import Embedding, LayerNorm, Linear, RMSNorm
+from .module import Module
+
+__all__ = [
+    "Mlp",
+    "SwiGluMlp",
+    "EncoderBlock",
+    "DecoderBlock",
+    "LlamaBlock",
+    "CausalLM",
+    "TransformerClassifier",
+    "OutlierChannelScaler",
+]
+
+
+class Mlp(Module):
+    """The two-layer GELU MLP (fc1 -> GELU -> fc2)."""
+
+    def __init__(self, dim: int, hidden: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, hidden, rng=rng)
+        self.fc2 = Linear(hidden, dim, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2(F.gelu(self.fc1(x)))
+
+
+class SwiGluMlp(Module):
+    """Llama's gated MLP: down( silu(gate(x)) * up(x) )."""
+
+    def __init__(self, dim: int, hidden: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.gate_proj = Linear(dim, hidden, bias=False, rng=rng)
+        self.up_proj = Linear(dim, hidden, bias=False, rng=rng)
+        self.down_proj = Linear(hidden, dim, bias=False, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.down_proj(F.silu(self.gate_proj(x)) * self.up_proj(x))
+
+
+class OutlierChannelScaler(Module):
+    """Scales a few channels of the residual stream by a large factor.
+
+    Pretrained OPT/Llama models carry systematic per-channel outliers in
+    their residual activations — the property that makes them "more
+    challenging to quantize" (paper Section IV).  Randomly-initialized
+    proxies lack them, so this module re-creates the phenomenon with a fixed
+    channel subset and scale.
+    """
+
+    def __init__(self, dim: int, n_outliers: int, scale: float,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(7)
+        self.scale_vector = np.ones(dim)
+        if n_outliers > 0:
+            idx = rng.choice(dim, size=min(n_outliers, dim), replace=False)
+            self.scale_vector[idx] = scale
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x * self.scale_vector
+
+
+class EncoderBlock(Module):
+    """Pre-LN encoder block (BERT-base / DeiT-base layout).
+
+    Trained encoders carry outlier channels in their residual streams (the
+    well-documented ViT/BERT phenomenon); ``n_outliers`` re-creates them in
+    randomly-initialized proxies.
+    """
+
+    def __init__(self, dim: int, n_heads: int, mlp_hidden: int,
+                 n_outliers: int = 0, outlier_scale: float = 1.0,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, n_heads, causal=False, rng=rng)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = Mlp(dim, mlp_hidden, rng=rng)
+        self.outliers = OutlierChannelScaler(dim, n_outliers, outlier_scale,
+                                             rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attn(self.ln1(x))
+        return self.outliers(x + self.mlp(self.ln2(x)))
+
+
+class DecoderBlock(Module):
+    """Pre-LN causal decoder block (GPT-2 / OPT layout) with outlier scaling."""
+
+    def __init__(self, dim: int, n_heads: int, mlp_hidden: int,
+                 n_outliers: int = 0, outlier_scale: float = 1.0,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.ln1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, n_heads, causal=True, rng=rng)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = Mlp(dim, mlp_hidden, rng=rng)
+        self.outliers = OutlierChannelScaler(dim, n_outliers, outlier_scale,
+                                             rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attn(self.ln1(x))
+        x = x + self.mlp(self.ln2(x))
+        return self.outliers(x)
+
+
+class LlamaBlock(Module):
+    """RMSNorm + GQA + SwiGLU block (Llama-3.2 layout)."""
+
+    def __init__(self, dim: int, n_heads: int, n_kv_heads: int,
+                 mlp_hidden: int, n_outliers: int = 0,
+                 outlier_scale: float = 1.0,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.norm1 = RMSNorm(dim)
+        self.attn = MultiHeadAttention(dim, n_heads, n_kv_heads=n_kv_heads,
+                                       causal=True, rng=rng)
+        self.norm2 = RMSNorm(dim)
+        self.mlp = SwiGluMlp(dim, mlp_hidden, rng=rng)
+        self.outliers = OutlierChannelScaler(dim, n_outliers, outlier_scale,
+                                             rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return self.outliers(x)
+
+
+class CausalLM(Module):
+    """Token embedding -> N decoder blocks -> LM head over logits."""
+
+    def __init__(self, vocab: int, dim: int, n_layers: int, n_heads: int,
+                 mlp_hidden: int, block: str = "gpt", n_kv_heads: int | None = None,
+                 n_outliers: int = 0, outlier_scale: float = 1.0,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.embed = Embedding(vocab, dim, rng=rng)
+        self.blocks = _BlockList()
+        for i in range(n_layers):
+            if block == "llama":
+                layer = LlamaBlock(dim, n_heads, n_kv_heads or n_heads,
+                                   mlp_hidden, n_outliers, outlier_scale,
+                                   rng=rng)
+            else:
+                layer = DecoderBlock(dim, n_heads, mlp_hidden, n_outliers,
+                                     outlier_scale, rng=rng)
+            setattr(self.blocks, f"b{i}", layer)
+        self.final_norm = (RMSNorm(dim) if block == "llama" else LayerNorm(dim))
+        self.lm_head = Linear(dim, vocab, bias=False, rng=rng)
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        x = self.embed(ids)
+        for _, layer in self.blocks.children():
+            x = layer(x)
+        return self.lm_head(self.final_norm(x))
+
+
+class TransformerClassifier(Module):
+    """Encoder stack + mean-pool classification head (BERT/DeiT proxy)."""
+
+    def __init__(self, dim: int, n_layers: int, n_heads: int, mlp_hidden: int,
+                 n_classes: int, input_dim: int | None = None,
+                 n_outliers: int = 0, outlier_scale: float = 1.0,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_proj = Linear(input_dim or dim, dim, rng=rng)
+        self.blocks = _BlockList()
+        for i in range(n_layers):
+            setattr(self.blocks, f"b{i}",
+                    EncoderBlock(dim, n_heads, mlp_hidden, n_outliers,
+                                 outlier_scale, rng=rng))
+        self.final_norm = LayerNorm(dim)
+        self.head = Linear(dim, n_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.input_proj(x)
+        for _, layer in self.blocks.children():
+            x = layer(x)
+        pooled = np.mean(self.final_norm(x), axis=1)
+        return self.head(pooled)
+
+
+class _BlockList(Module):
+    """A bare container whose children are the stacked blocks."""
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - never called
+        raise RuntimeError("_BlockList is a container, not a layer")

@@ -1,0 +1,61 @@
+"""Quantization substrate: uniform PTQ, observers, granularity, OPTQ."""
+
+from .uniform import (
+    QuantParams,
+    asymmetric_params,
+    dequantize,
+    fake_quantize,
+    params_from_range,
+    quant_range,
+    quantize,
+    symmetric_params,
+)
+from .granularity import (
+    GroupedQuantParams,
+    group_wise_symmetric,
+    per_channel_symmetric,
+    per_tensor_symmetric,
+    quantize_weight,
+)
+from .observers import (
+    EmaMinMaxObserver,
+    HistogramObserver,
+    MinMaxObserver,
+    Observer,
+    PercentileObserver,
+    make_observer,
+)
+from .optq import OptqResult, hessian_from_activations, optq_quantize
+from .mixed_precision import (
+    LayerSensitivity,
+    assign_precision,
+    measure_sensitivity,
+)
+
+__all__ = [
+    "QuantParams",
+    "asymmetric_params",
+    "symmetric_params",
+    "params_from_range",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "quant_range",
+    "GroupedQuantParams",
+    "group_wise_symmetric",
+    "per_channel_symmetric",
+    "per_tensor_symmetric",
+    "quantize_weight",
+    "Observer",
+    "MinMaxObserver",
+    "EmaMinMaxObserver",
+    "PercentileObserver",
+    "HistogramObserver",
+    "make_observer",
+    "OptqResult",
+    "hessian_from_activations",
+    "optq_quantize",
+    "LayerSensitivity",
+    "assign_precision",
+    "measure_sensitivity",
+]

@@ -1,0 +1,99 @@
+"""Quantization granularities: per-tensor, per-channel and group-wise.
+
+The paper uses per-tensor quantization for activations throughout, per-tensor
+symmetric quantization for most weights, and "64 channel-wise quantization"
+(group size 64 along the input-channel axis) for Llama-3.2 weights
+(Section IV, Fig. 17 discussion).  This module derives parameters at those
+granularities and materializes them in a form broadcastable against the
+weight matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .uniform import QuantParams, quantize, dequantize, symmetric_params
+
+__all__ = [
+    "GroupedQuantParams",
+    "per_tensor_symmetric",
+    "per_channel_symmetric",
+    "group_wise_symmetric",
+]
+
+
+def per_tensor_symmetric(w: np.ndarray, bits: int) -> QuantParams:
+    """One scale for the whole weight tensor."""
+    return symmetric_params(w, bits, axis=None)
+
+
+def per_channel_symmetric(w: np.ndarray, bits: int, axis: int = 0) -> QuantParams:
+    """One scale per output channel (``axis`` indexes channels)."""
+    return symmetric_params(w, bits, axis=axis)
+
+
+@dataclass(frozen=True)
+class GroupedQuantParams:
+    """Group-wise symmetric parameters for a 2-D weight ``(M, K)``.
+
+    Groups of ``group_size`` consecutive input channels (columns) share one
+    scale; this is the "64 channel-wise quantization" the paper applies to
+    Llama-3.2 weights.  ``scales`` has shape ``(M, n_groups)``.
+    """
+
+    scales: np.ndarray
+    bits: int
+    group_size: int
+
+    @property
+    def n_groups(self) -> int:
+        return self.scales.shape[1]
+
+    def expand(self, k: int) -> np.ndarray:
+        """Return per-element scales of shape ``(M, k)``."""
+        reps = np.repeat(self.scales, self.group_size, axis=1)
+        return reps[:, :k]
+
+
+def group_wise_symmetric(
+    w: np.ndarray, bits: int, group_size: int = 64
+) -> tuple[np.ndarray, GroupedQuantParams]:
+    """Quantize ``w`` (M, K) with one symmetric scale per K-group per row.
+
+    Returns the integer weight matrix and the grouped parameters.  The last
+    group may be ragged when ``K % group_size != 0``.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim != 2:
+        raise ValueError(f"group-wise quantization expects 2-D weights, got {w.ndim}-D")
+    m, k = w.shape
+    n_groups = -(-k // group_size)
+    qmax = (1 << (bits - 1)) - 1
+    scales = np.empty((m, n_groups), dtype=np.float64)
+    q = np.empty_like(w, dtype=np.int64)
+    for g in range(n_groups):
+        sl = slice(g * group_size, min((g + 1) * group_size, k))
+        block = w[:, sl]
+        amax = np.maximum(np.max(np.abs(block), axis=1, keepdims=True), 1e-12)
+        s = 2.0 * amax / ((1 << bits) - 1)
+        scales[:, g] = s[:, 0]
+        q[:, sl] = np.clip(np.rint(block / s), -qmax - 1, qmax).astype(np.int64)
+    return q, GroupedQuantParams(scales=scales, bits=bits, group_size=group_size)
+
+
+def dequantize_grouped(q: np.ndarray, params: GroupedQuantParams) -> np.ndarray:
+    """Inverse of :func:`group_wise_symmetric`."""
+    return q.astype(np.float64) * params.expand(q.shape[1])
+
+
+def quantize_weight(w: np.ndarray, bits: int, axis: int | None = None) -> tuple[np.ndarray, QuantParams]:
+    """Convenience wrapper: symmetric weight quantization returning ``(q, params)``."""
+    params = symmetric_params(w, bits, axis=axis)
+    return quantize(w, params), params
+
+
+def reconstruct_weight(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Dequantize an integer weight matrix."""
+    return dequantize(q, params)

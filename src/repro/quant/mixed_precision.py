@@ -1,0 +1,72 @@
+"""Sensitivity-driven mixed-precision assignment (paper Fig. 17 discussion).
+
+"The inputs to sensitivity-critical layers, i.e., the down-projection layer,
+can be expressed with three bit-slices" — this module decides *which* layers
+those are by measuring each layer's quantization sensitivity (output MSE
+under the candidate bit-width, normalized by output energy) and promoting
+the most sensitive ones to a wider format within a budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .uniform import asymmetric_params, fake_quantize
+
+__all__ = ["LayerSensitivity", "measure_sensitivity", "assign_precision"]
+
+
+@dataclass(frozen=True)
+class LayerSensitivity:
+    """Relative output error of one layer under the base activation width."""
+
+    name: str
+    error: float
+
+    def __lt__(self, other: "LayerSensitivity") -> bool:
+        return self.error < other.error
+
+
+def measure_sensitivity(name: str, w: np.ndarray, x: np.ndarray,
+                        x_bits: int = 8) -> LayerSensitivity:
+    """Quantization sensitivity of layer ``name``: ``|W(x - x_q)|² / |Wx|²``.
+
+    ``w`` is the float weight ``(M, K)``, ``x`` a calibration activation
+    ``(K, N)``.  Activation-only sensitivity isolates the decision the paper
+    makes (extra activation slices), independent of weight handling.
+    """
+    params = asymmetric_params(x, x_bits)
+    x_dq = fake_quantize(x, params)
+    ref = w @ x
+    err = w @ (x - x_dq)
+    denom = float(np.mean(ref ** 2)) + 1e-12
+    return LayerSensitivity(name=name, error=float(np.mean(err ** 2)) / denom)
+
+
+def assign_precision(
+    sensitivities: list[LayerSensitivity],
+    base_bits: int = 8,
+    promoted_bits: int = 12,
+    budget_fraction: float = 0.25,
+    threshold: float | None = None,
+) -> dict[str, int]:
+    """Promote the most sensitive layers to ``promoted_bits``.
+
+    Either the top ``budget_fraction`` of layers or every layer whose error
+    exceeds ``threshold`` (when given) is promoted; everything else keeps
+    ``base_bits``.  Returns ``{layer_name: x_bits}``.
+    """
+    if not sensitivities:
+        return {}
+    if threshold is not None:
+        promoted = {s.name for s in sensitivities if s.error > threshold}
+    else:
+        n_promote = max(1, int(round(budget_fraction * len(sensitivities))))
+        ranked = sorted(sensitivities, reverse=True)
+        promoted = {s.name for s in ranked[:n_promote]}
+    return {
+        s.name: (promoted_bits if s.name in promoted else base_bits)
+        for s in sensitivities
+    }

@@ -1,0 +1,242 @@
+"""Range observers used during PTQ calibration (paper Fig. 6, "calibration").
+
+An observer watches the activation tensors that flow through one layer during
+calibration and summarizes them into a value range from which Eq. 1/2
+parameters are derived.  Four standard observers are provided:
+
+* :class:`MinMaxObserver` — running global min/max (the paper's default);
+* :class:`EmaMinMaxObserver` — exponential moving average of per-batch
+  min/max, robust to a single outlier batch;
+* :class:`PercentileObserver` — clips the range to percentiles, a common
+  mitigation for long-tail activation distributions;
+* :class:`HistogramObserver` — also records a histogram of quantized values,
+  which the DBS distribution-monitoring step consumes (paper Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .uniform import QuantParams, params_from_range, quantize
+
+__all__ = [
+    "Observer",
+    "MinMaxObserver",
+    "EmaMinMaxObserver",
+    "PercentileObserver",
+    "HistogramObserver",
+    "make_observer",
+]
+
+
+class Observer:
+    """Base class: accumulate batches, then emit quantization parameters."""
+
+    def __init__(self, bits: int = 8, symmetric: bool = False) -> None:
+        self.bits = bits
+        self.symmetric = symmetric
+        self._seen = 0
+
+    def observe(self, x: np.ndarray) -> None:
+        """Record one calibration batch."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.size == 0:
+            return
+        self._update(x)
+        self._seen += 1
+
+    def _update(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def range(self) -> tuple[float, float]:
+        raise NotImplementedError
+
+    @property
+    def batches_seen(self) -> int:
+        return self._seen
+
+    def params(self) -> QuantParams:
+        """Derive Eq. 1/2 parameters from the observed range."""
+        if self._seen == 0:
+            raise RuntimeError("observer has seen no data")
+        lo, hi = self.range()
+        return params_from_range(lo, hi, self.bits, self.symmetric)
+
+
+class MinMaxObserver(Observer):
+    """Running global minimum and maximum."""
+
+    def __init__(self, bits: int = 8, symmetric: bool = False) -> None:
+        super().__init__(bits, symmetric)
+        self._lo = np.inf
+        self._hi = -np.inf
+
+    def _update(self, x: np.ndarray) -> None:
+        self._lo = min(self._lo, float(np.min(x)))
+        self._hi = max(self._hi, float(np.max(x)))
+
+    def range(self) -> tuple[float, float]:
+        return self._lo, self._hi
+
+
+class EmaMinMaxObserver(Observer):
+    """Exponential moving average of per-batch min/max."""
+
+    def __init__(self, bits: int = 8, symmetric: bool = False,
+                 momentum: float = 0.9) -> None:
+        super().__init__(bits, symmetric)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._lo: float | None = None
+        self._hi: float | None = None
+
+    def _update(self, x: np.ndarray) -> None:
+        lo, hi = float(np.min(x)), float(np.max(x))
+        if self._lo is None:
+            self._lo, self._hi = lo, hi
+        else:
+            m = self.momentum
+            self._lo = m * self._lo + (1 - m) * lo
+            self._hi = m * self._hi + (1 - m) * hi
+
+    def range(self) -> tuple[float, float]:
+        assert self._lo is not None and self._hi is not None
+        return self._lo, self._hi
+
+
+class PercentileObserver(Observer):
+    """Range from lower/upper percentiles of a reservoir sample."""
+
+    def __init__(self, bits: int = 8, symmetric: bool = False,
+                 percentile: float = 99.9, reservoir: int = 1 << 18,
+                 seed: int = 0) -> None:
+        super().__init__(bits, symmetric)
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+        self.percentile = percentile
+        self._capacity = reservoir
+        self._samples: list[np.ndarray] = []
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+
+    def _update(self, x: np.ndarray) -> None:
+        flat = x.ravel()
+        if flat.size > self._capacity // 4:
+            flat = self._rng.choice(flat, size=self._capacity // 4, replace=False)
+        self._samples.append(flat)
+        self._count += flat.size
+        if self._count > self._capacity:
+            pooled = np.concatenate(self._samples)
+            pooled = self._rng.choice(pooled, size=self._capacity // 2, replace=False)
+            self._samples = [pooled]
+            self._count = pooled.size
+
+    def range(self) -> tuple[float, float]:
+        pooled = np.concatenate(self._samples)
+        lo = float(np.percentile(pooled, 100.0 - self.percentile))
+        hi = float(np.percentile(pooled, self.percentile))
+        if hi <= lo:
+            hi = lo + 1e-12
+        return lo, hi
+
+
+class HistogramObserver(MinMaxObserver):
+    """Min/max observer that also histograms the *quantized* values.
+
+    The DBS distribution-monitoring step (paper Fig. 9) "records histograms
+    for quantized activations and then calculates their standard deviations";
+    this observer retains exactly that: a histogram over integer codes from
+    which the std is computed.
+    """
+
+    def __init__(self, bits: int = 8, symmetric: bool = False) -> None:
+        super().__init__(bits, symmetric)
+        n_codes = 1 << bits
+        self._hist = np.zeros(n_codes, dtype=np.int64)
+        self._pending: list[np.ndarray] = []
+
+    def _update(self, x: np.ndarray) -> None:
+        super()._update(x)
+        # Quantized codes depend on the final range, so raw batches are kept
+        # (subsampled) and histogrammed lazily when requested.
+        flat = x.ravel()
+        if flat.size > 1 << 16:
+            flat = flat[:: flat.size // (1 << 16) + 1]
+        self._pending.append(flat)
+
+    def quantized_histogram(self) -> np.ndarray:
+        """Histogram of quantized codes under the final parameters."""
+        params = self.params()
+        hist = np.zeros(1 << self.bits, dtype=np.int64)
+        offset = 0 if not params.signed else (1 << (self.bits - 1))
+        for batch in self._pending:
+            q = quantize(batch, params) + offset
+            hist += np.bincount(q.astype(np.int64), minlength=1 << self.bits)
+        return hist
+
+    def quantized_std(self, robust: bool = True) -> float:
+        """Width of the quantized-code distribution (DBS monitoring input).
+
+        ``robust=True`` (default) estimates sigma from the 15.9/84.1
+        percentiles of the histogram — identical to the plain std for a
+        normal distribution but insensitive to the outlier channels that
+        set the quantization range in OPT/Llama-style models.  The DBS skip
+        range targets the distribution *bulk*, so the bulk width is the
+        meaningful input to the z-score comparison (paper Fig. 9).
+        """
+        hist = self.quantized_histogram()
+        total = hist.sum()
+        if total == 0:
+            return 0.0
+        codes = np.arange(hist.size, dtype=np.float64)
+        if not robust:
+            mean = float((codes * hist).sum() / total)
+            var = float(((codes - mean) ** 2 * hist).sum() / total)
+            return float(np.sqrt(var))
+        cdf = np.cumsum(hist) / total
+        lo = float(np.searchsorted(cdf, 0.159))
+        hi = float(np.searchsorted(cdf, 0.841))
+        return max((hi - lo) / 2.0, 0.5)
+
+    def in_skip_fraction(self, zp: int, lo_bits: int = 4) -> float:
+        """Fraction of quantized codes whose HO slice equals ``zp >> l``.
+
+        This is the layer's slice-level sparsity at the basic ``l = 4``
+        slicing — the quantity DBS compares against its target sparsity
+        when deciding whether to escalate to type-2/3 (paper Fig. 9).
+        Evaluated as if the ZPM had centred the zero-point, i.e. over the
+        bucket-aligned window around ``zp``.
+        """
+        hist = self.quantized_histogram()
+        total = hist.sum()
+        if total == 0:
+            return 0.0
+        from ..core.zpm import manipulate_zero_point
+
+        zp_c = manipulate_zero_point(max(zp, 0), lo_bits)
+        r = zp_c >> lo_bits
+        shift = zp_c - zp
+        codes = np.arange(hist.size) + shift
+        in_range = (codes >> lo_bits) == r
+        return float(hist[in_range].sum() / total)
+
+
+_OBSERVERS = {
+    "minmax": MinMaxObserver,
+    "ema": EmaMinMaxObserver,
+    "percentile": PercentileObserver,
+    "histogram": HistogramObserver,
+}
+
+
+def make_observer(kind: str, bits: int = 8, symmetric: bool = False,
+                  **kwargs) -> Observer:
+    """Factory for observers by name (``minmax``/``ema``/``percentile``/``histogram``)."""
+    try:
+        cls = _OBSERVERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown observer {kind!r}; choose from {sorted(_OBSERVERS)}"
+        ) from None
+    return cls(bits=bits, symmetric=symmetric, **kwargs)

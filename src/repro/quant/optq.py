@@ -1,0 +1,117 @@
+"""OPTQ (GPTQ) weight-only quantization [46], re-implemented in NumPy.
+
+The paper uses OPTQ for 4-bit weights (Fig. 19) and for Llama-3.2, whose
+"structural differences and large outliers" make naive symmetric weight
+quantization lossy (Fig. 17).  The algorithm quantizes weight columns one at
+a time and redistributes each column's rounding error over the not-yet-
+quantized columns through the inverse Hessian ``H = 2 X X^T + damp*I`` of
+the layerwise reconstruction problem.
+
+Group-wise scales (``group_size=64``) implement the paper's "64 channel-wise
+quantization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OptqResult", "optq_quantize", "hessian_from_activations"]
+
+
+@dataclass(frozen=True)
+class OptqResult:
+    """Quantized integer weights plus their (possibly grouped) scales.
+
+    ``scales`` has shape ``(M, n_groups)``; ``dequantize()`` reconstructs the
+    float weights the accelerator's output scaling assumes.
+    """
+
+    w_q: np.ndarray
+    scales: np.ndarray
+    bits: int
+    group_size: int
+    reconstruction_error: float
+
+    def dequantize(self) -> np.ndarray:
+        k = self.w_q.shape[1]
+        expanded = np.repeat(self.scales, self.group_size, axis=1)[:, :k]
+        return self.w_q.astype(np.float64) * expanded
+
+
+def hessian_from_activations(x_calib: np.ndarray,
+                             damp_ratio: float = 0.01) -> np.ndarray:
+    """Damped layer Hessian ``2 X X^T + damp*I`` from ``(K, N)`` activations."""
+    x = np.asarray(x_calib, dtype=np.float64)
+    h = 2.0 * (x @ x.T)
+    damp = damp_ratio * float(np.mean(np.diag(h)))
+    if damp <= 0:
+        damp = 1e-8
+    h[np.diag_indices_from(h)] += damp
+    return h
+
+
+def _symmetric_scale(block: np.ndarray, bits: int) -> np.ndarray:
+    amax = np.maximum(np.max(np.abs(block), axis=1, keepdims=True), 1e-12)
+    return 2.0 * amax / ((1 << bits) - 1)
+
+
+def optq_quantize(
+    w: np.ndarray,
+    x_calib: np.ndarray,
+    bits: int = 4,
+    group_size: int | None = 64,
+    damp_ratio: float = 0.01,
+) -> OptqResult:
+    """Quantize ``(M, K)`` weights to ``bits`` with OPTQ error compensation.
+
+    ``x_calib`` is a ``(K, N)`` calibration activation matrix.  Columns are
+    processed in natural order (the activation-order heuristic of the
+    original paper is an optional refinement the evaluation does not need);
+    at each group boundary scales are re-derived from the *updated* weights,
+    which is what makes grouping effective.
+    """
+    w = np.asarray(w, dtype=np.float64).copy()
+    m, k = w.shape
+    if x_calib.shape[0] != k:
+        raise ValueError(
+            f"calibration activations have K={x_calib.shape[0]}, weights K={k}"
+        )
+    group = group_size or k
+    qmax = (1 << (bits - 1)) - 1
+    qmin = -(1 << (bits - 1))
+
+    h = hessian_from_activations(x_calib, damp_ratio)
+    # Inverse Hessian via Cholesky; GPTQ uses the upper factor U with
+    # H^-1 = U^T U (i.e. cholesky(H^-1).T), whose row [j, j+1:] is the
+    # error-propagation weighting for the not-yet-quantized columns.
+    hinv = np.linalg.inv(h)
+    hinv_chol = np.linalg.cholesky(hinv).T
+
+    n_groups = -(-k // group)
+    scales = np.zeros((m, n_groups), dtype=np.float64)
+    w_q = np.zeros((m, k), dtype=np.int64)
+    w_ref = w.copy()
+
+    current_scale = None
+    for j in range(k):
+        g = j // group
+        if j % group == 0:
+            block = w[:, j:min(j + group, k)]
+            current_scale = _symmetric_scale(block, bits)
+            scales[:, g] = current_scale[:, 0]
+        col = w[:, j]
+        q = np.clip(np.rint(col / current_scale[:, 0]), qmin, qmax)
+        w_q[:, j] = q.astype(np.int64)
+        dq = q * current_scale[:, 0]
+        err = (col - dq) / hinv_chol[j, j]
+        if j + 1 < k:
+            w[:, j + 1:] -= np.outer(err, hinv_chol[j, j + 1:])
+
+    recon = OptqResult(w_q=w_q, scales=scales, bits=bits, group_size=group,
+                       reconstruction_error=0.0).dequantize()
+    x = np.asarray(x_calib, dtype=np.float64)
+    err = float(np.mean(((w_ref - recon) @ x) ** 2))
+    return OptqResult(w_q=w_q, scales=scales, bits=bits, group_size=group,
+                      reconstruction_error=err)

@@ -1,0 +1,165 @@
+"""Uniform quantization primitives (paper Eqs. 1 and 2).
+
+Two schemes are implemented exactly as the paper defines them:
+
+* symmetric (Eq. 1): signed integers, scale ``s = 2*max(|x|)/(2^b - 1)``,
+  quantized as ``clip(round(x/s), -2^(b-1), 2^(b-1)-1)``;
+* asymmetric (Eq. 2): unsigned integers, scale
+  ``s' = (max(x)-min(x))/(2^b - 1)`` and zero-point
+  ``zp = clip(round(-min(x)/s'), 0, 2^b - 1)``, quantized as
+  ``clip(round(x/s') + zp, 0, 2^b - 1)``.
+
+Rounding is round-half-to-even (``np.rint``), matching the paper's
+round-to-nearest operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = [
+    "QuantParams",
+    "symmetric_params",
+    "asymmetric_params",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "quant_range",
+]
+
+
+def quant_range(bits: int, signed: bool) -> tuple[int, int]:
+    """Return the inclusive ``(qmin, qmax)`` integer range for a format."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if signed:
+        return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return 0, (1 << bits) - 1
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Parameters of a uniform quantizer.
+
+    ``scale`` and ``zero_point`` are scalars for per-tensor quantization and
+    arrays (broadcastable against the quantized tensor) for per-channel or
+    group-wise quantization.  ``signed`` selects the integer range; the
+    symmetric scheme uses ``signed=True`` with ``zero_point == 0`` and the
+    asymmetric scheme uses ``signed=False`` with a nonzero zero-point.
+    """
+
+    scale: np.ndarray
+    zero_point: np.ndarray
+    bits: int
+    signed: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scale", np.asarray(self.scale, dtype=np.float64))
+        object.__setattr__(
+            self, "zero_point", np.asarray(self.zero_point, dtype=np.int64)
+        )
+        if np.any(self.scale <= 0):
+            raise ValueError("scale must be strictly positive")
+        qmin, qmax = quant_range(self.bits, self.signed)
+        if np.any(self.zero_point < qmin) or np.any(self.zero_point > qmax):
+            raise ValueError(
+                f"zero_point out of range [{qmin}, {qmax}] for "
+                f"{self.bits}-bit {'signed' if self.signed else 'unsigned'}"
+            )
+
+    @property
+    def qmin(self) -> int:
+        return quant_range(self.bits, self.signed)[0]
+
+    @property
+    def qmax(self) -> int:
+        return quant_range(self.bits, self.signed)[1]
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.signed and bool(np.all(self.zero_point == 0))
+
+    def with_zero_point(self, zero_point: np.ndarray | int) -> "QuantParams":
+        """Return a copy with a replaced zero-point (used by the ZPM)."""
+        return replace(self, zero_point=np.asarray(zero_point, dtype=np.int64))
+
+
+def _min_max(x: np.ndarray, axis: int | None) -> tuple[np.ndarray, np.ndarray]:
+    if x.size == 0:
+        raise ValueError("cannot derive quantization parameters from empty input")
+    if axis is None:
+        return np.min(x), np.max(x)
+    reduce_axes = tuple(a for a in range(x.ndim) if a != axis % x.ndim)
+    return np.min(x, axis=reduce_axes, keepdims=True), np.max(
+        x, axis=reduce_axes, keepdims=True
+    )
+
+
+def symmetric_params(
+    x: np.ndarray, bits: int, axis: int | None = None, eps: float = 1e-12
+) -> QuantParams:
+    """Derive Eq. 1 parameters: ``s = 2*max(|x|)/(2^b - 1)``, ``zp = 0``."""
+    lo, hi = _min_max(np.abs(np.asarray(x, dtype=np.float64)), axis)
+    del lo
+    scale = 2.0 * np.maximum(hi, eps) / ((1 << bits) - 1)
+    return QuantParams(scale=scale, zero_point=np.zeros_like(scale, dtype=np.int64),
+                       bits=bits, signed=True)
+
+
+def asymmetric_params(
+    x: np.ndarray, bits: int, axis: int | None = None, eps: float = 1e-12
+) -> QuantParams:
+    """Derive Eq. 2 parameters: ``s' = (max-min)/(2^b-1)``, ``zp = ⌊-min/s'⌉``.
+
+    The observed range is first extended to include zero (standard PTQ
+    practice): otherwise a strictly-positive input would clip its own top
+    codes once ``zp`` saturates at 0.  For the usual ``min <= 0 <= max``
+    case this is exactly Eq. 2.
+    """
+    lo, hi = _min_max(np.asarray(x, dtype=np.float64), axis)
+    lo = np.minimum(lo, 0.0)
+    hi = np.maximum(hi, 0.0)
+    scale = np.maximum(hi - lo, eps) / ((1 << bits) - 1)
+    zp = np.clip(np.rint(-lo / scale), 0, (1 << bits) - 1).astype(np.int64)
+    return QuantParams(scale=scale, zero_point=zp, bits=bits, signed=False)
+
+
+def params_from_range(
+    lo: float | np.ndarray,
+    hi: float | np.ndarray,
+    bits: int,
+    symmetric: bool,
+    eps: float = 1e-12,
+) -> QuantParams:
+    """Derive parameters from an explicit value range (observer output)."""
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    if symmetric:
+        amax = np.maximum(np.abs(lo), np.abs(hi))
+        scale = 2.0 * np.maximum(amax, eps) / ((1 << bits) - 1)
+        return QuantParams(scale=scale,
+                           zero_point=np.zeros_like(scale, dtype=np.int64),
+                           bits=bits, signed=True)
+    lo = np.minimum(lo, 0.0)
+    hi = np.maximum(hi, 0.0)
+    scale = np.maximum(hi - lo, eps) / ((1 << bits) - 1)
+    zp = np.clip(np.rint(-lo / scale), 0, (1 << bits) - 1).astype(np.int64)
+    return QuantParams(scale=scale, zero_point=zp, bits=bits, signed=False)
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map real values to integers per Eq. 1/2; returns an int64 array."""
+    q = np.rint(np.asarray(x, dtype=np.float64) / params.scale) + params.zero_point
+    return np.clip(q, params.qmin, params.qmax).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map integers back to real values: ``s * (q - zp)``."""
+    return (np.asarray(q, dtype=np.float64) - params.zero_point) * params.scale
+
+
+def fake_quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize then dequantize (the usual PTQ simulation operator)."""
+    return dequantize(quantize(x, params), params)

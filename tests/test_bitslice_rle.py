@@ -1,0 +1,111 @@
+"""Tests for run-length encoding of compressed vector streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitslice.rle import (
+    RleStream,
+    RleToken,
+    rle_decode,
+    rle_encode,
+    rle_index_bits,
+)
+
+
+class TestEncode:
+    def test_all_uncompressed(self):
+        mask = np.ones(8, dtype=bool)
+        stream = rle_encode(mask)
+        assert stream.n_payloads == 8
+        assert all(t.run == 0 for t in stream.tokens)
+
+    def test_all_compressed_short(self):
+        mask = np.zeros(5, dtype=bool)
+        stream = rle_encode(mask)
+        assert stream.n_payloads == 0
+        assert sum(t.run for t in stream.tokens) == 5
+
+    def test_long_run_uses_continuations(self):
+        """Runs beyond 15 need continuation tokens (4-bit indices)."""
+        mask = np.zeros(40, dtype=bool)
+        stream = rle_encode(mask)
+        # 40 = 15 + 15 + 10 -> three tokens
+        assert len(stream.tokens) == 3
+        assert [t.run for t in stream.tokens] == [15, 15, 10]
+
+    def test_mixed_pattern(self):
+        mask = np.array([False, False, True, False, True])
+        stream = rle_encode(mask)
+        assert [(t.run, t.has_payload) for t in stream.tokens] == [
+            (2, True), (1, True)]
+
+    def test_compress_15_successive(self):
+        """Paper: 'compress up to 15 successive vectors into an index'."""
+        mask = np.concatenate([np.zeros(15, dtype=bool), [True]])
+        stream = rle_encode(mask)
+        assert len(stream.tokens) == 2
+        assert stream.tokens[0].run == 15 and not stream.tokens[0].has_payload
+        assert stream.tokens[1].run == 0 and stream.tokens[1].has_payload
+
+    def test_index_storage_bits(self):
+        mask = np.array([True, False, True])
+        stream = rle_encode(mask, index_bits=4)
+        assert stream.index_storage_bits == len(stream.tokens) * 4
+
+
+class TestDecode:
+    def test_round_trip_simple(self):
+        mask = np.array([True, False, False, True, False])
+        assert np.array_equal(rle_decode(rle_encode(mask)), mask)
+
+    def test_decode_rejects_overrun(self):
+        stream = RleStream(tokens=(RleToken(run=3, has_payload=True),),
+                           length=3, index_bits=4)
+        with pytest.raises(ValueError):
+            rle_decode(stream)
+
+    def test_empty_stream(self):
+        mask = np.zeros(0, dtype=bool)
+        assert rle_decode(rle_encode(mask)).size == 0
+
+
+class TestFastIndexBits:
+    def test_matches_encoder_simple(self):
+        mask = np.array([True, False, True, False, False])
+        assert rle_index_bits(mask) == rle_encode(mask).index_storage_bits
+
+    def test_matches_encoder_long_runs(self):
+        mask = np.zeros(100, dtype=bool)
+        mask[[0, 50, 99]] = True
+        assert rle_index_bits(mask) == rle_encode(mask).index_storage_bits
+
+    def test_matches_encoder_all_compressed(self):
+        mask = np.zeros(64, dtype=bool)
+        assert rle_index_bits(mask) == rle_encode(mask).index_storage_bits
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.booleans(), min_size=0, max_size=200),
+       st.sampled_from([2, 4, 8]))
+def test_property_round_trip(bits_list, index_bits):
+    mask = np.array(bits_list, dtype=bool)
+    stream = rle_encode(mask, index_bits=index_bits)
+    assert np.array_equal(rle_decode(stream), mask)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.booleans(), min_size=0, max_size=200),
+       st.sampled_from([2, 4, 8]))
+def test_property_fast_bits_matches_encoder(bits_list, index_bits):
+    mask = np.array(bits_list, dtype=bool)
+    assert (rle_index_bits(mask, index_bits)
+            == rle_encode(mask, index_bits).index_storage_bits)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=100))
+def test_property_payload_count(bits_list):
+    mask = np.array(bits_list, dtype=bool)
+    assert rle_encode(mask).n_payloads == int(mask.sum())

@@ -1,0 +1,196 @@
+"""Unit + property tests for bit-slice representations (paper Fig. 3/10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitslice.slicing import (
+    SliceStack,
+    dbs_reconstruct_codes,
+    sbr_total_bits,
+    slice_dbs,
+    slice_sbr,
+    slice_unsigned,
+)
+
+
+class TestUnsignedSlicing:
+    def test_round_trip_full_8bit_range(self):
+        x = np.arange(256)
+        assert np.array_equal(slice_unsigned(x, 8).reconstruct(), x)
+
+    def test_round_trip_12bit(self):
+        x = np.arange(4096)
+        assert np.array_equal(slice_unsigned(x, 12).reconstruct(), x)
+
+    def test_slice_count(self):
+        assert slice_unsigned(np.array([0]), 8).n_slices == 2
+        assert slice_unsigned(np.array([0]), 12).n_slices == 3
+
+    def test_planes_in_range(self):
+        stack = slice_unsigned(np.arange(256), 8)
+        for plane in stack.planes:
+            assert plane.min() >= 0 and plane.max() <= 15
+
+    def test_ho_lo_split_example(self):
+        """0xAB -> HO = 0xA, LO = 0xB."""
+        stack = slice_unsigned(np.array([0xAB]), 8)
+        assert int(stack.ho[0]) == 0xA
+        assert int(stack.lo[0]) == 0xB
+
+    def test_weights_are_radix_16(self):
+        stack = slice_unsigned(np.array([0]), 12)
+        assert stack.weights == (1, 16, 256)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            slice_unsigned(np.array([-1]), 8)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            slice_unsigned(np.array([256]), 8)
+
+    def test_rejects_non_multiple_bits(self):
+        with pytest.raises(ValueError):
+            slice_unsigned(np.array([0]), 7)
+
+
+class TestSbr:
+    def test_round_trip_7bit(self):
+        x = np.arange(-64, 64)
+        assert np.array_equal(slice_sbr(x, 7).reconstruct(), x)
+
+    def test_round_trip_10bit(self):
+        x = np.arange(-512, 512)
+        assert np.array_equal(slice_sbr(x, 10).reconstruct(), x)
+
+    def test_round_trip_4bit_single_slice(self):
+        x = np.arange(-8, 8)
+        stack = slice_sbr(x, 4)
+        assert stack.n_slices == 1
+        assert np.array_equal(stack.reconstruct(), x)
+
+    def test_near_zero_values_have_zero_ho(self):
+        """Values in [-8, 7] must produce all-zero HO slices (the SBR's
+        whole point: both signs of near-zero compress)."""
+        x = np.arange(-8, 8)
+        assert np.all(slice_sbr(x, 7).ho == 0)
+
+    def test_paper_fig3_example_negative(self):
+        """-1 = 1111111b: straightforward HO would be 1111b; SBR gives 0."""
+        stack = slice_sbr(np.array([-1]), 7)
+        assert int(stack.ho[0]) == 0
+        assert int(stack.lo[0]) == -1
+
+    def test_slices_in_signed_4bit_range(self):
+        stack = slice_sbr(np.arange(-512, 512), 10)
+        for plane in stack.planes:
+            assert plane.min() >= -8 and plane.max() <= 7
+
+    def test_weights_are_radix_8(self):
+        assert slice_sbr(np.array([0]), 10).weights == (1, 8, 64)
+
+    def test_total_bits_formula(self):
+        assert sbr_total_bits(0) == 4
+        assert sbr_total_bits(1) == 7
+        assert sbr_total_bits(2) == 10
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            slice_sbr(np.array([0]), 8)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            slice_sbr(np.array([64]), 7)
+
+    def test_boundary_values(self):
+        for val in (-64, -9, -8, -1, 0, 7, 8, 63):
+            stack = slice_sbr(np.array([val]), 7)
+            assert int(stack.reconstruct()[0]) == val
+
+
+class TestDbsSlicing:
+    def test_l4_equals_straightforward(self):
+        x = np.arange(256)
+        a = slice_dbs(x, 4).reconstruct()
+        b = slice_unsigned(x, 8).reconstruct()
+        assert np.array_equal(a, b)
+
+    def test_l5_drops_one_lsb(self):
+        x = np.arange(256)
+        err = x - slice_dbs(x, 5).reconstruct()
+        assert err.min() >= 0 and err.max() <= 1
+
+    def test_l6_drops_two_lsbs(self):
+        x = np.arange(256)
+        err = x - slice_dbs(x, 6).reconstruct()
+        assert err.min() >= 0 and err.max() <= 3
+
+    def test_paper_fig10b_example(self):
+        """Type-2 splits 01010101b into HO 010b and LO 10101b."""
+        stack = slice_dbs(np.array([0b01010101]), 5)
+        assert int(stack.ho[0]) == 0b010
+        # LO keeps the top 4 of 5 bits: 10101 -> 1010
+        assert int(stack.lo[0]) == 0b1010
+
+    def test_ho_range_shrinks_with_l(self):
+        x = np.arange(256)
+        assert slice_dbs(x, 5).ho.max() == 7
+        assert slice_dbs(x, 6).ho.max() == 3
+
+    def test_lossy_flag(self):
+        assert not slice_dbs(np.array([0]), 4).lossy
+        assert slice_dbs(np.array([0]), 5).lossy
+
+    def test_rejects_bad_lo_bits(self):
+        with pytest.raises(ValueError):
+            slice_dbs(np.array([0]), 3)
+        with pytest.raises(ValueError):
+            slice_dbs(np.array([0]), 8)
+
+    def test_reconstruct_codes_helper(self):
+        x = np.array([255, 128, 7])
+        assert np.array_equal(dbs_reconstruct_codes(x, 4), x)
+
+
+class TestSliceStack:
+    def test_shape_and_accessors(self):
+        stack = slice_unsigned(np.zeros((3, 5), dtype=int), 8)
+        assert stack.shape == (3, 5)
+        assert stack.ho.shape == (3, 5)
+        assert stack.ho_weight == 16
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SliceStack(planes=(np.zeros(2),), weights=(1, 2), signed=False)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SliceStack(planes=(), weights=(), signed=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(-512, 511), min_size=1, max_size=128))
+def test_property_sbr_10bit_round_trip(values):
+    x = np.array(values)
+    assert np.array_equal(slice_sbr(x, 10).reconstruct(), x)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=128),
+       st.integers(4, 6))
+def test_property_dbs_truncation_bound(values, lo_bits):
+    x = np.array(values)
+    err = x - slice_dbs(x, lo_bits).reconstruct()
+    assert np.all(err >= 0)
+    assert np.all(err < (1 << (lo_bits - 4)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.integers(-64, 63), min_size=1, max_size=128))
+def test_property_sbr_ho_zero_iff_small(values):
+    x = np.array(values)
+    ho = slice_sbr(x, 7).ho
+    small = (x >= -8) & (x <= 7)
+    assert np.array_equal(ho == 0, small)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_args(self):
+        args = build_parser().parse_args(["profile", "gpt2", "--scheme",
+                                          "sibia", "--no-dbs"])
+        assert args.model == "gpt2"
+        assert args.scheme == "sibia"
+        assert args.no_dbs and not args.no_zpm
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_all_figures_mapped(self):
+        assert {"table1", "fig13", "fig16", "fig19"} <= set(EXPERIMENTS)
+
+
+class TestCommands:
+    def test_list_models(self):
+        out = io.StringIO()
+        assert main(["list-models"], out=out) == 0
+        text = out.getvalue()
+        assert "opt_2p7b" in text and "resnet18" in text
+
+    def test_profile_runs(self):
+        out = io.StringIO()
+        assert main(["profile", "bert_base", "--stride", "12"], out=out) == 0
+        assert "mean rho_x" in out.getvalue()
+
+    def test_profile_dense_scheme(self):
+        out = io.StringIO()
+        assert main(["profile", "resnet18", "--scheme", "dense"],
+                    out=out) == 0
+
+    def test_simulate_runs(self):
+        out = io.StringIO()
+        assert main(["simulate", "bert_base", "--stride", "12"], out=out) == 0
+        text = out.getvalue()
+        assert "panacea" in text and "TOPS/W" in text
+
+    def test_experiment_table1(self):
+        out = io.StringIO()
+        assert main(["experiment", "table1"], out=out) == 0
+        assert "Table I" in out.getvalue()
+
+    def test_experiment_fig08(self):
+        out = io.StringIO()
+        assert main(["experiment", "fig08"], out=out) == 0
+        assert "ZPM" in out.getvalue()

@@ -1,0 +1,218 @@
+"""Tests for the AQS-GEMM core: exactness (Eqs. 5/6) and Table I op counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitslice.slicing import dbs_reconstruct_codes
+from repro.core.aqs_gemm import (
+    AqsGemmConfig,
+    aqs_gemm,
+    compensation_bias,
+    frequent_ho_slice,
+)
+from repro.gemm.workload import table1_panacea
+
+
+def _random_case(rng, m=16, k=64, n=16, zp=None, std=8.0, w_bits=7):
+    w_max = (1 << (w_bits - 1)) - 1
+    w = rng.integers(-w_max - 1, w_max + 1, (m, k))
+    zp = int(rng.integers(1, 255)) if zp is None else zp
+    x = np.clip(np.rint(rng.normal(zp, std, (k, n))), 0, 255).astype(np.int64)
+    return w, x, zp
+
+
+class TestFrequentHoSlice:
+    def test_paper_example(self):
+        """zp = 161 -> r = 1010b = 10 (paper Fig. 8a)."""
+        assert frequent_ho_slice(161, 4) == 10
+
+    def test_zpm_adjusted(self):
+        """zp' = 168 (after ZPM) -> same bucket centre -> r = 10."""
+        assert frequent_ho_slice(168, 4) == 10
+
+    def test_dbs_l5(self):
+        assert frequent_ho_slice(168, 5) == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            frequent_ho_slice(-1)
+
+
+class TestExactness:
+    def test_matches_integer_gemm(self):
+        rng = np.random.default_rng(0)
+        for trial in range(8):
+            w, x, zp = _random_case(rng)
+            res = aqs_gemm(w, x, zp)
+            assert np.array_equal(res.acc, w.astype(np.int64) @ x), trial
+
+    def test_exact_at_full_sparsity(self):
+        """All activation vectors compressible: result still exact."""
+        rng = np.random.default_rng(1)
+        w = rng.integers(-64, 64, (8, 32))
+        zp = 168
+        x = np.full((32, 8), zp, dtype=np.int64)
+        res = aqs_gemm(w, x, zp)
+        assert res.rho_x == 1.0
+        assert np.array_equal(res.acc, w.astype(np.int64) @ x)
+
+    def test_exact_at_zero_sparsity(self):
+        rng = np.random.default_rng(2)
+        w = rng.integers(-64, 64, (8, 32))
+        x = rng.integers(0, 256, (32, 8))
+        res = aqs_gemm(w, x, 128)
+        assert np.array_equal(res.acc, w.astype(np.int64) @ x)
+
+    def test_symmetric_mode_zp_128(self):
+        """Fig. 18(a): symmetric support by setting every zero-point to 128."""
+        rng = np.random.default_rng(3)
+        w, x, _ = _random_case(rng, zp=128)
+        res = aqs_gemm(w, x, 128)
+        assert res.r == 8
+        assert np.array_equal(res.acc, w.astype(np.int64) @ x)
+
+    def test_dbs_l5_exact_vs_truncated_codes(self):
+        rng = np.random.default_rng(4)
+        w, x, zp = _random_case(rng, std=20.0)
+        res = aqs_gemm(w, x, zp, AqsGemmConfig(lo_bits=5))
+        ref = w.astype(np.int64) @ dbs_reconstruct_codes(x, 5)
+        assert np.array_equal(res.acc, ref)
+
+    def test_dbs_l6_exact_vs_truncated_codes(self):
+        rng = np.random.default_rng(5)
+        w, x, zp = _random_case(rng, std=40.0)
+        res = aqs_gemm(w, x, zp, AqsGemmConfig(lo_bits=6))
+        ref = w.astype(np.int64) @ dbs_reconstruct_codes(x, 6)
+        assert np.array_equal(res.acc, ref)
+
+    def test_10bit_weights(self):
+        """GPT-2 MLP layers use 10-bit SBR weights (three slices)."""
+        rng = np.random.default_rng(6)
+        w, x, zp = _random_case(rng, w_bits=10)
+        res = aqs_gemm(w, x, zp, AqsGemmConfig(w_bits=10))
+        assert np.array_equal(res.acc, w.astype(np.int64) @ x)
+
+    def test_4bit_weights(self):
+        """Fig. 19: n = 0 (single 4-bit weight slice) still exact."""
+        rng = np.random.default_rng(7)
+        w, x, zp = _random_case(rng, w_bits=4)
+        res = aqs_gemm(w, x, zp, AqsGemmConfig(w_bits=4))
+        assert np.array_equal(res.acc, w.astype(np.int64) @ x)
+        assert res.rho_w == 0.0
+
+    def test_12bit_activations(self):
+        """Llama sensitive layers: three activation slices."""
+        rng = np.random.default_rng(8)
+        w = rng.integers(-64, 64, (8, 32))
+        zp = 2000
+        x = np.clip(np.rint(rng.normal(zp, 30, (32, 8))), 0,
+                    4095).astype(np.int64)
+        res = aqs_gemm(w, x, zp, AqsGemmConfig(x_bits=12))
+        assert np.array_equal(res.acc, w.astype(np.int64) @ x)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            aqs_gemm(np.zeros((4, 8), dtype=int), np.zeros((9, 4), dtype=int),
+                     100)
+
+
+class TestCompensation:
+    def test_bias_formula(self):
+        """b' = r * 2^l * rowsum(W), broadcast over columns."""
+        w = np.array([[1, 2], [3, -4]])
+        b = compensation_bias(w, r=10, ho_shift=4, n=3)
+        assert b.shape == (2, 3)
+        assert b[0, 0] == 10 * 16 * 3
+        assert b[1, 2] == 10 * 16 * -1
+
+    def test_compensation_counted_separately(self):
+        rng = np.random.default_rng(9)
+        w, x, zp = _random_case(rng)
+        res = aqs_gemm(w, x, zp)
+        assert res.ops.comp_mul4 > 0
+        assert res.ops.comp_add >= 0
+        assert res.ops.comp_mul4 <= res.ops.mul4
+
+    def test_r_zero_needs_no_compensation_effect(self):
+        """With zp < 16 (r = 0) the compensation term is identically zero."""
+        rng = np.random.default_rng(10)
+        w = rng.integers(-64, 64, (8, 32))
+        x = np.clip(np.rint(np.abs(rng.normal(0, 4, (32, 8)))), 0,
+                    255).astype(np.int64)
+        res = aqs_gemm(w, x, 5)
+        assert res.r == 0
+        assert np.array_equal(res.acc, w.astype(np.int64) @ x)
+
+
+class TestOpCounts:
+    def test_matches_table1_expectation(self):
+        """Measured ops track 16K(2-rx)(2-rw)+comp within sampling noise."""
+        rng = np.random.default_rng(11)
+        k = 512
+        w = rng.integers(-64, 64, (4, k))
+        # weights from a heavy-tailed distribution to get weight sparsity
+        w = np.clip(np.rint(rng.standard_t(4, (4, k)) * 4), -64, 63).astype(int)
+        zp = 168
+        x = np.clip(np.rint(rng.normal(zp, 5, (k, 4))), 0, 255).astype(np.int64)
+        res = aqs_gemm(w, x, zp)
+        expected = table1_panacea(k, res.rho_w, res.rho_x)
+        assert res.ops.mul4 == pytest.approx(expected.mul4, rel=0.06)
+        assert res.ops.add == pytest.approx(expected.add, rel=0.06)
+        assert res.ops.ema_nibbles == pytest.approx(expected.ema_nibbles,
+                                                    rel=0.06)
+
+    def test_dense_case_matches_table1(self):
+        """rho = 0 exactly: 16K*4 + 16 mults, EMA 16K nibbles."""
+        rng = np.random.default_rng(12)
+        k = 64
+        w = rng.choice([-60, 60], (4, k))      # no zero HO vectors
+        x = rng.choice([10, 240], (k, 4))      # no r vectors (zp=128 -> r=8)
+        res = aqs_gemm(w, x, 128)
+        assert res.rho_w == 0.0 and res.rho_x == 0.0
+        expected = table1_panacea(k, 0.0, 0.0)
+        assert res.ops.mul4 == expected.mul4
+        assert res.ops.add == expected.add
+        assert res.ops.ema_nibbles == expected.ema_nibbles
+
+    def test_mac_reduction_vs_dense(self):
+        """Headline claim: AQS-GEMM cuts MACs by ~61% vs dense GEMM at
+        realistic sparsities (here we just require a substantial cut)."""
+        rng = np.random.default_rng(13)
+        k = 1024
+        w = np.clip(np.rint(rng.standard_t(4, (64, k)) * 3), -64, 63).astype(int)
+        zp = 168
+        x = np.clip(np.rint(rng.normal(zp, 4, (k, 64))), 0, 255).astype(np.int64)
+        res = aqs_gemm(w, x, zp)
+        dense_mul4 = 4 * 64 * k * 64
+        assert res.ops.mul4 < 0.55 * dense_mul4
+
+    def test_notes_record_product_split(self):
+        rng = np.random.default_rng(14)
+        w, x, zp = _random_case(rng)
+        res = aqs_gemm(w, x, zp)
+        notes = res.ops.notes
+        assert notes["static_products"] == 64 * (16 // 4) * (16 // 4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 255), st.integers(1, 30), st.integers(0, 2 ** 31 - 1))
+def test_property_aqs_exact_any_zp(zp, std, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.integers(-64, 64, (8, 16))
+    x = np.clip(np.rint(rng.normal(zp, std, (16, 8))), 0, 255).astype(np.int64)
+    res = aqs_gemm(w, x, zp)
+    assert np.array_equal(res.acc, w.astype(np.int64) @ x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from([4, 5, 6]), st.integers(0, 2 ** 31 - 1))
+def test_property_dbs_exact_vs_truncated(lo_bits, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.integers(-64, 64, (8, 16))
+    zp = int(rng.integers(0, 255))
+    x = np.clip(np.rint(rng.normal(zp, 25, (16, 8))), 0, 255).astype(np.int64)
+    res = aqs_gemm(w, x, zp, AqsGemmConfig(lo_bits=lo_bits))
+    ref = w.astype(np.int64) @ dbs_reconstruct_codes(x, lo_bits)
+    assert np.array_equal(res.acc, ref)

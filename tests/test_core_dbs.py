@@ -1,0 +1,119 @@
+"""Tests for distribution-based bit-slicing (paper Figs. 9/10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbs import (
+    DBS_LO_BITS,
+    DbsType,
+    classify_distribution,
+    dbs_calibrate,
+)
+from repro.quant.uniform import QuantParams, asymmetric_params
+
+
+class TestTypeTable:
+    def test_lo_bits_per_type(self):
+        assert DBS_LO_BITS == {1: 4, 2: 5, 3: 6}
+
+    def test_skip_width_doubles_per_type(self):
+        widths = [DbsType(t, DBS_LO_BITS[t]).skip_width for t in (1, 2, 3)]
+        assert widths == [16, 32, 64]
+
+    def test_dropped_lsbs(self):
+        assert DbsType(1, 4).dropped_lsbs == 0
+        assert DbsType(2, 5).dropped_lsbs == 1
+        assert DbsType(3, 6).dropped_lsbs == 2
+
+
+class TestClassification:
+    def test_narrow_is_type1(self):
+        assert classify_distribution(std=2.0, z=2.0).type_id == 1
+
+    def test_boundary_type1(self):
+        """std*z == 8 still fits the l=4 half-range."""
+        assert classify_distribution(std=4.0, z=2.0).type_id == 1
+
+    def test_medium_is_type2(self):
+        assert classify_distribution(std=6.0, z=2.0).type_id == 2
+
+    def test_wide_is_type3(self):
+        assert classify_distribution(std=20.0, z=2.0).type_id == 3
+
+    def test_very_wide_stays_type3(self):
+        assert classify_distribution(std=200.0, z=2.0).type_id == 3
+
+    def test_z_scales_threshold(self):
+        assert classify_distribution(std=5.0, z=1.0).type_id == 1
+        assert classify_distribution(std=5.0, z=3.0).type_id == 2
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            classify_distribution(std=-1.0)
+
+
+class TestCalibrate:
+    def _params(self, zp):
+        return QuantParams(scale=0.1, zero_point=zp, bits=8, signed=False)
+
+    def test_type_based_zpm(self):
+        """zp'' is centred in the *type's* bucket (paper: 'type-based ZPM')."""
+        decision = dbs_calibrate(self._params(161), std=6.0, z=2.0)
+        assert decision.dbs_type.type_id == 2
+        assert decision.zp % 32 == 16
+        assert decision.r == decision.zp >> 5
+
+    def test_zpm_disabled_keeps_zp(self):
+        decision = dbs_calibrate(self._params(161), std=2.0, z=2.0,
+                                 enable_zpm=False)
+        assert decision.zp == 161
+        assert decision.r == 161 >> 4
+
+    def test_type1_keeps_l4(self):
+        decision = dbs_calibrate(self._params(100), std=1.0)
+        assert decision.lo_bits == 4
+
+    def test_symmetric_params_use_midpoint(self):
+        p = QuantParams(scale=0.1, zero_point=0, bits=8, signed=True)
+        decision = dbs_calibrate(p, std=2.0)
+        assert decision.zp == 136  # ZPM(128) = 16*8 + 8
+
+    def test_wider_skip_raises_sparsity(self):
+        """The DBS mechanism: widening the skip range must increase the
+        fraction of codes whose HO slice equals r for a wide distribution."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.0, 1.0, 50_000)
+        params = asymmetric_params(x, 8)
+        from repro.quant.uniform import quantize
+
+        codes = quantize(x, params)
+        zp = int(params.zero_point)
+        fractions = {}
+        for lo_bits in (4, 5, 6):
+            from repro.core.zpm import manipulate_zero_point
+
+            zp_l = manipulate_zero_point(zp, lo_bits)
+            shifted = np.clip(codes + (zp_l - zp), 0, 255)
+            r = zp_l >> lo_bits
+            fractions[lo_bits] = float(np.mean((shifted >> lo_bits) == r))
+        assert fractions[5] >= fractions[4]
+        assert fractions[6] >= fractions[5]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(0.0, 100.0), st.floats(0.5, 4.0))
+def test_property_type_monotone_in_width(std, z):
+    """Wider distributions never get a *narrower* skip range."""
+    t = classify_distribution(std, z)
+    t_wider = classify_distribution(std * 1.5 + 0.1, z)
+    assert t_wider.type_id >= t.type_id
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 255), st.floats(0.0, 50.0))
+def test_property_r_consistent_with_zp(zp, std):
+    p = QuantParams(scale=0.1, zero_point=zp, bits=8, signed=False)
+    decision = dbs_calibrate(p, std)
+    assert decision.r == decision.zp >> decision.lo_bits

@@ -1,0 +1,190 @@
+"""Tests for the end-to-end PTQ pipeline (paper Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    ExecutionTrace,
+    PtqConfig,
+    PtqPipeline,
+    QuantizedConv2d,
+    QuantizedLinear,
+)
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.nn.resnet import ResNet
+from repro.nn.transformer import CausalLM
+
+
+class TinyNet(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(16, 32, rng=rng)
+        self.fc2 = Linear(32, 8, rng=rng)
+
+    def forward(self, x):
+        h = np.maximum(self.fc1(x), 0.0)
+        return self.fc2(h)
+
+
+def _batches(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, 1, (4, 16)) for _ in range(n)]
+
+
+class TestConfig:
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            PtqConfig(scheme="fp8")
+
+    def test_rejects_non_sbr_sibia_bits(self):
+        with pytest.raises(ValueError):
+            PtqConfig(scheme="sibia", x_bits=8)
+
+    def test_rejects_non_sbr_weights(self):
+        with pytest.raises(ValueError):
+            PtqConfig(scheme="aqs", w_bits=8)
+
+    def test_per_layer_overrides(self):
+        cfg = PtqConfig(per_layer_w_bits={"fc1": 10})
+        assert cfg.weight_bits_for("fc1") == 10
+        assert cfg.weight_bits_for("fc2") == 7
+
+
+class TestCalibration:
+    def test_records_every_gemm_layer(self):
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs"))
+        records = pipe.calibrate(_batches())
+        assert set(records) == {"fc1", "fc2"}
+
+    def test_records_contain_dbs_decision(self):
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs"))
+        records = pipe.calibrate(_batches())
+        assert all(r.dbs is not None for r in records.values())
+
+    def test_zpm_centres_zero_points(self):
+        """Zero-points land at (or within the rescaling wobble of) the
+        bucket centre after the clip-free ZPM."""
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs",
+                                                enable_dbs=False))
+        records = pipe.calibrate(_batches())
+        for r in records.values():
+            if r.zp > 0:
+                assert abs((r.zp % 16) - 8) <= 3
+
+    def test_sibia_uses_symmetric_activations(self):
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="sibia", x_bits=7))
+        records = pipe.calibrate(_batches())
+        assert all(r.x_params.is_symmetric for r in records.values())
+
+    def test_convert_before_calibrate_raises(self):
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs"))
+        with pytest.raises(RuntimeError):
+            pipe.convert()
+
+
+class TestConversion:
+    def test_linears_replaced(self):
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs"))
+        pipe.calibrate(_batches())
+        model = pipe.convert()
+        assert isinstance(model.fc1, QuantizedLinear)
+        assert isinstance(model.fc2, QuantizedLinear)
+
+    def test_fp32_scheme_is_identity(self):
+        net = TinyNet()
+        pipe = PtqPipeline(net, PtqConfig(scheme="fp32"))
+        assert pipe.convert() is net
+
+    def test_quantized_output_close_to_fp(self):
+        net = TinyNet()
+        fp_out = [net(b) for b in _batches()]
+        pipe = PtqPipeline(net, PtqConfig(scheme="aqs"))
+        pipe.calibrate(_batches())
+        qnet = pipe.convert()
+        q_out = [qnet(b) for b in _batches()]
+        for a, b in zip(fp_out, q_out):
+            rel = np.abs(a - b).mean() / (np.abs(a).mean() + 1e-9)
+            assert rel < 0.1
+
+    @pytest.mark.parametrize("scheme,x_bits", [("aqs", 8), ("sibia", 7),
+                                               ("int8_dense", 8)])
+    def test_all_schemes_run(self, scheme, x_bits):
+        net = TinyNet()
+        pipe = PtqPipeline(net, PtqConfig(scheme=scheme, x_bits=x_bits))
+        pipe.calibrate(_batches())
+        out = pipe.convert()(np.zeros((2, 16)))
+        assert out.shape == (2, 8)
+        assert np.all(np.isfinite(out))
+
+    def test_conv_model(self):
+        net = ResNet(n_classes=4, width=8)
+        imgs = [np.random.default_rng(i).normal(size=(1, 3, 16, 16))
+                for i in range(2)]
+        pipe = PtqPipeline(net, PtqConfig(scheme="aqs"))
+        pipe.calibrate(imgs)
+        qnet = pipe.convert()
+        assert isinstance(qnet.stem, QuantizedConv2d)
+        assert qnet(imgs[0]).shape == (1, 4)
+
+    def test_lm_model(self):
+        lm = CausalLM(vocab=32, dim=16, n_layers=1, n_heads=2, mlp_hidden=32)
+        ids = [np.arange(8).reshape(1, 8) % 32 for _ in range(2)]
+        pipe = PtqPipeline(lm, PtqConfig(scheme="aqs"))
+        pipe.calibrate(ids)
+        qlm = pipe.convert()
+        assert qlm(ids[0]).shape == (1, 8, 32)
+
+
+class TestTrace:
+    def test_trace_collects_executions(self):
+        net = TinyNet()
+        pipe = PtqPipeline(net, PtqConfig(scheme="aqs"))
+        pipe.calibrate(_batches())
+        trace = ExecutionTrace()
+        qnet = pipe.convert(trace=trace, count_ops=True)
+        qnet(np.zeros((4, 16)))
+        assert len(trace.records) == 2
+        rec = trace.records[0]
+        assert rec.name == "fc1"
+        assert (rec.m, rec.k, rec.n) == (32, 16, 4)
+        assert rec.ops.mul4 > 0
+
+    def test_trace_totals(self):
+        net = TinyNet()
+        pipe = PtqPipeline(net, PtqConfig(scheme="aqs"))
+        pipe.calibrate(_batches())
+        trace = ExecutionTrace()
+        qnet = pipe.convert(trace=trace, count_ops=True)
+        qnet(np.zeros((4, 16)))
+        total = trace.total_ops()
+        assert total.mul4 == sum(r.ops.mul4 for r in trace.records)
+
+    def test_trace_by_layer(self):
+        net = TinyNet()
+        pipe = PtqPipeline(net, PtqConfig(scheme="aqs"))
+        pipe.calibrate(_batches())
+        trace = ExecutionTrace()
+        qnet = pipe.convert(trace=trace)
+        qnet(np.zeros((2, 16)))
+        qnet(np.zeros((2, 16)))
+        grouped = trace.by_layer()
+        assert len(grouped["fc1"]) == 2
+
+
+class TestDbsBiasCorrection:
+    def test_truncation_bias_removed(self):
+        """With DBS type-3 forced, outputs must stay centred on FP outputs
+        (the offline truncation-bias fold)."""
+        rng = np.random.default_rng(7)
+        net = TinyNet()
+        batches = [rng.normal(0, 1, (8, 16)) for _ in range(3)]
+        fp = np.concatenate([net(b) for b in batches])
+        pipe = PtqPipeline(net, PtqConfig(scheme="aqs", z=50.0))  # force wide
+        pipe.calibrate(batches)
+        qnet = pipe.convert()
+        q = np.concatenate([qnet(b) for b in batches])
+        bias = float((q - fp).mean())
+        spread = float(np.abs(fp).mean())
+        assert abs(bias) < 0.05 * spread

@@ -1,0 +1,127 @@
+"""Tests for the post-processing unit (paper Fig. 11 PPU)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ppu import (
+    PWL_FUNCTIONS,
+    PiecewiseLinear,
+    PostProcessingUnit,
+    PpuConfig,
+)
+from repro.nn import functional as F
+from repro.quant.uniform import asymmetric_params
+
+
+class TestPiecewiseLinear:
+    def test_exact_on_linear_function(self):
+        pwl = PiecewiseLinear.fit(lambda x: 3 * x + 1, -4, 4, 4)
+        probe = np.linspace(-4, 4, 100)
+        assert np.allclose(pwl(probe), 3 * probe + 1)
+
+    def test_gelu_error_shrinks_with_segments(self):
+        coarse = PiecewiseLinear.fit(F.gelu, -8, 8, 4)
+        fine = PiecewiseLinear.fit(F.gelu, -8, 8, 32)
+        assert fine.max_error(F.gelu) < coarse.max_error(F.gelu)
+
+    def test_gelu_32_segments_accurate(self):
+        """A hardware-sized 32-entry table approximates GELU to ~2e-2."""
+        pwl = PiecewiseLinear.fit(F.gelu, -8, 8, 32)
+        assert pwl.max_error(F.gelu) < 0.03
+
+    def test_clamps_out_of_range(self):
+        pwl = PiecewiseLinear.fit(F.relu, -2, 2, 8)
+        assert pwl(np.array([100.0]))[0] == pytest.approx(100.0)
+
+    def test_breakpoint_interpolation_continuous(self):
+        pwl = PiecewiseLinear.fit(F.silu, -6, 6, 12)
+        eps = 1e-9
+        for b in pwl.breakpoints[1:-1]:
+            left = pwl(np.array([b - eps]))[0]
+            right = pwl(np.array([b + eps]))[0]
+            assert left == pytest.approx(right, abs=1e-6)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinear.fit(F.relu, 2, 2, 4)
+        with pytest.raises(ValueError):
+            PiecewiseLinear.fit(F.relu, -1, 1, 0)
+
+
+class TestPpuConfig:
+    def test_rejects_unknown_nonlinearity(self):
+        with pytest.raises(ValueError):
+            PpuConfig(nonlinearity="mish")
+
+    def test_known_functions_cover_benchmarks(self):
+        assert {"relu", "gelu", "silu"} <= set(PWL_FUNCTIONS)
+
+
+class TestPostProcessingUnit:
+    def _run(self, nonlinearity="gelu", lo_bits=4):
+        rng = np.random.default_rng(0)
+        acc = rng.integers(-20000, 20000, (16, 8))
+        acc_scale = 1e-4
+        reals = PWL_FUNCTIONS[nonlinearity](acc * acc_scale)
+        params = asymmetric_params(reals, 8)
+        zp = int(params.zero_point)
+        ppu = PostProcessingUnit(PpuConfig(nonlinearity=nonlinearity,
+                                           lo_bits=lo_bits,
+                                           pwl_segments=32))
+        return ppu.process(acc, acc_scale, params, zp), reals, params
+
+    def test_codes_in_range(self):
+        out, _, _ = self._run()
+        assert out.codes.min() >= 0 and out.codes.max() <= 255
+
+    def test_nonlinearity_approximation_close(self):
+        out, reals, params = self._run("gelu")
+        # PWL error + quantization step bound the deviation
+        err = np.abs(out.float_values - reals)
+        assert err.max() < 0.05 + float(params.scale)
+
+    def test_identity_passthrough(self):
+        out, reals, _ = self._run("identity")
+        assert np.allclose(out.float_values, reals)
+
+    def test_compressed_output_round_trips(self):
+        """The wire format written to OMEM must decode to the HO plane the
+        next layer expects."""
+        from repro.bitslice.formats import decompress_activation_ho
+        from repro.bitslice.slicing import slice_unsigned
+
+        out, _, _ = self._run("relu")
+        expected_ho = slice_unsigned(out.codes, 8).ho
+        assert np.array_equal(decompress_activation_ho(out.compressed),
+                              expected_ho)
+
+    def test_dbs_slicing_respected(self):
+        out, _, _ = self._run("gelu", lo_bits=5)
+        # HO plane of the l=5 split has 3-bit values
+        from repro.bitslice.formats import decompress_activation_ho
+
+        ho = decompress_activation_ho(out.compressed)
+        assert ho.max() <= 7
+
+    def test_compression_beats_dense_for_sparse_output(self):
+        rng = np.random.default_rng(1)
+        acc = np.abs(rng.standard_t(3, (64, 64)) * 3000).astype(np.int64)
+        reals = F.relu(acc * 1e-4)
+        params = asymmetric_params(reals, 8)
+        ppu = PostProcessingUnit(PpuConfig(nonlinearity="relu"))
+        out = ppu.process(acc, 1e-4, params, int(params.zero_point))
+        dense_bits = out.codes.size * 8
+        assert out.compressed.total_bits < dense_bits
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(["relu", "gelu", "silu"]), st.integers(8, 64))
+def test_property_pwl_bounded_error(fn_name, segments):
+    fn = PWL_FUNCTIONS[fn_name]
+    pwl = PiecewiseLinear.fit(fn, -8, 8, segments)
+    # smooth functions interpolate quadratically in the segment width;
+    # ReLU's kink caps at linear order when no breakpoint lands on it
+    width = 16.0 / segments
+    assert pwl.max_error(fn) <= max(0.5 * width ** 2, 0.6 * width) + 1e-9

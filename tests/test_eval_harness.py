@@ -1,0 +1,119 @@
+"""Tests for the evaluation harness: metrics, tables, sparsity stats."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.eval.accuracy import (
+    AccuracyResult,
+    classification_agreement,
+    lm_perplexity,
+    perplexity,
+    top1_agreement,
+)
+from repro.eval.sparsity_stats import mean_sparsity, sparsity_by_method
+from repro.eval.tables import PaperClaim, format_claims, format_table
+from repro.models.configs import get_config
+
+
+class TestMetrics:
+    def test_top1_agreement_identical(self):
+        logits = np.random.default_rng(0).normal(size=(10, 5))
+        assert top1_agreement(logits, logits) == 1.0
+
+    def test_top1_agreement_flipped(self):
+        a = np.array([[1.0, 0.0], [0.0, 1.0]])
+        b = np.array([[0.0, 1.0], [0.0, 1.0]])
+        assert top1_agreement(a, b) == 0.5
+
+    def test_top1_agreement_empty(self):
+        assert top1_agreement(np.zeros((0, 3)), np.zeros((0, 3))) == 1.0
+
+    def test_perplexity_uniform(self):
+        """Uniform logits over V classes -> ppl = V."""
+        logits = np.zeros((1, 4, 8))
+        targets = np.zeros((1, 4), dtype=int)
+        assert perplexity(logits, targets) == pytest.approx(8.0)
+
+    def test_perplexity_confident(self):
+        logits = np.full((1, 3, 4), -100.0)
+        targets = np.array([[1, 2, 3]])
+        for t, pos in zip([1, 2, 3], range(3)):
+            logits[0, pos, t] = 100.0
+        assert perplexity(logits, targets) == pytest.approx(1.0)
+
+    def test_accuracy_result_loss_points(self):
+        r = AccuracyResult(agreement=0.9, n_samples=100)
+        assert r.accuracy_loss_points == pytest.approx(10.0)
+
+    def test_classification_agreement_counts(self):
+        class Fixed:
+            def __init__(self, out):
+                self.out = out
+
+            def __call__(self, x):
+                return self.out
+
+        a = Fixed(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        b = Fixed(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        res = classification_agreement(a, b, [np.zeros((2, 3))])
+        assert res.agreement == 0.5
+        assert res.n_samples == 2
+
+    def test_lm_perplexity_runs(self):
+        from repro.models.zoo import build_proxy
+
+        lm, _ = build_proxy("gpt2", seed=0)
+        ids = np.arange(24).reshape(1, 24) % 512
+        ppl = lm_perplexity(lm, ids)
+        assert np.isfinite(ppl) and ppl > 1.0
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_paper_claim_ratio(self):
+        claim = PaperClaim("thing", 2.0, 1.5)
+        assert claim.ratio == pytest.approx(0.75)
+        assert "measured/paper = 0.75" in claim.line()
+
+    def test_format_claims(self):
+        out = format_claims([PaperClaim("a", 1.0, 1.0)])
+        assert out.splitlines()[0] == "paper vs measured:"
+
+
+class TestSparsityStats:
+    def _config(self):
+        cfg = get_config("bert_base")
+        return dataclasses.replace(cfg, layers=tuple(cfg.layers[:6]))
+
+    def test_methods_collected(self):
+        stats = sparsity_by_method(self._config(), n_sample=32, m_cap=128,
+                                   methods=("sibia", "aqs_full"))
+        assert set(stats) == {"sibia", "aqs_full"}
+        assert len(stats["sibia"].rho_x) == 6
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            sparsity_by_method(self._config(), methods=("magic",))
+
+    def test_mean_sparsity(self):
+        stats = sparsity_by_method(self._config(), n_sample=32, m_cap=128,
+                                   methods=("aqs_full",))
+        means = mean_sparsity(stats)
+        assert 0.0 <= means["aqs_full"] <= 1.0
+
+    def test_full_pipeline_beats_plain(self):
+        stats = sparsity_by_method(self._config(), n_sample=32, m_cap=128,
+                                   methods=("aqs_plain", "aqs_full"))
+        assert (stats["aqs_full"].mean_rho_x
+                >= stats["aqs_plain"].mean_rho_x - 0.02)

@@ -1,0 +1,121 @@
+"""Smoke tests for every experiment driver at reduced scale.
+
+The benches run the drivers at full scale and assert the paper's claims;
+these tests only check each driver's machinery — that it runs, returns the
+documented result type, and formats — so a refactor can't silently break a
+figure between bench runs.
+"""
+
+import numpy as np
+
+from repro.eval.experiments import (
+    fig01_accuracy,
+    fig05_motivation,
+    fig08_zpm,
+    fig09_dbs,
+    fig13_design_space,
+    fig14_sparsity,
+    fig16_models,
+    fig17_llms,
+    fig18_decoupling,
+    fig20_asic,
+    table1,
+)
+from repro.eval.experiments.common import run_all_designs, subsample_blocks
+from repro.models.configs import get_config
+
+
+def test_table1_smoke():
+    result = table1.run(k=128, sparsities=(0.0, 0.5))
+    assert len(result.rows) == 4
+    assert result.max_mul_error < 0.2
+    assert "Table I" in result.format()
+
+
+def test_fig01_smoke():
+    result = fig01_accuracy.run(models=("bert_base",))
+    assert len(result.rows) == 1
+    assert 0.0 <= result.rows[0].asymmetric <= 1.0
+    assert "Fig. 1" in result.format()
+
+
+def test_fig05_smoke():
+    result = fig05_motivation.run(model="opt_350m", n_layers=1)
+    assert result.histogram_rows
+    assert set(result.accuracy) == {"symmetric", "aqs"}
+    assert "Fig. 5" in result.format()
+
+
+def test_fig08_smoke():
+    result = fig08_zpm.run(model="opt_350m", n_layers=2)
+    assert result.worst_case.sparsity_after > result.worst_case.sparsity_before
+    assert "ZPM" in result.format()
+
+
+def test_fig09_smoke():
+    result = fig09_dbs.run(model="bert_base", n_layers=2)
+    assert result.rows
+    assert all(1 <= r.dbs_type <= 3 for r in result.rows)
+    assert "DBS" in result.format()
+
+
+def test_fig13_smoke():
+    result = fig13_design_space.run(sparsities=(0.0, 0.9), sizes=("small",))
+    assert result.baselines["simd"] > 0
+    assert len(result.points) == 2 * 2 * 2  # configs x dtp x sparsities
+    assert result.format()
+
+
+def test_fig14_part_a_smoke():
+    rows = fig14_sparsity.run_part_a(block=0)
+    assert len(rows) == 6
+    assert all(0.0 <= r.aqs_full <= 1.0 for r in rows)
+
+
+def test_fig14_part_b_smoke():
+    out = fig14_sparsity.run_part_b(models=("bert_base",), stride=6)
+    assert set(out["bert_base"]) == {"panacea", "sibia"}
+
+
+def test_fig16_smoke_no_accuracy():
+    result = fig16_models.run(models=("bert_base",), stride=8,
+                              with_accuracy=False)
+    assert result.efficiency["bert_base"]["panacea"] > 0
+    assert result.format()
+
+
+def test_fig17_smoke_no_ppl():
+    result = fig17_llms.run(models=("opt_350m",), stride=10, with_ppl=False)
+    assert result.rows[0].panacea_vs_sibia > 0
+    assert result.format()
+
+
+def test_fig18_smoke_no_ppl():
+    result = fig18_decoupling.run(stride=16, with_ppl=False)
+    assert set(result.part_a) == {"asymmetric", "symmetric"}
+    assert len(result.part_b) == 2
+    assert result.format()
+
+
+def test_fig20_smoke():
+    result = fig20_asic.run()
+    designs = {r.design for r in result.rows}
+    assert {"panacea", "sibia [53]", "lutein [56]"} == designs
+    assert result.format()
+
+
+def test_common_subsample_blocks():
+    cfg = get_config("gpt2")
+    sub = subsample_blocks(cfg, 4)
+    blocks = {l.block_index for l in sub.layers}
+    assert blocks == {0, 4, 8}
+    assert subsample_blocks(get_config("resnet18"), 4) is get_config(
+        "resnet18")
+
+
+def test_common_run_all_designs_consistent_workload():
+    res = run_all_designs(get_config("bert_base"), stride=12, n_sample=32,
+                          m_cap=128)
+    macs = {name: p.effective_macs for name, p in res.items()}
+    assert len(set(macs.values())) == 1, "designs must see the same workload"
+    assert all(np.isfinite(p.tops) and p.tops > 0 for p in res.values())

@@ -1,0 +1,98 @@
+"""Tests for the shared accelerator framework (configs, perf aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.accelerator import HwConfig, LayerPerf, ModelPerf
+from repro.hw.energy import EnergyBreakdown
+
+
+def _layer(name="l", m=64, k=64, n=64, compute=1000.0, dram=500.0,
+           energy=1e6):
+    return LayerPerf(name=name, m=m, k=k, n=n, compute_cycles=compute,
+                     dram_cycles=dram,
+                     energy=EnergyBreakdown(mac=energy),
+                     ema_bytes=1024.0, sram_bytes=2048.0)
+
+
+class TestHwConfig:
+    def test_defaults_match_paper_budget(self):
+        hw = HwConfig()
+        assert hw.n_mul4 == 3072
+        assert hw.mem.total_sram_kb == 192
+        assert hw.mem.dram_bits_per_cycle == 256
+
+    def test_cycle_time(self):
+        assert HwConfig(freq_mhz=500).cycle_ns == pytest.approx(2.0)
+
+
+class TestLayerPerf:
+    def test_cycles_is_max_of_compute_and_dram(self):
+        assert _layer(compute=100, dram=300).cycles == 300
+        assert _layer(compute=300, dram=100).cycles == 300
+
+    def test_effective_macs(self):
+        assert _layer(m=2, k=3, n=4).effective_macs == 24
+
+
+class TestModelPerf:
+    def _perf(self, layers=None):
+        return ModelPerf(accelerator="x", model="toy",
+                         layers=layers or [_layer(), _layer(name="l2")],
+                         freq_mhz=500.0)
+
+    def test_totals(self):
+        perf = self._perf()
+        assert perf.total_cycles == 2000
+        assert perf.total_energy_pj == 2e6
+        assert perf.effective_macs == 2 * 64 ** 3
+
+    def test_latency(self):
+        perf = self._perf()
+        assert perf.latency_s == pytest.approx(2000 / (500e6))
+
+    def test_tops_definition(self):
+        """TOPS counts 2 effective ops per MAC over end-to-end latency."""
+        perf = self._perf()
+        expected = 2.0 * perf.effective_macs / perf.latency_s / 1e12
+        assert perf.tops == pytest.approx(expected)
+
+    def test_tops_per_watt_is_latency_free(self):
+        """TOPS/W = ops/energy: doubling latency at fixed energy must not
+        change it."""
+        a = self._perf()
+        slow_layers = [_layer(compute=10000), _layer(name="l2",
+                                                     compute=10000)]
+        b = self._perf(slow_layers)
+        assert a.tops_per_watt == pytest.approx(b.tops_per_watt)
+
+    def test_energy_breakdown_merge(self):
+        perf = self._perf()
+        assert perf.energy_breakdown().mac == 2e6
+
+    def test_empty_model(self):
+        perf = ModelPerf(accelerator="x", model="empty", layers=[],
+                         freq_mhz=500.0)
+        assert perf.tops == 0.0
+        assert perf.tops_per_watt == 0.0
+
+
+class TestSimulateModelPlumbing:
+    def test_seeded_reproducibility(self):
+        from repro.hw.panacea import PanaceaModel
+        from repro.models.workloads import synthetic_profile
+
+        prof = synthetic_profile(256, 256, 256, 0.5, 0.8, seed=3)
+        a = PanaceaModel().simulate_model([prof], "toy", seed=11)
+        b = PanaceaModel().simulate_model([prof], "toy", seed=11)
+        assert a.total_cycles == b.total_cycles
+        assert a.total_energy_pj == b.total_energy_pj
+
+    def test_sampling_noise_is_small(self):
+        from repro.hw.panacea import PanaceaModel
+        from repro.models.workloads import synthetic_profile
+
+        prof = synthetic_profile(512, 512, 512, 0.4, 0.9, seed=5)
+        cycles = [PanaceaModel().simulate_model([prof], "toy", seed=s)
+                  .total_cycles for s in range(4)]
+        assert np.std(cycles) / np.mean(cycles) < 0.03

@@ -1,0 +1,156 @@
+"""Tests for the baseline accelerator models and the analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.hw.accelerator import HwConfig
+from repro.hw.analysis import analyze, roofline_point
+from repro.hw.report import DesignComparison, compare, relative
+from repro.hw.sibia import SibiaConfig, SibiaModel
+from repro.hw.simd import SimdConfig, SimdModel
+from repro.hw.systolic import SystolicConfig, SystolicModel
+from repro.models.workloads import synthetic_profile
+
+
+def _profile(rho_w=0.5, rho_x=0.9, m=512, k=512, n=512, seed=0):
+    return synthetic_profile(m, k, n, rho_w, rho_x, seed=seed)
+
+
+class TestSibiaModel:
+    def test_budget_matches_panacea(self):
+        assert SibiaConfig().n_mul4 == 3072
+
+    def test_only_max_side_exploited(self):
+        """Table I: Sibia's speedup follows max(rho_w, rho_x)."""
+        model = SibiaModel()
+        base = model.simulate_model([_profile(0.0, 0.0)], "a")
+        only_x = model.simulate_model([_profile(0.0, 0.9)], "b")
+        both = model.simulate_model([_profile(0.9, 0.9)], "c")
+        sp_only = base.total_cycles / only_x.total_cycles
+        sp_both = base.total_cycles / both.total_cycles
+        # adding the second side's sparsity buys Sibia very little
+        assert sp_only > 1.2
+        assert sp_both < sp_only * 1.4
+
+    def test_dense_ema(self):
+        """Sibia ships uncompressed operands."""
+        model = SibiaModel()
+        rng = np.random.default_rng(0)
+        sparse = model.simulate_layer(_profile(0.9, 0.9), rng)
+        dense = model.simulate_layer(_profile(0.0, 0.0), rng)
+        assert sparse.ema_bytes == pytest.approx(dense.ema_bytes, rel=0.01)
+
+    def test_tracked_side_picks_max(self):
+        assert SibiaModel._tracked(_profile(0.9, 0.2)) == "weight"
+        assert SibiaModel._tracked(_profile(0.2, 0.9)) == "activation"
+
+    def test_4bit_weights_track_activation(self):
+        prof = synthetic_profile(256, 256, 256, 0.9, 0.5, w_bits=4)
+        assert SibiaModel._tracked(prof) == "activation"
+
+
+class TestSimdModel:
+    def test_throughput_matches_lanes(self):
+        model = SimdModel(arch=SimdConfig(n_lanes=768, utilization=1.0))
+        perf = model.simulate_model([_profile(0.0, 0.0)], "x")
+        macs = 512 ** 3
+        assert perf.layers[0].compute_cycles == pytest.approx(macs / 768)
+
+    def test_sparsity_blind(self):
+        model = SimdModel()
+        a = model.simulate_model([_profile(0.0, 0.0)], "a")
+        b = model.simulate_model([_profile(0.9, 0.9)], "b")
+        assert a.total_cycles == pytest.approx(b.total_cycles, rel=1e-6)
+
+
+class TestSystolicModels:
+    def test_dataflow_validation(self):
+        with pytest.raises(ValueError):
+            SystolicConfig(dataflow="diagonal")
+
+    def test_ws_pays_psum_traffic_when_k_tiled(self):
+        hw = HwConfig()
+        rng = np.random.default_rng(0)
+        ws = SystolicModel(hw, SystolicConfig(dataflow="ws"))
+        os_ = SystolicModel(hw, SystolicConfig(dataflow="os"))
+        prof = _profile(0.0, 0.0, m=256, k=960, n=256)  # K >> array cols
+        perf_ws = ws.simulate_layer(prof, rng)
+        perf_os = os_.simulate_layer(prof, rng)
+        assert perf_ws.sram_bytes > perf_os.sram_bytes
+
+    def test_fill_drain_overhead_visible(self):
+        """Systolic fill/drain keeps SA throughput below SIMD's for odd
+        shapes (the paper's Fig. 13 ordering)."""
+        hw = HwConfig()
+        prof = _profile(0.0, 0.0, m=512, k=512, n=512)
+        sa = SystolicModel(hw, SystolicConfig(dataflow="ws")).simulate_model(
+            [prof], "a")
+        simd = SimdModel(hw).simulate_model([prof], "a")
+        assert simd.tops >= sa.tops
+
+    def test_names(self):
+        assert SystolicModel(arch=SystolicConfig(dataflow="ws")).name == "sa_ws"
+        assert SystolicModel(arch=SystolicConfig(dataflow="os")).name == "sa_os"
+
+
+class TestReports:
+    def _perfs(self):
+        from repro.hw.panacea import PanaceaModel
+
+        prof = _profile()
+        return [
+            PanaceaModel().simulate_model([prof], "toy"),
+            SibiaModel().simulate_model([prof], "toy"),
+        ]
+
+    def test_compare_rows(self):
+        rows = compare(self._perfs())
+        assert {r.accelerator for r in rows} == {"panacea", "sibia"}
+        assert all(r.tops > 0 and r.energy_mj > 0 for r in rows)
+
+    def test_relative_normalizes_baseline(self):
+        rel = relative(self._perfs(), baseline="sibia")
+        assert rel["sibia"] == pytest.approx(1.0)
+        assert rel["panacea"] > 1.0
+
+    def test_relative_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            relative(self._perfs(), baseline="tpu")
+
+    def test_design_comparison_from_perf(self):
+        perf = self._perfs()[0]
+        row = DesignComparison.from_perf(perf)
+        assert row.latency_ms == pytest.approx(perf.latency_s * 1e3)
+
+
+class TestAnalysis:
+    def test_bound_classification(self):
+        from repro.hw.panacea import PanaceaModel
+
+        perf = PanaceaModel().simulate_model(
+            [_profile(seed=i) for i in range(3)], "toy")
+        report = analyze(perf)
+        assert len(report.layers) == 3
+        assert all(l.bound in ("compute", "dram") for l in report.layers)
+        assert 0.0 <= report.dram_bound_fraction <= 1.0
+
+    def test_roofline_point_positive(self):
+        from repro.hw.panacea import PanaceaModel
+
+        perf = PanaceaModel().simulate_model([_profile()], "toy")
+        assert roofline_point(perf.layers[0]) > 0
+
+    def test_worst_layers_sorted(self):
+        from repro.hw.panacea import PanaceaModel
+
+        perf = PanaceaModel().simulate_model(
+            [_profile(seed=i, n=128 * (i + 1)) for i in range(4)], "toy")
+        worst = analyze(perf).worst_layers(2)
+        assert len(worst) == 2
+        assert worst[0].slack >= worst[1].slack
+
+    def test_machine_balance(self):
+        report = analyze(
+            __import__("repro.hw.panacea", fromlist=["PanaceaModel"])
+            .PanaceaModel().simulate_model([_profile()], "toy"))
+        assert report.machine_balance == pytest.approx(768 / 32.0)

@@ -1,0 +1,74 @@
+"""Tests for the energy table, breakdown and area model."""
+
+import pytest
+
+from repro.hw.area import panacea_area
+from repro.hw.energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyTable
+
+
+class TestEnergyTable:
+    def test_cost_ordering(self):
+        """The ordering every ratio claim relies on: DRAM >> SRAM >> MAC."""
+        e = DEFAULT_ENERGY
+        assert e.dram_byte > 10 * e.sram_byte(192)
+        assert e.sram_byte(16) > e.mul4
+
+    def test_mul8_is_four_mul4(self):
+        """The paper's normalization: one 8bx8b = four 4bx4b."""
+        e = DEFAULT_ENERGY
+        assert e.mul8 == pytest.approx(4 * e.mul4)
+
+    def test_sram_energy_grows_with_size(self):
+        e = DEFAULT_ENERGY
+        assert e.sram_byte(192) > e.sram_byte(16)
+
+    def test_sram_rejects_zero(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ENERGY.sram_byte(0)
+
+    def test_custom_table(self):
+        e = EnergyTable(dram_byte=100.0)
+        assert e.dram_byte == 100.0
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        b = EnergyBreakdown(mac=1, compensation=2, sram=3, dram=4, control=5,
+                            other=6)
+        assert b.total == 21
+
+    def test_merge(self):
+        a = EnergyBreakdown(mac=1, dram=2)
+        b = EnergyBreakdown(mac=10, sram=5)
+        m = a.merge(b)
+        assert m.mac == 11 and m.dram == 2 and m.sram == 5
+
+    def test_as_dict_keys(self):
+        keys = set(EnergyBreakdown().as_dict())
+        assert keys == {"mac", "compensation", "sram", "dram", "control",
+                        "other"}
+
+
+class TestArea:
+    def test_baseline_area_positive(self):
+        report = panacea_area()
+        assert report.total > 0
+        assert report.sram > report.sparsity_logic
+
+    def test_dtp_adds_area(self):
+        """Fig. 15(c): DTP costs buffers/S-ACCs; ZPM costs nothing."""
+        base = panacea_area(dbs=False, dtp=False).total
+        with_dbs = panacea_area(dbs=True, dtp=False).total
+        with_both = panacea_area(dbs=True, dtp=True).total
+        assert base < with_dbs < with_both
+
+    def test_dbs_overhead_small(self):
+        """DBS shifters are a 'small overhead' (paper Section III-C)."""
+        base = panacea_area(dbs=False, dtp=False).total
+        dbs = panacea_area(dbs=True, dtp=False).total
+        assert (dbs - base) / base < 0.01
+
+    def test_more_operators_more_area(self):
+        a = panacea_area(n_dwo=4, n_swo=8).operators
+        b = panacea_area(n_dwo=8, n_swo=8).operators
+        assert b > a

@@ -1,0 +1,84 @@
+"""Tests for the SRAM/DRAM traffic planner."""
+
+import pytest
+
+from repro.hw.memory import MemoryConfig, plan_layer_traffic
+
+
+class TestMemoryConfig:
+    def test_partitions_sum(self):
+        mem = MemoryConfig(total_sram_kb=192, wmem_fraction=0.5,
+                           amem_fraction=0.33)
+        total = mem.wmem_bytes + mem.amem_bytes + mem.omem_bytes
+        assert total == pytest.approx(192 * 1024)
+
+    def test_dram_cycles(self):
+        mem = MemoryConfig(dram_bits_per_cycle=256)
+        assert mem.dram_cycles(32) == 1.0  # 32 bytes = 256 bits
+
+
+class TestTrafficPlan:
+    def _mem(self):
+        return MemoryConfig(total_sram_kb=192)
+
+    def test_both_fit_single_load(self):
+        plan = plan_layer_traffic(10_000, 10_000, 1_000, m=64, tm=64,
+                                  mem=self._mem())
+        assert plan.weight_loads == 1.0
+        assert plan.act_loads == 1.0
+
+    def test_large_activation_reloaded_or_weights_restreamed(self):
+        mem = self._mem()
+        plan = plan_layer_traffic(400_000, 8_000_000, 1_000, m=4096, tm=64,
+                                  mem=mem)
+        assert plan.dram_bytes > 400_000 + 8_000_000
+
+    def test_resident_weights_stream_activations_once(self):
+        """Weights fit WMEM entirely: one pass over the activations."""
+        plan = plan_layer_traffic(50_000, 50_000_000, 1_000, m=12800, tm=64,
+                                  mem=self._mem())
+        assert plan.weight_loads == 1.0
+        assert plan.act_loads == 1.0
+
+    def test_picks_cheaper_orientation(self):
+        """Neither fits: smallish weights + huge activations: stream weights
+        repeatedly rather than reload the activations per stripe."""
+        mem = self._mem()
+        plan = plan_layer_traffic(500_000, 50_000_000, 1_000, m=12800, tm=64,
+                                  mem=mem)
+        act_chunks = 50_000_000 / mem.amem_bytes
+        cost_w_stream = 500_000 * act_chunks + 50_000_000
+        stripes = 12800 / 64
+        cost_a_stream = 500_000 + 50_000_000 * stripes
+        assert plan.dram_bytes - 1_000 == pytest.approx(
+            min(cost_w_stream, cost_a_stream), rel=0.01)
+
+    def test_compression_reduces_reload_count(self):
+        """Compression pays twice: fewer bytes per load and fewer reloads
+        (the Fig. 13 'large activations benefit more' effect)."""
+        mem = self._mem()
+        dense = plan_layer_traffic(500_000, 2_000_000, 1_000, m=2048, tm=64,
+                                   mem=mem)
+        compressed = plan_layer_traffic(250_000, 600_000, 1_000, m=2048,
+                                        tm=64, mem=mem)
+        assert compressed.dram_bytes < dense.dram_bytes / 2
+
+    def test_dtp_needs_double_stripe(self):
+        mem = self._mem()
+        # stripe = weight_bytes / (m/tm); small enough for 2 stripes
+        plan = plan_layer_traffic(80_000, 1_000, 1_000, m=128, tm=64,
+                                  mem=mem, dtp_capable=True)
+        assert plan.dtp_enabled
+        plan2 = plan_layer_traffic(8_000_000, 1_000, 1_000, m=128, tm=64,
+                                   mem=mem, dtp_capable=True)
+        assert not plan2.dtp_enabled
+
+    def test_dtp_disabled_when_not_capable(self):
+        plan = plan_layer_traffic(1_000, 1_000, 1_000, m=64, tm=64,
+                                  mem=self._mem(), dtp_capable=False)
+        assert not plan.dtp_enabled
+
+    def test_dram_bytes_includes_outputs(self):
+        plan = plan_layer_traffic(1_000, 1_000, 777, m=64, tm=64,
+                                  mem=self._mem())
+        assert plan.dram_bytes == 1_000 + 1_000 + 777

@@ -1,0 +1,157 @@
+"""Tests for the Panacea accelerator model and its baselines' ordering."""
+
+import numpy as np
+import pytest
+
+from repro.hw.accelerator import HwConfig
+from repro.hw.panacea import PanaceaConfig, PanaceaModel, compressed_layer_bytes
+from repro.hw.sibia import SibiaModel
+from repro.hw.simd import SimdModel
+from repro.hw.systolic import SystolicConfig, SystolicModel
+from repro.models.workloads import synthetic_profile
+
+
+def _profile(rho_w=0.5, rho_x=0.9, m=512, k=512, n=512, seed=0, **kw):
+    return synthetic_profile(m, k, n, rho_w, rho_x, seed=seed, **kw)
+
+
+class TestPanaceaConfig:
+    def test_default_budget_is_3072_multipliers(self):
+        assert PanaceaConfig().n_mul4 == 3072
+
+    def test_tm(self):
+        assert PanaceaConfig().tm == 64
+
+
+class TestCompressedBytes:
+    def test_dense_matches_two_planes(self):
+        p = _profile(rho_w=0.0, rho_x=0.0)
+        w_bytes, x_bytes = compressed_layer_bytes(p)
+        # two 4-bit planes = 1 byte per element, plus RLE indices
+        assert w_bytes >= 512 * 512
+        assert x_bytes >= 512 * 512
+
+    def test_sparsity_shrinks_footprint(self):
+        dense_w, dense_x = compressed_layer_bytes(_profile(0.0, 0.0))
+        sparse_w, sparse_x = compressed_layer_bytes(_profile(0.9, 0.9))
+        assert sparse_w < dense_w
+        assert sparse_x < dense_x
+
+    def test_ho_plane_fully_compressible(self):
+        _, x_bytes = compressed_layer_bytes(_profile(0.0, 1.0))
+        # only the dense LO plane (0.5 B/elem) plus indices
+        assert x_bytes < 512 * 512 * 0.55
+
+
+class TestPanaceaModel:
+    def test_layer_perf_fields(self):
+        model = PanaceaModel()
+        perf = model.simulate_layer(_profile(), np.random.default_rng(0))
+        assert perf.compute_cycles > 0
+        assert perf.dram_cycles > 0
+        assert perf.energy.total > 0
+        assert 0 < perf.utilization <= 1.0
+
+    def test_sparsity_speeds_up_compute(self):
+        model = PanaceaModel()
+        rng = np.random.default_rng(0)
+        slow = model.simulate_layer(_profile(0.0, 0.0), rng)
+        fast = model.simulate_layer(_profile(0.8, 0.95), rng)
+        assert fast.compute_cycles < slow.compute_cycles / 1.5
+
+    def test_sparsity_reduces_energy(self):
+        model = PanaceaModel()
+        rng = np.random.default_rng(0)
+        dense = model.simulate_layer(_profile(0.0, 0.0), rng)
+        sparse = model.simulate_layer(_profile(0.8, 0.95), rng)
+        assert sparse.energy.total < dense.energy.total
+
+    def test_dtp_helps_at_high_weight_sparsity(self):
+        """Fig. 13: DTP lifts throughput when weight HO vectors are sparse."""
+        rng = np.random.default_rng(1)
+        prof = _profile(rho_w=0.9, rho_x=0.9, m=256, k=512, n=512)
+        on = PanaceaModel(arch=PanaceaConfig(dtp=True)).simulate_layer(
+            prof, np.random.default_rng(2))
+        off = PanaceaModel(arch=PanaceaConfig(dtp=False)).simulate_layer(
+            prof, np.random.default_rng(2))
+        assert on.compute_cycles <= off.compute_cycles
+        del rng
+
+    def test_zero_skip_only_ablation_slower(self):
+        """Fig. 18(b): skipping only zero slices forfeits the r-vector
+        compression under asymmetric quantization (r != 0)."""
+        prof = _profile(rho_w=0.3, rho_x=0.95)
+        assert prof.r != 0
+        full = PanaceaModel(arch=PanaceaConfig(skip_nonzero=True))
+        zero_only = PanaceaModel(arch=PanaceaConfig(skip_nonzero=False))
+        a = full.simulate_layer(prof, np.random.default_rng(3))
+        b = zero_only.simulate_layer(prof, np.random.default_rng(3))
+        assert a.cycles < b.cycles
+        assert a.energy.total < b.energy.total
+
+    def test_model_aggregation(self):
+        model = PanaceaModel()
+        perf = model.simulate_model([_profile(seed=i) for i in range(3)],
+                                    "toy")
+        assert perf.total_cycles > 0
+        assert perf.tops > 0
+        assert perf.tops_per_watt > 0
+        assert len(perf.layers) == 3
+
+    def test_compensation_energy_is_small(self):
+        """Table I: the compensation adds negligible overhead."""
+        perf = PanaceaModel().simulate_layer(_profile(0.3, 0.9),
+                                             np.random.default_rng(4))
+        assert perf.energy.compensation < 0.05 * perf.energy.total
+
+
+class TestDesignOrdering:
+    """Cross-design sanity: the orderings the paper's figures rely on."""
+
+    def _all(self, prof, seed=0):
+        hw = HwConfig()
+        designs = {
+            "panacea": PanaceaModel(hw),
+            "sibia": SibiaModel(hw),
+            "simd": SimdModel(hw),
+            "sa_ws": SystolicModel(hw, SystolicConfig(dataflow="ws")),
+            "sa_os": SystolicModel(hw, SystolicConfig(dataflow="os")),
+        }
+        dense_prof = synthetic_profile(prof.layer.m, prof.layer.k,
+                                       prof.layer.n, 0.0, 0.0, seed=1)
+        out = {}
+        for name, model in designs.items():
+            p = prof if name in ("panacea", "sibia") else dense_prof
+            out[name] = model.simulate_model([p], "toy", seed=seed)
+        return out
+
+    def test_panacea_beats_sibia_at_asymmetric_sparsity(self):
+        res = self._all(_profile(rho_w=0.5, rho_x=0.95))
+        assert res["panacea"].tops >= res["sibia"].tops
+        assert res["panacea"].tops_per_watt > res["sibia"].tops_per_watt
+
+    def test_panacea_beats_dense_designs_at_high_sparsity(self):
+        res = self._all(_profile(rho_w=0.7, rho_x=0.95))
+        for dense in ("simd", "sa_ws", "sa_os"):
+            assert res["panacea"].tops > res[dense].tops
+            assert res["panacea"].tops_per_watt > res[dense].tops_per_watt
+
+    def test_simd_wins_at_zero_sparsity_with_few_dwos(self):
+        """Fig. 13(a): at very low sparsity the 4-DWO Panacea falls behind
+        the dense SIMD design."""
+        prof = _profile(rho_w=0.0, rho_x=0.0)
+        res = self._all(prof)
+        assert res["simd"].tops > res["panacea"].tops
+
+    def test_sibia_tracks_only_max_side(self):
+        """Sibia gains nothing from the second operand's sparsity."""
+        hw = HwConfig()
+        one_sided = synthetic_profile(512, 512, 512, 0.0, 0.9, seed=2)
+        both = synthetic_profile(512, 512, 512, 0.85, 0.9, seed=2)
+        sib_one = SibiaModel(hw).simulate_model([one_sided], "a")
+        sib_both = SibiaModel(hw).simulate_model([both], "b")
+        pan_one = PanaceaModel(hw).simulate_model([one_sided], "a")
+        pan_both = PanaceaModel(hw).simulate_model([both], "b")
+        sib_gain = sib_one.total_cycles / sib_both.total_cycles
+        pan_gain = pan_one.total_cycles / pan_both.total_cycles
+        assert pan_gain > sib_gain

@@ -1,0 +1,49 @@
+"""Cross-validation: sampled tile simulation vs exhaustive enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.hw.reference import exhaustive_compute_cycles, sampled_vs_exhaustive
+from repro.models.workloads import synthetic_profile
+
+
+def _uncapped_profile(rho_w, rho_x, m=128, k=128, n=128, seed=0):
+    return synthetic_profile(m, k, n, rho_w, rho_x, m_cap=m, n_cap=n,
+                             seed=seed)
+
+
+class TestExhaustive:
+    def test_requires_uncapped_masks(self):
+        prof = synthetic_profile(256, 128, 256, 0.5, 0.5, m_cap=64, n_cap=64)
+        with pytest.raises(ValueError):
+            exhaustive_compute_cycles(prof)
+
+    def test_dense_matches_closed_form(self):
+        """With rho = 0 every step costs the same; exhaustive must equal the
+        analytic dense makespan."""
+        prof = _uncapped_profile(0.0, 0.0)
+        total = exhaustive_compute_cycles(prof)
+        # per step: dyn = 3*32 = 96 -> ceil(96/4) = 24; static 32 -> ceil(32/8)=4
+        steps = (128 // 64) * (128 // 32) * (128 // 4)
+        assert total == steps * 24
+
+    def test_full_sparsity_floor(self):
+        """Everything compressible: only the static W_LO x_LO work remains."""
+        prof = _uncapped_profile(1.0, 1.0)
+        total = exhaustive_compute_cycles(prof)
+        steps = (128 // 64) * (128 // 32) * (128 // 4)
+        assert total == steps * np.ceil(32 / 8)
+
+
+class TestSampledAccuracy:
+    @pytest.mark.parametrize("rho_w,rho_x", [(0.0, 0.0), (0.5, 0.5),
+                                             (0.3, 0.9), (0.9, 0.3)])
+    def test_sampled_within_tolerance(self, rho_w, rho_x):
+        prof = _uncapped_profile(rho_w, rho_x, seed=7)
+        sampled, exact = sampled_vs_exhaustive(prof)
+        assert sampled == pytest.approx(exact, rel=0.05)
+
+    def test_sampled_with_dtp(self):
+        prof = _uncapped_profile(0.7, 0.8, m=256, seed=3)
+        sampled, exact = sampled_vs_exhaustive(prof, dtp=True)
+        assert sampled == pytest.approx(exact, rel=0.05)

@@ -1,0 +1,97 @@
+"""Tests for the DWO/SWO scheduler and DTP makespan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.schedule import pea_cycles, pea_cycles_dtp, step_cycles
+
+
+class TestNoDtp:
+    def test_dwo_bound(self):
+        assert pea_cycles(40, 8, n_dwo=4, n_swo=8) == 10
+
+    def test_swo_bound(self):
+        assert pea_cycles(4, 80, n_dwo=4, n_swo=8) == 10
+
+    def test_ceiling(self):
+        assert pea_cycles(5, 0, n_dwo=4, n_swo=8) == 2
+
+    def test_zero_work(self):
+        assert pea_cycles(0, 0, 4, 8) == 0
+
+    def test_rejects_zero_dwo(self):
+        with pytest.raises(ValueError):
+            pea_cycles(1, 1, 0, 8)
+
+
+class TestDtp:
+    def test_dwo_absorbs_static_overflow(self):
+        """Fig. 13(b): with few SWOs, DTP lets DWOs take static work."""
+        n_dwo, n_swo = 8, 4
+        dyn, stat = 8, 80
+        without = pea_cycles(dyn, stat, n_dwo, n_swo)     # SWO-bound: 20
+        with_dtp = pea_cycles_dtp(dyn, stat, n_dwo, n_swo)  # pooled: 8
+        assert without == 20
+        assert with_dtp == 8
+
+    def test_never_slower_than_split_pools(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            d = int(rng.integers(0, 200))
+            s = int(rng.integers(0, 200))
+            assert pea_cycles_dtp(d, s, 4, 8) <= pea_cycles(d, s, 4, 8)
+
+    def test_swos_never_take_dynamic(self):
+        """All-dynamic work is DWO-bound even with idle SWOs."""
+        assert pea_cycles_dtp(100, 0, 4, 8) == 25
+
+    def test_array_inputs(self):
+        out = pea_cycles_dtp(np.array([8, 16]), np.array([80, 0]), 8, 4)
+        assert list(out) == [8, 2]
+
+
+class TestStepCycles:
+    def test_max_over_peas(self):
+        """PEAs run in lockstep: the slowest one sets the step cost."""
+        dyn = np.array([[4, 40, 4, 4]])
+        stat = np.zeros((1, 4))
+        assert step_cycles(dyn, stat, 4, 8, dtp=False)[0] == 10
+
+    def test_balanced_is_faster_than_imbalanced(self):
+        total = 64.0
+        balanced = np.full((1, 4), total / 4)
+        imbalanced = np.array([[total, 0.0, 0.0, 0.0]])
+        stat = np.zeros((1, 4))
+        fast = step_cycles(balanced, stat, 4, 8, dtp=False)[0]
+        slow = step_cycles(imbalanced, stat, 4, 8, dtp=False)[0]
+        assert fast < slow
+
+    def test_dtp_flag_switches_model(self):
+        dyn = np.array([[8.0]])
+        stat = np.array([[80.0]])
+        assert (step_cycles(dyn, stat, 8, 4, dtp=True)[0]
+                < step_cycles(dyn, stat, 8, 4, dtp=False)[0])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 500), st.integers(0, 500), st.integers(1, 16),
+       st.integers(1, 16))
+def test_property_dtp_bounds(dyn, stat, n_dwo, n_swo):
+    """DTP makespan is sandwiched between the perfect pool and the split
+    pools: ceil((D+S)/(d+s)) <= T_dtp <= T_split."""
+    t_dtp = float(pea_cycles_dtp(dyn, stat, n_dwo, n_swo))
+    t_split = float(pea_cycles(dyn, stat, n_dwo, n_swo))
+    t_pool = np.ceil((dyn + stat) / (n_dwo + n_swo))
+    assert t_pool <= t_dtp <= t_split
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 300), st.integers(0, 300), st.integers(1, 8),
+       st.integers(1, 8))
+def test_property_monotone_in_work(dyn, stat, n_dwo, n_swo):
+    assert (pea_cycles(dyn + 1, stat, n_dwo, n_swo)
+            >= pea_cycles(dyn, stat, n_dwo, n_swo))
+    assert (pea_cycles_dtp(dyn, stat + 1, n_dwo, n_swo)
+            >= pea_cycles_dtp(dyn, stat, n_dwo, n_swo))

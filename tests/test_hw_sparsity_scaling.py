@@ -1,0 +1,93 @@
+"""Property-style tests of hardware-model scaling laws.
+
+These pin down the *shape* of the performance model — the monotonicities
+and proportionalities every figure depends on — so constant tweaks can't
+silently invert a conclusion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw import HwConfig, MemoryConfig, PanaceaConfig, PanaceaModel
+from repro.hw.panacea import compressed_layer_bytes
+from repro.models.workloads import synthetic_profile
+
+
+def _tops(rho_w, rho_x, m=512, k=512, n=512, seed=0, **arch_kw):
+    hw = HwConfig(mem=MemoryConfig(dram_bits_per_cycle=4096))
+    arch = PanaceaConfig(sample_steps=256, **arch_kw)
+    prof = synthetic_profile(m, k, n, rho_w, rho_x, seed=seed)
+    return PanaceaModel(hw, arch).simulate_model([prof], "t").tops
+
+
+class TestThroughputShape:
+    def test_monotone_in_activation_sparsity(self):
+        series = [_tops(0.3, rho) for rho in (0.0, 0.4, 0.8, 0.99)]
+        assert all(b >= a - 1e-6 for a, b in zip(series, series[1:]))
+
+    def test_monotone_in_weight_sparsity(self):
+        series = [_tops(rho, 0.8) for rho in (0.0, 0.4, 0.8)]
+        assert all(b >= a - 1e-6 for a, b in zip(series, series[1:]))
+
+    def test_saturates_at_static_bound_without_dtp(self):
+        """Past full HO sparsity only the SWO-bound LOLO work remains, so
+        throughput caps at (n_dwo+n_swo)/n_swo-independent static rate."""
+        no_dtp = _tops(1.0, 1.0, dtp=False)
+        almost = _tops(0.95, 0.95, dtp=False)
+        assert no_dtp == pytest.approx(almost, rel=0.15)
+
+    def test_dtp_lifts_the_saturation_ceiling(self):
+        assert _tops(0.95, 0.95, dtp=True) > _tops(0.95, 0.95,
+                                                   dtp=False) * 1.05
+
+    def test_more_dwos_help_dense_workloads(self):
+        dense_4 = _tops(0.0, 0.0, n_dwo=4, n_swo=8, dtp=False)
+        dense_8 = _tops(0.0, 0.0, n_dwo=8, n_swo=4, dtp=False)
+        assert dense_8 > dense_4
+
+
+class TestCompressedBytesShape:
+    def test_linear_in_n(self):
+        a = compressed_layer_bytes(
+            synthetic_profile(256, 256, 256, 0.5, 0.5, seed=1))[1]
+        b = compressed_layer_bytes(
+            synthetic_profile(256, 256, 512, 0.5, 0.5, seed=1))[1]
+        assert b == pytest.approx(2 * a, rel=0.05)
+
+    def test_weight_floor_is_dense_lo_plane(self):
+        """Even at full HO sparsity the dense LO plane remains."""
+        w_bytes, _ = compressed_layer_bytes(
+            synthetic_profile(256, 256, 256, 1.0, 0.5, seed=2))
+        assert w_bytes >= 256 * 256 * 0.5  # one 4-bit plane
+
+    def test_rle_overhead_bounded(self):
+        """Index overhead never exceeds the dense HO plane it replaces."""
+        for rho in (0.1, 0.5, 0.9):
+            prof = synthetic_profile(256, 256, 256, 0.0, rho, seed=3)
+            _, x_bytes = compressed_layer_bytes(prof)
+            dense = 256 * 256 * 1.0  # two 4-bit planes
+            assert x_bytes <= dense * 1.1
+
+
+class TestMemoryBoundTransition:
+    def test_narrow_dram_makes_layers_dram_bound(self):
+        from repro.hw.analysis import analyze
+
+        prof = synthetic_profile(512, 512, 512, 0.5, 0.9, seed=4)
+        narrow = HwConfig(mem=MemoryConfig(dram_bits_per_cycle=64))
+        wide = HwConfig(mem=MemoryConfig(dram_bits_per_cycle=8192))
+        p_narrow = PanaceaModel(narrow).simulate_model([prof], "t")
+        p_wide = PanaceaModel(wide).simulate_model([prof], "t")
+        assert analyze(p_narrow, narrow).dram_bound_fraction == 1.0
+        assert analyze(p_wide, wide).dram_bound_fraction == 0.0
+        assert p_wide.tops > p_narrow.tops
+
+    def test_compression_helps_more_when_dram_bound(self):
+        narrow = HwConfig(mem=MemoryConfig(dram_bits_per_cycle=64))
+        dense_prof = synthetic_profile(512, 512, 512, 0.0, 0.0, seed=5)
+        sparse_prof = synthetic_profile(512, 512, 512, 0.9, 0.9, seed=5)
+        t_dense = PanaceaModel(narrow).simulate_model([dense_prof], "t").tops
+        t_sparse = PanaceaModel(narrow).simulate_model([sparse_prof],
+                                                       "t").tops
+        # under a starved DRAM the gain comes from compressed EMA
+        assert t_sparse / t_dense > 1.3

@@ -1,0 +1,174 @@
+"""Integration tests: the full stack working together.
+
+These exercise the paths a user actually takes — calibrate a model, convert
+it, run quantized inference, hand the trace to the hardware models, chain
+layers through the PPU — and check cross-module invariants no unit test
+sees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AqsGemmConfig,
+    ExecutionTrace,
+    PostProcessingUnit,
+    PpuConfig,
+    PtqConfig,
+    PtqPipeline,
+    aqs_gemm,
+)
+from repro.core.pipeline import LayerQuantRecord  # noqa: F401  (API surface)
+from repro.hw import HwConfig, PanaceaModel, SibiaModel, analyze
+from repro.models import (
+    build_proxy,
+    get_config,
+    policy_for_model,
+    profile_model,
+    token_batches,
+)
+from repro.models.workloads import synthetic_profile
+from repro.nn import functional as F
+from repro.quant import asymmetric_params, quantize, symmetric_params
+
+
+class TestQuantizedInferenceEndToEnd:
+    def test_lm_pipeline_trace_feeds_hw_model(self):
+        """calibrate -> convert -> run -> per-layer trace consistent with
+        the model's GEMM inventory."""
+        model, _ = build_proxy("gpt2", seed=0)
+        pipe = PtqPipeline(model, PtqConfig(scheme="aqs"))
+        pipe.calibrate(token_batches(512, 1, 16, 2, seed=0))
+        trace = ExecutionTrace()
+        qmodel = pipe.convert(trace=trace, count_ops=True)
+        ids = np.arange(16).reshape(1, 16) % 512
+        qmodel(ids)
+        # every Linear executed once, with the right GEMM shapes
+        by_layer = trace.by_layer()
+        assert len(by_layer) == len(pipe.records)
+        for name, execs in by_layer.items():
+            rec = pipe.records[name]
+            assert execs[0].m == rec.w_q.shape[0]
+            assert execs[0].k == rec.w_q.shape[1]
+            assert execs[0].n == 16
+            assert execs[0].ops.mul4 > 0
+
+    def test_quantized_lm_output_close_to_fp(self):
+        fp, _ = build_proxy("gpt2", seed=0)
+        ids = np.arange(24).reshape(1, 24) % 512
+        ref = fp(ids)
+        model, _ = build_proxy("gpt2", seed=0)
+        pipe = PtqPipeline(model, PtqConfig(scheme="aqs"))
+        pipe.calibrate(token_batches(512, 1, 24, 2, seed=1))
+        out = pipe.convert()(ids)
+        rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-9)
+        assert rel < 0.25
+
+    def test_all_three_quantized_schemes_agree_roughly(self):
+        fp, _ = build_proxy("bert_base", seed=0)
+        x = np.random.default_rng(2).normal(size=(2, 12, 192))
+        ref = fp(x)
+        outs = {}
+        for scheme, bits in (("aqs", 8), ("sibia", 7), ("int8_dense", 8)):
+            model, _ = build_proxy("bert_base", seed=0)
+            pipe = PtqPipeline(model, PtqConfig(scheme=scheme, x_bits=bits))
+            pipe.calibrate([x])
+            outs[scheme] = pipe.convert()(x)
+        for scheme, out in outs.items():
+            rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-9)
+            assert rel < 0.3, scheme
+
+
+class TestLayerChainingThroughPpu:
+    def test_two_layer_chain_matches_float_reference(self):
+        """GEMM -> PPU (GELU + requantize + compress) -> GEMM, compared to
+        the float pipeline — the accelerator's actual inter-layer path."""
+        rng = np.random.default_rng(3)
+        k0, k1, m1, n = 64, 48, 32, 16
+        w0 = rng.standard_t(5, (k1, k0)) * 0.08
+        w1 = rng.standard_t(5, (m1, k1)) * 0.08
+        x = rng.standard_t(4, (k0, n)) * 0.4 + 0.2
+
+        # float reference
+        ref = w1 @ F.gelu(w0 @ x)
+
+        # layer 0: quantize + AQS-GEMM
+        w0_p = symmetric_params(w0, 7)
+        x_p = asymmetric_params(x, 8)
+        w0_q = quantize(w0, w0_p)
+        x_q = quantize(x, x_p)
+        zp0 = int(x_p.zero_point)
+        acc0 = aqs_gemm(w0_q, x_q, zp0).acc
+        acc0 = acc0 - zp0 * w0_q.sum(axis=1, keepdims=True)  # Eq. 3 fold
+        acc_scale = float(w0_p.scale) * float(x_p.scale)
+
+        # PPU: GELU + requantize for layer 1
+        h_float = F.gelu(acc0 * acc_scale)
+        h_params = asymmetric_params(h_float, 8)
+        ppu = PostProcessingUnit(PpuConfig(nonlinearity="gelu",
+                                           pwl_segments=64))
+        ppu_out = ppu.process(acc0, acc_scale, h_params,
+                              int(h_params.zero_point))
+
+        # layer 1: AQS-GEMM on the PPU's codes
+        w1_p = symmetric_params(w1, 7)
+        w1_q = quantize(w1, w1_p)
+        zp1 = int(h_params.zero_point)
+        acc1 = aqs_gemm(w1_q, ppu_out.codes, zp1).acc
+        acc1 = acc1 - zp1 * w1_q.sum(axis=1, keepdims=True)
+        out = acc1 * float(w1_p.scale) * float(h_params.scale)
+
+        rel = np.abs(out - ref).mean() / (np.abs(ref).mean() + 1e-9)
+        assert rel < 0.15
+
+    def test_ppu_compressed_handoff_consistent_with_gemm_sparsity(self):
+        """The rho the next layer's AQS-GEMM observes equals the vector
+        sparsity of the PPU's compressed output."""
+        rng = np.random.default_rng(4)
+        acc = rng.integers(-30000, 30000, (64, 32))
+        reals = F.gelu(acc * 5e-5)
+        params = asymmetric_params(reals, 8)
+        zp = int(params.zero_point)
+        ppu = PostProcessingUnit(PpuConfig(nonlinearity="gelu"))
+        out = ppu.process(acc, 5e-5, params, zp)
+        w = rng.integers(-64, 64, (16, 64))
+        res = aqs_gemm(w, out.codes, zp, AqsGemmConfig())
+        mask = out.compressed.uncompressed_mask
+        rho_wire = 1.0 - mask.mean()
+        assert res.rho_x == pytest.approx(rho_wire, abs=1e-9)
+
+
+class TestProfileToHardwareConsistency:
+    def test_profiles_drive_all_designs(self):
+        cfg = get_config("bert_base")
+        import dataclasses
+
+        small = dataclasses.replace(cfg, layers=tuple(cfg.layers[:6]))
+        prof = profile_model(small, policy_for_model(small, "aqs"),
+                             n_sample=64, m_cap=256, seed=0)
+        hw = HwConfig()
+        pan = PanaceaModel(hw).simulate_model(prof, "bert")
+        sib_prof = profile_model(small, policy_for_model(small, "sibia"),
+                                 n_sample=64, m_cap=256, seed=0)
+        sib = SibiaModel(hw).simulate_model(sib_prof, "bert")
+        assert pan.effective_macs == sib.effective_macs  # same workload
+        assert pan.total_energy_pj < sib.total_energy_pj
+
+    def test_analysis_over_simulation(self):
+        prof = [synthetic_profile(512, 512, 2048, 0.4, 0.9, seed=i)
+                for i in range(3)]
+        perf = PanaceaModel().simulate_model(prof, "toy")
+        report = analyze(perf)
+        assert len(report.layers) == 3
+        # energy accounted in the analysis equals the simulation's
+        assert sum(l.energy_pj for l in report.layers) == pytest.approx(
+            perf.total_energy_pj)
+
+    def test_panacea_energy_monotone_in_sparsity(self):
+        """More compressible workloads never cost more energy."""
+        energies = []
+        for rho in (0.0, 0.3, 0.6, 0.9):
+            prof = synthetic_profile(512, 512, 512, rho, rho, seed=7)
+            perf = PanaceaModel().simulate_model([prof], "toy")
+            energies.append(perf.total_energy_pj)
+        assert all(b <= a * 1.02 for a, b in zip(energies, energies[1:]))

@@ -1,0 +1,132 @@
+"""Tests for the full-shape model configs and distribution samplers."""
+
+import numpy as np
+import pytest
+
+from repro.models.configs import MODEL_CONFIGS, get_config
+from repro.models.distributions import (
+    ActivationSpec,
+    sample_activation,
+    sample_weight,
+)
+
+
+class TestConfigs:
+    def test_all_expected_models_present(self):
+        expected = {"deit_base", "bert_base", "gpt2", "opt_350m", "opt_1p3b",
+                    "opt_2p7b", "llama32_1b", "llama32_3b", "resnet18"}
+        assert expected == set(MODEL_CONFIGS)
+
+    def test_get_config_unknown(self):
+        with pytest.raises(KeyError):
+            get_config("gpt5")
+
+    def test_deit_base_shapes(self):
+        cfg = get_config("deit_base")
+        fc1 = cfg.layer("block0.mlp.fc1")
+        assert (fc1.m, fc1.k, fc1.n) == (3072, 768, 197)
+        assert len([l for l in cfg.layers if l.block_index == 0]) == 6
+
+    def test_gpt2_sequence_length(self):
+        cfg = get_config("gpt2")
+        assert all(l.n == 1024 for l in cfg.layers)
+
+    def test_opt_2p7b_dims(self):
+        cfg = get_config("opt_2p7b")
+        fc2 = cfg.layer("block0.mlp.fc2")
+        assert (fc2.m, fc2.k) == (2560, 10240)
+        assert len(cfg.layers) == 32 * 6
+
+    def test_llama_gqa_kv_dims(self):
+        cfg = get_config("llama32_1b")
+        k_proj = cfg.layer("block0.attn.k_proj")
+        assert k_proj.m == 512  # 8 kv heads x 64 head dim
+        assert cfg.layer("block0.attn.q_proj").m == 2048
+
+    def test_llama_swiglu_layers(self):
+        cfg = get_config("llama32_1b")
+        names = {l.name for l in cfg.layers if l.block_index == 0}
+        assert "block0.mlp.gate_proj" in names
+        assert "block0.mlp.down_proj" in names
+        assert cfg.sensitive_layers[0] == "block0.mlp.down_proj"
+
+    def test_resnet_stem_im2col(self):
+        cfg = get_config("resnet18")
+        stem = cfg.layer("stem")
+        assert (stem.m, stem.k, stem.n) == (64, 3 * 49, 112 * 112)
+
+    def test_fc2_layers_marked_gelu(self):
+        cfg = get_config("bert_base")
+        assert cfg.layer("block0.mlp.fc2").act.family == "gelu"
+
+    def test_total_macs_positive_and_ordered(self):
+        small = get_config("opt_350m").total_macs
+        big = get_config("opt_2p7b").total_macs
+        assert 0 < small < big
+
+    def test_spread_grows_with_depth(self):
+        cfg = get_config("bert_base")
+        early = cfg.layer("block0.attn.q_proj").act.spread
+        late = cfg.layer("block11.attn.q_proj").act.spread
+        assert late > early
+
+
+class TestDistributions:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationSpec("bimodal")
+
+    @pytest.mark.parametrize("family", ["layernorm", "gelu", "swiglu",
+                                        "relu", "softmax",
+                                        "residual_outlier", "image"])
+    def test_families_sample_finite(self, family):
+        rng = np.random.default_rng(0)
+        x = sample_activation(ActivationSpec(family), 64, 32, rng)
+        assert x.shape == (64, 32)
+        assert np.all(np.isfinite(x))
+
+    def test_gelu_is_asymmetric(self):
+        rng = np.random.default_rng(1)
+        x = sample_activation(ActivationSpec("gelu"), 256, 128, rng)
+        assert x.min() > -0.5
+        assert x.max() > 1.0
+
+    def test_relu_nonnegative(self):
+        rng = np.random.default_rng(2)
+        x = sample_activation(ActivationSpec("relu"), 64, 64, rng)
+        assert x.min() >= 0.0
+
+    def test_outlier_channels_applied(self):
+        rng = np.random.default_rng(3)
+        spec = ActivationSpec("layernorm", outlier_channels=4,
+                              outlier_scale=50.0)
+        x = sample_activation(spec, 128, 64, rng)
+        ch_amp = np.abs(x).max(axis=1)
+        assert (ch_amp > 10 * np.median(ch_amp)).sum() >= 3
+
+    def test_spread_widens_coded_bulk(self):
+        """Higher spread must increase the coded std (DBS trigger)."""
+        from repro.quant.observers import HistogramObserver
+
+        rng = np.random.default_rng(4)
+        stds = []
+        for spread in (1.0, 2.5):
+            x = sample_activation(ActivationSpec("layernorm", spread=spread),
+                                  256, 128, np.random.default_rng(4))
+            obs = HistogramObserver(bits=8)
+            obs.observe(x)
+            stds.append(obs.quantized_std())
+        assert stds[1] > stds[0]
+
+    def test_weight_tail_df_controls_sparsity(self):
+        """Heavier tails (lower df) -> more SBR HO-slice sparsity."""
+        from repro.bitslice.sparsity import weight_sparsity_report
+        from repro.quant.uniform import quantize, symmetric_params
+
+        def rho(df):
+            rng = np.random.default_rng(5)
+            w = sample_weight(256, 256, rng, tail_df=df)
+            q = quantize(w, symmetric_params(w, 7))
+            return weight_sparsity_report(q, 7).vector_sparsity
+
+        assert rho(4.0) > rho(12.0)

@@ -1,0 +1,103 @@
+"""Tests for proxy models and synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.models.synthetic import (
+    classification_set,
+    gaussian_images,
+    teacher_sample,
+    token_batches,
+    zipf_tokens,
+)
+from repro.models.zoo import PROXY_SPECS, build_proxy
+
+
+class TestProxies:
+    def test_every_benchmark_has_a_proxy(self):
+        from repro.models.configs import MODEL_CONFIGS
+
+        assert set(PROXY_SPECS) == set(MODEL_CONFIGS)
+
+    def test_unknown_proxy(self):
+        with pytest.raises(KeyError):
+            build_proxy("gpt5")
+
+    @pytest.mark.parametrize("name", ["gpt2", "llama32_1b"])
+    def test_lm_proxies_run(self, name):
+        model, config = build_proxy(name, seed=0)
+        spec = PROXY_SPECS[name]
+        ids = np.arange(12).reshape(1, 12) % spec.vocab
+        out = model(ids)
+        assert out.shape == (1, 12, spec.vocab)
+        assert config.name == name
+
+    def test_classifier_proxy_runs(self):
+        model, _ = build_proxy("bert_base", seed=0)
+        out = model(np.zeros((2, 8, 192)))
+        assert out.shape == (2, 3)
+
+    def test_resnet_proxy_runs(self):
+        model, _ = build_proxy("resnet18", seed=0)
+        out = model(gaussian_images(1, 3, 32, seed=0))
+        assert out.shape == (1, 16)
+
+    def test_llama_proxy_has_swiglu(self):
+        model, _ = build_proxy("llama32_1b", seed=0)
+        names = [n for n, _ in model.named_modules()]
+        assert any("down_proj" in n for n in names)
+        assert any("gate_proj" in n for n in names)
+
+    def test_outlier_channels_visible_in_activations(self):
+        """OPT/Llama proxies must show per-channel outliers — the property
+        that makes them hard to quantize."""
+        from repro.nn.layers import Linear
+
+        model, _ = build_proxy("opt_2p7b", seed=0)
+        captured = []
+        for name, mod in model.named_modules():
+            if isinstance(mod, Linear) and name.endswith("fc1"):
+                mod.register_forward_hook(
+                    lambda m, a, o: captured.append(a[0]))
+        model(np.arange(16).reshape(1, 16) % 512)
+        x = captured[-1].reshape(-1, captured[-1].shape[-1])
+        ch_amp = np.abs(x).max(axis=0)
+        assert ch_amp.max() > 5 * np.median(ch_amp)
+
+
+class TestSyntheticData:
+    def test_zipf_distribution_skewed(self):
+        tokens = zipf_tokens(256, 20000, seed=0)
+        counts = np.bincount(tokens, minlength=256)
+        assert counts[0] > 10 * max(counts[128], 1)
+
+    def test_token_batches_shapes(self):
+        batches = token_batches(128, 2, 16, 3, seed=0)
+        assert len(batches) == 3
+        assert batches[0].shape == (2, 16)
+
+    def test_teacher_sample_low_fp_perplexity(self):
+        """The FP model must predict its own samples far better than
+        chance — the property that makes quantization deltas meaningful."""
+        from repro.eval.accuracy import lm_perplexity
+        from repro.models.zoo import build_proxy
+
+        lm, _ = build_proxy("gpt2", seed=0)
+        own = teacher_sample(lm, 512, 2, 32, seed=1)
+        ppl_own = lm_perplexity(lm, own)
+        assert ppl_own < 512 * 0.75  # well below uniform-vocab ppl
+
+    def test_gaussian_images_normalized(self):
+        imgs = gaussian_images(4, 3, 16, seed=0)
+        assert imgs.shape == (4, 3, 16, 16)
+        assert abs(float(imgs.mean())) < 0.3
+
+    def test_classification_set(self):
+        batches = classification_set(4, 8, 32, 2, seed=0)
+        assert len(batches) == 2
+        assert batches[0].shape == (4, 8, 32)
+
+    def test_determinism(self):
+        a = zipf_tokens(64, 100, seed=5)
+        b = zipf_tokens(64, 100, seed=5)
+        assert np.array_equal(a, b)

@@ -1,0 +1,125 @@
+"""Tests for attention, transformer blocks and model skeletons."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.resnet import BasicBlock, ResNet
+from repro.nn.transformer import (
+    CausalLM,
+    DecoderBlock,
+    EncoderBlock,
+    LlamaBlock,
+    OutlierChannelScaler,
+    TransformerClassifier,
+)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        attn = MultiHeadAttention(32, 4)
+        assert attn(np.zeros((2, 5, 32))).shape == (2, 5, 32)
+
+    def test_causal_mask_blocks_future(self):
+        """Changing a future token must not change earlier outputs."""
+        rng = np.random.default_rng(0)
+        attn = MultiHeadAttention(16, 2, causal=True, rng=rng)
+        x = rng.normal(size=(1, 6, 16))
+        base = attn(x)
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        out = attn(x2)
+        assert np.allclose(base[0, :5], out[0, :5])
+
+    def test_bidirectional_sees_future(self):
+        rng = np.random.default_rng(1)
+        attn = MultiHeadAttention(16, 2, causal=False, rng=rng)
+        x = rng.normal(size=(1, 6, 16))
+        base = attn(x)
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        assert not np.allclose(base[0, 0], attn(x2)[0, 0])
+
+    def test_gqa_shapes(self):
+        attn = MultiHeadAttention(32, 8, n_kv_heads=2, causal=True)
+        assert attn(np.zeros((1, 4, 32))).shape == (1, 4, 32)
+        assert attn.k_proj.out_features == 2 * 4  # kv heads * head_dim
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(30, 4)
+        with pytest.raises(ValueError):
+            MultiHeadAttention(32, 8, n_kv_heads=3)
+
+
+class TestBlocks:
+    def test_encoder_block(self):
+        block = EncoderBlock(32, 4, 64)
+        assert block(np.zeros((2, 5, 32))).shape == (2, 5, 32)
+
+    def test_decoder_block(self):
+        block = DecoderBlock(32, 4, 64)
+        assert block(np.zeros((2, 5, 32))).shape == (2, 5, 32)
+
+    def test_llama_block(self):
+        block = LlamaBlock(32, 4, 2, 64)
+        assert block(np.zeros((2, 5, 32))).shape == (2, 5, 32)
+
+    def test_outlier_scaler(self):
+        rng = np.random.default_rng(2)
+        scaler = OutlierChannelScaler(64, n_outliers=4, scale=20.0, rng=rng)
+        x = np.ones((2, 64))
+        out = scaler(x)
+        assert np.sum(out == 20.0) == 2 * 4
+        assert np.sum(out == 1.0) == 2 * 60
+
+
+class TestModels:
+    def test_causal_lm_logits(self):
+        lm = CausalLM(vocab=64, dim=32, n_layers=2, n_heads=4, mlp_hidden=64)
+        ids = np.zeros((2, 7), dtype=int)
+        assert lm(ids).shape == (2, 7, 64)
+
+    def test_llama_lm(self):
+        lm = CausalLM(vocab=64, dim=32, n_layers=2, n_heads=4, mlp_hidden=64,
+                      block="llama", n_kv_heads=2)
+        assert lm(np.zeros((1, 5), dtype=int)).shape == (1, 5, 64)
+
+    def test_classifier(self):
+        clf = TransformerClassifier(dim=32, n_layers=2, n_heads=4,
+                                    mlp_hidden=64, n_classes=7)
+        assert clf(np.zeros((3, 9, 32))).shape == (3, 7)
+
+    def test_deterministic_given_seed(self):
+        a = CausalLM(32, 16, 1, 2, 32, seed=5)
+        b = CausalLM(32, 16, 1, 2, 32, seed=5)
+        ids = np.arange(6).reshape(1, 6) % 32
+        assert np.allclose(a(ids), b(ids))
+
+    def test_gemm_layers_discoverable(self):
+        """PTQ needs to find every Linear by dotted name."""
+        lm = CausalLM(32, 16, 2, 2, 32)
+        from repro.nn.layers import Linear
+
+        linears = [n for n, m in lm.named_modules() if isinstance(m, Linear)]
+        # 2 blocks x (q,k,v,out,fc1,fc2) + lm_head
+        assert len(linears) == 2 * 6 + 1
+
+
+class TestResNet:
+    def test_basic_block_shapes(self):
+        block = BasicBlock(8, 16, stride=2)
+        assert block(np.zeros((1, 8, 8, 8))).shape == (1, 16, 4, 4)
+
+    def test_resnet_forward(self):
+        net = ResNet(n_classes=10, width=8)
+        out = net(np.random.default_rng(0).normal(size=(1, 3, 32, 32)))
+        assert out.shape == (1, 10)
+
+    def test_resnet18_conv_count(self):
+        net = ResNet(n_classes=10, width=8)
+        from repro.nn.layers import Conv2d
+
+        convs = [n for n, m in net.named_modules() if isinstance(m, Conv2d)]
+        # stem + 4 stages x (2 blocks x 2 convs) + 3 downsamples
+        assert len(convs) == 1 + 16 + 3

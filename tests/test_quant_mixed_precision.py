@@ -1,0 +1,67 @@
+"""Tests for sensitivity-driven mixed-precision assignment."""
+
+import numpy as np
+
+from repro.quant.mixed_precision import (
+    LayerSensitivity,
+    assign_precision,
+    measure_sensitivity,
+)
+
+
+class TestSensitivity:
+    def test_wide_distribution_more_sensitive(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(0, 0.1, (16, 64))
+        narrow = rng.normal(0, 1, (64, 128))
+        wide = rng.standard_t(3, (64, 128)) * 5
+        wide[5] *= 100.0  # outlier channel
+        s_narrow = measure_sensitivity("narrow", w, narrow)
+        s_wide = measure_sensitivity("wide", w, wide)
+        assert s_wide.error > s_narrow.error
+
+    def test_ordering(self):
+        a = LayerSensitivity("a", 0.1)
+        b = LayerSensitivity("b", 0.2)
+        assert a < b
+
+
+class TestAssign:
+    def _sens(self):
+        return [LayerSensitivity(f"l{i}", err)
+                for i, err in enumerate([0.01, 0.5, 0.02, 0.9])]
+
+    def test_budget_promotes_top_fraction(self):
+        out = assign_precision(self._sens(), budget_fraction=0.5)
+        assert out["l3"] == 12 and out["l1"] == 12
+        assert out["l0"] == 8 and out["l2"] == 8
+
+    def test_threshold_mode(self):
+        out = assign_precision(self._sens(), threshold=0.4)
+        assert out["l1"] == 12 and out["l3"] == 12
+        assert out["l0"] == 8
+
+    def test_at_least_one_promoted(self):
+        out = assign_precision(self._sens(), budget_fraction=0.01)
+        assert sum(1 for b in out.values() if b == 12) == 1
+
+    def test_empty(self):
+        assert assign_precision([]) == {}
+
+    def test_down_proj_style_layers_promoted(self):
+        """Llama down-projections (SwiGLU inputs, heavy-tailed) must be the
+        layers the sensitivity metric promotes — the paper's observation."""
+        rng = np.random.default_rng(1)
+        sens = []
+        for i in range(8):
+            w = rng.normal(0, 0.1, (16, 64))
+            if i % 4 == 3:  # "down_proj": heavy-tailed activations
+                x = rng.standard_t(3, (64, 64)) * 4
+                name = f"block{i // 4}.down_proj"
+            else:
+                x = rng.normal(0, 1, (64, 64))
+                name = f"block{i // 4}.other{i % 4}"
+            sens.append(measure_sensitivity(name, w, x))
+        out = assign_precision(sens, budget_fraction=0.25)
+        promoted = {n for n, b in out.items() if b == 12}
+        assert all("down_proj" in n for n in promoted)

@@ -1,0 +1,124 @@
+"""Tests for PTQ range observers."""
+
+import numpy as np
+import pytest
+
+from repro.quant.observers import (
+    EmaMinMaxObserver,
+    HistogramObserver,
+    MinMaxObserver,
+    PercentileObserver,
+    make_observer,
+)
+
+
+class TestMinMax:
+    def test_tracks_global_extremes(self):
+        obs = MinMaxObserver(bits=8)
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-3.0, 0.5]))
+        assert obs.range() == (-3.0, 2.0)
+
+    def test_params_asymmetric(self):
+        obs = MinMaxObserver(bits=8, symmetric=False)
+        obs.observe(np.array([-1.0, 3.0]))
+        p = obs.params()
+        assert not p.signed
+        assert float(p.scale) == pytest.approx(4.0 / 255.0)
+
+    def test_params_symmetric(self):
+        obs = MinMaxObserver(bits=7, symmetric=True)
+        obs.observe(np.array([-2.0, 1.0]))
+        p = obs.params()
+        assert p.signed and int(p.zero_point) == 0
+
+    def test_no_data_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().params()
+
+    def test_empty_batch_ignored(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([]))
+        assert obs.batches_seen == 0
+
+
+class TestEma:
+    def test_first_batch_initializes(self):
+        obs = EmaMinMaxObserver(momentum=0.9)
+        obs.observe(np.array([0.0, 10.0]))
+        assert obs.range() == (0.0, 10.0)
+
+    def test_outlier_batch_damped(self):
+        obs = EmaMinMaxObserver(momentum=0.9)
+        obs.observe(np.array([0.0, 1.0]))
+        obs.observe(np.array([0.0, 100.0]))
+        lo, hi = obs.range()
+        assert hi < 15.0  # 0.9*1 + 0.1*100 = 10.9
+
+    def test_bad_momentum(self):
+        with pytest.raises(ValueError):
+            EmaMinMaxObserver(momentum=1.0)
+
+
+class TestPercentile:
+    def test_clips_outliers(self):
+        rng = np.random.default_rng(0)
+        obs = PercentileObserver(percentile=99.0)
+        data = rng.normal(0, 1, 10_000)
+        data[0] = 1000.0
+        obs.observe(data)
+        lo, hi = obs.range()
+        assert hi < 10.0
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=40.0)
+
+
+class TestHistogram:
+    def test_histogram_counts_all(self):
+        obs = HistogramObserver(bits=8)
+        obs.observe(np.random.default_rng(0).normal(0, 1, 5000))
+        hist = obs.quantized_histogram()
+        assert hist.sum() == 5000
+        assert hist.size == 256
+
+    def test_std_reflects_width(self):
+        rng = np.random.default_rng(1)
+        narrow = HistogramObserver(bits=8)
+        wide = HistogramObserver(bits=8)
+        # same range (via endpoint pins), different bulk width
+        base = np.array([-10.0, 10.0])
+        narrow.observe(np.concatenate([base, rng.normal(0, 0.5, 5000)]))
+        wide.observe(np.concatenate([base, rng.normal(0, 5.0, 5000)]))
+        assert narrow.quantized_std() < wide.quantized_std()
+
+    def test_robust_std_ignores_outlier_mass(self):
+        """A few extreme channels must not inflate the bulk width."""
+        rng = np.random.default_rng(2)
+        bulk = rng.normal(0, 1, 20_000)
+        outliers = rng.normal(0, 40, 200)  # 1% outliers set the range
+        obs = HistogramObserver(bits=8)
+        obs.observe(np.concatenate([bulk, outliers]))
+        assert obs.quantized_std(robust=True) < obs.quantized_std(robust=False) / 2
+
+    def test_robust_matches_plain_for_gaussian(self):
+        rng = np.random.default_rng(3)
+        obs = HistogramObserver(bits=8)
+        obs.observe(rng.normal(0, 1, 50_000))
+        robust = obs.quantized_std(robust=True)
+        plain = obs.quantized_std(robust=False)
+        assert robust == pytest.approx(plain, rel=0.15)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["minmax", "ema", "percentile",
+                                      "histogram"])
+    def test_creates_each_kind(self, kind):
+        obs = make_observer(kind, bits=8)
+        obs.observe(np.array([1.0, -1.0]))
+        assert obs.params().bits == 8
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_observer("magic")

@@ -1,0 +1,92 @@
+"""Tests for the OPTQ (GPTQ) weight quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.quant.optq import hessian_from_activations, optq_quantize
+
+
+def _naive_rtn_error(w, x, bits, group=None):
+    """Round-to-nearest baseline reconstruction error."""
+    qmax = (1 << (bits - 1)) - 1
+    group = group or w.shape[1]
+    recon = np.zeros_like(w)
+    for g in range(0, w.shape[1], group):
+        block = w[:, g:g + group]
+        s = 2 * np.maximum(np.abs(block).max(axis=1, keepdims=True), 1e-12) / (
+            (1 << bits) - 1)
+        recon[:, g:g + group] = np.clip(np.rint(block / s), -qmax - 1, qmax) * s
+    return float(np.mean(((w - recon) @ x) ** 2))
+
+
+class TestHessian:
+    def test_symmetric_positive_definite(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (32, 128))
+        h = hessian_from_activations(x)
+        assert np.allclose(h, h.T)
+        assert np.all(np.linalg.eigvalsh(h) > 0)
+
+    def test_damping_applied(self):
+        x = np.zeros((8, 4))
+        h = hessian_from_activations(x)
+        assert np.all(np.diag(h) > 0)
+
+
+class TestOptq:
+    def test_codes_in_range(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(0, 0.1, (16, 64))
+        x = rng.normal(0, 1, (64, 128))
+        res = optq_quantize(w, x, bits=4)
+        assert res.w_q.min() >= -8 and res.w_q.max() <= 7
+
+    def test_beats_round_to_nearest(self):
+        """The whole point of OPTQ: error compensation beats naive RTN on
+        the calibration objective."""
+        rng = np.random.default_rng(2)
+        w = rng.standard_t(4, (32, 96)) * 0.05
+        x = rng.standard_t(4, (96, 256))
+        res = optq_quantize(w, x, bits=4, group_size=None)
+        assert res.reconstruction_error < _naive_rtn_error(w, x, 4)
+
+    def test_grouping_helps_with_outlier_columns(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(0, 0.05, (16, 128))
+        w[:, 5] *= 25.0
+        x = rng.normal(0, 1, (128, 128))
+        grouped = optq_quantize(w, x, bits=4, group_size=64)
+        whole = optq_quantize(w, x, bits=4, group_size=None)
+        assert grouped.reconstruction_error <= whole.reconstruction_error
+
+    def test_higher_bits_lower_error(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(0, 0.1, (8, 64))
+        x = rng.normal(0, 1, (64, 64))
+        e4 = optq_quantize(w, x, bits=4).reconstruction_error
+        e7 = optq_quantize(w, x, bits=7).reconstruction_error
+        assert e7 < e4
+
+    def test_dequantize_shape(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(0, 0.1, (8, 100))
+        x = rng.normal(0, 1, (100, 32))
+        res = optq_quantize(w, x, bits=4, group_size=64)
+        assert res.dequantize().shape == w.shape
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            optq_quantize(np.zeros((4, 8)), np.zeros((9, 2)), bits=4)
+
+    def test_sbr_compatible_codes(self):
+        """4-bit OPTQ output must feed the AQS-GEMM directly (Fig. 19)."""
+        rng = np.random.default_rng(6)
+        w = rng.normal(0, 0.1, (8, 32))
+        x = rng.normal(0, 1, (32, 64))
+        res = optq_quantize(w, x, bits=4)
+        from repro.core.aqs_gemm import AqsGemmConfig, aqs_gemm
+
+        xq = np.clip(np.rint(rng.normal(100, 5, (32, 8))), 0,
+                     255).astype(np.int64)
+        out = aqs_gemm(res.w_q, xq, 100, AqsGemmConfig(w_bits=4))
+        assert np.array_equal(out.acc, res.w_q.astype(np.int64) @ xq)

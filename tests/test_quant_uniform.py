@@ -1,0 +1,186 @@
+"""Unit + property tests for repro.quant.uniform (paper Eqs. 1/2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.uniform import (
+    QuantParams,
+    asymmetric_params,
+    dequantize,
+    fake_quantize,
+    params_from_range,
+    quant_range,
+    quantize,
+    symmetric_params,
+)
+
+
+class TestQuantRange:
+    def test_signed_8bit(self):
+        assert quant_range(8, True) == (-128, 127)
+
+    def test_unsigned_8bit(self):
+        assert quant_range(8, False) == (0, 255)
+
+    def test_signed_7bit(self):
+        assert quant_range(7, True) == (-64, 63)
+
+    def test_signed_4bit(self):
+        assert quant_range(4, True) == (-8, 7)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            quant_range(0, True)
+
+
+class TestQuantParams:
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=-1.0, zero_point=0, bits=8, signed=True)
+
+    def test_rejects_out_of_range_zero_point(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=300, bits=8, signed=False)
+
+    def test_is_symmetric(self):
+        p = QuantParams(scale=1.0, zero_point=0, bits=8, signed=True)
+        assert p.is_symmetric
+
+    def test_asymmetric_is_not_symmetric(self):
+        p = QuantParams(scale=1.0, zero_point=10, bits=8, signed=False)
+        assert not p.is_symmetric
+
+    def test_with_zero_point_replaces_only_zp(self):
+        p = QuantParams(scale=2.0, zero_point=10, bits=8, signed=False)
+        p2 = p.with_zero_point(20)
+        assert int(p2.zero_point) == 20
+        assert float(p2.scale) == 2.0
+
+
+class TestSymmetric:
+    def test_scale_formula(self):
+        """Eq. 1: s = 2*max|x| / (2^b - 1)."""
+        x = np.array([-4.0, 2.0])
+        p = symmetric_params(x, 8)
+        assert float(p.scale) == pytest.approx(8.0 / 255.0)
+
+    def test_zero_point_is_zero(self):
+        p = symmetric_params(np.array([1.0, -3.0]), 8)
+        assert int(p.zero_point) == 0
+
+    def test_max_maps_near_top_code(self):
+        x = np.array([-1.0, 1.0])
+        q = quantize(x, symmetric_params(x, 8))
+        assert q[1] == 128 or q[1] == 127  # 1/s = 127.5 rounds to even 128->clip
+        assert q[1] <= 127
+
+    def test_per_channel(self):
+        x = np.array([[1.0, -1.0], [10.0, -10.0]])
+        p = symmetric_params(x, 8, axis=0)
+        assert p.scale.shape == (2, 1)
+        assert float(p.scale[1, 0]) == pytest.approx(10 * float(p.scale[0, 0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            symmetric_params(np.array([]), 8)
+
+
+class TestAsymmetric:
+    def test_scale_formula(self):
+        """Eq. 2: s' = (max - min) / (2^b - 1)."""
+        x = np.array([-1.0, 3.0])
+        p = asymmetric_params(x, 8)
+        assert float(p.scale) == pytest.approx(4.0 / 255.0)
+
+    def test_zero_point_formula(self):
+        x = np.array([-1.0, 3.0])
+        p = asymmetric_params(x, 8)
+        expected = np.clip(np.rint(1.0 / (4.0 / 255.0)), 0, 255)
+        assert int(p.zero_point) == int(expected)
+
+    def test_all_positive_input_zp_zero(self):
+        x = np.array([1.0, 5.0])
+        p = asymmetric_params(x, 8)
+        assert int(p.zero_point) == 0
+
+    def test_min_maps_to_zero_code(self):
+        x = np.linspace(-2.0, 6.0, 100)
+        p = asymmetric_params(x, 8)
+        q = quantize(x, p)
+        assert q.min() == 0
+        assert q.max() == 255
+
+    def test_codes_unsigned(self):
+        x = np.random.default_rng(0).normal(0, 1, 1000)
+        q = quantize(x, asymmetric_params(x, 8))
+        assert q.min() >= 0 and q.max() <= 255
+
+
+class TestRoundTrip:
+    def test_dequantize_inverts_scale(self):
+        p = QuantParams(scale=0.5, zero_point=10, bits=8, signed=False)
+        assert dequantize(np.array([12]), p) == pytest.approx(1.0)
+
+    def test_fake_quantize_error_bounded_asym(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 4096)
+        p = asymmetric_params(x, 8)
+        err = np.abs(fake_quantize(x, p) - x)
+        assert err.max() <= float(p.scale) / 2 + 1e-12
+
+    def test_fake_quantize_error_bounded_sym(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 4096)
+        p = symmetric_params(x, 7)
+        # interior values within half a step; clipped edge within one step
+        err = np.abs(fake_quantize(x, p) - x)
+        assert err.max() <= float(p.scale) + 1e-12
+
+    def test_quantize_idempotent_on_grid(self):
+        p = QuantParams(scale=0.25, zero_point=100, bits=8, signed=False)
+        q = np.arange(0, 256)
+        x = dequantize(q, p)
+        assert np.array_equal(quantize(x, p), q)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=64),
+       st.integers(2, 8))
+def test_property_asym_codes_in_range(values, bits):
+    x = np.array(values)
+    p = asymmetric_params(x, bits)
+    q = quantize(x, p)
+    assert q.min() >= 0
+    assert q.max() <= (1 << bits) - 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=64),
+       st.integers(2, 8))
+def test_property_sym_codes_in_range(values, bits):
+    x = np.array(values)
+    p = symmetric_params(x, bits)
+    q = quantize(x, p)
+    lo, hi = quant_range(bits, True)
+    assert q.min() >= lo and q.max() <= hi
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=4, max_size=64))
+def test_property_asym_reconstruction_error(values):
+    x = np.array(values)
+    if np.ptp(x) < 1e-6:
+        return
+    p = asymmetric_params(x, 8)
+    err = np.abs(fake_quantize(x, p) - x)
+    assert err.max() <= float(p.scale) * 1.01
+
+
+def test_params_from_range_matches_direct():
+    x = np.array([-2.0, 5.0, 1.0])
+    direct = asymmetric_params(x, 8)
+    ranged = params_from_range(x.min(), x.max(), 8, symmetric=False)
+    assert float(direct.scale) == pytest.approx(float(ranged.scale))
+    assert int(direct.zero_point) == int(ranged.zero_point)
