@@ -6,6 +6,7 @@ pytest captures stdout, so every bench also writes its table to
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -17,3 +18,14 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist one experiment's machine-readable result.
+
+    Written next to the ``.txt`` artifacts so perf-trajectory tooling can
+    diff runs without parsing tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -10,14 +10,16 @@ Public API layers:
 
 * ``repro.quant`` — uniform PTQ quantization, observers, OPTQ;
 * ``repro.bitslice`` — slice formats (SBR/straightforward/DBS), vectors, RLE;
-* ``repro.gemm`` — dense-integer and Sibia baseline GEMM engines;
+* ``repro.gemm`` — dense-integer and Sibia baseline GEMM kernels;
 * ``repro.core`` — AQS-GEMM, ZPM, DBS, and the PTQ pipeline;
+* ``repro.engine`` — the prepare/execute engine registry and
+  :class:`PanaceaSession` for multi-batch serving over cached layer plans;
 * ``repro.nn`` / ``repro.models`` — the NumPy NN substrate and model zoo;
 * ``repro.hw`` — Panacea / Sibia / systolic / SIMD performance models;
 * ``repro.eval`` — experiment drivers reproducing the paper's figures.
 """
 
-from . import bitslice, core, gemm, nn, quant
+from . import bitslice, core, engine, gemm, nn, quant
 from .core import (
     AqsGemmConfig,
     ExecutionTrace,
@@ -27,6 +29,14 @@ from .core import (
     dbs_calibrate,
     manipulate_zero_point,
 )
+from .engine import (
+    EngineConfig,
+    PanaceaSession,
+    available_engines,
+    engine_names,
+    get_engine,
+    register_engine,
+)
 from .quant import QuantParams, asymmetric_params, quantize, symmetric_params
 
 __version__ = "1.0.0"
@@ -34,9 +44,16 @@ __version__ = "1.0.0"
 __all__ = [
     "bitslice",
     "core",
+    "engine",
     "gemm",
     "nn",
     "quant",
+    "EngineConfig",
+    "PanaceaSession",
+    "available_engines",
+    "engine_names",
+    "get_engine",
+    "register_engine",
     "AqsGemmConfig",
     "ExecutionTrace",
     "PtqConfig",

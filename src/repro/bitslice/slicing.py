@@ -86,6 +86,31 @@ class SliceStack:
             out += plane.astype(np.int64) * weight
         return out
 
+    def to_state(self) -> dict:
+        """Serializable snapshot: plain ndarrays and scalars only.
+
+        Layer plans embed slice stacks; this keeps them storable with
+        ``np.savez``/pickle-free formats.  Round-trips exactly through
+        :meth:`from_state`.
+        """
+        return {
+            "planes": [np.asarray(p) for p in self.planes],
+            "weights": [int(w) for w in self.weights],
+            "signed": bool(self.signed),
+            "lossy": bool(self.lossy),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SliceStack":
+        """Rebuild a stack from :meth:`to_state` output."""
+        return cls(
+            planes=tuple(np.asarray(p, dtype=np.int64)
+                         for p in state["planes"]),
+            weights=tuple(int(w) for w in state["weights"]),
+            signed=bool(state["signed"]),
+            lossy=bool(state["lossy"]),
+        )
+
 
 def unsigned_total_bits(n_slices: int, slice_bits: int = 4) -> int:
     """Total bit-width covered by straightforward unsigned slicing."""

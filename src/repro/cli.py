@@ -1,8 +1,9 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the everyday workflows:
+Five commands cover the everyday workflows:
 
 * ``list-models`` — the benchmark zoo with shapes and MAC counts;
+* ``engines`` — the registered GEMM engines and their config constraints;
 * ``profile <model>`` — per-layer bit-slice sparsity under a policy;
 * ``simulate <model>`` — run the accelerator models and print the
   comparison table;
@@ -34,6 +35,22 @@ EXPERIMENTS = {
 }
 
 
+def _profile_schemes() -> list[str]:
+    """Profiling scheme choices: registered engines the profiler models.
+
+    ``profile_model`` only models slice sparsity for the bit-slice engines,
+    so the choices are the intersection of the registry with its supported
+    set — the float reference is excluded and the dense integer baseline
+    keeps its historical ``dense`` spelling (the workload-model name used
+    throughout ``repro.models``).  Custom registered engines are *not*
+    offered here: the profiler would silently fall through to the dense
+    branch for them.
+    """
+    from .engine import engine_names
+
+    return [n for n in engine_names() if n in ("sibia", "aqs")] + ["dense"]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -42,11 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-models", help="list the benchmark model zoo")
 
+    sub.add_parser("engines",
+                   help="list registered GEMM engines and their constraints")
+
     p_prof = sub.add_parser("profile",
                             help="per-layer sparsity profile of one model")
     p_prof.add_argument("model")
     p_prof.add_argument("--scheme", default="aqs",
-                        choices=["aqs", "sibia", "dense"])
+                        choices=_profile_schemes())
     p_prof.add_argument("--no-zpm", action="store_true")
     p_prof.add_argument("--no-dbs", action="store_true")
     p_prof.add_argument("--stride", type=int, default=4,
@@ -75,6 +95,18 @@ def _cmd_list_models(out) -> int:
     print(format_table(
         ["model", "family", "gemm layers", "seq", "params (M)", "GMACs"],
         rows, title="benchmark model zoo"), file=out)
+    return 0
+
+
+def _cmd_engines(out) -> int:
+    from .engine import available_engines
+    from .eval.tables import format_table
+
+    rows = [[name, cls.summary, cls.constraints]
+            for name, cls in available_engines().items()]
+    print(format_table(["engine", "summary", "config constraints"], rows,
+                       title="registered GEMM engines (prepare/execute)"),
+          file=out)
     return 0
 
 
@@ -134,6 +166,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list-models":
         return _cmd_list_models(out)
+    if args.command == "engines":
+        return _cmd_engines(out)
     if args.command == "profile":
         return _cmd_profile(args, out)
     if args.command == "simulate":

@@ -3,9 +3,12 @@
 from .aqs_gemm import (
     AqsGemmConfig,
     AqsGemmResult,
+    AqsLayerPlan,
     aqs_gemm,
     compensation_bias,
+    execute_aqs,
     frequent_ho_slice,
+    prepare_aqs,
 )
 from .zpm import ZpmReport, apply_zpm, in_skip_fraction, manipulate_zero_point, skip_range
 from .dbs import DBS_LO_BITS, DbsDecision, DbsType, classify_distribution, dbs_calibrate
@@ -29,9 +32,12 @@ from .ppu import (
 __all__ = [
     "AqsGemmConfig",
     "AqsGemmResult",
+    "AqsLayerPlan",
     "aqs_gemm",
     "compensation_bias",
+    "execute_aqs",
     "frequent_ho_slice",
+    "prepare_aqs",
     "ZpmReport",
     "apply_zpm",
     "in_skip_fraction",

@@ -15,6 +15,12 @@ which reuses the weight slices already loaded for the uncompressed products
 
 The kernel is bit-exact against the dense integer GEMM for ``l = 4`` and
 bit-exact against the DBS-truncated activation codes for ``l > 4``.
+
+Execution is two-phase: :func:`prepare_aqs` runs the static weight path once
+(SBR slicing, compressibility mask, RLE index sizing, compensation rows —
+the paper's "offline" work) into an :class:`AqsLayerPlan`, and
+:func:`execute_aqs` runs the per-request activation path against it.  The
+one-shot :func:`aqs_gemm` is a thin, bit-exact wrapper over the two.
 """
 
 from __future__ import annotations
@@ -33,13 +39,15 @@ from ..bitslice.vectors import (
 )
 from ..gemm.workload import OpCounts
 
-__all__ = ["AqsGemmConfig", "AqsGemmResult", "aqs_gemm", "compensation_bias",
+__all__ = ["AqsGemmConfig", "AqsGemmResult", "AqsLayerPlan", "aqs_gemm",
+           "prepare_aqs", "execute_aqs", "compensation_bias",
            "frequent_ho_slice"]
 
 
 def _exact_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Float64 BLAS matmul, exact for the bounded integer magnitudes here."""
-    return np.rint(a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
+    return np.rint(np.asarray(a, dtype=np.float64)
+                   @ np.asarray(b, dtype=np.float64)).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,15 @@ class AqsGemmConfig:
         if not 4 <= self.lo_bits < self.x_bits:
             raise ValueError(f"lo_bits must be in [4, {self.x_bits - 1}]")
 
+    @property
+    def ho_shift(self) -> int:
+        """Bit position of the activation HO slice.
+
+        ``l`` for the two-slice DBS case, ``x_bits - 4`` for straightforward
+        slicing (these coincide at ``l = 4, x_bits = 8``).
+        """
+        return self.lo_bits if self.lo_bits > 4 else self.x_bits - 4
+
 
 @dataclass
 class AqsGemmResult:
@@ -79,8 +96,8 @@ class AqsGemmResult:
     rho_w: float
     rho_x: float
     r: int
-    uw_mask: np.ndarray = field(repr=False, default=None)
-    ux_mask: np.ndarray = field(repr=False, default=None)
+    uw_mask: np.ndarray | None = field(repr=False, default=None)
+    ux_mask: np.ndarray | None = field(repr=False, default=None)
 
 
 def frequent_ho_slice(zp: int, lo_bits: int = 4) -> int:
@@ -116,6 +133,164 @@ def _slice_activation(x_q: np.ndarray, config: AqsGemmConfig) -> SliceStack:
     return slice_dbs(x_q, lo_bits=config.lo_bits, total_bits=config.x_bits)
 
 
+@dataclass
+class AqsLayerPlan:
+    """Every weight-derived artifact of the AQS-GEMM, computed once.
+
+    Holds the SBR slice stack, the weight compressibility mask and its RLE
+    index budget, the compressible activation slice ``r`` and the Eq. 6
+    compensation rows ``b'/n = (r << ho_shift) * rowsum(W)``.  Float64 mirror
+    copies of the weight operands are kept so the per-request BLAS calls skip
+    the int64->float64 casts.
+    """
+
+    config: AqsGemmConfig
+    w_q: np.ndarray
+    zp: int
+    r: int
+    ho_shift: int
+    w_stack: SliceStack
+    uw: np.ndarray
+    rho_w: float
+    w_rle_bits: int
+    engine: str = "aqs"
+    b_row: np.ndarray = field(init=False, repr=False)
+    w_f64: np.ndarray = field(init=False, repr=False)
+    w_planes_f64: tuple[np.ndarray, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rowsum = self.w_q.sum(axis=1)
+        self.b_row = (self.r << self.ho_shift) * rowsum
+        self.w_f64 = self.w_q.astype(np.float64)
+        self.w_planes_f64 = tuple(p.astype(np.float64)
+                                  for p in self.w_stack.planes)
+
+    @property
+    def m(self) -> int:
+        return self.w_q.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.w_q.shape[1]
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot; derived float caches are rebuilt on load."""
+        from dataclasses import asdict
+
+        return {
+            "engine": self.engine,
+            "config": asdict(self.config),
+            "w_q": self.w_q,
+            "zp": self.zp,
+            "r": self.r,
+            "ho_shift": self.ho_shift,
+            "w_stack": self.w_stack.to_state(),
+            "uw": self.uw,
+            "rho_w": self.rho_w,
+            "w_rle_bits": self.w_rle_bits,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AqsLayerPlan":
+        return cls(
+            config=AqsGemmConfig(**state["config"]),
+            w_q=np.asarray(state["w_q"], dtype=np.int64),
+            zp=int(state["zp"]),
+            r=int(state["r"]),
+            ho_shift=int(state["ho_shift"]),
+            w_stack=SliceStack.from_state(state["w_stack"]),
+            uw=np.asarray(state["uw"], dtype=bool),
+            rho_w=float(state["rho_w"]),
+            w_rle_bits=int(state["w_rle_bits"]),
+        )
+
+
+def prepare_aqs(w_q: np.ndarray, zp: int,
+                config: AqsGemmConfig | None = None) -> AqsLayerPlan:
+    """Run the offline weight path of the AQS-GEMM once.
+
+    Slices ``w_q`` into SBR planes, derives the all-zero HO vector mask and
+    its RLE index bits, and fixes the compressible activation slice
+    ``r = zp >> ho_shift`` — everything :func:`execute_aqs` needs that does
+    not depend on the activations.
+    """
+    config = config or AqsGemmConfig()
+    w_q = np.asarray(w_q, dtype=np.int64)
+    if w_q.ndim != 2:
+        raise ValueError(f"W must be 2-D, got shape {w_q.shape}")
+    ho_shift = config.ho_shift
+    r = frequent_ho_slice(zp, ho_shift)
+    w_stack = slice_sbr(w_q, total_bits=config.w_bits)
+    uw = weight_vector_mask(w_stack.ho, v=config.v, compress_value=0)
+    # A lone 4-bit weight slice has no HO plane, so no weight-side skipping
+    # (paper Fig. 19); report zero exploitable weight sparsity.
+    rho_w = vector_sparsity(uw) if w_stack.n_slices > 1 else 0.0
+    w_rle_bits = 0
+    if config.count_ops and w_stack.n_slices > 1:
+        for row in uw:              # weight streams run along K per row
+            w_rle_bits += rle_index_bits(row, config.index_bits)
+    return AqsLayerPlan(config=config, w_q=w_q, zp=zp, r=r, ho_shift=ho_shift,
+                        w_stack=w_stack, uw=uw, rho_w=rho_w,
+                        w_rle_bits=w_rle_bits)
+
+
+def execute_aqs(plan: AqsLayerPlan, x_q: np.ndarray) -> AqsGemmResult:
+    """Run the per-request activation path against a prepared plan.
+
+    Bit-exact against the one-shot :func:`aqs_gemm`: the accumulation order
+    and every intermediate value are identical, only the weight-side work is
+    read from the plan instead of recomputed.
+    """
+    config = plan.config
+    x_q = np.asarray(x_q, dtype=np.int64)
+    m, k = plan.w_q.shape
+    if x_q.ndim != 2 or k != x_q.shape[0]:
+        raise ValueError(
+            f"shape mismatch: W is {plan.w_q.shape}, x is {x_q.shape}")
+    n = x_q.shape[1]
+
+    v = config.v
+    x_stack = _slice_activation(x_q, config)
+    r, ho_shift = plan.r, plan.ho_shift
+
+    ux = activation_vector_mask(x_stack.ho, v=v, compress_value=r)
+    ux_e = expand_activation_mask(ux, v, n).astype(np.int64)
+
+    # --- bit-slice GEMMs over uncompressed slices (Eq. 5, first term) -----
+    # Compressed weight HO vectors are all-zero, so using the raw HO plane is
+    # already the skipped computation; the activation HO plane is masked to
+    # its uncompressed vectors and the skipped all-r parts are restored by
+    # the compensation term below.  All lower activation planes are dense.
+    x_ho_u = (x_stack.ho * ux_e).astype(np.float64)
+    x_lo_f = [p.astype(np.float64) for p in x_stack.planes[:-1]]
+    acc = np.zeros((m, n), dtype=np.int64)
+    for wi, w_plane in enumerate(plan.w_planes_f64):
+        w_scale = plan.w_stack.weights[wi]
+        acc += (w_scale * x_stack.ho_weight) * _exact_matmul(w_plane, x_ho_u)
+        for xi in range(x_stack.n_slices - 1):
+            acc += (w_scale * x_stack.weights[xi]) * _exact_matmul(
+                w_plane, x_lo_f[xi])
+
+    # --- compensation (Eq. 6): reuse loaded weight slices -----------------
+    # -r*(W_HO+W_LO) J^U + b'   with   b' = (W_HO+W_LO)(r * 1)
+    acc += (np.broadcast_to(plan.b_row[:, None], (m, n))
+            - (r << ho_shift) * _exact_matmul(plan.w_f64, ux_e))
+
+    ops = OpCounts()
+    if config.count_ops:
+        _count_aqs_ops(ops, plan.w_stack, x_stack, plan.uw, ux, config,
+                       m, k, n, plan.w_rle_bits)
+    return AqsGemmResult(
+        acc=acc,
+        ops=ops,
+        rho_w=plan.rho_w,
+        rho_x=vector_sparsity(ux),
+        r=r,
+        uw_mask=plan.uw,
+        ux_mask=ux,
+    )
+
+
 def aqs_gemm(
     w_q: np.ndarray,
     x_q: np.ndarray,
@@ -129,62 +304,12 @@ def aqs_gemm(
     accumulator excludes the Eq. 3 zero-point bias fold (``b_hat``), which the
     caller applies — it equals ``W_q @ x_codes`` exactly, where ``x_codes``
     is ``x_q`` for ``l = 4`` and the DBS-truncated codes for ``l > 4``.
+
+    One-shot wrapper over :func:`prepare_aqs` + :func:`execute_aqs`; callers
+    with static weights should prepare once and execute per request instead.
     """
     config = config or AqsGemmConfig()
-    w_q = np.asarray(w_q, dtype=np.int64)
-    x_q = np.asarray(x_q, dtype=np.int64)
-    m, k = w_q.shape
-    k2, n = x_q.shape
-    if k != k2:
-        raise ValueError(f"shape mismatch: W is {w_q.shape}, x is {x_q.shape}")
-
-    v = config.v
-    w_stack = slice_sbr(w_q, total_bits=config.w_bits)
-    x_stack = _slice_activation(x_q, config)
-    # The compressible HO value is the zero-point's top slice; the HO slice
-    # sits at bit position log2(ho_weight) (= l for two slices, x_bits-4 for
-    # three).
-    ho_shift = int(x_stack.ho_weight).bit_length() - 1
-    r = frequent_ho_slice(zp, ho_shift)
-
-    uw = weight_vector_mask(w_stack.ho, v=v, compress_value=0)
-    ux = activation_vector_mask(x_stack.ho, v=v, compress_value=r)
-    ux_e = expand_activation_mask(ux, v, n).astype(np.int64)
-
-    # --- bit-slice GEMMs over uncompressed slices (Eq. 5, first term) -----
-    # Compressed weight HO vectors are all-zero, so using the raw HO plane is
-    # already the skipped computation; the activation HO plane is masked to
-    # its uncompressed vectors and the skipped all-r parts are restored by
-    # the compensation term below.  All lower activation planes are dense.
-    x_ho_u = x_stack.ho * ux_e
-    acc = np.zeros((m, n), dtype=np.int64)
-    for wi, w_plane in enumerate(w_stack.planes):
-        w_scale = w_stack.weights[wi]
-        acc += (w_scale * x_stack.ho_weight) * _exact_matmul(w_plane, x_ho_u)
-        for xi in range(x_stack.n_slices - 1):
-            acc += (w_scale * x_stack.weights[xi]) * _exact_matmul(
-                w_plane, x_stack.planes[xi])
-
-    # --- compensation (Eq. 6): reuse loaded weight slices -----------------
-    # -r*(W_HO+W_LO) J^U + b'   with   b' = (W_HO+W_LO)(r * 1)
-    b_prime = compensation_bias(w_q, r, ho_shift, n)
-    acc += b_prime - (r << ho_shift) * _exact_matmul(w_q, ux_e)
-
-    ops = OpCounts()
-    if config.count_ops:
-        _count_aqs_ops(ops, w_stack, x_stack, uw, ux, config, m, k, n)
-    # A lone 4-bit weight slice has no HO plane, so no weight-side skipping
-    # (paper Fig. 19); report zero exploitable weight sparsity.
-    rho_w = vector_sparsity(uw) if w_stack.n_slices > 1 else 0.0
-    return AqsGemmResult(
-        acc=acc,
-        ops=ops,
-        rho_w=rho_w,
-        rho_x=vector_sparsity(ux),
-        r=r,
-        uw_mask=uw,
-        ux_mask=ux,
-    )
+    return execute_aqs(prepare_aqs(w_q, zp, config), x_q)
 
 
 def _count_aqs_ops(
@@ -197,6 +322,7 @@ def _count_aqs_ops(
     m: int,
     k: int,
     n: int,
+    w_rle_bits: int,
 ) -> None:
     """Fill the measured-op ledger from the compressibility masks.
 
@@ -204,7 +330,8 @@ def _count_aqs_ops(
     ``v*v`` multiplies plus ``v*v`` accumulator additions.  The Eq. 6
     compensation adds one ``v x v`` outer product per output tile and
     ``v * n_w_planes`` weight-slice accumulations per uncompressed
-    activation vector.
+    activation vector.  ``w_rle_bits`` is the weight-side RLE index budget,
+    already sized offline by :func:`prepare_aqs`.
     """
     v = config.v
     mg, ng = uw.shape[0], ux.shape[1]
@@ -255,10 +382,7 @@ def _count_aqs_ops(
     else:
         ops.ema_nibbles = v * (sum_uw + (nw - 1) * mg * k)
     ops.ema_nibbles += v * (sum_ux + (nx - 1) * k * ng)
-    rle_bits = 0
-    if nw > 1:
-        for row in uw:                  # weight streams run along K per row
-            rle_bits += rle_index_bits(row, config.index_bits)
+    rle_bits = w_rle_bits
     for col in ux.T:                    # activation streams run along K per column
         rle_bits += rle_index_bits(col, config.index_bits)
     ops.rle_index_bits = rle_bits

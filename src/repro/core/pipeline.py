@@ -7,13 +7,16 @@ The pipeline follows the paper's flow exactly:
    weight parameters and Eq. 2 activation parameters.
 2. **ZPM + DBS** — adjust each layer's zero-point (Eq. 7) and pick its DBS
    type from the quantized-code histogram's standard deviation.
-3. **Conversion** — swap each GEMM layer for a quantized layer that executes
-   one of four engines: ``fp32`` (reference), ``int8_dense`` (Eq. 3, the
-   SIMD/systolic baselines), ``sibia`` (symmetric bit-slice GEMM) or ``aqs``
-   (the paper's AQS-GEMM).
-4. **Inference** — quantized layers re-quantize their outputs' inputs on the
-   fly and log per-layer sparsity and op counts into an
-   :class:`ExecutionTrace` the hardware model consumes.
+3. **Conversion** — swap each GEMM layer for a quantized layer bound to one
+   of the registered engines: ``fp32`` (reference), ``int8_dense`` (Eq. 3,
+   the SIMD/systolic baselines), ``sibia`` (symmetric bit-slice GEMM) or
+   ``aqs`` (the paper's AQS-GEMM).  Conversion runs each engine's
+   ``prepare`` once per layer, so all weight-side work (slicing, masks, RLE
+   sizing, compensation bias) is cached in a :class:`LayerPlan` and never
+   recomputed per request.
+4. **Inference** — quantized layers re-quantize their inputs on the fly,
+   ``execute`` their cached plan and log per-layer sparsity and op counts
+   into an :class:`ExecutionTrace` the hardware model consumes.
 """
 
 from __future__ import annotations
@@ -22,14 +25,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine.base import EngineConfig, get_engine
 from ..gemm.dense import fold_bias
-from ..gemm.sibia_gemm import sibia_gemm
-from ..gemm.workload import OpCounts
 from ..nn.layers import Conv2d, Linear, im2col
 from ..nn.module import Module
 from ..quant.observers import HistogramObserver, make_observer
 from ..quant.uniform import QuantParams, quantize, symmetric_params
-from .aqs_gemm import AqsGemmConfig, aqs_gemm
+from ..gemm.workload import OpCounts
 from .dbs import DbsDecision, DbsType, dbs_calibrate
 from .zpm import manipulate_zero_point
 
@@ -44,6 +46,8 @@ __all__ = [
     "SCHEMES",
 ]
 
+#: Builtin scheme names; mirrors the engine registry
+#: (:func:`repro.engine.base.engine_names`), which is the source of truth.
 SCHEMES = ("fp32", "int8_dense", "sibia", "aqs")
 
 
@@ -70,8 +74,11 @@ class PtqConfig:
     w_granularity: str = "per_tensor"
 
     def __post_init__(self) -> None:
-        if self.scheme not in SCHEMES:
-            raise ValueError(f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        from ..engine.base import engine_names
+
+        names = engine_names()
+        if self.scheme not in names:
+            raise ValueError(f"scheme must be one of {names}, got {self.scheme!r}")
         if self.scheme == "sibia" and (self.x_bits - 4) % 3:
             raise ValueError(
                 f"sibia needs SBR-formatted activations (3k+4 bits); "
@@ -161,41 +168,13 @@ class ExecutionTrace:
         return grouped
 
 
-def _run_engine(record: LayerQuantRecord, x_q: np.ndarray, scheme: str,
-                v: int, count_ops: bool):
-    """Dispatch one ``(K, N)`` activation matrix to the configured engine.
-
-    Returns ``(acc, rho_w, rho_x, ops)`` where ``acc`` excludes the bias
-    fold.
-    """
-    if scheme == "int8_dense":
-        acc = np.rint(
-            record.w_q.astype(np.float64) @ x_q.astype(np.float64)
-        ).astype(np.int64)
-        ops = OpCounts()
-        if count_ops:
-            m, k = record.w_q.shape
-            n = x_q.shape[1]
-            ops.mul4 = 4 * m * k * n
-            ops.add = m * k * n
-            ops.ema_nibbles = (m * k * -(-record.w_bits // 4)
-                               + k * n * -(-record.x_bits // 4))
-        return acc, 0.0, 0.0, ops
-    if scheme == "sibia":
-        result = sibia_gemm(record.w_q, x_q, w_bits=record.w_bits,
-                            x_bits=record.x_bits, v=v, count_ops=count_ops)
-        return result.acc, result.rho_w, result.rho_x, result.ops
-    if scheme == "aqs":
-        config = AqsGemmConfig(w_bits=record.w_bits, x_bits=record.x_bits,
-                               lo_bits=record.lo_bits, v=v,
-                               count_ops=count_ops)
-        result = aqs_gemm(record.w_q, x_q, record.zp, config)
-        return result.acc, result.rho_w, result.rho_x, result.ops
-    raise ValueError(f"unknown scheme {scheme!r}")
-
-
 class _QuantizedGemmBase(Module):
-    """Shared machinery of the quantized Linear/Conv layers."""
+    """Shared machinery of the quantized Linear/Conv layers.
+
+    Construction is the offline phase: the scheme's engine is resolved from
+    the registry and its ``prepare`` runs once, caching every weight-side
+    artifact in ``self.plan``.  Forward calls only ``execute`` the plan.
+    """
 
     def __init__(self, name: str, record: LayerQuantRecord, scheme: str,
                  v: int, bias: np.ndarray | None,
@@ -208,7 +187,11 @@ class _QuantizedGemmBase(Module):
         self.trace = trace
         self.count_ops = count_ops
         self._bias = bias
-        zp = record.zp if scheme in ("int8_dense", "aqs") else 0
+        self.engine = get_engine(scheme)
+        zp = record.zp if self.engine.uses_zero_point else 0
+        self.plan = self.engine.prepare(record.w_q, zp, EngineConfig(
+            w_bits=record.w_bits, x_bits=record.x_bits,
+            lo_bits=record.lo_bits, v=v, count_ops=count_ops))
         bias_int = None
         if bias is not None:
             combined = (np.asarray(record.w_params.scale).max()
@@ -226,12 +209,11 @@ class _QuantizedGemmBase(Module):
             self._b_hat = self._b_hat + correction
 
     def _gemm(self, x2d: np.ndarray) -> np.ndarray:
-        """Quantize ``(K, N)`` float activations, run the engine, dequantize."""
+        """Quantize ``(K, N)`` float activations, execute the plan, dequantize."""
         record = self.record
         x_q = quantize(x2d, record.x_params)
-        acc, rho_w, rho_x, ops = _run_engine(record, x_q, self.scheme,
-                                             self.v, self.count_ops)
-        acc = acc + self._b_hat[:, None]
+        result = self.engine.execute(self.plan, x_q)
+        acc = result.acc + self._b_hat[:, None]
         scale = (np.asarray(record.w_params.scale).reshape(-1, 1)
                  * np.asarray(record.x_params.scale).max())
         out = acc.astype(np.float64) * scale
@@ -239,9 +221,10 @@ class _QuantizedGemmBase(Module):
             m, k = record.w_q.shape
             self.trace.add(LayerExecution(
                 name=self.name, m=m, k=k, n=x2d.shape[1],
-                rho_w=rho_w, rho_x=rho_x, ops=ops, scheme=self.scheme,
-                w_bits=record.w_bits, x_bits=record.x_bits,
-                lo_bits=record.lo_bits,
+                rho_w=result.rho_w, rho_x=result.rho_x, ops=result.ops,
+                scheme=self.scheme, w_bits=record.w_bits,
+                x_bits=record.x_bits, lo_bits=record.lo_bits,
+                uw_mask=result.uw_mask, ux_mask=result.ux_mask,
             ))
         return out
 
@@ -400,7 +383,12 @@ class PtqPipeline:
     # -- step 3: conversion ----------------------------------------------------
     def convert(self, trace: ExecutionTrace | None = None,
                 count_ops: bool = False) -> Module:
-        """Swap calibrated GEMM layers for quantized ones (in place)."""
+        """Swap calibrated GEMM layers for quantized ones (in place).
+
+        Each replacement layer runs its engine's ``prepare`` exactly once
+        here, so conversion is the offline phase: subsequent forward passes
+        execute cached :class:`LayerPlan`\\ s with no weight-side work.
+        """
         if self.config.scheme == "fp32":
             return self.model
         if not self.records:
@@ -417,3 +405,9 @@ class PtqPipeline:
                                               self.config.v, trace, count_ops)
             self.model.replace_child(name, replacement)
         return self.model
+
+    def plans(self) -> dict:
+        """The prepared layer plans of the converted model, by layer name."""
+        return {module.name: module.plan
+                for _, module in self.model.named_modules()
+                if isinstance(module, _QuantizedGemmBase)}

@@ -1,0 +1,42 @@
+"""Two-phase execution engines: prepared layer plans + a serving session.
+
+* :mod:`repro.engine.base` — the :class:`Engine` protocol (``prepare`` /
+  ``execute``), layer-plan serialization and the scheme registry;
+* :mod:`repro.engine.engines` — the four builtin engines (``fp32``,
+  ``int8_dense``, ``sibia``, ``aqs``);
+* :mod:`repro.engine.session` — :class:`PanaceaSession`, multi-batch
+  streaming inference over cached plans.
+"""
+
+from .base import (
+    Engine,
+    EngineConfig,
+    GemmResult,
+    LayerPlan,
+    available_engines,
+    engine_names,
+    get_engine,
+    plan_from_state,
+    register_engine,
+)
+from .engines import AqsEngine, Fp32Engine, Fp32Plan, Int8DenseEngine, SibiaEngine
+from .session import PanaceaSession, RequestRecord
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "GemmResult",
+    "LayerPlan",
+    "available_engines",
+    "engine_names",
+    "get_engine",
+    "plan_from_state",
+    "register_engine",
+    "AqsEngine",
+    "Fp32Engine",
+    "Fp32Plan",
+    "Int8DenseEngine",
+    "SibiaEngine",
+    "PanaceaSession",
+    "RequestRecord",
+]

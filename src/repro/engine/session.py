@@ -1,0 +1,137 @@
+"""Batched inference sessions over prepared engines.
+
+:class:`PanaceaSession` is the serving-side entry point of the two-phase
+architecture: calibrate and convert a model once (every layer's
+:class:`LayerPlan` is built at conversion time), then stream request batches
+through :meth:`run` with zero per-request weight work.  Each request is
+recorded as a :class:`RequestRecord` holding its per-layer execution trace,
+so multi-batch serving keeps the same observability the hardware model
+consumes.
+
+    session = PanaceaSession(model, PtqConfig(scheme="aqs"))
+    session.calibrate(calibration_batches)      # offline phase
+    for batch in request_stream:
+        out = session.run(batch)                # online phase, plans cached
+
+``run`` on an uncalibrated session calibrates on that first batch — handy
+for demos; production callers should calibrate explicitly on a held-out set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+import numpy as np
+
+from ..gemm.workload import OpCounts
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->engine cycle
+    from ..core.pipeline import ExecutionTrace, LayerExecution, PtqConfig
+
+__all__ = ["PanaceaSession", "RequestRecord"]
+
+
+@dataclass
+class RequestRecord:
+    """One served request: its batch shape and per-layer executions."""
+
+    request_id: int
+    batch_shape: tuple[int, ...]
+    layers: list["LayerExecution"] = field(default_factory=list)
+
+    def total_ops(self) -> OpCounts:
+        total = OpCounts()
+        for rec in self.layers:
+            total = total.merge(rec.ops)
+        return total
+
+
+class PanaceaSession:
+    """Two-phase inference session: prepare layer plans once, execute many.
+
+    Owns the PTQ pipeline, the plan cache (one :class:`LayerPlan` per GEMM
+    layer, built at conversion time) and the execution trace; every ``run``
+    appends a :class:`RequestRecord`.
+    """
+
+    def __init__(self, model, config: "PtqConfig | None" = None, *,
+                 calibration: Iterable | None = None,
+                 count_ops: bool = True, keep_masks: bool = False) -> None:
+        from ..core.pipeline import ExecutionTrace, PtqConfig, PtqPipeline
+
+        self.config = config or PtqConfig()
+        self.model = model
+        self.pipeline = PtqPipeline(model, self.config)
+        self.trace: "ExecutionTrace" = ExecutionTrace(keep_masks=keep_masks)
+        self.count_ops = count_ops
+        self.requests: list[RequestRecord] = []
+        self._prepared = False
+        if calibration is not None:
+            self.calibrate(calibration)
+
+    @property
+    def prepared(self) -> bool:
+        """Whether calibration ran and the layer plans are built."""
+        return self._prepared
+
+    def calibrate(self, batches: Iterable) -> "PanaceaSession":
+        """Offline phase: observe ``batches``, convert, build all plans."""
+        self.pipeline.calibrate(batches)
+        self.model = self.pipeline.convert(trace=self.trace,
+                                           count_ops=self.count_ops)
+        self._prepared = True
+        return self
+
+    @property
+    def plans(self) -> dict[str, Any]:
+        """The cached layer plans, keyed by dotted layer name."""
+        return self.pipeline.plans()
+
+    def run(self, batch: np.ndarray):
+        """Serve one request batch; returns the model output.
+
+        Executes only the per-request activation path — all weight-side work
+        was done by :meth:`calibrate`.  An uncalibrated session calibrates on
+        this first batch.
+        """
+        if not self._prepared:
+            self.calibrate([batch])
+        start = len(self.trace.records)
+        out = self.model(batch)
+        self.requests.append(RequestRecord(
+            request_id=len(self.requests),
+            batch_shape=tuple(np.shape(batch)),
+            layers=self.trace.records[start:],
+        ))
+        return out
+
+    def run_many(self, batches: Iterable) -> Iterator:
+        """Stream request batches through :meth:`run`, yielding outputs."""
+        for batch in batches:
+            yield self.run(batch)
+
+    def total_ops(self) -> OpCounts:
+        """Merged op ledger over every served request."""
+        total = OpCounts()
+        for request in self.requests:
+            total = total.merge(request.total_ops())
+        return total
+
+    def stats(self) -> dict:
+        """Serving summary: request/layer counts, ops and mean sparsities."""
+        layer_records = [rec for req in self.requests for rec in req.layers]
+        ops = self.total_ops()
+        return {
+            "scheme": self.config.scheme,
+            "n_requests": len(self.requests),
+            "n_layer_calls": len(layer_records),
+            "n_plans": len(self.plans),
+            "mul4": ops.mul4,
+            "add": ops.add,
+            "ema_nibbles": ops.ema_nibbles,
+            "mean_rho_w": (float(np.mean([r.rho_w for r in layer_records]))
+                           if layer_records else 0.0),
+            "mean_rho_x": (float(np.mean([r.rho_x for r in layer_records]))
+                           if layer_records else 0.0),
+        }

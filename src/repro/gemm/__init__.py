@@ -1,15 +1,35 @@
 """GEMM engines: dense integer reference, Sibia baseline, workload math."""
 
-from .dense import DenseGemmResult, dense_gemm_reference, fold_bias, integer_gemm
-from .sibia_gemm import SibiaGemmResult, sibia_gemm
+from .dense import (
+    DenseGemmResult,
+    Int8DensePlan,
+    dense_gemm_reference,
+    execute_int8_dense,
+    fold_bias,
+    integer_gemm,
+    prepare_int8_dense,
+)
+from .sibia_gemm import (
+    SibiaGemmResult,
+    SibiaLayerPlan,
+    execute_sibia,
+    prepare_sibia,
+    sibia_gemm,
+)
 from .workload import OpCounts, table1_panacea, table1_sibia
 
 __all__ = [
     "DenseGemmResult",
+    "Int8DensePlan",
     "dense_gemm_reference",
+    "execute_int8_dense",
     "fold_bias",
     "integer_gemm",
+    "prepare_int8_dense",
     "SibiaGemmResult",
+    "SibiaLayerPlan",
+    "execute_sibia",
+    "prepare_sibia",
     "sibia_gemm",
     "OpCounts",
     "table1_sibia",

@@ -9,14 +9,16 @@ arrays).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..quant.uniform import QuantParams
 from .workload import OpCounts
 
-__all__ = ["DenseGemmResult", "integer_gemm", "dense_gemm_reference", "fold_bias"]
+__all__ = ["DenseGemmResult", "Int8DensePlan", "integer_gemm",
+           "dense_gemm_reference", "fold_bias", "prepare_int8_dense",
+           "execute_int8_dense"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,78 @@ def integer_gemm(w_int: np.ndarray, x_q: np.ndarray,
     if b_hat is not None:
         acc = acc + np.asarray(b_hat, dtype=np.int64)[:, None]
     return acc
+
+
+@dataclass
+class Int8DensePlan:
+    """Prepared state of the dense integer baseline.
+
+    The dense GEMM has almost no offline work — the plan caches the int64
+    view and a float64 mirror of the weight so per-request BLAS calls skip
+    the cast, plus the widths the op accounting needs.
+    """
+
+    w_q: np.ndarray
+    w_bits: int = 8
+    x_bits: int = 8
+    count_ops: bool = True
+    engine: str = "int8_dense"
+    w_f64: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.w_f64 = self.w_q.astype(np.float64)
+
+    @property
+    def m(self) -> int:
+        return self.w_q.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.w_q.shape[1]
+
+    def state_dict(self) -> dict:
+        return {"engine": self.engine, "w_q": self.w_q,
+                "w_bits": self.w_bits, "x_bits": self.x_bits,
+                "count_ops": self.count_ops}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Int8DensePlan":
+        return cls(w_q=np.asarray(state["w_q"], dtype=np.int64),
+                   w_bits=int(state["w_bits"]), x_bits=int(state["x_bits"]),
+                   count_ops=bool(state["count_ops"]))
+
+
+def prepare_int8_dense(w_q: np.ndarray, w_bits: int = 8, x_bits: int = 8,
+                       count_ops: bool = True) -> Int8DensePlan:
+    """Cache the weight-side state of the dense integer baseline."""
+    w_q = np.asarray(w_q, dtype=np.int64)
+    if w_q.ndim != 2:
+        raise ValueError(f"W must be 2-D, got shape {w_q.shape}")
+    return Int8DensePlan(w_q=w_q, w_bits=w_bits, x_bits=x_bits,
+                         count_ops=count_ops)
+
+
+def execute_int8_dense(plan: Int8DensePlan,
+                       x_q: np.ndarray) -> tuple[np.ndarray, OpCounts]:
+    """Dense integer GEMM against a prepared plan; returns ``(acc, ops)``.
+
+    Op accounting follows the dense-baseline convention: an 8b x 8b MAC is
+    four 4b x 4b multiplications, and EMA ships both operands dense.
+    """
+    x_q = np.asarray(x_q, dtype=np.int64)
+    m, k = plan.w_q.shape
+    if x_q.ndim != 2 or k != x_q.shape[0]:
+        raise ValueError(
+            f"shape mismatch: W is {plan.w_q.shape}, x is {x_q.shape}")
+    n = x_q.shape[1]
+    acc = np.rint(plan.w_f64 @ x_q.astype(np.float64)).astype(np.int64)
+    ops = OpCounts()
+    if plan.count_ops:
+        ops.mul4 = 4 * m * k * n
+        ops.add = m * k * n
+        ops.ema_nibbles = (m * k * -(-plan.w_bits // 4)
+                           + k * n * -(-plan.x_bits // 4))
+    return acc, ops
 
 
 def dense_gemm_reference(

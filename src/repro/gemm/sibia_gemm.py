@@ -9,11 +9,16 @@ and ships dense operands over DRAM.
 Skipping all-zero vectors is exact, so the result always equals the plain
 integer GEMM; what differs from the AQS-GEMM is *which* workloads can be
 skipped (none, under asymmetric quantization).
+
+Like the AQS-GEMM, execution is two-phase: :func:`prepare_sibia` runs the
+static weight path once into a :class:`SibiaLayerPlan` and
+:func:`execute_sibia` runs the per-request activation path.  The one-shot
+:func:`sibia_gemm` wraps the two, bit-exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,7 +32,8 @@ from ..bitslice.vectors import (
 )
 from .workload import OpCounts
 
-__all__ = ["SibiaGemmResult", "sibia_gemm"]
+__all__ = ["SibiaGemmResult", "SibiaLayerPlan", "sibia_gemm", "prepare_sibia",
+           "execute_sibia"]
 
 
 def _exact_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -36,7 +42,8 @@ def _exact_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     All accumulators in 8-bit-ish GEMMs stay far below 2**53, so float64
     arithmetic is exact and vastly faster than NumPy's integer matmul.
     """
-    return np.rint(a.astype(np.float64) @ b.astype(np.float64)).astype(np.int64)
+    return np.rint(np.asarray(a, dtype=np.float64)
+                   @ np.asarray(b, dtype=np.float64)).astype(np.int64)
 
 
 @dataclass(frozen=True)
@@ -48,6 +55,144 @@ class SibiaGemmResult:
     rho_w: float
     rho_x: float
     tracked: str
+    uw_mask: np.ndarray | None = field(repr=False, default=None)
+    ux_mask: np.ndarray | None = field(repr=False, default=None)
+
+
+@dataclass
+class SibiaLayerPlan:
+    """Static weight-side state of the Sibia GEMM, computed once.
+
+    ``tracked`` keeps the *requested* side; ``"auto"`` is resolved per
+    request because it compares against the activation sparsity.  When the
+    weight has a single slice there is no HO plane to skip and the mask is
+    forced dense (``single_w_slice``).
+    """
+
+    w_q: np.ndarray
+    w_bits: int
+    x_bits: int
+    v: int
+    tracked: str
+    count_ops: bool
+    w_stack: SliceStack
+    uw: np.ndarray
+    rho_w: float
+    single_w_slice: bool
+    engine: str = "sibia"
+    w_planes_f64: tuple[np.ndarray, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.w_planes_f64 = tuple(p.astype(np.float64)
+                                  for p in self.w_stack.planes)
+
+    @property
+    def m(self) -> int:
+        return self.w_q.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.w_q.shape[1]
+
+    def state_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "w_q": self.w_q,
+            "w_bits": self.w_bits,
+            "x_bits": self.x_bits,
+            "v": self.v,
+            "tracked": self.tracked,
+            "count_ops": self.count_ops,
+            "w_stack": self.w_stack.to_state(),
+            "uw": self.uw,
+            "rho_w": self.rho_w,
+            "single_w_slice": self.single_w_slice,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SibiaLayerPlan":
+        return cls(
+            w_q=np.asarray(state["w_q"], dtype=np.int64),
+            w_bits=int(state["w_bits"]),
+            x_bits=int(state["x_bits"]),
+            v=int(state["v"]),
+            tracked=str(state["tracked"]),
+            count_ops=bool(state["count_ops"]),
+            w_stack=SliceStack.from_state(state["w_stack"]),
+            uw=np.asarray(state["uw"], dtype=bool),
+            rho_w=float(state["rho_w"]),
+            single_w_slice=bool(state["single_w_slice"]),
+        )
+
+
+def prepare_sibia(
+    w_q: np.ndarray,
+    w_bits: int = 7,
+    x_bits: int = 7,
+    v: int = 4,
+    tracked: str = "auto",
+    count_ops: bool = True,
+) -> SibiaLayerPlan:
+    """Run the offline weight path of the Sibia GEMM once."""
+    w_q = np.asarray(w_q, dtype=np.int64)
+    if w_q.ndim != 2:
+        raise ValueError(f"W must be 2-D, got shape {w_q.shape}")
+    w_stack = slice_sbr(w_q, total_bits=w_bits)
+    uw = weight_vector_mask(w_stack.ho, v=v, compress_value=0)
+    # A lone 4-bit slice has no HO plane to skip (paper Fig. 19).
+    rho_w = vector_sparsity(uw) if w_stack.n_slices > 1 else 0.0
+    single = w_stack.n_slices == 1
+    if single:
+        uw = np.ones_like(uw, dtype=bool)
+    return SibiaLayerPlan(w_q=w_q, w_bits=w_bits, x_bits=x_bits, v=v,
+                          tracked=tracked, count_ops=count_ops,
+                          w_stack=w_stack, uw=uw, rho_w=rho_w,
+                          single_w_slice=single)
+
+
+def execute_sibia(plan: SibiaLayerPlan, x_q: np.ndarray) -> SibiaGemmResult:
+    """Run the per-request activation path against a prepared plan."""
+    x_q = np.asarray(x_q, dtype=np.int64)
+    m, k = plan.w_q.shape
+    if x_q.ndim != 2 or k != x_q.shape[0]:
+        raise ValueError(
+            f"shape mismatch: W is {plan.w_q.shape}, x is {x_q.shape}")
+    n = x_q.shape[1]
+
+    v = plan.v
+    w_stack = plan.w_stack
+    x_stack = slice_sbr(x_q, total_bits=plan.x_bits)
+    uw = plan.uw
+    ux = activation_vector_mask(x_stack.ho, v=v, compress_value=0)
+    rho_w = plan.rho_w
+    rho_x = vector_sparsity(ux) if x_stack.n_slices > 1 else 0.0
+    tracked = plan.tracked
+    if plan.single_w_slice:
+        tracked = "activation" if tracked in ("auto", "weight") else tracked
+    if tracked == "auto":
+        tracked = "weight" if rho_w >= rho_x else "activation"
+    if tracked not in ("weight", "activation"):
+        raise ValueError(f"tracked must be weight/activation/auto, got {tracked!r}")
+
+    # Functional result: skipping all-zero tracked vectors never changes the
+    # sum, so accumulate every slice product of the (masked) planes.
+    acc = np.zeros((m, n), dtype=np.int64)
+    uw_e = expand_weight_mask(uw, v, m)
+    ux_e = expand_activation_mask(ux, v, n)
+    x_planes_f64 = tuple(p.astype(np.float64) for p in x_stack.planes)
+    for wi, w_plane in enumerate(plan.w_planes_f64):
+        w_eff = w_plane * uw_e if (tracked == "weight" and wi == w_stack.n_slices - 1) else w_plane
+        for xi, x_plane in enumerate(x_planes_f64):
+            x_eff = x_plane * ux_e if (tracked == "activation" and xi == x_stack.n_slices - 1) else x_plane
+            scale = w_stack.weights[wi] * x_stack.weights[xi]
+            acc += scale * _exact_matmul(w_eff, x_eff)
+
+    ops = OpCounts()
+    if plan.count_ops:
+        _count_sibia_ops(ops, w_stack, x_stack, uw, ux, tracked, v, m, k, n,
+                         plan.w_bits, plan.x_bits)
+    return SibiaGemmResult(acc=acc, ops=ops, rho_w=rho_w, rho_x=rho_x,
+                           tracked=tracked, uw_mask=uw, ux_mask=ux)
 
 
 def sibia_gemm(
@@ -64,47 +209,12 @@ def sibia_gemm(
     ``tracked`` selects which operand's HO sparsity is exploited
     (``"weight"``, ``"activation"`` or ``"auto"`` = the sparser one, matching
     Table I's ``max``).  Both operands are signed SBR integers.
+
+    One-shot wrapper over :func:`prepare_sibia` + :func:`execute_sibia`.
     """
-    w_q = np.asarray(w_q, dtype=np.int64)
-    x_q = np.asarray(x_q, dtype=np.int64)
-    m, k = w_q.shape
-    k2, n = x_q.shape
-    if k != k2:
-        raise ValueError(f"shape mismatch: W is {w_q.shape}, x is {x_q.shape}")
-
-    w_stack = slice_sbr(w_q, total_bits=w_bits)
-    x_stack = slice_sbr(x_q, total_bits=x_bits)
-    uw = weight_vector_mask(w_stack.ho, v=v, compress_value=0)
-    ux = activation_vector_mask(x_stack.ho, v=v, compress_value=0)
-    # A lone 4-bit slice has no HO plane to skip (paper Fig. 19).
-    rho_w = vector_sparsity(uw) if w_stack.n_slices > 1 else 0.0
-    rho_x = vector_sparsity(ux) if x_stack.n_slices > 1 else 0.0
-    if w_stack.n_slices == 1:
-        uw = np.ones_like(uw, dtype=bool)
-        tracked = "activation" if tracked in ("auto", "weight") else tracked
-    if tracked == "auto":
-        tracked = "weight" if rho_w >= rho_x else "activation"
-    if tracked not in ("weight", "activation"):
-        raise ValueError(f"tracked must be weight/activation/auto, got {tracked!r}")
-
-    # Functional result: skipping all-zero tracked vectors never changes the
-    # sum, so accumulate every slice product of the (masked) planes.
-    acc = np.zeros((m, n), dtype=np.int64)
-    uw_e = expand_weight_mask(uw, v, m)
-    ux_e = expand_activation_mask(ux, v, n)
-    for wi, w_plane in enumerate(w_stack.planes):
-        w_eff = w_plane * uw_e if (tracked == "weight" and wi == w_stack.n_slices - 1) else w_plane
-        for xi, x_plane in enumerate(x_stack.planes):
-            x_eff = x_plane * ux_e if (tracked == "activation" and xi == x_stack.n_slices - 1) else x_plane
-            scale = w_stack.weights[wi] * x_stack.weights[xi]
-            acc += scale * _exact_matmul(w_eff, x_eff)
-
-    ops = OpCounts()
-    if count_ops:
-        _count_sibia_ops(ops, w_stack, x_stack, uw, ux, tracked, v, m, k, n,
-                         w_bits, x_bits)
-    return SibiaGemmResult(acc=acc, ops=ops, rho_w=rho_w, rho_x=rho_x,
-                           tracked=tracked)
+    plan = prepare_sibia(w_q, w_bits=w_bits, x_bits=x_bits, v=v,
+                         tracked=tracked, count_ops=count_ops)
+    return execute_sibia(plan, x_q)
 
 
 def _count_sibia_ops(

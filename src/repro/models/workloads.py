@@ -96,8 +96,8 @@ class LayerProfile:
     r: int
     rho_w: float
     rho_x: float
-    uw_mask: np.ndarray = field(repr=False, default=None)
-    ux_mask: np.ndarray = field(repr=False, default=None)
+    uw_mask: np.ndarray | None = field(repr=False, default=None)
+    ux_mask: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def name(self) -> str:

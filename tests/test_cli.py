@@ -28,6 +28,13 @@ class TestParser:
 
 
 class TestCommands:
+    def test_engines(self):
+        out = io.StringIO()
+        assert main(["engines"], out=out) == 0
+        text = out.getvalue()
+        for name in ("fp32", "int8_dense", "sibia", "aqs"):
+            assert name in text
+
     def test_list_models(self):
         out = io.StringIO()
         assert main(["list-models"], out=out) == 0

@@ -1,0 +1,262 @@
+"""Tests for the two-phase engine layer: registry, prepare/execute, plans."""
+
+import numpy as np
+import pytest
+
+from repro.core.aqs_gemm import (
+    AqsGemmConfig,
+    AqsLayerPlan,
+    aqs_gemm,
+    execute_aqs,
+    prepare_aqs,
+)
+from repro.engine import (
+    Engine,
+    EngineConfig,
+    GemmResult,
+    available_engines,
+    engine_names,
+    get_engine,
+    plan_from_state,
+    register_engine,
+)
+from repro.gemm.dense import execute_int8_dense, prepare_int8_dense
+from repro.gemm.sibia_gemm import execute_sibia, prepare_sibia, sibia_gemm
+from repro.quant.uniform import quantize, symmetric_params
+
+
+def _aqs_case(rng, m=24, k=48, n=12, zp=168, w_bits=7):
+    w_max = (1 << (w_bits - 1)) - 1
+    w = rng.integers(-w_max - 1, w_max + 1, (m, k))
+    x = np.clip(np.rint(rng.normal(zp, 12.0, (k, n))), 0, 255).astype(np.int64)
+    return w, x
+
+
+def _sbr_case(rng, m=24, k=48, n=12, bits=7):
+    hi = (1 << (bits - 1)) - 1
+    return (rng.integers(-hi - 1, hi + 1, (m, k)),
+            rng.integers(-hi - 1, hi + 1, (k, n)))
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        assert set(engine_names()) == {"fp32", "int8_dense", "sibia", "aqs"}
+
+    def test_registry_matches_schemes(self):
+        from repro.core.pipeline import SCHEMES
+
+        assert set(SCHEMES) == set(engine_names())
+
+    def test_instances_are_cached(self):
+        assert get_engine("aqs") is get_engine("aqs")
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(KeyError):
+            get_engine("fp8")
+
+    def test_duplicate_registration_rejected(self):
+        class Impostor(Engine):
+            name = "aqs"
+
+            def prepare(self, w_q, zp, config=None):
+                raise NotImplementedError
+
+            def execute(self, plan, x_q):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_engine(Impostor)
+
+    def test_replace_allows_override(self):
+        original = available_engines()["aqs"]
+
+        class Instrumented(original):
+            pass
+
+        Instrumented.name = "aqs"
+        try:
+            register_engine(Instrumented, replace=True)
+            assert isinstance(get_engine("aqs"), Instrumented)
+        finally:
+            register_engine(original, replace=True)
+
+    def test_nameless_engine_rejected(self):
+        class NoName(Engine):
+            def prepare(self, w_q, zp, config=None):
+                raise NotImplementedError
+
+            def execute(self, plan, x_q):
+                raise NotImplementedError
+
+        with pytest.raises(ValueError):
+            register_engine(NoName)
+
+
+class TestAqsPrepareExecute:
+    @pytest.mark.parametrize("w_bits", [4, 7, 10])
+    @pytest.mark.parametrize("lo_bits", [4, 5, 6])
+    def test_bit_exact_vs_one_shot(self, w_bits, lo_bits):
+        rng = np.random.default_rng(7 * w_bits + lo_bits)
+        w, x = _aqs_case(rng, w_bits=w_bits)
+        config = AqsGemmConfig(w_bits=w_bits, lo_bits=lo_bits)
+        legacy = aqs_gemm(w, x, 168, config)
+        plan = prepare_aqs(w, 168, config)
+        split = execute_aqs(plan, x)
+        assert np.array_equal(legacy.acc, split.acc)
+        assert legacy.ops.mul4 == split.ops.mul4
+        assert legacy.ops.add == split.ops.add
+        assert legacy.ops.ema_nibbles == split.ops.ema_nibbles
+        assert legacy.ops.rle_index_bits == split.ops.rle_index_bits
+        assert legacy.rho_w == split.rho_w
+        assert legacy.rho_x == split.rho_x
+        assert legacy.r == split.r
+
+    def test_engine_matches_kernel(self):
+        rng = np.random.default_rng(0)
+        w, x = _aqs_case(rng)
+        res = get_engine("aqs").run(w, x, 168, EngineConfig())
+        assert np.array_equal(res.acc, aqs_gemm(w, x, 168).acc)
+        assert res.r == 10
+
+    def test_plan_reused_across_batches(self):
+        rng = np.random.default_rng(1)
+        w, x1 = _aqs_case(rng)
+        _, x2 = _aqs_case(rng)
+        plan = prepare_aqs(w, 168)
+        for x in (x1, x2):
+            assert np.array_equal(execute_aqs(plan, x).acc,
+                                  aqs_gemm(w, x, 168).acc)
+
+    def test_per_channel_weights(self):
+        """Per-channel (per-row) quantized weights run bit-exactly."""
+        rng = np.random.default_rng(2)
+        weight = rng.normal(0, 1, (16, 32)) * rng.uniform(0.1, 4.0, (16, 1))
+        params = symmetric_params(weight, 7, axis=0)
+        w_q = quantize(weight, params)
+        x = np.clip(np.rint(rng.normal(168, 10, (32, 8))), 0,
+                    255).astype(np.int64)
+        plan = prepare_aqs(w_q, 168)
+        res = execute_aqs(plan, x)
+        assert np.array_equal(res.acc, w_q.astype(np.int64) @ x)
+        assert np.array_equal(res.acc, aqs_gemm(w_q, x, 168).acc)
+
+    def test_execute_shape_mismatch(self):
+        plan = prepare_aqs(np.zeros((4, 8), dtype=int), 128)
+        with pytest.raises(ValueError):
+            execute_aqs(plan, np.zeros((9, 4), dtype=int))
+
+    def test_plan_state_roundtrip(self):
+        rng = np.random.default_rng(3)
+        w, x = _aqs_case(rng)
+        plan = prepare_aqs(w, 168, AqsGemmConfig(lo_bits=5))
+        restored = AqsLayerPlan.from_state(plan.state_dict())
+        a, b = execute_aqs(plan, x), execute_aqs(restored, x)
+        assert np.array_equal(a.acc, b.acc)
+        assert a.ops.rle_index_bits == b.ops.rle_index_bits
+
+    def test_plan_from_state_dispatches_on_engine(self):
+        rng = np.random.default_rng(4)
+        w, x = _aqs_case(rng)
+        plan = prepare_aqs(w, 168)
+        restored = plan_from_state(plan.state_dict())
+        assert isinstance(restored, AqsLayerPlan)
+        assert np.array_equal(execute_aqs(restored, x).acc,
+                              aqs_gemm(w, x, 168).acc)
+
+
+class TestSibiaPrepareExecute:
+    @pytest.mark.parametrize("w_bits", [4, 7, 10])
+    @pytest.mark.parametrize("tracked", ["auto", "weight", "activation"])
+    def test_bit_exact_vs_one_shot(self, w_bits, tracked):
+        if w_bits == 4 and tracked == "weight":
+            tracked = "auto"  # single-slice weights force activation tracking
+        rng = np.random.default_rng(w_bits)
+        w, x = _sbr_case(rng, bits=min(w_bits, 7))
+        legacy = sibia_gemm(w, x, w_bits=w_bits, tracked=tracked)
+        plan = prepare_sibia(w, w_bits=w_bits, tracked=tracked)
+        split = execute_sibia(plan, x)
+        assert np.array_equal(legacy.acc, split.acc)
+        assert legacy.ops.mul4 == split.ops.mul4
+        assert legacy.ops.ema_nibbles == split.ops.ema_nibbles
+        assert legacy.tracked == split.tracked
+        assert legacy.rho_w == split.rho_w
+
+    def test_engine_matches_kernel(self):
+        rng = np.random.default_rng(5)
+        w, x = _sbr_case(rng)
+        res = get_engine("sibia").run(w, x, 0, EngineConfig(x_bits=7))
+        assert np.array_equal(res.acc, sibia_gemm(w, x).acc)
+        assert res.tracked in ("weight", "activation")
+
+    def test_plan_state_roundtrip(self):
+        rng = np.random.default_rng(6)
+        w, x = _sbr_case(rng)
+        plan = prepare_sibia(w)
+        restored = plan_from_state(plan.state_dict())
+        assert np.array_equal(execute_sibia(restored, x).acc,
+                              execute_sibia(plan, x).acc)
+
+    def test_bad_tracked_rejected(self):
+        plan = prepare_sibia(np.zeros((4, 8), dtype=int), tracked="bogus")
+        with pytest.raises(ValueError):
+            execute_sibia(plan, np.zeros((8, 4), dtype=int))
+
+
+class TestDenseAndFp32:
+    def test_int8_dense_matches_integer_gemm(self):
+        rng = np.random.default_rng(8)
+        w = rng.integers(-128, 128, (16, 32))
+        x = rng.integers(0, 256, (32, 8))
+        plan = prepare_int8_dense(w)
+        acc, ops = execute_int8_dense(plan, x)
+        assert np.array_equal(acc, w.astype(np.int64) @ x)
+        assert ops.mul4 == 4 * 16 * 32 * 8
+        res = get_engine("int8_dense").run(w, x, 0, EngineConfig(w_bits=8))
+        assert np.array_equal(res.acc, acc)
+
+    def test_int8_dense_count_ops_off(self):
+        plan = prepare_int8_dense(np.ones((4, 4), dtype=int), count_ops=False)
+        _, ops = execute_int8_dense(plan, np.ones((4, 4), dtype=int))
+        assert ops.mul4 == 0
+
+    def test_dense_plan_roundtrip(self):
+        rng = np.random.default_rng(9)
+        w = rng.integers(-128, 128, (8, 8))
+        x = rng.integers(0, 256, (8, 4))
+        plan = prepare_int8_dense(w)
+        restored = plan_from_state(plan.state_dict())
+        assert np.array_equal(execute_int8_dense(restored, x)[0],
+                              execute_int8_dense(plan, x)[0])
+
+    def test_fp32_is_plain_matmul(self):
+        rng = np.random.default_rng(10)
+        w = rng.normal(0, 1, (8, 16))
+        x = rng.normal(0, 1, (16, 4))
+        res = get_engine("fp32").run(w, x, 0)
+        assert np.allclose(res.acc, w @ x)
+        assert res.ops.mul4 == 0
+
+    def test_fp32_shape_mismatch(self):
+        engine = get_engine("fp32")
+        plan = engine.prepare(np.zeros((4, 8)), 0)
+        with pytest.raises(ValueError):
+            engine.execute(plan, np.zeros((9, 2)))
+
+
+class TestGemmResultTyping:
+    def test_masks_default_none(self):
+        from repro.core.aqs_gemm import AqsGemmResult
+        from repro.gemm.workload import OpCounts
+
+        res = GemmResult(acc=np.zeros((1, 1)), ops=OpCounts())
+        assert res.uw_mask is None and res.ux_mask is None
+        kernel_res = AqsGemmResult(acc=np.zeros((1, 1)), ops=OpCounts(),
+                                   rho_w=0.0, rho_x=0.0, r=0)
+        assert kernel_res.uw_mask is None and kernel_res.ux_mask is None
+
+    def test_engine_result_carries_masks(self):
+        rng = np.random.default_rng(11)
+        w, x = _aqs_case(rng)
+        res = get_engine("aqs").run(w, x, 168)
+        assert res.uw_mask is not None and res.uw_mask.dtype == bool
+        assert res.ux_mask is not None and res.ux_mask.dtype == bool

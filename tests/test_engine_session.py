@@ -1,0 +1,152 @@
+"""Tests for PanaceaSession: plan caching, streaming runs, request traces."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PtqConfig, PtqPipeline
+from repro.engine import PanaceaSession
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+class TinyNet(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(16, 32, rng=rng)
+        self.fc2 = Linear(32, 8, rng=rng)
+
+    def forward(self, x):
+        h = np.maximum(self.fc1(x), 0.0)
+        return self.fc2(h)
+
+
+def _batches(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, 1, (4, 16)) for _ in range(n)]
+
+
+class TestSessionLifecycle:
+    def test_matches_manual_pipeline(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"))
+        session.calibrate(_batches())
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs"))
+        pipe.calibrate(_batches())
+        manual = pipe.convert()
+        batch = _batches(1, seed=9)[0]
+        assert np.array_equal(session.run(batch), manual(batch))
+
+    def test_constructor_calibration(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        assert session.prepared
+        assert set(session.plans) == {"fc1", "fc2"}
+
+    def test_uncalibrated_run_calibrates_on_first_batch(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"))
+        out = session.run(_batches(1)[0])
+        assert out.shape == (4, 8)
+        assert session.prepared
+
+    def test_fp32_scheme_passthrough(self):
+        net = TinyNet()
+        session = PanaceaSession(net, PtqConfig(scheme="fp32"),
+                                 calibration=_batches())
+        batch = _batches(1, seed=3)[0]
+        assert np.array_equal(session.run(batch), net(batch))
+        assert session.plans == {}
+
+
+class TestPlanCaching:
+    def test_second_run_does_no_weight_slicing(self):
+        """After conversion the weight path never re-slices (paper: offline)."""
+        aqs_module = importlib.import_module("repro.core.aqs_gemm")
+        calls = {"n": 0}
+        real = aqs_module.slice_sbr
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        aqs_module.slice_sbr = counting
+        try:
+            session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                     calibration=_batches())
+            prepared_calls = calls["n"]
+            assert prepared_calls == 2          # one per GEMM layer
+            session.run(_batches(1)[0])
+            session.run(_batches(1, seed=4)[0])
+            assert calls["n"] == prepared_calls
+        finally:
+            aqs_module.slice_sbr = real
+
+    def test_plans_are_stable_across_runs(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        before = session.plans
+        session.run(_batches(1)[0])
+        session.run(_batches(1, seed=5)[0])
+        after = session.plans
+        assert all(before[name] is after[name] for name in before)
+
+    def test_plans_match_pipeline_plans(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        assert session.plans == session.pipeline.plans()
+
+    def test_repeated_execution_is_deterministic(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        batch = _batches(1, seed=6)[0]
+        assert np.array_equal(session.run(batch), session.run(batch))
+
+
+class TestRequestRecords:
+    def test_one_record_per_run(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        for batch in _batches(3, seed=7):
+            session.run(batch)
+        assert [r.request_id for r in session.requests] == [0, 1, 2]
+        assert all(len(r.layers) == 2 for r in session.requests)
+        assert all(r.batch_shape == (4, 16) for r in session.requests)
+
+    def test_request_ops_sum_to_total(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        for batch in _batches(2, seed=8):
+            session.run(batch)
+        assert session.total_ops().mul4 == sum(
+            r.total_ops().mul4 for r in session.requests)
+        assert session.total_ops().mul4 > 0
+
+    def test_run_many_streams(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        outputs = list(session.run_many(_batches(4, seed=9)))
+        assert len(outputs) == 4
+        assert len(session.requests) == 4
+
+    def test_stats_summary(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        session.run(_batches(1)[0])
+        stats = session.stats()
+        assert stats["scheme"] == "aqs"
+        assert stats["n_requests"] == 1
+        assert stats["n_layer_calls"] == 2
+        assert stats["n_plans"] == 2
+        assert stats["mul4"] > 0
+        assert 0.0 <= stats["mean_rho_x"] <= 1.0
+
+    @pytest.mark.parametrize("scheme,x_bits", [("aqs", 8), ("sibia", 7),
+                                               ("int8_dense", 8)])
+    def test_all_schemes_serve(self, scheme, x_bits):
+        session = PanaceaSession(TinyNet(),
+                                 PtqConfig(scheme=scheme, x_bits=x_bits),
+                                 calibration=_batches())
+        out = session.run(np.zeros((2, 16)))
+        assert out.shape == (2, 8)
+        assert np.all(np.isfinite(out))
