@@ -8,7 +8,7 @@ rule?" with measurements from our own substrate.
 import numpy as np
 from _util import emit
 
-from repro.bitslice.rle import rle_index_bits
+from repro.bitslice.rle import rle_index_bits_batch
 from repro.bitslice.slicing import slice_unsigned
 from repro.bitslice.vectors import activation_vector_mask, vector_sparsity
 from repro.eval.tables import format_table
@@ -43,7 +43,7 @@ def test_vector_length_tradeoff(benchmark):
         for v in (1, 2, 4, 8, 16):
             mask = activation_vector_mask(ho, v=v, compress_value=r)
             rho = vector_sparsity(mask)
-            idx_bits = sum(rle_index_bits(col) for col in mask.T)
+            idx_bits = int(rle_index_bits_batch(mask.T).sum())
             payload_bits = int(mask.sum()) * v * 4
             rows.append([v, rho, rho / slice_sparsity,
                          (payload_bits + idx_bits) / 1024.0])
@@ -77,7 +77,7 @@ def test_rle_index_width(benchmark):
                            ("high (rho=0.97)", 0.97)):
             mask = rng.random((2048, 64)) >= rho
             for bits in (2, 4, 8):
-                total = sum(rle_index_bits(col, bits) for col in mask.T)
+                total = int(rle_index_bits_batch(mask.T, bits).sum())
                 rows.append([label, bits, total / 1024.0])
         return rows
 

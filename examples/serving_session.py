@@ -10,7 +10,11 @@ slices, all-zero HO vector masks, RLE indices, the Eq. 6 compensation bias.
    recording a per-request trace (ops, sparsities) for the hardware model.
 
 The demo serves a stream of batches through an AQS-quantized transformer
-block stack and shows that repeated requests re-use the cached plans.
+block stack and shows that repeated requests re-use the cached plans.  The
+session uses the default ``exec_path="fast"`` (collapsed-BLAS online path;
+pass ``PtqConfig(exec_path="sliced")`` for the plane-pair reference) and
+bounds trace retention with ``max_records`` so an unbounded request stream
+serves in constant memory.
 
 Run:  PYTHONPATH=src python examples/serving_session.py
 """
@@ -30,7 +34,7 @@ model = CausalLM(vocab=256, dim=64, n_layers=2, n_heads=4, mlp_hidden=128)
 calibration = [rng.integers(0, 256, (2, 32)) for _ in range(4)]
 
 # --- offline phase: calibrate + build every layer plan --------------------
-session = PanaceaSession(model, PtqConfig(scheme="aqs"))
+session = PanaceaSession(model, PtqConfig(scheme="aqs"), max_records=4)
 t0 = time.perf_counter()
 session.calibrate(calibration)
 prepare_s = time.perf_counter() - t0
@@ -48,12 +52,13 @@ print(f"\nonline: served {len(outputs)} requests in {serve_s * 1e3:.0f} ms "
       f"({serve_s / len(outputs) * 1e3:.1f} ms/request, weight path cached)")
 
 # --- observability: per-request traces and aggregate stats ----------------
-first = session.requests[0]
-print(f"\nrequest 0: batch {first.batch_shape}, "
-      f"{len(first.layers)} layer executions, "
-      f"{first.total_ops().mul4 / 1e6:.1f}M 4-bit multiplies")
+newest = session.requests[-1]
+print(f"\nrequest {newest.request_id}: batch {newest.batch_shape}, "
+      f"{len(newest.layers)} layer executions, "
+      f"{newest.total_ops().mul4 / 1e6:.1f}M 4-bit multiplies")
 stats = session.stats()
-print(f"session: {stats['n_requests']} requests, "
+print(f"session: {stats['n_requests']} requests served "
+      f"({stats['n_retained']} retained under max_records), "
       f"{stats['n_layer_calls']} layer calls, "
       f"mean rho_x {stats['mean_rho_x']:.1%}, "
       f"mean rho_w {stats['mean_rho_w']:.1%}")

@@ -16,7 +16,14 @@ from .vectors import (
     vector_sparsity,
     weight_vector_mask,
 )
-from .rle import RleStream, RleToken, rle_decode, rle_encode, rle_index_bits
+from .rle import (
+    RleStream,
+    RleToken,
+    rle_decode,
+    rle_encode,
+    rle_index_bits,
+    rle_index_bits_batch,
+)
 from .formats import (
     CompressedTensor,
     compress_activation_slices,
@@ -51,6 +58,7 @@ __all__ = [
     "rle_encode",
     "rle_decode",
     "rle_index_bits",
+    "rle_index_bits_batch",
     "CompressedTensor",
     "compress_weight_slices",
     "compress_activation_slices",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .rle import rle_index_bits
+from .rle import rle_index_bits_batch
 from .slicing import SliceStack
 from .vectors import activation_vector_mask, weight_vector_mask
 
@@ -57,12 +57,11 @@ class CompressedTensor:
 
     @property
     def rle_bits(self) -> int:
-        total = 0
         mask = self.uncompressed_mask
         # RLE streams run along the reduction dimension, one per vector row.
-        for row in mask.reshape(mask.shape[0], -1).T if mask.ndim == 2 else [mask]:
-            total += rle_index_bits(row, self.index_bits)
-        return total
+        streams = (mask.reshape(mask.shape[0], -1).T if mask.ndim == 2
+                   else mask)
+        return int(rle_index_bits_batch(streams, self.index_bits).sum())
 
     @property
     def lo_bits_total(self) -> int:

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RleToken", "RleStream", "rle_encode", "rle_decode", "rle_index_bits"]
+__all__ = ["RleToken", "RleStream", "rle_encode", "rle_decode",
+           "rle_index_bits", "rle_index_bits_batch"]
 
 
 @dataclass(frozen=True)
@@ -51,8 +52,14 @@ class RleStream:
         return len(self.tokens) * self.index_bits
 
 
+def _check_index_bits(index_bits: int) -> None:
+    if index_bits < 1:
+        raise ValueError(f"index_bits must be >= 1, got {index_bits}")
+
+
 def rle_encode(uncompressed: np.ndarray, index_bits: int = 4) -> RleStream:
     """Encode a 1-D uncompressed mask into RLE tokens."""
+    _check_index_bits(index_bits)
     mask = np.asarray(uncompressed, dtype=bool).ravel()
     max_run = (1 << index_bits) - 1
     tokens: list[RleToken] = []
@@ -90,22 +97,57 @@ def rle_decode(stream: RleStream) -> np.ndarray:
 def rle_index_bits(uncompressed: np.ndarray, index_bits: int = 4) -> int:
     """Bits of index storage needed to encode ``uncompressed`` (fast path).
 
-    Equivalent to ``rle_encode(...).index_storage_bits`` but vectorized so the
-    EMA accounting of full-size layers stays cheap: one token per payload plus
-    one continuation token per ``max_run`` compressed vectors in each gap,
-    plus a trailing token when the stream ends in a partial run.
+    Equivalent to ``rle_encode(...).index_storage_bits`` but vectorized so
+    the EMA accounting of full-size layers stays cheap.  Thin wrapper over
+    :func:`rle_index_bits_batch` so the token-count logic lives in exactly
+    one place (cross-checked against the encoder by the property tests).
     """
     mask = np.asarray(uncompressed, dtype=bool).ravel()
+    return int(rle_index_bits_batch(mask[None], index_bits)[0])
+
+
+def rle_index_bits_batch(masks: np.ndarray, index_bits: int = 4) -> np.ndarray:
+    """Per-stream index bits for a batch of masks, fully vectorized.
+
+    ``masks`` is ``(R, L)``: ``R`` independent streams of ``L`` vectors each
+    (weight streams are mask rows along ``K``; activation streams are mask
+    columns, so pass ``ux.T``).  Returns an ``(R,)`` int64 array where entry
+    ``i`` equals ``rle_index_bits(masks[i], index_bits)`` — the whole batch is
+    sized with a handful of NumPy passes instead of a Python loop per stream,
+    which is what keeps the EMA accounting off the hot path for full-size
+    layers.
+    """
+    _check_index_bits(index_bits)
+    masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+    if masks.ndim != 2:
+        raise ValueError(f"masks must be 1-D or 2-D, got shape {masks.shape}")
+    n_rows, length = masks.shape
     max_run = (1 << index_bits) - 1
-    payload_positions = np.flatnonzero(mask)
-    n_payloads = payload_positions.size
-    # Gap lengths: compressed run before each payload, plus the trailing run.
-    boundaries = np.concatenate([[-1], payload_positions, [mask.size]])
-    gaps = np.diff(boundaries) - 1
-    # One payload token each (absorbing gap % max_run), one continuation token
-    # per full max_run within any gap, and one final token if the trailing gap
-    # leaves a partial run with no payload to absorb it.
-    n_tokens = n_payloads + int(np.sum(gaps // max_run))
-    if gaps[-1] % max_run:
-        n_tokens += 1
-    return n_tokens * index_bits
+    flat = np.flatnonzero(masks)
+    rows = flat // length if length else np.empty(0, dtype=np.int64)
+    tokens = np.bincount(rows, minlength=n_rows).astype(np.int64)
+    # Trailing compressed run per stream: the whole stream when it has no
+    # payload, what follows the last payload otherwise.
+    trail = np.full(n_rows, length, dtype=np.int64)
+    if flat.size:
+        cols = flat - rows * length
+        # Gap of compressed vectors before each payload (absorbed by its
+        # token modulo max_run): distance to the previous payload in the same
+        # stream, or to the stream start.
+        starts = np.empty(flat.size, dtype=bool)
+        starts[0] = True
+        starts[1:] = rows[1:] != rows[:-1]
+        prev = np.empty_like(cols)
+        prev[1:] = cols[:-1]
+        prev[starts] = -1
+        gaps = cols - prev - 1
+        tokens += np.bincount(rows, weights=gaps // max_run,
+                              minlength=n_rows).astype(np.int64)
+        ends = np.empty(flat.size, dtype=bool)
+        ends[-1] = True
+        ends[:-1] = starts[1:]
+        trail[rows[ends]] = length - 1 - cols[ends]
+    # Continuation tokens inside the trailing run, plus one final token for a
+    # partial run that no payload absorbs.
+    tokens += trail // max_run + (trail % max_run != 0)
+    return tokens * index_bits

@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the everyday workflows:
+Six commands cover the everyday workflows:
 
 * ``list-models`` — the benchmark zoo with shapes and MAC counts;
 * ``engines`` — the registered GEMM engines and their config constraints;
 * ``profile <model>`` — per-layer bit-slice sparsity under a policy;
 * ``simulate <model>`` — run the accelerator models and print the
   comparison table;
+* ``serve <model>`` — stream request batches through a prepared
+  :class:`PanaceaSession` (``--exec-path`` picks the fast or sliced BLAS
+  path, ``--max-records`` bounds trace retention);
 * ``experiment <id>`` — regenerate one paper figure/table (e.g. ``fig13``,
   ``table1``).
 """
@@ -78,6 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("model")
     p_sim.add_argument("--stride", type=int, default=4)
     p_sim.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="stream request batches through a prepared PanaceaSession")
+    p_serve.add_argument("model")
+    p_serve.add_argument("--scheme", default="aqs",
+                         choices=["aqs", "sibia", "int8_dense"])
+    p_serve.add_argument("--exec-path", default="fast",
+                         choices=["fast", "sliced"],
+                         help="online BLAS strategy of the bit-slice kernels")
+    p_serve.add_argument("--requests", type=int, default=8,
+                         help="number of request batches to stream")
+    p_serve.add_argument("--batch", type=int, default=2)
+    p_serve.add_argument("--max-records", type=int, default=None,
+                         help="retain only the newest N request records "
+                              "(default: unbounded)")
+    p_serve.add_argument("--seed", type=int, default=0)
 
     p_exp = sub.add_parser("experiment",
                            help="regenerate one paper figure/table")
@@ -151,6 +171,48 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import time
+
+    from .core.pipeline import PtqConfig
+    from .engine import PanaceaSession
+    from .models.zoo import PROXY_SPECS, build_proxy, proxy_batches
+
+    if args.model not in PROXY_SPECS:
+        print(f"no runnable proxy for {args.model!r}; "
+              f"available: {sorted(PROXY_SPECS)}", file=out)
+        return 2
+    model, _ = build_proxy(args.model, seed=args.seed)
+    # Two extra batches feed calibration.
+    batches = proxy_batches(args.model, args.batch, args.requests + 2,
+                            seed=args.seed + 1)
+    config = PtqConfig(scheme=args.scheme,
+                       x_bits=7 if args.scheme == "sibia" else 8,
+                       exec_path=args.exec_path)
+    session = PanaceaSession(model, config, max_records=args.max_records)
+
+    t0 = time.perf_counter()
+    session.calibrate(batches[:2])
+    prepare_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in session.run_many(batches[2:]):
+        pass
+    serve_s = time.perf_counter() - t0
+
+    stats = session.stats()
+    print(f"{args.model} / {args.scheme} (exec_path={args.exec_path}): "
+          f"prepared {stats['n_plans']} layer plans in "
+          f"{prepare_s * 1e3:.0f} ms", file=out)
+    print(f"served {stats['n_requests']} requests in {serve_s * 1e3:.0f} ms "
+          f"({serve_s / max(stats['n_requests'], 1) * 1e3:.1f} ms/request), "
+          f"{stats['n_retained']} records retained", file=out)
+    print(f"lifetime ops: mul4={stats['mul4']:.3g} add={stats['add']:.3g} "
+          f"ema_nibbles={stats['ema_nibbles']:.3g}  "
+          f"mean rho_w {stats['mean_rho_w']:.3f}  "
+          f"mean rho_x {stats['mean_rho_x']:.3f}", file=out)
+    return 0
+
+
 def _cmd_experiment(args, out) -> int:
     import importlib
 
@@ -172,6 +234,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_profile(args, out)
     if args.command == "simulate":
         return _cmd_simulate(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -21,6 +21,21 @@ Execution is two-phase: :func:`prepare_aqs` runs the static weight path once
 the paper's "offline" work) into an :class:`AqsLayerPlan`, and
 :func:`execute_aqs` runs the per-request activation path against it.  The
 one-shot :func:`aqs_gemm` is a thin, bit-exact wrapper over the two.
+
+``exec_path`` selects how the online matmuls are issued.  The ``"sliced"``
+path mirrors the hardware: one BLAS call per (weight plane, activation
+plane) pair plus the compensation call.  The ``"fast"`` path (default)
+exploits that the SBR planes reconstruct ``W`` exactly and that
+``ho_weight == 2**ho_shift``, collapsing the whole loop into two BLAS calls
+on the precomputed ``w_f64`` mirror:
+
+``acc = 2^s * W (x_HO - r) J^U  +  W x_low  +  b'``
+
+where ``x_low`` is the radix-combined stack of lower activation planes.
+Every accumulator stays far below 2**53, so each float64 matmul is exact and
+the two paths are bit-identical; the op ledger is derived from the masks, not
+the matmuls, so it is unchanged.  ``"sliced"`` is retained as the
+verification reference.
 """
 
 from __future__ import annotations
@@ -29,7 +44,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..bitslice.rle import rle_index_bits
+from ..bitslice.rle import rle_index_bits_batch
 from ..bitslice.slicing import SliceStack, slice_dbs, slice_sbr, slice_unsigned
 from ..bitslice.vectors import (
     activation_vector_mask,
@@ -37,7 +52,7 @@ from ..bitslice.vectors import (
     vector_sparsity,
     weight_vector_mask,
 )
-from ..gemm.workload import OpCounts
+from ..gemm.workload import OpCounts, validate_exec_path
 
 __all__ = ["AqsGemmConfig", "AqsGemmResult", "AqsLayerPlan", "aqs_gemm",
            "prepare_aqs", "execute_aqs", "compensation_bias",
@@ -57,7 +72,9 @@ class AqsGemmConfig:
     ``w_bits`` must be of the SBR form ``3n + 4``; ``x_bits`` is the stored
     activation width (``4k + 4``); ``lo_bits`` is the DBS split ``l`` (4 =
     basic scheme, 5/6 = DBS type-2/3).  ``v`` is the slice-vector length and
-    ``index_bits`` the RLE index width.
+    ``index_bits`` the RLE index width.  ``exec_path`` picks the online BLAS
+    strategy: ``"fast"`` (two collapsed calls, the default) or ``"sliced"``
+    (one call per plane pair, the bit-exact verification reference).
     """
 
     w_bits: int = 7
@@ -66,6 +83,7 @@ class AqsGemmConfig:
     v: int = 4
     index_bits: int = 4
     count_ops: bool = True
+    exec_path: str = "fast"
 
     def __post_init__(self) -> None:
         if (self.w_bits - 4) % 3:
@@ -76,6 +94,9 @@ class AqsGemmConfig:
             raise ValueError("DBS slicing (lo_bits != 4) is defined for 8-bit x")
         if not 4 <= self.lo_bits < self.x_bits:
             raise ValueError(f"lo_bits must be in [4, {self.x_bits - 1}]")
+        if self.index_bits < 1:
+            raise ValueError(f"index_bits must be >= 1, got {self.index_bits}")
+        validate_exec_path(self.exec_path)
 
     @property
     def ho_shift(self) -> int:
@@ -156,14 +177,25 @@ class AqsLayerPlan:
     engine: str = "aqs"
     b_row: np.ndarray = field(init=False, repr=False)
     w_f64: np.ndarray = field(init=False, repr=False)
-    w_planes_f64: tuple[np.ndarray, ...] = field(init=False, repr=False)
+    _w_planes_f64: tuple[np.ndarray, ...] | None = field(
+        init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         rowsum = self.w_q.sum(axis=1)
         self.b_row = (self.r << self.ho_shift) * rowsum
         self.w_f64 = self.w_q.astype(np.float64)
-        self.w_planes_f64 = tuple(p.astype(np.float64)
-                                  for p in self.w_stack.planes)
+
+    @property
+    def w_planes_f64(self) -> tuple[np.ndarray, ...]:
+        """Per-plane float64 mirrors, built lazily.
+
+        Only the sliced path reads these; fast-path plans (the default)
+        never pay the ``n_slices`` extra full-size weight copies.
+        """
+        if self._w_planes_f64 is None:
+            self._w_planes_f64 = tuple(p.astype(np.float64)
+                                       for p in self.w_stack.planes)
+        return self._w_planes_f64
 
     @property
     def m(self) -> int:
@@ -227,8 +259,8 @@ def prepare_aqs(w_q: np.ndarray, zp: int,
     rho_w = vector_sparsity(uw) if w_stack.n_slices > 1 else 0.0
     w_rle_bits = 0
     if config.count_ops and w_stack.n_slices > 1:
-        for row in uw:              # weight streams run along K per row
-            w_rle_bits += rle_index_bits(row, config.index_bits)
+        # Weight streams run along K, one per mask row; sized as one batch.
+        w_rle_bits = int(rle_index_bits_batch(uw, config.index_bits).sum())
     return AqsLayerPlan(config=config, w_q=w_q, zp=zp, r=r, ho_shift=ho_shift,
                         w_stack=w_stack, uw=uw, rho_w=rho_w,
                         w_rle_bits=w_rle_bits)
@@ -237,9 +269,11 @@ def prepare_aqs(w_q: np.ndarray, zp: int,
 def execute_aqs(plan: AqsLayerPlan, x_q: np.ndarray) -> AqsGemmResult:
     """Run the per-request activation path against a prepared plan.
 
-    Bit-exact against the one-shot :func:`aqs_gemm`: the accumulation order
-    and every intermediate value are identical, only the weight-side work is
-    read from the plan instead of recomputed.
+    Bit-exact against the one-shot :func:`aqs_gemm` on either ``exec_path``:
+    the sliced path reproduces the accumulation order of the hardware loop,
+    and the fast path computes the same exact integer sum with two collapsed
+    BLAS calls (see the module docstring).  The op ledger is mask-derived and
+    identical on both paths.
     """
     config = plan.config
     x_q = np.asarray(x_q, dtype=np.int64)
@@ -256,6 +290,34 @@ def execute_aqs(plan: AqsLayerPlan, x_q: np.ndarray) -> AqsGemmResult:
     ux = activation_vector_mask(x_stack.ho, v=v, compress_value=r)
     ux_e = expand_activation_mask(ux, v, n).astype(np.int64)
 
+    if config.exec_path == "fast":
+        acc = _execute_fast(plan, x_stack, ux_e, m, n)
+    else:
+        acc = _execute_sliced(plan, x_stack, ux_e, m, n)
+
+    ops = OpCounts()
+    if config.count_ops:
+        _count_aqs_ops(ops, plan.w_stack, x_stack, plan.uw, ux, config,
+                       m, k, n, plan.w_rle_bits)
+    return AqsGemmResult(
+        acc=acc,
+        ops=ops,
+        rho_w=plan.rho_w,
+        rho_x=vector_sparsity(ux),
+        r=r,
+        uw_mask=plan.uw,
+        ux_mask=ux,
+    )
+
+
+def _execute_sliced(plan: AqsLayerPlan, x_stack: SliceStack,
+                    ux_e: np.ndarray, m: int, n: int) -> np.ndarray:
+    """Reference path: one BLAS call per (weight, activation) plane pair.
+
+    This mirrors the hardware's slice-product loop and is kept as the
+    verification reference for the fast path.
+    """
+    r, ho_shift = plan.r, plan.ho_shift
     # --- bit-slice GEMMs over uncompressed slices (Eq. 5, first term) -----
     # Compressed weight HO vectors are all-zero, so using the raw HO plane is
     # already the skipped computation; the activation HO plane is masked to
@@ -275,20 +337,33 @@ def execute_aqs(plan: AqsLayerPlan, x_q: np.ndarray) -> AqsGemmResult:
     # -r*(W_HO+W_LO) J^U + b'   with   b' = (W_HO+W_LO)(r * 1)
     acc += (np.broadcast_to(plan.b_row[:, None], (m, n))
             - (r << ho_shift) * _exact_matmul(plan.w_f64, ux_e))
+    return acc
 
-    ops = OpCounts()
-    if config.count_ops:
-        _count_aqs_ops(ops, plan.w_stack, x_stack, plan.uw, ux, config,
-                       m, k, n, plan.w_rle_bits)
-    return AqsGemmResult(
-        acc=acc,
-        ops=ops,
-        rho_w=plan.rho_w,
-        rho_x=vector_sparsity(ux),
-        r=r,
-        uw_mask=plan.uw,
-        ux_mask=ux,
-    )
+
+def _execute_fast(plan: AqsLayerPlan, x_stack: SliceStack,
+                  ux_e: np.ndarray, m: int, n: int) -> np.ndarray:
+    """Collapsed path: the whole plane-pair loop in two BLAS calls.
+
+    The SBR planes reconstruct ``W`` exactly, so summing the per-plane
+    products equals multiplying by ``W`` itself; and because
+    ``ho_weight == 2**ho_shift``, the masked HO product and the Eq. 6
+    compensation matmul share the operand ``(x_HO - r) * J^U``:
+
+    ``acc = 2^s * W ((x_HO - r) J^U) + W x_low + b'``
+
+    Both matmuls stay below 2**53 in magnitude, so the float64 BLAS results
+    are exact integers and the sum is bit-identical to the sliced loop.
+    """
+    x_ho_u = ((x_stack.ho - plan.r) * ux_e).astype(np.float64)
+    acc = x_stack.ho_weight * _exact_matmul(plan.w_f64, x_ho_u)
+    if x_stack.n_slices > 1:
+        x_low = x_stack.planes[0].astype(np.float64) * x_stack.weights[0]
+        for xi in range(1, x_stack.n_slices - 1):
+            x_low += (x_stack.planes[xi].astype(np.float64)
+                      * x_stack.weights[xi])
+        acc += _exact_matmul(plan.w_f64, x_low)
+    acc += np.broadcast_to(plan.b_row[:, None], (m, n))
+    return acc
 
 
 def aqs_gemm(
@@ -382,7 +457,6 @@ def _count_aqs_ops(
     else:
         ops.ema_nibbles = v * (sum_uw + (nw - 1) * mg * k)
     ops.ema_nibbles += v * (sum_ux + (nx - 1) * k * ng)
-    rle_bits = w_rle_bits
-    for col in ux.T:                    # activation streams run along K per column
-        rle_bits += rle_index_bits(col, config.index_bits)
-    ops.rle_index_bits = rle_bits
+    # Activation streams run along K, one per mask column; sized as a batch.
+    ops.rle_index_bits = w_rle_bits + int(
+        rle_index_bits_batch(ux.T, config.index_bits).sum())

@@ -31,7 +31,7 @@ from ..nn.layers import Conv2d, Linear, im2col
 from ..nn.module import Module
 from ..quant.observers import HistogramObserver, make_observer
 from ..quant.uniform import QuantParams, quantize, symmetric_params
-from ..gemm.workload import OpCounts
+from ..gemm.workload import OpCounts, validate_exec_path
 from .dbs import DbsDecision, DbsType, dbs_calibrate
 from .zpm import manipulate_zero_point
 
@@ -72,6 +72,12 @@ class PtqConfig:
     #: "per_tensor" (default) or "per_channel" weight scales.  Per-channel
     #: preserves externally-prepared grids (e.g. OPTQ's per-row scales).
     w_granularity: str = "per_tensor"
+    #: RLE index width used by the bit-slice engines' EMA accounting.
+    index_bits: int = 4
+    #: Exploited side of the Sibia engine ("weight", "activation", "auto").
+    tracked: str = "auto"
+    #: Online BLAS strategy of the bit-slice engines ("fast" or "sliced").
+    exec_path: str = "fast"
 
     def __post_init__(self) -> None:
         from ..engine.base import engine_names
@@ -79,6 +85,10 @@ class PtqConfig:
         names = engine_names()
         if self.scheme not in names:
             raise ValueError(f"scheme must be one of {names}, got {self.scheme!r}")
+        if self.tracked not in ("auto", "weight", "activation"):
+            raise ValueError(
+                f"tracked must be auto/weight/activation, got {self.tracked!r}")
+        validate_exec_path(self.exec_path)
         if self.scheme == "sibia" and (self.x_bits - 4) % 3:
             raise ValueError(
                 f"sibia needs SBR-formatted activations (3k+4 bits); "
@@ -176,29 +186,37 @@ class _QuantizedGemmBase(Module):
     artifact in ``self.plan``.  Forward calls only ``execute`` the plan.
     """
 
-    def __init__(self, name: str, record: LayerQuantRecord, scheme: str,
-                 v: int, bias: np.ndarray | None,
+    def __init__(self, name: str, record: LayerQuantRecord, config: PtqConfig,
+                 bias: np.ndarray | None,
                  trace: ExecutionTrace | None, count_ops: bool) -> None:
         super().__init__()
         self.name = name
         self.record = record
-        self.scheme = scheme
-        self.v = v
+        self.config = config
+        self.scheme = config.scheme
+        self.v = config.v
         self.trace = trace
         self.count_ops = count_ops
         self._bias = bias
-        self.engine = get_engine(scheme)
+        self.engine = get_engine(config.scheme)
         zp = record.zp if self.engine.uses_zero_point else 0
         self.plan = self.engine.prepare(record.w_q, zp, EngineConfig(
             w_bits=record.w_bits, x_bits=record.x_bits,
-            lo_bits=record.lo_bits, v=v, count_ops=count_ops))
+            lo_bits=record.lo_bits, v=config.v, count_ops=count_ops,
+            index_bits=config.index_bits, tracked=config.tracked,
+            exec_path=config.exec_path))
         bias_int = None
         if bias is not None:
-            combined = (np.asarray(record.w_params.scale).max()
-                        * np.asarray(record.x_params.scale).max())
+            # Fold the bias at the same granularity `_gemm` dequantizes at:
+            # per-channel weight scales need per-channel integer biases, or
+            # every channel whose scale is below the max gets a scaled-down
+            # bias after dequantization.
+            w_scale = np.asarray(record.w_params.scale,
+                                 dtype=np.float64).reshape(-1)
+            combined = w_scale * float(np.max(record.x_params.scale))
             bias_int = np.rint(bias / combined).astype(np.int64)
         self._b_hat = fold_bias(record.w_q, bias_int, zp)
-        if scheme == "aqs" and record.lo_bits > 4:
+        if self.scheme == "aqs" and record.lo_bits > 4:
             # DBS truncation drops the l-4 LSBs (floor), a systematic
             # per-value deficit of ((2^(l-4)-1)/2) codes on average.  Like
             # b' in Eq. 6, its expectation only involves the weight row sums
@@ -233,10 +251,9 @@ class QuantizedLinear(_QuantizedGemmBase):
     """Drop-in quantized replacement for :class:`repro.nn.Linear`."""
 
     def __init__(self, name: str, linear: Linear, record: LayerQuantRecord,
-                 scheme: str, v: int = 4, trace: ExecutionTrace | None = None,
+                 config: PtqConfig, trace: ExecutionTrace | None = None,
                  count_ops: bool = False) -> None:
-        super().__init__(name, record, scheme, v, linear.bias, trace,
-                         count_ops)
+        super().__init__(name, record, config, linear.bias, trace, count_ops)
         self.in_features = linear.in_features
         self.out_features = linear.out_features
 
@@ -251,9 +268,9 @@ class QuantizedConv2d(_QuantizedGemmBase):
     """Drop-in quantized replacement for :class:`repro.nn.Conv2d`."""
 
     def __init__(self, name: str, conv: Conv2d, record: LayerQuantRecord,
-                 scheme: str, v: int = 4, trace: ExecutionTrace | None = None,
+                 config: PtqConfig, trace: ExecutionTrace | None = None,
                  count_ops: bool = False) -> None:
-        super().__init__(name, record, scheme, v, conv.bias, trace, count_ops)
+        super().__init__(name, record, config, conv.bias, trace, count_ops)
         self.kernel_size = conv.kernel_size
         self.stride = conv.stride
         self.padding = conv.padding
@@ -397,12 +414,10 @@ class PtqPipeline:
             module = dict(self.model.named_modules())[name]
             if isinstance(module, Conv2d):
                 replacement = QuantizedConv2d(name, module, record,
-                                              self.config.scheme,
-                                              self.config.v, trace, count_ops)
+                                              self.config, trace, count_ops)
             else:
                 replacement = QuantizedLinear(name, module, record,
-                                              self.config.scheme,
-                                              self.config.v, trace, count_ops)
+                                              self.config, trace, count_ops)
             self.model.replace_child(name, replacement)
         return self.model
 

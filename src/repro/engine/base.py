@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Protocol, runtime_checkable
+from typing import Any, ClassVar, Iterable, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..gemm.workload import OpCounts
+from ..gemm.workload import OpCounts, validate_exec_path
 
 __all__ = [
     "EngineConfig",
@@ -49,6 +49,9 @@ class EngineConfig:
     ``w_bits``/``x_bits`` are the stored operand widths, ``lo_bits`` the DBS
     split ``l`` (AQS only), ``v`` the slice-vector length, ``index_bits`` the
     RLE index width and ``tracked`` the exploited side (Sibia only).
+    ``exec_path`` selects the online BLAS strategy of the bit-slice kernels:
+    ``"fast"`` (collapsed calls, the default) or ``"sliced"`` (one call per
+    plane pair — the bit-exact verification reference).
     """
 
     w_bits: int = 7
@@ -58,6 +61,10 @@ class EngineConfig:
     index_bits: int = 4
     count_ops: bool = True
     tracked: str = "auto"
+    exec_path: str = "fast"
+
+    def __post_init__(self) -> None:
+        validate_exec_path(self.exec_path)
 
 
 @dataclass
@@ -113,6 +120,17 @@ class Engine(abc.ABC):
     @abc.abstractmethod
     def execute(self, plan: Any, x_q: np.ndarray) -> GemmResult:
         """Run the per-request activation path against a prepared plan."""
+
+    def execute_many(self, plan: Any,
+                     xs: "Iterable[np.ndarray]") -> list[GemmResult]:
+        """Execute a request list against one prepared plan.
+
+        The batching entry point of the two-phase split: every weight-side
+        artifact is read from ``plan``, so serving ``len(xs)`` requests costs
+        exactly ``len(xs)`` activation paths and zero weight work.  Engines
+        may override this to fuse requests; the default executes in order.
+        """
+        return [self.execute(plan, x_q) for x_q in xs]
 
     def run(self, w_q: np.ndarray, x_q: np.ndarray, zp: int,
             config: EngineConfig | None = None) -> GemmResult:

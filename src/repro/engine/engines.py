@@ -105,7 +105,8 @@ class SibiaEngine(Engine):
         config = config or EngineConfig(x_bits=7)
         return prepare_sibia(w_q, w_bits=config.w_bits, x_bits=config.x_bits,
                              v=config.v, tracked=config.tracked,
-                             count_ops=config.count_ops)
+                             count_ops=config.count_ops,
+                             exec_path=config.exec_path)
 
     def execute(self, plan: SibiaLayerPlan, x_q: np.ndarray) -> GemmResult:
         res = execute_sibia(plan, x_q)
@@ -131,7 +132,8 @@ class AqsEngine(Engine):
         kernel_config = AqsGemmConfig(
             w_bits=config.w_bits, x_bits=config.x_bits,
             lo_bits=config.lo_bits, v=config.v,
-            index_bits=config.index_bits, count_ops=config.count_ops)
+            index_bits=config.index_bits, count_ops=config.count_ops,
+            exec_path=config.exec_path)
         return prepare_aqs(w_q, zp, kernel_config)
 
     def execute(self, plan: AqsLayerPlan, x_q: np.ndarray) -> GemmResult:

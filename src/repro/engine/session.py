@@ -53,20 +53,40 @@ class PanaceaSession:
     Owns the PTQ pipeline, the plan cache (one :class:`LayerPlan` per GEMM
     layer, built at conversion time) and the execution trace; every ``run``
     appends a :class:`RequestRecord`.
+
+    ``max_records`` bounds what a *streaming* session retains: only the most
+    recent ``max_records`` request records (and their layer traces) are kept,
+    so serving an unbounded request stream runs in constant memory.  The
+    default (``None``) retains everything, preserving the historical
+    behaviour; :meth:`stats` and :meth:`total_ops` always report lifetime
+    totals regardless of retention.
     """
 
     def __init__(self, model, config: "PtqConfig | None" = None, *,
                  calibration: Iterable | None = None,
-                 count_ops: bool = True, keep_masks: bool = False) -> None:
+                 count_ops: bool = True, keep_masks: bool = False,
+                 max_records: int | None = None) -> None:
         from ..core.pipeline import ExecutionTrace, PtqConfig, PtqPipeline
 
+        if max_records is not None and max_records < 0:
+            raise ValueError(f"max_records must be >= 0, got {max_records}")
         self.config = config or PtqConfig()
         self.model = model
         self.pipeline = PtqPipeline(model, self.config)
         self.trace: "ExecutionTrace" = ExecutionTrace(keep_masks=keep_masks)
         self.count_ops = count_ops
         self.requests: list[RequestRecord] = []
+        self.max_records = max_records
         self._prepared = False
+        # Lifetime accounting, independent of record retention.
+        self._lifetime_requests = 0
+        self._lifetime_layer_calls = 0
+        self._lifetime_ops = OpCounts()
+        self._lifetime_rho_w_sum = 0.0
+        self._lifetime_rho_x_sum = 0.0
+        # Layer records retained for still-held requests; when this matches
+        # len(trace.records) the trace head is safe to trim positionally.
+        self._retained_layer_count = 0
         if calibration is not None:
             self.calibrate(calibration)
 
@@ -98,40 +118,83 @@ class PanaceaSession:
         if not self._prepared:
             self.calibrate([batch])
         start = len(self.trace.records)
-        out = self.model(batch)
-        self.requests.append(RequestRecord(
-            request_id=len(self.requests),
+        try:
+            out = self.model(batch)
+        except Exception:
+            # Roll back partial layer records so the shared trace stays
+            # aligned with the request list (retention trims positionally).
+            del self.trace.records[start:]
+            raise
+        record = RequestRecord(
+            request_id=self._lifetime_requests,
             batch_shape=tuple(np.shape(batch)),
             layers=self.trace.records[start:],
-        ))
+        )
+        self.requests.append(record)
+        self._lifetime_requests += 1
+        self._lifetime_layer_calls += len(record.layers)
+        self._lifetime_ops = self._lifetime_ops.merge(record.total_ops())
+        self._retained_layer_count += len(record.layers)
+        for rec in record.layers:
+            self._lifetime_rho_w_sum += rec.rho_w
+            self._lifetime_rho_x_sum += rec.rho_x
+        self._trim_records()
         return out
 
+    def _trim_records(self) -> None:
+        """Drop the oldest retained requests beyond ``max_records``."""
+        if self.max_records is None or len(self.requests) <= self.max_records:
+            return
+        dropped = self.requests[:len(self.requests) - self.max_records]
+        self.requests = self.requests[len(dropped):]
+        n_dropped_layers = sum(len(r.layers) for r in dropped)
+        if len(self.trace.records) == self._retained_layer_count:
+            # Common case: run() is the only trace writer, so the dropped
+            # requests' layer records are exactly the trace head.
+            del self.trace.records[:n_dropped_layers]
+        else:
+            # A caller appended to the shared trace outside run() (e.g. by
+            # invoking session.model directly); fall back to removing the
+            # dropped records by identity so those extra records survive.
+            drop_ids = {id(rec) for req in dropped for rec in req.layers}
+            self.trace.records = [rec for rec in self.trace.records
+                                  if id(rec) not in drop_ids]
+        self._retained_layer_count -= n_dropped_layers
+
     def run_many(self, batches: Iterable) -> Iterator:
-        """Stream request batches through :meth:`run`, yielding outputs."""
+        """Stream request batches through :meth:`run`, yielding outputs.
+
+        Lazy: each batch executes when consumed, against the same cached
+        layer plans — the whole stream pays the weight path zero times.
+        """
         for batch in batches:
             yield self.run(batch)
 
     def total_ops(self) -> OpCounts:
-        """Merged op ledger over every served request."""
-        total = OpCounts()
-        for request in self.requests:
-            total = total.merge(request.total_ops())
-        return total
+        """Merged lifetime op ledger over every request ever served.
+
+        Returns a copy; mutating it cannot corrupt the session's accounting.
+        """
+        return self._lifetime_ops.merge(OpCounts())
 
     def stats(self) -> dict:
-        """Serving summary: request/layer counts, ops and mean sparsities."""
-        layer_records = [rec for req in self.requests for rec in req.layers]
-        ops = self.total_ops()
+        """Serving summary: request/layer counts, ops and mean sparsities.
+
+        All values are lifetime totals — they keep growing even when
+        ``max_records`` retention has dropped old request records.
+        ``n_retained`` reports what is still held in memory.
+        """
+        n_calls = self._lifetime_layer_calls
+        ops = self._lifetime_ops
         return {
             "scheme": self.config.scheme,
-            "n_requests": len(self.requests),
-            "n_layer_calls": len(layer_records),
+            "n_requests": self._lifetime_requests,
+            "n_retained": len(self.requests),
+            "n_layer_calls": n_calls,
             "n_plans": len(self.plans),
             "mul4": ops.mul4,
             "add": ops.add,
             "ema_nibbles": ops.ema_nibbles,
-            "mean_rho_w": (float(np.mean([r.rho_w for r in layer_records]))
-                           if layer_records else 0.0),
-            "mean_rho_x": (float(np.mean([r.rho_x for r in layer_records]))
-                           if layer_records else 0.0),
+            "mean_rho_w": self._lifetime_rho_w_sum / n_calls if n_calls else 0.0,
+            "mean_rho_x": self._lifetime_rho_x_sum / n_calls if n_calls else 0.0,
         }

@@ -12,8 +12,8 @@ from dataclasses import dataclass
 
 from ...core.pipeline import PtqConfig, PtqPipeline
 from ...models.configs import get_config
-from ...models.synthetic import classification_set, gaussian_images, teacher_sample, token_batches
-from ...models.zoo import PROXY_SPECS, build_proxy
+from ...models.synthetic import teacher_sample
+from ...models.zoo import PROXY_SPECS, build_proxy, proxy_batches
 from ..accuracy import classification_agreement, lm_perplexity
 from ..tables import PaperClaim, format_claims, format_table
 from .common import DESIGN_NAMES, run_all_designs
@@ -54,13 +54,12 @@ def accuracy_loss_for(name: str, seed: int = 0) -> dict:
     fp, _ = build_proxy(name, seed=seed)
     out = {}
     if spec.kind == "classifier":
-        batches = classification_set(16, 24, spec.dim, 6, seed=seed + 1)
+        batches = proxy_batches(spec, 16, 6, seed=seed + 1)
         evaluate = lambda m: 100.0 * (1.0 - classification_agreement(  # noqa: E731
             fp, m, batches).agreement)
         calib = batches[:2]
     elif spec.kind == "resnet":
-        batches = [gaussian_images(6, 3, 32, seed=seed + i)
-                   for i in range(5)]
+        batches = proxy_batches(spec, 6, 5, seed=seed)
         evaluate = lambda m: 100.0 * (1.0 - classification_agreement(  # noqa: E731
             fp, m, batches).agreement)
         calib = batches[:2]
@@ -69,7 +68,7 @@ def accuracy_loss_for(name: str, seed: int = 0) -> dict:
         ppl_fp = lm_perplexity(fp, eval_ids)
         evaluate = lambda m: 100.0 * (lm_perplexity(m, eval_ids)  # noqa: E731
                                       / ppl_fp - 1.0)
-        calib = token_batches(spec.vocab, 2, 40, 2, seed=seed + 3)
+        calib = proxy_batches(spec, 2, 2, seed=seed + 3)
     for scheme, x_bits in (("sibia", 7), ("aqs", 8)):
         model, _ = build_proxy(name, seed=seed)
         pipe = PtqPipeline(model, PtqConfig(scheme=scheme, x_bits=x_bits))

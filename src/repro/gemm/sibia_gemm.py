@@ -14,6 +14,14 @@ Like the AQS-GEMM, execution is two-phase: :func:`prepare_sibia` runs the
 static weight path once into a :class:`SibiaLayerPlan` and
 :func:`execute_sibia` runs the per-request activation path.  The one-shot
 :func:`sibia_gemm` wraps the two, bit-exactly.
+
+``exec_path`` selects the online BLAS strategy.  ``"sliced"`` issues one
+call per (weight plane, activation plane) pair, mirroring the hardware loop.
+``"fast"`` (default) issues a single ``W @ x`` call on the precomputed
+``w_f64`` mirror: the SBR planes reconstruct both operands exactly and the
+tracked-side mask only zeroes vectors that are already all-zero, so the
+collapsed product is bit-identical to the accumulated slice products.  The
+op ledger is mask-derived and unchanged.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from ..bitslice.vectors import (
     vector_sparsity,
     weight_vector_mask,
 )
-from .workload import OpCounts
+from .workload import OpCounts, validate_exec_path
 
 __all__ = ["SibiaGemmResult", "SibiaLayerPlan", "sibia_gemm", "prepare_sibia",
            "execute_sibia"]
@@ -66,7 +74,8 @@ class SibiaLayerPlan:
     ``tracked`` keeps the *requested* side; ``"auto"`` is resolved per
     request because it compares against the activation sparsity.  When the
     weight has a single slice there is no HO plane to skip and the mask is
-    forced dense (``single_w_slice``).
+    forced dense (``single_w_slice``).  ``exec_path`` picks the online BLAS
+    strategy (``"fast"`` or ``"sliced"``).
     """
 
     w_q: np.ndarray
@@ -80,11 +89,25 @@ class SibiaLayerPlan:
     rho_w: float
     single_w_slice: bool
     engine: str = "sibia"
-    w_planes_f64: tuple[np.ndarray, ...] = field(init=False, repr=False)
+    exec_path: str = "fast"
+    _w_planes_f64: tuple[np.ndarray, ...] | None = field(
+        init=False, repr=False, default=None)
+    _w_f64: np.ndarray | None = field(init=False, repr=False, default=None)
 
-    def __post_init__(self) -> None:
-        self.w_planes_f64 = tuple(p.astype(np.float64)
-                                  for p in self.w_stack.planes)
+    @property
+    def w_f64(self) -> np.ndarray:
+        """Float64 weight mirror, built lazily (fast path only)."""
+        if self._w_f64 is None:
+            self._w_f64 = self.w_q.astype(np.float64)
+        return self._w_f64
+
+    @property
+    def w_planes_f64(self) -> tuple[np.ndarray, ...]:
+        """Per-plane float64 mirrors, built lazily (sliced path only)."""
+        if self._w_planes_f64 is None:
+            self._w_planes_f64 = tuple(p.astype(np.float64)
+                                       for p in self.w_stack.planes)
+        return self._w_planes_f64
 
     @property
     def m(self) -> int:
@@ -107,6 +130,7 @@ class SibiaLayerPlan:
             "uw": self.uw,
             "rho_w": self.rho_w,
             "single_w_slice": self.single_w_slice,
+            "exec_path": self.exec_path,
         }
 
     @classmethod
@@ -122,6 +146,7 @@ class SibiaLayerPlan:
             uw=np.asarray(state["uw"], dtype=bool),
             rho_w=float(state["rho_w"]),
             single_w_slice=bool(state["single_w_slice"]),
+            exec_path=validate_exec_path(str(state.get("exec_path", "fast"))),
         )
 
 
@@ -132,11 +157,13 @@ def prepare_sibia(
     v: int = 4,
     tracked: str = "auto",
     count_ops: bool = True,
+    exec_path: str = "fast",
 ) -> SibiaLayerPlan:
     """Run the offline weight path of the Sibia GEMM once."""
     w_q = np.asarray(w_q, dtype=np.int64)
     if w_q.ndim != 2:
         raise ValueError(f"W must be 2-D, got shape {w_q.shape}")
+    validate_exec_path(exec_path)
     w_stack = slice_sbr(w_q, total_bits=w_bits)
     uw = weight_vector_mask(w_stack.ho, v=v, compress_value=0)
     # A lone 4-bit slice has no HO plane to skip (paper Fig. 19).
@@ -147,7 +174,7 @@ def prepare_sibia(
     return SibiaLayerPlan(w_q=w_q, w_bits=w_bits, x_bits=x_bits, v=v,
                           tracked=tracked, count_ops=count_ops,
                           w_stack=w_stack, uw=uw, rho_w=rho_w,
-                          single_w_slice=single)
+                          single_w_slice=single, exec_path=exec_path)
 
 
 def execute_sibia(plan: SibiaLayerPlan, x_q: np.ndarray) -> SibiaGemmResult:
@@ -176,16 +203,23 @@ def execute_sibia(plan: SibiaLayerPlan, x_q: np.ndarray) -> SibiaGemmResult:
 
     # Functional result: skipping all-zero tracked vectors never changes the
     # sum, so accumulate every slice product of the (masked) planes.
-    acc = np.zeros((m, n), dtype=np.int64)
-    uw_e = expand_weight_mask(uw, v, m)
-    ux_e = expand_activation_mask(ux, v, n)
-    x_planes_f64 = tuple(p.astype(np.float64) for p in x_stack.planes)
-    for wi, w_plane in enumerate(plan.w_planes_f64):
-        w_eff = w_plane * uw_e if (tracked == "weight" and wi == w_stack.n_slices - 1) else w_plane
-        for xi, x_plane in enumerate(x_planes_f64):
-            x_eff = x_plane * ux_e if (tracked == "activation" and xi == x_stack.n_slices - 1) else x_plane
-            scale = w_stack.weights[wi] * x_stack.weights[xi]
-            acc += scale * _exact_matmul(w_eff, x_eff)
+    if plan.exec_path == "fast":
+        # The SBR planes reconstruct both operands exactly and the tracked
+        # mask only zeroes all-zero vectors, so the accumulated slice
+        # products collapse to the plain product — one BLAS call, exact in
+        # float64 for these magnitudes, hence bit-identical to the loop.
+        acc = _exact_matmul(plan.w_f64, x_q)
+    else:
+        acc = np.zeros((m, n), dtype=np.int64)
+        uw_e = expand_weight_mask(uw, v, m)
+        ux_e = expand_activation_mask(ux, v, n)
+        x_planes_f64 = tuple(p.astype(np.float64) for p in x_stack.planes)
+        for wi, w_plane in enumerate(plan.w_planes_f64):
+            w_eff = w_plane * uw_e if (tracked == "weight" and wi == w_stack.n_slices - 1) else w_plane
+            for xi, x_plane in enumerate(x_planes_f64):
+                x_eff = x_plane * ux_e if (tracked == "activation" and xi == x_stack.n_slices - 1) else x_plane
+                scale = w_stack.weights[wi] * x_stack.weights[xi]
+                acc += scale * _exact_matmul(w_eff, x_eff)
 
     ops = OpCounts()
     if plan.count_ops:
@@ -203,6 +237,7 @@ def sibia_gemm(
     v: int = 4,
     tracked: str = "auto",
     count_ops: bool = True,
+    exec_path: str = "fast",
 ) -> SibiaGemmResult:
     """Execute the Sibia bit-slice GEMM ``W_q @ x_q``.
 
@@ -213,7 +248,8 @@ def sibia_gemm(
     One-shot wrapper over :func:`prepare_sibia` + :func:`execute_sibia`.
     """
     plan = prepare_sibia(w_q, w_bits=w_bits, x_bits=x_bits, v=v,
-                         tracked=tracked, count_ops=count_ops)
+                         tracked=tracked, count_ops=count_ops,
+                         exec_path=exec_path)
     return execute_sibia(plan, x_q)
 
 

@@ -21,6 +21,10 @@ shipped design — and these formulas — use.)
 :class:`OpCounts` is the measured-side ledger every functional kernel fills
 in; the ``table1_*`` functions are the analytic side the tests and the
 Table 1 bench compare against.
+
+This module is also the shared, cycle-free home of the ``exec_path``
+vocabulary: every config layer (kernel, engine, pipeline) validates against
+the same :data:`EXEC_PATHS` tuple so the accepted values cannot drift apart.
 """
 
 from __future__ import annotations
@@ -29,9 +33,23 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "OpCounts",
+    "EXEC_PATHS",
+    "validate_exec_path",
     "table1_sibia",
     "table1_panacea",
 ]
+
+#: Online BLAS strategies of the bit-slice kernels: ``"fast"`` collapses the
+#: plane-pair loop, ``"sliced"`` mirrors the hardware loop (the reference).
+EXEC_PATHS = ("fast", "sliced")
+
+
+def validate_exec_path(exec_path: str) -> str:
+    """Validate an ``exec_path`` value; returns it for chaining."""
+    if exec_path not in EXEC_PATHS:
+        raise ValueError(
+            f"exec_path must be one of {EXEC_PATHS}, got {exec_path!r}")
+    return exec_path
 
 
 @dataclass

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..bitslice.rle import rle_index_bits
+from ..bitslice.rle import rle_index_bits_batch
 from ..models.workloads import LayerProfile
 from .accelerator import AcceleratorModel, HwConfig, LayerPerf
 from .energy import EnergyBreakdown
@@ -78,9 +78,9 @@ def compressed_layer_bytes(profile: LayerProfile, v: int = 4,
         w_rle_bits = 0.0
     else:
         w_nibbles = v * float(uw.sum()) * scale_m + (nw - 1) * layer.m * layer.k
-        w_rle_bits = sum(rle_index_bits(row, index_bits) for row in uw) * scale_m
+        w_rle_bits = int(rle_index_bits_batch(uw, index_bits).sum()) * scale_m
     x_nibbles = v * float(ux.sum()) * scale_n + (nx - 1) * layer.k * layer.n
-    x_rle_bits = sum(rle_index_bits(col, index_bits) for col in ux.T) * scale_n
+    x_rle_bits = int(rle_index_bits_batch(ux.T, index_bits).sum()) * scale_n
     return (w_nibbles / 2.0 + w_rle_bits / 8.0,
             x_nibbles / 2.0 + x_rle_bits / 8.0)
 

@@ -17,7 +17,7 @@ from ..nn import CausalLM, ResNet, TransformerClassifier
 from ..nn.module import Module
 from .configs import ModelConfig, get_config
 
-__all__ = ["ProxySpec", "PROXY_SPECS", "build_proxy"]
+__all__ = ["ProxySpec", "PROXY_SPECS", "build_proxy", "proxy_batches"]
 
 
 @dataclass(frozen=True)
@@ -99,3 +99,24 @@ def build_proxy(name: str, seed: int = 0) -> tuple[Module, ModelConfig]:
             f"no proxy for {name!r}; available: {sorted(PROXY_SPECS)}"
         ) from None
     return spec.build(seed=seed), get_config(name)
+
+
+def proxy_batches(name_or_spec: "str | ProxySpec", batch: int, n: int,
+                  seed: int = 0) -> list:
+    """``n`` synthetic input batches matching one proxy's input modality.
+
+    The single source of truth for what each proxy kind eats: classifier
+    proxies take ``(batch, 24, dim)`` float sequences, ResNet proxies
+    ``(batch, 3, 32, 32)`` images, LM proxies ``(batch, 40)`` token ids.
+    Used by the CLI's ``serve`` demo and the accuracy experiments alike.
+    """
+    from .synthetic import classification_set, gaussian_images, token_batches
+
+    spec = (PROXY_SPECS[name_or_spec] if isinstance(name_or_spec, str)
+            else name_or_spec)
+    if spec.kind == "classifier":
+        return classification_set(batch, 24, spec.dim, n, seed=seed)
+    if spec.kind == "resnet":
+        return [gaussian_images(batch, 3, 32, seed=seed + i)
+                for i in range(n)]
+    return token_batches(spec.vocab, batch, 40, n, seed=seed)

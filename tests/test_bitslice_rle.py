@@ -11,6 +11,7 @@ from repro.bitslice.rle import (
     rle_decode,
     rle_encode,
     rle_index_bits,
+    rle_index_bits_batch,
 )
 
 
@@ -109,3 +110,77 @@ def test_property_fast_bits_matches_encoder(bits_list, index_bits):
 def test_property_payload_count(bits_list):
     mask = np.array(bits_list, dtype=bool)
     assert rle_encode(mask).n_payloads == int(mask.sum())
+
+
+class TestBatchIndexBits:
+    """The vectorized 2-D variant must match the per-stream scalar one."""
+
+    def test_empty_mask(self):
+        assert list(rle_index_bits_batch(np.zeros((3, 0), dtype=bool))) == [
+            0, 0, 0]
+
+    def test_all_compressed(self):
+        masks = np.zeros((4, 64), dtype=bool)
+        expected = rle_encode(masks[0]).index_storage_bits
+        assert list(rle_index_bits_batch(masks)) == [expected] * 4
+
+    def test_all_uncompressed(self):
+        masks = np.ones((2, 9), dtype=bool)
+        assert list(rle_index_bits_batch(masks)) == [9 * 4, 9 * 4]
+
+    def test_run_exactly_max_run(self):
+        # A gap of exactly 15 costs one continuation token; the following
+        # payload token then absorbs a zero-length run.
+        mask = np.concatenate([np.zeros(15, dtype=bool), [True]])
+        got = rle_index_bits_batch(np.vstack([mask, mask]))
+        assert list(got) == [rle_encode(mask).index_storage_bits] * 2
+
+    def test_trailing_partial_run(self):
+        mask = np.array([True] + [False] * 7)
+        assert rle_index_bits_batch(mask[None])[0] == (
+            rle_encode(mask).index_storage_bits)
+
+    def test_trailing_exact_max_run(self):
+        mask = np.concatenate([[True], np.zeros(15, dtype=bool)])
+        assert rle_index_bits_batch(mask[None])[0] == (
+            rle_encode(mask).index_storage_bits)
+
+    def test_1d_input_promoted(self):
+        mask = np.array([True, False, True])
+        assert rle_index_bits_batch(mask)[0] == rle_index_bits(mask)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            rle_index_bits_batch(np.zeros((2, 2, 2), dtype=bool))
+
+    def test_rejects_zero_index_bits(self):
+        mask = np.ones(4, dtype=bool)
+        with pytest.raises(ValueError):
+            rle_index_bits_batch(mask[None], index_bits=0)
+        with pytest.raises(ValueError):
+            rle_index_bits(mask, index_bits=0)
+        with pytest.raises(ValueError):
+            rle_encode(mask, index_bits=0)
+
+    def test_mixed_rows_and_index_widths(self):
+        rng = np.random.default_rng(7)
+        for index_bits in (2, 3, 4, 8):
+            masks = rng.random((6, 37)) < 0.3
+            got = rle_index_bits_batch(masks, index_bits)
+            assert list(got) == [
+                rle_encode(row, index_bits).index_storage_bits
+                for row in masks]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 5), st.integers(0, 80),
+       st.floats(0.0, 1.0), st.sampled_from([2, 4, 8]),
+       st.integers(0, 2 ** 31 - 1))
+def test_property_batch_matches_per_row(n_rows, length, density, index_bits,
+                                        seed):
+    masks = np.random.default_rng(seed).random((n_rows, length)) < density
+    got = rle_index_bits_batch(masks, index_bits)
+    assert got.shape == (n_rows,)
+    for row, bits in zip(masks, got):
+        assert bits == rle_index_bits(row, index_bits)
+        assert bits == rle_encode(row, index_bits).index_storage_bits

@@ -173,6 +173,105 @@ class TestTrace:
         assert len(grouped["fc1"]) == 2
 
 
+class _BiasedNet(Module):
+    """One Linear with wildly imbalanced per-channel scales and a real bias."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(21)
+        self.fc = Linear(16, 8, rng=rng)
+        # Rows 0-3 tiny, rows 4-7 large: per-channel scales differ ~100x.
+        self.fc.weight[:4] *= 0.01
+        self.fc.bias[:] = np.linspace(-4.0, 4.0, 8)
+
+    def forward(self, x):
+        return self.fc(x)
+
+
+class TestPerChannelBiasFold:
+    def test_bias_survives_per_channel_dequant(self):
+        """Regression: the bias must be folded with each channel's own scale.
+
+        At ``x = 0`` the layer output is exactly the bias.  Folding with the
+        max scale (the old behaviour) shrinks the bias of every small-scale
+        channel by scale_ch/scale_max — here ~100x.
+        """
+        net = _BiasedNet()
+        pipe = PtqPipeline(net, PtqConfig(scheme="int8_dense",
+                                          w_granularity="per_channel"))
+        pipe.calibrate(_batches())
+        out = pipe.convert()(np.zeros((1, 16)))[0]
+        expected = np.linspace(-4.0, 4.0, 8)
+        # Error budget: one rounding step of the per-channel combined scale.
+        assert np.max(np.abs(out - expected)) < 0.05
+        # The small-scale channels are the regression's victims.
+        assert abs(out[0] - expected[0]) < 0.05
+
+    def test_per_tensor_fold_unchanged(self):
+        net = _BiasedNet()
+        pipe = PtqPipeline(net, PtqConfig(scheme="int8_dense",
+                                          w_granularity="per_tensor"))
+        pipe.calibrate(_batches())
+        out = pipe.convert()(np.zeros((1, 16)))[0]
+        expected = np.linspace(-4.0, 4.0, 8)
+        assert np.max(np.abs(out - expected)) < 0.2
+
+    @pytest.mark.parametrize("scheme,x_bits", [("aqs", 8), ("sibia", 7)])
+    def test_bitslice_schemes_keep_bias(self, scheme, x_bits):
+        net = _BiasedNet()
+        pipe = PtqPipeline(net, PtqConfig(scheme=scheme, x_bits=x_bits,
+                                          w_granularity="per_channel"))
+        pipe.calibrate(_batches())
+        out = pipe.convert()(np.zeros((1, 16)))[0]
+        expected = np.linspace(-4.0, 4.0, 8)
+        assert np.max(np.abs(out - expected)) < 0.3
+
+
+class TestConfigThreading:
+    """PtqConfig knobs must reach the engine configs, not silently default."""
+
+    def test_index_bits_reaches_aqs_plan(self):
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs", index_bits=8))
+        pipe.calibrate(_batches())
+        pipe.convert()
+        for plan in pipe.plans().values():
+            assert plan.config.index_bits == 8
+
+    def test_tracked_reaches_sibia_plan(self):
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="sibia", x_bits=7,
+                                                tracked="activation"))
+        pipe.calibrate(_batches())
+        pipe.convert()
+        for plan in pipe.plans().values():
+            assert plan.tracked == "activation"
+
+    def test_exec_path_reaches_plans(self):
+        pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs",
+                                                exec_path="sliced"))
+        pipe.calibrate(_batches())
+        pipe.convert()
+        for plan in pipe.plans().values():
+            assert plan.config.exec_path == "sliced"
+
+    def test_index_bits_changes_rle_accounting(self):
+        """Wider indices mean fewer continuation tokens but more bits per
+        token; either way the ledger must reflect the configured width."""
+        outs = {}
+        for index_bits in (2, 4):
+            trace = ExecutionTrace()
+            pipe = PtqPipeline(TinyNet(), PtqConfig(scheme="aqs",
+                                                    index_bits=index_bits))
+            pipe.calibrate(_batches())
+            model = pipe.convert(trace=trace, count_ops=True)
+            model(_batches(1, seed=5)[0])
+            outs[index_bits] = trace.total_ops().rle_index_bits
+        assert outs[2] != outs[4]
+
+    def test_rejects_bad_tracked(self):
+        with pytest.raises(ValueError):
+            PtqConfig(tracked="both")
+
+
 class TestDbsBiasCorrection:
     def test_truncation_bias_removed(self):
         """With DBS type-3 forced, outputs must stay centred on FP outputs

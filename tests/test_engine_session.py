@@ -150,3 +150,104 @@ class TestRequestRecords:
         out = session.run(np.zeros((2, 16)))
         assert out.shape == (2, 8)
         assert np.all(np.isfinite(out))
+
+
+class TestRecordRetention:
+    def test_default_is_unbounded(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        for batch in _batches(5, seed=11):
+            session.run(batch)
+        assert len(session.requests) == 5
+        assert len(session.trace.records) == 10
+
+    def test_retention_caps_requests_and_trace(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches(), max_records=2)
+        for batch in _batches(6, seed=12):
+            session.run(batch)
+        assert len(session.requests) == 2
+        # Only the retained requests' layer records remain in the trace.
+        assert len(session.trace.records) == 4
+        # The newest records are kept, with lifetime request ids.
+        assert [r.request_id for r in session.requests] == [4, 5]
+
+    def test_stats_track_lifetime_totals(self):
+        bounded = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches(), max_records=1)
+        unbounded = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                   calibration=_batches())
+        for batch in _batches(4, seed=13):
+            bounded.run(batch)
+            unbounded.run(batch)
+        sb, su = bounded.stats(), unbounded.stats()
+        assert sb["n_requests"] == su["n_requests"] == 4
+        assert sb["n_layer_calls"] == su["n_layer_calls"] == 8
+        assert sb["mul4"] == su["mul4"] > 0
+        assert sb["mean_rho_x"] == pytest.approx(su["mean_rho_x"])
+        assert sb["n_retained"] == 1
+        assert su["n_retained"] == 4
+
+    def test_total_ops_is_lifetime(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches(), max_records=1)
+        batch = _batches(1, seed=14)[0]
+        session.run(batch)
+        once = session.total_ops().mul4
+        session.run(batch)
+        assert session.total_ops().mul4 == 2 * once
+
+    def test_zero_retention_keeps_nothing(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches(), max_records=0)
+        session.run(_batches(1, seed=15)[0])
+        assert session.requests == []
+        assert session.trace.records == []
+        assert session.stats()["n_requests"] == 1
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"), max_records=-1)
+
+    def test_failed_request_leaves_no_orphan_trace_records(self):
+        """A mid-forward failure must not desynchronize trace and requests."""
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches(), max_records=2)
+        session.run(_batches(1, seed=16)[0])
+
+        # Fail *between* the two layers: fc1 has already appended its layer
+        # record when fc2 raises — run() must roll those orphans back.
+        fc2 = session.model.fc2
+        real_forward = fc2.forward
+
+        def boom(x):
+            raise RuntimeError("mid-request failure")
+
+        fc2.forward = boom
+        with pytest.raises(RuntimeError):
+            session.run(_batches(1, seed=18)[0])
+        fc2.forward = real_forward
+
+        for batch in _batches(3, seed=17):
+            session.run(batch)
+        assert len(session.requests) == 2
+        assert len(session.trace.records) == sum(
+            len(r.layers) for r in session.requests)
+        assert session.stats()["n_requests"] == 4  # the failed run isn't one
+
+    def test_out_of_band_model_call_does_not_break_retention(self):
+        """Direct session.model(...) calls append to the shared trace; the
+        retention trim must still remove exactly the dropped requests'
+        records (by identity, not position)."""
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches(), max_records=1)
+        session.run(_batches(1, seed=19)[0])
+        session.model(_batches(1, seed=20)[0])  # eval outside run()
+        orphan_ids = {id(r) for r in session.trace.records[2:]}
+        session.run(_batches(1, seed=21)[0])  # triggers a trim of request 0
+        retained_layer_ids = {id(r) for req in session.requests
+                              for r in req.layers}
+        trace_ids = {id(r) for r in session.trace.records}
+        assert orphan_ids <= trace_ids          # out-of-band records survive
+        assert retained_layer_ids <= trace_ids  # retained requests intact
+        assert len(session.trace.records) == 4  # 2 orphans + 2 retained
