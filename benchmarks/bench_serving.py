@@ -1,0 +1,190 @@
+"""Bench E2 — dynamic micro-batching vs per-request serving.
+
+Single requests pay the whole per-forward overhead (Python dispatch, slice
+extraction, mask reduction) on a handful of GEMM columns; the micro-batching
+scheduler coalesces queued requests into one engine batch so that overhead
+amortizes across riders.  This bench pushes a fixed request stream through a
+:class:`ModelServer` hosting the BERT-base proxy under a sweep of
+``max_batch`` policies (``max_batch=1`` is the per-request baseline) and
+measures throughput, per-request latency and the modeled hardware work.
+Every policy's outputs are asserted bit-exact against the per-request
+baseline before timing is trusted.
+
+A second, model-free section times the raw AQS engine on true BERT-base
+GEMM shapes — ``execute_many`` over single-request column blocks vs one
+fused ``execute`` — isolating the engine-batch win from the NN substrate.
+
+Emits a table to ``results/serving.txt`` and machine-readable numbers to
+``results/serving.json``.
+
+Run:        PYTHONPATH=src python benchmarks/bench_serving.py
+CI smoke:   PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+(the smoke run shrinks the stream, keeps the bit-exactness asserts, and
+still writes the JSON artifact for upload)
+"""
+
+import argparse
+
+import numpy as np
+from _util import emit, emit_json
+
+from repro.core.aqs_gemm import AqsGemmConfig, execute_aqs, prepare_aqs
+from repro.eval.tables import format_table
+from repro.models.zoo import proxy_batches
+from repro.serve import BatchPolicy, ModelServer
+
+MODEL = "bert_base"
+POLICIES = (1, 2, 4, 8, 16)
+
+# True BERT-base GEMM shapes (seq 128) for the kernel-level section; each
+# serving request contributes `n_req` columns.
+KERNEL_SHAPES = [
+    ("bert_base_qkv", 768, 768),
+    ("bert_base_fc1", 3072, 768),
+]
+
+
+def _requests(n, seed=0):
+    """``n`` single-row requests matching the BERT proxy's input modality."""
+    return proxy_batches(MODEL, 1, n, seed=seed)
+
+
+def serve_policy(max_batch, requests, seed=0):
+    """Serve the request stream under one coalescing policy."""
+    server = ModelServer()
+    policy = BatchPolicy(max_batch=max_batch, max_delay_s=0.0)
+    server.deploy_proxy("bert", MODEL, scheme="aqs", seed=seed, policy=policy)
+    import time
+
+    t0 = time.perf_counter()
+    tickets = server.submit_many("bert", requests)
+    server.flush("bert")
+    wall_s = time.perf_counter() - t0
+    assert all(t.done for t in tickets)
+    stats = server.stats("bert")
+    sess, sched = stats["session"], stats["scheduler"]
+    latencies = [t.queue_wait_s + (t.record.latency_s if t.record else 0.0)
+                 for t in tickets]
+    return {
+        "max_batch": max_batch,
+        "outputs": [t.result() for t in tickets],
+        "wall_s": wall_s,
+        "throughput_rps": len(requests) / wall_s,
+        "n_batches": sched["n_batches"],
+        "mean_coalesce": sched["mean_batch_size"],
+        "mean_latency_ms": float(np.mean(latencies)) * 1e3,
+        "p95_latency_ms": float(np.percentile(latencies, 95)) * 1e3,
+        "mul4": sess["mul4"],
+    }
+
+
+def run_serving(n_requests):
+    """Policy sweep; asserts every policy is bit-exact vs per-request."""
+    requests = _requests(n_requests)
+    results = []
+    baseline_outputs = None
+    baseline_wall = None
+    for max_batch in POLICIES:
+        res = serve_policy(max_batch, requests)
+        outputs = res.pop("outputs")
+        if baseline_outputs is None:
+            baseline_outputs, baseline_wall = outputs, res["wall_s"]
+        else:
+            for a, b in zip(baseline_outputs, outputs):
+                assert np.array_equal(a, b), (
+                    f"max_batch={max_batch} is not bit-exact vs per-request")
+        res["speedup"] = baseline_wall / res["wall_s"]
+        results.append(res)
+    return results
+
+
+def run_kernel(n_req=8, riders=16, repeats=5):
+    """Raw engine: fused execute vs execute_many on BERT-base shapes."""
+    import time
+
+    rows = {}
+    for name, m, k in KERNEL_SHAPES:
+        rng = np.random.default_rng(0)
+        w = np.clip(np.rint(rng.standard_t(5, (m, k)) * 4),
+                    -64, 63).astype(np.int64)
+        zp = 168
+        plan = prepare_aqs(w, zp, AqsGemmConfig())
+        xs = [np.clip(np.rint(rng.standard_t(4, (k, n_req)) * 4 + zp),
+                      0, 255).astype(np.int64) for _ in range(riders)]
+        fused = np.concatenate(xs, axis=1)
+
+        solo_res = [execute_aqs(plan, x) for x in xs]
+        fused_res = execute_aqs(plan, fused)
+        assert np.array_equal(np.concatenate([r.acc for r in solo_res],
+                                             axis=1), fused_res.acc), name
+
+        def _time(fn):
+            samples = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn()
+                samples.append(time.perf_counter() - t0)
+            return float(np.median(samples))
+
+        solo_s = _time(lambda: [execute_aqs(plan, x) for x in xs])
+        fused_s = _time(lambda: execute_aqs(plan, fused))
+        rows[name] = {
+            "m": m, "k": k, "n_per_request": n_req, "riders": riders,
+            "per_request_ms": solo_s * 1e3,
+            "fused_ms": fused_s * 1e3,
+            "speedup": solo_s / fused_s,
+            "per_request_mul4": int(sum(r.ops.mul4 for r in solo_res)),
+            "fused_mul4": int(fused_res.ops.mul4),
+        }
+    return rows
+
+
+def run(n_requests=32):
+    serving = run_serving(n_requests)
+    kernel = run_kernel()
+    payload = {"model": MODEL, "n_requests": n_requests,
+               "policies": serving, "kernel": kernel}
+    base_mul4 = serving[0]["mul4"]
+    rows = [[r["max_batch"], r["n_batches"], r["mean_coalesce"],
+             r["throughput_rps"], r["speedup"], r["mean_latency_ms"],
+             r["p95_latency_ms"], r["mul4"] / base_mul4]
+            for r in serving]
+    best = max(r["speedup"] for r in serving)
+    emit("serving", format_table(
+        ["max_batch", "batches", "coalesce", "req/s", "speedup",
+         "mean lat (ms)", "p95 lat (ms)", "rel mul4"],
+        rows,
+        title=f"{MODEL} micro-batched serving vs per-request "
+              f"({n_requests} requests, best speedup {best:.2f}x; "
+              "outputs bit-exact across all policies)"))
+    emit_json("serving", payload)
+    return payload
+
+
+def test_coalesced_serving_bit_exact():
+    """The non-negotiable invariant, under pytest (small stream)."""
+    run_serving(n_requests=6)
+
+
+def test_coalesced_beats_per_request_throughput():
+    """Coalescing must not lose to per-request serving on BERT shapes."""
+    results = run_serving(n_requests=16)
+    best = max(r["speedup"] for r in results[1:])
+    assert best >= 1.0, [r["speedup"] for r in results]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small stream, exactness asserts + JSON only")
+    parser.add_argument("--requests", type=int, default=32)
+    args = parser.parse_args()
+    if args.smoke:
+        serving = run_serving(n_requests=8)
+        kernel = run_kernel(riders=4, repeats=2)
+        emit_json("serving_smoke", {"model": MODEL, "n_requests": 8,
+                                    "policies": serving, "kernel": kernel})
+        print("serving smoke: all batch policies bit-exact vs per-request; "
+              f"best speedup {max(r['speedup'] for r in serving):.2f}x")
+    else:
+        run(n_requests=args.requests)

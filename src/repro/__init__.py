@@ -14,12 +14,15 @@ Public API layers:
 * ``repro.core`` — AQS-GEMM, ZPM, DBS, and the PTQ pipeline;
 * ``repro.engine`` — the prepare/execute engine registry and
   :class:`PanaceaSession` for multi-batch serving over cached layer plans;
+* ``repro.serve`` — the serving subsystem: :class:`ModelServer` multi-model
+  hosting, :class:`BatchPolicy` dynamic micro-batching and the persistent
+  :class:`PlanStore`;
 * ``repro.nn`` / ``repro.models`` — the NumPy NN substrate and model zoo;
 * ``repro.hw`` — Panacea / Sibia / systolic / SIMD performance models;
 * ``repro.eval`` — experiment drivers reproducing the paper's figures.
 """
 
-from . import bitslice, core, engine, gemm, nn, quant
+from . import bitslice, core, engine, gemm, nn, quant, serve
 from .core import (
     AqsGemmConfig,
     ExecutionTrace,
@@ -38,6 +41,7 @@ from .engine import (
     register_engine,
 )
 from .quant import QuantParams, asymmetric_params, quantize, symmetric_params
+from .serve import BatchPolicy, ModelServer, PlanStore
 
 __version__ = "1.0.0"
 
@@ -48,6 +52,10 @@ __all__ = [
     "gemm",
     "nn",
     "quant",
+    "serve",
+    "BatchPolicy",
+    "ModelServer",
+    "PlanStore",
     "EngineConfig",
     "PanaceaSession",
     "available_engines",

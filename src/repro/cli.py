@@ -1,15 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the everyday workflows:
+Seven commands cover the everyday workflows:
 
 * ``list-models`` — the benchmark zoo with shapes and MAC counts;
 * ``engines`` — the registered GEMM engines and their config constraints;
 * ``profile <model>`` — per-layer bit-slice sparsity under a policy;
 * ``simulate <model>`` — run the accelerator models and print the
   comparison table;
-* ``serve <model>`` — stream request batches through a prepared
-  :class:`PanaceaSession` (``--exec-path`` picks the fast or sliced BLAS
-  path, ``--max-records`` bounds trace retention);
+* ``serve <model>`` — host the model on a :class:`ModelServer` and push
+  single requests through the dynamic micro-batching scheduler
+  (``--max-batch``/``--max-delay-ms`` are the coalescing knobs,
+  ``--exec-path`` picks the fast or sliced BLAS path, ``--max-records``
+  bounds trace retention);
+* ``plan export <model>`` / ``plan load <path>`` — persist a converted
+  model's layer plans to a :class:`PlanStore` file and rehydrate a serving
+  session from one with zero re-prepare work;
 * ``experiment <id>`` — regenerate one paper figure/table (e.g. ``fig13``,
   ``table1``).
 """
@@ -84,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="stream request batches through a prepared PanaceaSession")
+        help="serve single requests through the micro-batching ModelServer")
     p_serve.add_argument("model")
     p_serve.add_argument("--scheme", default="aqs",
                          choices=["aqs", "sibia", "int8_dense"])
@@ -92,12 +97,41 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["fast", "sliced"],
                          help="online BLAS strategy of the bit-slice kernels")
     p_serve.add_argument("--requests", type=int, default=8,
-                         help="number of request batches to stream")
-    p_serve.add_argument("--batch", type=int, default=2)
+                         help="number of single requests to submit")
+    p_serve.add_argument("--batch", type=int, default=2,
+                         help="rows per request")
+    p_serve.add_argument("--max-batch", type=int, default=4,
+                         help="requests coalesced into one engine batch")
+    p_serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                         help="max time a queued request waits for riders")
     p_serve.add_argument("--max-records", type=int, default=None,
                          help="retain only the newest N request records "
                               "(default: unbounded)")
     p_serve.add_argument("--seed", type=int, default=0)
+
+    p_plan = sub.add_parser(
+        "plan", help="persist/load converted models as plan stores")
+    plan_sub = p_plan.add_subparsers(dest="plan_command", required=True)
+    p_export = plan_sub.add_parser(
+        "export",
+        help="calibrate a proxy model and persist its layer plans")
+    p_export.add_argument("model")
+    p_export.add_argument("--out", default=None,
+                          help="store path (default "
+                               "<model>.<scheme>.plans.npz)")
+    p_export.add_argument("--scheme", default="aqs",
+                          choices=["aqs", "sibia", "int8_dense", "fp32"])
+    p_export.add_argument("--exec-path", default="fast",
+                          choices=["fast", "sliced"])
+    p_export.add_argument("--seed", type=int, default=0)
+    p_load = plan_sub.add_parser(
+        "load",
+        help="rehydrate a serving session from a plan store (no re-prepare)")
+    p_load.add_argument("path")
+    p_load.add_argument("--requests", type=int, default=4,
+                        help="request batches to serve after loading")
+    p_load.add_argument("--batch", type=int, default=2)
+    p_load.add_argument("--seed", type=int, default=0)
 
     p_exp = sub.add_parser("experiment",
                            help="regenerate one paper figure/table")
@@ -174,42 +208,111 @@ def _cmd_simulate(args, out) -> int:
 def _cmd_serve(args, out) -> int:
     import time
 
-    from .core.pipeline import PtqConfig
-    from .engine import PanaceaSession
-    from .models.zoo import PROXY_SPECS, build_proxy, proxy_batches
+    from .models.zoo import PROXY_SPECS, proxy_batches
+    from .serve import BatchPolicy, ModelServer
 
     if args.model not in PROXY_SPECS:
         print(f"no runnable proxy for {args.model!r}; "
               f"available: {sorted(PROXY_SPECS)}", file=out)
         return 2
-    model, _ = build_proxy(args.model, seed=args.seed)
-    # Two extra batches feed calibration.
-    batches = proxy_batches(args.model, args.batch, args.requests + 2,
-                            seed=args.seed + 1)
-    config = PtqConfig(scheme=args.scheme,
-                       x_bits=7 if args.scheme == "sibia" else 8,
-                       exec_path=args.exec_path)
-    session = PanaceaSession(model, config, max_records=args.max_records)
-
+    server = ModelServer()
+    deployment = f"{args.model}/{args.scheme}"
+    policy = BatchPolicy(max_batch=args.max_batch,
+                         max_delay_s=args.max_delay_ms / 1e3)
     t0 = time.perf_counter()
-    session.calibrate(batches[:2])
+    server.deploy_proxy(deployment, args.model, scheme=args.scheme,
+                        exec_path=args.exec_path, seed=args.seed,
+                        policy=policy, max_records=args.max_records)
     prepare_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    for _ in session.run_many(batches[2:]):
-        pass
-    serve_s = time.perf_counter() - t0
 
-    stats = session.stats()
-    print(f"{args.model} / {args.scheme} (exec_path={args.exec_path}): "
-          f"prepared {stats['n_plans']} layer plans in "
-          f"{prepare_s * 1e3:.0f} ms", file=out)
-    print(f"served {stats['n_requests']} requests in {serve_s * 1e3:.0f} ms "
-          f"({serve_s / max(stats['n_requests'], 1) * 1e3:.1f} ms/request), "
-          f"{stats['n_retained']} records retained", file=out)
-    print(f"lifetime ops: mul4={stats['mul4']:.3g} add={stats['add']:.3g} "
-          f"ema_nibbles={stats['ema_nibbles']:.3g}  "
-          f"mean rho_w {stats['mean_rho_w']:.3f}  "
-          f"mean rho_x {stats['mean_rho_x']:.3f}", file=out)
+    requests = proxy_batches(args.model, args.batch, args.requests,
+                             seed=args.seed + 2)
+    t0 = time.perf_counter()
+    tickets = server.submit_many(deployment, requests)
+    server.flush(deployment)
+    serve_s = time.perf_counter() - t0
+    assert all(t.done for t in tickets)
+
+    stats = server.stats(deployment)
+    sess, sched = stats["session"], stats["scheduler"]
+    print(f"{deployment} (exec_path={args.exec_path}): prepared "
+          f"{sess['n_plans']} layer plans in {prepare_s * 1e3:.0f} ms",
+          file=out)
+    print(f"served {sess['n_requests']} requests in {serve_s * 1e3:.0f} ms "
+          f"({serve_s / max(sess['n_requests'], 1) * 1e3:.1f} ms/request) "
+          f"across {sched['n_batches']} engine batches "
+          f"(mean coalesce {sched['mean_batch_size']:.1f}, "
+          f"policy max_batch={policy.max_batch} "
+          f"max_delay={policy.max_delay_s * 1e3:.0f} ms)", file=out)
+    qw = sched["queue_wait"]
+    print(f"queue wait p50 {qw['p50_ms']:.2f} ms, p95 {qw['p95_ms']:.2f} ms; "
+          f"{sess['n_retained']} records retained", file=out)
+    print(f"lifetime ops: mul4={sess['mul4']:.3g} add={sess['add']:.3g} "
+          f"ema_nibbles={sess['ema_nibbles']:.3g}  "
+          f"mean rho_w {sess['mean_rho_w']:.3f}  "
+          f"mean rho_x {sess['mean_rho_x']:.3f}", file=out)
+    return 0
+
+
+def _cmd_plan_export(args, out) -> int:
+    import time
+
+    from .core.pipeline import PtqConfig
+    from .engine import PanaceaSession
+    from .models.zoo import PROXY_SPECS, build_proxy, proxy_batches
+    from .serve import PlanStore
+
+    if args.model not in PROXY_SPECS:
+        print(f"no runnable proxy for {args.model!r}; "
+              f"available: {sorted(PROXY_SPECS)}", file=out)
+        return 2
+    path = args.out or f"{args.model}.{args.scheme}.plans.npz"
+    model, _ = build_proxy(args.model, seed=args.seed)
+    config = PtqConfig.for_scheme(args.scheme, exec_path=args.exec_path)
+    session = PanaceaSession(model, config)
+    t0 = time.perf_counter()
+    session.calibrate(proxy_batches(args.model, 2, 2, seed=args.seed + 1))
+    prepare_s = time.perf_counter() - t0
+    store = PlanStore(path)
+    t0 = time.perf_counter()
+    store.save(session, model_name=args.model, seed=args.seed)
+    save_s = time.perf_counter() - t0
+    info = store.describe()
+    size_kib = store.path.stat().st_size / 1024
+    print(f"exported {args.model}/{args.scheme}: {info['n_layers']} layer "
+          f"records, {info['n_plans']} plans -> {store.path} "
+          f"({size_kib:.0f} KiB)", file=out)
+    print(f"calibrate+prepare {prepare_s * 1e3:.0f} ms, "
+          f"serialize {save_s * 1e3:.0f} ms", file=out)
+    return 0
+
+
+def _cmd_plan_load(args, out) -> int:
+    import time
+
+    from .models.zoo import proxy_batches
+    from .serve import PlanStore
+
+    store = PlanStore(args.path)
+    info = store.describe()
+    t0 = time.perf_counter()
+    session = store.load()
+    load_s = time.perf_counter() - t0
+    print(f"loaded {info['model_name']}/{info['scheme']} from {args.path}: "
+          f"{info['n_plans']} plans rehydrated in {load_s * 1e3:.0f} ms "
+          f"(no calibration, no engine prepare)", file=out)
+    if args.requests:
+        requests = proxy_batches(info["model_name"], args.batch,
+                                 args.requests, seed=args.seed + 2)
+        t0 = time.perf_counter()
+        for _ in session.run_many(requests):
+            pass
+        serve_s = time.perf_counter() - t0
+        stats = session.stats()
+        print(f"served {stats['n_requests']} requests in "
+              f"{serve_s * 1e3:.0f} ms "
+              f"({serve_s / max(stats['n_requests'], 1) * 1e3:.1f} "
+              f"ms/request) straight from the restored plans", file=out)
     return 0
 
 
@@ -236,6 +339,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_simulate(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "plan":
+        if args.plan_command == "export":
+            return _cmd_plan_export(args, out)
+        if args.plan_command == "load":
+            return _cmd_plan_load(args, out)
+        raise AssertionError(f"unhandled plan command {args.plan_command!r}")
     if args.command == "experiment":
         return _cmd_experiment(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

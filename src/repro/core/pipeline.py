@@ -100,6 +100,17 @@ class PtqConfig:
                 f"got w_bits={self.w_bits}"
             )
 
+    @classmethod
+    def for_scheme(cls, scheme: str, **overrides) -> "PtqConfig":
+        """Config with the scheme's natural activation width applied.
+
+        The one home of the "sibia stores 7-bit SBR activations, everything
+        else 8-bit" rule, so deployment helpers and the CLI cannot drift.
+        Explicit ``x_bits`` in ``overrides`` wins.
+        """
+        overrides.setdefault("x_bits", 7 if scheme == "sibia" else 8)
+        return cls(scheme=scheme, **overrides)
+
     def weight_bits_for(self, name: str) -> int:
         return self.per_layer_w_bits.get(name, self.w_bits)
 
@@ -184,11 +195,16 @@ class _QuantizedGemmBase(Module):
     Construction is the offline phase: the scheme's engine is resolved from
     the registry and its ``prepare`` runs once, caching every weight-side
     artifact in ``self.plan``.  Forward calls only ``execute`` the plan.
+
+    A precomputed ``plan`` (e.g. rehydrated from a
+    :class:`~repro.serve.store.PlanStore`) skips ``prepare`` entirely — the
+    restore path pays zero weight-side work.
     """
 
     def __init__(self, name: str, record: LayerQuantRecord, config: PtqConfig,
                  bias: np.ndarray | None,
-                 trace: ExecutionTrace | None, count_ops: bool) -> None:
+                 trace: ExecutionTrace | None, count_ops: bool,
+                 plan=None) -> None:
         super().__init__()
         self.name = name
         self.record = record
@@ -200,11 +216,19 @@ class _QuantizedGemmBase(Module):
         self._bias = bias
         self.engine = get_engine(config.scheme)
         zp = record.zp if self.engine.uses_zero_point else 0
-        self.plan = self.engine.prepare(record.w_q, zp, EngineConfig(
-            w_bits=record.w_bits, x_bits=record.x_bits,
-            lo_bits=record.lo_bits, v=config.v, count_ops=count_ops,
-            index_bits=config.index_bits, tracked=config.tracked,
-            exec_path=config.exec_path))
+        if plan is not None:
+            if getattr(plan, "engine", None) != config.scheme:
+                raise ValueError(
+                    f"layer {name!r}: injected plan is for engine "
+                    f"{getattr(plan, 'engine', None)!r}, scheme is "
+                    f"{config.scheme!r}")
+            self.plan = plan
+        else:
+            self.plan = self.engine.prepare(record.w_q, zp, EngineConfig(
+                w_bits=record.w_bits, x_bits=record.x_bits,
+                lo_bits=record.lo_bits, v=config.v, count_ops=count_ops,
+                index_bits=config.index_bits, tracked=config.tracked,
+                exec_path=config.exec_path))
         bias_int = None
         if bias is not None:
             # Fold the bias at the same granularity `_gemm` dequantizes at:
@@ -252,8 +276,9 @@ class QuantizedLinear(_QuantizedGemmBase):
 
     def __init__(self, name: str, linear: Linear, record: LayerQuantRecord,
                  config: PtqConfig, trace: ExecutionTrace | None = None,
-                 count_ops: bool = False) -> None:
-        super().__init__(name, record, config, linear.bias, trace, count_ops)
+                 count_ops: bool = False, plan=None) -> None:
+        super().__init__(name, record, config, linear.bias, trace, count_ops,
+                         plan=plan)
         self.in_features = linear.in_features
         self.out_features = linear.out_features
 
@@ -269,8 +294,9 @@ class QuantizedConv2d(_QuantizedGemmBase):
 
     def __init__(self, name: str, conv: Conv2d, record: LayerQuantRecord,
                  config: PtqConfig, trace: ExecutionTrace | None = None,
-                 count_ops: bool = False) -> None:
-        super().__init__(name, record, config, conv.bias, trace, count_ops)
+                 count_ops: bool = False, plan=None) -> None:
+        super().__init__(name, record, config, conv.bias, trace, count_ops,
+                         plan=plan)
         self.kernel_size = conv.kernel_size
         self.stride = conv.stride
         self.padding = conv.padding
@@ -399,25 +425,42 @@ class PtqPipeline:
 
     # -- step 3: conversion ----------------------------------------------------
     def convert(self, trace: ExecutionTrace | None = None,
-                count_ops: bool = False) -> Module:
+                count_ops: bool = False,
+                plans: dict | None = None) -> Module:
         """Swap calibrated GEMM layers for quantized ones (in place).
 
         Each replacement layer runs its engine's ``prepare`` exactly once
         here, so conversion is the offline phase: subsequent forward passes
         execute cached :class:`LayerPlan`\\ s with no weight-side work.
+
+        ``plans`` injects precomputed layer plans by dotted name (the
+        :class:`~repro.serve.store.PlanStore` restore path); layers with an
+        injected plan skip ``prepare`` entirely, so restoring a persisted
+        model pays zero weight-side work.  Every record must have a plan —
+        a partial mapping raises, because silently re-preparing would mask a
+        corrupt or incomplete store.
         """
         if self.config.scheme == "fp32":
             return self.model
         if not self.records:
             raise RuntimeError("calibrate() must run before convert()")
+        if plans is not None:
+            missing = sorted(set(self.records) - set(plans))
+            if missing:
+                raise KeyError(
+                    f"injected plans are missing layers {missing}; the store "
+                    "does not match this model's calibration records")
         for name, record in self.records.items():
             module = dict(self.model.named_modules())[name]
+            plan = plans[name] if plans is not None else None
             if isinstance(module, Conv2d):
                 replacement = QuantizedConv2d(name, module, record,
-                                              self.config, trace, count_ops)
+                                              self.config, trace, count_ops,
+                                              plan=plan)
             else:
                 replacement = QuantizedLinear(name, module, record,
-                                              self.config, trace, count_ops)
+                                              self.config, trace, count_ops,
+                                              plan=plan)
             self.model.replace_child(name, replacement)
         return self.model
 

@@ -22,6 +22,7 @@ modules can import plan/result types without cycles; the builtin engines in
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Iterable, Protocol, runtime_checkable
 
@@ -73,7 +74,9 @@ class GemmResult:
 
     ``acc`` excludes the Eq. 3 zero-point bias fold (the caller applies
     ``b_hat``); ``r`` is the compressible activation HO slice (AQS only) and
-    ``tracked`` the exploited side (Sibia only).
+    ``tracked`` the exploited side (Sibia only).  ``latency_s`` is the
+    wall-clock time of the kernel call — the one measurement path the
+    serving scheduler and the benchmarks both read.
     """
 
     acc: np.ndarray
@@ -82,6 +85,7 @@ class GemmResult:
     rho_x: float = 0.0
     r: int = 0
     tracked: str | None = None
+    latency_s: float = 0.0
     uw_mask: np.ndarray | None = field(default=None, repr=False)
     ux_mask: np.ndarray | None = field(default=None, repr=False)
 
@@ -129,8 +133,19 @@ class Engine(abc.ABC):
         artifact is read from ``plan``, so serving ``len(xs)`` requests costs
         exactly ``len(xs)`` activation paths and zero weight work.  Engines
         may override this to fuse requests; the default executes in order.
+
+        Every returned result carries ``latency_s``; custom engines whose
+        ``execute`` leaves it at zero get it backfilled here so schedulers
+        always see a measurement.
         """
-        return [self.execute(plan, x_q) for x_q in xs]
+        results = []
+        for x_q in xs:
+            t0 = time.perf_counter()
+            res = self.execute(plan, x_q)
+            if res.latency_s == 0.0:
+                res.latency_s = time.perf_counter() - t0
+            results.append(res)
+        return results
 
     def run(self, w_q: np.ndarray, x_q: np.ndarray, zp: int,
             config: EngineConfig | None = None) -> GemmResult:

@@ -8,6 +8,7 @@ through the registry instead of string ``if``/``else`` chains.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -62,11 +63,14 @@ class Fp32Engine(Engine):
         return Fp32Plan(w=w)
 
     def execute(self, plan: Fp32Plan, x_q: np.ndarray) -> GemmResult:
+        t0 = time.perf_counter()
         x = np.asarray(x_q, dtype=np.float64)
         if x.ndim != 2 or plan.w.shape[1] != x.shape[0]:
             raise ValueError(
                 f"shape mismatch: W is {plan.w.shape}, x is {x.shape}")
-        return GemmResult(acc=plan.w @ x, ops=OpCounts())
+        acc = plan.w @ x
+        return GemmResult(acc=acc, ops=OpCounts(),
+                          latency_s=time.perf_counter() - t0)
 
 
 @register_engine
@@ -87,8 +91,10 @@ class Int8DenseEngine(Engine):
                                   count_ops=config.count_ops)
 
     def execute(self, plan: Int8DensePlan, x_q: np.ndarray) -> GemmResult:
+        t0 = time.perf_counter()
         acc, ops = execute_int8_dense(plan, x_q)
-        return GemmResult(acc=acc, ops=ops)
+        return GemmResult(acc=acc, ops=ops,
+                          latency_s=time.perf_counter() - t0)
 
 
 @register_engine
@@ -109,9 +115,11 @@ class SibiaEngine(Engine):
                              exec_path=config.exec_path)
 
     def execute(self, plan: SibiaLayerPlan, x_q: np.ndarray) -> GemmResult:
+        t0 = time.perf_counter()
         res = execute_sibia(plan, x_q)
         return GemmResult(acc=res.acc, ops=res.ops, rho_w=res.rho_w,
                           rho_x=res.rho_x, tracked=res.tracked,
+                          latency_s=time.perf_counter() - t0,
                           uw_mask=res.uw_mask, ux_mask=res.ux_mask)
 
 
@@ -137,7 +145,9 @@ class AqsEngine(Engine):
         return prepare_aqs(w_q, zp, kernel_config)
 
     def execute(self, plan: AqsLayerPlan, x_q: np.ndarray) -> GemmResult:
+        t0 = time.perf_counter()
         res = execute_aqs(plan, x_q)
         return GemmResult(acc=res.acc, ops=res.ops, rho_w=res.rho_w,
                           rho_x=res.rho_x, r=res.r,
+                          latency_s=time.perf_counter() - t0,
                           uw_mask=res.uw_mask, ux_mask=res.ux_mask)

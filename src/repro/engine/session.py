@@ -13,38 +13,89 @@ consumes.
     for batch in request_stream:
         out = session.run(batch)                # online phase, plans cached
 
-``run`` on an uncalibrated session calibrates on that first batch — handy
-for demos; production callers should calibrate explicitly on a held-out set.
+Three serving entry points share the cached plans:
+
+* :meth:`run` — one request batch per call;
+* :meth:`run_many` — lazily stream a batch iterable through :meth:`run`;
+* :meth:`run_coalesced` — fuse several independent requests into one engine
+  batch (the micro-batching scheduler's path) and split outputs and trace
+  records back per request, bit-exactly.
+
+``run`` on an uncalibrated session raises unless the session was built with
+``auto_calibrate=True`` — calibrating on served traffic is a demo shortcut,
+not a production behaviour, so it is opt-in.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+import time
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..gemm.workload import OpCounts
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->engine cycle
-    from ..core.pipeline import ExecutionTrace, LayerExecution, PtqConfig
+    from ..core.pipeline import (ExecutionTrace, LayerExecution,
+                                 LayerQuantRecord, PtqConfig)
 
 __all__ = ["PanaceaSession", "RequestRecord"]
 
 
 @dataclass
 class RequestRecord:
-    """One served request: its batch shape and per-layer executions."""
+    """One served request: its batch shape and per-layer executions.
+
+    ``latency_s`` is the wall-clock time of the engine forward that served
+    the request; requests coalesced into one engine batch share the batch's
+    wall time (``coalesced`` holds how many requests rode in that batch, so
+    per-request cost is ``latency_s / coalesced`` and latencies must not be
+    summed naively across riders).
+    """
 
     request_id: int
     batch_shape: tuple[int, ...]
     layers: list["LayerExecution"] = field(default_factory=list)
+    latency_s: float = 0.0
+    coalesced: int = 1
 
     def total_ops(self) -> OpCounts:
         total = OpCounts()
         for rec in self.layers:
             total = total.merge(rec.ops)
         return total
+
+
+def _apportion(total: int, weights: Sequence[int]) -> list[int]:
+    """Split integer ``total`` proportionally to ``weights``, exactly.
+
+    The cumulative-floor scheme guarantees the shares sum to ``total`` with
+    each share within one unit of its exact proportional value, so per-layer
+    op ledgers split across coalesced requests conserve the batch totals.
+    """
+    wsum = sum(weights)
+    if wsum == 0:
+        shares = [0] * len(weights)
+        if weights:
+            shares[-1] = total
+        return shares
+    shares, acc, run = [], 0, 0
+    for w in weights:
+        run += w
+        nxt = total * run // wsum
+        shares.append(nxt - acc)
+        acc = nxt
+    return shares
+
+
+def _split_ops(ops: OpCounts, weights: Sequence[int]) -> list[OpCounts]:
+    """Apportion one op ledger over coalesced requests (totals conserved)."""
+    fields_ = ("mul4", "add", "ema_nibbles", "rle_index_bits",
+               "comp_mul4", "comp_add")
+    per_field = {f: _apportion(getattr(ops, f), weights) for f in fields_}
+    return [OpCounts(**{f: per_field[f][i] for f in fields_})
+            for i in range(len(weights))]
 
 
 class PanaceaSession:
@@ -60,12 +111,17 @@ class PanaceaSession:
     default (``None``) retains everything, preserving the historical
     behaviour; :meth:`stats` and :meth:`total_ops` always report lifetime
     totals regardless of retention.
+
+    ``auto_calibrate`` opts in to the demo behaviour of calibrating on the
+    first served batch; without it, :meth:`run` on an unprepared session
+    raises :class:`RuntimeError`.
     """
 
     def __init__(self, model, config: "PtqConfig | None" = None, *,
                  calibration: Iterable | None = None,
                  count_ops: bool = True, keep_masks: bool = False,
-                 max_records: int | None = None) -> None:
+                 max_records: int | None = None,
+                 auto_calibrate: bool = False) -> None:
         from ..core.pipeline import ExecutionTrace, PtqConfig, PtqPipeline
 
         if max_records is not None and max_records < 0:
@@ -75,6 +131,7 @@ class PanaceaSession:
         self.pipeline = PtqPipeline(model, self.config)
         self.trace: "ExecutionTrace" = ExecutionTrace(keep_masks=keep_masks)
         self.count_ops = count_ops
+        self.auto_calibrate = auto_calibrate
         self.requests: list[RequestRecord] = []
         self.max_records = max_records
         self._prepared = False
@@ -84,6 +141,10 @@ class PanaceaSession:
         self._lifetime_ops = OpCounts()
         self._lifetime_rho_w_sum = 0.0
         self._lifetime_rho_x_sum = 0.0
+        # One engine batch per run()/run_coalesced() call; exec time is
+        # summed per batch so coalesced riders do not overcount wall time.
+        self._lifetime_batches = 0
+        self._lifetime_exec_s = 0.0
         # Layer records retained for still-held requests; when this matches
         # len(trace.records) the trace head is safe to trim positionally.
         self._retained_layer_count = 0
@@ -95,6 +156,11 @@ class PanaceaSession:
         """Whether calibration ran and the layer plans are built."""
         return self._prepared
 
+    @property
+    def lifetime_requests(self) -> int:
+        """Requests served over the session lifetime (also the next id)."""
+        return self._lifetime_requests
+
     def calibrate(self, batches: Iterable) -> "PanaceaSession":
         """Offline phase: observe ``batches``, convert, build all plans."""
         self.pipeline.calibrate(batches)
@@ -103,21 +169,58 @@ class PanaceaSession:
         self._prepared = True
         return self
 
+    @classmethod
+    def restore(cls, model, config: "PtqConfig",
+                records: "dict[str, LayerQuantRecord]",
+                plans: dict[str, Any], *, count_ops: bool = True,
+                keep_masks: bool = False, max_records: int | None = None,
+                auto_calibrate: bool = False) -> "PanaceaSession":
+        """Rebuild a ready-to-serve session from persisted artifacts.
+
+        ``records`` and ``plans`` come from a
+        :class:`~repro.serve.store.PlanStore` load (or any equivalent
+        snapshot of ``pipeline.records`` / ``session.plans``); conversion
+        injects the given plans so no engine ``prepare`` runs — the restored
+        session serves with zero re-prepare work.  ``model`` must be the
+        same float architecture the records were calibrated on.
+        """
+        session = cls(model, config, count_ops=count_ops,
+                      keep_masks=keep_masks, max_records=max_records,
+                      auto_calibrate=auto_calibrate)
+        session.pipeline.records = dict(records)
+        session.model = session.pipeline.convert(
+            trace=session.trace, count_ops=count_ops, plans=plans)
+        session._prepared = True
+        return session
+
     @property
     def plans(self) -> dict[str, Any]:
         """The cached layer plans, keyed by dotted layer name."""
         return self.pipeline.plans()
 
+    def _require_prepared(self, what: str) -> None:
+        if not self._prepared:
+            raise RuntimeError(
+                f"{what} needs a calibrated session: call "
+                "session.calibrate(held_out_batches) first, or construct "
+                "PanaceaSession(..., auto_calibrate=True) to opt in to "
+                "calibrating on the first served batch (demo shortcut; "
+                "production callers should calibrate explicitly).")
+
     def run(self, batch: np.ndarray):
         """Serve one request batch; returns the model output.
 
         Executes only the per-request activation path — all weight-side work
-        was done by :meth:`calibrate`.  An uncalibrated session calibrates on
-        this first batch.
+        was done by :meth:`calibrate`.  An uncalibrated session raises unless
+        it was built with ``auto_calibrate=True``, in which case it
+        calibrates on this first batch.
         """
         if not self._prepared:
+            if not self.auto_calibrate:
+                self._require_prepared("run()")
             self.calibrate([batch])
         start = len(self.trace.records)
+        t0 = time.perf_counter()
         try:
             out = self.model(batch)
         except Exception:
@@ -125,12 +228,22 @@ class PanaceaSession:
             # aligned with the request list (retention trims positionally).
             del self.trace.records[start:]
             raise
+        latency = time.perf_counter() - t0
         record = RequestRecord(
             request_id=self._lifetime_requests,
             batch_shape=tuple(np.shape(batch)),
             layers=self.trace.records[start:],
+            latency_s=latency,
         )
         self.requests.append(record)
+        self._account(record)
+        self._lifetime_batches += 1
+        self._lifetime_exec_s += latency
+        self._trim_records()
+        return out
+
+    def _account(self, record: RequestRecord) -> None:
+        """Fold one request record into the lifetime counters."""
         self._lifetime_requests += 1
         self._lifetime_layer_calls += len(record.layers)
         self._lifetime_ops = self._lifetime_ops.merge(record.total_ops())
@@ -138,8 +251,126 @@ class PanaceaSession:
         for rec in record.layers:
             self._lifetime_rho_w_sum += rec.rho_w
             self._lifetime_rho_x_sum += rec.rho_x
+
+    def run_coalesced(self, batches: Sequence[np.ndarray], *,
+                      pad_axis: int | None = None, pad_value=0) -> list:
+        """Serve several requests as one fused engine batch, split results.
+
+        The micro-batching path: the requests are concatenated along axis 0
+        (batch sizes may be ragged) and pushed through the model in a single
+        forward, paying one engine-batch overhead for all of them.  Every
+        GEMM column belongs to exactly one request and quantization
+        parameters are fixed after calibration, so each request's output is
+        **bit-exact** against running it alone.
+
+        ``pad_axis`` additionally pads a trailing axis (e.g. the sequence
+        axis of token-id batches) to the longest request before fusing and
+        slices outputs back afterwards.  Right-padding is exact for causal
+        models — position ``i`` never attends past ``i`` — and is the only
+        supported use; bidirectional models must coalesce equal-length
+        requests.
+
+        Trace attribution is per *request*: the coalesced forward's layer
+        records are split into per-request :class:`LayerExecution` copies
+        whose column counts and op ledgers are apportioned by each request's
+        share of the fused batch (totals conserve the batch exactly).  Note
+        the batch totals themselves are *not* the sum of solo-run ledgers:
+        slice vectors tile ``v`` output columns, so fusing short requests
+        packs vectors that solo runs would pad — coalescing genuinely
+        lowers the modeled hardware work.  Activation masks span vector
+        groups that straddle request boundaries, so split records carry the
+        layer-static weight mask but no per-request activation mask.
+
+        Returns the per-request outputs in submission order.
+        """
+        batches = [np.asarray(b) for b in batches]
+        if not batches:
+            return []
+        if len(batches) == 1:
+            return [self.run(batches[0])]
+        if not self._prepared:
+            if not self.auto_calibrate:
+                self._require_prepared("run_coalesced()")
+            # Same opt-in demo semantics as run(): calibrate on the first
+            # served traffic.  Calibration feeds batches through the float
+            # model one at a time, so ragged shapes need no padding here.
+            self.calibrate(batches)
+
+        ndim = batches[0].ndim
+        if any(b.ndim != ndim for b in batches):
+            raise ValueError(
+                "coalesced requests must share a rank; got "
+                f"{sorted({b.ndim for b in batches})}")
+        if pad_axis is not None:
+            if not 0 < pad_axis < ndim:
+                raise ValueError(
+                    f"pad_axis must be a trailing axis in [1, {ndim - 1}], "
+                    f"got {pad_axis}")
+            target = max(b.shape[pad_axis] for b in batches)
+            lengths = [b.shape[pad_axis] for b in batches]
+            padded = []
+            for b in batches:
+                widths = [(0, 0)] * ndim
+                widths[pad_axis] = (0, target - b.shape[pad_axis])
+                padded.append(np.pad(b, widths, constant_values=pad_value)
+                              if b.shape[pad_axis] < target else b)
+        else:
+            target, lengths, padded = None, None, batches
+        trailing = {b.shape[1:] for b in padded}
+        if len(trailing) > 1:
+            raise ValueError(
+                "coalesced requests must share trailing dims (pass pad_axis "
+                f"to pad a ragged axis); got {sorted(trailing)}")
+
+        sizes = [b.shape[0] for b in padded]
+        fused = np.concatenate(padded, axis=0)
+        start = len(self.trace.records)
+        t0 = time.perf_counter()
+        try:
+            out = self.model(fused)
+        except Exception:
+            del self.trace.records[start:]
+            raise
+        latency = time.perf_counter() - t0
+        fused_layers = self.trace.records[start:]
+        del self.trace.records[start:]
+
+        # Column shares: every GEMM flattens leading dims, so request i's
+        # columns are a contiguous block proportional to its row share.
+        per_request_layers: list[list] = [[] for _ in batches]
+        for rec in fused_layers:
+            ns = _apportion(rec.n, sizes)
+            ops_split = (_split_ops(rec.ops, sizes) if self.count_ops
+                         else [OpCounts() for _ in sizes])
+            for i, (n_i, ops_i) in enumerate(zip(ns, ops_split)):
+                per_request_layers[i].append(replace(
+                    rec, n=n_i, ops=ops_i, ux_mask=None))
+
+        outputs = []
+        row = 0
+        for i, b in enumerate(batches):
+            out_i = out[row:row + sizes[i]]
+            if (pad_axis is not None and pad_axis < out_i.ndim
+                    and out_i.shape[pad_axis] == target):
+                index = [slice(None)] * out_i.ndim
+                index[pad_axis] = slice(0, lengths[i])
+                out_i = out_i[tuple(index)]
+            outputs.append(out_i)
+            record = RequestRecord(
+                request_id=self._lifetime_requests,
+                batch_shape=tuple(b.shape),
+                layers=per_request_layers[i],
+                latency_s=latency,
+                coalesced=len(batches),
+            )
+            self.trace.records.extend(record.layers)
+            self.requests.append(record)
+            self._account(record)
+            row += sizes[i]
+        self._lifetime_batches += 1
+        self._lifetime_exec_s += latency
         self._trim_records()
-        return out
+        return outputs
 
     def _trim_records(self) -> None:
         """Drop the oldest retained requests beyond ``max_records``."""
@@ -183,6 +414,8 @@ class PanaceaSession:
         All values are lifetime totals — they keep growing even when
         ``max_records`` retention has dropped old request records.
         ``n_retained`` reports what is still held in memory.
+        ``n_engine_batches``/``exec_s`` count fused forwards once, so
+        coalesced riders never overcount wall time.
         """
         n_calls = self._lifetime_layer_calls
         ops = self._lifetime_ops
@@ -192,6 +425,8 @@ class PanaceaSession:
             "n_retained": len(self.requests),
             "n_layer_calls": n_calls,
             "n_plans": len(self.plans),
+            "n_engine_batches": self._lifetime_batches,
+            "exec_s": self._lifetime_exec_s,
             "mul4": ops.mul4,
             "add": ops.add,
             "ema_nibbles": ops.ema_nibbles,

@@ -38,6 +38,17 @@ class ProxySpec:
     outlier_scale: float = 1.0
     width: int = 32
 
+    @property
+    def pad_axis(self) -> int | None:
+        """Input axis safe to right-pad when coalescing ragged requests.
+
+        Token-id LM inputs may pad their sequence axis (1): the proxies'
+        attention is causal, so right-padding never changes the kept
+        positions.  Classifier/ResNet proxies are bidirectional/spatial —
+        padding would change results, so only equal-shape requests coalesce.
+        """
+        return 1 if self.kind == "lm" else None
+
     def build(self, seed: int = 0) -> Module:
         if self.kind == "lm":
             return CausalLM(self.vocab, self.dim, self.n_layers, self.n_heads,

@@ -1,0 +1,32 @@
+"""Serving subsystem: persistent plans, micro-batching, multi-model hosting.
+
+The online half of Panacea's offline/online split, grown to process scale:
+
+* :mod:`repro.serve.store` — :class:`PlanStore`, persisting a converted
+  model's layer plans + calibration records so a process restart serves
+  with zero re-prepare work;
+* :mod:`repro.serve.batching` — :class:`MicroBatcher`/:class:`BatchPolicy`,
+  the dynamic micro-batching scheduler coalescing single requests into
+  engine batches (bit-exact vs solo execution);
+* :mod:`repro.serve.server` — :class:`ModelServer`, many named deployments
+  behind one submit API;
+* :mod:`repro.serve.metrics` — :class:`LatencyStats`, the shared latency
+  accumulator.
+"""
+
+from .batching import BatchPolicy, MicroBatcher, Ticket
+from .metrics import LatencyStats
+from .server import ModelEntry, ModelServer
+from .store import PlanStore, STORE_FORMAT, STORE_VERSION
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "Ticket",
+    "LatencyStats",
+    "ModelEntry",
+    "ModelServer",
+    "PlanStore",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+]

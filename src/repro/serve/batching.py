@@ -1,0 +1,229 @@
+"""Dynamic micro-batching: coalesce single requests into engine batches.
+
+The engines amortize weight-side work across a batch, but serving traffic
+arrives one request at a time.  :class:`MicroBatcher` sits between the two:
+``submit`` enqueues a request and returns a :class:`Ticket`; queued requests
+are coalesced — FIFO, oldest first — into one
+:meth:`~repro.engine.session.PanaceaSession.run_coalesced` call when either
+batching knob fires:
+
+* ``max_batch`` — enough requests are waiting to fill a batch;
+* ``max_delay_s`` — the oldest ticket has waited long enough (checked by
+  :meth:`pump`, the caller's service loop hook).
+
+``Ticket.result()`` forces service of everything up to and including that
+ticket, so a synchronous caller can always block for its answer; coalesced
+outputs are **bit-exact** against running each request alone (see
+``run_coalesced``).  Every ticket carries its queue wait, the batch it rode
+in and its :class:`RequestRecord`, so the scheduler, the session and the
+benchmarks share one latency measurement path.
+
+The batcher is deliberately synchronous and single-threaded — determinism
+is what makes the bit-exactness and fairness properties testable — but the
+``clock`` injection point keeps the delay policy testable and leaves the
+door open for an async driver.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.session import PanaceaSession, RequestRecord
+from .metrics import LatencyStats
+
+__all__ = ["BatchPolicy", "Ticket", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the dynamic micro-batching scheduler.
+
+    ``max_batch=1`` degenerates to per-request execution (the baseline the
+    serving bench compares against).  ``max_delay_s`` bounds the latency a
+    request can pay waiting for riders; ``0`` means a request never waits
+    for the *clock* (it still coalesces with whatever is already queued when
+    service happens).  ``pad_axis``/``pad_value`` enable the padded split
+    path for ragged trailing axes (token-id sequence lengths on causal
+    models); ``None`` requires equal trailing dims.
+    """
+
+    max_batch: int = 8
+    max_delay_s: float = 0.002
+    pad_axis: int | None = None
+    pad_value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_s < 0:
+            raise ValueError(
+                f"max_delay_s must be >= 0, got {self.max_delay_s}")
+
+
+@dataclass
+class Ticket:
+    """One submitted request: a claim on a future coalesced execution."""
+
+    ticket_id: int
+    submitted_t: float
+    _batcher: "MicroBatcher" = field(repr=False)
+    done: bool = False
+    #: Filled at service time.
+    queue_wait_s: float = 0.0
+    batch_size: int = 0
+    queue_depth_at_submit: int = 0
+    record: RequestRecord | None = field(default=None, repr=False)
+    #: The exception that killed this ticket's batch, if service failed.
+    error: Exception | None = field(default=None, repr=False)
+    _output: np.ndarray | None = field(default=None, repr=False)
+
+    def result(self) -> np.ndarray:
+        """The request's output; forces service if still queued (FIFO).
+
+        Re-raises the service failure if the ticket's batch raised — every
+        rider of a failed batch carries the exception, so no caller blocks
+        on a ticket that can never complete.
+        """
+        if not self.done:
+            self._batcher.flush(upto=self.ticket_id)
+        assert self.done, "flush must have served this ticket"
+        if self.error is not None:
+            raise self.error
+        return self._output
+
+
+class MicroBatcher:
+    """Coalesces queued requests into engine batches over one session."""
+
+    def __init__(self, session: PanaceaSession,
+                 policy: BatchPolicy | None = None, *,
+                 clock=time.perf_counter) -> None:
+        self.session = session
+        self.policy = policy or BatchPolicy()
+        self.clock = clock
+        self._queue: deque[tuple[Ticket, np.ndarray]] = deque()
+        self._next_id = 0
+        # Scheduler-side lifetime metrics.
+        self.queue_wait = LatencyStats()
+        self.batch_exec = LatencyStats()
+        self.n_batches = 0
+        self.n_requests = 0
+        self.n_failed = 0
+        self._batch_size_sum = 0
+        self.peak_depth = 0
+
+    # -- intake ---------------------------------------------------------------
+    def submit(self, x: np.ndarray) -> Ticket:
+        """Enqueue one request; serves immediately once a batch fills."""
+        ticket = Ticket(ticket_id=self._next_id, submitted_t=self.clock(),
+                        _batcher=self,
+                        queue_depth_at_submit=len(self._queue))
+        self._next_id += 1
+        self._queue.append((ticket, np.asarray(x)))
+        self.peak_depth = max(self.peak_depth, len(self._queue))
+        if len(self._queue) >= self.policy.max_batch:
+            self._fire(self.policy.max_batch)
+        return ticket
+
+    def pump(self, now: float | None = None) -> int:
+        """Service-loop hook: fire if the oldest ticket exceeded max_delay.
+
+        Returns the number of requests served (possibly across several
+        batches when the queue ran deep).  Call this regularly from the
+        serving loop; ``Ticket.result()`` and :meth:`flush` do not need it.
+        """
+        served = 0
+        now = self.clock() if now is None else now
+        while self._queue and (
+                now - self._queue[0][0].submitted_t >= self.policy.max_delay_s):
+            served += self._fire(self.policy.max_batch)
+        return served
+
+    def flush(self, upto: int | None = None) -> int:
+        """Serve the queue now (up to and including ticket ``upto``).
+
+        FIFO fairness: a ticket can only be served after everything
+        submitted before it, so forcing one ticket drains its predecessors.
+        """
+        served = 0
+        while self._queue:
+            if upto is not None and self._queue[0][0].ticket_id > upto:
+                break
+            served += self._fire(self.policy.max_batch)
+        return served
+
+    @property
+    def depth(self) -> int:
+        """Requests currently waiting."""
+        return len(self._queue)
+
+    # -- service --------------------------------------------------------------
+    def _fire(self, max_batch: int) -> int:
+        """Serve one coalesced batch from the queue head (FIFO)."""
+        if not self._queue:
+            return 0
+        group = [self._queue.popleft()
+                 for _ in range(min(max_batch, len(self._queue)))]
+        tickets = [t for t, _ in group]
+        payloads = [x for _, x in group]
+        first_id = self.session.lifetime_requests
+        t0 = self.clock()
+        try:
+            outputs = self.session.run_coalesced(
+                payloads, pad_axis=self.policy.pad_axis,
+                pad_value=self.policy.pad_value)
+        except Exception as exc:
+            # The group is already off the queue; fail every rider rather
+            # than strand valid tickets (or retry a poison batch forever).
+            # The triggering caller sees the raise; the other riders see it
+            # from Ticket.result().
+            for ticket in tickets:
+                ticket.done = True
+                ticket.error = exc
+            self.n_failed += len(group)
+            raise
+        exec_s = self.clock() - t0
+        # Records are matched by lifetime id, not list position: a session
+        # with tight ``max_records`` retention may already have trimmed some
+        # of this batch's records.  Only the newest len(group) retained
+        # records can belong to this batch, so the lookup is O(batch), not
+        # O(lifetime retention).
+        by_id = {r.request_id: r
+                 for r in self.session.requests[-len(group):]}
+        now = self.clock()
+        for i, (ticket, out) in enumerate(zip(tickets, outputs)):
+            ticket._output = out
+            ticket.record = by_id.get(first_id + i)
+            ticket.batch_size = len(group)
+            ticket.queue_wait_s = max(0.0, now - ticket.submitted_t - exec_s)
+            ticket.done = True
+            self.queue_wait.observe(ticket.queue_wait_s)
+        self.batch_exec.observe(exec_s)
+        self.n_batches += 1
+        self.n_requests += len(group)
+        self._batch_size_sum += len(group)
+        return len(group)
+
+    # -- observability --------------------------------------------------------
+    def stats(self) -> dict:
+        """Scheduler summary: batch shapes, queue waits, execution times."""
+        return {
+            "n_requests": self.n_requests,
+            "n_batches": self.n_batches,
+            "n_failed": self.n_failed,
+            "mean_batch_size": (self._batch_size_sum / self.n_batches
+                                if self.n_batches else 0.0),
+            "depth": len(self._queue),
+            "peak_depth": self.peak_depth,
+            "queue_wait": self.queue_wait.summary(),
+            "batch_exec": self.batch_exec.summary(),
+            "policy": {
+                "max_batch": self.policy.max_batch,
+                "max_delay_s": self.policy.max_delay_s,
+                "pad_axis": self.policy.pad_axis,
+            },
+        }

@@ -1,0 +1,93 @@
+"""Serving-side measurement primitives.
+
+:class:`LatencyStats` is the one accumulator every serving layer uses for
+wall-clock observations — queue waits, engine-batch execution, end-to-end
+request latency.  It keeps exact lifetime count/total/min/max plus a bounded
+reservoir for percentiles, so an unbounded request stream accounts in
+constant memory (matching :class:`PanaceaSession`'s ``max_records``
+philosophy: lifetime totals never stop, detail is bounded).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyStats"]
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency accumulator with bounded percentile detail.
+
+    ``observe`` is O(1); percentiles come from the newest ``max_samples``
+    observations (a sliding window, the usual serving-dashboard view), while
+    ``count``/``mean_s``/``min_s``/``max_s`` are exact over the lifetime.
+    """
+
+    max_samples: int = 4096
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+    _samples: list[float] = field(default_factory=list, repr=False)
+    _head: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_samples < 1:
+            raise ValueError(
+                f"max_samples must be >= 1, got {self.max_samples}")
+
+    def observe(self, seconds: float) -> None:
+        """Record one wall-clock observation (in seconds)."""
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+        else:  # ring buffer: overwrite the oldest retained sample
+            self._samples[self._head] = seconds
+            self._head = (self._head + 1) % self.max_samples
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained window (p in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"p must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def merge(self, other: "LatencyStats") -> "LatencyStats":
+        """Combined view of two accumulators (server-level rollups).
+
+        Lifetime aggregates add exactly; the percentile window concatenates
+        and re-bounds to ``max_samples`` (newest kept), which is the usual
+        approximation for merged dashboards.
+        """
+        merged = LatencyStats(max_samples=self.max_samples)
+        merged.count = self.count + other.count
+        merged.total_s = self.total_s + other.total_s
+        merged.min_s = min(self.min_s, other.min_s)
+        merged.max_s = max(self.max_s, other.max_s)
+        pool = self._samples + other._samples
+        merged._samples = pool[-merged.max_samples:]
+        return merged
+
+    def summary(self) -> dict:
+        """Dashboard dict: count, mean/p50/p95/max in milliseconds."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_s * 1e3,
+            "p50_ms": self.percentile(50.0) * 1e3,
+            "p95_ms": self.percentile(95.0) * 1e3,
+            "max_ms": (self.max_s if self.count else 0.0) * 1e3,
+        }

@@ -1,0 +1,205 @@
+"""Multi-model serving front end over prepared sessions.
+
+:class:`ModelServer` hosts many named deployments — any (model variant ×
+scheme × exec_path) combination, each backed by its own prepared
+:class:`~repro.engine.session.PanaceaSession` and
+:class:`~repro.serve.batching.MicroBatcher` — behind one submit API:
+
+    server = ModelServer()
+    server.register("bert-aqs", session, policy=BatchPolicy(max_batch=8))
+    ticket = server.submit("bert-aqs", request)
+    out = ticket.result()                       # bit-exact vs solo runs
+
+Deployments can come from three sources: an already-prepared session
+(:meth:`register`), a proxy-zoo build calibrated in place
+(:meth:`deploy_proxy`), or a :class:`~repro.serve.store.PlanStore` file
+(:meth:`load`) — the latter serving with zero re-prepare work.  Lifetime
+metrics per deployment combine the session's op/sparsity accounting with
+the scheduler's queue/latency view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.session import PanaceaSession
+from .batching import BatchPolicy, MicroBatcher, Ticket
+from .metrics import LatencyStats
+
+__all__ = ["ModelServer", "ModelEntry"]
+
+
+@dataclass
+class ModelEntry:
+    """One hosted deployment: a named session plus its scheduler."""
+
+    name: str
+    session: PanaceaSession
+    batcher: MicroBatcher
+
+    @property
+    def policy(self) -> BatchPolicy:
+        return self.batcher.policy
+
+    def stats(self) -> dict:
+        """Session lifetime accounting merged with scheduler metrics."""
+        return {
+            "name": self.name,
+            "session": self.session.stats(),
+            "scheduler": self.batcher.stats(),
+        }
+
+
+class ModelServer:
+    """Hosts named model deployments behind a single submit API."""
+
+    def __init__(self, default_policy: BatchPolicy | None = None, *,
+                 clock=None) -> None:
+        self.default_policy = default_policy or BatchPolicy()
+        self._clock = clock
+        self._entries: dict[str, ModelEntry] = {}
+
+    # -- deployment lifecycle -------------------------------------------------
+    def register(self, name: str, session: PanaceaSession,
+                 policy: BatchPolicy | None = None) -> ModelEntry:
+        """Host a prepared session under ``name``.
+
+        The session must already be calibrated (or explicitly built with
+        ``auto_calibrate=True``): a server must never silently calibrate on
+        live traffic.
+        """
+        if name in self._entries:
+            raise ValueError(f"model {name!r} is already registered")
+        if not session.prepared and not session.auto_calibrate:
+            raise ValueError(
+                f"session for {name!r} is not calibrated; calibrate it (or "
+                "opt in with auto_calibrate=True) before registering")
+        kwargs = {} if self._clock is None else {"clock": self._clock}
+        entry = ModelEntry(
+            name=name, session=session,
+            batcher=MicroBatcher(session, policy or self.default_policy,
+                                 **kwargs))
+        self._entries[name] = entry
+        return entry
+
+    def deploy_proxy(self, name: str, model_name: str, *,
+                     scheme: str = "aqs", exec_path: str = "fast",
+                     seed: int = 0, n_calibration: int = 2,
+                     calibration_batch: int = 2,
+                     policy: BatchPolicy | None = None,
+                     max_records: int | None = None) -> ModelEntry:
+        """Build, calibrate and host one proxy-zoo model variant.
+
+        The convenience path the CLI and benchmarks use: builds the runnable
+        proxy, calibrates on synthetic batches matching its input modality,
+        and registers the prepared session.  ``policy`` defaults to the
+        server default with the proxy's natural ``pad_axis`` applied.
+        """
+        from ..core.pipeline import PtqConfig
+        from ..models.zoo import PROXY_SPECS, build_proxy, proxy_batches
+
+        if model_name not in PROXY_SPECS:
+            raise KeyError(
+                f"no runnable proxy for {model_name!r}; available: "
+                f"{sorted(PROXY_SPECS)}")
+        model, _ = build_proxy(model_name, seed=seed)
+        config = PtqConfig.for_scheme(scheme, exec_path=exec_path)
+        session = PanaceaSession(model, config, max_records=max_records)
+        session.calibrate(proxy_batches(model_name, calibration_batch,
+                                        n_calibration, seed=seed + 1))
+        return self.register(name, session,
+                             self._policy_for_proxy(policy, model_name))
+
+    def _policy_for_proxy(self, policy: BatchPolicy | None,
+                          model_name: str | None) -> BatchPolicy:
+        """Apply a zoo model's natural ``pad_axis`` unless the policy chose.
+
+        Shared by :meth:`deploy_proxy` and :meth:`load` so a causal LM keeps
+        its ragged-sequence coalescing however its deployment arrived.
+        """
+        from ..models.zoo import PROXY_SPECS
+
+        base = policy or self.default_policy
+        spec = PROXY_SPECS.get(model_name) if model_name else None
+        if spec is not None and spec.pad_axis is not None \
+                and base.pad_axis is None:
+            base = BatchPolicy(max_batch=base.max_batch,
+                               max_delay_s=base.max_delay_s,
+                               pad_axis=spec.pad_axis,
+                               pad_value=base.pad_value)
+        return base
+
+    def load(self, name: str, path, *, model=None,
+             policy: BatchPolicy | None = None,
+             max_records: int | None = None) -> ModelEntry:
+        """Host a deployment rehydrated from a plan store (zero re-prepare).
+
+        When the store references a proxy-zoo model, its natural
+        ``pad_axis`` is applied exactly as :meth:`deploy_proxy` would.
+        """
+        from .store import PlanStore
+
+        store = PlanStore(path)
+        session = store.load(model=model, max_records=max_records)
+        model_name = store.describe().get("model_name")
+        return self.register(name, session,
+                             self._policy_for_proxy(policy, model_name))
+
+    def unregister(self, name: str) -> None:
+        """Drop a deployment after draining its queue."""
+        entry = self._get(name)
+        entry.batcher.flush()
+        del self._entries[name]
+
+    # -- request path ---------------------------------------------------------
+    def _get(self, name: str) -> ModelEntry:
+        if name not in self._entries:
+            raise KeyError(
+                f"unknown model {name!r}; registered: {self.models()}")
+        return self._entries[name]
+
+    def submit(self, name: str, x: np.ndarray) -> Ticket:
+        """Enqueue one request for ``name``; returns its ticket."""
+        return self._get(name).batcher.submit(x)
+
+    def submit_many(self, name: str, xs) -> list[Ticket]:
+        """Enqueue a request list (batches fire as they fill)."""
+        return [self.submit(name, x) for x in xs]
+
+    def pump(self, now: float | None = None) -> int:
+        """Run every deployment's delay policy once; returns requests served."""
+        return sum(entry.batcher.pump(now) for entry in self._entries.values())
+
+    def flush(self, name: str | None = None) -> int:
+        """Serve all queued requests (of one deployment, or all)."""
+        if name is not None:
+            return self._get(name).batcher.flush()
+        return sum(entry.batcher.flush() for entry in self._entries.values())
+
+    # -- observability --------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def models(self) -> list[str]:
+        """Registered deployment names, in registration order."""
+        return list(self._entries)
+
+    def entry(self, name: str) -> ModelEntry:
+        """The deployment behind ``name``."""
+        return self._get(name)
+
+    def stats(self, name: str | None = None) -> dict:
+        """Per-deployment stats, or one deployment's when named."""
+        if name is not None:
+            return self._get(name).stats()
+        return {entry_name: entry.stats()
+                for entry_name, entry in self._entries.items()}
+
+    def queue_wait_rollup(self) -> LatencyStats:
+        """Server-wide queue-wait view (merged across deployments)."""
+        rollup = LatencyStats()
+        for entry in self._entries.values():
+            rollup = rollup.merge(entry.batcher.queue_wait)
+        return rollup

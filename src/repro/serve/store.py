@@ -1,0 +1,255 @@
+"""Persistent layer-plan store: serve a converted model with zero re-prepare.
+
+Panacea's weight-side work (SBR slicing, HO masks, RLE index sizing, the
+Eq. 6 compensation) is offline by construction; :class:`PlanStore` makes it
+offline across *process lifetimes*.  ``save`` snapshots a prepared
+:class:`~repro.engine.session.PanaceaSession` — its :class:`PtqConfig`,
+every :class:`LayerQuantRecord` calibration decided, and every engine
+:class:`LayerPlan` via the ``state_dict``/``plan_from_state`` machinery —
+into one versioned ``.npz`` file.  ``load`` rehydrates a ready-to-execute
+session without re-calibrating and without a single engine ``prepare`` call
+(asserted in the tests), so a served fleet pays calibration exactly once.
+
+The file format is pickle-free: arrays live as plain ``.npz`` entries and
+the nested structure (plan state dicts, quant params, DBS decisions) is a
+JSON manifest referencing them, behind a magic/version header that rejects
+foreign or future files.  Round-trips are bit-exact — ``float64`` scales and
+``int64`` codes survive unchanged — so a restored session's outputs equal
+the original's bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import asdict
+
+import numpy as np
+
+from ..core.dbs import DbsDecision, DbsType
+from ..core.pipeline import LayerQuantRecord, PtqConfig
+from ..engine.base import plan_from_state
+from ..engine.session import PanaceaSession
+from ..quant.uniform import QuantParams
+
+__all__ = ["PlanStore", "STORE_FORMAT", "STORE_VERSION"]
+
+STORE_FORMAT = "repro-plan-store"
+STORE_VERSION = 1
+
+_META_KEY = "__meta__"
+
+
+def _encode(obj, arrays: list) -> object:
+    """Lower a nested state tree to JSON, hoisting arrays into ``arrays``."""
+    if isinstance(obj, np.ndarray):
+        arrays.append(np.ascontiguousarray(obj))
+        return {"__kind__": "ndarray", "ref": len(arrays) - 1}
+    if isinstance(obj, np.generic):
+        return _encode(obj.item(), arrays)
+    if isinstance(obj, dict):
+        items = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(f"store keys must be strings, got {key!r}")
+            items[key] = _encode(value, arrays)
+        return {"__kind__": "dict", "items": items}
+    if isinstance(obj, (list, tuple)):
+        return {"__kind__": "tuple" if isinstance(obj, tuple) else "list",
+                "items": [_encode(v, arrays) for v in obj]}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot store object of type {type(obj).__name__}")
+
+
+def _decode(node, arrays: dict) -> object:
+    """Inverse of :func:`_encode`."""
+    if isinstance(node, dict):
+        kind = node.get("__kind__")
+        if kind == "ndarray":
+            return arrays[f"a{node['ref']}"]
+        if kind == "dict":
+            return {k: _decode(v, arrays) for k, v in node["items"].items()}
+        if kind in ("list", "tuple"):
+            seq = [_decode(v, arrays) for v in node["items"]]
+            return tuple(seq) if kind == "tuple" else seq
+        raise ValueError(f"malformed store node: {node!r}")
+    return node
+
+
+def _params_state(params: QuantParams) -> dict:
+    return {"scale": np.asarray(params.scale),
+            "zero_point": np.asarray(params.zero_point),
+            "bits": params.bits, "signed": params.signed}
+
+
+def _params_from_state(state: dict) -> QuantParams:
+    return QuantParams(scale=state["scale"], zero_point=state["zero_point"],
+                       bits=int(state["bits"]), signed=bool(state["signed"]))
+
+
+def _record_state(record: LayerQuantRecord) -> dict:
+    dbs = record.dbs
+    return {
+        "name": record.name,
+        "w_q": record.w_q,
+        "w_params": _params_state(record.w_params),
+        "x_params": _params_state(record.x_params),
+        "dbs": None if dbs is None else {
+            "type_id": dbs.dbs_type.type_id,
+            "lo_bits": dbs.dbs_type.lo_bits,
+            "zp": dbs.zp, "r": dbs.r, "std": dbs.std, "z": dbs.z,
+        },
+        "w_bits": record.w_bits,
+        "x_bits": record.x_bits,
+    }
+
+
+def _record_from_state(state: dict) -> LayerQuantRecord:
+    dbs_state = state["dbs"]
+    dbs = None
+    if dbs_state is not None:
+        dbs = DbsDecision(
+            dbs_type=DbsType(type_id=int(dbs_state["type_id"]),
+                             lo_bits=int(dbs_state["lo_bits"])),
+            zp=int(dbs_state["zp"]), r=int(dbs_state["r"]),
+            std=float(dbs_state["std"]), z=float(dbs_state["z"]))
+    return LayerQuantRecord(
+        name=str(state["name"]),
+        w_q=np.asarray(state["w_q"], dtype=np.int64),
+        w_params=_params_from_state(state["w_params"]),
+        x_params=_params_from_state(state["x_params"]),
+        dbs=dbs,
+        w_bits=int(state["w_bits"]),
+        x_bits=int(state["x_bits"]),
+    )
+
+
+class PlanStore:
+    """One persisted converted model at a filesystem path.
+
+    ``save`` requires a *prepared* session; ``load`` returns a session that
+    serves immediately.  When the session's float architecture came from the
+    proxy zoo, passing ``model_name``/``seed`` at save time lets ``load``
+    rebuild it standalone (the CLI path); otherwise the caller provides the
+    float model.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = pathlib.Path(path)
+
+    # -- write ---------------------------------------------------------------
+    def save(self, session: PanaceaSession, *, model_name: str | None = None,
+             seed: int = 0) -> pathlib.Path:
+        """Serialize a prepared session's config, records and plans."""
+        if not session.prepared:
+            raise RuntimeError(
+                "PlanStore.save needs a prepared session: calibrate first so "
+                "there are layer plans to persist")
+        records = session.pipeline.records
+        plans = session.plans
+        payload = {
+            "config": asdict(session.config),
+            "records": {name: _record_state(rec)
+                        for name, rec in records.items()},
+            "plans": {name: plan.state_dict()
+                      for name, plan in plans.items()},
+            "model": {"name": model_name, "seed": seed},
+        }
+        arrays: list = []
+        tree = _encode(payload, arrays)
+        meta = {
+            "header": {
+                "format": STORE_FORMAT,
+                "version": STORE_VERSION,
+                "scheme": session.config.scheme,
+                "n_layers": len(records),
+                "n_plans": len(plans),
+                "created_unix_s": time.time(),
+            },
+            "payload": tree,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "wb") as fh:
+            # Compressed: the int64 slice planes hold tiny magnitudes and
+            # deflate by an order of magnitude.
+            np.savez_compressed(
+                fh, **{_META_KEY: np.array(json.dumps(meta))},
+                **{f"a{i}": arr for i, arr in enumerate(arrays)})
+        return self.path
+
+    # -- read ----------------------------------------------------------------
+    def _check_header(self, meta: dict) -> None:
+        header = meta.get("header", {})
+        if header.get("format") != STORE_FORMAT:
+            raise ValueError(
+                f"{self.path} is not a plan store "
+                f"(format {header.get('format')!r})")
+        if int(header.get("version", 0)) > STORE_VERSION:
+            raise ValueError(
+                f"{self.path} was written by a newer store version "
+                f"{header.get('version')} (this build reads <= "
+                f"{STORE_VERSION})")
+
+    def _read_meta(self, npz) -> dict:
+        if _META_KEY not in npz:
+            raise ValueError(
+                f"{self.path} is not a plan store (missing manifest)")
+        meta = json.loads(str(npz[_META_KEY][()]))
+        self._check_header(meta)
+        return meta
+
+    def _read(self) -> tuple[dict, dict]:
+        with np.load(self.path, allow_pickle=False) as npz:
+            meta = self._read_meta(npz)
+            arrays = {key: npz[key] for key in npz.files if key != _META_KEY}
+        return meta, arrays
+
+    def describe(self) -> dict:
+        """The header plus layer names — cheap: reads only the JSON
+        manifest, never inflating the stored arrays."""
+        with np.load(self.path, allow_pickle=False) as npz:
+            meta = self._read_meta(npz)
+        # Walk the encoded tree directly; model name/seed are plain JSON
+        # scalars and the record names are manifest keys.
+        payload = meta["payload"]["items"]
+        model = payload["model"]["items"]
+        return {
+            **meta["header"],
+            "model_name": model["name"],
+            "seed": model["seed"],
+            "layers": sorted(payload["records"]["items"]),
+        }
+
+    def load(self, model=None, *, count_ops: bool = True,
+             keep_masks: bool = False, max_records: int | None = None,
+             auto_calibrate: bool = False) -> PanaceaSession:
+        """Rehydrate a ready-to-execute session.
+
+        ``model`` is the float architecture the store was calibrated on;
+        omitted, it is rebuilt from the saved proxy-zoo reference.  No
+        calibration and no engine ``prepare`` runs — the session serves its
+        first request straight from the restored plans.
+        """
+        meta, arrays = self._read()
+        payload = _decode(meta["payload"], arrays)
+        if model is None:
+            model_name = payload["model"]["name"]
+            if model_name is None:
+                raise ValueError(
+                    f"{self.path} was saved without a proxy-zoo model "
+                    "reference; pass the float model to load()")
+            from ..models.zoo import build_proxy
+
+            model, _ = build_proxy(model_name,
+                                   seed=int(payload["model"]["seed"] or 0))
+        config = PtqConfig(**payload["config"])
+        records = {name: _record_from_state(state)
+                   for name, state in payload["records"].items()}
+        plans = {name: plan_from_state(state)
+                 for name, state in payload["plans"].items()}
+        return PanaceaSession.restore(
+            model, config, records, plans, count_ops=count_ops,
+            keep_masks=keep_masks, max_records=max_records,
+            auto_calibrate=auto_calibrate)

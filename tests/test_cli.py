@@ -23,6 +23,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_serve_batching_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "bert_base", "--max-batch", "8",
+             "--max-delay-ms", "5"])
+        assert args.max_batch == 8
+        assert args.max_delay_ms == 5.0
+
+    def test_plan_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+    def test_plan_export_args(self):
+        args = build_parser().parse_args(
+            ["plan", "export", "gpt2", "--out", "x.npz", "--scheme",
+             "sibia"])
+        assert args.plan_command == "export"
+        assert args.model == "gpt2" and args.out == "x.npz"
+        assert args.scheme == "sibia"
+
+    def test_plan_load_args(self):
+        args = build_parser().parse_args(
+            ["plan", "load", "x.npz", "--requests", "3"])
+        assert args.plan_command == "load"
+        assert args.path == "x.npz" and args.requests == 3
+
     def test_all_figures_mapped(self):
         assert {"table1", "fig13", "fig16", "fig19"} <= set(EXPERIMENTS)
 
@@ -66,3 +91,27 @@ class TestCommands:
         out = io.StringIO()
         assert main(["experiment", "fig08"], out=out) == 0
         assert "ZPM" in out.getvalue()
+
+    def test_serve_runs_through_server(self):
+        out = io.StringIO()
+        assert main(["serve", "bert_base", "--requests", "4", "--batch",
+                     "1", "--max-batch", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "engine batches" in text and "mean coalesce 2.0" in text
+
+    def test_serve_unknown_model(self):
+        out = io.StringIO()
+        assert main(["serve", "not_a_model"], out=out) == 2
+
+    def test_plan_export_then_load(self, tmp_path):
+        path = str(tmp_path / "bert.plans.npz")
+        out = io.StringIO()
+        assert main(["plan", "export", "bert_base", "--out", path],
+                    out=out) == 0
+        assert "exported bert_base/aqs" in out.getvalue()
+        out = io.StringIO()
+        assert main(["plan", "load", path, "--requests", "2", "--batch",
+                     "1"], out=out) == 0
+        text = out.getvalue()
+        assert "no calibration, no engine prepare" in text
+        assert "served 2 requests" in text

@@ -44,8 +44,15 @@ class TestSessionLifecycle:
         assert session.prepared
         assert set(session.plans) == {"fc1", "fc2"}
 
-    def test_uncalibrated_run_calibrates_on_first_batch(self):
+    def test_uncalibrated_run_raises_without_opt_in(self):
         session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"))
+        with pytest.raises(RuntimeError, match="auto_calibrate"):
+            session.run(_batches(1)[0])
+        assert not session.prepared
+
+    def test_auto_calibrate_opt_in_calibrates_on_first_batch(self):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 auto_calibrate=True)
         out = session.run(_batches(1)[0])
         assert out.shape == (4, 8)
         assert session.prepared

@@ -1,0 +1,216 @@
+"""Tests for plan serialization: per-engine round-trips and the PlanStore."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PtqConfig
+from repro.engine import (
+    EngineConfig,
+    PanaceaSession,
+    available_engines,
+    get_engine,
+    plan_from_state,
+)
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.quant.uniform import quantize, symmetric_params
+from repro.serve import PlanStore
+from repro.serve.store import STORE_FORMAT, STORE_VERSION
+
+
+class TinyNet(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(16, 32, rng=rng)
+        self.fc2 = Linear(32, 8, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(np.maximum(self.fc1(x), 0.0))
+
+
+def _batches(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, 1, (4, 16)) for _ in range(n)]
+
+
+def _weights(granularity, m=16, k=32, bits=7, seed=0):
+    """Quantized weights at per-tensor or per-channel granularity."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(0, 1, (m, k)) * rng.uniform(0.1, 4.0, (m, 1))
+    axis = 0 if granularity == "per_channel" else None
+    return quantize(weight, symmetric_params(weight, bits, axis=axis))
+
+
+def _activation(engine_name, k=32, n=8, seed=1):
+    rng = np.random.default_rng(seed)
+    if engine_name == "aqs":
+        return np.clip(np.rint(rng.normal(168, 10, (k, n))), 0,
+                       255).astype(np.int64)
+    if engine_name == "sibia":
+        return rng.integers(-64, 64, (k, n))
+    if engine_name == "fp32":
+        return rng.normal(0, 1, (k, n))
+    return rng.integers(0, 256, (k, n))
+
+
+class TestPerEnginePlanRoundtrip:
+    """state_dict -> plan_from_state is bit-exact for every registered
+    engine, at both weight granularities and on both exec paths."""
+
+    @pytest.mark.parametrize("engine_name",
+                             ["fp32", "int8_dense", "sibia", "aqs"])
+    @pytest.mark.parametrize("granularity", ["per_tensor", "per_channel"])
+    @pytest.mark.parametrize("exec_path", ["fast", "sliced"])
+    def test_roundtrip_bit_exact(self, engine_name, granularity, exec_path):
+        engine = get_engine(engine_name)
+        w_q = _weights(granularity)
+        x_q = _activation(engine_name)
+        zp = 168 if engine.uses_zero_point else 0
+        config = EngineConfig(x_bits=7 if engine_name == "sibia" else 8,
+                              exec_path=exec_path)
+        plan = engine.prepare(w_q, zp, config)
+        restored = plan_from_state(plan.state_dict())
+        assert type(restored) is type(plan)
+        a = engine.execute(plan, x_q)
+        b = engine.execute(restored, x_q)
+        assert np.array_equal(a.acc, b.acc)
+        assert a.ops.mul4 == b.ops.mul4
+        assert a.ops.ema_nibbles == b.ops.ema_nibbles
+        assert a.ops.rle_index_bits == b.ops.rle_index_bits
+
+    def test_every_registered_engine_is_covered(self):
+        """The grid above must cover the whole registry."""
+        assert set(available_engines()) == {"fp32", "int8_dense", "sibia",
+                                            "aqs"}
+
+
+class TestPlanStoreRoundtrip:
+    @pytest.mark.parametrize("scheme,x_bits", [("aqs", 8), ("sibia", 7),
+                                               ("int8_dense", 8),
+                                               ("fp32", 8)])
+    def test_session_roundtrip_bit_exact(self, tmp_path, scheme, x_bits):
+        config = PtqConfig(scheme=scheme, x_bits=x_bits)
+        session = PanaceaSession(TinyNet(), config, calibration=_batches())
+        store = PlanStore(tmp_path / f"{scheme}.npz")
+        store.save(session)
+        restored = store.load(model=TinyNet())
+        assert restored.prepared
+        batch = _batches(1, seed=9)[0]
+        assert np.array_equal(session.run(batch), restored.run(batch))
+
+    def test_per_channel_roundtrip(self, tmp_path):
+        config = PtqConfig(scheme="aqs", w_granularity="per_channel")
+        session = PanaceaSession(TinyNet(), config, calibration=_batches())
+        store = PlanStore(tmp_path / "pc.npz")
+        store.save(session)
+        restored = store.load(model=TinyNet())
+        batch = _batches(1, seed=10)[0]
+        assert np.array_equal(session.run(batch), restored.run(batch))
+        assert restored.config.w_granularity == "per_channel"
+
+    def test_load_runs_zero_prepares(self, tmp_path):
+        """The acceptance criterion: rehydration does no weight-side work."""
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        store = PlanStore(tmp_path / "zero.npz")
+        store.save(session)
+
+        calls = {"n": 0}
+        originals = {}
+        for name, cls in available_engines().items():
+            originals[name] = cls.prepare
+
+            def counting(self, w_q, zp, config=None, _real=cls.prepare):
+                calls["n"] += 1
+                return _real(self, w_q, zp, config)
+
+            cls.prepare = counting
+        try:
+            restored = store.load(model=TinyNet())
+            out = restored.run(_batches(1, seed=11)[0])
+        finally:
+            for name, cls in available_engines().items():
+                cls.prepare = originals[name]
+        assert calls["n"] == 0
+        assert out.shape == (4, 8)
+
+    def test_roundtrip_preserves_ops_and_traces(self, tmp_path):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        store = PlanStore(tmp_path / "ops.npz")
+        store.save(session)
+        restored = store.load(model=TinyNet())
+        batch = _batches(1, seed=12)[0]
+        session.run(batch)
+        restored.run(batch)
+        assert session.total_ops().mul4 == restored.total_ops().mul4
+        assert (session.requests[-1].total_ops().ema_nibbles
+                == restored.requests[-1].total_ops().ema_nibbles)
+
+    def test_save_requires_prepared_session(self, tmp_path):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"))
+        with pytest.raises(RuntimeError, match="prepared"):
+            PlanStore(tmp_path / "x.npz").save(session)
+
+    def test_describe(self, tmp_path):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        store = PlanStore(tmp_path / "d.npz")
+        store.save(session, model_name="tiny-custom", seed=7)
+        info = store.describe()
+        assert info["format"] == STORE_FORMAT
+        assert info["version"] == STORE_VERSION
+        assert info["scheme"] == "aqs"
+        assert info["layers"] == ["fc1", "fc2"]
+        assert info["model_name"] == "tiny-custom"
+        assert info["seed"] == 7
+
+    def test_load_without_model_reference_raises(self, tmp_path):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        store = PlanStore(tmp_path / "nomodel.npz")
+        store.save(session)  # no model_name
+        with pytest.raises(ValueError, match="float model"):
+            store.load()
+
+
+class TestStoreHeaderValidation:
+    def _saved(self, tmp_path):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        store = PlanStore(tmp_path / "h.npz")
+        store.save(session)
+        return store
+
+    def _rewrite_meta(self, store, mutate):
+        with np.load(store.path, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        meta = json.loads(str(payload["__meta__"][()]))
+        mutate(meta)
+        payload["__meta__"] = np.array(json.dumps(meta))
+        with open(store.path, "wb") as fh:
+            np.savez(fh, **payload)
+
+    def test_foreign_format_rejected(self, tmp_path):
+        store = self._saved(tmp_path)
+        self._rewrite_meta(
+            store, lambda m: m["header"].__setitem__("format", "other"))
+        with pytest.raises(ValueError, match="not a plan store"):
+            store.load(model=TinyNet())
+
+    def test_future_version_rejected(self, tmp_path):
+        store = self._saved(tmp_path)
+        self._rewrite_meta(
+            store,
+            lambda m: m["header"].__setitem__("version", STORE_VERSION + 1))
+        with pytest.raises(ValueError, match="newer store version"):
+            store.load(model=TinyNet())
+
+    def test_non_store_npz_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="missing manifest"):
+            PlanStore(path).describe()
