@@ -14,6 +14,17 @@ A second, model-free section times the raw AQS engine on true BERT-base
 GEMM shapes — ``execute_many`` over single-request column blocks vs one
 fused ``execute`` — isolating the engine-batch win from the NN substrate.
 
+Two concurrent-runtime sections ride along (PR 4):
+
+* **workers sweep** — several BERT-base deployments drained through
+  ``submit_async`` under a worker-count sweep; outputs are asserted
+  bit-exact against a serial per-session replay before the speedup is
+  trusted.  Thread-level speedup needs free cores — single-core runners
+  still emit the numbers (and the exactness asserts still bind).
+* **result cache** — the identical stream replayed against a
+  cache-enabled deployment; reports hit rate and the short-circuit
+  speedup of the second pass.
+
 Emits a table to ``results/serving.txt`` and machine-readable numbers to
 ``results/serving.json``.
 
@@ -24,17 +35,22 @@ still writes the JSON artifact for upload)
 """
 
 import argparse
+import os
+import time
 
 import numpy as np
 from _util import emit, emit_json
 
 from repro.core.aqs_gemm import AqsGemmConfig, execute_aqs, prepare_aqs
+from repro.core.pipeline import PtqConfig
+from repro.engine import PanaceaSession
 from repro.eval.tables import format_table
-from repro.models.zoo import proxy_batches
+from repro.models.zoo import build_proxy, proxy_batches
 from repro.serve import BatchPolicy, ModelServer
 
 MODEL = "bert_base"
 POLICIES = (1, 2, 4, 8, 16)
+WORKER_SWEEP = (1, 2, 4)
 
 # True BERT-base GEMM shapes (seq 128) for the kernel-level section; each
 # serving request contributes `n_req` columns.
@@ -139,24 +155,141 @@ def run_kernel(n_req=8, riders=16, repeats=5):
     return rows
 
 
+def _deployment_sessions(n_deployments, seed=0):
+    """Independent calibrated BERT-base sessions (one per deployment)."""
+    sessions = []
+    for i in range(n_deployments):
+        model, _ = build_proxy(MODEL, seed=seed + i)
+        session = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
+        session.calibrate(proxy_batches(MODEL, 2, 2, seed=seed + i + 1))
+        sessions.append(session)
+    return sessions
+
+
+def run_concurrent(n_deployments=4, n_requests=6, rows=2,
+                   workers_sweep=WORKER_SWEEP, seed=0):
+    """Multi-deployment drain under a worker sweep, bit-exact vs serial.
+
+    Every worker count serves the identical request streams through
+    ``submit_async``; the workers=1 pass is the serialized baseline the
+    speedups are relative to.  Outputs are asserted bit-exact against a
+    per-session serial replay first — concurrency must never change a bit.
+    """
+    streams = [proxy_batches(MODEL, rows, n_requests, seed=seed + 20 + i)
+               for i in range(n_deployments)]
+    replay_sessions = _deployment_sessions(n_deployments, seed=seed)
+    reference = [[session.run(x) for x in stream]
+                 for session, stream in zip(replay_sessions, streams)]
+
+    policy = BatchPolicy(max_batch=n_requests, max_delay_s=0.0)
+    results = []
+    baseline_wall = None
+    for workers in workers_sweep:
+        sessions = _deployment_sessions(n_deployments, seed=seed)
+        with ModelServer(policy, workers=workers) as server:
+            for i, session in enumerate(sessions):
+                server.register(f"bert-{i}", session)
+            t0 = time.perf_counter()
+            futures = [server.submit_async(f"bert-{i}", x)
+                       for i, stream in enumerate(streams)
+                       for x in stream]
+            outputs = [f.result() for f in futures]
+            wall_s = time.perf_counter() - t0
+            pool_stats = server.metrics().workers
+        flat_reference = [out for outs in reference for out in outs]
+        for got, expect in zip(outputs, flat_reference):
+            assert np.array_equal(got, expect), (
+                f"workers={workers} output is not bit-exact vs serial replay")
+        if baseline_wall is None:
+            baseline_wall = wall_s
+        results.append({
+            "workers": workers,
+            "n_deployments": n_deployments,
+            "n_requests": n_deployments * n_requests,
+            "wall_s": wall_s,
+            "throughput_rps": n_deployments * n_requests / wall_s,
+            "speedup_vs_workers1": baseline_wall / wall_s,
+            "mean_worker_utilization": pool_stats["mean_utilization"],
+        })
+    return results
+
+
+def run_cache(n_requests=8, repeats=3, seed=0):
+    """Result-cache short-circuit: identical stream replayed N times.
+
+    The first pass fills the cache through the engine; every later pass is
+    answered from it.  Hit outputs are bit-exact by construction (the
+    cached array *is* the recorded engine output) — asserted anyway.
+    """
+    stream = _requests(n_requests, seed=seed + 40)
+    session = _deployment_sessions(1, seed=seed)[0]
+    server = ModelServer(BatchPolicy(max_batch=n_requests, max_delay_s=0.0),
+                         cache_bytes=64 << 20)
+    server.register("bert", session)
+
+    walls = []
+    first_outputs = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        tickets = server.submit_many("bert", stream)
+        server.flush("bert")
+        outputs = [t.result() for t in tickets]
+        walls.append(time.perf_counter() - t0)
+        if first_outputs is None:
+            first_outputs = outputs
+        else:
+            for got, expect in zip(outputs, first_outputs):
+                assert np.array_equal(got, expect), \
+                    "cache hit is not bit-exact vs the recorded output"
+    cache_stats = server.entry("bert").cache.stats()
+    assert cache_stats["hits"] == (repeats - 1) * n_requests
+    return {
+        "n_requests": n_requests,
+        "repeats": repeats,
+        "cold_wall_s": walls[0],
+        "warm_wall_s": float(np.mean(walls[1:])),
+        "cache_speedup": walls[0] / float(np.mean(walls[1:])),
+        "hit_rate": cache_stats["hit_rate"],
+        "bytes": cache_stats["bytes"],
+    }
+
+
 def run(n_requests=32):
     serving = run_serving(n_requests)
     kernel = run_kernel()
+    concurrent = run_concurrent()
+    cache = run_cache()
     payload = {"model": MODEL, "n_requests": n_requests,
-               "policies": serving, "kernel": kernel}
+               "cpu_count": os.cpu_count(),
+               "policies": serving, "kernel": kernel,
+               "concurrent": concurrent, "cache": cache}
     base_mul4 = serving[0]["mul4"]
     rows = [[r["max_batch"], r["n_batches"], r["mean_coalesce"],
              r["throughput_rps"], r["speedup"], r["mean_latency_ms"],
              r["p95_latency_ms"], r["mul4"] / base_mul4]
             for r in serving]
     best = max(r["speedup"] for r in serving)
+    conc_rows = [[r["workers"], r["n_requests"], r["throughput_rps"],
+                  r["speedup_vs_workers1"], r["mean_worker_utilization"]]
+                 for r in concurrent]
+    conc_best = max(r["speedup_vs_workers1"] for r in concurrent)
     emit("serving", format_table(
         ["max_batch", "batches", "coalesce", "req/s", "speedup",
          "mean lat (ms)", "p95 lat (ms)", "rel mul4"],
         rows,
         title=f"{MODEL} micro-batched serving vs per-request "
               f"({n_requests} requests, best speedup {best:.2f}x; "
-              "outputs bit-exact across all policies)"))
+              "outputs bit-exact across all policies)") + "\n\n" +
+        format_table(
+            ["workers", "requests", "req/s", "speedup", "utilization"],
+            conc_rows,
+            title=f"concurrent multi-deployment drain "
+                  f"({concurrent[0]['n_deployments']} deployments, "
+                  f"{os.cpu_count()} cores, best {conc_best:.2f}x vs "
+                  "workers=1; outputs bit-exact vs serial replay)") +
+        f"\n\nresult cache: {cache['repeats'] - 1} replays of "
+        f"{cache['n_requests']} requests, hit rate {cache['hit_rate']:.0%}, "
+        f"warm pass {cache['cache_speedup']:.1f}x faster than cold")
     emit_json("serving", payload)
     return payload
 
@@ -173,6 +306,39 @@ def test_coalesced_beats_per_request_throughput():
     assert best >= 1.0, [r["speedup"] for r in results]
 
 
+def test_concurrent_drain_bit_exact():
+    """Worker-pool drains never change a bit vs serial replay (asserted
+    inside run_concurrent for every worker count)."""
+    run_concurrent(n_deployments=3, n_requests=3, workers_sweep=(1, 4))
+
+
+def test_concurrent_multi_deployment_speedup():
+    """The PR's throughput criterion: >= 1.5x with workers=4 vs workers=1
+    on the BERT-base smoke shapes.  Thread-level speedup needs free cores,
+    so the gate only binds where they exist; the exactness asserts always
+    ran in test_concurrent_drain_bit_exact regardless."""
+    import pytest
+
+    if not os.environ.get("REPRO_RUN_THROUGHPUT_GATE"):
+        pytest.skip("wall-clock gate is opt-in (it needs exclusive cores "
+                    "and flakes on contended machines): set "
+                    "REPRO_RUN_THROUGHPUT_GATE=1 — CI's dedicated serial "
+                    "step does")
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip(f"needs >= 4 cores for thread-parallel drains, "
+                    f"have {os.cpu_count()}")
+    results = run_concurrent(workers_sweep=(1, 4))
+    best = results[-1]["speedup_vs_workers1"]
+    assert best >= 1.5, [r["speedup_vs_workers1"] for r in results]
+
+
+def test_result_cache_short_circuits_duplicates():
+    """Replayed requests hit the cache, bit-exactly, with 100% warm hits."""
+    result = run_cache(n_requests=4, repeats=2)
+    assert result["hit_rate"] == 0.5          # cold pass misses, warm hits
+    assert result["bytes"] > 0
+
+
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -182,9 +348,18 @@ if __name__ == "__main__":
     if args.smoke:
         serving = run_serving(n_requests=8)
         kernel = run_kernel(riders=4, repeats=2)
+        concurrent = run_concurrent(n_deployments=3, n_requests=4)
+        cache = run_cache(n_requests=6, repeats=2)
         emit_json("serving_smoke", {"model": MODEL, "n_requests": 8,
-                                    "policies": serving, "kernel": kernel})
+                                    "cpu_count": os.cpu_count(),
+                                    "policies": serving, "kernel": kernel,
+                                    "concurrent": concurrent,
+                                    "cache": cache})
+        conc_best = max(r["speedup_vs_workers1"] for r in concurrent)
         print("serving smoke: all batch policies bit-exact vs per-request; "
-              f"best speedup {max(r['speedup'] for r in serving):.2f}x")
+              f"best speedup {max(r['speedup'] for r in serving):.2f}x; "
+              f"concurrent drain bit-exact, best {conc_best:.2f}x vs "
+              f"workers=1 on {os.cpu_count()} cores; cache hit rate "
+              f"{cache['hit_rate']:.0%} at {cache['cache_speedup']:.1f}x")
     else:
         run(n_requests=args.requests)

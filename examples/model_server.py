@@ -1,6 +1,6 @@
 """Multi-model serving: PlanStore + ModelServer + dynamic micro-batching.
 
-The serving subsystem stacks three layers on the two-phase engine split:
+The serving subsystem stacks on the two-phase engine split:
 
 1. **PlanStore** — persist a converted model's layer plans once, offline;
    any later process rehydrates a ready-to-execute session with zero
@@ -9,6 +9,10 @@ The serving subsystem stacks three layers on the two-phase engine split:
    behind one submit API, each with its own session and policy.
 3. **MicroBatcher** — coalesce queued single requests into engine batches
    (bit-exact vs solo runs) under `max_batch`/`max_delay` knobs.
+4. **WorkerPool + submit_async** — drain all deployments' micro-batches in
+   parallel; futures resolve to outputs bit-exact vs serial execution.
+5. **ResultCache** — duplicate requests short-circuit through a
+   content-addressed per-deployment LRU (byte-budgeted, hit/miss metered).
 
 Run:  PYTHONPATH=src python examples/model_server.py
 """
@@ -55,3 +59,28 @@ with tempfile.TemporaryDirectory() as tmp:
     b = restored.run(bert_reqs[0])
     print(f"plan store round-trip: {path.stat().st_size / 1024:.0f} KiB, "
           f"bit-exact={np.array_equal(a, b)}")
+
+# --- concurrent runtime: worker pool + async submit + result cache ---------
+with ModelServer(BatchPolicy(max_batch=4, max_delay_s=0.0),
+                 workers=4, cache_bytes=16 << 20) as concurrent:
+    concurrent.deploy_proxy("bert/aqs", "bert_base", scheme="aqs")
+    concurrent.deploy_proxy("bert/sibia", "bert_base", scheme="sibia")
+    concurrent.deploy_proxy("gpt2/aqs", "gpt2", scheme="aqs")
+
+    futures = [concurrent.submit_async(name, x)
+               for name in ("bert/aqs", "bert/sibia")
+               for x in bert_reqs[:4]]
+    outputs = [f.result() for f in futures]          # pool-served futures
+    replays = [concurrent.submit_async(name, x)      # duplicates hit cache
+               for name in ("bert/aqs", "bert/sibia")
+               for x in bert_reqs[:4]]
+    exact = all(np.array_equal(f.result(), out)
+                for f, out in zip(replays, outputs))
+
+    metrics = concurrent.metrics()
+    print(f"concurrent: {metrics.n_deployments} deployments, "
+          f"{metrics.n_requests} engine-served + {metrics.n_cache_hits} "
+          f"cached requests (hit rate {metrics.cache_hit_rate:.0%}, "
+          f"replay bit-exact={exact})")
+    print(f"worker pool: {metrics.workers['workers']} workers, "
+          f"mean utilization {metrics.workers['mean_utilization']:.0%}")

@@ -11,7 +11,9 @@ Seven commands cover the everyday workflows:
   single requests through the dynamic micro-batching scheduler
   (``--max-batch``/``--max-delay-ms`` are the coalescing knobs,
   ``--exec-path`` picks the fast or sliced BLAS path, ``--max-records``
-  bounds trace retention);
+  bounds trace retention, ``--workers`` attaches the concurrent worker
+  pool with async submission, ``--cache-kib`` enables the per-deployment
+  result cache and ``--repeats`` resubmits the stream to exercise it);
 * ``plan export <model>`` / ``plan load <path>`` — persist a converted
   model's layer plans to a :class:`PlanStore` file and rehydrate a serving
   session from one with zero re-prepare work;
@@ -107,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-records", type=int, default=None,
                          help="retain only the newest N request records "
                               "(default: unbounded)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="worker-pool threads (0 = inline serving); "
+                              "requests go through submit_async")
+    p_serve.add_argument("--cache-kib", type=int, default=0,
+                         help="per-deployment result-cache budget in KiB "
+                              "(0 = caching off)")
+    p_serve.add_argument("--repeats", type=int, default=1,
+                         help="times the request stream is submitted "
+                              "(duplicates exercise the result cache)")
     p_serve.add_argument("--seed", type=int, default=0)
 
     p_plan = sub.add_parser(
@@ -215,7 +226,14 @@ def _cmd_serve(args, out) -> int:
         print(f"no runnable proxy for {args.model!r}; "
               f"available: {sorted(PROXY_SPECS)}", file=out)
         return 2
-    server = ModelServer()
+    if args.workers < 0:
+        print(f"--workers must be >= 0, got {args.workers}", file=out)
+        return 2
+    if args.cache_kib < 0:
+        print(f"--cache-kib must be >= 0, got {args.cache_kib}", file=out)
+        return 2
+    server = ModelServer(workers=args.workers,
+                         cache_bytes=args.cache_kib * 1024)
     deployment = f"{args.model}/{args.scheme}"
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_delay_s=args.max_delay_ms / 1e3)
@@ -228,18 +246,33 @@ def _cmd_serve(args, out) -> int:
     requests = proxy_batches(args.model, args.batch, args.requests,
                              seed=args.seed + 2)
     t0 = time.perf_counter()
-    tickets = server.submit_many(deployment, requests)
-    server.flush(deployment)
-    serve_s = time.perf_counter() - t0
-    assert all(t.done for t in tickets)
+    with server:
+        tickets = []
+        # Each repeat drains before the next: the cache only answers
+        # *served* requests, so back-to-back duplicates demo the hit path.
+        for _ in range(max(args.repeats, 1)):
+            if args.workers:
+                futures = [server.submit_async(deployment, x)
+                           for x in requests]
+                server.flush(deployment)
+                for future in futures:
+                    future.result()
+                tickets.extend(future.ticket for future in futures)
+            else:
+                tickets.extend(server.submit_many(deployment, requests))
+                server.flush(deployment)
+        serve_s = time.perf_counter() - t0
+        assert all(t.done for t in tickets)
+        stats = server.stats(deployment)
+        metrics = server.metrics()
 
-    stats = server.stats(deployment)
     sess, sched = stats["session"], stats["scheduler"]
+    n_submitted = len(tickets)
     print(f"{deployment} (exec_path={args.exec_path}): prepared "
           f"{sess['n_plans']} layer plans in {prepare_s * 1e3:.0f} ms",
           file=out)
-    print(f"served {sess['n_requests']} requests in {serve_s * 1e3:.0f} ms "
-          f"({serve_s / max(sess['n_requests'], 1) * 1e3:.1f} ms/request) "
+    print(f"served {n_submitted} requests in {serve_s * 1e3:.0f} ms "
+          f"({serve_s / max(n_submitted, 1) * 1e3:.1f} ms/request) "
           f"across {sched['n_batches']} engine batches "
           f"(mean coalesce {sched['mean_batch_size']:.1f}, "
           f"policy max_batch={policy.max_batch} "
@@ -247,6 +280,16 @@ def _cmd_serve(args, out) -> int:
     qw = sched["queue_wait"]
     print(f"queue wait p50 {qw['p50_ms']:.2f} ms, p95 {qw['p95_ms']:.2f} ms; "
           f"{sess['n_retained']} records retained", file=out)
+    if args.workers:
+        workers = metrics.workers
+        print(f"worker pool: {workers['workers']} workers, "
+              f"{workers['n_tasks']} tasks, mean utilization "
+              f"{workers['mean_utilization']:.0%}", file=out)
+    if args.cache_kib:
+        print(f"result cache: {sched['n_cache_hits']} hits / "
+              f"{n_submitted} submissions "
+              f"(hit rate {metrics.cache_hit_rate:.0%}, "
+              f"{metrics.cache['bytes'] / 1024:.1f} KiB held)", file=out)
     print(f"lifetime ops: mul4={sess['mul4']:.3g} add={sess['add']:.3g} "
           f"ema_nibbles={sess['ema_nibbles']:.3g}  "
           f"mean rho_w {sess['mean_rho_w']:.3f}  "

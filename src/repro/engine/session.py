@@ -24,10 +24,21 @@ Three serving entry points share the cached plans:
 ``run`` on an uncalibrated session raises unless the session was built with
 ``auto_calibrate=True`` — calibrating on served traffic is a demo shortcut,
 not a production behaviour, so it is opt-in.
+
+**Thread safety.**  A session serializes itself: every serving entry point
+(``run``/``run_coalesced``/``serve_coalesced``) and every accounting reader
+(``stats``/``total_ops``) takes the session's re-entrant lock, so
+concurrent callers see consistent lifetime counters, an aligned
+trace/record pair, and race-free ``max_records`` trimming.  The layer plans
+are built once at calibration and shared read-only afterwards.  Parallelism
+comes from running *different* sessions concurrently (one per deployment —
+see :class:`~repro.serve.pool.WorkerPool`); two threads hammering one
+session are correct but execute one forward at a time.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
@@ -135,6 +146,9 @@ class PanaceaSession:
         self.requests: list[RequestRecord] = []
         self.max_records = max_records
         self._prepared = False
+        # Serializes execution and accounting; re-entrant because the
+        # coalesced path degenerates to run() for single-request groups.
+        self._lock = threading.RLock()
         # Lifetime accounting, independent of record retention.
         self._lifetime_requests = 0
         self._lifetime_layer_calls = 0
@@ -163,10 +177,11 @@ class PanaceaSession:
 
     def calibrate(self, batches: Iterable) -> "PanaceaSession":
         """Offline phase: observe ``batches``, convert, build all plans."""
-        self.pipeline.calibrate(batches)
-        self.model = self.pipeline.convert(trace=self.trace,
-                                           count_ops=self.count_ops)
-        self._prepared = True
+        with self._lock:
+            self.pipeline.calibrate(batches)
+            self.model = self.pipeline.convert(trace=self.trace,
+                                               count_ops=self.count_ops)
+            self._prepared = True
         return self
 
     @classmethod
@@ -215,6 +230,12 @@ class PanaceaSession:
         it was built with ``auto_calibrate=True``, in which case it
         calibrates on this first batch.
         """
+        with self._lock:
+            out, _ = self._run_one(batch)
+        return out
+
+    def _run_one(self, batch: np.ndarray):
+        """One request forward plus its accounting; caller holds the lock."""
         if not self._prepared:
             if not self.auto_calibrate:
                 self._require_prepared("run()")
@@ -240,7 +261,7 @@ class PanaceaSession:
         self._lifetime_batches += 1
         self._lifetime_exec_s += latency
         self._trim_records()
-        return out
+        return out, record
 
     def _account(self, record: RequestRecord) -> None:
         """Fold one request record into the lifetime counters."""
@@ -283,11 +304,33 @@ class PanaceaSession:
 
         Returns the per-request outputs in submission order.
         """
+        return self.serve_coalesced(batches, pad_axis=pad_axis,
+                                    pad_value=pad_value)[0]
+
+    def serve_coalesced(self, batches: Sequence[np.ndarray], *,
+                        pad_axis: int | None = None,
+                        pad_value=0) -> tuple[list, list[RequestRecord]]:
+        """:meth:`run_coalesced` plus the per-request records, atomically.
+
+        The scheduler's entry point: outputs and records come back
+        positionally matched under one lock acquisition, so a concurrent
+        caller on another thread can never interleave its own requests
+        between this group's execution and its record attribution.  The
+        returned records stay valid even after ``max_records`` retention
+        trims them from :attr:`requests`.
+        """
         batches = [np.asarray(b) for b in batches]
         if not batches:
-            return []
+            return [], []
+        with self._lock:
+            return self._serve_coalesced(batches, pad_axis, pad_value)
+
+    def _serve_coalesced(self, batches: list, pad_axis: int | None,
+                         pad_value) -> tuple[list, list[RequestRecord]]:
+        """Fused execution body; caller holds the lock."""
         if len(batches) == 1:
-            return [self.run(batches[0])]
+            out, record = self._run_one(batches[0])
+            return [out], [record]
         if not self._prepared:
             if not self.auto_calibrate:
                 self._require_prepared("run_coalesced()")
@@ -346,7 +389,7 @@ class PanaceaSession:
                 per_request_layers[i].append(replace(
                     rec, n=n_i, ops=ops_i, ux_mask=None))
 
-        outputs = []
+        outputs, records = [], []
         row = 0
         for i, b in enumerate(batches):
             out_i = out[row:row + sizes[i]]
@@ -366,11 +409,12 @@ class PanaceaSession:
             self.trace.records.extend(record.layers)
             self.requests.append(record)
             self._account(record)
+            records.append(record)
             row += sizes[i]
         self._lifetime_batches += 1
         self._lifetime_exec_s += latency
         self._trim_records()
-        return outputs
+        return outputs, records
 
     def _trim_records(self) -> None:
         """Drop the oldest retained requests beyond ``max_records``."""
@@ -406,7 +450,8 @@ class PanaceaSession:
 
         Returns a copy; mutating it cannot corrupt the session's accounting.
         """
-        return self._lifetime_ops.merge(OpCounts())
+        with self._lock:
+            return self._lifetime_ops.merge(OpCounts())
 
     def stats(self) -> dict:
         """Serving summary: request/layer counts, ops and mean sparsities.
@@ -416,20 +461,27 @@ class PanaceaSession:
         ``n_retained`` reports what is still held in memory.
         ``n_engine_batches``/``exec_s`` count fused forwards once, so
         coalesced riders never overcount wall time.
+
+        Taken under the session lock, so a concurrent reader sees one
+        consistent snapshot (never, say, a request counted whose ops have
+        not landed yet).
         """
-        n_calls = self._lifetime_layer_calls
-        ops = self._lifetime_ops
-        return {
-            "scheme": self.config.scheme,
-            "n_requests": self._lifetime_requests,
-            "n_retained": len(self.requests),
-            "n_layer_calls": n_calls,
-            "n_plans": len(self.plans),
-            "n_engine_batches": self._lifetime_batches,
-            "exec_s": self._lifetime_exec_s,
-            "mul4": ops.mul4,
-            "add": ops.add,
-            "ema_nibbles": ops.ema_nibbles,
-            "mean_rho_w": self._lifetime_rho_w_sum / n_calls if n_calls else 0.0,
-            "mean_rho_x": self._lifetime_rho_x_sum / n_calls if n_calls else 0.0,
-        }
+        with self._lock:
+            n_calls = self._lifetime_layer_calls
+            ops = self._lifetime_ops
+            return {
+                "scheme": self.config.scheme,
+                "n_requests": self._lifetime_requests,
+                "n_retained": len(self.requests),
+                "n_layer_calls": n_calls,
+                "n_plans": len(self.plans),
+                "n_engine_batches": self._lifetime_batches,
+                "exec_s": self._lifetime_exec_s,
+                "mul4": ops.mul4,
+                "add": ops.add,
+                "ema_nibbles": ops.ema_nibbles,
+                "mean_rho_w": (self._lifetime_rho_w_sum / n_calls
+                               if n_calls else 0.0),
+                "mean_rho_x": (self._lifetime_rho_x_sum / n_calls
+                               if n_calls else 0.0),
+            }

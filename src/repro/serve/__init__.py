@@ -1,32 +1,45 @@
-"""Serving subsystem: persistent plans, micro-batching, multi-model hosting.
+"""Serving subsystem: persistent plans, micro-batching, concurrent hosting.
 
 The online half of Panacea's offline/online split, grown to process scale:
 
 * :mod:`repro.serve.store` — :class:`PlanStore`, persisting a converted
   model's layer plans + calibration records so a process restart serves
-  with zero re-prepare work;
+  with zero re-prepare work (load failures raise :class:`PlanStoreError`);
 * :mod:`repro.serve.batching` — :class:`MicroBatcher`/:class:`BatchPolicy`,
   the dynamic micro-batching scheduler coalescing single requests into
   engine batches (bit-exact vs solo execution);
 * :mod:`repro.serve.server` — :class:`ModelServer`, many named deployments
-  behind one submit API;
-* :mod:`repro.serve.metrics` — :class:`LatencyStats`, the shared latency
-  accumulator.
+  behind one submit API, with blocking (``submit``) and future-returning
+  (``submit_async``) entry points;
+* :mod:`repro.serve.pool` — :class:`WorkerPool`, the thread pool that
+  drains all deployments' micro-batches in parallel;
+* :mod:`repro.serve.cache` — :class:`ResultCache`, the content-addressed
+  per-deployment LRU result cache short-circuiting duplicate requests;
+* :mod:`repro.serve.metrics` — :class:`LatencyStats` (the shared latency
+  accumulator) and :class:`ServerMetrics` (the server-wide rollup).
 """
 
 from .batching import BatchPolicy, MicroBatcher, Ticket
-from .metrics import LatencyStats
+from .cache import ResultCache, request_key
+from .metrics import LatencyStats, ServerMetrics
+from .pool import WorkerPool, WorkerStats
 from .server import ModelEntry, ModelServer
-from .store import PlanStore, STORE_FORMAT, STORE_VERSION
+from .store import PlanStore, PlanStoreError, STORE_FORMAT, STORE_VERSION
 
 __all__ = [
     "BatchPolicy",
     "MicroBatcher",
     "Ticket",
+    "ResultCache",
+    "request_key",
     "LatencyStats",
+    "ServerMetrics",
+    "WorkerPool",
+    "WorkerStats",
     "ModelEntry",
     "ModelServer",
     "PlanStore",
+    "PlanStoreError",
     "STORE_FORMAT",
     "STORE_VERSION",
 ]

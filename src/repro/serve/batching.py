@@ -4,8 +4,8 @@ The engines amortize weight-side work across a batch, but serving traffic
 arrives one request at a time.  :class:`MicroBatcher` sits between the two:
 ``submit`` enqueues a request and returns a :class:`Ticket`; queued requests
 are coalesced — FIFO, oldest first — into one
-:meth:`~repro.engine.session.PanaceaSession.run_coalesced` call when either
-batching knob fires:
+:meth:`~repro.engine.session.PanaceaSession.serve_coalesced` call when
+either batching knob fires:
 
 * ``max_batch`` — enough requests are waiting to fill a batch;
 * ``max_delay_s`` — the oldest ticket has waited long enough (checked by
@@ -18,21 +18,33 @@ outputs are **bit-exact** against running each request alone (see
 in and its :class:`RequestRecord`, so the scheduler, the session and the
 benchmarks share one latency measurement path.
 
-The batcher is deliberately synchronous and single-threaded — determinism
-is what makes the bit-exactness and fairness properties testable — but the
-``clock`` injection point keeps the delay policy testable and leaves the
-door open for an async driver.
+The batcher is thread-safe: the queue and metrics sit behind a short-lived
+state lock, while a service lock serializes batch execution so FIFO order
+and bit-exactness survive concurrent submitters and pool workers (the
+session additionally serializes itself — see
+:class:`~repro.engine.session.PanaceaSession`).  Single-threaded callers
+keep the exact historical behaviour, and the ``clock`` injection point
+keeps the delay policy testable.
+
+A :class:`~repro.serve.cache.ResultCache` can sit in front of the queue
+(enable with ``BatchPolicy.cache_bytes``): a byte-identical repeat of an
+already-served request returns a completed ticket immediately, without
+touching the engine — bit-exact because cached outputs *are* recorded
+engine outputs.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
+from concurrent.futures import CancelledError
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..engine.session import PanaceaSession, RequestRecord
+from .cache import ResultCache, request_key
 from .metrics import LatencyStats
 
 __all__ = ["BatchPolicy", "Ticket", "MicroBatcher"]
@@ -48,13 +60,16 @@ class BatchPolicy:
     for the *clock* (it still coalesces with whatever is already queued when
     service happens).  ``pad_axis``/``pad_value`` enable the padded split
     path for ragged trailing axes (token-id sequence lengths on causal
-    models); ``None`` requires equal trailing dims.
+    models); ``None`` requires equal trailing dims.  ``cache_bytes`` > 0
+    puts a content-addressed result cache of that byte budget in front of
+    the deployment's queue (``0`` disables caching).
     """
 
     max_batch: int = 8
     max_delay_s: float = 0.002
     pad_axis: int | None = None
     pad_value: int = 0
+    cache_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -62,6 +77,9 @@ class BatchPolicy:
         if self.max_delay_s < 0:
             raise ValueError(
                 f"max_delay_s must be >= 0, got {self.max_delay_s}")
+        if self.cache_bytes < 0:
+            raise ValueError(
+                f"cache_bytes must be >= 0, got {self.cache_bytes}")
 
 
 @dataclass
@@ -72,6 +90,9 @@ class Ticket:
     submitted_t: float
     _batcher: "MicroBatcher" = field(repr=False)
     done: bool = False
+    #: Whether the result came straight from the deployment's result cache
+    #: (the request then never entered the queue; ``batch_size`` stays 0).
+    cached: bool = False
     #: Filled at service time.
     queue_wait_s: float = 0.0
     batch_size: int = 0
@@ -80,17 +101,36 @@ class Ticket:
     #: The exception that killed this ticket's batch, if service failed.
     error: Exception | None = field(default=None, repr=False)
     _output: np.ndarray | None = field(default=None, repr=False)
+    _done_event: threading.Event = field(default_factory=threading.Event,
+                                         repr=False)
 
-    def result(self) -> np.ndarray:
+    def _finish(self, *, output=None, error=None) -> None:
+        """Resolve the ticket (exactly once) and wake any waiter."""
+        self._output = output
+        self.error = error
+        self.done = True
+        self._done_event.set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
         """The request's output; forces service if still queued (FIFO).
 
-        Re-raises the service failure if the ticket's batch raised — every
-        rider of a failed batch carries the exception, so no caller blocks
-        on a ticket that can never complete.
+        Safe to call from any thread: if another thread's batch already
+        claimed this ticket, the call waits for that execution instead of
+        double-serving.  Re-raises the service failure if the ticket's batch
+        raised — every rider of a failed batch carries the exception, so no
+        caller blocks on a ticket that can never complete.
+
+        ``timeout`` bounds only that wait on a batch *another* thread is
+        executing — it is not a latency SLO: when this ticket is still
+        queued, the call first drains its predecessors synchronously
+        (FIFO), and work this thread performs itself is never abandoned
+        mid-batch.
         """
         if not self.done:
             self._batcher.flush(upto=self.ticket_id)
-        assert self.done, "flush must have served this ticket"
+            if not self._done_event.wait(timeout):
+                raise TimeoutError(
+                    f"ticket {self.ticket_id} not served within {timeout} s")
         if self.error is not None:
             raise self.error
         return self._output
@@ -101,32 +141,70 @@ class MicroBatcher:
 
     def __init__(self, session: PanaceaSession,
                  policy: BatchPolicy | None = None, *,
-                 clock=time.perf_counter) -> None:
+                 clock=time.perf_counter,
+                 cache: ResultCache | None = None) -> None:
         self.session = session
         self.policy = policy or BatchPolicy()
         self.clock = clock
-        self._queue: deque[tuple[Ticket, np.ndarray]] = deque()
+        if cache is None and self.policy.cache_bytes > 0:
+            cache = ResultCache(self.policy.cache_bytes)
+        self.cache = cache
+        # Queue entries carry the request's content hash (None when caching
+        # is off) so the insert after service never re-hashes the payload.
+        self._queue: deque[tuple[Ticket, np.ndarray, str | None]] = deque()
         self._next_id = 0
+        # Queue + metric state (short critical sections) vs batch service
+        # (one coalesced execution at a time, FIFO preserved).
+        self._lock = threading.Lock()
+        self._service_lock = threading.Lock()
         # Scheduler-side lifetime metrics.
         self.queue_wait = LatencyStats()
         self.batch_exec = LatencyStats()
         self.n_batches = 0
         self.n_requests = 0
         self.n_failed = 0
+        self.n_cache_hits = 0
+        self.n_cancelled = 0
         self._batch_size_sum = 0
         self.peak_depth = 0
 
     # -- intake ---------------------------------------------------------------
-    def submit(self, x: np.ndarray) -> Ticket:
-        """Enqueue one request; serves immediately once a batch fills."""
-        ticket = Ticket(ticket_id=self._next_id, submitted_t=self.clock(),
-                        _batcher=self,
-                        queue_depth_at_submit=len(self._queue))
-        self._next_id += 1
-        self._queue.append((ticket, np.asarray(x)))
-        self.peak_depth = max(self.peak_depth, len(self._queue))
-        if len(self._queue) >= self.policy.max_batch:
-            self._fire(self.policy.max_batch)
+    def submit(self, x: np.ndarray, *, fire: bool = True) -> Ticket:
+        """Enqueue one request; serves immediately once a batch fills.
+
+        ``fire=False`` only enqueues — the async path uses it so the
+        *submitting* thread never executes a batch; a pool worker (or the
+        eventual ``result()`` call) serves it instead.  A result-cache hit
+        returns a completed ticket without queueing at all.
+        """
+        x = np.asarray(x)
+        key = None
+        hit = None
+        if self.cache is not None:
+            key = request_key(x)      # hashed once, reused at insert time
+            hit = self.cache.get(x, key=key)
+        with self._lock:
+            ticket = Ticket(ticket_id=self._next_id, submitted_t=self.clock(),
+                            _batcher=self,
+                            queue_depth_at_submit=len(self._queue))
+            self._next_id += 1
+            if hit is not None:
+                ticket.cached = True
+                self.n_cache_hits += 1
+            else:
+                self._queue.append((ticket, x, key))
+                self.peak_depth = max(self.peak_depth, len(self._queue))
+            depth = len(self._queue)
+        if hit is not None:
+            ticket._finish(output=hit)
+            return ticket
+        if fire and depth >= self.policy.max_batch:
+            # Re-checked at pop time: if a concurrent fire already drained
+            # the queue below a full batch, don't serve the stragglers
+            # prematurely — their delay window still stands.
+            self._fire(self.policy.max_batch,
+                       eligible=lambda _, depth_now:
+                       depth_now >= self.policy.max_batch)
         return ticket
 
     def pump(self, now: float | None = None) -> int:
@@ -138,10 +216,22 @@ class MicroBatcher:
         """
         served = 0
         now = self.clock() if now is None else now
-        while self._queue and (
-                now - self._queue[0][0].submitted_t >= self.policy.max_delay_s):
-            served += self._fire(self.policy.max_batch)
-        return served
+
+        def due(head: Ticket, _depth: int) -> bool:
+            return now - head.submitted_t >= self.policy.max_delay_s
+
+        while True:
+            with self._lock:
+                ready = bool(self._queue) and due(self._queue[0][0], 0)
+            if not ready:
+                return served
+            # The predicate re-runs on whatever is at the head at pop time,
+            # so a fresh not-yet-due ticket that slid forward while we
+            # waited for the service lock is never fired prematurely.
+            fired = self._fire(self.policy.max_batch, eligible=due)
+            if not fired:
+                return served
+            served += fired
 
     def flush(self, upto: int | None = None) -> int:
         """Serve the queue now (up to and including ticket ``upto``).
@@ -150,11 +240,69 @@ class MicroBatcher:
         submitted before it, so forcing one ticket drains its predecessors.
         """
         served = 0
-        while self._queue:
-            if upto is not None and self._queue[0][0].ticket_id > upto:
-                break
-            served += self._fire(self.policy.max_batch)
-        return served
+
+        def wanted(head: Ticket, _depth: int) -> bool:
+            return upto is None or head.ticket_id <= upto
+
+        while True:
+            with self._lock:
+                ready = bool(self._queue) and wanted(self._queue[0][0], 0)
+            if not ready:
+                return served
+            fired = self._fire(self.policy.max_batch, eligible=wanted)
+            if not fired:
+                return served
+            served += fired
+
+    def serve(self, ticket: Ticket) -> np.ndarray:
+        """Delay-aware service of one ticket — the async path's entry point.
+
+        Honors ``max_delay_s`` exactly like the inline path: while the
+        ticket's deadline has not passed and the queue has not filled a
+        batch, the serving thread waits for riders instead of firing a
+        batch of one (the whole point of the scheduler).  The wait is
+        additionally bounded by *real* wall time so an injected test clock
+        can never wedge a pool worker.
+        """
+        if not ticket.done and self.policy.max_delay_s > 0:
+            deadline = ticket.submitted_t + self.policy.max_delay_s
+            real_deadline = time.perf_counter() + self.policy.max_delay_s
+            while not ticket.done:
+                with self._lock:
+                    depth = len(self._queue)
+                    is_head = bool(self._queue) \
+                        and self._queue[0][0] is ticket
+                remaining = min(deadline - self.clock(),
+                                real_deadline - time.perf_counter())
+                if remaining <= 0 or depth >= self.policy.max_batch:
+                    break
+                # Only the queue-head's serving thread polls (riders
+                # arriving do not signal the event, so it must notice a
+                # filling batch); every other thread sleeps on its done
+                # event until served or its own deadline — poll work
+                # scales with deployments, not requests.
+                ticket._done_event.wait(min(remaining, 1e-3)
+                                        if is_head else remaining)
+        return ticket.result()
+
+    def cancel(self, ticket: Ticket) -> bool:
+        """Drop a still-queued ticket; returns whether it was dequeued.
+
+        The async path's cancellation hook: a cancelled future must not
+        leave its payload riding someone else's batch later.  A ticket
+        already served (or already claimed by an in-flight batch) is not
+        cancellable — the engine work is spent either way.
+        """
+        with self._lock:
+            for i, (queued, _, _) in enumerate(self._queue):
+                if queued is ticket:
+                    del self._queue[i]
+                    self.n_cancelled += 1
+                    break
+            else:
+                return False
+        ticket._finish(error=CancelledError())
+        return True
 
     @property
     def depth(self) -> int:
@@ -162,68 +310,101 @@ class MicroBatcher:
         return len(self._queue)
 
     # -- service --------------------------------------------------------------
-    def _fire(self, max_batch: int) -> int:
-        """Serve one coalesced batch from the queue head (FIFO)."""
-        if not self._queue:
-            return 0
-        group = [self._queue.popleft()
-                 for _ in range(min(max_batch, len(self._queue)))]
-        tickets = [t for t, _ in group]
-        payloads = [x for _, x in group]
-        first_id = self.session.lifetime_requests
-        t0 = self.clock()
-        try:
-            outputs = self.session.run_coalesced(
-                payloads, pad_axis=self.policy.pad_axis,
-                pad_value=self.policy.pad_value)
-        except Exception as exc:
-            # The group is already off the queue; fail every rider rather
-            # than strand valid tickets (or retry a poison batch forever).
-            # The triggering caller sees the raise; the other riders see it
-            # from Ticket.result().
-            for ticket in tickets:
-                ticket.done = True
-                ticket.error = exc
-            self.n_failed += len(group)
-            raise
-        exec_s = self.clock() - t0
-        # Records are matched by lifetime id, not list position: a session
-        # with tight ``max_records`` retention may already have trimmed some
-        # of this batch's records.  Only the newest len(group) retained
-        # records can belong to this batch, so the lookup is O(batch), not
-        # O(lifetime retention).
-        by_id = {r.request_id: r
-                 for r in self.session.requests[-len(group):]}
-        now = self.clock()
-        for i, (ticket, out) in enumerate(zip(tickets, outputs)):
-            ticket._output = out
-            ticket.record = by_id.get(first_id + i)
-            ticket.batch_size = len(group)
-            ticket.queue_wait_s = max(0.0, now - ticket.submitted_t - exec_s)
-            ticket.done = True
-            self.queue_wait.observe(ticket.queue_wait_s)
-        self.batch_exec.observe(exec_s)
-        self.n_batches += 1
-        self.n_requests += len(group)
-        self._batch_size_sum += len(group)
+    def _fire(self, max_batch: int, eligible=None) -> int:
+        """Serve one coalesced batch from the queue head (FIFO).
+
+        ``eligible(head_ticket, depth)`` re-validates the caller's firing
+        condition *at pop time*, under the locks: between a caller's check
+        and this pop, concurrent fires may have replaced the queue head
+        with a ticket that should still wait (not due, beyond ``upto``, or
+        short of a full batch) — firing it anyway would silently void the
+        delay policy.
+        """
+        with self._service_lock:
+            with self._lock:
+                if not self._queue:
+                    return 0
+                if eligible is not None and not eligible(
+                        self._queue[0][0], len(self._queue)):
+                    return 0
+                group = [self._queue.popleft()
+                         for _ in range(min(max_batch, len(self._queue)))]
+            tickets = [t for t, _, _ in group]
+            payloads = [x for _, x, _ in group]
+            t0 = self.clock()
+            try:
+                outputs, records = self.session.serve_coalesced(
+                    payloads, pad_axis=self.policy.pad_axis,
+                    pad_value=self.policy.pad_value)
+            except Exception as exc:
+                # The group is already off the queue; fail every rider
+                # rather than strand valid tickets (or retry a poison batch
+                # forever).  The triggering caller sees the raise; the other
+                # riders see it from Ticket.result().
+                for ticket in tickets:
+                    ticket._finish(error=exc)
+                with self._lock:
+                    self.n_failed += len(group)
+                raise
+            exec_s = self.clock() - t0
+            now = self.clock()
+            waits = []
+            for ticket, out, record in zip(tickets, outputs, records):
+                ticket.record = record
+                ticket.batch_size = len(group)
+                ticket.queue_wait_s = max(
+                    0.0, now - ticket.submitted_t - exec_s)
+                waits.append(ticket.queue_wait_s)
+                ticket._finish(output=out)
+            with self._lock:
+                for wait in waits:
+                    self.queue_wait.observe(wait)
+                self.batch_exec.observe(exec_s)
+                self.n_batches += 1
+                self.n_requests += len(group)
+                self._batch_size_sum += len(group)
+        # Cache inserts run outside the service lock (the cache has its
+        # own) with the keys hashed at intake, so recording outputs never
+        # extends the window in which no other batch can fire.
+        if self.cache is not None:
+            for (_, payload, key), out in zip(group, outputs):
+                self.cache.put(payload, out, key=key)
         return len(group)
 
     # -- observability --------------------------------------------------------
+    def queue_wait_view(self) -> LatencyStats:
+        """A consistent copy of the queue-wait accumulator.
+
+        Taken under the batcher lock so server-wide rollups never read a
+        count whose total has not landed yet (a concurrent ``_fire`` is
+        observing waits while rollups run).
+        """
+        with self._lock:
+            return LatencyStats(max_samples=self.queue_wait.max_samples) \
+                .merge(self.queue_wait)
+
     def stats(self) -> dict:
         """Scheduler summary: batch shapes, queue waits, execution times."""
-        return {
-            "n_requests": self.n_requests,
-            "n_batches": self.n_batches,
-            "n_failed": self.n_failed,
-            "mean_batch_size": (self._batch_size_sum / self.n_batches
-                                if self.n_batches else 0.0),
-            "depth": len(self._queue),
-            "peak_depth": self.peak_depth,
-            "queue_wait": self.queue_wait.summary(),
-            "batch_exec": self.batch_exec.summary(),
-            "policy": {
-                "max_batch": self.policy.max_batch,
-                "max_delay_s": self.policy.max_delay_s,
-                "pad_axis": self.policy.pad_axis,
-            },
-        }
+        with self._lock:
+            stats = {
+                "n_requests": self.n_requests,
+                "n_batches": self.n_batches,
+                "n_failed": self.n_failed,
+                "n_cache_hits": self.n_cache_hits,
+                "n_cancelled": self.n_cancelled,
+                "mean_batch_size": (self._batch_size_sum / self.n_batches
+                                    if self.n_batches else 0.0),
+                "depth": len(self._queue),
+                "peak_depth": self.peak_depth,
+                "queue_wait": self.queue_wait.summary(),
+                "batch_exec": self.batch_exec.summary(),
+                "policy": {
+                    "max_batch": self.policy.max_batch,
+                    "max_delay_s": self.policy.max_delay_s,
+                    "pad_axis": self.policy.pad_axis,
+                    "cache_bytes": self.policy.cache_bytes,
+                },
+            }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        return stats

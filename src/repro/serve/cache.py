@@ -1,0 +1,142 @@
+"""Request-level result cache: short-circuit duplicate inference requests.
+
+Quantized inference is a pure function of the request tensor once a session
+is calibrated — the plans are frozen, so identical inputs produce identical
+outputs bit for bit.  :class:`ResultCache` exploits that: it is a
+content-addressed (input-hash keyed) LRU map from request bytes to recorded
+output, bounded by a byte budget, held per deployment so two models never
+share keys.  A hit returns a fresh copy of the recorded output (callers may
+mutate their results freely) and is bit-exact by construction — the cached
+array *is* the array the engine produced.
+
+Keys hash the full request content (dtype, shape, bytes) with BLAKE2b, so
+two requests collide only if they are byte-identical — exactly the case
+where returning the recorded output is correct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResultCache", "request_key"]
+
+
+def request_key(x: np.ndarray) -> str:
+    """Content address of one request tensor: dtype + shape + bytes.
+
+    Byte-level hashing is deliberate: ``0.0`` and ``-0.0`` (or two NaN
+    payloads) get different keys even though they compare equal, because
+    bit-exactness — not numeric equality — is the contract being cached.
+    """
+    x = np.ascontiguousarray(x)
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(str(x.dtype).encode())
+    digest.update(repr(x.shape).encode())
+    digest.update(x.tobytes())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Bounded, thread-safe LRU cache of request outputs.
+
+    ``max_bytes`` bounds the *stored output* footprint; inserting past the
+    budget evicts least-recently-used entries, and an output larger than the
+    whole budget is simply not stored (never evicts the world for one
+    giant).  ``get``/``put`` are O(1) and lock-guarded, so concurrent
+    workers share one cache safely.  Hit/miss/eviction counts are lifetime
+    metrics surfaced through :meth:`stats`.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def get(self, x: np.ndarray, *,
+            key: str | None = None) -> np.ndarray | None:
+        """The recorded output for a byte-identical past request, or None.
+
+        ``key`` accepts a precomputed :func:`request_key` so callers that
+        hash once at intake (the batcher) don't pay the hash again here.
+        """
+        key = request_key(x) if key is None else key
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        # A copy per hit: the stored array must survive caller mutation.
+        # Copied *outside* the lock — stored entries are immutable
+        # (write=False) and eviction only drops the dict reference, so
+        # concurrent hits never serialize on each other's memcpy.
+        return cached.copy()
+
+    def put(self, x: np.ndarray, output: np.ndarray, *,
+            key: str | None = None) -> bool:
+        """Record ``output`` for request ``x``; returns whether it stored."""
+        output = np.asarray(output)
+        if output.nbytes > self.max_bytes:
+            return False
+        key = request_key(x) if key is None else key
+        stored = np.ascontiguousarray(output).copy()
+        stored.setflags(write=False)
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.current_bytes -= previous.nbytes
+            self._entries[key] = stored
+            self.current_bytes += stored.nbytes
+            self.insertions += 1
+            while self.current_bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self.current_bytes -= evicted.nbytes
+                self.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction of all lookups (0.0 when never queried)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Dashboard dict: occupancy, budget and lifetime hit/miss counts.
+
+        Taken under the lock, so a snapshot racing a ``put``'s eviction
+        loop can never show occupancy above budget or torn counters.
+        """
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "insertions": self.insertions,
+                "evictions": self.evictions,
+            }

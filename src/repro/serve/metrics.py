@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["LatencyStats"]
+__all__ = ["LatencyStats", "ServerMetrics"]
 
 
 @dataclass
@@ -90,4 +90,58 @@ class LatencyStats:
             "p50_ms": self.percentile(50.0) * 1e3,
             "p95_ms": self.percentile(95.0) * 1e3,
             "max_ms": (self.max_s if self.count else 0.0) * 1e3,
+        }
+
+
+@dataclass
+class ServerMetrics:
+    """One consistent server-wide snapshot: deployments, workers, caches.
+
+    Built by :meth:`~repro.serve.server.ModelServer.metrics`; the rollup the
+    operator dashboard reads.  ``n_requests`` counts engine-served requests,
+    ``n_cache_hits`` the requests a deployment's result cache answered
+    instead, ``n_failed`` the riders of batches that raised and
+    ``n_cancelled`` the async submissions dequeued by cancellation — so
+    ``n_requests + n_cache_hits + n_failed + n_cancelled`` accounts for
+    everything submitted (the first two alone only when nothing failed or
+    was cancelled);
+    ``workers`` is the :class:`~repro.serve.pool.WorkerPool` summary (or
+    ``None`` when the server runs inline) whose per-worker utilization list
+    answers "are my workers actually overlapping?"; ``cache`` sums every
+    deployment's cache counters into one server-wide hit-rate.
+    """
+
+    n_deployments: int
+    n_requests: int
+    n_batches: int
+    n_failed: int
+    n_cache_hits: int
+    n_cancelled: int
+    queue_wait: dict
+    deployments: dict
+    workers: dict | None = None
+    cache: dict | None = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Server-wide hit fraction over every deployment's lookups."""
+        if not self.cache:
+            return 0.0
+        lookups = self.cache["hits"] + self.cache["misses"]
+        return self.cache["hits"] / lookups if lookups else 0.0
+
+    def summary(self) -> dict:
+        """Flat dashboard dict (deployment detail under ``deployments``)."""
+        return {
+            "n_deployments": self.n_deployments,
+            "n_requests": self.n_requests,
+            "n_batches": self.n_batches,
+            "n_failed": self.n_failed,
+            "n_cache_hits": self.n_cache_hits,
+            "n_cancelled": self.n_cancelled,
+            "cache_hit_rate": self.cache_hit_rate,
+            "queue_wait": self.queue_wait,
+            "workers": self.workers,
+            "cache": self.cache,
+            "deployments": self.deployments,
         }

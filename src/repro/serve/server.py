@@ -5,28 +5,45 @@ scheme × exec_path) combination, each backed by its own prepared
 :class:`~repro.engine.session.PanaceaSession` and
 :class:`~repro.serve.batching.MicroBatcher` — behind one submit API:
 
-    server = ModelServer()
+    server = ModelServer(workers=4, cache_bytes=32 << 20)
     server.register("bert-aqs", session, policy=BatchPolicy(max_batch=8))
     ticket = server.submit("bert-aqs", request)
     out = ticket.result()                       # bit-exact vs solo runs
+    future = server.submit_async("bert-aqs", request)   # concurrent path
+    out = future.result()
 
 Deployments can come from three sources: an already-prepared session
 (:meth:`register`), a proxy-zoo build calibrated in place
 (:meth:`deploy_proxy`), or a :class:`~repro.serve.store.PlanStore` file
-(:meth:`load`) — the latter serving with zero re-prepare work.  Lifetime
-metrics per deployment combine the session's op/sparsity accounting with
-the scheduler's queue/latency view.
+(:meth:`load`) — the latter serving with zero re-prepare work.
+
+``workers`` attaches a :class:`~repro.serve.pool.WorkerPool`: queue drains
+(:meth:`flush`/:meth:`pump`) then fan out across deployments so every
+engine is busy simultaneously, and :meth:`submit_async` service runs on the
+pool instead of the submitting thread.  Sessions serialize themselves, so
+concurrency never reorders accounting within a deployment — and outputs
+stay bit-exact against serial execution (the conformance suite asserts it).
+``cache_bytes`` gives every deployment whose policy did not choose its own
+budget a content-addressed result cache of that size.
+
+Lifetime metrics per deployment combine the session's op/sparsity
+accounting with the scheduler's queue/latency view; :meth:`metrics` rolls
+deployments, per-worker utilization and cache hit-rates into one
+:class:`~repro.serve.metrics.ServerMetrics` snapshot.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..engine.session import PanaceaSession
 from .batching import BatchPolicy, MicroBatcher, Ticket
-from .metrics import LatencyStats
+from .metrics import LatencyStats, ServerMetrics
+from .pool import WorkerPool
 
 __all__ = ["ModelServer", "ModelEntry"]
 
@@ -43,6 +60,11 @@ class ModelEntry:
     def policy(self) -> BatchPolicy:
         return self.batcher.policy
 
+    @property
+    def cache(self):
+        """The deployment's result cache (None when caching is off)."""
+        return self.batcher.cache
+
     def stats(self) -> dict:
         """Session lifetime accounting merged with scheduler metrics."""
         return {
@@ -53,15 +75,55 @@ class ModelEntry:
 
 
 class ModelServer:
-    """Hosts named model deployments behind a single submit API."""
+    """Hosts named model deployments behind a single submit API.
+
+    ``workers=0`` (the default) keeps every call on the caller's thread —
+    the exact historical behaviour.  ``workers >= 1`` starts a
+    :class:`WorkerPool` used by :meth:`submit_async`, :meth:`flush` and
+    :meth:`pump`; call :meth:`close` (or use the server as a context
+    manager) to drain and join it.
+    """
 
     def __init__(self, default_policy: BatchPolicy | None = None, *,
-                 clock=None) -> None:
+                 clock=None, workers: int = 0,
+                 cache_bytes: int = 0) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if cache_bytes < 0:
+            raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
         self.default_policy = default_policy or BatchPolicy()
+        self.cache_bytes = cache_bytes
         self._clock = clock
         self._entries: dict[str, ModelEntry] = {}
+        # Guards deployment lifecycle vs iteration: register/unregister
+        # from one thread must not crash a pump/flush/stats walking the
+        # deployment dict on another.  Single-name lookups stay lock-free
+        # (atomic in CPython); every iteration works on a snapshot.
+        self._entries_lock = threading.Lock()
+        self._pool = WorkerPool(workers) if workers else None
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The attached worker pool (None when serving inline)."""
+        return self._pool
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers if self._pool is not None else 0
 
     # -- deployment lifecycle -------------------------------------------------
+    def _effective_policy(self, policy: BatchPolicy | None) -> BatchPolicy:
+        """Resolve a deployment policy against the server-wide defaults.
+
+        The server's ``cache_bytes`` applies to any policy that did not
+        choose its own budget, so one constructor knob turns on caching for
+        every deployment.
+        """
+        base = policy or self.default_policy
+        if self.cache_bytes > 0 and base.cache_bytes == 0:
+            base = replace(base, cache_bytes=self.cache_bytes)
+        return base
+
     def register(self, name: str, session: PanaceaSession,
                  policy: BatchPolicy | None = None) -> ModelEntry:
         """Host a prepared session under ``name``.
@@ -70,8 +132,6 @@ class ModelServer:
         ``auto_calibrate=True``): a server must never silently calibrate on
         live traffic.
         """
-        if name in self._entries:
-            raise ValueError(f"model {name!r} is already registered")
         if not session.prepared and not session.auto_calibrate:
             raise ValueError(
                 f"session for {name!r} is not calibrated; calibrate it (or "
@@ -79,9 +139,12 @@ class ModelServer:
         kwargs = {} if self._clock is None else {"clock": self._clock}
         entry = ModelEntry(
             name=name, session=session,
-            batcher=MicroBatcher(session, policy or self.default_policy,
+            batcher=MicroBatcher(session, self._effective_policy(policy),
                                  **kwargs))
-        self._entries[name] = entry
+        with self._entries_lock:
+            if name in self._entries:
+                raise ValueError(f"model {name!r} is already registered")
+            self._entries[name] = entry
         return entry
 
     def deploy_proxy(self, name: str, model_name: str, *,
@@ -125,10 +188,7 @@ class ModelServer:
         spec = PROXY_SPECS.get(model_name) if model_name else None
         if spec is not None and spec.pad_axis is not None \
                 and base.pad_axis is None:
-            base = BatchPolicy(max_batch=base.max_batch,
-                               max_delay_s=base.max_delay_s,
-                               pad_axis=spec.pad_axis,
-                               pad_value=base.pad_value)
+            base = replace(base, pad_axis=spec.pad_axis)
         return base
 
     def load(self, name: str, path, *, model=None,
@@ -151,7 +211,71 @@ class ModelServer:
         """Drop a deployment after draining its queue."""
         entry = self._get(name)
         entry.batcher.flush()
-        del self._entries[name]
+        with self._entries_lock:
+            self._entries.pop(name, None)
+
+    def _snapshot(self) -> list[ModelEntry]:
+        """A stable view of the deployments for lock-free iteration."""
+        with self._entries_lock:
+            return list(self._entries.values())
+
+    def close(self) -> None:
+        """Drain every queue and join the worker pool (idempotent).
+
+        A poison batch in one deployment must not leak the pool's threads
+        or strand the other deployments' queues: every drain is attempted
+        and the pool always shuts down; the first drain failure re-raises
+        after cleanup.
+        """
+        first_error = None
+        try:
+            for entry in self._snapshot():
+                try:
+                    entry.batcher.flush()
+                except Exception as exc:  # noqa: BLE001 — re-raised below
+                    if first_error is None:
+                        first_error = exc
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+        if first_error is not None:
+            raise first_error
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _drain_fanout(self, thunks) -> int:
+        """Run drain thunks concurrently on dedicated threads, sum results.
+
+        Deliberately *not* the worker pool: its FIFO queue may be full of
+        ``serve`` tasks waiting out rider windows, and a "drain now" call
+        (:meth:`flush`/:meth:`pump`) must never sit behind them for up to
+        ``max_delay_s``.  Dedicated threads drain immediately; the fired
+        batches resolve the waiting serve tasks through their tickets'
+        done events.
+        """
+        results = [0] * len(thunks)
+        errors: list[Exception] = []
+
+        def runner(i, thunk):
+            try:
+                results[i] = thunk()
+            except Exception as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=runner, args=(i, thunk),
+                                    daemon=True)
+                   for i, thunk in enumerate(thunks)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return sum(results)
 
     # -- request path ---------------------------------------------------------
     def _get(self, name: str) -> ModelEntry:
@@ -164,19 +288,81 @@ class ModelServer:
         """Enqueue one request for ``name``; returns its ticket."""
         return self._get(name).batcher.submit(x)
 
+    def submit_async(self, name: str, x: np.ndarray) -> Future:
+        """Enqueue one request; returns a future of its output array.
+
+        With a worker pool, service happens on a pool thread — the caller
+        never executes a batch, and the serving worker honors the
+        deployment's ``max_delay_s`` (see :meth:`MicroBatcher.serve`), so
+        async requests coalesce exactly like inline ones.  Without a pool
+        the future is served eagerly on this thread and arrives already
+        resolved, so the API (and its bit-exactness) is identical either
+        way.  The underlying :class:`Ticket` rides on the future as
+        ``future.ticket`` for callers that want scheduler metadata.
+        Cancelling the future before a worker picks it up also dequeues
+        the request, so a cancelled submission never rides someone else's
+        batch.
+        """
+        entry = self._get(name)
+        try:
+            ticket = entry.batcher.submit(x, fire=self._pool is None)
+        except Exception as exc:  # noqa: BLE001 — future carries it
+            # Inline submits can fire (and fail) a batch on this thread;
+            # the error must surface through the future exactly as the
+            # pooled path would deliver it, never as a synchronous raise.
+            future = Future()
+            future.set_exception(exc)
+            future.ticket = None
+            return future
+        if self._pool is not None and not ticket.done:
+            future = self._pool.submit(entry.batcher.serve, ticket)
+            future.add_done_callback(
+                lambda f: entry.batcher.cancel(ticket)
+                if f.cancelled() else None)
+        else:
+            future = Future()
+            try:
+                future.set_result(ticket.result())
+            except Exception as exc:  # noqa: BLE001 — future carries it
+                future.set_exception(exc)
+        future.ticket = ticket
+        return future
+
     def submit_many(self, name: str, xs) -> list[Ticket]:
         """Enqueue a request list (batches fire as they fill)."""
         return [self.submit(name, x) for x in xs]
 
+    def submit_many_async(self, name: str, xs) -> list[Future]:
+        """Async variant of :meth:`submit_many`; one future per request."""
+        return [self.submit_async(name, x) for x in xs]
+
     def pump(self, now: float | None = None) -> int:
-        """Run every deployment's delay policy once; returns requests served."""
-        return sum(entry.batcher.pump(now) for entry in self._entries.values())
+        """Run every deployment's delay policy once; returns requests served.
+
+        With a worker pool the per-deployment pumps execute concurrently —
+        one slow deployment no longer stalls the others' deadlines.
+        """
+        batchers = [entry.batcher for entry in self._snapshot()]
+        if self._pool is not None and len(batchers) > 1:
+            return self._drain_fanout(
+                [lambda b=b: b.pump(now) for b in batchers])
+        return sum(b.pump(now) for b in batchers)
 
     def flush(self, name: str | None = None) -> int:
-        """Serve all queued requests (of one deployment, or all)."""
+        """Serve all queued requests (of one deployment, or all).
+
+        With a worker pool, deployments drain in parallel — the concurrent
+        runtime's core path: every deployment's engine executes its
+        micro-batches simultaneously while each session stays internally
+        serialized, so outputs are bit-exact vs a serial drain.
+        """
         if name is not None:
             return self._get(name).batcher.flush()
-        return sum(entry.batcher.flush() for entry in self._entries.values())
+        batchers = [entry.batcher for entry in self._snapshot()]
+        if self._pool is not None and len(batchers) > 1:
+            return self._drain_fanout(
+                [lambda b=b: b.flush() for b in batchers])
+        return sum(b.flush() for b in batchers)
 
     # -- observability --------------------------------------------------------
     def __contains__(self, name: str) -> bool:
@@ -184,7 +370,8 @@ class ModelServer:
 
     def models(self) -> list[str]:
         """Registered deployment names, in registration order."""
-        return list(self._entries)
+        with self._entries_lock:
+            return list(self._entries)
 
     def entry(self, name: str) -> ModelEntry:
         """The deployment behind ``name``."""
@@ -194,12 +381,43 @@ class ModelServer:
         """Per-deployment stats, or one deployment's when named."""
         if name is not None:
             return self._get(name).stats()
-        return {entry_name: entry.stats()
-                for entry_name, entry in self._entries.items()}
+        return {entry.name: entry.stats() for entry in self._snapshot()}
 
     def queue_wait_rollup(self) -> LatencyStats:
         """Server-wide queue-wait view (merged across deployments)."""
         rollup = LatencyStats()
-        for entry in self._entries.values():
-            rollup = rollup.merge(entry.batcher.queue_wait)
+        for entry in self._snapshot():
+            rollup = rollup.merge(entry.batcher.queue_wait_view())
         return rollup
+
+    def metrics(self) -> ServerMetrics:
+        """One server-wide snapshot: deployments, workers, cache hit-rate.
+
+        Cache totals are summed from the same per-deployment stats embedded
+        under ``deployments``, so the two views in one snapshot can never
+        disagree.
+        """
+        deployments = self.stats()
+        schedulers = [d["scheduler"] for d in deployments.values()]
+        caches = [s["cache"] for s in schedulers if "cache" in s]
+        cache_totals = None
+        if caches:
+            cache_totals = {
+                key: sum(c[key] for c in caches)
+                for key in ("entries", "bytes", "max_bytes", "hits",
+                            "misses", "insertions", "evictions")}
+            lookups = cache_totals["hits"] + cache_totals["misses"]
+            cache_totals["hit_rate"] = (cache_totals["hits"] / lookups
+                                        if lookups else 0.0)
+        return ServerMetrics(
+            n_deployments=len(deployments),
+            n_requests=sum(s["n_requests"] for s in schedulers),
+            n_batches=sum(s["n_batches"] for s in schedulers),
+            n_failed=sum(s["n_failed"] for s in schedulers),
+            n_cache_hits=sum(s["n_cache_hits"] for s in schedulers),
+            n_cancelled=sum(s["n_cancelled"] for s in schedulers),
+            queue_wait=self.queue_wait_rollup().summary(),
+            deployments=deployments,
+            workers=self._pool.stats() if self._pool is not None else None,
+            cache=cache_totals,
+        )

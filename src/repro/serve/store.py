@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import pathlib
 import time
+import zipfile
 from dataclasses import asdict
 
 import numpy as np
@@ -33,12 +34,22 @@ from ..engine.base import plan_from_state
 from ..engine.session import PanaceaSession
 from ..quant.uniform import QuantParams
 
-__all__ = ["PlanStore", "STORE_FORMAT", "STORE_VERSION"]
+__all__ = ["PlanStore", "PlanStoreError", "STORE_FORMAT", "STORE_VERSION"]
 
 STORE_FORMAT = "repro-plan-store"
 STORE_VERSION = 1
 
 _META_KEY = "__meta__"
+
+
+class PlanStoreError(ValueError):
+    """A plan-store file cannot be trusted: wrong format, newer version,
+    truncated/corrupt bytes, or a manifest that does not cover the model.
+
+    Every load-side failure raises this one type (a ``ValueError``
+    subclass, so pre-existing callers keep working) — a store that fails
+    validation must never rehydrate garbage plans into a serving session.
+    """
 
 
 def _encode(obj, arrays: list) -> object:
@@ -183,33 +194,56 @@ class PlanStore:
     def _check_header(self, meta: dict) -> None:
         header = meta.get("header", {})
         if header.get("format") != STORE_FORMAT:
-            raise ValueError(
+            raise PlanStoreError(
                 f"{self.path} is not a plan store "
                 f"(format {header.get('format')!r})")
         if int(header.get("version", 0)) > STORE_VERSION:
-            raise ValueError(
+            raise PlanStoreError(
                 f"{self.path} was written by a newer store version "
                 f"{header.get('version')} (this build reads <= "
                 f"{STORE_VERSION})")
 
     def _read_meta(self, npz) -> dict:
         if _META_KEY not in npz:
-            raise ValueError(
+            raise PlanStoreError(
                 f"{self.path} is not a plan store (missing manifest)")
-        meta = json.loads(str(npz[_META_KEY][()]))
+        try:
+            meta = json.loads(str(npz[_META_KEY][()]))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise PlanStoreError(
+                f"{self.path} has a corrupt manifest: {exc}") from exc
         self._check_header(meta)
         return meta
 
+    def _open(self):
+        """``np.load`` with archive-level failures typed as store errors."""
+        try:
+            return np.load(self.path, allow_pickle=False)
+        except FileNotFoundError:
+            raise
+        except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+            raise PlanStoreError(
+                f"{self.path} is truncated or not a plan store archive: "
+                f"{exc}") from exc
+
     def _read(self) -> tuple[dict, dict]:
-        with np.load(self.path, allow_pickle=False) as npz:
+        with self._open() as npz:
             meta = self._read_meta(npz)
-            arrays = {key: npz[key] for key in npz.files if key != _META_KEY}
+            try:
+                arrays = {key: npz[key]
+                          for key in npz.files if key != _META_KEY}
+            except (zipfile.BadZipFile, OSError, ValueError,
+                    EOFError) as exc:
+                # Manifest intact but an array member cut short — a
+                # mid-write truncation must not rehydrate partial plans.
+                raise PlanStoreError(
+                    f"{self.path} has truncated array data: {exc}") from exc
         return meta, arrays
 
     def describe(self) -> dict:
         """The header plus layer names — cheap: reads only the JSON
         manifest, never inflating the stored arrays."""
-        with np.load(self.path, allow_pickle=False) as npz:
+        with self._open() as npz:
             meta = self._read_meta(npz)
         # Walk the encoded tree directly; model name/seed are plain JSON
         # scalars and the record names are manifest keys.
@@ -245,6 +279,14 @@ class PlanStore:
             model, _ = build_proxy(model_name,
                                    seed=int(payload["model"]["seed"] or 0))
         config = PtqConfig(**payload["config"])
+        # fp32 conversion is the identity — it has records but no plans.
+        if config.scheme != "fp32":
+            missing = sorted(set(payload["records"]) - set(payload["plans"]))
+            if missing:
+                raise PlanStoreError(
+                    f"{self.path} is missing layer plans for {missing}; the "
+                    "store does not cover its own calibration records and "
+                    "cannot rehydrate a complete session")
         records = {name: _record_from_state(state)
                    for name, state in payload["records"].items()}
         plans = {name: plan_from_state(state)

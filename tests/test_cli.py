@@ -30,6 +30,20 @@ class TestParser:
         assert args.max_batch == 8
         assert args.max_delay_ms == 5.0
 
+    def test_serve_concurrency_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "bert_base", "--workers", "4", "--cache-kib", "256",
+             "--repeats", "2"])
+        assert args.workers == 4
+        assert args.cache_kib == 256
+        assert args.repeats == 2
+
+    def test_serve_concurrency_defaults_off(self):
+        args = build_parser().parse_args(["serve", "bert_base"])
+        assert args.workers == 0
+        assert args.cache_kib == 0
+        assert args.repeats == 1
+
     def test_plan_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plan"])
@@ -102,6 +116,25 @@ class TestCommands:
     def test_serve_unknown_model(self):
         out = io.StringIO()
         assert main(["serve", "not_a_model"], out=out) == 2
+
+    def test_serve_negative_knobs_exit_cleanly(self):
+        out = io.StringIO()
+        assert main(["serve", "bert_base", "--workers", "-1"], out=out) == 2
+        assert "--workers must be >= 0" in out.getvalue()
+        out = io.StringIO()
+        assert main(["serve", "bert_base", "--cache-kib", "-5"],
+                    out=out) == 2
+        assert "--cache-kib must be >= 0" in out.getvalue()
+
+    def test_serve_with_workers_and_cache(self):
+        out = io.StringIO()
+        assert main(["serve", "bert_base", "--requests", "3", "--batch",
+                     "1", "--max-batch", "2", "--workers", "2",
+                     "--cache-kib", "256", "--repeats", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "served 6 requests" in text
+        assert "worker pool: 2 workers" in text
+        assert "hit rate 50%" in text
 
     def test_plan_export_then_load(self, tmp_path):
         path = str(tmp_path / "bert.plans.npz")

@@ -1,0 +1,131 @@
+"""Tests for ResultCache: content addressing, LRU byte budget, isolation."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ResultCache, request_key
+
+
+def _arr(seed=0, shape=(4, 4), dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0, 1, shape).astype(dtype)
+
+
+class TestRequestKey:
+    def test_identical_content_same_key(self):
+        a = _arr(1)
+        assert request_key(a) == request_key(a.copy())
+
+    def test_different_content_different_key(self):
+        assert request_key(_arr(1)) != request_key(_arr(2))
+
+    def test_shape_disambiguates_same_bytes(self):
+        a = np.arange(12.0).reshape(3, 4)
+        b = np.arange(12.0).reshape(4, 3)
+        assert request_key(a) != request_key(b)
+
+    def test_dtype_disambiguates(self):
+        a = np.zeros(4, dtype=np.int32)
+        b = np.zeros(4, dtype=np.float32)   # same byte width, same bytes
+        assert request_key(a) != request_key(b)
+
+    def test_non_contiguous_input_ok(self):
+        base = _arr(3, shape=(8, 8))
+        view = base[::2, ::2]
+        assert request_key(view) == request_key(np.ascontiguousarray(view))
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self):
+        cache = ResultCache(1 << 20)
+        x, out = _arr(1), _arr(2)
+        assert cache.get(x) is None
+        assert cache.put(x, out)
+        hit = cache.get(x)
+        assert np.array_equal(hit, out)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_hit_returns_independent_copy(self):
+        """A caller mutating its result must not corrupt later hits."""
+        cache = ResultCache(1 << 20)
+        x, out = _arr(1), _arr(2)
+        cache.put(x, out)
+        first = cache.get(x)
+        first[:] = 0.0
+        second = cache.get(x)
+        assert np.array_equal(second, out)
+
+    def test_put_copies_output(self):
+        """Mutating the original output after put must not poison the cache."""
+        cache = ResultCache(1 << 20)
+        x, out = _arr(1), _arr(2)
+        expected = out.copy()
+        cache.put(x, out)
+        out[:] = -1.0
+        assert np.array_equal(cache.get(x), expected)
+
+    def test_overwrite_same_key_updates(self):
+        cache = ResultCache(1 << 20)
+        x = _arr(1)
+        cache.put(x, _arr(2))
+        cache.put(x, _arr(3))
+        assert len(cache) == 1
+        assert np.array_equal(cache.get(x), _arr(3))
+
+
+class TestByteBudget:
+    def test_lru_eviction_under_budget(self):
+        item = np.zeros(16, dtype=np.float64)       # 128 bytes each
+        cache = ResultCache(3 * item.nbytes)
+        keys = [_arr(i, shape=(2,)) for i in range(4)]
+        for x in keys[:3]:
+            cache.put(x, item)
+        assert len(cache) == 3
+        cache.get(keys[0])                          # refresh key 0
+        cache.put(keys[3], item)                    # evicts LRU = key 1
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+        assert cache.evictions == 1
+        assert cache.current_bytes <= cache.max_bytes
+
+    def test_oversized_output_not_stored(self):
+        cache = ResultCache(64)
+        x = _arr(1)
+        assert not cache.put(x, np.zeros(1024, dtype=np.float64))
+        assert len(cache) == 0
+        assert cache.get(x) is None
+
+    def test_bytes_tracked_exactly(self):
+        cache = ResultCache(1 << 20)
+        out = np.zeros((8, 8), dtype=np.float64)
+        cache.put(_arr(1), out)
+        cache.put(_arr(2), out)
+        assert cache.current_bytes == 2 * out.nbytes
+        assert cache.stats()["bytes"] == 2 * out.nbytes
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(0)
+
+
+class TestObservability:
+    def test_stats_shape(self):
+        cache = ResultCache(1 << 10)
+        cache.get(_arr(1))
+        cache.put(_arr(1), _arr(2, shape=(2,)))
+        cache.get(_arr(1))
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["insertions"] == 1
+        assert stats["max_bytes"] == 1 << 10
+
+    def test_clear(self):
+        cache = ResultCache(1 << 10)
+        cache.put(_arr(1), _arr(2, shape=(2,)))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.current_bytes == 0
+        assert cache.get(_arr(1)) is None

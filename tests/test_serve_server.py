@@ -198,3 +198,51 @@ class TestServerObservability:
         server.submit("b", _batches(1, seed=17)[0])
         rollup = server.queue_wait_rollup()
         assert rollup.count == 2
+
+    def test_metrics_snapshot_totals(self):
+        server = ModelServer(BatchPolicy(max_batch=2, max_delay_s=0.0),
+                             cache_bytes=1 << 20)
+        server.register("a", _session(seed=11))
+        server.register("b", _session(seed=12))
+        reqs = _batches(4, seed=18)
+        for ticket in server.submit_many("a", reqs):
+            ticket.result()
+        for ticket in server.submit_many("a", reqs):   # replay: cache hits
+            ticket.result()
+        for ticket in server.submit_many("b", reqs[:2]):
+            ticket.result()
+        metrics = server.metrics()
+        assert metrics.n_deployments == 2
+        assert metrics.n_requests + metrics.n_cache_hits == 10
+        assert metrics.n_cache_hits == 4
+        assert metrics.cache_hit_rate == pytest.approx(4 / 10)
+        assert metrics.workers is None                 # inline server
+        assert metrics.cache["hits"] == 4
+        summary = metrics.summary()
+        assert summary["n_deployments"] == 2
+        assert "a" in summary["deployments"]
+
+    def test_server_cache_bytes_applies_to_deployments(self):
+        server = ModelServer(BatchPolicy(max_batch=1),
+                             cache_bytes=1 << 16)
+        entry = server.register("tiny", _session(seed=13))
+        assert entry.cache is not None
+        assert entry.policy.cache_bytes == 1 << 16
+        batch = _batches(1, seed=19)[0]
+        first = server.submit("tiny", batch).result()
+        repeat_ticket = server.submit("tiny", batch)
+        assert repeat_ticket.cached
+        assert np.array_equal(repeat_ticket.result(), first)
+
+    def test_policy_cache_budget_wins_over_server_default(self):
+        server = ModelServer(cache_bytes=1 << 16)
+        entry = server.register(
+            "tiny", _session(seed=14),
+            policy=BatchPolicy(max_batch=1, cache_bytes=1 << 10))
+        assert entry.cache.max_bytes == 1 << 10
+
+    def test_caching_off_by_default(self):
+        server = ModelServer()
+        entry = server.register("tiny", _session(seed=15))
+        assert entry.cache is None
+        assert server.metrics().cache is None

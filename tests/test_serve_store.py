@@ -16,7 +16,7 @@ from repro.engine import (
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.quant.uniform import quantize, symmetric_params
-from repro.serve import PlanStore
+from repro.serve import PlanStore, PlanStoreError
 from repro.serve.store import STORE_FORMAT, STORE_VERSION
 
 
@@ -214,3 +214,80 @@ class TestStoreHeaderValidation:
         np.savez(path, a=np.zeros(3))
         with pytest.raises(ValueError, match="missing manifest"):
             PlanStore(path).describe()
+
+
+class TestStoreFailurePaths:
+    """A store that fails validation raises PlanStoreError — it must never
+    rehydrate garbage plans into a serving session."""
+
+    def _saved(self, tmp_path):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        store = PlanStore(tmp_path / "f.npz")
+        store.save(session)
+        return store
+
+    def test_truncated_file_rejected(self, tmp_path):
+        store = self._saved(tmp_path)
+        blob = store.path.read_bytes()
+        for keep in (len(blob) // 3, len(blob) - 16):
+            store.path.write_bytes(blob[:keep])
+            with pytest.raises(PlanStoreError):
+                store.load(model=TinyNet())
+            with pytest.raises(PlanStoreError):
+                store.describe()
+
+    def test_corrupt_garbage_bytes_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00definitely not a zip archive\xff" * 64)
+        with pytest.raises(PlanStoreError):
+            PlanStore(path).load(model=TinyNet())
+        with pytest.raises(PlanStoreError):
+            PlanStore(path).describe()
+
+    def test_version_mismatch_is_typed(self, tmp_path):
+        store = self._saved(tmp_path)
+        with np.load(store.path, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        meta = json.loads(str(payload["__meta__"][()]))
+        meta["header"]["version"] = STORE_VERSION + 5
+        payload["__meta__"] = np.array(json.dumps(meta))
+        with open(store.path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(PlanStoreError, match="newer store version"):
+            store.load(model=TinyNet())
+
+    def test_missing_layer_plan_rejected(self, tmp_path):
+        """A manifest whose plans do not cover its calibration records must
+        raise, not silently re-prepare (which would mask the corruption)."""
+        store = self._saved(tmp_path)
+        with np.load(store.path, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        meta = json.loads(str(payload["__meta__"][()]))
+        plans = meta["payload"]["items"]["plans"]["items"]
+        assert plans, "saved store must have plans to drop"
+        plans.pop(sorted(plans)[0])
+        payload["__meta__"] = np.array(json.dumps(meta))
+        with open(store.path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(PlanStoreError, match="missing layer plans"):
+            store.load(model=TinyNet())
+
+    def test_corrupt_manifest_json_rejected(self, tmp_path):
+        store = self._saved(tmp_path)
+        with np.load(store.path, allow_pickle=False) as npz:
+            payload = {k: npz[k] for k in npz.files}
+        payload["__meta__"] = np.array("{not json at all")
+        with open(store.path, "wb") as fh:
+            np.savez(fh, **payload)
+        with pytest.raises(PlanStoreError, match="corrupt manifest"):
+            store.describe()
+
+    def test_missing_file_keeps_file_not_found(self, tmp_path):
+        """A path that simply does not exist is not a corrupt store."""
+        with pytest.raises(FileNotFoundError):
+            PlanStore(tmp_path / "nope.npz").describe()
+
+    def test_error_type_is_a_value_error(self):
+        """Compatibility: pre-PR-4 callers caught ValueError."""
+        assert issubclass(PlanStoreError, ValueError)
