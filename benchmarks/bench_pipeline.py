@@ -1,0 +1,202 @@
+"""Bench E3 — sharded pipeline-parallel serving vs serial execution.
+
+A prepared model's layer chain runs end to end per request, so one request
+occupies one thread for the whole chain even when cores sit idle.  The
+shard subsystem splits the chain into cost-balanced stages and streams
+micro-batches through them (stage *k* of batch *i* overlapping stage *k-1*
+of batch *i+1*) — the software analogue of Panacea's ZPM -> DBS ->
+AQS-GEMM -> PPU pipeline, whose cost model exists precisely to keep
+heterogeneous stages busy.
+
+This bench:
+
+* auto-partitions the BERT-base proxy under measured per-layer costs and
+  prints the stage split (plus the modeled-cost split for comparison);
+* streams a fixed request set through a :class:`ShardedSession` under a
+  depth sweep (``depth=1`` is the no-overlap pipeline; the *serial*
+  baseline is plain ``session.run``), asserting every output bit-exact
+  against the serial run before timing is trusted;
+* reports wall time, throughput, and speedup vs serial per (stages,
+  depth) point.
+
+Pipeline overlap needs free cores: single-core runners still emit numbers
+and the exactness asserts always bind, but the >= 1.3x throughput gate
+(`test_pipeline_throughput_speedup`) only runs where >= 4 cores exist, in
+CI's dedicated serial step.
+
+Emits a table to ``results/pipeline.txt`` and machine-readable numbers to
+``results/pipeline.json``.
+
+Run:        PYTHONPATH=src python benchmarks/bench_pipeline.py
+CI smoke:   PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke
+(small stream; keeps the bit-exactness asserts and writes the JSON
+artifact for upload)
+"""
+
+import argparse
+import os
+import time
+
+import numpy as np
+from _util import emit, emit_json
+
+from repro.core.pipeline import PtqConfig
+from repro.engine import PanaceaSession
+from repro.eval.tables import format_table
+from repro.models.zoo import build_proxy, proxy_batches
+from repro.shard import ShardedSession, auto_partition
+
+MODEL = "bert_base"
+STAGES = 4
+DEPTHS = (1, 2, 4)
+GATE_MIN_SPEEDUP = 1.3
+GATE_MIN_CORES = 4
+
+
+def _prepared_session(seed=0):
+    model, _ = build_proxy(MODEL, seed=seed)
+    session = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
+    session.calibrate(proxy_batches(MODEL, 2, 2, seed=seed + 1))
+    return session
+
+
+def _requests(n, rows, seed=0):
+    return proxy_batches(MODEL, rows, n, seed=seed + 10)
+
+
+def run_partition(seed=0):
+    """Measured vs modeled stage splits of the same prepared session."""
+    session = _prepared_session(seed=seed)
+    sample = _requests(1, 2, seed=seed)[0]
+    measured = auto_partition(session, STAGES, sample=sample, repeats=2)
+    modeled = auto_partition(session, STAGES)
+    return session, {
+        "stages": STAGES,
+        "measured": {"balance": measured.balance,
+                     "stages": measured.summary()},
+        "modeled": {"balance": modeled.balance,
+                    "stages": modeled.summary()},
+    }, measured
+
+
+def run_pipeline(n_requests=16, rows=2, depths=DEPTHS, seed=0):
+    """Depth sweep over one stage split, bit-exact vs serial ``run``.
+
+    Every depth serves the identical request stream; ``depth=1`` runs the
+    stages with no overlap (the pipeline-overhead floor) and the serial
+    baseline runs ``session.run`` — the exact execution a non-sharded
+    deployment performs.
+    """
+    session, partition, plan = run_partition(seed=seed)
+    requests = _requests(n_requests, rows, seed=seed)
+
+    t0 = time.perf_counter()
+    expected = [session.run(x) for x in requests]
+    serial_s = time.perf_counter() - t0
+
+    results = []
+    for depth in depths:
+        fresh = _prepared_session(seed=seed)
+        with ShardedSession(fresh, plan, depth=depth) as sharded:
+            t0 = time.perf_counter()
+            outputs = sharded.run_pipelined(requests)
+            wall_s = time.perf_counter() - t0
+            stage_stats = sharded.stage_stats()
+        for got, expect in zip(outputs, expected):
+            assert np.array_equal(got, expect), (
+                f"depth={depth} pipelined output is not bit-exact vs "
+                "serial session.run")
+        results.append({
+            "stages": plan.n_stages,
+            "depth": depth,
+            "n_requests": n_requests,
+            "wall_s": wall_s,
+            "throughput_rps": n_requests / wall_s,
+            "speedup_vs_serial": serial_s / wall_s,
+            "stage_exec_ms": [s["exec"]["mean_ms"]
+                              for s in stage_stats["stages"]],
+            "stage_stall_ms": [s["stall"]["mean_ms"]
+                               for s in stage_stats["stages"]],
+        })
+    return {
+        "model": MODEL,
+        "cpu_count": os.cpu_count(),
+        "n_requests": n_requests,
+        "rows": rows,
+        "serial_wall_s": serial_s,
+        "partition": partition,
+        "pipeline": results,
+    }
+
+
+def run(n_requests=16):
+    payload = run_pipeline(n_requests=n_requests)
+    part = payload["partition"]
+    prows = [[r["stage"], " ".join(r["segments"]), r["n_layers"],
+              r["cost_share"]] for r in part["measured"]["stages"]]
+    rows = [[r["stages"], r["depth"], r["throughput_rps"],
+             r["speedup_vs_serial"],
+             max(r["stage_exec_ms"]), max(r["stage_stall_ms"])]
+            for r in payload["pipeline"]]
+    best = max(r["speedup_vs_serial"] for r in payload["pipeline"])
+    emit("pipeline", format_table(
+        ["stage", "segments", "layers", "cost share"], prows,
+        title=f"{MODEL} measured stage split "
+              f"(balance {part['measured']['balance']:.2f}; modeled "
+              f"balance {part['modeled']['balance']:.2f})") + "\n\n" +
+        format_table(
+            ["stages", "depth", "req/s", "speedup", "max stage ms",
+             "max stall ms"], rows,
+            title=f"pipelined serving vs serial session.run "
+                  f"({payload['n_requests']} requests, {os.cpu_count()} "
+                  f"cores, best {best:.2f}x; outputs bit-exact at every "
+                  "depth)"))
+    emit_json("pipeline", payload)
+    return payload
+
+
+def test_pipelined_bit_exact():
+    """The non-negotiable invariant, under pytest (small stream)."""
+    run_pipeline(n_requests=4, depths=(1, 2))
+
+
+def test_pipeline_throughput_speedup():
+    """The PR's throughput criterion: >= 1.3x at depth >= 2 on >= 4 cores
+    vs serial session.run.  Wall-clock gates cannot share cores with other
+    test workers, so the gate is opt-in and CI runs it in the dedicated
+    serial step; the exactness asserts always ran in
+    test_pipelined_bit_exact regardless."""
+    import pytest
+
+    if not os.environ.get("REPRO_RUN_THROUGHPUT_GATE"):
+        pytest.skip("wall-clock gate is opt-in (it needs exclusive cores "
+                    "and flakes on contended machines): set "
+                    "REPRO_RUN_THROUGHPUT_GATE=1 — CI's dedicated serial "
+                    "step does")
+    if (os.cpu_count() or 1) < GATE_MIN_CORES:
+        pytest.skip(f"needs >= {GATE_MIN_CORES} cores for stage overlap, "
+                    f"have {os.cpu_count()}")
+    payload = run_pipeline(n_requests=24, depths=(1, 4))
+    overlapped = [r for r in payload["pipeline"] if r["depth"] >= 2]
+    best = max(r["speedup_vs_serial"] for r in overlapped)
+    assert best >= GATE_MIN_SPEEDUP, [
+        (r["depth"], r["speedup_vs_serial"]) for r in payload["pipeline"]]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small stream, exactness asserts + JSON only")
+    parser.add_argument("--requests", type=int, default=16)
+    args = parser.parse_args()
+    if args.smoke:
+        payload = run_pipeline(n_requests=6, depths=(1, 2))
+        emit_json("pipeline_smoke", payload)
+        best = max(r["speedup_vs_serial"] for r in payload["pipeline"])
+        print(f"pipeline smoke: {payload['partition']['stages']}-stage "
+              f"split balance "
+              f"{payload['partition']['measured']['balance']:.2f}; all "
+              f"depths bit-exact vs serial; best {best:.2f}x on "
+              f"{os.cpu_count()} cores")
+    else:
+        run(n_requests=args.requests)

@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the everyday workflows:
+Eight commands cover the everyday workflows:
 
 * ``list-models`` — the benchmark zoo with shapes and MAC counts;
 * ``engines`` — the registered GEMM engines and their config constraints;
 * ``profile <model>`` — per-layer bit-slice sparsity under a policy;
+  ``--measure`` adds the proxy session's measured per-layer latency (the
+  shard partitioner's cost signal) and the hw bound classification;
 * ``simulate <model>`` — run the accelerator models and print the
   comparison table;
 * ``serve <model>`` — host the model on a :class:`ModelServer` and push
@@ -13,7 +15,11 @@ Seven commands cover the everyday workflows:
   ``--exec-path`` picks the fast or sliced BLAS path, ``--max-records``
   bounds trace retention, ``--workers`` attaches the concurrent worker
   pool with async submission, ``--cache-kib`` enables the per-deployment
-  result cache and ``--repeats`` resubmits the stream to exercise it);
+  result cache, ``--repeats`` resubmits the stream to exercise it and
+  ``--shards``/``--depth`` deploy the model as a stage pipeline);
+* ``shard <model>`` — auto-partition a proxy into balanced pipeline
+  stages (measured or modeled costs) and stream a request set through
+  the pipelined vs serial paths;
 * ``plan export <model>`` / ``plan load <path>`` — persist a converted
   model's layer plans to a :class:`PlanStore` file and rehydrate a serving
   session from one with zero re-prepare work;
@@ -81,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--no-dbs", action="store_true")
     p_prof.add_argument("--stride", type=int, default=4,
                         help="simulate every Nth transformer block")
+    p_prof.add_argument("--measure", action="store_true",
+                        help="additionally run the proxy session and print "
+                             "measured per-layer latency (the shard "
+                             "partitioner's cost signal) plus the hw bound "
+                             "classification")
+    p_prof.add_argument("--repeats", type=int, default=3,
+                        help="forwards averaged by --measure")
     p_prof.add_argument("--seed", type=int, default=0)
 
     p_sim = sub.add_parser("simulate",
@@ -118,7 +131,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--repeats", type=int, default=1,
                          help="times the request stream is submitted "
                               "(duplicates exercise the result cache)")
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="pipeline stages the deployment is split "
+                              "into (0/1 = unsharded); stages overlap "
+                              "across queued requests")
+    p_serve.add_argument("--depth", type=int, default=2,
+                         help="max in-flight micro-batches of a sharded "
+                              "deployment's pipeline")
     p_serve.add_argument("--seed", type=int, default=0)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="auto-partition a proxy model and serve a pipelined demo")
+    p_shard.add_argument("model")
+    p_shard.add_argument("--scheme", default="aqs",
+                         choices=["aqs", "sibia", "int8_dense", "fp32"])
+    p_shard.add_argument("--stages", type=int, default=3,
+                         help="pipeline stages to balance the layers into")
+    p_shard.add_argument("--depth", type=int, default=4,
+                         help="max in-flight micro-batches")
+    p_shard.add_argument("--requests", type=int, default=8,
+                         help="micro-batches streamed through the pipeline")
+    p_shard.add_argument("--batch", type=int, default=2,
+                         help="rows per micro-batch")
+    p_shard.add_argument("--modeled", action="store_true",
+                         help="balance on modeled MAC volume instead of a "
+                              "measured profile")
+    p_shard.add_argument("--seed", type=int, default=0)
 
     p_plan = sub.add_parser(
         "plan", help="persist/load converted models as plan stores")
@@ -197,6 +236,66 @@ def _cmd_profile(args, out) -> int:
     print(f"mean rho_x {np.mean([p.rho_x for p in profiles]):.3f}  "
           f"mean rho_w {np.mean([p.rho_w for p in profiles]):.3f}",
           file=out)
+    if args.measure:
+        return _profile_measured(args, config, out)
+    return 0
+
+
+def _profile_measured(args, config, out) -> int:
+    """Measured per-layer latency + hw bound classification (--measure).
+
+    The latency table comes from :meth:`PanaceaSession.profile` on the
+    runnable proxy — the same measurement path the shard auto-partitioner
+    balances stages on — so what this table shows is exactly what
+    ``repro shard`` would split.  The bound table classifies the full-shape
+    config's layers on the Panacea hardware model
+    (:func:`repro.hw.analysis.analyze`).
+    """
+    from .core.pipeline import PtqConfig
+    from .engine import PanaceaSession
+    from .eval.experiments.common import panacea_perf
+    from .eval.tables import format_table
+    from .hw.analysis import analyze
+    from .models.zoo import PROXY_SPECS, build_proxy, proxy_batches
+
+    if args.scheme == "dense":
+        print("--measure uses the session engines; pick --scheme aqs or "
+              "sibia", file=out)
+        return 2
+    if args.model not in PROXY_SPECS:
+        print(f"--measure needs a runnable proxy; none for {args.model!r} "
+              f"(available: {sorted(PROXY_SPECS)})", file=out)
+        return 2
+    model, _ = build_proxy(args.model, seed=args.seed)
+    session = PanaceaSession(model, PtqConfig.for_scheme(args.scheme))
+    session.calibrate(proxy_batches(args.model, 2, 2, seed=args.seed + 1))
+    sample = proxy_batches(args.model, 2, 1, seed=args.seed + 2)[0]
+    report = session.profile(sample, repeats=args.repeats)
+    layer_total = max(report.layer_s, 1e-12)
+    rows = [[layer.name, layer.n_calls, layer.mean_s * 1e3,
+             layer.total_s / layer_total, layer.ops.mul4,
+             layer.ops.ema_nibbles] for layer in report.layers]
+    print(file=out)
+    print(format_table(
+        ["layer", "calls", "mean ms", "share", "mul4", "ema_nibbles"], rows,
+        title=f"{args.model} proxy: measured per-layer latency "
+              f"({args.repeats} forwards, batch {sample.shape})"), file=out)
+    print(f"forward {report.total_s / args.repeats * 1e3:.1f} ms "
+          f"(GEMM layers {report.layer_s / args.repeats * 1e3:.1f} ms, "
+          f"glue {report.other_s / args.repeats * 1e3:.1f} ms)", file=out)
+
+    bound = analyze(panacea_perf(config, stride=1, seed=args.seed))
+    brows = [[l.name, l.bound, l.compute_cycles, l.dram_cycles,
+              l.utilization, l.arithmetic_intensity] for l in bound.layers]
+    print(file=out)
+    print(format_table(
+        ["layer", "bound", "compute cyc", "dram cyc", "util", "MACs/byte"],
+        brows,
+        title=f"{args.model} full-shape bound classification "
+              f"(machine balance {bound.machine_balance:.1f} MACs/byte)"),
+        file=out)
+    print(f"dram-bound fraction {bound.dram_bound_fraction:.2f}, "
+          f"mean utilization {bound.mean_utilization:.2f}", file=out)
     return 0
 
 
@@ -232,6 +331,9 @@ def _cmd_serve(args, out) -> int:
     if args.cache_kib < 0:
         print(f"--cache-kib must be >= 0, got {args.cache_kib}", file=out)
         return 2
+    if args.shards < 0:
+        print(f"--shards must be >= 0, got {args.shards}", file=out)
+        return 2
     server = ModelServer(workers=args.workers,
                          cache_bytes=args.cache_kib * 1024)
     deployment = f"{args.model}/{args.scheme}"
@@ -240,7 +342,8 @@ def _cmd_serve(args, out) -> int:
     t0 = time.perf_counter()
     server.deploy_proxy(deployment, args.model, scheme=args.scheme,
                         exec_path=args.exec_path, seed=args.seed,
-                        policy=policy, max_records=args.max_records)
+                        policy=policy, max_records=args.max_records,
+                        shards=args.shards, depth=args.depth)
     prepare_s = time.perf_counter() - t0
 
     requests = proxy_batches(args.model, args.batch, args.requests,
@@ -290,10 +393,75 @@ def _cmd_serve(args, out) -> int:
               f"{n_submitted} submissions "
               f"(hit rate {metrics.cache_hit_rate:.0%}, "
               f"{metrics.cache['bytes'] / 1024:.1f} KiB held)", file=out)
+    if metrics.pipelines and deployment in metrics.pipelines:
+        pipe = metrics.pipelines[deployment]
+        stage_ms = ", ".join(
+            f"s{s['stage']} {s['exec']['mean_ms']:.1f}ms"
+            for s in pipe["stages"])
+        print(f"pipeline: {pipe['n_stages']} stages (depth {pipe['depth']}, "
+              f"{pipe['source']} costs): {stage_ms}", file=out)
     print(f"lifetime ops: mul4={sess['mul4']:.3g} add={sess['add']:.3g} "
           f"ema_nibbles={sess['ema_nibbles']:.3g}  "
           f"mean rho_w {sess['mean_rho_w']:.3f}  "
           f"mean rho_x {sess['mean_rho_x']:.3f}", file=out)
+    return 0
+
+
+def _cmd_shard(args, out) -> int:
+    import time
+
+    import numpy as np
+
+    from .core.pipeline import PtqConfig
+    from .engine import PanaceaSession
+    from .eval.tables import format_table
+    from .models.zoo import PROXY_SPECS, build_proxy, proxy_batches
+    from .shard import ShardedSession, auto_partition
+
+    if args.model not in PROXY_SPECS:
+        print(f"no runnable proxy for {args.model!r}; "
+              f"available: {sorted(PROXY_SPECS)}", file=out)
+        return 2
+    if args.stages < 1:
+        print(f"--stages must be >= 1, got {args.stages}", file=out)
+        return 2
+    model, _ = build_proxy(args.model, seed=args.seed)
+    session = PanaceaSession(model, PtqConfig.for_scheme(args.scheme))
+    t0 = time.perf_counter()
+    session.calibrate(proxy_batches(args.model, 2, 2, seed=args.seed + 1))
+    prepare_s = time.perf_counter() - t0
+    sample = (None if args.modeled
+              else proxy_batches(args.model, args.batch, 1,
+                                 seed=args.seed + 2)[0])
+    plan = auto_partition(session, args.stages, sample=sample)
+    rows = [[r["stage"], " ".join(r["segments"]), r["n_layers"],
+             r["cost_share"]] for r in plan.summary()]
+    print(format_table(
+        ["stage", "segments", "layers", "cost share"], rows,
+        title=f"{args.model}/{args.scheme}: {plan.n_stages} stages "
+              f"({plan.source} costs, balance {plan.balance:.2f}, "
+              f"prepared in {prepare_s * 1e3:.0f} ms)"), file=out)
+
+    requests = proxy_batches(args.model, args.batch, args.requests,
+                             seed=args.seed + 3)
+    t0 = time.perf_counter()
+    serial_expected = [session.run(x) for x in requests]
+    serial_s = time.perf_counter() - t0
+    with ShardedSession(session, plan, depth=args.depth) as sharded:
+        t0 = time.perf_counter()
+        outputs = sharded.run_pipelined(requests)
+        pipe_s = time.perf_counter() - t0
+        stage_stats = sharded.stage_stats()
+    for got, expect in zip(outputs, serial_expected):
+        assert np.array_equal(got, expect), "pipelined output != run()"
+    print(f"streamed {len(requests)} micro-batches (depth {args.depth}): "
+          f"pipelined {pipe_s * 1e3:.0f} ms vs serial "
+          f"{serial_s * 1e3:.0f} ms ({serial_s / pipe_s:.2f}x); outputs "
+          "bit-exact vs session.run", file=out)
+    for s in stage_stats["stages"]:
+        print(f"  stage {s['stage']}: {s['n_batches']} batches, exec "
+              f"p50 {s['exec']['p50_ms']:.1f} ms, stall "
+              f"p50 {s['stall']['p50_ms']:.2f} ms", file=out)
     return 0
 
 
@@ -382,6 +550,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_simulate(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "shard":
+        return _cmd_shard(args, out)
     if args.command == "plan":
         if args.plan_command == "export":
             return _cmd_plan_export(args, out)

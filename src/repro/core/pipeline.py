@@ -21,6 +21,9 @@ The pipeline follows the paper's flow exactly:
 
 from __future__ import annotations
 
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -156,22 +159,57 @@ class LayerExecution:
     w_bits: int
     x_bits: int
     lo_bits: int = 4
+    #: Wall-clock seconds of this layer call (quantize + execute +
+    #: dequantize), measured by the quantized layer itself so the serving
+    #: profiler and the shard partitioner share one measurement path.
+    latency_s: float = 0.0
     uw_mask: np.ndarray | None = field(default=None, repr=False)
     ux_mask: np.ndarray | None = field(default=None, repr=False)
 
 
 class ExecutionTrace:
-    """Accumulates :class:`LayerExecution` records across a forward pass."""
+    """Accumulates :class:`LayerExecution` records across a forward pass.
+
+    ``records`` is the shared, session-ordered ledger.  :meth:`capture`
+    additionally supports *redirected* collection: while a capture is active
+    on a thread, that thread's :meth:`add` calls land in the capture's local
+    list instead of ``records``.  This is what lets pipeline stages execute
+    the same layer modules concurrently on several threads — each stage
+    collects its own records without interleaving them into the shared
+    ledger (which only the session, under its lock, appends to).
+    """
 
     def __init__(self, keep_masks: bool = False) -> None:
         self.records: list[LayerExecution] = []
         self.keep_masks = keep_masks
+        self._capture = threading.local()
 
     def add(self, record: LayerExecution) -> None:
         if not self.keep_masks:
             record.uw_mask = None
             record.ux_mask = None
-        self.records.append(record)
+        sink = getattr(self._capture, "sink", None)
+        if sink is not None:
+            sink.append(record)
+        else:
+            self.records.append(record)
+
+    @contextmanager
+    def capture(self):
+        """Redirect this thread's ``add`` calls into a local list.
+
+        Yields the list; on exit the previous sink (captures nest) is
+        restored.  Records captured here are *not* in :attr:`records` — the
+        caller decides whether to merge them (e.g.
+        :meth:`~repro.engine.session.PanaceaSession.record_external`).
+        """
+        outer = getattr(self._capture, "sink", None)
+        sink: list[LayerExecution] = []
+        self._capture.sink = sink
+        try:
+            yield sink
+        finally:
+            self._capture.sink = outer
 
     def clear(self) -> None:
         self.records.clear()
@@ -253,6 +291,7 @@ class _QuantizedGemmBase(Module):
     def _gemm(self, x2d: np.ndarray) -> np.ndarray:
         """Quantize ``(K, N)`` float activations, execute the plan, dequantize."""
         record = self.record
+        t0 = time.perf_counter()
         x_q = quantize(x2d, record.x_params)
         result = self.engine.execute(self.plan, x_q)
         acc = result.acc + self._b_hat[:, None]
@@ -266,6 +305,7 @@ class _QuantizedGemmBase(Module):
                 rho_w=result.rho_w, rho_x=result.rho_x, ops=result.ops,
                 scheme=self.scheme, w_bits=record.w_bits,
                 x_bits=record.x_bits, lo_bits=record.lo_bits,
+                latency_s=time.perf_counter() - t0,
                 uw_mask=result.uw_mask, ux_mask=result.ux_mask,
             ))
         return out

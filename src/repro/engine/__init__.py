@@ -20,7 +20,8 @@ from .base import (
     register_engine,
 )
 from .engines import AqsEngine, Fp32Engine, Fp32Plan, Int8DenseEngine, SibiaEngine
-from .session import PanaceaSession, RequestRecord
+from .session import (LayerProfile, PanaceaSession, ProfileReport,
+                      RequestRecord)
 
 __all__ = [
     "Engine",
@@ -39,4 +40,6 @@ __all__ = [
     "SibiaEngine",
     "PanaceaSession",
     "RequestRecord",
+    "LayerProfile",
+    "ProfileReport",
 ]

@@ -51,7 +51,58 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->engine cycle
     from ..core.pipeline import (ExecutionTrace, LayerExecution,
                                  LayerQuantRecord, PtqConfig)
 
-__all__ = ["PanaceaSession", "RequestRecord"]
+__all__ = ["PanaceaSession", "RequestRecord", "LayerProfile",
+           "ProfileReport"]
+
+
+@dataclass
+class LayerProfile:
+    """Aggregated measurements of one GEMM layer across profiling passes."""
+
+    name: str
+    n_calls: int
+    total_s: float
+    ops: OpCounts
+    scheme: str
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.n_calls if self.n_calls else 0.0
+
+
+@dataclass
+class ProfileReport:
+    """One :meth:`PanaceaSession.profile` result.
+
+    ``layers`` is in first-execution order (the model's layer chain);
+    ``total_s`` is the summed wall time of the profiled forwards, so
+    ``other_s`` — the time outside GEMM layers (norms, activations,
+    attention softmax, Python dispatch) — is ``total_s`` minus the layer
+    sum, never negative.
+    """
+
+    layers: list[LayerProfile]
+    total_s: float
+    repeats: int
+    batch_shape: tuple[int, ...]
+
+    @property
+    def layer_s(self) -> float:
+        return sum(layer.total_s for layer in self.layers)
+
+    @property
+    def other_s(self) -> float:
+        return max(0.0, self.total_s - self.layer_s)
+
+    def latency_by_layer(self) -> dict[str, float]:
+        """Mean per-call wall seconds keyed by dotted layer name."""
+        return {layer.name: layer.mean_s for layer in self.layers}
+
+    def total_ops(self) -> OpCounts:
+        total = OpCounts()
+        for layer in self.layers:
+            total = total.merge(layer.ops)
+        return total
 
 
 @dataclass
@@ -435,6 +486,76 @@ class PanaceaSession:
             self.trace.records = [rec for rec in self.trace.records
                                   if id(rec) not in drop_ids]
         self._retained_layer_count -= n_dropped_layers
+
+    def record_external(self, batch_shape: Sequence[int],
+                        layers: "Sequence[LayerExecution]",
+                        latency_s: float, *,
+                        coalesced: int = 1) -> RequestRecord:
+        """Fold an externally-executed request into the session's ledger.
+
+        The sharded pipeline executes this session's layer modules on worker
+        threads with the trace *captured* per stage (see
+        :meth:`ExecutionTrace.capture`), so nothing lands in the shared
+        accounting during execution.  This method is where those captured
+        layer records become a first-class :class:`RequestRecord` — id
+        assignment, lifetime counters, trace append and ``max_records``
+        trimming all behave exactly as if :meth:`run` had served the
+        request.  Taken under the session lock.
+        """
+        with self._lock:
+            record = RequestRecord(
+                request_id=self._lifetime_requests,
+                batch_shape=tuple(batch_shape),
+                layers=list(layers),
+                latency_s=latency_s,
+                coalesced=coalesced,
+            )
+            self.trace.records.extend(record.layers)
+            self.requests.append(record)
+            self._account(record)
+            self._lifetime_batches += 1
+            self._lifetime_exec_s += latency_s
+            self._trim_records()
+            return record
+
+    def profile(self, batch: np.ndarray, *, repeats: int = 1) -> ProfileReport:
+        """Measure per-layer wall-clock latency and op counts on ``batch``.
+
+        Runs ``repeats`` forwards with the trace captured, so profiling is a
+        pure measurement: nothing is added to the request ledger or the
+        lifetime counters.  Each GEMM layer's latency comes from the layer
+        itself (``LayerExecution.latency_s`` — the same number every serving
+        record carries), which is the one measurement path the shard
+        partitioner, the profile CLI and the serving records share.
+
+        Layer aggregation is by dotted name, in first-execution order.
+        """
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self._require_prepared("profile()")
+        with self._lock:
+            order: list[str] = []
+            totals: dict[str, LayerProfile] = {}
+            total_s = 0.0
+            for _ in range(repeats):
+                with self.trace.capture() as records:
+                    t0 = time.perf_counter()
+                    self.model(batch)
+                    total_s += time.perf_counter() - t0
+                for rec in records:
+                    if rec.name not in totals:
+                        order.append(rec.name)
+                        totals[rec.name] = LayerProfile(
+                            name=rec.name, n_calls=0, total_s=0.0,
+                            ops=OpCounts(), scheme=rec.scheme)
+                    layer = totals[rec.name]
+                    layer.n_calls += 1
+                    layer.total_s += rec.latency_s
+                    layer.ops = layer.ops.merge(rec.ops)
+            return ProfileReport(
+                layers=[totals[name] for name in order],
+                total_s=total_s, repeats=repeats,
+                batch_shape=tuple(np.shape(batch)))
 
     def run_many(self, batches: Iterable) -> Iterator:
         """Stream request batches through :meth:`run`, yielding outputs.

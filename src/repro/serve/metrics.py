@@ -108,7 +108,10 @@ class ServerMetrics:
     ``workers`` is the :class:`~repro.serve.pool.WorkerPool` summary (or
     ``None`` when the server runs inline) whose per-worker utilization list
     answers "are my workers actually overlapping?"; ``cache`` sums every
-    deployment's cache counters into one server-wide hit-rate.
+    deployment's cache counters into one server-wide hit-rate;
+    ``pipelines`` maps each *sharded* deployment to its per-stage
+    execution/stall latency view (``None`` when nothing is sharded) — the
+    dashboard that answers "which stage is the pipeline's bottleneck?".
     """
 
     n_deployments: int
@@ -121,6 +124,7 @@ class ServerMetrics:
     deployments: dict
     workers: dict | None = None
     cache: dict | None = None
+    pipelines: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -143,5 +147,6 @@ class ServerMetrics:
             "queue_wait": self.queue_wait,
             "workers": self.workers,
             "cache": self.cache,
+            "pipelines": self.pipelines,
             "deployments": self.deployments,
         }

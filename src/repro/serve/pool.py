@@ -18,6 +18,25 @@ waiting inside the serving stack (a deployment's service lock, a rider
 wait) — it measures whether the workers have work, not whether the engines
 overlap.  For engine-level overlap, compare the sum of per-deployment
 ``session.stats()['exec_s']`` against wall time.
+
+**Nested submission.**  A task may itself submit downstream work to the
+same pool and wait on it — the sharded pipeline does exactly this: a stage
+running on a worker submits the next stage and the drain that launched the
+batches blocks on their completion.  A naive fixed pool deadlocks here
+(every worker blocked waiting on queued tasks no worker is free to run), so
+:meth:`wait` and :meth:`run_all` detect that they are on a pool worker and
+*help*: they drain queued tasks inline while waiting.
+
+Helping is **group-scoped**: the waiter only executes tasks submitted under
+its own group tag (:meth:`submit_grouped`) and re-queues anything else.
+Unscoped helping is a deadlock of its own — a serving worker waiting on
+pipeline stages must not be handed another serve task that blocks on the
+very service lock the waiter holds.  Its *own* nested tasks are safe by
+construction: the waiter submitted them, so they cannot need a lock it
+already took.  Helped tasks run inside the waiting task's already-ticking
+busy window, so they count toward ``n_tasks`` (and the pool-level
+``n_helped``) but add **no** ``busy_s`` — a nested pipeline must not
+report more busy seconds than wall time exists.
 """
 
 from __future__ import annotations
@@ -26,6 +45,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 
 __all__ = ["WorkerPool", "WorkerStats"]
@@ -82,6 +102,8 @@ class WorkerPool:
         self._tasks: queue.Queue = queue.Queue()
         self._shutdown = False
         self._lock = threading.Lock()
+        self._local = threading.local()
+        self._n_helped = 0
         now = self.clock()
         self._worker_stats = [WorkerStats(worker_id=i, started_t=now)
                               for i in range(workers)]
@@ -96,11 +118,21 @@ class WorkerPool:
     # -- task intake ----------------------------------------------------------
     def submit(self, fn, /, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)``; returns its future."""
+        return self.submit_grouped(None, fn, *args, **kwargs)
+
+    def submit_grouped(self, group, fn, /, *args, **kwargs) -> Future:
+        """Schedule a task under a help group (see :meth:`wait`).
+
+        ``group`` is any token identifying a nested work set — typically a
+        fresh ``object()`` per logical drain.  A :meth:`wait` with the same
+        group may execute this task inline on the waiting worker; every
+        other waiter leaves it to the worker loop.
+        """
         with self._lock:
             if self._shutdown:
                 raise RuntimeError("cannot submit to a shut-down WorkerPool")
             future: Future = Future()
-            self._tasks.put((future, fn, args, kwargs))
+            self._tasks.put((future, fn, args, kwargs, group))
         return future
 
     def run_all(self, thunks) -> list:
@@ -109,9 +141,14 @@ class WorkerPool:
         Every thunk is queued before any result is awaited, so ``workers``
         of them execute at once.  The first exception propagates after all
         thunks finished or failed (no thunk is silently abandoned
-        mid-flight).
+        mid-flight).  Safe to call from a pool worker: the thunks are
+        tagged as one help group and the waiting worker executes them
+        inline (see :meth:`wait`), so nested ``run_all`` never deadlocks
+        the fixed pool.
         """
-        futures = [self.submit(thunk) for thunk in thunks]
+        group = object()
+        futures = [self.submit_grouped(group, thunk) for thunk in thunks]
+        self.wait(futures, help_group=group)
         results, first_error = [], None
         for future in futures:
             try:
@@ -124,34 +161,100 @@ class WorkerPool:
             raise first_error
         return results
 
+    def wait(self, futures, *, help_group=None) -> None:
+        """Block until every future is done, helping if on a pool worker.
+
+        From a non-worker thread this is a plain wait.  From a pool worker
+        with a ``help_group``, queued tasks of that group execute inline
+        while any future is pending — the fix that makes nested submission
+        (a task waiting on tasks it submitted) safe on a fixed pool.
+        Helping is restricted to the waiter's own group because a foreign
+        task may block on a lock the waiting task holds (a serve task of
+        the deployment whose service lock the waiter took — the classic
+        inversion); tasks the waiter submitted itself cannot.  Does not
+        raise; collect results/exceptions from the futures afterwards.
+        """
+        futures = list(futures)
+        if help_group is not None \
+                and getattr(self._local, "worker_id", None) is not None:
+            self._help_while_pending(futures, help_group)
+        futures_wait(futures)
+
+    def _help_while_pending(self, futures, help_group) -> None:
+        """Run same-group queued tasks until the futures resolve.
+
+        Helped tasks execute inside this worker's current busy window, so
+        they are accounted with ``helped=True`` — counted, not re-timed.
+        Foreign-group tasks are re-queued untouched (another worker — or
+        their own group's waiter — runs them); after re-queueing, and when
+        the queue runs dry while futures are still mid-flight on other
+        workers, the loop falls back to short timed waits so it never
+        spins hot.  A popped shutdown sentinel is put back and helping
+        stops — the remaining futures resolve as the workers drain.
+        """
+        empty = object()
+        while not all(f.done() for f in futures):
+            try:
+                task = self._tasks.get_nowait()
+            except queue.Empty:
+                task = empty
+            if task is empty or task is None or task[-1] is not help_group:
+                if task is not empty:
+                    # Foreign task or shutdown sentinel: not ours to run
+                    # (or eat) — put it back for the worker loop.
+                    self._tasks.put(task)
+                    self._tasks.task_done()
+                pending = [f for f in futures if not f.done()]
+                if pending:
+                    futures_wait(pending, timeout=0.001)
+                continue
+            self._run_task(task, helped=True)
+
     # -- worker side ----------------------------------------------------------
     def _worker_loop(self, worker_id: int) -> None:
-        stats = self._worker_stats[worker_id]
+        self._local.worker_id = worker_id
         while True:
             task = self._tasks.get()
             if task is None:          # shutdown sentinel
                 self._tasks.task_done()
                 return
-            future, fn, args, kwargs = task
-            if not future.set_running_or_notify_cancel():
-                self._tasks.task_done()
-                continue
-            t0 = self.clock()
+            self._run_task(task, helped=False)
+
+    def _run_task(self, task, *, helped: bool) -> None:
+        """Execute one queued task and resolve its future.
+
+        ``helped=False`` is the worker-loop path: the task's wall time lands
+        in the worker's ``busy_s``.  ``helped=True`` is the nested path — a
+        worker executing a queued task *inside another task's* busy window
+        (see :meth:`wait`): the task still runs and counts, but its time is
+        already covered by the outer window, so ``busy_s`` is untouched
+        (double-counting would report utilization above wall time).
+        """
+        stats = self._worker_stats[self._local.worker_id]
+        future, fn, args, kwargs, _group = task
+        if not future.set_running_or_notify_cancel():
+            self._tasks.task_done()
+            return
+        t0 = self.clock()
+        if not helped:
             with self._lock:
                 stats.busy_since = t0
-            try:
-                result = fn(*args, **kwargs)
-            except BaseException as exc:  # noqa: BLE001 — future carries it
-                future.set_exception(exc)
-            else:
-                future.set_result(result)
-            finally:
-                elapsed = self.clock() - t0
-                with self._lock:
-                    stats.n_tasks += 1
+        try:
+            result = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — future carries it
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+        finally:
+            elapsed = self.clock() - t0
+            with self._lock:
+                stats.n_tasks += 1
+                if helped:
+                    self._n_helped += 1
+                else:
                     stats.busy_s += elapsed
                     stats.busy_since = None
-                self._tasks.task_done()
+            self._tasks.task_done()
 
     # -- lifecycle ------------------------------------------------------------
     @property
@@ -190,11 +293,13 @@ class WorkerPool:
         now = self.clock()
         with self._lock:
             per_worker = [w.summary(now) for w in self._worker_stats]
+            n_helped = self._n_helped
         n_tasks = sum(w["n_tasks"] for w in per_worker)
         busy_s = sum(w["busy_s"] for w in per_worker)
         return {
             "workers": self.workers,
             "n_tasks": n_tasks,
+            "n_helped": n_helped,
             "busy_s": busy_s,
             "mean_utilization": (sum(w["utilization"] for w in per_worker)
                                  / len(per_worker)),

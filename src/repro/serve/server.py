@@ -50,7 +50,14 @@ __all__ = ["ModelServer", "ModelEntry"]
 
 @dataclass
 class ModelEntry:
-    """One hosted deployment: a named session plus its scheduler."""
+    """One hosted deployment: a named session plus its scheduler.
+
+    ``session`` is either a plain :class:`PanaceaSession` or a
+    :class:`~repro.shard.session.ShardedSession` (deployed with
+    ``shards >= 2``) — both expose the serving surface the scheduler
+    consumes; a sharded deployment additionally reports per-stage pipeline
+    metrics.
+    """
 
     name: str
     session: PanaceaSession
@@ -65,13 +72,21 @@ class ModelEntry:
         """The deployment's result cache (None when caching is off)."""
         return self.batcher.cache
 
+    @property
+    def sharded(self) -> bool:
+        """Whether this deployment executes through a stage pipeline."""
+        return hasattr(self.session, "stage_stats")
+
     def stats(self) -> dict:
         """Session lifetime accounting merged with scheduler metrics."""
-        return {
+        stats = {
             "name": self.name,
             "session": self.session.stats(),
             "scheduler": self.batcher.stats(),
         }
+        if self.sharded:
+            stats["pipeline"] = self.session.stage_stats()
+        return stats
 
 
 class ModelServer:
@@ -124,18 +139,57 @@ class ModelServer:
             base = replace(base, cache_bytes=self.cache_bytes)
         return base
 
+    def _shard_session(self, session: PanaceaSession, shards: int,
+                       shard_plan, depth: int, shard_sample):
+        """Wrap a session for pipelined execution when ``shards >= 2``.
+
+        The sharded session owns a dedicated stage pool (one
+        :class:`WorkerPool` sized to its stage count), closed at
+        unregister/close time.  Stage tasks deliberately do **not** share
+        the server's serve pool: serve tasks block on service locks and
+        rider windows, so a pipeline driver holding a deployment's service
+        lock while its stage tasks queue behind blocked serve tasks is a
+        deadlock — dedicated stage workers can always make progress.
+        ``shard_plan`` pins an explicit (e.g. rehydrated)
+        :class:`~repro.shard.plan.ShardPlan`; otherwise the auto-partitioner
+        balances stages from ``shard_sample`` measurements (modeled MAC
+        costs when no sample is given).
+        """
+        from ..shard import ShardedSession, auto_partition
+
+        if shard_plan is None:
+            shard_plan = auto_partition(session, shards, sample=shard_sample)
+        elif shards and shards != shard_plan.n_stages:
+            raise ValueError(
+                f"shards={shards} conflicts with the explicit shard plan's "
+                f"{shard_plan.n_stages} stages")
+        return ShardedSession(session, shard_plan, depth=depth)
+
     def register(self, name: str, session: PanaceaSession,
-                 policy: BatchPolicy | None = None) -> ModelEntry:
+                 policy: BatchPolicy | None = None, *, shards: int = 0,
+                 shard_plan=None, depth: int = 2,
+                 shard_sample=None) -> ModelEntry:
         """Host a prepared session under ``name``.
 
         The session must already be calibrated (or explicitly built with
         ``auto_calibrate=True``): a server must never silently calibrate on
-        live traffic.
+        live traffic.  ``shards >= 2`` (or an explicit ``shard_plan``)
+        deploys the session as a stage pipeline: request groups stream
+        through the stages with in-flight depth ``depth`` instead of fusing
+        into one engine batch — bit-exact either way.
         """
         if not session.prepared and not session.auto_calibrate:
             raise ValueError(
                 f"session for {name!r} is not calibrated; calibrate it (or "
                 "opt in with auto_calibrate=True) before registering")
+        if not isinstance(shards, int) or isinstance(shards, bool) \
+                or shards < 0:
+            raise ValueError(
+                f"shards must be an int >= 0, got {shards!r} "
+                "(only load() accepts the string 'stored')")
+        if shards >= 2 or shard_plan is not None:
+            session = self._shard_session(session, shards, shard_plan,
+                                          depth, shard_sample)
         kwargs = {} if self._clock is None else {"clock": self._clock}
         entry = ModelEntry(
             name=name, session=session,
@@ -152,13 +206,16 @@ class ModelServer:
                      seed: int = 0, n_calibration: int = 2,
                      calibration_batch: int = 2,
                      policy: BatchPolicy | None = None,
-                     max_records: int | None = None) -> ModelEntry:
+                     max_records: int | None = None, shards: int = 0,
+                     depth: int = 2) -> ModelEntry:
         """Build, calibrate and host one proxy-zoo model variant.
 
         The convenience path the CLI and benchmarks use: builds the runnable
         proxy, calibrates on synthetic batches matching its input modality,
         and registers the prepared session.  ``policy`` defaults to the
         server default with the proxy's natural ``pad_axis`` applied.
+        ``shards >= 2`` deploys pipelined: the auto-partitioner balances the
+        stages on a measured profile of one synthetic batch.
         """
         from ..core.pipeline import PtqConfig
         from ..models.zoo import PROXY_SPECS, build_proxy, proxy_batches
@@ -172,8 +229,11 @@ class ModelServer:
         session = PanaceaSession(model, config, max_records=max_records)
         session.calibrate(proxy_batches(model_name, calibration_batch,
                                         n_calibration, seed=seed + 1))
+        sample = (proxy_batches(model_name, calibration_batch, 1,
+                                seed=seed + 2)[0] if shards >= 2 else None)
         return self.register(name, session,
-                             self._policy_for_proxy(policy, model_name))
+                             self._policy_for_proxy(policy, model_name),
+                             shards=shards, depth=depth, shard_sample=sample)
 
     def _policy_for_proxy(self, policy: BatchPolicy | None,
                           model_name: str | None) -> BatchPolicy:
@@ -193,26 +253,49 @@ class ModelServer:
 
     def load(self, name: str, path, *, model=None,
              policy: BatchPolicy | None = None,
-             max_records: int | None = None) -> ModelEntry:
+             max_records: int | None = None, shards: int | str = 0,
+             depth: int = 2) -> ModelEntry:
         """Host a deployment rehydrated from a plan store (zero re-prepare).
 
         When the store references a proxy-zoo model, its natural
         ``pad_axis`` is applied exactly as :meth:`deploy_proxy` would.
+        ``shards="stored"`` deploys with the shard plan persisted in the
+        store (raising if there is none); ``shards=N >= 2`` re-partitions
+        with modeled costs instead.
         """
         from .store import PlanStore
 
+        if isinstance(shards, str) and shards != "stored":
+            raise ValueError(
+                f"shards must be an int or 'stored', got {shards!r}")
         store = PlanStore(path)
         session = store.load(model=model, max_records=max_records)
         model_name = store.describe().get("model_name")
+        shard_plan = None
+        if shards == "stored":
+            shard_plan = store.load_shard_plan()
+            if shard_plan is None:
+                raise ValueError(
+                    f"{path} holds no shard plan; save one with "
+                    "PlanStore.save(..., shard_plan=...) or pass shards=N "
+                    "to re-partition")
+            shards = 0
         return self.register(name, session,
-                             self._policy_for_proxy(policy, model_name))
+                             self._policy_for_proxy(policy, model_name),
+                             shards=shards, shard_plan=shard_plan,
+                             depth=depth)
 
     def unregister(self, name: str) -> None:
-        """Drop a deployment after draining its queue."""
+        """Drop a deployment after draining its queue.
+
+        A sharded deployment's dedicated stage pool is shut down with it.
+        """
         entry = self._get(name)
         entry.batcher.flush()
         with self._entries_lock:
             self._entries.pop(name, None)
+        if entry.sharded:
+            entry.session.close()
 
     def _snapshot(self) -> list[ModelEntry]:
         """A stable view of the deployments for lock-free iteration."""
@@ -228,14 +311,18 @@ class ModelServer:
         after cleanup.
         """
         first_error = None
+        entries = self._snapshot()
         try:
-            for entry in self._snapshot():
+            for entry in entries:
                 try:
                     entry.batcher.flush()
                 except Exception as exc:  # noqa: BLE001 — re-raised below
                     if first_error is None:
                         first_error = exc
         finally:
+            for entry in entries:
+                if entry.sharded:
+                    entry.session.close()
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
         if first_error is not None:
@@ -399,6 +486,8 @@ class ModelServer:
         """
         deployments = self.stats()
         schedulers = [d["scheduler"] for d in deployments.values()]
+        pipelines = {name: d["pipeline"] for name, d in deployments.items()
+                     if "pipeline" in d}
         caches = [s["cache"] for s in schedulers if "cache" in s]
         cache_totals = None
         if caches:
@@ -420,4 +509,5 @@ class ModelServer:
             deployments=deployments,
             workers=self._pool.stats() if self._pool is not None else None,
             cache=cache_totals,
+            pipelines=pipelines or None,
         )

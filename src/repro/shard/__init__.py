@@ -1,0 +1,45 @@
+"""Sharded pipeline-parallel execution over prepared sessions.
+
+Panacea's hardware wins by pipelining heterogeneous stages (ZPM -> DBS ->
+AQS-GEMM -> PPU) behind a cost model that balances them; this package
+reproduces the idea at the serving level:
+
+* :mod:`repro.shard.graph` — :func:`model_segments`, decomposing a model's
+  forward pass into an ordered segment chain (zoo skeletons built in, any
+  model via the ``pipeline_segments()`` protocol);
+* :mod:`repro.shard.plan` — :class:`ShardPlan` (a serializable contiguous
+  partition of the chain into stages) and :func:`auto_partition`, the
+  cost-model-driven balancer (measured per-layer latency from
+  ``PanaceaSession.profile``, falling back to modeled MAC volume);
+* :mod:`repro.shard.executor` — :class:`PipelineExecutor`, streaming
+  micro-batches through the stages on a
+  :class:`~repro.serve.pool.WorkerPool` with bounded in-flight depth;
+* :mod:`repro.shard.session` — :class:`ShardedSession`, the serving-surface
+  wrapper a :class:`~repro.serve.server.ModelServer` deploys with
+  ``shards=N``.
+
+Sharded outputs are bit-exact against :meth:`PanaceaSession.run` for every
+engine and weight granularity: each request executes the same layer modules
+in the same order — stages change *when* work runs, never *what* runs.
+"""
+
+from .executor import PipelineExecutor, StageResult
+from .graph import Segment, ShardError, model_segments, segment_for_layer
+from .plan import (ShardPlan, StageSpec, auto_partition, modeled_layer_costs,
+                   partition_costs)
+from .session import ShardedSession
+
+__all__ = [
+    "PipelineExecutor",
+    "StageResult",
+    "Segment",
+    "ShardError",
+    "model_segments",
+    "segment_for_layer",
+    "ShardPlan",
+    "StageSpec",
+    "auto_partition",
+    "modeled_layer_costs",
+    "partition_costs",
+    "ShardedSession",
+]

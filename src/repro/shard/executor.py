@@ -1,0 +1,206 @@
+"""Pipelined stage execution over a worker pool.
+
+:class:`PipelineExecutor` is the scheduling core of the shard subsystem: it
+streams micro-batches through an ordered list of stage callables so that
+stage *k* of batch *i* overlaps stage *k-1* of batch *i+1* — the software
+analogue of Panacea's ZPM -> DBS -> AQS-GEMM -> PPU pipeline.  Mechanics:
+
+* each stage has a lock, so a stage processes one micro-batch at a time
+  (pipelining, not replication) and per-stage accounting stays exact;
+* when batch *i* finishes stage *k*, its stage *k+1* task is submitted to
+  the shared :class:`~repro.serve.pool.WorkerPool` — nested submission,
+  which the pool's helping :meth:`~repro.serve.pool.WorkerPool.wait`
+  makes deadlock-free even from a pool worker;
+* at most ``depth`` micro-batches are in flight: batch ``depth + i`` is
+  injected only when batch *i* completes, bounding the activation memory
+  the pipeline holds.
+
+The executor is engine-agnostic: a stage callable maps the previous
+stage's output to ``(output, extra)`` and the per-batch ``extra`` lists
+come back with the results (:class:`~repro.shard.session.ShardedSession`
+uses them to carry captured trace records).  Per-stage
+:class:`~repro.serve.metrics.LatencyStats` record execution time and the
+stall spent waiting for the stage to free up — the numbers
+:class:`~repro.serve.metrics.ServerMetrics` surfaces per deployment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+from ..serve.metrics import LatencyStats
+from ..serve.pool import WorkerPool
+
+__all__ = ["PipelineExecutor", "StageResult"]
+
+
+class StageResult:
+    """One micro-batch's trip through the pipeline."""
+
+    __slots__ = ("output", "extras", "latency_s", "exec_s")
+
+    def __init__(self, output, extras: list, latency_s: float,
+                 exec_s: float) -> None:
+        self.output = output
+        #: One entry per stage: whatever the stage callable returned as its
+        #: second element (the sharded session's captured trace records).
+        self.extras = extras
+        #: End-to-end seconds from injection to final stage completion
+        #: (includes pipeline stalls).
+        self.latency_s = latency_s
+        #: Summed stage execution seconds (the pure compute time — what a
+        #: solo, unpipelined run of this batch would have cost).
+        self.exec_s = exec_s
+
+
+class PipelineExecutor:
+    """Runs micro-batches through ordered stages with bounded in-flight depth.
+
+    ``stage_fns`` are callables ``x -> (y, extra)``.  ``depth=1`` serializes
+    batches (no overlap — the debugging/baseline mode); ``depth >= 2``
+    overlaps consecutive batches across stages.  One executor may serve many
+    concurrent :meth:`run` calls; the per-stage locks keep each stage
+    single-occupancy across all of them.
+    """
+
+    def __init__(self, stage_fns: Sequence[Callable], pool: WorkerPool, *,
+                 depth: int = 2) -> None:
+        if not stage_fns:
+            raise ValueError("PipelineExecutor needs at least one stage")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.pool = pool
+        self.depth = depth
+        self._stage_fns = list(stage_fns)
+        self._stage_locks = [threading.Lock() for _ in stage_fns]
+        self._stats_lock = threading.Lock()
+        self._exec_stats = [LatencyStats() for _ in stage_fns]
+        self._stall_stats = [LatencyStats() for _ in stage_fns]
+        self._n_batches = 0
+
+    @property
+    def n_stages(self) -> int:
+        return len(self._stage_fns)
+
+    def run(self, batches: Sequence) -> list[StageResult]:
+        """Stream ``batches`` through the pipeline; results in input order.
+
+        Blocks until every batch completed.  A failing stage fails only its
+        own batch (the exception re-raises here, after all other batches
+        finished) — later batches still flow, exactly like a poison request
+        in a serving queue.
+        """
+        batches = list(batches)
+        if not batches:
+            return []
+        n = len(batches)
+        n_stages = self.n_stages
+        # One help group per run: if this call executes on a pool worker
+        # (the async serving path), the wait below may run *these* stage
+        # tasks inline but never a foreign task that could block on a lock
+        # this worker holds (see WorkerPool.wait).
+        group = object()
+        futures: list[Future] = [Future() for _ in range(n)]
+        extras: list[list] = [[None] * n_stages for _ in range(n)]
+        exec_s = [0.0] * n
+        t_start = [0.0] * n
+        t_end = [0.0] * n
+        inject_lock = threading.Lock()
+        cursor = [min(self.depth, n)]
+
+        def inject_next() -> None:
+            # Loops so a failing injection (pool shut down mid-run) fails
+            # every remaining batch instead of stranding their futures —
+            # run() must never hang on a future nothing will resolve.
+            while True:
+                with inject_lock:
+                    if cursor[0] >= n:
+                        return
+                    j = cursor[0]
+                    cursor[0] += 1
+                if start(j):
+                    return
+
+        def start(i: int) -> bool:
+            t_start[i] = time.perf_counter()
+            try:
+                self.pool.submit_grouped(group, run_stage, i, 0, batches[i])
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                futures[i].set_exception(exc)
+                return False
+            return True
+
+        def run_stage(i: int, k: int, x) -> None:
+            try:
+                stall0 = time.perf_counter()
+                with self._stage_locks[k]:
+                    stalled = time.perf_counter() - stall0
+                    t0 = time.perf_counter()
+                    y, extra = self._stage_fns[k](x)
+                    elapsed = time.perf_counter() - t0
+                with self._stats_lock:
+                    self._exec_stats[k].observe(elapsed)
+                    self._stall_stats[k].observe(stalled)
+                extras[i][k] = extra
+                exec_s[i] += elapsed
+                if k + 1 < n_stages:
+                    self.pool.submit_grouped(group, run_stage, i, k + 1, y)
+                    return
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                # A failing stage (or a submit lost to a shutdown race)
+                # fails its own batch; the pipeline keeps flowing.
+                futures[i].set_exception(exc)
+                inject_next()
+                return
+            t_end[i] = time.perf_counter()
+            futures[i].set_result(y)
+            inject_next()
+
+        window_ok = True
+        for i in range(min(self.depth, n)):
+            window_ok = start(i) and window_ok
+        if not window_ok:
+            # Initial injections failed (shut-down pool): batches beyond
+            # the window have no finalizer to inject them — fail them now.
+            inject_next()
+        # Helping-aware wait: run() may itself be executing on a pool
+        # worker (the async serving path), which must drain this run's
+        # stage tasks instead of sitting on a worker slot.
+        self.pool.wait(futures, help_group=group)
+        results, first_error = [], None
+        for i, future in enumerate(futures):
+            try:
+                output = future.result()
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+                continue
+            results.append(StageResult(
+                output=output, extras=extras[i],
+                latency_s=t_end[i] - t_start[i],
+                exec_s=exec_s[i]))
+        with self._stats_lock:
+            self._n_batches += n
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def stats(self) -> dict:
+        """Per-stage pipeline metrics: executions, stalls, queue pressure."""
+        with self._stats_lock:
+            stages = [{
+                "stage": k,
+                "n_batches": self._exec_stats[k].count,
+                "exec": self._exec_stats[k].summary(),
+                "stall": self._stall_stats[k].summary(),
+            } for k in range(self.n_stages)]
+            return {
+                "n_stages": self.n_stages,
+                "depth": self.depth,
+                "n_batches": self._n_batches,
+                "stages": stages,
+            }

@@ -1,0 +1,146 @@
+"""Model segmentation: decompose a forward pass into an ordered chain.
+
+Pipeline-parallel execution needs the model as a *sequence*: an ordered
+list of segments whose composition is the exact forward pass, so a stage
+boundary can fall between any two segments and the stage outputs are the
+activations the next stage consumes.  The NumPy substrate has no graph
+tracer, so segmentation is structural:
+
+* the three zoo skeletons (:class:`~repro.nn.transformer.CausalLM`,
+  :class:`~repro.nn.transformer.TransformerClassifier`,
+  :class:`~repro.nn.resnet.ResNet`) are decomposed by their known layout —
+  input adapter, one segment per block, output head;
+* any other model can opt in by implementing ``pipeline_segments()``
+  returning ``[(name, prefixes, fn), ...]`` (the protocol the segmenters
+  below also follow).
+
+Every segment's ``fn`` resolves submodules through the *model object* at
+call time, so segmentation works on the float model and stays valid after
+PTQ conversion swaps GEMM layers for quantized ones.  ``prefixes`` are the
+dotted module paths a segment owns; they map per-layer costs (measured or
+modeled) onto segments for the partitioner, and let a
+:class:`~repro.shard.plan.ShardPlan` name its stages' layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["Segment", "ShardError", "model_segments", "segment_for_layer"]
+
+
+class ShardError(ValueError):
+    """A model cannot be segmented/partitioned as requested."""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One atomic link of the model's forward chain.
+
+    ``fn`` maps the previous segment's output to this segment's output;
+    composing all segments in order is bit-identical to ``model(x)``.
+    ``prefixes`` are the dotted module paths owned by this segment — a GEMM
+    layer named ``blocks.b1.attn.q_proj`` belongs to the segment owning
+    prefix ``blocks.b1``.
+    """
+
+    name: str
+    prefixes: tuple[str, ...]
+    fn: Callable[[np.ndarray], np.ndarray] = field(repr=False)
+
+    def owns(self, layer_name: str) -> bool:
+        return any(layer_name == p or layer_name.startswith(p + ".")
+                   for p in self.prefixes)
+
+
+def _segments_causal_lm(model) -> list[Segment]:
+    segments = [Segment("embed", ("embed",), lambda x: model.embed(x))]
+    for bname, _ in model.blocks.children():
+        segments.append(Segment(
+            f"blocks.{bname}", (f"blocks.{bname}",),
+            lambda x, b=bname: getattr(model.blocks, b)(x)))
+    segments.append(Segment(
+        "head", ("final_norm", "lm_head"),
+        lambda x: model.lm_head(model.final_norm(x))))
+    return segments
+
+
+def _segments_classifier(model) -> list[Segment]:
+    segments = [Segment("input_proj", ("input_proj",),
+                        lambda x: model.input_proj(x))]
+    for bname, _ in model.blocks.children():
+        segments.append(Segment(
+            f"blocks.{bname}", (f"blocks.{bname}",),
+            lambda x, b=bname: getattr(model.blocks, b)(x)))
+    segments.append(Segment(
+        "head", ("final_norm", "head"),
+        lambda x: model.head(np.mean(model.final_norm(x), axis=1))))
+    return segments
+
+
+def _segments_resnet(model) -> list[Segment]:
+    from ..nn import functional as F
+    from ..nn.resnet import _max_pool
+
+    segments = [Segment(
+        "stem", ("stem",),
+        lambda x: _max_pool(F.relu(model.stem(x)), 3, 2, 1))]
+    for bname, _ in model.stages.children():
+        segments.append(Segment(
+            f"stages.{bname}", (f"stages.{bname}",),
+            lambda x, b=bname: getattr(model.stages, b)(x)))
+    segments.append(Segment(
+        "head", ("fc",),
+        lambda x: model.fc(np.mean(x, axis=(2, 3)))))
+    return segments
+
+
+def model_segments(model: Module) -> list[Segment]:
+    """The model's forward pass as an ordered segment chain.
+
+    Composing the returned segments in order reproduces ``model(x)``
+    exactly — the same modules called in the same order with the same
+    glue ops, so sharded execution is bit-exact by construction.  Raises
+    :class:`ShardError` for models with no known decomposition and no
+    ``pipeline_segments()`` protocol.
+    """
+    custom = getattr(model, "pipeline_segments", None)
+    if callable(custom):
+        segments = [seg if isinstance(seg, Segment)
+                    else Segment(seg[0], tuple(seg[1]), seg[2])
+                    for seg in custom()]
+        if not segments:
+            raise ShardError(
+                f"{type(model).__name__}.pipeline_segments() returned no "
+                "segments")
+        return segments
+    # Imported here: repro.nn pulls no serving code, but keeping graph.py
+    # import-light avoids a shard<->nn coupling at module import time.
+    from ..nn.resnet import ResNet
+    from ..nn.transformer import CausalLM, TransformerClassifier
+
+    if isinstance(model, CausalLM):
+        return _segments_causal_lm(model)
+    if isinstance(model, TransformerClassifier):
+        return _segments_classifier(model)
+    if isinstance(model, ResNet):
+        return _segments_resnet(model)
+    raise ShardError(
+        f"cannot segment a {type(model).__name__}: not a known zoo skeleton "
+        "and no pipeline_segments() method; implement pipeline_segments() "
+        "returning [(name, dotted_prefixes, fn), ...] to make the model "
+        "shardable")
+
+
+def segment_for_layer(segments: Sequence[Segment],
+                      layer_name: str) -> int | None:
+    """Index of the segment owning a dotted GEMM layer name (or None)."""
+    for i, segment in enumerate(segments):
+        if segment.owns(layer_name):
+            return i
+    return None

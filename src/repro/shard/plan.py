@@ -1,0 +1,249 @@
+"""Serializable shard plans and the cost-model-driven auto-partitioner.
+
+A :class:`ShardPlan` partitions a model's ordered segment chain (see
+:mod:`repro.shard.graph`) into contiguous *stages* — the unit the
+:class:`~repro.shard.executor.PipelineExecutor` overlaps across
+micro-batches.  Panacea's own pipeline works because a cost model balances
+heterogeneous stages (ZPM -> DBS -> AQS-GEMM -> PPU); :func:`auto_partition`
+reproduces that decision at the software level:
+
+* **measured** — per-layer wall-clock latency from
+  :meth:`~repro.engine.session.PanaceaSession.profile` (the same
+  measurement every serving record carries);
+* **modeled** — when no measurements exist, each GEMM layer's weight-side
+  MAC volume (``M x K``, the hardware model's op-count axis) stands in for
+  its latency.
+
+Either way the per-layer costs roll up onto the segments that own the
+layers and a dynamic program picks the boundaries minimizing the heaviest
+stage — the pipeline's steady-state throughput bound.  Plans serialize to
+plain JSON-compatible state (``state_dict``/``from_state``) so the
+:class:`~repro.serve.store.PlanStore` persists them alongside layer plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graph import Segment, ShardError, model_segments, segment_for_layer
+
+__all__ = ["ShardPlan", "StageSpec", "auto_partition", "partition_costs",
+           "modeled_layer_costs"]
+
+#: Floor cost of a segment owning no GEMM layers (pure glue: norms, pools).
+#: Nonzero so the DP never treats glue segments as free riders that can pile
+#: onto one stage without bound, tiny so they never dominate a real layer.
+_GLUE_COST = 1e-9
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage: a contiguous run of segments."""
+
+    segments: tuple[str, ...]
+    layers: tuple[str, ...]
+    cost: float
+
+    def state_dict(self) -> dict:
+        return {"segments": list(self.segments),
+                "layers": list(self.layers), "cost": float(self.cost)}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StageSpec":
+        return cls(segments=tuple(str(s) for s in state["segments"]),
+                   layers=tuple(str(s) for s in state["layers"]),
+                   cost=float(state["cost"]))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A contiguous partition of a model's segment chain into stages.
+
+    ``source`` records where the balancing costs came from (``"measured"``,
+    ``"modeled"`` or ``"manual"``) — a rehydrated plan should be re-balanced
+    when its deployment's traffic looks nothing like what was measured.
+    """
+
+    stages: tuple[StageSpec, ...]
+    source: str = "manual"
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ShardError("a ShardPlan needs at least one stage")
+        for stage in self.stages:
+            if not stage.segments:
+                raise ShardError("every stage must own at least one segment")
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(name for stage in self.stages for name in stage.segments)
+
+    @property
+    def balance(self) -> float:
+        """max stage cost / mean stage cost — 1.0 is a perfect split."""
+        costs = [stage.cost for stage in self.stages]
+        mean = sum(costs) / len(costs)
+        return max(costs) / mean if mean > 0 else 1.0
+
+    def validate_against(self, segments: list[Segment]) -> None:
+        """Assert the plan covers exactly this model's segment chain."""
+        expected = tuple(segment.name for segment in segments)
+        if self.segment_names != expected:
+            raise ShardError(
+                f"shard plan does not match the model: plan covers "
+                f"{list(self.segment_names)}, model has {list(expected)}")
+
+    def stage_slices(self, segments: list[Segment]) -> list[list[Segment]]:
+        """The model's segments grouped by stage, in pipeline order."""
+        self.validate_against(segments)
+        slices, start = [], 0
+        for stage in self.stages:
+            stop = start + len(stage.segments)
+            slices.append(list(segments[start:stop]))
+            start = stop
+        return slices
+
+    def state_dict(self) -> dict:
+        return {"source": self.source,
+                "stages": [stage.state_dict() for stage in self.stages]}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ShardPlan":
+        return cls(stages=tuple(StageSpec.from_state(s)
+                                for s in state["stages"]),
+                   source=str(state["source"]))
+
+    def summary(self) -> list[dict]:
+        """One row per stage for tables and metrics."""
+        total = sum(stage.cost for stage in self.stages) or 1.0
+        return [{
+            "stage": i,
+            "segments": list(stage.segments),
+            "n_layers": len(stage.layers),
+            "cost": stage.cost,
+            "cost_share": stage.cost / total,
+        } for i, stage in enumerate(self.stages)]
+
+
+def partition_costs(costs: list[float], n_stages: int) -> list[int]:
+    """Contiguous partition of ``costs`` minimizing the max stage sum.
+
+    The classic linear-partition dynamic program; returns the start index
+    of each stage (``result[0]`` is always 0).  Exact, O(S^2 * N) — segment
+    chains are tens of entries, never large.
+    """
+    n = len(costs)
+    if n_stages < 1:
+        raise ShardError(f"n_stages must be >= 1, got {n_stages}")
+    if n_stages > n:
+        raise ShardError(
+            f"cannot split {n} segments into {n_stages} stages")
+    prefix = np.concatenate([[0.0], np.cumsum(costs)])
+
+    def span(i, j):  # cost of segments [i, j)
+        return prefix[j] - prefix[i]
+
+    # best[k][j]: minimal max-stage-cost splitting the first j segments
+    # into k+1 stages; cut[k][j]: where the last stage starts.
+    best = np.full((n_stages, n + 1), np.inf)
+    cut = np.zeros((n_stages, n + 1), dtype=int)
+    for j in range(1, n + 1):
+        best[0][j] = span(0, j)
+    for k in range(1, n_stages):
+        for j in range(k + 1, n + 1):
+            for i in range(k, j):
+                candidate = max(best[k - 1][i], span(i, j))
+                if candidate < best[k][j]:
+                    best[k][j] = candidate
+                    cut[k][j] = i
+    starts, j = [], n
+    for k in range(n_stages - 1, 0, -1):
+        i = int(cut[k][j])
+        starts.append(i)
+        j = i
+    starts.append(0)
+    return starts[::-1]
+
+
+def modeled_layer_costs(model) -> dict[str, float]:
+    """Static per-layer cost proxy: weight-matrix MAC volume (``M x K``).
+
+    The hardware model's op counts all scale with the weight plane the
+    layer streams (the ``mul4``/EMA axes of
+    :class:`~repro.hw.analysis.BoundReport` are per-MAC and per-byte of
+    exactly this volume), so ``M x K`` is the measurement-free stand-in
+    for relative layer latency.  Works on converted *and* float models —
+    quantized layers expose their calibrated ``w_q``, float ``Linear`` /
+    ``Conv2d`` their weight matrices — so even an fp32 reference deployment
+    can be partitioned.
+    """
+    from ..core.pipeline import _QuantizedGemmBase
+    from ..nn.layers import Conv2d, Linear
+
+    costs: dict[str, float] = {}
+    for name, module in model.named_modules():
+        if isinstance(module, _QuantizedGemmBase):
+            m, k = module.record.w_q.shape
+        elif isinstance(module, Conv2d):
+            m, k = module.weight_matrix.shape
+        elif isinstance(module, Linear):
+            m, k = module.weight.shape
+        else:
+            continue
+        costs[name] = float(m * k)
+    return costs
+
+
+def _segment_costs(segments: list[Segment],
+                   layer_costs: dict[str, float]) -> list[float]:
+    """Roll per-layer costs up onto the segments owning the layers."""
+    costs = [_GLUE_COST] * len(segments)
+    for layer, cost in layer_costs.items():
+        idx = segment_for_layer(segments, layer)
+        if idx is not None:
+            costs[idx] += cost
+    return costs
+
+
+def auto_partition(session, n_stages: int, *, sample=None,
+                   repeats: int = 1) -> ShardPlan:
+    """Balance a prepared session's layer chain into ``n_stages`` stages.
+
+    With ``sample`` (a representative request batch), stage costs come from
+    measured per-layer latency via
+    :meth:`~repro.engine.session.PanaceaSession.profile` — the partitioner
+    and the profiler share one measurement path.  Without a sample (or when
+    the profile sees no GEMM layers, e.g. the fp32 reference scheme), costs
+    fall back to the modeled MAC volume of
+    :func:`modeled_layer_costs`.
+    """
+    segments = model_segments(session.model)
+    layer_costs: dict[str, float] = {}
+    source = "modeled"
+    if sample is not None:
+        report = session.profile(sample, repeats=repeats)
+        layer_costs = {layer.name: layer.total_s for layer in report.layers}
+        if layer_costs:
+            source = "measured"
+    if not layer_costs:
+        layer_costs = modeled_layer_costs(session.model)
+    seg_costs = _segment_costs(segments, layer_costs)
+    starts = partition_costs(seg_costs, n_stages)
+    bounds = starts + [len(segments)]
+    stages = []
+    for s in range(n_stages):
+        members = segments[bounds[s]:bounds[s + 1]]
+        layers = tuple(sorted(
+            layer for layer in layer_costs
+            if any(segment.owns(layer) for segment in members)))
+        stages.append(StageSpec(
+            segments=tuple(segment.name for segment in members),
+            layers=layers,
+            cost=float(sum(seg_costs[bounds[s]:bounds[s + 1]]))))
+    return ShardPlan(stages=tuple(stages), source=source)

@@ -1,0 +1,207 @@
+"""Sharded serving sessions: a prepared session split across pipeline stages.
+
+:class:`ShardedSession` wraps a prepared
+:class:`~repro.engine.session.PanaceaSession` with a
+:class:`~repro.shard.plan.ShardPlan` and executes requests through a
+:class:`~repro.shard.executor.PipelineExecutor`:
+
+* :meth:`run` — one request through the stage chain on the calling thread
+  (bit-exact with ``session.run``: the same layer modules in the same
+  order, just composed from segments);
+* :meth:`run_pipelined` / :meth:`serve_coalesced` — a request group
+  streamed through the stages with bounded in-flight depth, stage *k* of
+  request *i* overlapping stage *k-1* of request *i+1*.
+
+The class exposes the serving surface
+:class:`~repro.serve.batching.MicroBatcher` and
+:class:`~repro.serve.server.ModelServer` consume (``prepared``,
+``auto_calibrate``, ``config``, ``serve_coalesced``, ``stats``), so a
+sharded deployment drops into the existing scheduler unchanged — except
+that a "coalesced" group is *pipelined* rather than fused: each request
+keeps its own engine batch (exactness for free) and throughput comes from
+stage overlap instead of column fusion.
+
+Trace accounting stays unified in the wrapped session: stage callables
+capture their layer records thread-locally (see
+:meth:`~repro.core.pipeline.ExecutionTrace.capture`) and every completed
+request is folded back through
+:meth:`~repro.engine.session.PanaceaSession.record_external`, so
+``stats()``, ``max_records`` retention and lifetime op ledgers behave as if
+the inner session had served the requests itself.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..engine.session import PanaceaSession, RequestRecord
+from ..serve.pool import WorkerPool
+from .executor import PipelineExecutor
+from .graph import ShardError, model_segments
+from .plan import ShardPlan, auto_partition
+
+__all__ = ["ShardedSession"]
+
+
+class ShardedSession:
+    """Pipeline-parallel execution of one prepared session.
+
+    ``pool=None`` (the deployment default) creates an owned
+    :class:`WorkerPool` sized to the stage count (capped at the core
+    count).  A shared pool is accepted, but its other tasks must never
+    block on locks a pipeline driver can hold: stage tasks queued behind a
+    blocked task starve, which is why
+    :class:`~repro.serve.server.ModelServer` gives every sharded
+    deployment its own stage pool rather than co-scheduling with serve
+    tasks.  ``depth`` bounds in-flight micro-batches; ``depth=1`` disables
+    overlap (the apples-to-apples baseline the pipeline benchmark compares
+    against).
+    """
+
+    def __init__(self, session: PanaceaSession, plan: ShardPlan, *,
+                 pool: WorkerPool | None = None, depth: int = 2) -> None:
+        if not session.prepared:
+            # auto_calibrate is no escape hatch here: stage fns call the
+            # segments directly, bypassing run()'s calibrate-on-first-batch
+            # hook, so an unprepared session would silently serve the raw
+            # float model forever.
+            raise ShardError(
+                "ShardedSession needs a calibrated session: the shard plan "
+                "partitions prepared layer plans (auto_calibrate sessions "
+                "must calibrate before sharding)")
+        self.session = session
+        self.plan = plan
+        segments = model_segments(session.model)
+        self._stage_segments = plan.stage_slices(segments)
+        self._owns_pool = pool is None
+        if pool is None:
+            pool = WorkerPool(
+                max(1, min(plan.n_stages, os.cpu_count() or 1)),
+                name="repro-shard")
+        self.pool = pool
+        self.executor = PipelineExecutor(
+            [self._stage_fn(members) for members in self._stage_segments],
+            pool, depth=depth)
+
+    @classmethod
+    def partition(cls, session: PanaceaSession, n_stages: int, *,
+                  sample=None, repeats: int = 1,
+                  pool: WorkerPool | None = None,
+                  depth: int = 2) -> "ShardedSession":
+        """Auto-partition and wrap in one step (the deployment helper)."""
+        plan = auto_partition(session, n_stages, sample=sample,
+                              repeats=repeats)
+        return cls(session, plan, pool=pool, depth=depth)
+
+    def _stage_fn(self, members):
+        """One stage callable: run the member segments, capture the trace."""
+        def fn(x):
+            with self.session.trace.capture() as records:
+                for segment in members:
+                    x = segment.fn(x)
+            return x, records
+        return fn
+
+    # -- serving surface (duck-compatible with PanaceaSession) ---------------
+    @property
+    def prepared(self) -> bool:
+        return self.session.prepared
+
+    @property
+    def auto_calibrate(self) -> bool:
+        return self.session.auto_calibrate
+
+    @property
+    def config(self):
+        return self.session.config
+
+    @property
+    def model(self):
+        return self.session.model
+
+    @property
+    def plans(self) -> dict[str, Any]:
+        return self.session.plans
+
+    @property
+    def n_stages(self) -> int:
+        return self.plan.n_stages
+
+    def stats(self) -> dict:
+        """The wrapped session's lifetime stats plus the pipeline shape."""
+        stats = self.session.stats()
+        stats["n_stages"] = self.plan.n_stages
+        return stats
+
+    def stage_stats(self) -> dict:
+        """Pipeline metrics: per-stage execution/stall latency, plan shape."""
+        stats = self.executor.stats()
+        stats["source"] = self.plan.source
+        stats["plan"] = self.plan.summary()
+        return stats
+
+    def run(self, batch: np.ndarray) -> np.ndarray:
+        """One request through the stage chain; bit-exact vs ``session.run``."""
+        out, _ = self._run_one(batch)
+        return out
+
+    def _run_one(self, batch: np.ndarray) -> tuple[np.ndarray, RequestRecord]:
+        batch = np.asarray(batch)
+        x = batch
+        layers = []
+        t0 = time.perf_counter()
+        with self.session.trace.capture() as records:
+            for members in self._stage_segments:
+                for segment in members:
+                    x = segment.fn(x)
+        latency = time.perf_counter() - t0
+        layers.extend(records)
+        record = self.session.record_external(batch.shape, layers, latency)
+        return x, record
+
+    def run_pipelined(self, batches: Sequence[np.ndarray]) -> list:
+        """Stream a request group through the pipeline; outputs in order."""
+        return self.serve_coalesced(batches)[0]
+
+    def serve_coalesced(self, batches: Sequence[np.ndarray], *,
+                        pad_axis: int | None = None,
+                        pad_value=0) -> tuple[list, list[RequestRecord]]:
+        """The scheduler's entry point: pipelined group execution.
+
+        Unlike the fused path, every request runs as its own micro-batch —
+        no concatenation, so ``pad_axis``/``pad_value`` are accepted for
+        scheduler compatibility but never needed (ragged groups pipeline
+        naturally).  Outputs and records come back in submission order and
+        each request's record carries its own pure-compute ``latency_s``
+        (stage execution sum, excluding pipeline stalls), so coalesced-style
+        latency accounting stays meaningful.
+        """
+        del pad_axis, pad_value  # each request is its own engine batch
+        batches = [np.asarray(b) for b in batches]
+        if not batches:
+            return [], []
+        results = self.executor.run(batches)
+        outputs, records = [], []
+        for batch, result in zip(batches, results):
+            layers = [rec for stage_records in result.extras
+                      for rec in (stage_records or [])]
+            record = self.session.record_external(
+                batch.shape, layers, result.exec_s)
+            outputs.append(result.output)
+            records.append(record)
+        return outputs, records
+
+    def close(self) -> None:
+        """Shut down the owned pool (no-op for shared pools); idempotent."""
+        if self._owns_pool:
+            self.pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

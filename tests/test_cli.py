@@ -148,3 +148,69 @@ class TestCommands:
         text = out.getvalue()
         assert "no calibration, no engine prepare" in text
         assert "served 2 requests" in text
+
+
+class TestShardCli:
+    def test_shard_args(self):
+        args = build_parser().parse_args(
+            ["shard", "bert_base", "--stages", "4", "--depth", "3",
+             "--modeled"])
+        assert args.model == "bert_base"
+        assert args.stages == 4 and args.depth == 3 and args.modeled
+
+    def test_serve_shard_knobs(self):
+        args = build_parser().parse_args(
+            ["serve", "bert_base", "--shards", "3", "--depth", "4"])
+        assert args.shards == 3 and args.depth == 4
+        assert build_parser().parse_args(["serve", "bert_base"]).shards == 0
+
+    def test_profile_measure_flag(self):
+        args = build_parser().parse_args(
+            ["profile", "bert_base", "--measure", "--repeats", "2"])
+        assert args.measure and args.repeats == 2
+
+    def test_shard_runs_pipelined_demo(self):
+        out = io.StringIO()
+        assert main(["shard", "bert_base", "--stages", "2", "--requests",
+                     "3", "--batch", "1", "--modeled"], out=out) == 0
+        text = out.getvalue()
+        assert "2 stages (modeled costs" in text
+        assert "bit-exact vs session.run" in text
+        assert "stage 1:" in text
+
+    def test_shard_unknown_model(self):
+        out = io.StringIO()
+        assert main(["shard", "not_a_model"], out=out) == 2
+
+    def test_shard_too_many_stages_reports_error(self):
+        out = io.StringIO()
+        assert main(["shard", "bert_base", "--stages", "0"], out=out) == 2
+        assert "--stages must be >= 1" in out.getvalue()
+
+    def test_serve_with_shards(self):
+        out = io.StringIO()
+        assert main(["serve", "bert_base", "--requests", "3", "--batch",
+                     "1", "--max-batch", "3", "--shards", "2"],
+                    out=out) == 0
+        text = out.getvalue()
+        assert "pipeline: 2 stages" in text
+
+    def test_serve_negative_shards_exit_cleanly(self):
+        out = io.StringIO()
+        assert main(["serve", "bert_base", "--shards", "-1"], out=out) == 2
+        assert "--shards must be >= 0" in out.getvalue()
+
+    def test_profile_measure_prints_latency_and_bounds(self):
+        out = io.StringIO()
+        assert main(["profile", "bert_base", "--stride", "12", "--measure",
+                     "--repeats", "1"], out=out) == 0
+        text = out.getvalue()
+        assert "measured per-layer latency" in text
+        assert "bound classification" in text
+        assert "machine balance" in text
+
+    def test_profile_measure_rejects_dense_scheme(self):
+        out = io.StringIO()
+        assert main(["profile", "resnet18", "--scheme", "dense",
+                     "--measure"], out=out) == 2
+        assert "aqs or sibia" in out.getvalue()

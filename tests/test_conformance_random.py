@@ -12,7 +12,12 @@ randomness instead of hand-picked shapes:
 * **session level** — random tiny models for all four registered engines ×
   per-tensor/per-channel weights: solo ``run``, the sliced exec path,
   ``run_coalesced`` and a concurrent worker-pool server must all emit
-  identical bits.
+  identical bits;
+* **shard level** — the same engine × granularity × exec-path grid run
+  through two-stage :class:`~repro.shard.session.ShardedSession` pipelines
+  (solo and pipelined) and a sharded ``ModelServer`` deployment: stage
+  scheduling must never change a bit, fp32 included (each pipelined
+  request keeps its own engine batch, so no float reassociation applies).
 
 The base seed comes from ``REPRO_CONFORMANCE_SEED`` (CI rotates it through
 a matrix) so every run fuzzes a fresh corner while staying reproducible:
@@ -187,7 +192,11 @@ class TestKernelConcurrentSharedPlan:
 
 
 class _FuzzNet(Module):
-    """Two-layer MLP with randomized widths (the session-fuzz substrate)."""
+    """Two-layer MLP with randomized widths (the session-fuzz substrate).
+
+    Implements the shard protocol so the sharded-execution leg fuzzes the
+    same models: two segments whose composition is exactly ``forward``.
+    """
 
     def __init__(self, rng, in_features, hidden, out_features):
         super().__init__()
@@ -196,6 +205,12 @@ class _FuzzNet(Module):
 
     def forward(self, x):
         return self.fc2(np.maximum(self.fc1(x), 0.0))
+
+    def pipeline_segments(self):
+        return [
+            ("fc1", ("fc1",), lambda x: np.maximum(self.fc1(x), 0.0)),
+            ("fc2", ("fc2",), lambda x: self.fc2(x)),
+        ]
 
 
 def _session_case(engine_name, granularity, exec_path, dims, model_seed):
@@ -274,6 +289,73 @@ class TestSessionFuzz:
     def test_grid_covers_every_registered_engine(self):
         """The fuzz grid must not silently miss a newly registered engine."""
         assert set(available_engines()) == set(ENGINES)
+
+
+class TestShardFuzz:
+    """Sharded execution never changes a bit: every engine x granularity
+    x exec path, solo-through-stages and pipelined-through-the-pool both
+    equal ``PanaceaSession.run``.
+
+    Stronger than the coalesced leg: a pipelined request keeps its own
+    engine batch (no column fusion), so even the fp32 reference engine is
+    held to exact equality — same ops, same shapes, same order, just
+    scheduled across threads.
+    """
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_sharded_equals_run_both_exec_paths(self, engine_name,
+                                                granularity):
+        from repro.shard import ShardedSession
+
+        rng = _rng(7, hash(engine_name) & 0xFFFF,
+                   hash(granularity) & 0xFFFF)
+        dims = tuple(int(rng.integers(6, 40)) for _ in range(3))
+        model_seed = int(rng.integers(0, 2 ** 31))
+        requests = [rng.normal(0, 1, (int(rng.integers(1, 5)), dims[0]))
+                    for _ in range(5)]
+        label = (f"{engine_name}/{granularity} dims={dims} "
+                 f"seed={BASE_SEED}")
+
+        for exec_path in ("fast", "sliced"):
+            reference = _session_case(engine_name, granularity, exec_path,
+                                      dims, model_seed)
+            expected = [reference.run(x) for x in requests]
+            session = _session_case(engine_name, granularity, exec_path,
+                                    dims, model_seed)
+            with ShardedSession.partition(session, 2, depth=3) as sharded:
+                solo = [sharded.run(x) for x in requests]
+                piped = sharded.run_pipelined(requests)
+            for got, expect in zip(solo, expected):
+                assert np.array_equal(got, expect), \
+                    f"{label}/{exec_path}: sharded run != run"
+            for got, expect in zip(piped, expected):
+                assert np.array_equal(got, expect), \
+                    f"{label}/{exec_path}: pipelined != run"
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_sharded_serving_matches_unsharded_server(self, engine_name):
+        """A sharded deployment behind the ModelServer answers byte-for-
+        byte what an unsharded deployment answers."""
+        rng = _rng(8, hash(engine_name) & 0xFFFF)
+        dims = tuple(int(rng.integers(6, 32)) for _ in range(3))
+        model_seed = int(rng.integers(0, 2 ** 31))
+        requests = [rng.normal(0, 1, (2, dims[0])) for _ in range(4)]
+        plain = _session_case(engine_name, "per_tensor", "fast", dims,
+                              model_seed)
+        sharded = _session_case(engine_name, "per_tensor", "fast", dims,
+                                model_seed)
+        with ModelServer(BatchPolicy(max_batch=2,
+                                     max_delay_s=0.0)) as server:
+            server.register("plain", plain)
+            server.register("sharded", sharded, shards=2)
+            a = [t.result() for t in server.submit_many("plain", requests)]
+            b = [t.result() for t in server.submit_many("sharded",
+                                                        requests)]
+        for got, expect in zip(b, a):
+            assert np.array_equal(got, expect), \
+                f"{engine_name}: sharded deployment differs " \
+                f"(seed={BASE_SEED})"
 
 
 class TestCacheConformance:

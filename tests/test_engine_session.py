@@ -258,3 +258,97 @@ class TestRecordRetention:
         assert orphan_ids <= trace_ids          # out-of-band records survive
         assert retained_layer_ids <= trace_ids  # retained requests intact
         assert len(session.trace.records) == 4  # 2 orphans + 2 retained
+
+
+class TestCoalescedEdgeCases:
+    """Ragged pad_axis coalescing edge cases: the error paths and the
+    degenerate group shapes the scheduler can hand serve_coalesced."""
+
+    def _session(self):
+        return PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                              calibration=_batches())
+
+    def _seq_session(self):
+        """A 3-D-input session so trailing axes exist to pad/mismatch."""
+        class SeqNet(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(16, 8, rng=np.random.default_rng(0))
+
+            def forward(self, x):
+                return self.fc(x)
+
+        rng = np.random.default_rng(1)
+        calibration = [rng.normal(0, 1, (2, 5, 16)) for _ in range(2)]
+        return PanaceaSession(SeqNet(), PtqConfig(scheme="aqs"),
+                              calibration=calibration)
+
+    def test_empty_group_returns_empty(self):
+        session = self._session()
+        outputs, records = session.serve_coalesced([])
+        assert outputs == [] and records == []
+        assert session.stats()["n_requests"] == 0
+        assert session.run_coalesced([]) == []
+
+    def test_single_request_takes_fast_path(self):
+        """A group of one degenerates to _run_one: no concat, no split,
+        coalesced stays 1 and the output equals a solo run."""
+        session = self._session()
+        x = _batches(1, seed=9)[0]
+        outputs, records = session.serve_coalesced([x])
+        assert len(outputs) == 1 and len(records) == 1
+        assert records[0].coalesced == 1
+        reference = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                   calibration=_batches())
+        assert np.array_equal(outputs[0], reference.run(x))
+
+    def test_mismatched_trailing_dims_raise_value_error(self):
+        session = self._seq_session()
+        rng = np.random.default_rng(2)
+        group = [rng.normal(0, 1, (2, 5, 16)),
+                 rng.normal(0, 1, (2, 7, 16))]
+        with pytest.raises(ValueError,
+                           match="share trailing dims.*pad_axis"):
+            session.serve_coalesced(group)
+
+    def test_mismatched_non_pad_axis_raises_despite_padding(self):
+        """pad_axis only fixes the named axis: a mismatch on another
+        trailing axis must still raise, not silently misfuse."""
+        session = self._seq_session()
+        rng = np.random.default_rng(3)
+        group = [rng.normal(0, 1, (2, 5, 16)),
+                 rng.normal(0, 1, (2, 7, 12))]   # last axis differs too
+        with pytest.raises(ValueError, match="share trailing dims"):
+            session.serve_coalesced(group, pad_axis=1)
+
+    def test_mismatched_rank_raises(self):
+        session = self._seq_session()
+        rng = np.random.default_rng(4)
+        group = [rng.normal(0, 1, (2, 5, 16)),
+                 rng.normal(0, 1, (2, 16))]
+        with pytest.raises(ValueError, match="share a rank"):
+            session.serve_coalesced(group)
+
+    @pytest.mark.parametrize("pad_axis", [0, 3, -1])
+    def test_pad_axis_out_of_range_raises(self, pad_axis):
+        session = self._seq_session()
+        rng = np.random.default_rng(5)
+        group = [rng.normal(0, 1, (2, 5, 16)),
+                 rng.normal(0, 1, (2, 7, 16))]
+        with pytest.raises(ValueError, match="pad_axis must be"):
+            session.serve_coalesced(group, pad_axis=pad_axis)
+
+    def test_failed_group_leaves_ledger_clean(self):
+        """A group that raises must not leak requests, records or trace
+        entries — the next healthy group serves normally."""
+        session = self._seq_session()
+        rng = np.random.default_rng(6)
+        bad = [rng.normal(0, 1, (2, 5, 16)), rng.normal(0, 1, (2, 5, 12))]
+        with pytest.raises(ValueError):
+            session.serve_coalesced(bad)
+        assert session.stats()["n_requests"] == 0
+        assert len(session.trace.records) == 0
+        good = [rng.normal(0, 1, (2, 5, 16)) for _ in range(2)]
+        outputs, records = session.serve_coalesced(good)
+        assert len(outputs) == 2
+        assert session.stats()["n_requests"] == 2

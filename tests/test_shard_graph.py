@@ -1,0 +1,128 @@
+"""Tests for model segmentation (repro.shard.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PtqConfig
+from repro.engine import PanaceaSession
+from repro.models.zoo import PROXY_SPECS, build_proxy, proxy_batches
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.shard import (Segment, ShardError, model_segments,
+                         segment_for_layer)
+
+SEGMENTABLE = ("bert_base", "gpt2", "llama32_1b", "resnet18")
+
+
+def _compose(segments, x):
+    for segment in segments:
+        x = segment.fn(x)
+    return x
+
+
+class TestZooSegmentation:
+    @pytest.mark.parametrize("name", SEGMENTABLE)
+    def test_segments_compose_to_forward_float(self, name):
+        model, _ = build_proxy(name, seed=0)
+        segments = model_segments(model)
+        assert len(segments) >= 3       # adapter + blocks + head
+        x = proxy_batches(name, 2, 1, seed=1)[0]
+        assert np.array_equal(_compose(segments, x), model(x))
+
+    @pytest.mark.parametrize("name", ("bert_base", "gpt2"))
+    def test_segments_stay_valid_after_conversion(self, name):
+        """Segment fns resolve modules at call time, so the same segments
+        built on the float model execute the quantized swaps."""
+        model, _ = build_proxy(name, seed=0)
+        segments = model_segments(model)      # built pre-conversion
+        session = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
+        session.calibrate(proxy_batches(name, 2, 2, seed=1))
+        x = proxy_batches(name, 2, 1, seed=2)[0]
+        assert np.array_equal(_compose(segments, x), session.run(x))
+
+    def test_every_gemm_layer_is_owned_by_a_segment(self):
+        for name in SEGMENTABLE:
+            model, _ = build_proxy(name, seed=0)
+            session = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
+            session.calibrate(proxy_batches(name, 2, 1, seed=1))
+            segments = model_segments(session.model)
+            for layer in session.plans:
+                assert segment_for_layer(segments, layer) is not None, \
+                    f"{name}: {layer} owned by no segment"
+
+    def test_segment_order_matches_execution_order(self):
+        model, _ = build_proxy("gpt2", seed=0)
+        names = [s.name for s in model_segments(model)]
+        assert names[0] == "embed" and names[-1] == "head"
+        assert names[1:-1] == [f"blocks.b{i}" for i in range(len(names) - 2)]
+
+    def test_all_proxies_are_segmentable(self):
+        """Every zoo proxy must stay shardable — a new family needs a
+        segmenter (or the protocol) before it ships."""
+        for name in PROXY_SPECS:
+            model, _ = build_proxy(name, seed=0)
+            assert model_segments(model)
+
+
+class _ProtocolNet(Module):
+    """Opts in to sharding via the pipeline_segments() protocol."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.fc1 = Linear(8, 16, rng=rng)
+        self.fc2 = Linear(16, 4, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(np.maximum(self.fc1(x), 0.0))
+
+    def pipeline_segments(self):
+        return [
+            ("fc1", ("fc1",), lambda x: np.maximum(self.fc1(x), 0.0)),
+            ("fc2", ("fc2",), lambda x: self.fc2(x)),
+        ]
+
+
+class TestProtocol:
+    def test_protocol_segments_used(self):
+        model = _ProtocolNet()
+        segments = model_segments(model)
+        assert [s.name for s in segments] == ["fc1", "fc2"]
+        x = np.random.default_rng(1).normal(0, 1, (3, 8))
+        assert np.array_equal(_compose(segments, x), model(x))
+
+    def test_protocol_may_return_segment_objects(self):
+        model = _ProtocolNet()
+        plain = model.pipeline_segments()
+        model.pipeline_segments = lambda: [
+            Segment(name, prefixes, fn) for name, prefixes, fn in plain]
+        assert [s.name for s in model_segments(model)] == ["fc1", "fc2"]
+
+    def test_empty_protocol_raises(self):
+        model = _ProtocolNet()
+        model.pipeline_segments = list
+        with pytest.raises(ShardError, match="no segments"):
+            model_segments(model)
+
+    def test_unknown_model_raises_typed_error(self):
+        class Opaque(Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(ShardError, match="pipeline_segments"):
+            model_segments(Opaque())
+        assert issubclass(ShardError, ValueError)
+
+
+class TestOwnership:
+    def test_owns_matches_exact_and_nested_names(self):
+        segment = Segment("s", ("blocks.b1", "head"), lambda x: x)
+        assert segment.owns("blocks.b1")
+        assert segment.owns("blocks.b1.attn.q_proj")
+        assert segment.owns("head")
+        assert not segment.owns("blocks.b10")   # prefix is path-aware
+        assert not segment.owns("blocks.b2.mlp.fc1")
+
+    def test_segment_for_layer_returns_none_when_unowned(self):
+        segments = [Segment("a", ("x",), lambda v: v)]
+        assert segment_for_layer(segments, "y.z") is None

@@ -1,0 +1,138 @@
+"""Tests for ShardPlan, the partition DP and the auto-partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PtqConfig
+from repro.engine import PanaceaSession
+from repro.models.zoo import build_proxy, proxy_batches
+from repro.shard import (ShardError, ShardPlan, StageSpec, auto_partition,
+                         model_segments, modeled_layer_costs,
+                         partition_costs)
+
+
+def _session(name="bert_base", scheme="aqs", seed=0):
+    model, _ = build_proxy(name, seed=seed)
+    session = PanaceaSession(model, PtqConfig.for_scheme(scheme))
+    session.calibrate(proxy_batches(name, 2, 2, seed=seed + 1))
+    return session
+
+
+def _max_stage(costs, starts):
+    bounds = list(starts) + [len(costs)]
+    return max(sum(costs[bounds[i]:bounds[i + 1]])
+               for i in range(len(starts)))
+
+
+class TestPartitionCosts:
+    def test_single_stage_takes_everything(self):
+        assert partition_costs([3.0, 1.0, 2.0], 1) == [0]
+
+    def test_stages_equal_segments_is_identity(self):
+        assert partition_costs([5.0, 1.0, 9.0], 3) == [0, 1, 2]
+
+    def test_balanced_split_of_uniform_costs(self):
+        starts = partition_costs([1.0] * 8, 4)
+        assert starts == [0, 2, 4, 6]
+
+    def test_minimizes_max_stage_against_brute_force(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            n = int(rng.integers(3, 9))
+            k = int(rng.integers(1, n + 1))
+            costs = rng.uniform(0.1, 10.0, n).tolist()
+            got = _max_stage(costs, partition_costs(costs, k))
+            # brute force over all contiguous partitions
+            import itertools
+            best = min(
+                _max_stage(costs, [0] + list(cuts))
+                for cuts in itertools.combinations(range(1, n), k - 1))
+            assert got == pytest.approx(best)
+
+    def test_too_many_stages_raises(self):
+        with pytest.raises(ShardError, match="cannot split"):
+            partition_costs([1.0, 2.0], 3)
+        with pytest.raises(ShardError, match=">= 1"):
+            partition_costs([1.0], 0)
+
+
+class TestShardPlan:
+    def _plan(self):
+        return ShardPlan(stages=(
+            StageSpec(("a", "b"), ("a.fc",), 2.0),
+            StageSpec(("c",), ("c.fc",), 1.5)), source="manual")
+
+    def test_state_round_trip(self):
+        plan = self._plan()
+        assert ShardPlan.from_state(plan.state_dict()) == plan
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(ShardError):
+            ShardPlan(stages=())
+        with pytest.raises(ShardError):
+            ShardPlan(stages=(StageSpec((), (), 0.0),))
+
+    def test_balance_and_summary(self):
+        plan = self._plan()
+        assert plan.n_stages == 2
+        assert plan.balance == pytest.approx(2.0 / 1.75)
+        rows = plan.summary()
+        assert [r["stage"] for r in rows] == [0, 1]
+        assert sum(r["cost_share"] for r in rows) == pytest.approx(1.0)
+
+    def test_validate_against_wrong_chain_raises(self):
+        session = _session()
+        segments = model_segments(session.model)
+        with pytest.raises(ShardError, match="does not match"):
+            self._plan().validate_against(segments)
+
+    def test_stage_slices_cover_chain_contiguously(self):
+        session = _session()
+        segments = model_segments(session.model)
+        plan = auto_partition(session, 3)
+        slices = plan.stage_slices(segments)
+        flat = [segment.name for group in slices for segment in group]
+        assert flat == [segment.name for segment in segments]
+
+
+class TestAutoPartition:
+    def test_modeled_costs_cover_all_gemm_layers(self):
+        session = _session()
+        costs = modeled_layer_costs(session.model)
+        assert set(costs) == set(session.plans)
+        assert all(c > 0 for c in costs.values())
+
+    def test_modeled_costs_work_on_float_models(self):
+        model, _ = build_proxy("bert_base", seed=0)
+        costs = modeled_layer_costs(model)
+        assert costs and all(c > 0 for c in costs.values())
+
+    def test_measured_partition_uses_profile(self):
+        session = _session()
+        sample = proxy_batches("bert_base", 2, 1, seed=5)[0]
+        plan = auto_partition(session, 3, sample=sample)
+        assert plan.source == "measured"
+        assert plan.n_stages == 3
+        # every GEMM layer lands in exactly one stage
+        seen = [layer for stage in plan.stages for layer in stage.layers]
+        assert sorted(seen) == sorted(session.plans)
+
+    def test_modeled_fallback_without_sample(self):
+        plan = auto_partition(_session(), 4)
+        assert plan.source == "modeled"
+        assert plan.n_stages == 4
+        assert all(stage.cost > 0 for stage in plan.stages)
+
+    def test_fp32_profile_falls_back_to_modeled(self):
+        """The fp32 reference scheme traces no GEMM records, so a measured
+        partition silently degrades to the modeled cost path."""
+        session = _session(scheme="fp32")
+        sample = proxy_batches("bert_base", 2, 1, seed=5)[0]
+        plan = auto_partition(session, 2, sample=sample)
+        assert plan.source == "modeled"
+
+    def test_partition_is_reasonably_balanced(self):
+        plan = auto_partition(_session(), 3)
+        # bert proxy: 4 uniform blocks + light head/adapter; the DP must
+        # not produce a stage holding everything
+        assert plan.balance < 2.0
