@@ -2,14 +2,74 @@
 
 pytest captures stdout, so every bench also writes its table to
 ``benchmarks/results/<name>.txt`` — the artifacts EXPERIMENTS.md cites.
+
+This module must stay numpy-free at import time: the benches call
+:func:`pin_blas_threads` *before* their own ``import numpy`` so the BLAS
+pools come up capped (the env knobs are read once, at library load).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The env caps every mainstream BLAS/threading backend honors at load
+#: (mirrors ``repro.serve.procworker.BLAS_ENV_VARS``, duplicated here so
+#: pinning never imports the repro package — which would pull numpy first
+#: and make the caps too late).
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def pin_blas_threads(threads: int = 1) -> dict:
+    """Cap the BLAS thread pools for apples-to-apples bench runs.
+
+    Call before numpy's first import.  Uses ``setdefault`` so an explicit
+    operator setting (``OMP_NUM_THREADS=8 python bench_...``) wins; the
+    default of 1 makes thread- vs process-backend comparisons measure the
+    *scheduling* tier, not hidden BLAS parallelism.  No-op (returning the
+    live values) when numpy is already loaded — e.g. under pytest, where
+    the gates measure ratios, not absolutes.
+    """
+    for var in BLAS_ENV_VARS:
+        os.environ.setdefault(var, str(int(threads)))
+    return {var: os.environ[var] for var in BLAS_ENV_VARS}
+
+
+def blas_report() -> dict:
+    """Effective BLAS threading, recorded into every bench JSON artifact.
+
+    Prefers ``threadpoolctl`` introspection (the actual pool sizes inside
+    the loaded BLAS libraries) and falls back to the env caps when it is
+    not installed — the caps are what the libraries read at load, so on
+    the fallback path they are authoritative as long as
+    :func:`pin_blas_threads` ran before numpy.
+    """
+    report = {
+        "cpu_count": os.cpu_count(),
+        "env": {var: os.environ.get(var) for var in BLAS_ENV_VARS},
+        "source": "env",
+    }
+    try:
+        from threadpoolctl import threadpool_info
+    except ImportError:
+        return report
+    report["source"] = "threadpoolctl"
+    report["pools"] = [
+        {"api": info.get("internal_api"),
+         "prefix": info.get("prefix"),
+         "num_threads": info.get("num_threads")}
+        for info in threadpool_info()
+    ]
+    return report
 
 
 def emit(name: str, text: str) -> None:

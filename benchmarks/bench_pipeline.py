@@ -37,8 +37,13 @@ import argparse
 import os
 import time
 
-import numpy as np
-from _util import emit, emit_json
+from _util import blas_report, emit, emit_json, pin_blas_threads
+
+# Cap the BLAS pools before numpy loads them — pipeline speedups must come
+# from stage overlap, not from a multi-threaded GEMM hiding underneath.
+pin_blas_threads(1)
+
+import numpy as np  # noqa: E402  (after pin_blas_threads, deliberately)
 
 from repro.core.pipeline import PtqConfig
 from repro.engine import PanaceaSession
@@ -121,6 +126,7 @@ def run_pipeline(n_requests=16, rows=2, depths=DEPTHS, seed=0):
     return {
         "model": MODEL,
         "cpu_count": os.cpu_count(),
+        "blas": blas_report(),
         "n_requests": n_requests,
         "rows": rows,
         "serial_wall_s": serial_s,

@@ -38,8 +38,14 @@ import argparse
 import os
 import time
 
-import numpy as np
-from _util import emit, emit_json
+from _util import blas_report, emit, emit_json, pin_blas_threads
+
+# Cap the BLAS pools before numpy loads them: the thread- vs process-tier
+# comparisons must measure scheduling, not hidden BLAS parallelism.  An
+# explicit operator env setting still wins (setdefault semantics).
+pin_blas_threads(1)
+
+import numpy as np  # noqa: E402  (after pin_blas_threads, deliberately)
 
 from repro.core.aqs_gemm import AqsGemmConfig, execute_aqs, prepare_aqs
 from repro.core.pipeline import PtqConfig
@@ -260,7 +266,7 @@ def run(n_requests=32):
     concurrent = run_concurrent()
     cache = run_cache()
     payload = {"model": MODEL, "n_requests": n_requests,
-               "cpu_count": os.cpu_count(),
+               "cpu_count": os.cpu_count(), "blas": blas_report(),
                "policies": serving, "kernel": kernel,
                "concurrent": concurrent, "cache": cache}
     base_mul4 = serving[0]["mul4"]
@@ -352,6 +358,7 @@ if __name__ == "__main__":
         cache = run_cache(n_requests=6, repeats=2)
         emit_json("serving_smoke", {"model": MODEL, "n_requests": 8,
                                     "cpu_count": os.cpu_count(),
+                                    "blas": blas_report(),
                                     "policies": serving, "kernel": kernel,
                                     "concurrent": concurrent,
                                     "cache": cache})

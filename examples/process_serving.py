@@ -1,0 +1,81 @@
+"""Process-backed serving: escape the GIL without changing a bit.
+
+The thread backend's workers share one interpreter lock, so pure-Python
+engine batches interleave instead of overlapping.  `backend="process"`
+moves deployment execution into spawned worker processes:
+
+1. **Plan-store snapshots** — each worker rehydrates its session from a
+   pickle-free `.npz` snapshot (the same `PlanStore` format `repro plan
+   export` writes); no pickled sessions cross the boundary.
+2. **Shared-memory activations** — request/response arrays travel through
+   framed `ShmRing` segments; only a frame offset crosses the pipe.
+3. **BLAS pinning** — every worker comes up with its BLAS pools capped to
+   an even core split (inspect with `ProcessWorkerPool.ping()`).
+4. **Crash containment** — a worker dying mid-batch fails only that
+   batch (`WorkerCrashError`); the pool respawns and replays deployments.
+
+Everything stays bit-exact vs serial in-process execution: the quantized
+engines accumulate in int64, so a process boundary cannot change a bit.
+
+Run:  PYTHONPATH=src python examples/process_serving.py
+
+The `__main__` guard below is load-bearing: worker processes start via
+`spawn`, which re-imports this file — unguarded module-level code would
+recursively spawn.
+"""
+
+import numpy as np
+
+
+def main():
+    from repro.core.pipeline import PtqConfig
+    from repro.engine import PanaceaSession
+    from repro.models.zoo import build_proxy, proxy_batches
+    from repro.serve import BatchPolicy, ModelServer
+
+    stream = proxy_batches("bert_base", 2, 8, seed=3)
+
+    # --- serial reference: the exactness oracle ---------------------------
+    model, _ = build_proxy("bert_base", seed=0)
+    reference = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
+    reference.calibrate(proxy_batches("bert_base", 2, 2, seed=1))
+    expected = [reference.run(x) for x in stream]
+
+    # --- the same stream through process workers --------------------------
+    with ModelServer(BatchPolicy(max_batch=4, max_delay_s=0.0),
+                     workers=2, backend="process") as server:
+        server.deploy_proxy("bert/aqs", "bert_base", scheme="aqs", seed=0)
+        server.deploy_proxy("bert/sibia", "bert_base", scheme="sibia",
+                            seed=0)
+        print(f"deployments: {server.models()} "
+              f"(executing in pids {server.process_pool.pids})")
+
+        for report in server.process_pool.ping():
+            print(f"worker pid {report['pid']}: "
+                  f"OMP_NUM_THREADS={report['env']['OMP_NUM_THREADS']}")
+
+        futures = [server.submit_async("bert/aqs", x) for x in stream]
+        outputs = [f.result() for f in futures]
+        exact = all(np.array_equal(got, expect)
+                    for got, expect in zip(outputs, expected))
+        print(f"bert/aqs: {len(outputs)} requests served in worker "
+              f"processes, bit-exact vs serial run = {exact}")
+
+        sibia = [f.result() for f
+                 in server.submit_many_async("bert/sibia", stream)]
+        print(f"bert/sibia: {len(sibia)} requests served side by side")
+
+        metrics = server.metrics()
+        proc = metrics.process_workers
+        print(f"process pool: {proc['workers']} workers x "
+              f"{proc['blas_threads']} BLAS threads, {proc['n_tasks']} "
+              f"tasks, {proc['n_crashes']} crashes, "
+              f"{proc['n_pipe_fallback']} ring fallbacks")
+        sched = server.stats("bert/aqs")["scheduler"]
+        print(f"scheduler stayed in the parent: {sched['n_requests']} "
+              f"requests in {sched['n_batches']} engine batches "
+              f"(mean coalesce {sched['mean_batch_size']:.1f})")
+
+
+if __name__ == "__main__":
+    main()

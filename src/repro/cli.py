@@ -14,9 +14,12 @@ Eight commands cover the everyday workflows:
   (``--max-batch``/``--max-delay-ms`` are the coalescing knobs,
   ``--exec-path`` picks the fast or sliced BLAS path, ``--max-records``
   bounds trace retention, ``--workers`` attaches the concurrent worker
-  pool with async submission, ``--cache-kib`` enables the per-deployment
-  result cache, ``--repeats`` resubmits the stream to exercise it and
-  ``--shards``/``--depth`` deploy the model as a stage pipeline);
+  pool with async submission, ``--backend process`` executes the
+  deployment in spawned BLAS-pinned worker processes (``--blas-threads``
+  caps each worker's BLAS pool), ``--cache-kib`` enables the
+  per-deployment result cache, ``--repeats`` resubmits the stream to
+  exercise it and ``--shards``/``--depth`` deploy the model as a stage
+  pipeline);
 * ``shard <model>`` — auto-partition a proxy into balanced pipeline
   stages (measured or modeled costs) and stream a request set through
   the pipelined vs serial paths;
@@ -125,6 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=0,
                          help="worker-pool threads (0 = inline serving); "
                               "requests go through submit_async")
+    p_serve.add_argument("--backend", default="thread",
+                         choices=["thread", "process"],
+                         help="where deployment execution runs: 'thread' "
+                              "serves in-process, 'process' spawns "
+                              "--workers BLAS-pinned worker processes "
+                              "(real cores, bit-exact outputs)")
+    p_serve.add_argument("--blas-threads", type=int, default=None,
+                         help="BLAS threads per worker process (default: "
+                              "cores // workers, the no-oversubscription "
+                              "split); process backend only")
     p_serve.add_argument("--cache-kib", type=int, default=0,
                          help="per-deployment result-cache budget in KiB "
                               "(0 = caching off)")
@@ -334,8 +347,18 @@ def _cmd_serve(args, out) -> int:
     if args.shards < 0:
         print(f"--shards must be >= 0, got {args.shards}", file=out)
         return 2
+    if args.backend == "process" and args.workers < 1:
+        print("--backend process needs --workers >= 1 "
+              "(the worker-process count)", file=out)
+        return 2
+    if args.backend == "process" and args.shards:
+        print("--backend process does not shard deployments; drop "
+              "--shards or use --backend thread", file=out)
+        return 2
     server = ModelServer(workers=args.workers,
-                         cache_bytes=args.cache_kib * 1024)
+                         cache_bytes=args.cache_kib * 1024,
+                         backend=args.backend,
+                         blas_threads=args.blas_threads)
     deployment = f"{args.model}/{args.scheme}"
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_delay_s=args.max_delay_ms / 1e3)
@@ -388,6 +411,12 @@ def _cmd_serve(args, out) -> int:
         print(f"worker pool: {workers['workers']} workers, "
               f"{workers['n_tasks']} tasks, mean utilization "
               f"{workers['mean_utilization']:.0%}", file=out)
+    if metrics.process_workers is not None:
+        pw = metrics.process_workers
+        print(f"process pool: {pw['workers']} workers x "
+              f"{pw['blas_threads']} BLAS threads, {pw['n_tasks']} tasks, "
+              f"{pw['n_crashes']} crashes, "
+              f"{pw['n_pipe_fallback']} ring fallbacks", file=out)
     if args.cache_kib:
         print(f"result cache: {sched['n_cache_hits']} hits / "
               f"{n_submitted} submissions "

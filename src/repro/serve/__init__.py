@@ -13,6 +13,12 @@ The online half of Panacea's offline/online split, grown to process scale:
   (``submit_async``) entry points;
 * :mod:`repro.serve.pool` — :class:`WorkerPool`, the thread pool that
   drains all deployments' micro-batches in parallel;
+* :mod:`repro.serve.procpool` / :mod:`repro.serve.shm` —
+  :class:`ProcessWorkerPool` and the shared-memory array rings behind
+  ``ModelServer(backend="process")``: deployments rehydrated from plan
+  stores in spawned, BLAS-pinned worker processes, activations framed
+  through :class:`ShmRing` segments instead of pickles, crashes failing
+  only the in-flight batch (:class:`WorkerCrashError`) before a respawn;
 * :mod:`repro.serve.cache` — :class:`ResultCache`, the content-addressed
   per-deployment LRU result cache short-circuiting duplicate requests;
 * :mod:`repro.serve.metrics` — :class:`LatencyStats` (the shared latency
@@ -22,8 +28,11 @@ The online half of Panacea's offline/online split, grown to process scale:
 from .batching import BatchPolicy, MicroBatcher, Ticket
 from .cache import ResultCache, request_key
 from .metrics import LatencyStats, ServerMetrics
-from .pool import WorkerPool, WorkerStats
+from .pool import PoolShutdownError, WorkerPool, WorkerStats
+from .procpool import (ProcessSessionProxy, ProcessWorkerPool,
+                       WorkerCrashError)
 from .server import ModelEntry, ModelServer
+from .shm import ShmRing
 from .store import PlanStore, PlanStoreError, STORE_FORMAT, STORE_VERSION
 
 __all__ = [
@@ -34,8 +43,13 @@ __all__ = [
     "request_key",
     "LatencyStats",
     "ServerMetrics",
+    "PoolShutdownError",
     "WorkerPool",
     "WorkerStats",
+    "ProcessWorkerPool",
+    "ProcessSessionProxy",
+    "WorkerCrashError",
+    "ShmRing",
     "ModelEntry",
     "ModelServer",
     "PlanStore",

@@ -107,7 +107,11 @@ class ServerMetrics:
     was cancelled);
     ``workers`` is the :class:`~repro.serve.pool.WorkerPool` summary (or
     ``None`` when the server runs inline) whose per-worker utilization list
-    answers "are my workers actually overlapping?"; ``cache`` sums every
+    answers "are my workers actually overlapping?"; ``process_workers`` is
+    the :class:`~repro.serve.procpool.ProcessWorkerPool` summary on
+    ``backend='process'`` servers (``None`` otherwise) — its
+    ``n_crashes``/``n_pipe_fallback`` counters are the crash-recovery and
+    shared-memory-transport health view; ``cache`` sums every
     deployment's cache counters into one server-wide hit-rate;
     ``pipelines`` maps each *sharded* deployment to its per-stage
     execution/stall latency view (``None`` when nothing is sharded) — the
@@ -123,6 +127,7 @@ class ServerMetrics:
     queue_wait: dict
     deployments: dict
     workers: dict | None = None
+    process_workers: dict | None = None
     cache: dict | None = None
     pipelines: dict | None = None
 
@@ -146,6 +151,7 @@ class ServerMetrics:
             "cache_hit_rate": self.cache_hit_rate,
             "queue_wait": self.queue_wait,
             "workers": self.workers,
+            "process_workers": self.process_workers,
             "cache": self.cache,
             "pipelines": self.pipelines,
             "deployments": self.deployments,

@@ -48,7 +48,18 @@ from concurrent.futures import Future
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 
-__all__ = ["WorkerPool", "WorkerStats"]
+__all__ = ["PoolShutdownError", "WorkerPool", "WorkerStats"]
+
+
+class PoolShutdownError(RuntimeError):
+    """Submission refused: the pool's ``shutdown()`` already ran.
+
+    Raised by :meth:`WorkerPool.submit` and
+    :meth:`~repro.serve.procpool.ProcessWorkerPool.submit` alike, so
+    callers can distinguish "the serving tier is going down" from any
+    other runtime failure.  A ``RuntimeError`` subclass: pre-existing
+    handlers keep working.
+    """
 
 
 @dataclass
@@ -130,7 +141,8 @@ class WorkerPool:
         """
         with self._lock:
             if self._shutdown:
-                raise RuntimeError("cannot submit to a shut-down WorkerPool")
+                raise PoolShutdownError(
+                    "cannot submit to a shut-down WorkerPool")
             future: Future = Future()
             self._tasks.put((future, fn, args, kwargs, group))
         return future

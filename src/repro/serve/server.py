@@ -97,17 +97,36 @@ class ModelServer:
     :class:`WorkerPool` used by :meth:`submit_async`, :meth:`flush` and
     :meth:`pump`; call :meth:`close` (or use the server as a context
     manager) to drain and join it.
+
+    ``backend`` picks where deployment *execution* happens.  The default
+    ``"thread"`` serves in-process; ``"process"`` additionally starts a
+    :class:`~repro.serve.procpool.ProcessWorkerPool` of ``workers``
+    spawned, BLAS-pinned worker processes and routes every registered
+    deployment's forward passes to them (sessions rehydrated per worker
+    from a plan-store snapshot, activations over shared memory), while
+    the MicroBatcher, ResultCache and all metrics stay in the parent.
+    Outputs are bit-exact across backends; a crashed worker fails only
+    its in-flight batch and is respawned.
     """
 
     def __init__(self, default_policy: BatchPolicy | None = None, *,
-                 clock=None, workers: int = 0,
-                 cache_bytes: int = 0) -> None:
+                 clock=None, workers: int = 0, cache_bytes: int = 0,
+                 backend: str = "thread",
+                 blas_threads: int | None = None) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if cache_bytes < 0:
             raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}")
+        if backend == "process" and workers < 1:
+            raise ValueError(
+                "backend='process' needs workers >= 1 (the process pool "
+                "size); workers=0 is inline thread serving")
         self.default_policy = default_policy or BatchPolicy()
         self.cache_bytes = cache_bytes
+        self.backend = backend
         self._clock = clock
         self._entries: dict[str, ModelEntry] = {}
         # Guards deployment lifecycle vs iteration: register/unregister
@@ -115,12 +134,28 @@ class ModelServer:
         # deployment dict on another.  Single-name lookups stay lock-free
         # (atomic in CPython); every iteration works on a snapshot.
         self._entries_lock = threading.Lock()
+        # The thread pool stays even with the process backend: it runs the
+        # scheduler (submit_async service honoring max_delay_s) while the
+        # process pool runs the engines — one blocked round trip per
+        # in-flight batch, so the two are sized together.
         self._pool = WorkerPool(workers) if workers else None
+        self._proc_pool = None
+        self._proc_store_dir: str | None = None
+        if backend == "process":
+            from .procpool import ProcessWorkerPool
+
+            self._proc_pool = ProcessWorkerPool(workers,
+                                                blas_threads=blas_threads)
 
     @property
     def pool(self) -> WorkerPool | None:
         """The attached worker pool (None when serving inline)."""
         return self._pool
+
+    @property
+    def process_pool(self):
+        """The process execution tier (None for the thread backend)."""
+        return self._proc_pool
 
     @property
     def workers(self) -> int:
@@ -165,10 +200,50 @@ class ModelServer:
                 f"{shard_plan.n_stages} stages")
         return ShardedSession(session, shard_plan, depth=depth)
 
+    def _deploy_process(self, name: str, session: PanaceaSession,
+                        model_name: str | None, model_factory,
+                        store_path=None, model_seed: int = 0):
+        """Move a deployment's execution into the worker processes.
+
+        The session is snapshotted to a plan store under a server-owned
+        temp directory (unless ``store_path`` already points at one, the
+        :meth:`load` path) and every worker rehydrates it; the returned
+        :class:`~repro.serve.procpool.ProcessSessionProxy` is what the
+        parent-side scheduler drives.  Workers need the float architecture
+        too, so either the store's proxy-zoo reference or a picklable
+        ``model_factory`` must identify it.
+        """
+        import pathlib
+        import tempfile
+
+        from .procpool import ProcessSessionProxy
+        from .store import PlanStore
+
+        if model_name is None and model_factory is None \
+                and store_path is None:
+            raise ValueError(
+                f"deployment {name!r} on backend='process' needs "
+                "model_name (a proxy-zoo reference) or model_factory (a "
+                "picklable zero-arg callable) so the workers can rebuild "
+                "the float model")
+        if store_path is None:
+            if self._proc_store_dir is None:
+                self._proc_store_dir = tempfile.mkdtemp(
+                    prefix="repro-serve-")
+            store_path = (pathlib.Path(self._proc_store_dir)
+                          / f"{name.replace('/', '_')}.plans.npz")
+            PlanStore(store_path).save(session, model_name=model_name,
+                                       seed=model_seed)
+        self._proc_pool.load_deployment(
+            name, store_path, model_factory=model_factory,
+            max_records=session.max_records)
+        return ProcessSessionProxy(self._proc_pool, name)
+
     def register(self, name: str, session: PanaceaSession,
                  policy: BatchPolicy | None = None, *, shards: int = 0,
-                 shard_plan=None, depth: int = 2,
-                 shard_sample=None) -> ModelEntry:
+                 shard_plan=None, depth: int = 2, shard_sample=None,
+                 model_name: str | None = None, model_factory=None,
+                 store_path=None, model_seed: int = 0) -> ModelEntry:
         """Host a prepared session under ``name``.
 
         The session must already be calibrated (or explicitly built with
@@ -177,6 +252,11 @@ class ModelServer:
         deploys the session as a stage pipeline: request groups stream
         through the stages with in-flight depth ``depth`` instead of fusing
         into one engine batch — bit-exact either way.
+
+        On ``backend='process'`` the session is snapshotted and executed
+        in the worker processes (see :meth:`_deploy_process`);
+        ``model_name``/``model_factory`` tell the workers how to rebuild
+        the float model and are ignored by the thread backend.
         """
         if not session.prepared and not session.auto_calibrate:
             raise ValueError(
@@ -187,7 +267,24 @@ class ModelServer:
             raise ValueError(
                 f"shards must be an int >= 0, got {shards!r} "
                 "(only load() accepts the string 'stored')")
-        if shards >= 2 or shard_plan is not None:
+        if self._proc_pool is not None:
+            if shards >= 2 or shard_plan is not None:
+                raise ValueError(
+                    "backend='process' does not shard deployments: stage "
+                    "callables are closures over the parent session and "
+                    "cannot cross the process boundary — deploy sharded "
+                    "models on the thread backend")
+            if not session.prepared:
+                raise ValueError(
+                    f"deployment {name!r} on backend='process' needs a "
+                    "prepared session: auto_calibrate cannot run in the "
+                    "workers (plan stores snapshot calibrated plans only)")
+            if name in self._entries:
+                raise ValueError(f"model {name!r} is already registered")
+            session = self._deploy_process(name, session, model_name,
+                                           model_factory, store_path,
+                                           model_seed)
+        elif shards >= 2 or shard_plan is not None:
             session = self._shard_session(session, shards, shard_plan,
                                           depth, shard_sample)
         kwargs = {} if self._clock is None else {"clock": self._clock}
@@ -233,7 +330,8 @@ class ModelServer:
                                 seed=seed + 2)[0] if shards >= 2 else None)
         return self.register(name, session,
                              self._policy_for_proxy(policy, model_name),
-                             shards=shards, depth=depth, shard_sample=sample)
+                             shards=shards, depth=depth, shard_sample=sample,
+                             model_name=model_name, model_seed=seed)
 
     def _policy_for_proxy(self, policy: BatchPolicy | None,
                           model_name: str | None) -> BatchPolicy:
@@ -251,7 +349,7 @@ class ModelServer:
             base = replace(base, pad_axis=spec.pad_axis)
         return base
 
-    def load(self, name: str, path, *, model=None,
+    def load(self, name: str, path, *, model=None, model_factory=None,
              policy: BatchPolicy | None = None,
              max_records: int | None = None, shards: int | str = 0,
              depth: int = 2) -> ModelEntry:
@@ -262,6 +360,11 @@ class ModelServer:
         ``shards="stored"`` deploys with the shard plan persisted in the
         store (raising if there is none); ``shards=N >= 2`` re-partitions
         with modeled costs instead.
+
+        On ``backend='process'`` the workers rehydrate straight from
+        ``path`` (no re-snapshot); a store saved without a proxy-zoo
+        reference then needs ``model_factory`` (picklable) instead of an
+        in-process ``model`` object, which cannot cross to the workers.
         """
         from .store import PlanStore
 
@@ -269,6 +372,8 @@ class ModelServer:
             raise ValueError(
                 f"shards must be an int or 'stored', got {shards!r}")
         store = PlanStore(path)
+        if model is None and model_factory is not None:
+            model = model_factory()
         session = store.load(model=model, max_records=max_records)
         model_name = store.describe().get("model_name")
         shard_plan = None
@@ -283,7 +388,8 @@ class ModelServer:
         return self.register(name, session,
                              self._policy_for_proxy(policy, model_name),
                              shards=shards, shard_plan=shard_plan,
-                             depth=depth)
+                             depth=depth, model_name=model_name,
+                             model_factory=model_factory, store_path=path)
 
     def unregister(self, name: str) -> None:
         """Drop a deployment after draining its queue.
@@ -296,6 +402,9 @@ class ModelServer:
             self._entries.pop(name, None)
         if entry.sharded:
             entry.session.close()
+        elif self._proc_pool is not None \
+                and getattr(entry.session, "_pool", None) is self._proc_pool:
+            self._proc_pool.unload_deployment(name)
 
     def _snapshot(self) -> list[ModelEntry]:
         """A stable view of the deployments for lock-free iteration."""
@@ -325,6 +434,13 @@ class ModelServer:
                     entry.session.close()
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
+            if self._proc_pool is not None:
+                self._proc_pool.shutdown(wait=True)
+            if self._proc_store_dir is not None:
+                import shutil
+
+                shutil.rmtree(self._proc_store_dir, ignore_errors=True)
+                self._proc_store_dir = None
         if first_error is not None:
             raise first_error
 
@@ -508,6 +624,8 @@ class ModelServer:
             queue_wait=self.queue_wait_rollup().summary(),
             deployments=deployments,
             workers=self._pool.stats() if self._pool is not None else None,
+            process_workers=(self._proc_pool.stats()
+                             if self._proc_pool is not None else None),
             cache=cache_totals,
             pipelines=pipelines or None,
         )

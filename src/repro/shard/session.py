@@ -64,6 +64,19 @@ class ShardedSession:
 
     def __init__(self, session: PanaceaSession, plan: ShardPlan, *,
                  pool: WorkerPool | None = None, depth: int = 2) -> None:
+        from ..serve.procpool import ProcessWorkerPool
+
+        if isinstance(pool, ProcessWorkerPool):
+            # Stage callables are closures over this session's segments
+            # and trace — not picklable, so they cannot execute in worker
+            # processes.  Process-level parallelism for sharded models
+            # means process-per-stage with shm hand-off between stages, a
+            # different executor; refuse loudly rather than fail deep in
+            # pickling.
+            raise TypeError(
+                "ShardedSession stages run on threads: pass a WorkerPool "
+                "(ProcessWorkerPool serves whole deployments via "
+                "ModelServer(backend='process'))")
         if not session.prepared:
             # auto_calibrate is no escape hatch here: stage fns call the
             # segments directly, bypassing run()'s calibrate-on-first-batch

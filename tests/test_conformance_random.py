@@ -358,6 +358,63 @@ class TestShardFuzz:
                 f"(seed={BASE_SEED})"
 
 
+def _build_fuzz_net(model_seed, dims):
+    """Module-level factory so spawn can rebuild the model in a worker.
+
+    The process backend ships this (via :func:`functools.partial`, which
+    pickles by reference) to every worker; the seeded rng makes the child's
+    float model identical to the parent's down to the last weight bit.
+    """
+    return _FuzzNet(np.random.default_rng(model_seed), dims[0], dims[1],
+                    dims[2])
+
+
+class TestProcessBackendFuzz:
+    """Process-backed serving never changes a bit: all four engines x both
+    granularities x both exec paths, served through spawned workers
+    (session rehydrated from a plan-store snapshot, activations over
+    shared memory) vs serial ``PanaceaSession.run``.
+
+    ``max_batch=1`` keeps every request its own engine batch, so even the
+    fp32 reference engine is held to **strict** equality — same ops, same
+    shapes, same order, just executed in another process.
+    """
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_process_serving_equals_serial_run(self, engine_name,
+                                               granularity):
+        import functools
+
+        rng = _rng(9, hash(engine_name) & 0xFFFF,
+                   hash(granularity) & 0xFFFF)
+        dims = tuple(int(rng.integers(6, 32)) for _ in range(3))
+        model_seed = int(rng.integers(0, 2 ** 31))
+        requests = [rng.normal(0, 1, (int(rng.integers(1, 5)), dims[0]))
+                    for _ in range(5)]
+        label = (f"{engine_name}/{granularity} dims={dims} "
+                 f"seed={BASE_SEED}")
+        factory = functools.partial(_build_fuzz_net, model_seed, dims)
+
+        with ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0),
+                         workers=1, backend="process") as server:
+            for exec_path in ("fast", "sliced"):
+                reference = _session_case(engine_name, granularity,
+                                          exec_path, dims, model_seed)
+                expected = [reference.run(x) for x in requests]
+                session = _session_case(engine_name, granularity, exec_path,
+                                        dims, model_seed)
+                server.register(exec_path, session, model_factory=factory)
+                futures = [server.submit_async(exec_path, x)
+                           for x in requests]
+                for future, expect in zip(futures, expected):
+                    assert np.array_equal(future.result(timeout=120),
+                                          expect), \
+                        f"{label}/{exec_path}: process backend != serial"
+                stats = server.stats(exec_path)
+                assert stats["session"]["n_requests"] == len(requests)
+
+
 class TestCacheConformance:
     @pytest.mark.parametrize("engine_name", ENGINES)
     def test_cache_hits_are_bit_exact(self, engine_name):

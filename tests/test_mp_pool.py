@@ -1,0 +1,156 @@
+"""ProcessWorkerPool: API parity with WorkerPool, pinning, crash recovery.
+
+Everything here crosses a real process boundary (spawn start method), so
+the helpers tasks execute must live at module level — spawn pickles them
+by reference and re-imports this module in the child.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.serve import PoolShutdownError, ProcessWorkerPool, WorkerCrashError
+from repro.serve.procworker import BLAS_ENV_VARS
+
+
+def _square(x):
+    return x * x
+
+
+def _pid():
+    return os.getpid()
+
+
+def _boom():
+    raise ValueError("deliberate task failure")
+
+
+def _exit_hard():
+    # Simulates a segfault/OOM-kill: no exception, no reply, the process
+    # just disappears mid-task.
+    os._exit(3)
+
+
+def _sleep_then(x, delay=0.05):
+    time.sleep(delay)
+    return x
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """One module-scoped pool: spawn is expensive, tasks are cheap.
+
+    Crash tests respawn workers in place, so sharing is safe — every test
+    starts with a full complement of live workers.
+    """
+    with ProcessWorkerPool(2, blas_threads=1) as pool:
+        yield pool
+
+
+def test_submit_round_trips_results(pool):
+    futures = [pool.submit(_square, i) for i in range(8)]
+    assert [f.result(timeout=30) for f in futures] == [i * i
+                                                      for i in range(8)]
+
+
+def test_run_all_matches_workerpool_semantics(pool):
+    import functools
+
+    thunks = [functools.partial(_square, i) for i in range(5)]
+    assert pool.run_all(thunks) == [0, 1, 4, 9, 16]
+
+
+def test_tasks_execute_in_child_processes(pool):
+    pids = {pool.submit(_pid).result(timeout=30) for _ in range(8)}
+    assert os.getpid() not in pids
+    assert pids <= set(pool.pids)
+
+
+def test_task_exception_propagates_and_worker_survives(pool):
+    with pytest.raises(ValueError, match="deliberate task failure"):
+        pool.submit(_boom).result(timeout=30)
+    # The worker replied with the error rather than dying: no crash was
+    # recorded and it keeps serving.
+    assert pool.submit(_square, 7).result(timeout=30) == 49
+
+
+def test_unpicklable_submission_fails_through_future(pool):
+    future = pool.submit(lambda: 1)  # lambdas cannot cross the boundary
+    with pytest.raises(Exception) as excinfo:
+        future.result(timeout=30)
+    assert "pickle" in str(excinfo.value).lower()
+    assert pool.submit(_square, 3).result(timeout=30) == 9
+
+
+def test_workers_report_pinned_blas_env(pool):
+    reports = pool.ping()
+    assert len(reports) == pool.workers
+    for report in reports:
+        assert report["pid"] != os.getpid()
+        for var in BLAS_ENV_VARS:
+            assert report["env"][var] == "1", (var, report)
+
+
+def test_stats_shape(pool):
+    pool.submit(_square, 2).result(timeout=30)
+    stats = pool.stats()
+    assert stats["backend"] == "process"
+    assert stats["workers"] == 2
+    assert stats["blas_threads"] == 1
+    assert stats["n_tasks"] >= 1
+    assert stats["n_pipe_fallback"] >= 0
+    assert len(stats["per_worker"]) == 2
+
+
+def test_inflight_crash_fails_only_that_task(pool):
+    crashed = pool.submit(_exit_hard)
+    with pytest.raises(WorkerCrashError):
+        crashed.result(timeout=60)
+    # Only the in-flight task died; the pool respawned the worker and
+    # later submissions succeed on a full complement.
+    assert pool.submit(_square, 5).result(timeout=60) == 25
+    stats = pool.stats()
+    assert stats["n_crashes"] >= 1
+    assert stats["n_respawns"] >= 1
+    assert len([p for p in pool.pids if p is not None]) == 2
+
+
+def test_idle_worker_kill_is_survivable(pool):
+    victim = pool.pids[0]
+    os.kill(victim, signal.SIGKILL)
+    # Tasks routed to the dead worker fail one of two ways: the send
+    # errors (task never delivered -> silent respawn + retry, result
+    # arrives) or the send lands in the dead socket's buffer and the recv
+    # errors (that task alone fails with WorkerCrashError).  Both are
+    # recoveries — what must never happen is a hang or a second task
+    # failing after the respawn.
+    futures = [pool.submit(_square, i) for i in range(6)]
+    outcomes = []
+    for i, future in enumerate(futures):
+        try:
+            outcomes.append(future.result(timeout=60))
+        except WorkerCrashError:
+            outcomes.append(None)
+    assert sum(o is None for o in outcomes) <= 1
+    assert all(o == i * i for i, o in enumerate(outcomes) if o is not None)
+    assert victim not in pool.pids
+    assert pool.submit(_square, 9).result(timeout=60) == 81
+    assert len([p for p in pool.pids if p is not None]) == 2
+
+
+def test_submit_after_shutdown_raises_typed_error():
+    pool = ProcessWorkerPool(1, blas_threads=1)
+    assert pool.submit(_square, 2).result(timeout=30) == 4
+    pool.shutdown(wait=True)
+    pool.shutdown(wait=True)  # idempotent
+    with pytest.raises(PoolShutdownError, match="shut-down"):
+        pool.submit(_square, 2)
+    with pytest.raises(PoolShutdownError):
+        pool.ping()
+
+
+def test_concurrent_submissions_all_resolve(pool):
+    futures = [pool.submit(_sleep_then, i, 0.01) for i in range(12)]
+    assert [f.result(timeout=60) for f in futures] == list(range(12))

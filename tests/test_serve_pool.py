@@ -116,10 +116,15 @@ class TestLifecycle:
         assert sorted(results) == list(range(5))
 
     def test_submit_after_shutdown_rejected(self):
+        from repro.serve import PoolShutdownError
+
         pool = WorkerPool(1)
         pool.shutdown()
-        with pytest.raises(RuntimeError, match="shut-down"):
+        # The typed error lets supervisors distinguish "pool is gone" from
+        # task failures; it stays a RuntimeError for older callers.
+        with pytest.raises(PoolShutdownError, match="shut-down"):
             pool.submit(lambda: None)
+        assert issubclass(PoolShutdownError, RuntimeError)
 
     def test_shutdown_idempotent(self):
         pool = WorkerPool(2)

@@ -1,0 +1,99 @@
+"""PlanStore under concurrent multi-process readers (the .npz contract).
+
+The process backend rehydrates every worker's session from the same
+``.npz`` plan store — simultaneous read-only loads of one file must be
+safe, must work from a read-only deployment directory, and a corrupt
+store must surface :class:`PlanStoreError` *in the child* and propagate
+through the parent-side future (the error class is a ``ValueError``
+subclass precisely so it pickles across the boundary).
+
+Helpers the workers execute live at module level (spawn pickles them by
+reference).
+"""
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PtqConfig
+from repro.engine import PanaceaSession
+from repro.models.zoo import build_proxy, proxy_batches
+from repro.serve import PlanStore, PlanStoreError, ProcessWorkerPool
+
+MODEL = "bert_base"
+
+
+def _saved_store(path, seed=0):
+    model, _ = build_proxy(MODEL, seed=seed)
+    session = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
+    session.calibrate(proxy_batches(MODEL, 2, 2, seed=seed + 1))
+    PlanStore(path).save(session, model_name=MODEL, seed=seed)
+    return session
+
+
+def _load_and_run(path):
+    """Child-side: rehydrate from the store, serve one fixed request.
+
+    Returns the output array — the strongest possible digest: any
+    corruption or cross-process nondeterminism in the load shows up as a
+    bit difference against the parent's serial run.
+    """
+    session = PlanStore(path).load()
+    return session.run(proxy_batches(MODEL, 2, 1, seed=99)[0])
+
+
+def test_concurrent_loads_of_one_store_are_identical(tmp_path):
+    path = tmp_path / "bert.plans.npz"
+    session = _saved_store(path)
+    expected = session.run(proxy_batches(MODEL, 2, 1, seed=99)[0])
+    with ProcessWorkerPool(2, blas_threads=1) as pool:
+        # Several simultaneous loads per worker of the same file: numpy's
+        # npz reader opens read-only, so readers never see each other.
+        futures = [pool.submit(_load_and_run, os.fspath(path))
+                   for _ in range(6)]
+        outputs = [f.result(timeout=120) for f in futures]
+    for out in outputs:
+        assert np.array_equal(out, expected)
+
+
+def test_load_from_read_only_directory(tmp_path):
+    store_dir = tmp_path / "deploy"
+    store_dir.mkdir()
+    path = store_dir / "bert.plans.npz"
+    session = _saved_store(path)
+    expected = session.run(proxy_batches(MODEL, 2, 1, seed=99)[0])
+    os.chmod(store_dir, 0o555)
+    os.chmod(path, 0o444)
+    try:
+        with ProcessWorkerPool(1, blas_threads=1) as pool:
+            out = pool.submit(_load_and_run,
+                              os.fspath(path)).result(timeout=120)
+    finally:
+        os.chmod(store_dir, 0o755)  # let tmp_path cleanup remove it
+        os.chmod(path, 0o644)
+    assert np.array_equal(out, expected)
+
+
+def test_truncated_store_raises_planstoreerror_in_child(tmp_path):
+    path = tmp_path / "bert.plans.npz"
+    _saved_store(path)
+    broken = tmp_path / "broken.plans.npz"
+    shutil.copyfile(path, broken)
+    with open(broken, "r+b") as fh:
+        fh.truncate(os.path.getsize(path) // 2)
+    with ProcessWorkerPool(1, blas_threads=1) as pool:
+        # Through a generic task: the child's PlanStoreError pickles back
+        # and re-raises from the parent-side future as the typed error.
+        with pytest.raises(PlanStoreError):
+            pool.submit(_load_and_run, os.fspath(broken)).result(timeout=120)
+        # Through the deployment path: load_deployment re-raises the
+        # first worker failure, and the failed load must not poison the
+        # pool — a good store still deploys afterwards.
+        with pytest.raises(PlanStoreError):
+            pool.load_deployment("broken", broken)
+        pool.load_deployment("bert", path)
+        outputs, metas = pool.serve(
+            "bert", [proxy_batches(MODEL, 2, 1, seed=99)[0]])
+        assert len(outputs) == 1 and len(metas) == 1
