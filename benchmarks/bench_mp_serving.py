@@ -20,7 +20,13 @@ backends under a worker-count sweep:
   the process-vs-thread ratio at equal workers are reported;
 * the process pool's transport counters (ring frames vs pipe fallbacks,
   crashes) ride along in the JSON so a perf regression that silently
-  degrades to pickled transport is visible.
+  degrades to pickled transport is visible;
+* a memory sweep (``run_memory``) loads the same plan store into worker
+  sweeps twice — eagerly rehydrated vs mmap'd from the read-only blob
+  sidecar (the process-backend default) — and records per-worker RSS and
+  PSS.  Plan bytes live on disk once; with mmap they live in page cache
+  once too, so the summed PSS curve must grow sublinearly in the worker
+  count while the eager curve pays a private plan copy per worker.
 
 The >= 1.8x process-backend gate (`test_process_backend_speedup`) needs
 free cores and exclusive use of them: it only binds on >= 4 cores with
@@ -39,6 +45,9 @@ CI smoke:   PYTHONPATH=src python benchmarks/bench_mp_serving.py --smoke
 
 import argparse
 import os
+import pathlib
+import shutil
+import tempfile
 import time
 
 from _util import blas_report, emit, emit_json, pin_blas_threads
@@ -55,11 +64,13 @@ from repro.core.pipeline import PtqConfig  # noqa: E402
 from repro.engine import PanaceaSession  # noqa: E402
 from repro.eval.tables import format_table  # noqa: E402
 from repro.models.zoo import build_proxy, proxy_batches  # noqa: E402
-from repro.serve import BatchPolicy, ModelServer  # noqa: E402
+from repro.serve import (BatchPolicy, ModelServer, PlanStore,  # noqa: E402
+                         ProcessWorkerPool)
 
 MODEL = "bert_base"
 WORKER_SWEEP = (1, 2, 4)
 BACKENDS = ("thread", "process")
+MEMORY_MODES = ("eager", "mmap")
 GATE_MIN_SPEEDUP = 1.8
 GATE_MIN_CORES = 4
 
@@ -162,8 +173,77 @@ def run_compare(n_deployments=3, n_requests=6, rows=2,
     }
 
 
+def run_memory(workers_sweep=WORKER_SWEEP, rows=2, seed=0):
+    """Per-worker RSS/PSS of mmap'd vs eagerly rehydrated plan stores.
+
+    Every worker needs the full plan set to serve.  An eager load
+    (``load_kwargs={"mmap": False}``) rehydrates a private copy per
+    process, so total memory grows linearly with the worker count.  The
+    process-backend default maps the store's read-only blob sidecar into
+    every worker instead: the plan bytes live once in page cache however
+    many workers map them.
+
+    Per-worker RSS still *counts* the shared mmap pages in each process
+    (that is what resident means), so the sweep records PSS alongside —
+    shared pages divided by their sharer count — and the summed-PSS curve
+    is the one that must stay sublinear.  The store cost itself (npz +
+    blob bytes) is reported once: it is the same file every worker maps.
+
+    Every point serves ``2 x workers`` singleton batches first — faulting
+    the mmap'd plan pages in on every worker and asserting each output
+    bit-exact vs the parent session — so the measurement covers plans
+    that were actually *used*, not merely mapped.
+    """
+    model, _ = build_proxy(MODEL, seed=seed)
+    session = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
+    session.calibrate(proxy_batches(MODEL, 2, 2, seed=seed + 1))
+    tmp = tempfile.mkdtemp(prefix="repro-membench-")
+    try:
+        store = PlanStore(pathlib.Path(tmp) / f"{MODEL}.plans.npz")
+        store.save(session, model_name=MODEL, seed=seed)
+        blob = store.ensure_blob()
+        store_bytes = {"npz": store.path.stat().st_size,
+                       "blob": blob.stat().st_size}
+        points = []
+        for workers in workers_sweep:
+            stream = proxy_batches(MODEL, rows, 2 * workers, seed=seed + 40)
+            expected = [session.run(x) for x in stream]
+            for mode in MEMORY_MODES:
+                kwargs = {"mmap": False} if mode == "eager" else {}
+                with ProcessWorkerPool(workers, blas_threads=1) as pool:
+                    pool.load_deployment("bert", store.path,
+                                         load_kwargs=kwargs)
+                    futures = [pool.serve_async("bert", [x]) for x in stream]
+                    for future, expect in zip(futures, expected):
+                        outputs, _ = future.result()
+                        assert np.array_equal(outputs[0], expect), (
+                            f"memory sweep mode={mode} workers={workers} "
+                            "output is not bit-exact vs parent session.run")
+                    memory = [p["memory"] for p in pool.ping()]
+                rss = [m["rss_kib"] for m in memory]
+                pss = [m["pss_kib"] for m in memory]
+                points.append({
+                    "mode": mode,
+                    "workers": workers,
+                    "rss_kib": rss,
+                    "pss_kib": pss,
+                    "rss_total_kib": (sum(rss) if None not in rss else None),
+                    "pss_total_kib": (sum(pss) if None not in pss else None),
+                })
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "model": MODEL,
+        "cpu_count": os.cpu_count(),
+        "store_bytes": store_bytes,
+        "modes": list(MEMORY_MODES),
+        "points": points,
+    }
+
+
 def run(n_requests=8):
     payload = run_compare(n_requests=n_requests)
+    payload["memory"] = run_memory()
     rows = [[r["backend"], r["workers"], r["throughput_rps"],
              r["speedup_vs_workers1"],
              r["vs_thread_same_workers"] or 1.0,
@@ -172,6 +252,14 @@ def run(n_requests=8):
             for r in payload["results"]]
     proc = [r for r in payload["results"] if r["backend"] == "process"]
     best = max(r["speedup_vs_workers1"] for r in proc) if proc else 0.0
+    mem = payload["memory"]
+    mem_rows = [[p["mode"], p["workers"],
+                 p["rss_total_kib"] if p["rss_total_kib"] is not None
+                 else "-",
+                 p["pss_total_kib"] if p["pss_total_kib"] is not None
+                 else "-"]
+                for p in mem["points"]]
+    plan_mib = sum(mem["store_bytes"].values()) / (1 << 20)
     emit("mp_serving", format_table(
         ["backend", "workers", "req/s", "speedup", "vs thread",
          "deploy (s)", "pipe fb"],
@@ -180,7 +268,13 @@ def run(n_requests=8):
               f"({payload['n_deployments']} deployments, "
               f"{payload['n_requests']} requests, {os.cpu_count()} cores; "
               f"best process speedup {best:.2f}x vs workers=1; outputs "
-              "bit-exact at every point)"))
+              "bit-exact at every point)") + "\n\n" + format_table(
+        ["plan load", "workers", "sum RSS (KiB)", "sum PSS (KiB)"],
+        mem_rows,
+        title=f"worker memory, eager vs mmap'd plan store "
+              f"({plan_mib:.1f} MiB on disk, counted once; PSS divides "
+              "pages by sharer count — the mmap PSS curve is the "
+              "sublinear one)"))
     emit_json("mp_serving", payload)
     return payload
 
@@ -193,6 +287,30 @@ def test_process_backend_bit_exact():
     one bit fails here regardless of core count.
     """
     run_compare(n_deployments=2, n_requests=3, workers_sweep=(1, 2))
+
+
+def test_mmap_plans_share_memory():
+    """mmap'd plan stores must beat eager rehydration on summed PSS.
+
+    The blob is ~56 MiB: with 2 workers, eager rehydration holds two
+    private plan copies while mmap shares one set of page-cache pages, so
+    demanding savings of at least *half* the blob leaves a wide margin
+    for interpreter noise.  Unlike the wall-clock gates this does not
+    need exclusive cores — memory accounting is contention-free — but it
+    does need /proc PSS, so non-Linux hosts skip.
+    """
+    import pytest
+
+    payload = run_memory(workers_sweep=(2,))
+    by_mode = {p["mode"]: p for p in payload["points"]}
+    eager, mmap = by_mode["eager"], by_mode["mmap"]
+    if eager["pss_total_kib"] is None or mmap["pss_total_kib"] is None:
+        pytest.skip("no /proc smaps_rollup PSS on this host")
+    blob_kib = payload["store_bytes"]["blob"] // 1024
+    assert mmap["pss_total_kib"] + blob_kib // 2 <= eager["pss_total_kib"], (
+        f"mmap'd plans saved less than half the blob: "
+        f"mmap sum PSS {mmap['pss_total_kib']} KiB vs "
+        f"eager {eager['pss_total_kib']} KiB (blob {blob_kib} KiB)")
 
 
 def test_process_backend_speedup():
@@ -230,12 +348,17 @@ if __name__ == "__main__":
     if args.smoke:
         payload = run_compare(n_deployments=2, n_requests=4,
                               workers_sweep=(1, 2))
+        payload["memory"] = run_memory(workers_sweep=(1, 2))
         emit_json("mp_serving_smoke", payload)
         proc = [r for r in payload["results"] if r["backend"] == "process"]
         best = max(r["speedup_vs_workers1"] for r in proc)
         fallbacks = sum(r["process_pool"]["n_pipe_fallback"] for r in proc)
+        mem = {(p["mode"], p["workers"]): p["pss_total_kib"]
+               for p in payload["memory"]["points"]}
         print("mp serving smoke: both backends bit-exact vs serial replay; "
               f"best process speedup {best:.2f}x vs workers=1 on "
-              f"{os.cpu_count()} cores; {fallbacks} ring fallbacks")
+              f"{os.cpu_count()} cores; {fallbacks} ring fallbacks; "
+              f"2-worker sum PSS KiB mmap {mem.get(('mmap', 2))} vs eager "
+              f"{mem.get(('eager', 2))}")
     else:
         run(n_requests=args.requests)

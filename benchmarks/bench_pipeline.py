@@ -17,7 +17,13 @@ This bench:
   baseline is plain ``session.run``), asserting every output bit-exact
   against the serial run before timing is trusted;
 * reports wall time, throughput, and speedup vs serial per (stages,
-  depth) point.
+  depth) point;
+* repeats a depth sweep with the stages hosted in spawned worker
+  *processes* (``run_process_stages``): the session is snapshotted to a
+  plan store, rehydrated per worker mmap'd, and stage activations cross
+  the process boundary over per-edge shared-memory rings — the same
+  bit-exactness asserts bind, and the per-edge ring counters (frames vs
+  pipe fallbacks) ride along in the JSON.
 
 Pipeline overlap needs free cores: single-core runners still emit numbers
 and the exactness asserts always bind, but the >= 1.3x throughput gate
@@ -35,6 +41,9 @@ artifact for upload)
 
 import argparse
 import os
+import pathlib
+import shutil
+import tempfile
 import time
 
 from _util import blas_report, emit, emit_json, pin_blas_threads
@@ -54,6 +63,8 @@ from repro.shard import ShardedSession, auto_partition
 MODEL = "bert_base"
 STAGES = 4
 DEPTHS = (1, 2, 4)
+PROCESS_DEPTHS = (1, 2)
+PROCESS_STAGES = 2
 GATE_MIN_SPEEDUP = 1.3
 GATE_MIN_CORES = 4
 
@@ -135,8 +146,74 @@ def run_pipeline(n_requests=16, rows=2, depths=DEPTHS, seed=0):
     }
 
 
+def run_process_stages(n_requests=8, rows=2, depths=PROCESS_DEPTHS,
+                       stages=PROCESS_STAGES, seed=0):
+    """Depth sweep with the stages hosted in worker *processes*.
+
+    The same prepared model is snapshotted to a plan store, the stage
+    chain is split modeled-cost-wise, and a :class:`ShardedSession` over
+    a :class:`ProcessWorkerPool` rehydrates each stage's slice in a
+    spawned worker (mmap'd plans).  Activations hop stages over per-edge
+    shared-memory rings; every output is asserted bit-exact against the
+    parent session's serial ``run`` — crossing a process boundary must
+    not change a single bit — and the per-edge ring counters ride along
+    so a silent degrade to pickled pipe transport is visible.
+    """
+    from repro.serve import PlanStore, ProcessWorkerPool
+
+    session = _prepared_session(seed=seed)
+    plan = auto_partition(session, stages)
+    requests = _requests(n_requests, rows, seed=seed)
+
+    t0 = time.perf_counter()
+    expected = [session.run(x) for x in requests]
+    serial_s = time.perf_counter() - t0
+
+    tmp = tempfile.mkdtemp(prefix="repro-pipebench-")
+    results = []
+    try:
+        store = PlanStore(pathlib.Path(tmp) / f"{MODEL}.plans.npz")
+        store.save(session, model_name=MODEL, seed=seed)
+        with ProcessWorkerPool(stages, blas_threads=1) as pool:
+            for depth in depths:
+                with ShardedSession(session, plan, pool=pool, depth=depth,
+                                    store_path=store.path,
+                                    name=f"bench-d{depth}") as sharded:
+                    t0 = time.perf_counter()
+                    outputs = sharded.run_pipelined(requests)
+                    wall_s = time.perf_counter() - t0
+                    edges = sharded.stage_stats()["stage_edges"]
+                for got, expect in zip(outputs, expected):
+                    assert np.array_equal(got, expect), (
+                        f"process stages depth={depth} pipelined output is "
+                        "not bit-exact vs serial session.run")
+                results.append({
+                    "stages": plan.n_stages,
+                    "depth": depth,
+                    "n_requests": n_requests,
+                    "wall_s": wall_s,
+                    "throughput_rps": n_requests / wall_s,
+                    "speedup_vs_serial": serial_s / wall_s,
+                    "ring_frames": sum(e["n_frames"] for e in edges),
+                    "pipe_fallbacks": sum(e["n_pipe_fallback"]
+                                          for e in edges),
+                    "stage_edges": edges,
+                })
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "model": MODEL,
+        "cpu_count": os.cpu_count(),
+        "stages": stages,
+        "serial_wall_s": serial_s,
+        "process_pipeline": results,
+    }
+
+
 def run(n_requests=16):
     payload = run_pipeline(n_requests=n_requests)
+    payload["process_stages"] = run_process_stages(
+        n_requests=max(4, n_requests // 2))
     part = payload["partition"]
     prows = [[r["stage"], " ".join(r["segments"]), r["n_layers"],
               r["cost_share"]] for r in part["measured"]["stages"]]
@@ -145,6 +222,11 @@ def run(n_requests=16):
              max(r["stage_exec_ms"]), max(r["stage_stall_ms"])]
             for r in payload["pipeline"]]
     best = max(r["speedup_vs_serial"] for r in payload["pipeline"])
+    proc = payload["process_stages"]
+    proc_rows = [[r["stages"], r["depth"], r["throughput_rps"],
+                  r["speedup_vs_serial"], r["ring_frames"],
+                  r["pipe_fallbacks"]]
+                 for r in proc["process_pipeline"]]
     emit("pipeline", format_table(
         ["stage", "segments", "layers", "cost share"], prows,
         title=f"{MODEL} measured stage split "
@@ -156,7 +238,13 @@ def run(n_requests=16):
             title=f"pipelined serving vs serial session.run "
                   f"({payload['n_requests']} requests, {os.cpu_count()} "
                   f"cores, best {best:.2f}x; outputs bit-exact at every "
-                  "depth)"))
+                  "depth)") + "\n\n" +
+        format_table(
+            ["stages", "depth", "req/s", "speedup", "ring frames",
+             "pipe fb"], proc_rows,
+            title="process-hosted stages (plan-store rehydration, "
+                  "activations over shm rings; outputs bit-exact at "
+                  "every depth)"))
     emit_json("pipeline", payload)
     return payload
 
@@ -164,6 +252,20 @@ def run(n_requests=16):
 def test_pipelined_bit_exact():
     """The non-negotiable invariant, under pytest (small stream)."""
     run_pipeline(n_requests=4, depths=(1, 2))
+
+
+def test_process_stages_bit_exact():
+    """Process-hosted stages must match serial ``run`` bit for bit.
+
+    Small stream, both depths; the asserts live inside
+    ``run_process_stages`` and bind regardless of core count — and the
+    stream must actually have crossed the rings, not just computed
+    parent-side.
+    """
+    payload = run_process_stages(n_requests=3, depths=(1, 2))
+    for point in payload["process_pipeline"]:
+        assert point["ring_frames"] + point["pipe_fallbacks"] >= \
+            point["n_requests"]
 
 
 def test_pipeline_throughput_speedup():
@@ -197,12 +299,17 @@ if __name__ == "__main__":
     args = parser.parse_args()
     if args.smoke:
         payload = run_pipeline(n_requests=6, depths=(1, 2))
+        payload["process_stages"] = run_process_stages(n_requests=4)
         emit_json("pipeline_smoke", payload)
         best = max(r["speedup_vs_serial"] for r in payload["pipeline"])
+        proc = payload["process_stages"]["process_pipeline"]
+        frames = sum(r["ring_frames"] for r in proc)
+        fallbacks = sum(r["pipe_fallbacks"] for r in proc)
         print(f"pipeline smoke: {payload['partition']['stages']}-stage "
               f"split balance "
               f"{payload['partition']['measured']['balance']:.2f}; all "
               f"depths bit-exact vs serial; best {best:.2f}x on "
-              f"{os.cpu_count()} cores")
+              f"{os.cpu_count()} cores; process stages bit-exact too "
+              f"({frames} ring frames, {fallbacks} pipe fallbacks)")
     else:
         run(n_requests=args.requests)

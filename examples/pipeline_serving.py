@@ -14,6 +14,15 @@ serving level:
    in ``server.metrics().pipelines``.
 4. **PlanStore** — persist the shard plan next to the layer plans and
    redeploy with ``shards="stored"``, zero re-balancing.
+5. **backend="process"** — the same ``shards=N`` deploy with every stage
+   hosted in a spawned worker process: plans rehydrated per worker
+   (mmap'd from the store's blob sidecar, so the bytes live once in page
+   cache), activations hopping stages over shared-memory rings — still
+   bit-exact, with per-edge ring counters in the metrics.
+
+The process backend spawns workers that re-import ``__main__``, so the
+script body lives under ``if __name__ == "__main__":`` — copy that shape
+into anything that deploys with ``backend="process"``.
 
 Run:  PYTHONPATH=src python examples/pipeline_serving.py
 """
@@ -30,60 +39,87 @@ from repro.models.zoo import build_proxy, proxy_batches
 from repro.serve import BatchPolicy, ModelServer, PlanStore
 from repro.shard import ShardedSession, auto_partition
 
-# --- prepare one session, measure it, balance the stages -------------------
-model, _ = build_proxy("bert_base", seed=0)
-session = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
-session.calibrate(proxy_batches("bert_base", 2, 2, seed=1))
 
-sample = proxy_batches("bert_base", 2, 1, seed=2)[0]
-report = session.profile(sample, repeats=2)
-print(f"profiled {len(report.layers)} GEMM layers: "
-      f"{report.layer_s / report.repeats * 1e3:.1f} ms/forward in layers, "
-      f"{report.other_s / report.repeats * 1e3:.1f} ms glue")
+def main():
+    # --- prepare one session, measure it, balance the stages ---------------
+    model, _ = build_proxy("bert_base", seed=0)
+    session = PanaceaSession(model, PtqConfig.for_scheme("aqs"))
+    session.calibrate(proxy_batches("bert_base", 2, 2, seed=1))
 
-plan = auto_partition(session, 3, sample=sample)
-print(f"{plan.n_stages}-stage split ({plan.source} costs, "
-      f"balance {plan.balance:.2f}):")
-for row in plan.summary():
-    print(f"  stage {row['stage']}: {' '.join(row['segments'])} "
-          f"({row['n_layers']} layers, {row['cost_share']:.0%} of cost)")
+    sample = proxy_batches("bert_base", 2, 1, seed=2)[0]
+    report = session.profile(sample, repeats=2)
+    print(f"profiled {len(report.layers)} GEMM layers: "
+          f"{report.layer_s / report.repeats * 1e3:.1f} ms/forward in "
+          f"layers, {report.other_s / report.repeats * 1e3:.1f} ms glue")
 
-# --- pipelined execution is bit-exact vs session.run -----------------------
-requests = proxy_batches("bert_base", 1, 8, seed=3)
-expected = [session.run(x) for x in requests]
-with ShardedSession(session, plan, depth=4) as sharded:
-    t0 = time.perf_counter()
-    outputs = sharded.run_pipelined(requests)
-    pipe_s = time.perf_counter() - t0
-for got, expect in zip(outputs, expected):
-    assert np.array_equal(got, expect)
-print(f"pipelined {len(requests)} requests in {pipe_s * 1e3:.0f} ms, "
-      "bit-exact vs serial session.run")
+    plan = auto_partition(session, 3, sample=sample)
+    print(f"{plan.n_stages}-stage split ({plan.source} costs, "
+          f"balance {plan.balance:.2f}):")
+    for row in plan.summary():
+        print(f"  stage {row['stage']}: {' '.join(row['segments'])} "
+              f"({row['n_layers']} layers, {row['cost_share']:.0%} of cost)")
 
-# --- the same pipeline behind the ModelServer ------------------------------
-with ModelServer(BatchPolicy(max_batch=4, max_delay_s=0.0)) as server:
-    server.deploy_proxy("bert/pipelined", "bert_base", scheme="aqs",
-                        seed=0, shards=3, depth=4)
-    tickets = server.submit_many("bert/pipelined", requests)
-    server.flush("bert/pipelined")
-    for ticket, expect in zip(tickets, expected):
-        assert np.array_equal(ticket.result(), expect)
-    pipe = server.metrics().pipelines["bert/pipelined"]
-    print(f"served through a {pipe['n_stages']}-stage deployment "
-          f"(depth {pipe['depth']}, {pipe['source']} costs):")
-    for stage in pipe["stages"]:
-        print(f"  stage {stage['stage']}: {stage['n_batches']} batches, "
-              f"exec p50 {stage['exec']['p50_ms']:.1f} ms, "
-              f"stall p50 {stage['stall']['p50_ms']:.2f} ms")
+    # --- pipelined execution is bit-exact vs session.run -------------------
+    requests = proxy_batches("bert_base", 1, 8, seed=3)
+    expected = [session.run(x) for x in requests]
+    with ShardedSession(session, plan, depth=4) as sharded:
+        t0 = time.perf_counter()
+        outputs = sharded.run_pipelined(requests)
+        pipe_s = time.perf_counter() - t0
+    for got, expect in zip(outputs, expected):
+        assert np.array_equal(got, expect)
+    print(f"pipelined {len(requests)} requests in {pipe_s * 1e3:.0f} ms, "
+          "bit-exact vs serial session.run")
 
-# --- persist the shard plan with the layer plans ---------------------------
-path = pathlib.Path(tempfile.mkdtemp()) / "bert_base.aqs.plans.npz"
-PlanStore(path).save(session, model_name="bert_base", seed=0,
-                     shard_plan=plan)
-print(f"stored layer plans + shard plan -> {path.name} "
-      f"({PlanStore(path).describe()['n_shards']} shards)")
-with ModelServer() as server:
-    server.load("bert/restored", path, shards="stored")
-    ticket = server.submit("bert/restored", requests[0])
-    assert np.array_equal(ticket.result(), expected[0])
-print("redeployed from the store with the stored stage split, bit-exact")
+    # --- the same pipeline behind the ModelServer --------------------------
+    with ModelServer(BatchPolicy(max_batch=4, max_delay_s=0.0)) as server:
+        server.deploy_proxy("bert/pipelined", "bert_base", scheme="aqs",
+                            seed=0, shards=3, depth=4)
+        tickets = server.submit_many("bert/pipelined", requests)
+        server.flush("bert/pipelined")
+        for ticket, expect in zip(tickets, expected):
+            assert np.array_equal(ticket.result(), expect)
+        pipe = server.metrics().pipelines["bert/pipelined"]
+        print(f"served through a {pipe['n_stages']}-stage deployment "
+              f"(depth {pipe['depth']}, {pipe['source']} costs):")
+        for stage in pipe["stages"]:
+            print(f"  stage {stage['stage']}: {stage['n_batches']} batches, "
+                  f"exec p50 {stage['exec']['p50_ms']:.1f} ms, "
+                  f"stall p50 {stage['stall']['p50_ms']:.2f} ms")
+
+    # --- persist the shard plan with the layer plans -----------------------
+    path = pathlib.Path(tempfile.mkdtemp()) / "bert_base.aqs.plans.npz"
+    PlanStore(path).save(session, model_name="bert_base", seed=0,
+                         shard_plan=plan)
+    print(f"stored layer plans + shard plan -> {path.name} "
+          f"({PlanStore(path).describe()['n_shards']} shards)")
+    with ModelServer() as server:
+        server.load("bert/restored", path, shards="stored")
+        ticket = server.submit("bert/restored", requests[0])
+        assert np.array_equal(ticket.result(), expected[0])
+    print("redeployed from the store with the stored stage split, bit-exact")
+
+    # --- the same pipeline with stages in worker processes -----------------
+    # shards=N on backend="process" hosts each stage in a spawned worker:
+    # the server snapshots the session to a plan store, every worker
+    # mmaps the plan blob (one copy in page cache however many workers),
+    # and activations cross the stage edges through shared-memory rings.
+    with ModelServer(BatchPolicy(max_batch=4, max_delay_s=0.0),
+                     workers=2, backend="process") as server:
+        server.deploy_proxy("bert/procstages", "bert_base", scheme="aqs",
+                            seed=0, shards=2, depth=2)
+        tickets = server.submit_many("bert/procstages", requests)
+        server.flush("bert/procstages")
+        for ticket, expect in zip(tickets, expected):
+            assert np.array_equal(ticket.result(), expect)
+        pipe = server.metrics().pipelines["bert/procstages"]
+        print(f"process-hosted {pipe['n_stages']}-stage deployment, "
+              "bit-exact again; activations crossed the rings:")
+        for edge in pipe["stage_edges"]:
+            print(f"  stage {edge['stage']} on worker {edge['worker']}: "
+                  f"{edge['n_frames']} ring frames, "
+                  f"{edge['n_pipe_fallback']} pipe fallbacks")
+
+
+if __name__ == "__main__":
+    main()

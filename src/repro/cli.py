@@ -151,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--depth", type=int, default=2,
                          help="max in-flight micro-batches of a sharded "
                               "deployment's pipeline")
+    p_serve.add_argument("--stage-workers", type=int, default=None,
+                         help="driver threads of a sharded deployment's "
+                              "owned stage pool (default: one per stage, "
+                              "capped at the core count)")
     p_serve.add_argument("--seed", type=int, default=0)
 
     p_shard = sub.add_parser(
@@ -194,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--requests", type=int, default=4,
                         help="request batches to serve after loading")
     p_load.add_argument("--batch", type=int, default=2)
+    p_load.add_argument("--mmap", action="store_true",
+                        help="rehydrate plan arrays as read-only views "
+                             "over the store's mmap blob sidecar (shared "
+                             "pages across processes)")
     p_load.add_argument("--seed", type=int, default=0)
 
     p_exp = sub.add_parser("experiment",
@@ -351,10 +359,6 @@ def _cmd_serve(args, out) -> int:
         print("--backend process needs --workers >= 1 "
               "(the worker-process count)", file=out)
         return 2
-    if args.backend == "process" and args.shards:
-        print("--backend process does not shard deployments; drop "
-              "--shards or use --backend thread", file=out)
-        return 2
     server = ModelServer(workers=args.workers,
                          cache_bytes=args.cache_kib * 1024,
                          backend=args.backend,
@@ -366,7 +370,8 @@ def _cmd_serve(args, out) -> int:
     server.deploy_proxy(deployment, args.model, scheme=args.scheme,
                         exec_path=args.exec_path, seed=args.seed,
                         policy=policy, max_records=args.max_records,
-                        shards=args.shards, depth=args.depth)
+                        shards=args.shards, depth=args.depth,
+                        stage_workers=args.stage_workers)
     prepare_s = time.perf_counter() - t0
 
     requests = proxy_batches(args.model, args.batch, args.requests,
@@ -536,10 +541,11 @@ def _cmd_plan_load(args, out) -> int:
     store = PlanStore(args.path)
     info = store.describe()
     t0 = time.perf_counter()
-    session = store.load()
+    session = store.load(mmap=args.mmap)
     load_s = time.perf_counter() - t0
+    how = "mmap'd from the blob sidecar" if args.mmap else "rehydrated"
     print(f"loaded {info['model_name']}/{info['scheme']} from {args.path}: "
-          f"{info['n_plans']} plans rehydrated in {load_s * 1e3:.0f} ms "
+          f"{info['n_plans']} plans {how} in {load_s * 1e3:.0f} ms "
           f"(no calibration, no engine prepare)", file=out)
     if args.requests:
         requests = proxy_batches(info["model_name"], args.batch,

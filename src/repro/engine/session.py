@@ -501,7 +501,17 @@ class PanaceaSession:
         assignment, lifetime counters, trace append and ``max_records``
         trimming all behave exactly as if :meth:`run` had served the
         request.  Taken under the session lock.
+
+        Stages executing in *worker processes* ship their captured records
+        as :meth:`LayerExecution.to_state` dicts (live records cannot
+        cross the boundary); those are rehydrated here, so remote-stage
+        accounting folds back identically to thread-stage accounting.
         """
+        from ..core.pipeline import LayerExecution
+
+        layers = [LayerExecution.from_state(layer)
+                  if isinstance(layer, dict) else layer
+                  for layer in layers]
         with self._lock:
             record = RequestRecord(
                 request_id=self._lifetime_requests,

@@ -16,9 +16,14 @@ The online half of Panacea's offline/online split, grown to process scale:
 * :mod:`repro.serve.procpool` / :mod:`repro.serve.shm` —
   :class:`ProcessWorkerPool` and the shared-memory array rings behind
   ``ModelServer(backend="process")``: deployments rehydrated from plan
-  stores in spawned, BLAS-pinned worker processes, activations framed
-  through :class:`ShmRing` segments instead of pickles, crashes failing
-  only the in-flight batch (:class:`WorkerCrashError`) before a respawn;
+  stores in spawned, BLAS-pinned worker processes (``mmap=True`` loads
+  share one physical copy of the plan arrays through the page cache),
+  activations framed through :class:`ShmRing` segments instead of
+  pickles, crashes failing only the in-flight batch
+  (:class:`WorkerCrashError`) before a respawn.  Sharded deployments run
+  process-per-stage over depth-slotted stage-edge rings.  Pools expose
+  the :class:`ExecutorBackend` protocol; capability refusals raise
+  :class:`BackendCapabilityError`;
 * :mod:`repro.serve.cache` — :class:`ResultCache`, the content-addressed
   per-deployment LRU result cache short-circuiting duplicate requests;
 * :mod:`repro.serve.metrics` — :class:`LatencyStats` (the shared latency
@@ -28,9 +33,10 @@ The online half of Panacea's offline/online split, grown to process scale:
 from .batching import BatchPolicy, MicroBatcher, Ticket
 from .cache import ResultCache, request_key
 from .metrics import LatencyStats, ServerMetrics
-from .pool import PoolShutdownError, WorkerPool, WorkerStats
-from .procpool import (ProcessSessionProxy, ProcessWorkerPool,
-                       WorkerCrashError)
+from .pool import (BackendCapabilityError, ExecutorBackend,
+                   PoolShutdownError, WorkerPool, WorkerStats)
+from .procpool import (DEFAULT_STAGE_RING_BYTES, ProcessSessionProxy,
+                       ProcessWorkerPool, WorkerCrashError)
 from .server import ModelEntry, ModelServer
 from .shm import ShmRing
 from .store import PlanStore, PlanStoreError, STORE_FORMAT, STORE_VERSION
@@ -43,9 +49,12 @@ __all__ = [
     "request_key",
     "LatencyStats",
     "ServerMetrics",
+    "BackendCapabilityError",
+    "ExecutorBackend",
     "PoolShutdownError",
     "WorkerPool",
     "WorkerStats",
+    "DEFAULT_STAGE_RING_BYTES",
     "ProcessWorkerPool",
     "ProcessSessionProxy",
     "WorkerCrashError",

@@ -111,11 +111,15 @@ class ServerMetrics:
     the :class:`~repro.serve.procpool.ProcessWorkerPool` summary on
     ``backend='process'`` servers (``None`` otherwise) — its
     ``n_crashes``/``n_pipe_fallback`` counters are the crash-recovery and
-    shared-memory-transport health view; ``cache`` sums every
+    shared-memory-transport health view, and its ``stage_edges`` map holds
+    the per-stage-edge ring counters (frames, slot wraps, pipe fallbacks)
+    of process-per-stage sharded deployments; ``cache`` sums every
     deployment's cache counters into one server-wide hit-rate;
     ``pipelines`` maps each *sharded* deployment to its per-stage
     execution/stall latency view (``None`` when nothing is sharded) — the
-    dashboard that answers "which stage is the pipeline's bottleneck?".
+    dashboard that answers "which stage is the pipeline's bottleneck?";
+    a process-per-stage pipeline's view also carries its ``stage_edges``
+    transport counters.
     """
 
     n_deployments: int

@@ -47,8 +47,10 @@ import time
 from concurrent.futures import Future
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
-__all__ = ["PoolShutdownError", "WorkerPool", "WorkerStats"]
+__all__ = ["BackendCapabilityError", "ExecutorBackend", "PoolShutdownError",
+           "WorkerPool", "WorkerStats"]
 
 
 class PoolShutdownError(RuntimeError):
@@ -60,6 +62,54 @@ class PoolShutdownError(RuntimeError):
     other runtime failure.  A ``RuntimeError`` subclass: pre-existing
     handlers keep working.
     """
+
+
+class BackendCapabilityError(TypeError, ValueError):
+    """A deployment asked an execution backend for something it cannot do.
+
+    The one typed refusal for backend/capability mismatches — a sharded
+    session without the store reference its cross-process stages need, a
+    server register that a backend cannot host.  Inherits both
+    ``TypeError`` (the historical type of ShardedSession's pool rejection)
+    and ``ValueError`` (the historical type of ModelServer's register
+    refusals), so pre-existing handlers of either keep working.
+    """
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """The execution surface shared by thread and process pools.
+
+    :class:`WorkerPool` (threads) and
+    :class:`~repro.serve.procpool.ProcessWorkerPool` (spawned processes)
+    both implement this protocol; schedulers dispatch on the
+    :attr:`crosses_process` capability flag instead of isinstance checks,
+    so a new backend only has to declare what it can do.
+
+    ``crosses_process=False`` means tasks share the caller's address space
+    — closures and live objects are fine, and nested submission is safe
+    through group-scoped helping.  ``crosses_process=True`` means payloads
+    cross a process boundary: tasks must be picklable, model state travels
+    by plan store, and sharded pipelines run their stages through the
+    pool's stage transport (``load_stages``/``run_stage``) instead of
+    closures.
+    """
+
+    #: Capability flag: do this backend's tasks execute in another process?
+    crosses_process: bool
+
+    @property
+    def workers(self) -> int: ...
+
+    def submit(self, fn, /, *args, **kwargs) -> Future: ...
+
+    def run_all(self, thunks) -> list: ...
+
+    def wait(self, futures, *, help_group=None) -> None: ...
+
+    def stats(self) -> dict: ...
+
+    def shutdown(self, wait: bool = True) -> None: ...
 
 
 @dataclass
@@ -104,6 +154,10 @@ class WorkerPool:
     synchronous call.  ``shutdown`` drains (or abandons) the queue and joins
     the workers; the pool is a context manager for scoped use.
     """
+
+    #: ExecutorBackend capability: tasks run in this process — closures,
+    #: live sessions and nested helping all work.
+    crosses_process = False
 
     def __init__(self, workers: int, *, clock=time.perf_counter,
                  name: str = "repro-serve") -> None:

@@ -1,9 +1,14 @@
 """Worker-process entry point for :class:`ProcessWorkerPool`.
 
-One worker process hosts rehydrated serving sessions and executes whatever
-the parent dispatches over its control pipe.  The contract mirrors the
-thread pool's task model but crosses a process boundary, so everything is
-built around two rules:
+One worker process hosts rehydrated serving sessions — whole deployments
+*and* individual pipeline stages of sharded deployments — and executes
+whatever the parent dispatches over its control pipe.  Stage specs arrive
+serializable (store path, shard-plan state, load config) and resolve
+against a per-process rehydration cache; stage activations travel over
+dedicated per-stage-edge rings, and captured layer traces return as
+:meth:`~repro.core.pipeline.LayerExecution.to_state` dicts for the
+parent-side fold-back.  The contract mirrors the thread pool's task model
+but crosses a process boundary, so everything is built around two rules:
 
 * **No pickled model state.**  Deployments arrive as a
   :class:`~repro.serve.store.PlanStore` path plus either the stored
@@ -57,11 +62,42 @@ def pin_blas_env(threads: int) -> dict[str, str]:
     return caps
 
 
+def _memory_kib() -> dict:
+    """This process's resident/proportional memory, in KiB (Linux).
+
+    ``rss_kib`` counts every resident page, including pages *shared* with
+    other processes (an mmap'd plan blob shows up once per worker).
+    ``pss_kib`` (from ``smaps_rollup``) divides shared pages by their
+    sharer count, so summing PSS across workers is the honest total — the
+    number the mmap-vs-eager memory bench compares.  ``None`` where /proc
+    is unavailable (non-Linux).
+    """
+    info: dict = {"rss_kib": None, "pss_kib": None}
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    info["rss_kib"] = int(line.split()[1])
+                    break
+    except OSError:
+        pass
+    try:
+        with open("/proc/self/smaps_rollup") as fh:
+            for line in fh:
+                if line.startswith("Pss:"):
+                    info["pss_kib"] = int(line.split()[1])
+                    break
+    except OSError:
+        pass
+    return info
+
+
 def blas_env() -> dict:
-    """The worker's effective BLAS pinning, for tests and benchmarks."""
+    """The worker's effective BLAS pinning + memory, for tests/benchmarks."""
     return {
         "pid": os.getpid(),
         "env": {var: os.environ.get(var) for var in BLAS_ENV_VARS},
+        "memory": _memory_kib(),
     }
 
 
@@ -78,11 +114,27 @@ def _reply(conn, message) -> None:
 
 
 def _load_session(store_path, model_factory, load_kwargs):
-    """Rehydrate one deployment's session from its plan store."""
+    """Rehydrate one deployment's session from its plan store.
+
+    ``mmap=True`` unless the caller opted out: plan arrays come up as
+    read-only views over the store's extracted blob, so every worker
+    loading the same deployment shares one physical copy of the weights
+    through the page cache (``load_kwargs={"mmap": False}`` restores the
+    private eager inflation).
+    """
     from .store import PlanStore
 
+    kwargs = dict(load_kwargs or {})
+    kwargs.setdefault("mmap", True)
     model = model_factory() if model_factory is not None else None
-    return PlanStore(store_path).load(model=model, **(load_kwargs or {}))
+    return PlanStore(store_path).load(model=model, **kwargs)
+
+
+def _session_cache_key(store_path, model_factory, load_kwargs) -> tuple:
+    import json
+
+    return (os.path.realpath(store_path), repr(model_factory),
+            json.dumps(load_kwargs or {}, sort_keys=True, default=str))
 
 
 def worker_main(conn, req_ring_name: str, resp_ring_name: str,
@@ -104,6 +156,13 @@ def worker_main(conn, req_ring_name: str, resp_ring_name: str,
     req_ring = ShmRing.attach(req_ring_name)
     resp_ring = ShmRing.attach(resp_ring_name)
     sessions: dict[str, object] = {}
+    # Per-process rehydration cache for pipeline stages: stages are
+    # resolved by (store, factory, load kwargs), so every stage of one
+    # sharded deployment hosted on this worker — and stages of *different*
+    # deployments sharing one store — reuse a single rehydrated session.
+    session_cache: dict[tuple, object] = {}
+    # name -> (session, stage segment slices, {stage: (req, resp) rings})
+    stage_hosts: dict[str, tuple] = {}
     try:
         while True:
             try:
@@ -122,6 +181,65 @@ def worker_main(conn, req_ring_name: str, resp_ring_name: str,
                     _reply(conn, ("ok", sessions[name].stats()["n_plans"]))
                 elif tag == "unload":
                     sessions.pop(payload[0], None)
+                    _reply(conn, ("ok", None))
+                elif tag == "load_stages":
+                    (name, store_path, model_factory, load_kwargs,
+                     plan_state, stage_rings, depth) = payload
+                    from ..shard.graph import model_segments
+                    from ..shard.plan import ShardPlan
+
+                    key = _session_cache_key(store_path, model_factory,
+                                             load_kwargs)
+                    if key not in session_cache:
+                        session_cache[key] = _load_session(
+                            store_path, model_factory, load_kwargs)
+                    session = session_cache[key]
+                    plan = ShardPlan.from_state(plan_state)
+                    slices = plan.stage_slices(model_segments(session.model))
+                    rings = {}
+                    for k, req_name, resp_name in stage_rings:
+                        rings[k] = (ShmRing.attach(req_name),
+                                    ShmRing.attach(resp_name, slots=depth))
+                    old = stage_hosts.pop(name, None)
+                    if old is not None:
+                        for pair in old[2].values():
+                            for ring in pair:
+                                ring.close()
+                    stage_hosts[name] = (session, slices, rings)
+                    _reply(conn, ("ok", sorted(rings)))
+                elif tag == "stage":
+                    name, k, offset, fallback = payload
+                    host = stage_hosts.get(name)
+                    if host is None:
+                        raise KeyError(
+                            f"worker {worker_id} hosts no stages of "
+                            f"{name!r} (hosting: {sorted(stage_hosts)})")
+                    session, slices, rings = host
+                    stage_req, stage_resp = rings[k]
+                    if offset is not None:
+                        # Zero-copy is safe: the edge's slotted ring keeps
+                        # up to ``depth`` frames live and the parent never
+                        # reuses this frame's slot before the reply.
+                        _, arrays = stage_req.read(offset)
+                        x = arrays[0]
+                    else:
+                        x = fallback
+                    with session.trace.capture() as records:
+                        for segment in slices[k]:
+                            x = segment.fn(x)
+                    x = np.ascontiguousarray(x)
+                    states = [rec.to_state() for rec in records]
+                    out_offset = stage_resp.write(k, [x])
+                    if out_offset is None:   # bigger than one slot region
+                        _reply(conn, ("staged", None, x, states))
+                    else:
+                        _reply(conn, ("staged", out_offset, None, states))
+                elif tag == "unload_stages":
+                    host = stage_hosts.pop(payload[0], None)
+                    if host is not None:
+                        for pair in host[2].values():
+                            for ring in pair:
+                                ring.close()
                     _reply(conn, ("ok", None))
                 elif tag == "serve":
                     name, pad_axis, pad_value, offset, fallback = payload
@@ -164,6 +282,10 @@ def worker_main(conn, req_ring_name: str, resp_ring_name: str,
             except BaseException as exc:  # noqa: BLE001 — reply, don't die
                 _reply(conn, ("error", exc))
     finally:
+        for host in stage_hosts.values():
+            for pair in host[2].values():
+                for ring in pair:
+                    ring.close()
         req_ring.close()
         resp_ring.close()
         conn.close()

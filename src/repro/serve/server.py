@@ -43,7 +43,7 @@ import numpy as np
 from ..engine.session import PanaceaSession
 from .batching import BatchPolicy, MicroBatcher, Ticket
 from .metrics import LatencyStats, ServerMetrics
-from .pool import WorkerPool
+from .pool import BackendCapabilityError, WorkerPool
 
 __all__ = ["ModelServer", "ModelEntry"]
 
@@ -62,6 +62,12 @@ class ModelEntry:
     name: str
     session: PanaceaSession
     batcher: MicroBatcher
+    #: Whole-deployment execution lives in the process pool (the session
+    #: is a :class:`~repro.serve.procpool.ProcessSessionProxy`), so
+    #: unregister must unload it from the workers.  Sharded deployments —
+    #: remote or not — stay False: their sessions release their own
+    #: backend resources in ``close()``.
+    remote: bool = False
 
     @property
     def policy(self) -> BatchPolicy:
@@ -175,20 +181,31 @@ class ModelServer:
         return base
 
     def _shard_session(self, session: PanaceaSession, shards: int,
-                       shard_plan, depth: int, shard_sample):
+                       shard_plan, depth: int, shard_sample, *,
+                       name: str | None = None,
+                       stage_workers: int | None = None,
+                       model_name: str | None = None, model_factory=None,
+                       store_path=None, model_seed: int = 0):
         """Wrap a session for pipelined execution when ``shards >= 2``.
 
         The sharded session owns a dedicated stage pool (one
-        :class:`WorkerPool` sized to its stage count), closed at
-        unregister/close time.  Stage tasks deliberately do **not** share
-        the server's serve pool: serve tasks block on service locks and
-        rider windows, so a pipeline driver holding a deployment's service
-        lock while its stage tasks queue behind blocked serve tasks is a
-        deadlock — dedicated stage workers can always make progress.
-        ``shard_plan`` pins an explicit (e.g. rehydrated)
+        :class:`WorkerPool` sized to its stage count unless
+        ``stage_workers`` overrides it), closed at unregister/close time.
+        Stage tasks deliberately do **not** share the server's serve pool:
+        serve tasks block on service locks and rider windows, so a
+        pipeline driver holding a deployment's service lock while its
+        stage tasks queue behind blocked serve tasks is a deadlock —
+        dedicated stage workers can always make progress.  ``shard_plan``
+        pins an explicit (e.g. rehydrated)
         :class:`~repro.shard.plan.ShardPlan`; otherwise the auto-partitioner
         balances stages from ``shard_sample`` measurements (modeled MAC
         costs when no sample is given).
+
+        On the process backend the stages execute **process-per-stage**:
+        the session is snapshotted to a plan store (unless ``store_path``
+        already points at one) and the sharded session registers its
+        stages on the server's :class:`ProcessWorkerPool`, activations
+        crossing between stages over per-edge shared-memory rings.
         """
         from ..shard import ShardedSession, auto_partition
 
@@ -198,7 +215,41 @@ class ModelServer:
             raise ValueError(
                 f"shards={shards} conflicts with the explicit shard plan's "
                 f"{shard_plan.n_stages} stages")
-        return ShardedSession(session, shard_plan, depth=depth)
+        if self._proc_pool is None:
+            return ShardedSession(session, shard_plan, depth=depth,
+                                  workers=stage_workers)
+        if model_name is None and model_factory is None \
+                and store_path is None:
+            raise ValueError(
+                f"deployment {name!r} on backend='process' needs "
+                "model_name (a proxy-zoo reference) or model_factory (a "
+                "picklable zero-arg callable) so the workers can rebuild "
+                "the float model")
+        if store_path is None:
+            store_path = self._snapshot_store(name, session, model_name,
+                                              model_seed,
+                                              shard_plan=shard_plan)
+        return ShardedSession(session, shard_plan, pool=self._proc_pool,
+                              depth=depth, workers=stage_workers,
+                              store_path=store_path,
+                              model_factory=model_factory, name=name)
+
+    def _snapshot_store(self, name: str, session: PanaceaSession,
+                        model_name: str | None, model_seed: int,
+                        shard_plan=None):
+        """Snapshot a session to a server-owned plan store for the workers."""
+        import pathlib
+        import tempfile
+
+        from .store import PlanStore
+
+        if self._proc_store_dir is None:
+            self._proc_store_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        store_path = (pathlib.Path(self._proc_store_dir)
+                      / f"{name.replace('/', '_')}.plans.npz")
+        PlanStore(store_path).save(session, model_name=model_name,
+                                   seed=model_seed, shard_plan=shard_plan)
+        return store_path
 
     def _deploy_process(self, name: str, session: PanaceaSession,
                         model_name: str | None, model_factory,
@@ -213,11 +264,7 @@ class ModelServer:
         too, so either the store's proxy-zoo reference or a picklable
         ``model_factory`` must identify it.
         """
-        import pathlib
-        import tempfile
-
         from .procpool import ProcessSessionProxy
-        from .store import PlanStore
 
         if model_name is None and model_factory is None \
                 and store_path is None:
@@ -227,13 +274,8 @@ class ModelServer:
                 "picklable zero-arg callable) so the workers can rebuild "
                 "the float model")
         if store_path is None:
-            if self._proc_store_dir is None:
-                self._proc_store_dir = tempfile.mkdtemp(
-                    prefix="repro-serve-")
-            store_path = (pathlib.Path(self._proc_store_dir)
-                          / f"{name.replace('/', '_')}.plans.npz")
-            PlanStore(store_path).save(session, model_name=model_name,
-                                       seed=model_seed)
+            store_path = self._snapshot_store(name, session, model_name,
+                                              model_seed)
         self._proc_pool.load_deployment(
             name, store_path, model_factory=model_factory,
             max_records=session.max_records)
@@ -242,6 +284,7 @@ class ModelServer:
     def register(self, name: str, session: PanaceaSession,
                  policy: BatchPolicy | None = None, *, shards: int = 0,
                  shard_plan=None, depth: int = 2, shard_sample=None,
+                 stage_workers: int | None = None,
                  model_name: str | None = None, model_factory=None,
                  store_path=None, model_seed: int = 0) -> ModelEntry:
         """Host a prepared session under ``name``.
@@ -251,12 +294,17 @@ class ModelServer:
         live traffic.  ``shards >= 2`` (or an explicit ``shard_plan``)
         deploys the session as a stage pipeline: request groups stream
         through the stages with in-flight depth ``depth`` instead of fusing
-        into one engine batch — bit-exact either way.
+        into one engine batch — bit-exact either way.  ``stage_workers``
+        overrides the sharded deployment's owned stage-pool sizing
+        (default: one worker per stage, capped at the core count).
 
         On ``backend='process'`` the session is snapshotted and executed
-        in the worker processes (see :meth:`_deploy_process`);
-        ``model_name``/``model_factory`` tell the workers how to rebuild
-        the float model and are ignored by the thread backend.
+        in the worker processes — whole deployments via
+        :meth:`_deploy_process`, sharded deployments process-per-stage via
+        :meth:`_shard_session`; ``model_name``/``model_factory`` tell the
+        workers how to rebuild the float model and are ignored by the
+        thread backend.  Capability refusals raise
+        :class:`~repro.serve.pool.BackendCapabilityError`.
         """
         if not session.prepared and not session.auto_calibrate:
             raise ValueError(
@@ -267,31 +315,36 @@ class ModelServer:
             raise ValueError(
                 f"shards must be an int >= 0, got {shards!r} "
                 "(only load() accepts the string 'stored')")
+        remote = False
         if self._proc_pool is not None:
-            if shards >= 2 or shard_plan is not None:
-                raise ValueError(
-                    "backend='process' does not shard deployments: stage "
-                    "callables are closures over the parent session and "
-                    "cannot cross the process boundary — deploy sharded "
-                    "models on the thread backend")
             if not session.prepared:
-                raise ValueError(
+                raise BackendCapabilityError(
                     f"deployment {name!r} on backend='process' needs a "
                     "prepared session: auto_calibrate cannot run in the "
                     "workers (plan stores snapshot calibrated plans only)")
             if name in self._entries:
                 raise ValueError(f"model {name!r} is already registered")
-            session = self._deploy_process(name, session, model_name,
-                                           model_factory, store_path,
-                                           model_seed)
+            if shards >= 2 or shard_plan is not None:
+                session = self._shard_session(
+                    session, shards, shard_plan, depth, shard_sample,
+                    name=name, stage_workers=stage_workers,
+                    model_name=model_name, model_factory=model_factory,
+                    store_path=store_path, model_seed=model_seed)
+            else:
+                session = self._deploy_process(name, session, model_name,
+                                               model_factory, store_path,
+                                               model_seed)
+                remote = True
         elif shards >= 2 or shard_plan is not None:
             session = self._shard_session(session, shards, shard_plan,
-                                          depth, shard_sample)
+                                          depth, shard_sample,
+                                          stage_workers=stage_workers)
         kwargs = {} if self._clock is None else {"clock": self._clock}
         entry = ModelEntry(
             name=name, session=session,
             batcher=MicroBatcher(session, self._effective_policy(policy),
-                                 **kwargs))
+                                 **kwargs),
+            remote=remote)
         with self._entries_lock:
             if name in self._entries:
                 raise ValueError(f"model {name!r} is already registered")
@@ -304,7 +357,8 @@ class ModelServer:
                      calibration_batch: int = 2,
                      policy: BatchPolicy | None = None,
                      max_records: int | None = None, shards: int = 0,
-                     depth: int = 2) -> ModelEntry:
+                     depth: int = 2,
+                     stage_workers: int | None = None) -> ModelEntry:
         """Build, calibrate and host one proxy-zoo model variant.
 
         The convenience path the CLI and benchmarks use: builds the runnable
@@ -331,6 +385,7 @@ class ModelServer:
         return self.register(name, session,
                              self._policy_for_proxy(policy, model_name),
                              shards=shards, depth=depth, shard_sample=sample,
+                             stage_workers=stage_workers,
                              model_name=model_name, model_seed=seed)
 
     def _policy_for_proxy(self, policy: BatchPolicy | None,
@@ -352,7 +407,7 @@ class ModelServer:
     def load(self, name: str, path, *, model=None, model_factory=None,
              policy: BatchPolicy | None = None,
              max_records: int | None = None, shards: int | str = 0,
-             depth: int = 2) -> ModelEntry:
+             depth: int = 2, stage_workers: int | None = None) -> ModelEntry:
         """Host a deployment rehydrated from a plan store (zero re-prepare).
 
         When the store references a proxy-zoo model, its natural
@@ -388,7 +443,8 @@ class ModelServer:
         return self.register(name, session,
                              self._policy_for_proxy(policy, model_name),
                              shards=shards, shard_plan=shard_plan,
-                             depth=depth, model_name=model_name,
+                             depth=depth, stage_workers=stage_workers,
+                             model_name=model_name,
                              model_factory=model_factory, store_path=path)
 
     def unregister(self, name: str) -> None:
@@ -401,9 +457,10 @@ class ModelServer:
         with self._entries_lock:
             self._entries.pop(name, None)
         if entry.sharded:
+            # Sharded sessions — thread or process-per-stage — release
+            # their own backend resources (owned pools, stage edges).
             entry.session.close()
-        elif self._proc_pool is not None \
-                and getattr(entry.session, "_pool", None) is self._proc_pool:
+        elif entry.remote:
             self._proc_pool.unload_deployment(name)
 
     def _snapshot(self) -> list[ModelEntry]:

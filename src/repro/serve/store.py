@@ -21,7 +21,10 @@ the original's bit for bit.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import struct
+import tempfile
 import time
 import zipfile
 from dataclasses import asdict
@@ -40,6 +43,14 @@ STORE_FORMAT = "repro-plan-store"
 STORE_VERSION = 1
 
 _META_KEY = "__meta__"
+
+# Array-blob sidecar (the mmap fast path): raw uncompressed array bytes
+# extracted once from the .npz, so N worker processes can map one physical
+# copy of the weights instead of each inflating its own.
+_BLOB_MAGIC = b"RPBL"
+_BLOB_VERSION = 1
+_BLOB_ALIGN = 64
+_BLOB_HEAD = struct.Struct("<4sIQ")  # magic, version, header-JSON length
 
 
 class PlanStoreError(ValueError):
@@ -197,12 +208,26 @@ class PlanStore:
             "payload": tree,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "wb") as fh:
-            # Compressed: the int64 slice planes hold tiny magnitudes and
-            # deflate by an order of magnitude.
-            np.savez_compressed(
-                fh, **{_META_KEY: np.array(json.dumps(meta))},
-                **{f"a{i}": arr for i, arr in enumerate(arrays)})
+        # Atomic: write to a temp file in the same directory and rename
+        # into place, so a crash mid-save can never leave a truncated
+        # archive at the final path — the old store (if any) survives
+        # intact and the torn temp file is removed.
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                   prefix=self.path.name + ".",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                # Compressed: the int64 slice planes hold tiny magnitudes
+                # and deflate by an order of magnitude.
+                np.savez_compressed(
+                    fh, **{_META_KEY: np.array(json.dumps(meta))},
+                    **{f"a{i}": arr for i, arr in enumerate(arrays)})
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
         return self.path
 
     # -- read ----------------------------------------------------------------
@@ -241,7 +266,9 @@ class PlanStore:
                 f"{self.path} is truncated or not a plan store archive: "
                 f"{exc}") from exc
 
-    def _read(self) -> tuple[dict, dict]:
+    def _read(self, *, mmap: bool = False) -> tuple[dict, dict]:
+        if mmap:
+            return self._read_mmap()
         with self._open() as npz:
             meta = self._read_meta(npz)
             try:
@@ -253,6 +280,125 @@ class PlanStore:
                 # mid-write truncation must not rehydrate partial plans.
                 raise PlanStoreError(
                     f"{self.path} has truncated array data: {exc}") from exc
+        return meta, arrays
+
+    # -- mmap-shared array blob ----------------------------------------------
+    @property
+    def blob_path(self) -> pathlib.Path:
+        """The extracted-array sidecar backing ``load(mmap=True)``."""
+        return self.path.with_name(self.path.name + ".blob")
+
+    def _source_signature(self) -> dict:
+        st = os.stat(self.path)
+        return {"size": st.st_size, "mtime_ns": st.st_mtime_ns}
+
+    def _build_blob(self) -> dict:
+        """Extract the archive's arrays into one raw, aligned blob file.
+
+        Built atomically (temp + rename) next to the store; the blob header
+        records the source archive's size/mtime so a re-saved store
+        invalidates stale blobs.  Returns ``(header, payload_base)``.
+        """
+        signature = self._source_signature()
+        meta, arrays = self._read()
+        del meta
+        index: dict[str, dict] = {}
+        offset = 0
+        ordered = []
+        for key in sorted(arrays, key=lambda k: int(k[1:])):
+            arr = np.ascontiguousarray(arrays[key])
+            index[key] = {"offset": offset, "dtype": arr.dtype.str,
+                          "shape": list(arr.shape), "nbytes": arr.nbytes}
+            ordered.append((offset, arr))
+            offset += -(-arr.nbytes // _BLOB_ALIGN) * _BLOB_ALIGN
+        header = {"format": STORE_FORMAT, "blob_version": _BLOB_VERSION,
+                  "source": signature, "arrays": index}
+        header_bytes = json.dumps(header).encode("utf-8")
+        base = _BLOB_HEAD.size + len(header_bytes)
+        base = -(-base // _BLOB_ALIGN) * _BLOB_ALIGN
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                   prefix=self.blob_path.name + ".",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(_BLOB_HEAD.pack(_BLOB_MAGIC, _BLOB_VERSION,
+                                         len(header_bytes)))
+                fh.write(header_bytes)
+                fh.write(b"\0" * (base - _BLOB_HEAD.size - len(header_bytes)))
+                for off, arr in ordered:
+                    fh.seek(base + off)
+                    fh.write(arr.tobytes())
+                # Extend to the full aligned size with truncate: a write at
+                # ``total - 1`` would land *inside* the last array whenever
+                # its nbytes is an exact multiple of the alignment (no tail
+                # padding) and zero its final byte.
+                fh.truncate(base + offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.blob_path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return header, base
+
+    def _blob_header(self) -> tuple[dict, int] | None:
+        """Parse the sidecar header and payload base; ``None`` when the
+        sidecar is absent, foreign or torn."""
+        try:
+            with open(self.blob_path, "rb") as fh:
+                head = fh.read(_BLOB_HEAD.size)
+                if len(head) < _BLOB_HEAD.size:
+                    return None
+                magic, version, header_len = _BLOB_HEAD.unpack(head)
+                if magic != _BLOB_MAGIC or version > _BLOB_VERSION:
+                    return None
+                header_bytes = fh.read(header_len)
+                if len(header_bytes) < header_len:
+                    return None
+                base = _BLOB_HEAD.size + header_len
+                base = -(-base // _BLOB_ALIGN) * _BLOB_ALIGN
+                return json.loads(header_bytes.decode("utf-8")), base
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+
+    def ensure_blob(self) -> pathlib.Path:
+        """Build (or validate) the mmap sidecar; returns its path.
+
+        The parent-side pre-build hook: a pool about to broadcast an
+        ``mmap=True`` load to N workers extracts the blob once here
+        instead of letting every worker race to build its own.
+        """
+        self._ensure_blob()
+        return self.blob_path
+
+    def _ensure_blob(self) -> tuple[dict, int]:
+        """Reuse a current sidecar or (re)build it from the archive."""
+        parsed = self._blob_header()
+        if parsed is not None \
+                and parsed[0].get("source") == self._source_signature():
+            return parsed
+        return self._build_blob()
+
+    def _read_mmap(self) -> tuple[dict, dict]:
+        """Manifest from the archive, arrays as read-only mmap views.
+
+        Every array is an ``np.ndarray`` view into one ``np.memmap`` of the
+        blob sidecar, so concurrent loaders (N worker processes rehydrating
+        the same deployment) share one physical copy of the weight bytes
+        through the page cache.  The views are non-writeable by
+        construction; any consumer that must mutate copies its own slice —
+        exactly the copy-on-write contract for the small mutable bits.
+        """
+        with self._open() as npz:
+            meta = self._read_meta(npz)
+        header, base = self._ensure_blob()
+        mm = np.memmap(self.blob_path, dtype=np.uint8, mode="r")
+        arrays = {}
+        for key, spec in header["arrays"].items():
+            view = np.ndarray(tuple(spec["shape"]),
+                              dtype=np.dtype(spec["dtype"]),
+                              buffer=mm, offset=base + int(spec["offset"]))
+            arrays[key] = view
         return meta, arrays
 
     def describe(self) -> dict:
@@ -293,15 +439,23 @@ class PlanStore:
 
     def load(self, model=None, *, count_ops: bool = True,
              keep_masks: bool = False, max_records: int | None = None,
-             auto_calibrate: bool = False) -> PanaceaSession:
+             auto_calibrate: bool = False,
+             mmap: bool = False) -> PanaceaSession:
         """Rehydrate a ready-to-execute session.
 
         ``model`` is the float architecture the store was calibrated on;
         omitted, it is rebuilt from the saved proxy-zoo reference.  No
         calibration and no engine ``prepare`` runs — the session serves its
         first request straight from the restored plans.
+
+        ``mmap=True`` rehydrates the plan arrays as read-only views over
+        one extracted array blob on disk (built next to the store on first
+        use, reused while the store is unchanged), so N processes loading
+        the same store share one physical copy of the weights through the
+        page cache instead of N private inflations.  Outputs are bit-exact
+        either way.
         """
-        meta, arrays = self._read()
+        meta, arrays = self._read(mmap=mmap)
         payload = _decode(meta["payload"], arrays)
         if model is None:
             model_name = payload["model"]["name"]

@@ -16,7 +16,12 @@ reproduces the idea at the serving level:
   :class:`~repro.serve.pool.WorkerPool` with bounded in-flight depth;
 * :mod:`repro.shard.session` — :class:`ShardedSession`, the serving-surface
   wrapper a :class:`~repro.serve.server.ModelServer` deploys with
-  ``shards=N``.
+  ``shards=N``.  Backends are consumed through the
+  :class:`~repro.serve.pool.ExecutorBackend` capability protocol: a thread
+  pool runs stage closures in-process, a cross-process pool
+  (:class:`~repro.serve.procpool.ProcessWorkerPool`) runs
+  **process-per-stage** from serializable stage specs rehydrated out of a
+  plan store, activations crossing stage edges over shared-memory rings.
 
 Sharded outputs are bit-exact against :meth:`PanaceaSession.run` for every
 engine and weight granularity: each request executes the same layer modules

@@ -18,7 +18,14 @@ analogue of Panacea's ZPM -> DBS -> AQS-GEMM -> PPU pipeline.  Mechanics:
 The executor is engine-agnostic: a stage callable maps the previous
 stage's output to ``(output, extra)`` and the per-batch ``extra`` lists
 come back with the results (:class:`~repro.shard.session.ShardedSession`
-uses them to carry captured trace records).  Per-stage
+uses them to carry captured trace records).  The pool must be an
+in-process :class:`~repro.serve.pool.WorkerPool` — the scheduling relies
+on nested submission and group-scoped helping, which are thread-pool
+semantics — but the stage callables themselves may proxy to other
+processes: a process-per-stage sharded session drives this executor with
+callables that are one shared-memory round trip to the stage's owning
+worker, so the overlap happens across real cores while the driver
+threads only block on replies.  Per-stage
 :class:`~repro.serve.metrics.LatencyStats` record execution time and the
 stall spent waiting for the stage to free up — the numbers
 :class:`~repro.serve.metrics.ServerMetrics` surfaces per deployment.

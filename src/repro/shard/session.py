@@ -32,6 +32,7 @@ the inner session had served the requests itself.
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
 from typing import Any, Sequence
@@ -39,12 +40,15 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..engine.session import PanaceaSession, RequestRecord
-from ..serve.pool import WorkerPool
+from ..serve.pool import BackendCapabilityError, ExecutorBackend, WorkerPool
 from .executor import PipelineExecutor
 from .graph import ShardError, model_segments
 from .plan import ShardPlan, auto_partition
 
 __all__ = ["ShardedSession"]
+
+#: Distinct default names for remote stage registrations on one pool.
+_STAGE_IDS = itertools.count()
 
 
 class ShardedSession:
@@ -52,31 +56,41 @@ class ShardedSession:
 
     ``pool=None`` (the deployment default) creates an owned
     :class:`WorkerPool` sized to the stage count (capped at the core
-    count).  A shared pool is accepted, but its other tasks must never
-    block on locks a pipeline driver can hold: stage tasks queued behind a
-    blocked task starve, which is why
+    count; ``workers=`` overrides the sizing).  A shared pool is accepted,
+    but its other tasks must never block on locks a pipeline driver can
+    hold: stage tasks queued behind a blocked task starve, which is why
     :class:`~repro.serve.server.ModelServer` gives every sharded
     deployment its own stage pool rather than co-scheduling with serve
     tasks.  ``depth`` bounds in-flight micro-batches; ``depth=1`` disables
     overlap (the apples-to-apples baseline the pipeline benchmark compares
     against).
+
+    The pool is consumed through the
+    :class:`~repro.serve.pool.ExecutorBackend` protocol, dispatched on its
+    ``crosses_process`` capability flag:
+
+    * in-process backends (``WorkerPool``) run stage closures over this
+      session's live segments — the historical thread pipeline;
+    * cross-process backends
+      (:class:`~repro.serve.procpool.ProcessWorkerPool`) run
+      **process-per-stage**: stages are registered as serializable specs
+      (``store_path`` + the shard plan's state + load config) that each
+      owning worker rehydrates from its per-process cache, activations hop
+      between stages over per-edge shm rings, and captured traces fold
+      back into this session's ledger.  ``store_path`` (a saved
+      :class:`~repro.serve.store.PlanStore`) is required — there is
+      nothing picklable about a live stage closure — and
+      ``model_factory`` identifies the float architecture when the store
+      has no proxy-zoo reference.  The :class:`PipelineExecutor` itself
+      still runs on an owned thread driver pool; its stage callables are
+      one shm round trip each, so stage *k* of batch *i* overlaps stage
+      *k-1* of batch *i+1* across real processes.
     """
 
     def __init__(self, session: PanaceaSession, plan: ShardPlan, *,
-                 pool: WorkerPool | None = None, depth: int = 2) -> None:
-        from ..serve.procpool import ProcessWorkerPool
-
-        if isinstance(pool, ProcessWorkerPool):
-            # Stage callables are closures over this session's segments
-            # and trace — not picklable, so they cannot execute in worker
-            # processes.  Process-level parallelism for sharded models
-            # means process-per-stage with shm hand-off between stages, a
-            # different executor; refuse loudly rather than fail deep in
-            # pickling.
-            raise TypeError(
-                "ShardedSession stages run on threads: pass a WorkerPool "
-                "(ProcessWorkerPool serves whole deployments via "
-                "ModelServer(backend='process'))")
+                 pool: ExecutorBackend | None = None, depth: int = 2,
+                 workers: int | None = None, store_path=None,
+                 model_factory=None, name: str | None = None) -> None:
         if not session.prepared:
             # auto_calibrate is no escape hatch here: stage fns call the
             # segments directly, bypassing run()'s calibrate-on-first-batch
@@ -86,29 +100,70 @@ class ShardedSession:
                 "ShardedSession needs a calibrated session: the shard plan "
                 "partitions prepared layer plans (auto_calibrate sessions "
                 "must calibrate before sharding)")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.session = session
         self.plan = plan
         segments = model_segments(session.model)
         self._stage_segments = plan.stage_slices(segments)
-        self._owns_pool = pool is None
-        if pool is None:
-            pool = WorkerPool(
-                max(1, min(plan.n_stages, os.cpu_count() or 1)),
-                name="repro-shard")
-        self.pool = pool
-        self.executor = PipelineExecutor(
-            [self._stage_fn(members) for members in self._stage_segments],
-            pool, depth=depth)
+        self._remote = bool(getattr(pool, "crosses_process", False))
+        self._proc_pool = pool if self._remote else None
+        self._stage_name: str | None = None
+        if self._remote:
+            if store_path is None:
+                raise BackendCapabilityError(
+                    "sharded stages on a cross-process backend are "
+                    "rehydrated in the workers from a plan store — pass "
+                    "store_path= (PlanStore.save the session first); live "
+                    "stage closures cannot cross the process boundary")
+            self._stage_name = name if name is not None \
+                else f"shard-{next(_STAGE_IDS)}"
+            pool.load_stages(self._stage_name, store_path,
+                             plan.state_dict(), model_factory=model_factory,
+                             depth=depth)
+            # The executor needs an in-process driver (stage callables are
+            # parent-side shm round trips; nested submission and helping
+            # are thread-pool semantics) — always owned, sized like the
+            # thread path.
+            self._owns_pool = True
+            self.pool = WorkerPool(self._pool_size(workers),
+                                   name="repro-shard-driver")
+            stage_fns = [self._remote_stage_fn(k)
+                         for k in range(plan.n_stages)]
+        else:
+            if workers is not None and pool is not None:
+                raise ValueError(
+                    "workers= sizes the owned stage pool; it cannot resize "
+                    "a shared pool passed via pool=")
+            self._owns_pool = pool is None
+            if pool is None:
+                pool = WorkerPool(self._pool_size(workers),
+                                  name="repro-shard")
+            self.pool = pool
+            stage_fns = [self._stage_fn(members)
+                         for members in self._stage_segments]
+        self.executor = PipelineExecutor(stage_fns, self.pool, depth=depth)
+
+    def _pool_size(self, workers: int | None) -> int:
+        """Owned-pool width: explicit ``workers=`` wins over the default
+        ``min(n_stages, cpu_count)`` cap."""
+        if workers is not None:
+            return workers
+        return max(1, min(self.plan.n_stages, os.cpu_count() or 1))
 
     @classmethod
     def partition(cls, session: PanaceaSession, n_stages: int, *,
                   sample=None, repeats: int = 1,
-                  pool: WorkerPool | None = None,
-                  depth: int = 2) -> "ShardedSession":
+                  pool: ExecutorBackend | None = None, depth: int = 2,
+                  workers: int | None = None, store_path=None,
+                  model_factory=None,
+                  name: str | None = None) -> "ShardedSession":
         """Auto-partition and wrap in one step (the deployment helper)."""
         plan = auto_partition(session, n_stages, sample=sample,
                               repeats=repeats)
-        return cls(session, plan, pool=pool, depth=depth)
+        return cls(session, plan, pool=pool, depth=depth, workers=workers,
+                   store_path=store_path, model_factory=model_factory,
+                   name=name)
 
     def _stage_fn(self, members):
         """One stage callable: run the member segments, capture the trace."""
@@ -117,6 +172,13 @@ class ShardedSession:
                 for segment in members:
                     x = segment.fn(x)
             return x, records
+        return fn
+
+    def _remote_stage_fn(self, stage: int):
+        """One remote stage callable: an shm round trip to the owning
+        worker; the ``extra`` is the stage's serialized layer states."""
+        def fn(x):
+            return self._proc_pool.run_stage(self._stage_name, stage, x)
         return fn
 
     # -- serving surface (duck-compatible with PanaceaSession) ---------------
@@ -151,10 +213,16 @@ class ShardedSession:
         return stats
 
     def stage_stats(self) -> dict:
-        """Pipeline metrics: per-stage execution/stall latency, plan shape."""
+        """Pipeline metrics: per-stage execution/stall latency, plan shape.
+
+        Remote (process-per-stage) sessions also report the shm transport
+        counters of their stage edges (frames, wraps, pipe fallbacks)."""
         stats = self.executor.stats()
         stats["source"] = self.plan.source
         stats["plan"] = self.plan.summary()
+        if self._remote:
+            stats["stage_edges"] = self._proc_pool.stage_edge_stats(
+                self._stage_name).get(self._stage_name, [])
         return stats
 
     def run(self, batch: np.ndarray) -> np.ndarray:
@@ -209,9 +277,21 @@ class ShardedSession:
         return outputs, records
 
     def close(self) -> None:
-        """Shut down the owned pool (no-op for shared pools); idempotent."""
+        """Shut down the owned pool and unload remote stages; idempotent.
+
+        Shared pools are left running (the owner shuts them down); remote
+        stage registrations are released on their pool unless it is
+        already shut down (in which case the edges died with it)."""
         if self._owns_pool:
             self.pool.shutdown(wait=True)
+        if self._remote and self._stage_name is not None:
+            from ..serve.pool import PoolShutdownError
+
+            try:
+                self._proc_pool.unload_stages(self._stage_name)
+            except PoolShutdownError:
+                pass
+            self._stage_name = None
 
     def __enter__(self) -> "ShardedSession":
         return self

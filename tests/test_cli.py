@@ -61,6 +61,9 @@ class TestParser:
             ["plan", "load", "x.npz", "--requests", "3"])
         assert args.plan_command == "load"
         assert args.path == "x.npz" and args.requests == 3
+        assert args.mmap is False
+        assert build_parser().parse_args(
+            ["plan", "load", "x.npz", "--mmap"]).mmap is True
 
     def test_all_figures_mapped(self):
         assert {"table1", "fig13", "fig16", "fig19"} <= set(EXPERIMENTS)
@@ -160,9 +163,12 @@ class TestShardCli:
 
     def test_serve_shard_knobs(self):
         args = build_parser().parse_args(
-            ["serve", "bert_base", "--shards", "3", "--depth", "4"])
+            ["serve", "bert_base", "--shards", "3", "--depth", "4",
+             "--stage-workers", "2"])
         assert args.shards == 3 and args.depth == 4
-        assert build_parser().parse_args(["serve", "bert_base"]).shards == 0
+        assert args.stage_workers == 2
+        defaults = build_parser().parse_args(["serve", "bert_base"])
+        assert defaults.shards == 0 and defaults.stage_workers is None
 
     def test_profile_measure_flag(self):
         args = build_parser().parse_args(
@@ -199,6 +205,29 @@ class TestShardCli:
         out = io.StringIO()
         assert main(["serve", "bert_base", "--shards", "-1"], out=out) == 2
         assert "--shards must be >= 0" in out.getvalue()
+
+    def test_serve_process_backend_with_shards(self):
+        """backend=process + --shards deploys process-per-stage now."""
+        out = io.StringIO()
+        assert main(["serve", "bert_base", "--requests", "3", "--batch",
+                     "1", "--max-batch", "3", "--backend", "process",
+                     "--workers", "2", "--blas-threads", "1",
+                     "--shards", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "pipeline: 2 stages" in text
+        assert "process pool: 2 workers" in text
+
+    def test_plan_load_mmap(self, tmp_path):
+        path = str(tmp_path / "bert.plans.npz")
+        out = io.StringIO()
+        assert main(["plan", "export", "bert_base", "--out", path],
+                    out=out) == 0
+        out = io.StringIO()
+        assert main(["plan", "load", path, "--mmap", "--requests", "2",
+                     "--batch", "1"], out=out) == 0
+        text = out.getvalue()
+        assert "mmap'd from the blob sidecar" in text
+        assert "served 2 requests" in text
 
     def test_profile_measure_prints_latency_and_bounds(self):
         out = io.StringIO()

@@ -415,6 +415,90 @@ class TestProcessBackendFuzz:
                 assert stats["session"]["n_requests"] == len(requests)
 
 
+class TestShardedProcessFuzz:
+    """Process-per-stage sharded pipelines never change a bit: all four
+    engines x both granularities x both exec paths, stages rehydrated from
+    a plan store in spawned workers (activations over per-edge shm rings,
+    traces folded back by state), vs serial ``PanaceaSession.run``.
+
+    Strict equality even for fp32: each request keeps its own engine batch
+    through the pipeline — stages change *where* work runs, never what.
+    """
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_process_stages_equal_serial_run(self, engine_name, granularity,
+                                             tmp_path):
+        import functools
+
+        from repro.serve import PlanStore, ProcessWorkerPool
+        from repro.shard import ShardedSession
+
+        rng = _rng(10, hash(engine_name) & 0xFFFF,
+                   hash(granularity) & 0xFFFF)
+        dims = tuple(int(rng.integers(6, 32)) for _ in range(3))
+        model_seed = int(rng.integers(0, 2 ** 31))
+        requests = [rng.normal(0, 1, (int(rng.integers(1, 5)), dims[0]))
+                    for _ in range(5)]
+        label = (f"{engine_name}/{granularity} dims={dims} "
+                 f"seed={BASE_SEED}")
+        factory = functools.partial(_build_fuzz_net, model_seed, dims)
+
+        with ProcessWorkerPool(2, blas_threads=1) as pool:
+            for exec_path in ("fast", "sliced"):
+                reference = _session_case(engine_name, granularity,
+                                          exec_path, dims, model_seed)
+                expected = [reference.run(x) for x in requests]
+                session = _session_case(engine_name, granularity, exec_path,
+                                        dims, model_seed)
+                path = tmp_path / f"{engine_name}-{exec_path}.plans.npz"
+                PlanStore(path).save(session)
+                with ShardedSession.partition(
+                        session, 2, pool=pool, depth=3, store_path=path,
+                        model_factory=factory,
+                        name=f"fuzz-{exec_path}") as sharded:
+                    solo = [sharded.run(x) for x in requests]
+                    piped = sharded.run_pipelined(requests)
+                    edges = sharded.stage_stats()["stage_edges"]
+                for got, expect in zip(solo, expected):
+                    assert np.array_equal(got, expect), \
+                        f"{label}/{exec_path}: sharded run != run"
+                for got, expect in zip(piped, expected):
+                    assert np.array_equal(got, expect), \
+                        f"{label}/{exec_path}: process stages != run"
+                # The pipelined leg really used the shm stage transport.
+                assert sum(e["n_frames"] + e["n_pipe_fallback"]
+                           for e in edges) >= len(requests)
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_process_sharded_server_matches_serial(self, engine_name,
+                                                   tmp_path):
+        """ModelServer(backend='process', shards=2) answers byte-for-byte
+        what serial execution answers."""
+        import functools
+
+        rng = _rng(11, hash(engine_name) & 0xFFFF)
+        dims = tuple(int(rng.integers(6, 32)) for _ in range(3))
+        model_seed = int(rng.integers(0, 2 ** 31))
+        requests = [rng.normal(0, 1, (2, dims[0])) for _ in range(4)]
+        factory = functools.partial(_build_fuzz_net, model_seed, dims)
+        reference = _session_case(engine_name, "per_tensor", "fast", dims,
+                                  model_seed)
+        expected = [reference.run(x) for x in requests]
+        session = _session_case(engine_name, "per_tensor", "fast", dims,
+                                model_seed)
+        with ModelServer(BatchPolicy(max_batch=2, max_delay_s=0.0),
+                         workers=2, backend="process") as server:
+            server.register("fuzz", session, shards=2,
+                            model_factory=factory)
+            tickets = server.submit_many("fuzz", requests)
+            server.flush("fuzz")
+            for ticket, expect in zip(tickets, expected):
+                assert np.array_equal(ticket.result(), expect), \
+                    f"{engine_name}: process-sharded server differs " \
+                    f"(seed={BASE_SEED})"
+
+
 class TestCacheConformance:
     @pytest.mark.parametrize("engine_name", ENGINES)
     def test_cache_hits_are_bit_exact(self, engine_name):

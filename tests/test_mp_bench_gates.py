@@ -20,5 +20,7 @@ import bench_mp_serving  # noqa: E402  (needs the path shim above)
 
 test_process_backend_bit_exact = \
     bench_mp_serving.test_process_backend_bit_exact
+test_mmap_plans_share_memory = \
+    bench_mp_serving.test_mmap_plans_share_memory
 test_process_backend_speedup = \
     bench_mp_serving.test_process_backend_speedup

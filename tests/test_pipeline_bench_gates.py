@@ -19,5 +19,6 @@ if str(_BENCH_DIR) not in sys.path:
 import bench_pipeline  # noqa: E402  (needs the path shim above)
 
 test_pipelined_bit_exact = bench_pipeline.test_pipelined_bit_exact
+test_process_stages_bit_exact = bench_pipeline.test_process_stages_bit_exact
 test_pipeline_throughput_speedup = \
     bench_pipeline.test_pipeline_throughput_speedup

@@ -291,3 +291,145 @@ class TestStoreFailurePaths:
     def test_error_type_is_a_value_error(self):
         """Compatibility: pre-PR-4 callers caught ValueError."""
         assert issubclass(PlanStoreError, ValueError)
+
+
+class TestAtomicSave:
+    """save() is temp-file + os.replace: a write that dies partway leaves
+    the previous store byte-identical and no temp litter behind."""
+
+    def _saved(self, tmp_path):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        store = PlanStore(tmp_path / "atomic.npz")
+        store.save(session)
+        return store, session
+
+    def test_interrupted_save_keeps_previous_store(self, tmp_path,
+                                                   monkeypatch):
+        store, session = self._saved(tmp_path)
+        before = store.path.read_bytes()
+
+        def dying_savez(fh, **arrays):
+            # Simulate a crash mid-write: some bytes land, then the
+            # process "dies" before the file is complete.
+            fh.write(b"PK\x03\x04 partial garbage")
+            raise RuntimeError("killed mid-save")
+
+        monkeypatch.setattr(np, "savez_compressed", dying_savez)
+        with pytest.raises(RuntimeError, match="mid-save"):
+            store.save(session)
+        # The visible store never saw the partial bytes ...
+        assert store.path.read_bytes() == before
+        restored = store.load(model=TinyNet())
+        batch = _batches(1, seed=13)[0]
+        assert np.array_equal(session.run(batch), restored.run(batch))
+        # ... and the temp file did not leak.
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_interrupted_first_save_leaves_no_store(self, tmp_path,
+                                                    monkeypatch):
+        session = PanaceaSession(TinyNet(), PtqConfig(scheme="aqs"),
+                                 calibration=_batches())
+        store = PlanStore(tmp_path / "fresh.npz")
+
+        def dying_savez(fh, **arrays):
+            fh.write(b"partial")
+            raise RuntimeError("killed mid-save")
+
+        monkeypatch.setattr(np, "savez_compressed", dying_savez)
+        with pytest.raises(RuntimeError, match="mid-save"):
+            store.save(session)
+        assert not store.path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestMmapLoad:
+    """load(mmap=True): plan arrays come up as read-only views over the
+    extracted blob sidecar — bit-exact vs the eager inflation, rebuilt
+    only when the store itself changed."""
+
+    def _saved(self, tmp_path, seed=0):
+        session = PanaceaSession(TinyNet(seed=seed),
+                                 PtqConfig(scheme="aqs"),
+                                 calibration=_batches(seed=seed))
+        store = PlanStore(tmp_path / "mm.npz")
+        store.save(session)
+        return store, session
+
+    def test_mmap_load_bit_exact_vs_eager(self, tmp_path):
+        store, session = self._saved(tmp_path)
+        eager = store.load(model=TinyNet())
+        mapped = store.load(model=TinyNet(), mmap=True)
+        assert store.blob_path.exists()
+        for batch in _batches(3, seed=21):
+            expect = session.run(batch)
+            assert np.array_equal(eager.run(batch), expect)
+            assert np.array_equal(mapped.run(batch), expect)
+
+    def test_blob_reused_until_store_changes(self, tmp_path):
+        store, _ = self._saved(tmp_path)
+        first = store.ensure_blob()
+        stat_first = first.stat()
+        # A second load maps the existing sidecar instead of rebuilding.
+        assert store.ensure_blob() == first
+        assert first.stat().st_mtime_ns == stat_first.st_mtime_ns
+        # Re-saving the store invalidates the sidecar's source signature.
+        session = PanaceaSession(TinyNet(seed=3), PtqConfig(scheme="aqs"),
+                                 calibration=_batches(seed=3))
+        store.save(session)
+        rebuilt = store.load(model=TinyNet(seed=3), mmap=True)
+        batch = _batches(1, seed=22)[0]
+        assert np.array_equal(rebuilt.run(batch), session.run(batch))
+
+    def test_mmap_plan_arrays_are_read_only_views(self, tmp_path):
+        store, _ = self._saved(tmp_path)
+        mapped = store.load(model=TinyNet(), mmap=True)
+        arrays = [plan.w_q for plan in mapped.plans.values()
+                  if getattr(plan, "w_q", None) is not None]
+        assert arrays, "expected at least one plan weight array"
+        for arr in arrays:
+            assert not arr.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[...] = 0
+
+    def test_blob_preserves_alignment_multiple_tails(self, tmp_path):
+        """Every raw member survives the blob round trip byte for byte —
+        including arrays whose nbytes is an exact multiple of the 64-byte
+        alignment.  Such an array has *no* tail padding in its blob
+        region, and the old size-backfill write (a ``\\0`` at
+        ``total - 1``) zeroed the final byte of the last array whenever it
+        ended flush with the file — flipping one weight's top byte."""
+        store, _ = self._saved(tmp_path)
+        _, eager_arrays = store._read()
+        _, mapped_arrays = store._read_mmap()
+        assert set(eager_arrays) == set(mapped_arrays)
+        aligned_tail = [k for k, a in eager_arrays.items()
+                        if a.nbytes and a.nbytes % 64 == 0]
+        assert aligned_tail, (
+            "fixture must include at least one alignment-multiple array "
+            "or the regression corner is untested")
+        for key, expect in eager_arrays.items():
+            got = np.asarray(mapped_arrays[key])
+            assert got.dtype == expect.dtype and got.shape == expect.shape
+            assert np.array_equal(got, expect), (
+                f"blob member {key} differs from the archive "
+                f"({expect.dtype}, {expect.nbytes} bytes)")
+        # Adversarial tail: one member, 64 bytes of 0xFF, ending flush
+        # with the file — the exact shape the backfill bug corrupted.
+        store.blob_path.unlink()
+        tail = np.full(8, -1, dtype=np.int64)
+        store._read = lambda: ({}, {"a0": tail})
+        _, crafted = store._read_mmap()
+        assert np.array_equal(np.asarray(crafted["a0"]), tail), (
+            "final byte of an alignment-multiple last member was clobbered")
+
+    def test_mmap_load_without_blob_builds_it(self, tmp_path):
+        store, session = self._saved(tmp_path)
+        if store.blob_path.exists():
+            store.blob_path.unlink()
+        mapped = store.load(model=TinyNet(), mmap=True)
+        assert store.blob_path.exists()
+        batch = _batches(1, seed=23)[0]
+        assert np.array_equal(mapped.run(batch), session.run(batch))

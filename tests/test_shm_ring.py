@@ -1,0 +1,164 @@
+"""ShmRing framing edge cases: exact-boundary wraps, oversize fallback
+accounting, and interleaved multi-stream frames in one slotted segment.
+
+These are the corners the serving protocol normally never hits (frames are
+far smaller than the ring) but the stage transport depends on: a pipeline
+edge's slotted ring must refuse — not corrupt — a frame one byte too big,
+and must keep ``depth`` interleaved frames simultaneously readable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve.shm import ShmRing, _ALIGN, _HEAD
+
+
+def _frame_payload_bytes(frame_bytes: int) -> int:
+    """Payload size (in float64s) making one-array frames exactly
+    ``frame_bytes`` long: one 64-aligned header chunk + aligned payload."""
+    assert frame_bytes % _ALIGN == 0 and frame_bytes >= 2 * _ALIGN
+    return frame_bytes - _ALIGN
+
+
+def _array_for_frame(frame_bytes: int, fill: float) -> np.ndarray:
+    n = _frame_payload_bytes(frame_bytes) // 8
+    return np.full(n, fill, dtype=np.float64)
+
+
+def test_frame_size_matches_layout():
+    arr = _array_for_frame(128, 1.0)
+    assert ShmRing.frame_size([arr]) == 128
+
+
+def test_unslotted_wrap_at_exact_capacity_boundary():
+    ring = ShmRing(4096)
+    try:
+        frame = 128
+        per_ring = ring.capacity // frame
+        offsets = [ring.write(i, [_array_for_frame(frame, float(i))])
+                   for i in range(per_ring)]
+        # The last frame ends exactly at capacity: fits without wrapping.
+        assert offsets == [i * frame for i in range(per_ring)]
+        assert ring.n_wraps == 0
+        # The next frame has zero tail left: it must wrap to offset 0.
+        off = ring.write(per_ring, [_array_for_frame(frame, -1.0)])
+        assert off == 0
+        assert ring.n_wraps == 1
+        req_id, arrays = ring.read(0)
+        assert req_id == per_ring
+        assert arrays[0][0] == -1.0
+        # The frame *after* the wrapped one is still intact.
+        req_id, arrays = ring.read(frame)
+        assert req_id == 1
+        assert arrays[0][0] == 1.0
+    finally:
+        ring.close()
+
+
+def test_slotted_accepts_exact_region_and_refuses_one_chunk_more():
+    ring = ShmRing(4096, slots=2)
+    try:
+        region = ring.capacity // 2
+        exact = _array_for_frame(region, 2.0)
+        assert ShmRing.frame_size([exact]) == region
+        assert ring.write(0, [exact]) == 0
+        # One alignment chunk more than a region: refused, not truncated.
+        over = np.full(region // 8, 3.0, dtype=np.float64)
+        assert ShmRing.frame_size([over]) > region
+        assert ring.write(1, [over]) is None
+        # The refusal consumed no slot and no sequence number: the next
+        # fitting frame lands in slot 1, and the exact frame is unharmed.
+        assert ring.write(2, [_array_for_frame(128, 4.0)]) == region
+        assert ring.n_frames == 2
+        assert ring.n_wraps == 0
+        _, arrays = ring.read(0)
+        assert np.all(arrays[0] == 2.0)
+    finally:
+        ring.close()
+
+
+def test_oversize_fallback_conserves_counters():
+    """A None write is pure fallback signalling: no frame, no wrap, and
+    the frames-written + fallbacks tally equals the attempts made."""
+    ring = ShmRing(4096, slots=4)
+    try:
+        region = ring.capacity // 4
+        attempts, fallbacks = 0, 0
+        rng = np.random.default_rng(0)
+        for i in range(12):
+            big = bool(i % 3 == 2)
+            n = (region * 2 if big else 64) // 8
+            offset = ring.write(i, [rng.standard_normal(n)])
+            attempts += 1
+            if offset is None:
+                fallbacks += 1
+        assert fallbacks == 4
+        assert ring.n_frames == attempts - fallbacks
+        # 8 accepted frames over 4 slots: slot 0 was re-entered exactly once.
+        assert ring.n_wraps == 1
+    finally:
+        ring.close()
+
+
+def test_interleaved_streams_share_one_slotted_segment():
+    """Two stage edges' frame streams interleaved through one segment:
+    with ``slots >= `` the in-flight total, every frame stays readable,
+    tagged and byte-correct despite the interleaving."""
+    ring = ShmRing(8192, slots=4)
+    try:
+        rng = np.random.default_rng(7)
+        payloads = {}
+        offsets = {}
+        # Edge A tags req_ids 100+i, edge B 200+i; writes alternate.
+        for i in range(2):
+            for edge, base in (("a", 100), ("b", 200)):
+                arr = rng.standard_normal(32)
+                payloads[(edge, i)] = arr.copy()
+                offsets[(edge, i)] = ring.write(base + i, [arr])
+        assert ring.n_frames == 4
+        assert len({off for off in offsets.values()}) == 4  # distinct slots
+        for (edge, i), offset in offsets.items():
+            req_id, arrays = ring.read(offset)
+            assert req_id == (100 if edge == "a" else 200) + i
+            assert np.array_equal(arrays[0], payloads[(edge, i)])
+    finally:
+        ring.close()
+
+
+def test_attached_writer_shares_slot_geometry():
+    """attach(slots=) gives a second handle the creator's rotation — the
+    stage-response direction, where the attaching side is the writer."""
+    ring = ShmRing(4096, slots=2)
+    writer = ShmRing.attach(ring.name, slots=2)
+    try:
+        region = ring.capacity // 2
+        assert writer.capacity == ring.capacity
+        a = writer.write(0, [np.arange(8.0)])
+        b = writer.write(1, [np.arange(8.0) + 1])
+        c = writer.write(2, [np.arange(8.0) + 2])
+        assert (a, b, c) == (0, region, 0)
+        assert writer.n_wraps == 1
+        req_id, arrays = ring.read(region)
+        assert req_id == 1
+        assert np.array_equal(arrays[0], np.arange(8.0) + 1)
+    finally:
+        writer.close()
+        ring.close()
+
+
+def test_slotted_geometry_validation():
+    with pytest.raises(ValueError, match="slots"):
+        ShmRing(4096, slots=0)
+    with pytest.raises(ValueError, match="slots"):
+        ShmRing(256, slots=128)
+
+
+def test_read_rejects_empty_offset():
+    ring = ShmRing(4096, slots=2)
+    try:
+        region = ring.capacity // 2
+        ring.write(0, [np.arange(4.0)])
+        with pytest.raises(ValueError, match="magic"):
+            ring.read(region)  # slot 1 never written
+    finally:
+        ring.close()
