@@ -1,0 +1,79 @@
+"""KV-cached autoregressive decode with continuous batching.
+
+Token-by-token generation naively re-runs the whole prefix every step —
+O(T^2) work for T generated tokens.  The decode stack kills that:
+
+1. **KV cache** — each transformer block keeps its per-layer K/V in a
+   :class:`~repro.nn.attention.LayerKVCache`; ``forward_step`` attends new
+   tokens against the cache, so a step costs O(T), not O(T^2).  Through
+   the quantized engines the stepped logits are *bit-exact* against the
+   one-shot forward (the attention einsums fix the reduction order).
+2. **Continuous batching** — :class:`~repro.serve.batching.DecodeBatcher`
+   admits new requests into K/V slots the moment earlier ones finish, so
+   a long generation never stalls the queue behind it.
+3. **Prefix reuse** — a :class:`~repro.serve.cache.PrefixKVCache` seeds a
+   follow-up prompt's K/V from the longest cached proper prefix (the
+   multi-turn pattern), skipping the shared prefill entirely.
+
+The demo serves a mixed decode workload through a quantized GPT-2 proxy,
+streams one request token by token, then shows the prefix cache paying
+off on a follow-up turn.
+
+Run:  PYTHONPATH=src python examples/decode_serving.py
+"""
+
+import time
+
+
+def main():
+    import numpy as np
+
+    from repro.models import proxy_prompts
+    from repro.serve import DecodePolicy, ModelServer
+
+    # --- deploy the GPT-2 proxy with a decode policy ----------------------
+    server = ModelServer()
+    t0 = time.perf_counter()
+    server.deploy_proxy(
+        "gpt2", "gpt2", scheme="aqs",
+        decode_policy=DecodePolicy(max_batch=4, max_new_tokens=12,
+                                   refill="continuous",
+                                   prefix_cache_bytes=16 << 20))
+    print(f"deployed gpt2 proxy (calibrated + plans prepared) "
+          f"in {(time.perf_counter() - t0) * 1e3:.0f} ms")
+
+    # --- a ragged prompt mix, decoded continuously ------------------------
+    prompts = proxy_prompts("gpt2", 8, min_len=4, max_len=20,
+                            heavy_tail=True, seed=2)
+    t0 = time.perf_counter()
+    tickets = [server.submit_decode("gpt2", p) for p in prompts]
+    outputs = [t.result() for t in tickets]
+    wall = time.perf_counter() - t0
+    n_tokens = sum(len(out) for out in outputs)
+    stats = server.stats("gpt2")["decode"]
+    print(f"decoded {len(prompts)} requests / {n_tokens} tokens "
+          f"in {wall * 1e3:.0f} ms ({n_tokens / wall:.0f} tok/s), "
+          f"mean batch width {stats['mean_step_width']:.2f}, "
+          f"peak active {stats['peak_active']}")
+
+    # --- streaming: tokens arrive as steps complete -----------------------
+    print("streamed:", end=" ", flush=True)
+    for tok in server.decode_stream("gpt2", prompts[0], max_new_tokens=8):
+        print(tok, end=" ", flush=True)
+    print()
+
+    # --- multi-turn prefix reuse ------------------------------------------
+    stem = prompts[0]
+    followup = np.concatenate([stem, outputs[0][:4]])
+    ticket = server.submit_decode("gpt2", followup)
+    ticket.result()
+    pc = server.stats("gpt2")["decode"]["prefix_cache"]
+    print(f"follow-up turn: {ticket.seeded_tokens} prompt tokens seeded "
+          f"from the prefix cache ({pc['hits']} hits, "
+          f"{pc['seeded_tokens']} tokens total)")
+
+    server.close()
+
+
+if __name__ == "__main__":
+    main()

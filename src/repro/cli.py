@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the everyday workflows:
+Nine commands cover the everyday workflows:
 
 * ``list-models`` — the benchmark zoo with shapes and MAC counts;
 * ``engines`` — the registered GEMM engines and their config constraints;
@@ -20,6 +20,12 @@ Eight commands cover the everyday workflows:
   per-deployment result cache, ``--repeats`` resubmits the stream to
   exercise it and ``--shards``/``--depth`` deploy the model as a stage
   pipeline);
+* ``decode <model>`` — autoregressively decode a ragged prompt mix
+  through the continuous-batching scheduler over KV-cached incremental
+  forwards (``--max-batch`` caps concurrent sequences, ``--refill``
+  picks continuous vs drain admission, ``--prefix-cache-kib`` seeds new
+  prompts from the longest cached prefix, ``--heavy-tail`` skews the
+  prompt-length mix);
 * ``shard <model>`` — auto-partition a proxy into balanced pipeline
   stages (measured or modeled costs) and stream a request set through
   the pipelined vs serial paths;
@@ -156,6 +162,42 @@ def build_parser() -> argparse.ArgumentParser:
                               "owned stage pool (default: one per stage, "
                               "capped at the core count)")
     p_serve.add_argument("--seed", type=int, default=0)
+
+    p_dec = sub.add_parser(
+        "decode",
+        help="autoregressive decode through the continuous-batching server")
+    p_dec.add_argument("model")
+    p_dec.add_argument("--scheme", default="aqs",
+                       choices=["aqs", "sibia", "int8_dense", "fp32"])
+    p_dec.add_argument("--exec-path", default="fast",
+                       choices=["fast", "sliced"],
+                       help="online BLAS strategy of the bit-slice kernels")
+    p_dec.add_argument("--requests", type=int, default=8,
+                       help="prompts submitted to the decoder")
+    p_dec.add_argument("--max-new-tokens", type=int, default=16,
+                       help="tokens generated per prompt (eos may stop "
+                            "earlier)")
+    p_dec.add_argument("--max-batch", type=int, default=4,
+                       help="sequences decoded concurrently per step")
+    p_dec.add_argument("--refill", default="continuous",
+                       choices=["continuous", "drain"],
+                       help="'continuous' admits queued prompts the step a "
+                            "slot frees; 'drain' (static batching) admits "
+                            "only when the whole batch finished")
+    p_dec.add_argument("--prefix-cache-kib", type=int, default=0,
+                       help="longest-prefix KV cache budget in KiB "
+                            "(0 = off); repeated prompt prefixes skip "
+                            "their prefill")
+    p_dec.add_argument("--min-prompt", type=int, default=4,
+                       help="shortest prompt length in the synthetic mix")
+    p_dec.add_argument("--max-prompt", type=int, default=24,
+                       help="longest prompt length in the synthetic mix")
+    p_dec.add_argument("--heavy-tail", action="store_true",
+                       help="draw prompt lengths log-uniform (most short, "
+                            "a few long) instead of uniform")
+    p_dec.add_argument("--temperature", type=float, default=0.0,
+                       help="sampling temperature (0 = greedy argmax)")
+    p_dec.add_argument("--seed", type=int, default=0)
 
     p_shard = sub.add_parser(
         "shard",
@@ -441,6 +483,80 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_decode(args, out) -> int:
+    import time
+
+    from .models.zoo import PROXY_SPECS, proxy_prompts
+    from .serve import DecodePolicy, ModelServer
+
+    spec = PROXY_SPECS.get(args.model)
+    if spec is None:
+        print(f"no runnable proxy for {args.model!r}; "
+              f"available: {sorted(PROXY_SPECS)}", file=out)
+        return 2
+    if spec.kind != "lm":
+        print(f"{args.model!r} is a {spec.kind} proxy; decode needs a "
+              "causal LM (see `repro list-models`)", file=out)
+        return 2
+    if args.requests < 1:
+        print(f"--requests must be >= 1, got {args.requests}", file=out)
+        return 2
+    if args.prefix_cache_kib < 0:
+        print(f"--prefix-cache-kib must be >= 0, got "
+              f"{args.prefix_cache_kib}", file=out)
+        return 2
+    policy = DecodePolicy(max_batch=args.max_batch,
+                          max_new_tokens=args.max_new_tokens,
+                          refill=args.refill,
+                          temperature=args.temperature, seed=args.seed,
+                          prefix_cache_bytes=args.prefix_cache_kib * 1024)
+    server = ModelServer()
+    deployment = f"{args.model}/{args.scheme}"
+    t0 = time.perf_counter()
+    server.deploy_proxy(deployment, args.model, scheme=args.scheme,
+                        exec_path=args.exec_path, seed=args.seed,
+                        decode_policy=policy)
+    prepare_s = time.perf_counter() - t0
+
+    prompts = proxy_prompts(args.model, args.requests,
+                            min_len=args.min_prompt,
+                            max_len=args.max_prompt,
+                            heavy_tail=args.heavy_tail, seed=args.seed + 2)
+    with server:
+        t0 = time.perf_counter()
+        tickets = [server.submit_decode(deployment, p) for p in prompts]
+        outputs = [t.result() for t in tickets]
+        decode_s = time.perf_counter() - t0
+        stats = server.stats(deployment)["decode"]
+        metrics = server.metrics()
+
+    n_tokens = sum(len(o) for o in outputs)
+    lengths = sorted(len(p) for p in prompts)
+    print(f"{deployment} (exec_path={args.exec_path}): prepared in "
+          f"{prepare_s * 1e3:.0f} ms", file=out)
+    print(f"decoded {len(prompts)} prompts (lengths {lengths[0]}.."
+          f"{lengths[-1]}) -> {n_tokens} tokens in {decode_s * 1e3:.0f} ms "
+          f"({n_tokens / max(decode_s, 1e-12):.0f} tok/s) over "
+          f"{stats['n_steps']} engine steps "
+          f"(mean step width {stats['mean_step_width']:.2f}, "
+          f"peak {stats['peak_active']}, refill={policy.refill})", file=out)
+    qw = stats["queue_wait"]
+    print(f"queue wait p50 {qw['p50_ms']:.2f} ms, "
+          f"p95 {qw['p95_ms']:.2f} ms; step exec "
+          f"p50 {stats['step_exec']['p50_ms']:.2f} ms", file=out)
+    if args.prefix_cache_kib and metrics.prefix_cache is not None:
+        pc = metrics.prefix_cache
+        print(f"prefix cache: {pc['hits']} hits / "
+              f"{pc['hits'] + pc['misses']} lookups "
+              f"(hit rate {pc['hit_rate']:.0%}), "
+              f"{pc['seeded_tokens']} prompt tokens seeded without "
+              f"prefill, {pc['bytes'] / 1024:.1f} KiB held", file=out)
+    preview = " ".join(str(t) for t in outputs[0][:8])
+    print(f"first generation ({len(outputs[0])} tokens): {preview}"
+          f"{' ...' if len(outputs[0]) > 8 else ''}", file=out)
+    return 0
+
+
 def _cmd_shard(args, out) -> int:
     import time
 
@@ -585,6 +701,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_simulate(args, out)
     if args.command == "serve":
         return _cmd_serve(args, out)
+    if args.command == "decode":
+        return _cmd_decode(args, out)
     if args.command == "shard":
         return _cmd_shard(args, out)
     if args.command == "plan":

@@ -20,8 +20,8 @@ from .base import (
     register_engine,
 )
 from .engines import AqsEngine, Fp32Engine, Fp32Plan, Int8DenseEngine, SibiaEngine
-from .session import (LayerProfile, PanaceaSession, ProfileReport,
-                      RequestRecord)
+from .session import (DecodeSession, LayerProfile, PanaceaSession,
+                      ProfileReport, RequestRecord)
 
 __all__ = [
     "Engine",
@@ -39,6 +39,7 @@ __all__ = [
     "Int8DenseEngine",
     "SibiaEngine",
     "PanaceaSession",
+    "DecodeSession",
     "RequestRecord",
     "LayerProfile",
     "ProfileReport",

@@ -51,8 +51,8 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->engine cycle
     from ..core.pipeline import (ExecutionTrace, LayerExecution,
                                  LayerQuantRecord, PtqConfig)
 
-__all__ = ["PanaceaSession", "RequestRecord", "LayerProfile",
-           "ProfileReport"]
+__all__ = ["PanaceaSession", "DecodeSession", "RequestRecord",
+           "LayerProfile", "ProfileReport"]
 
 
 @dataclass
@@ -616,3 +616,164 @@ class PanaceaSession:
                 "mean_rho_x": (self._lifetime_rho_x_sum / n_calls
                                if n_calls else 0.0),
             }
+
+
+class DecodeSession:
+    """Per-request incremental decode state over one :class:`PanaceaSession`.
+
+    A decode session owns the request-side state an autoregressive request
+    accumulates across submits — the per-layer KV caches, the absolute
+    position, and the sampling configuration — while the underlying
+    :class:`PanaceaSession` keeps owning the model, the layer plans and the
+    accounting ledger.  Each :meth:`prefill`/:meth:`step` runs the model's
+    ``forward_step`` with the shared trace *captured* (nothing lands in the
+    session ledger mid-flight) and then folds the layer records in via
+    :meth:`PanaceaSession.record_external`, so ``session.stats()`` stays
+    conserved whether traffic arrives through ``run()``, the micro-batcher,
+    or a decode loop.
+
+    The wrapped model must expose the incremental API
+    (``forward_step``/``new_kv_cache`` — :class:`repro.nn.CausalLM` does);
+    anything else raises :class:`TypeError` up front.
+
+    Sampling is greedy (argmax) at ``temperature == 0.0``; a positive
+    temperature samples from the scaled softmax with a generator seeded by
+    ``seed``, so decodes replay deterministically.
+
+    Not thread-safe per instance — one request's decode is inherently
+    sequential.  Distinct :class:`DecodeSession` instances over one
+    underlying session may run from different threads: every model call is
+    taken under the session lock, serializing against ``run()`` and other
+    decoders exactly like any other session entry point.
+    """
+
+    def __init__(self, session: PanaceaSession, *, capacity: int = 16,
+                 temperature: float = 0.0, seed: int = 0,
+                 eos_token: int | None = None) -> None:
+        model = session.model
+        if not (hasattr(model, "forward_step")
+                and hasattr(model, "new_kv_cache")):
+            raise TypeError(
+                f"{type(model).__name__} has no forward_step/new_kv_cache: "
+                "incremental decode needs a causal model (e.g. CausalLM)")
+        if temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {temperature}")
+        session._require_prepared("DecodeSession")
+        self.session = session
+        self.temperature = temperature
+        self.eos_token = eos_token
+        self._rng = np.random.default_rng(seed)
+        self._capacity = capacity
+        self.caches = None          # built lazily at first prefill/seed
+        self.position = 0           # tokens currently cached
+        self.tokens: list[int] = []  # full sequence: prompt + generated
+        self.n_seeded = 0           # prefix positions seeded from a cache
+
+    def _ensure_caches(self):
+        if self.caches is None:
+            self.caches = self.session.model.new_kv_cache(
+                1, capacity=self._capacity)
+        return self.caches
+
+    def _forward(self, ids: np.ndarray) -> np.ndarray:
+        """One captured+accounted ``forward_step`` over ``(1, tq)`` ids."""
+        caches = self._ensure_caches()
+        session = self.session
+        with session._lock:
+            with session.trace.capture() as records:
+                t0 = time.perf_counter()
+                logits = session.model.forward_step(ids, caches)
+                latency = time.perf_counter() - t0
+            session.record_external(ids.shape, records, latency)
+        self.position += ids.shape[1]
+        return logits
+
+    def sample(self, logits: np.ndarray) -> int:
+        """Next token from one ``(vocab,)`` logits row."""
+        if self.temperature == 0.0:
+            return int(np.argmax(logits))
+        z = logits / self.temperature
+        z = z - np.max(z)
+        p = np.exp(z)
+        p /= p.sum()
+        return int(self._rng.choice(len(p), p=p))
+
+    def prefill(self, prompt: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Run the prompt through the model in one chunk; returns the last
+        position's ``(vocab,)`` logits.
+
+        Callable repeatedly — each call appends its tokens after the current
+        position (chunked prefill), which is also how a prefix-cache hit
+        continues: :meth:`seed` the cached prefix, then prefill only the
+        unseen suffix.
+        """
+        ids = np.asarray(prompt, dtype=np.int64).reshape(1, -1)
+        if ids.shape[1] == 0:
+            raise ValueError("prefill needs at least one token")
+        logits = self._forward(ids)
+        self.tokens.extend(int(t) for t in ids[0])
+        return logits[0, -1]
+
+    def step(self, token: int) -> np.ndarray:
+        """Feed one token, return the next position's ``(vocab,)`` logits."""
+        if self.position == 0:
+            raise RuntimeError("step() before prefill(): the cache is empty")
+        logits = self._forward(np.array([[token]], dtype=np.int64))
+        self.tokens.append(int(token))
+        return logits[0, -1]
+
+    def generate(self, prompt: Sequence[int] | np.ndarray,
+                 max_new_tokens: int) -> list[int]:
+        """Prefill then greedily/sampled-decode up to ``max_new_tokens``.
+
+        Stops early on ``eos_token``.  Returns the generated tokens only
+        (the prompt is not echoed); the full sequence stays in
+        :attr:`tokens`.
+        """
+        if max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {max_new_tokens}")
+        next_tok = self.sample(self.prefill(prompt))
+        out = [next_tok]
+        # The final sampled token is returned un-stepped (its KV is never
+        # cached); self.tokens tracks cached positions only.
+        while len(out) < max_new_tokens and next_tok != self.eos_token:
+            next_tok = self.sample(self.step(next_tok))
+            out.append(next_tok)
+        return out
+
+    def snapshot(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Owned per-layer ``(K, V)`` copies of the cached prefix — the
+        currency of :class:`~repro.serve.cache.PrefixKVCache`."""
+        if self.caches is None:
+            return []
+        return [cache.snapshot_row(0) for cache in self.caches]
+
+    def seed(self, snapshot: Sequence[tuple[np.ndarray, np.ndarray]],
+             tokens: Sequence[int]) -> None:
+        """Adopt a cached prefix: per-layer K/V snapshots covering ``tokens``.
+
+        Only valid on a fresh session (nothing cached yet).  After seeding,
+        :meth:`prefill` the *remaining* prompt suffix — the seeded positions
+        are never recomputed, which is the prefix cache's entire win.
+        """
+        if self.position != 0:
+            raise RuntimeError("seed() needs a fresh session; this one has "
+                               f"{self.position} cached positions")
+        caches = self._ensure_caches()
+        if len(snapshot) != len(caches):
+            raise ValueError(
+                f"snapshot has {len(snapshot)} layers, model has "
+                f"{len(caches)}")
+        n = snapshot[0][0].shape[1] if snapshot else 0
+        for cache, (k, v) in zip(caches, snapshot):
+            if k.shape[1] != n or v.shape[1] != n:
+                raise ValueError("snapshot layers disagree on prefix length")
+            cache.load_row(0, k, v)
+        if len(tokens) != n:
+            raise ValueError(
+                f"snapshot covers {n} positions but {len(tokens)} tokens "
+                "were given")
+        self.position = n
+        self.n_seeded = n
+        self.tokens.extend(int(t) for t in tokens)

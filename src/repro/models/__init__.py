@@ -16,7 +16,7 @@ from .workloads import (
     profile_model,
     synthetic_profile,
 )
-from .zoo import PROXY_SPECS, ProxySpec, build_proxy
+from .zoo import PROXY_SPECS, ProxySpec, build_proxy, proxy_batches, proxy_prompts
 
 __all__ = [
     "MODEL_CONFIGS",
@@ -40,4 +40,6 @@ __all__ = [
     "PROXY_SPECS",
     "ProxySpec",
     "build_proxy",
+    "proxy_batches",
+    "proxy_prompts",
 ]

@@ -17,7 +17,8 @@ from ..nn import CausalLM, ResNet, TransformerClassifier
 from ..nn.module import Module
 from .configs import ModelConfig, get_config
 
-__all__ = ["ProxySpec", "PROXY_SPECS", "build_proxy", "proxy_batches"]
+__all__ = ["ProxySpec", "PROXY_SPECS", "build_proxy", "proxy_batches",
+           "proxy_prompts"]
 
 
 @dataclass(frozen=True)
@@ -131,3 +132,37 @@ def proxy_batches(name_or_spec: "str | ProxySpec", batch: int, n: int,
         return [gaussian_images(batch, 3, 32, seed=seed + i)
                 for i in range(n)]
     return token_batches(spec.vocab, batch, 40, n, seed=seed)
+
+
+def proxy_prompts(name_or_spec: "str | ProxySpec", n: int, *,
+                  min_len: int = 4, max_len: int = 24,
+                  heavy_tail: bool = False, seed: int = 0) -> list:
+    """``n`` ragged decode prompts (1-D int64 token arrays) for an LM proxy.
+
+    The decode-serving counterpart of :func:`proxy_batches`: autoregressive
+    requests arrive with *individual* prompt lengths, so each prompt is its
+    own ``(length,)`` array rather than a padded batch.  Lengths draw
+    uniformly from ``[min_len, max_len]``; ``heavy_tail=True`` instead draws
+    a log-spaced mix where most prompts sit near ``min_len`` and a few reach
+    ``max_len`` — the skewed workload continuous batching exists for.
+    Raises for non-LM proxies, which have no token modality to decode.
+    """
+    import numpy as np
+
+    spec = (PROXY_SPECS[name_or_spec] if isinstance(name_or_spec, str)
+            else name_or_spec)
+    if spec.kind != "lm":
+        raise ValueError(
+            f"proxy_prompts needs an LM proxy, got kind {spec.kind!r}")
+    if not 1 <= min_len <= max_len:
+        raise ValueError(
+            f"need 1 <= min_len <= max_len, got [{min_len}, {max_len}]")
+    rng = np.random.default_rng(seed)
+    if heavy_tail:
+        # Log-uniform: the mass piles near min_len, the tail reaches max_len.
+        logs = rng.uniform(np.log(min_len), np.log(max_len + 1), size=n)
+        lengths = np.clip(np.exp(logs).astype(np.int64), min_len, max_len)
+    else:
+        lengths = rng.integers(min_len, max_len + 1, size=n)
+    return [rng.integers(0, spec.vocab, size=int(length), dtype=np.int64)
+            for length in lengths]

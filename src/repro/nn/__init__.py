@@ -3,7 +3,7 @@
 from . import functional
 from .module import Module
 from .layers import Conv2d, Embedding, LayerNorm, Linear, RMSNorm, im2col
-from .attention import MultiHeadAttention
+from .attention import LayerKVCache, MultiHeadAttention
 from .transformer import (
     CausalLM,
     DecoderBlock,
@@ -25,6 +25,7 @@ __all__ = [
     "RMSNorm",
     "Embedding",
     "im2col",
+    "LayerKVCache",
     "MultiHeadAttention",
     "Mlp",
     "SwiGluMlp",

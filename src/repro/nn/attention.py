@@ -5,17 +5,158 @@ Covers the attention variants of the paper's benchmarks: bidirectional
 and output projections are ``Linear`` layers — the GEMMs the accelerator
 runs; the score/value matmuls are dynamic activation-activation products the
 evaluation treats identically across designs (see DESIGN.md §4).
+
+**Decode determinism.**  The score/value contractions and the softmax
+reduction deliberately go through :func:`np.einsum` (never BLAS): einsum's
+sum-of-products loops accumulate in fixed index order with one accumulator
+per output element, so the same query row produces the same bits whether it
+is computed inside a full-sequence forward, a single-token
+:meth:`MultiHeadAttention.forward_step`, or a ragged continuous-decode
+batch with masked tail positions (masked weights are exactly ``0.0`` and
+``acc + 0.0`` never changes a bit).  BLAS matmul does *not* have this
+property — a 1-row GEMV and the matching row of a GEMM differ in the last
+ulp on mainstream BLAS — and that ulp would re-quantize differently on the
+engines' activation path.  This is the substrate property that makes
+KV-cached incremental decode bit-exact against the one-shot re-forward for
+every quantized engine.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from . import functional as F
 from .layers import Linear
 from .module import Module
 
-__all__ = ["MultiHeadAttention"]
+__all__ = ["MultiHeadAttention", "LayerKVCache"]
+
+
+def _ordered_softmax(scores: np.ndarray) -> np.ndarray:
+    """Softmax over the last axis with an order-fixed denominator sum.
+
+    ``np.sum`` switches pairwise-summation trees with the reduction length,
+    so a row padded with ``exp(-inf) == 0`` tails would not reproduce the
+    unpadded row's bits past ~128 entries.  The einsum reduction is a plain
+    in-order accumulation: appending zeros never changes the sum, which is
+    exactly the invariant ragged decode batches rely on.
+    """
+    m = np.max(scores, axis=-1, keepdims=True)
+    e = np.exp(scores - m)
+    denom = np.einsum("...k->...", e)[..., None]
+    return e / denom
+
+
+class LayerKVCache:
+    """Preallocated per-layer K/V buffers for incremental decode.
+
+    One cache row per decode slot: ``k``/``v`` are ``(rows, n_kv_heads,
+    capacity, head_dim)`` with per-row ``lengths`` (rows may be ragged —
+    the continuous-batching case).  ``append`` writes the new tokens at
+    each row's current length and grows the time axis geometrically
+    (doubling), so a T-token decode pays O(log T) reallocations instead of
+    T reslices.  Buffers are zero-initialized and stale tail positions are
+    masked at attend time, so a freed slot never leaks bits into another
+    request's softmax (masked weights are exactly zero).
+    """
+
+    def __init__(self, rows: int, n_kv_heads: int, head_dim: int,
+                 capacity: int = 16) -> None:
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self.k = np.zeros((rows, n_kv_heads, capacity, head_dim))
+        self.v = np.zeros((rows, n_kv_heads, capacity, head_dim))
+        self.lengths = np.zeros(rows, dtype=np.int64)
+
+    @property
+    def rows(self) -> int:
+        return self.k.shape[0]
+
+    @property
+    def capacity(self) -> int:
+        return self.k.shape[2]
+
+    @property
+    def nbytes(self) -> int:
+        return self.k.nbytes + self.v.nbytes
+
+    def ensure(self, capacity: int) -> None:
+        """Grow the time axis to hold ``capacity`` positions (geometric)."""
+        if capacity <= self.capacity:
+            return
+        old_cap = self.capacity
+        new_cap = max(capacity, 2 * old_cap)
+        for name in ("k", "v"):
+            old = getattr(self, name)
+            grown = np.zeros((self.rows, self.n_kv_heads, new_cap,
+                              self.head_dim))
+            grown[:, :, :old_cap] = old
+            setattr(self, name, grown)
+
+    def append(self, k_t: np.ndarray, v_t: np.ndarray,
+               rows: slice | None = None) -> None:
+        """Write ``(b, n_kv_heads, tq, head_dim)`` K/V at each row's length.
+
+        ``rows`` selects the cache rows being decoded (default: all).  With
+        ``tq == 1`` the rows may be ragged; ``tq > 1`` (chunked prefill)
+        requires the selected rows to share one length, since the new block
+        is written as one contiguous slab.
+        """
+        rows = rows if rows is not None else slice(0, self.rows)
+        lengths = self.lengths[rows]
+        b, _, tq, _ = k_t.shape
+        if b != lengths.shape[0]:
+            raise ValueError(
+                f"append rows mismatch: cache window has {lengths.shape[0]} "
+                f"rows, K/V have {b}")
+        self.ensure(int(lengths.max()) + tq)
+        if tq == 1:
+            idx = np.arange(b) + (rows.start or 0)
+            self.k[idx, :, lengths] = k_t[:, :, 0]
+            self.v[idx, :, lengths] = v_t[:, :, 0]
+        else:
+            if np.any(lengths != lengths[0]):
+                raise ValueError(
+                    "multi-token append needs uniform row lengths; got "
+                    f"{lengths.tolist()}")
+            start = int(lengths[0])
+            self.k[rows, :, start:start + tq] = k_t
+            self.v[rows, :, start:start + tq] = v_t
+        self.lengths[rows] = lengths + tq
+
+    def copy_row(self, src: int, dst: int) -> None:
+        """Move one slot's cached prefix onto another slot (compaction)."""
+        n = int(self.lengths[src])
+        self.k[dst, :, :n] = self.k[src, :, :n]
+        self.v[dst, :, :n] = self.v[src, :, :n]
+        self.lengths[dst] = n
+
+    def reset_row(self, row: int) -> None:
+        """Free one slot; the stale K/V stay masked until overwritten."""
+        self.lengths[row] = 0
+
+    def load_row(self, row: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Seed one slot from a cached prefix snapshot (prefix-cache hit).
+
+        ``k``/``v`` are ``(n_kv_heads, length, head_dim)`` — the layout
+        :meth:`snapshot_row` returns — copied in, so the snapshot owner
+        (e.g. a :class:`~repro.serve.cache.PrefixKVCache`) is never aliased
+        by live decode writes.
+        """
+        n = k.shape[1]
+        self.ensure(n)
+        self.k[row, :, :n] = k
+        self.v[row, :, :n] = v
+        self.lengths[row] = n
+
+    def snapshot_row(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """An owned copy of one slot's cached prefix: ``(K, V)`` each
+        ``(n_kv_heads, length, head_dim)``."""
+        n = int(self.lengths[row])
+        return (self.k[row, :, :n].copy(), self.v[row, :, :n].copy())
 
 
 class MultiHeadAttention(Module):
@@ -43,19 +184,79 @@ class MultiHeadAttention(Module):
         b, t, _ = x.shape
         return x.reshape(b, t, n_heads, self.head_dim).transpose(0, 2, 1, 3)
 
+    def _repeat_kv(self, x: np.ndarray) -> np.ndarray:
+        if self.n_kv_heads == self.n_heads:
+            return x
+        return np.repeat(x, self.n_heads // self.n_kv_heads, axis=1)
+
+    def _attend(self, q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                mask: np.ndarray | None) -> np.ndarray:
+        """Order-fixed attention core shared by forward and forward_step.
+
+        ``q`` is ``(b, h, tq, d)``, ``k``/``v`` ``(b, h, tk, d)``; ``mask``
+        is additive (``0`` keeps, ``-inf`` drops) and broadcastable to the
+        ``(b, h, tq, tk)`` score grid.  Everything that reduces — scores,
+        softmax denominator, the value contraction — goes through einsum so
+        the result per query row is independent of how many other rows (or
+        masked tail columns) ride in the same call.
+        """
+        scores = np.einsum("bhid,bhjd->bhij", q, k) / np.sqrt(self.head_dim)
+        if mask is not None:
+            scores = scores + mask
+        attn = _ordered_softmax(scores)
+        out = np.einsum("bhij,bhjd->bhid", attn, v)
+        b, _, tq, _ = q.shape
+        return out.transpose(0, 2, 1, 3).reshape(b, tq, self.dim)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         b, t, _ = x.shape
         q = self._split(self.q_proj(x), self.n_heads)
-        k = self._split(self.k_proj(x), self.n_kv_heads)
-        v = self._split(self.v_proj(x), self.n_kv_heads)
-        if self.n_kv_heads != self.n_heads:
-            reps = self.n_heads // self.n_kv_heads
-            k = np.repeat(k, reps, axis=1)
-            v = np.repeat(v, reps, axis=1)
-        scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(self.head_dim)
-        if self.causal:
-            mask = np.triu(np.full((t, t), -np.inf), k=1)
-            scores = scores + mask
-        attn = F.softmax(scores, axis=-1)
-        out = (attn @ v).transpose(0, 2, 1, 3).reshape(b, t, self.dim)
-        return self.out_proj(out)
+        k = self._repeat_kv(self._split(self.k_proj(x), self.n_kv_heads))
+        v = self._repeat_kv(self._split(self.v_proj(x), self.n_kv_heads))
+        mask = (np.triu(np.full((t, t), -np.inf), k=1)
+                if self.causal else None)
+        return self.out_proj(self._attend(q, k, v, mask))
+
+    def new_kv_cache(self, rows: int, capacity: int = 16) -> LayerKVCache:
+        """A decode cache sized for this layer's KV geometry."""
+        return LayerKVCache(rows, self.n_kv_heads, self.head_dim,
+                            capacity=capacity)
+
+    def forward_step(self, x: np.ndarray, cache: LayerKVCache,
+                     rows: slice | None = None) -> np.ndarray:
+        """Incremental forward: attend ``x``'s tokens over the cached prefix.
+
+        ``x`` is ``(b, tq, dim)`` — the *new* positions only.  The new K/V
+        are appended into ``cache`` (rows selected by ``rows``) and the
+        queries attend over everything cached, so the per-step cost is
+        O(prefix) instead of the full forward's O(prefix²).  ``tq > 1`` is
+        the chunked-prefill path (uniform row lengths); ``tq == 1`` decodes
+        ragged rows, masking each row's unused tail — both produce the
+        exact bits of the corresponding rows of :meth:`forward` over the
+        whole sequence (see the module docstring).
+        """
+        if not self.causal:
+            raise ValueError(
+                "forward_step needs causal attention: a bidirectional "
+                "layer's past positions depend on future tokens, so its "
+                "prefix can never be cached")
+        b, tq, _ = x.shape
+        rows = rows if rows is not None else slice(0, cache.rows)
+        before = cache.lengths[rows].copy()
+        q = self._split(self.q_proj(x), self.n_heads)
+        k_new = self._split(self.k_proj(x), self.n_kv_heads)
+        v_new = self._split(self.v_proj(x), self.n_kv_heads)
+        cache.append(k_new, v_new, rows=rows)
+        lengths = cache.lengths[rows]
+        t_max = int(lengths.max())
+        k = self._repeat_kv(cache.k[rows, :, :t_max])
+        v = self._repeat_kv(cache.v[rows, :, :t_max])
+        # Additive mask over the (b, 1|tq, t_max) grid: query row r of slot
+        # s sits at absolute position before[s] + r and may attend j <=
+        # that position; everything later (including stale tail bits of
+        # shorter rows) contributes exp(-inf) == 0, exactly.
+        positions = before[:, None] + np.arange(tq)[None, :]   # (b, tq)
+        j = np.arange(t_max)
+        mask = np.where(j[None, None, :] <= positions[:, :, None],
+                        0.0, -np.inf)[:, None, :, :]           # (b,1,tq,t)
+        return self.out_proj(self._attend(q, k, v, mask))

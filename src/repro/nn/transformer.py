@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
-from .attention import MultiHeadAttention
+from .attention import LayerKVCache, MultiHeadAttention
 from .layers import Embedding, LayerNorm, Linear, RMSNorm
 from .module import Module
 
@@ -128,6 +128,15 @@ class DecoderBlock(Module):
         x = x + self.mlp(self.ln2(x))
         return self.outliers(x)
 
+    def forward_step(self, x: np.ndarray, cache: LayerKVCache,
+                     rows: slice | None = None) -> np.ndarray:
+        """One incremental step: identical math to :meth:`forward` restricted
+        to the new positions.  Sound because every non-attention op here
+        (LayerNorm, MLP, residual add, outlier scale) is position-local."""
+        x = x + self.attn.forward_step(self.ln1(x), cache, rows=rows)
+        x = x + self.mlp(self.ln2(x))
+        return self.outliers(x)
+
 
 class LlamaBlock(Module):
     """RMSNorm + GQA + SwiGLU block (Llama-3.2 layout)."""
@@ -147,6 +156,12 @@ class LlamaBlock(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return self.outliers(x)
+
+    def forward_step(self, x: np.ndarray, cache: LayerKVCache,
+                     rows: slice | None = None) -> np.ndarray:
+        x = x + self.attn.forward_step(self.norm1(x), cache, rows=rows)
         x = x + self.mlp(self.norm2(x))
         return self.outliers(x)
 
@@ -178,6 +193,29 @@ class CausalLM(Module):
         x = self.embed(ids)
         for _, layer in self.blocks.children():
             x = layer(x)
+        return self.lm_head(self.final_norm(x))
+
+    def new_kv_cache(self, rows: int, capacity: int = 16) -> list[LayerKVCache]:
+        """One :class:`LayerKVCache` per decoder block, ``rows`` decode
+        slots each.  Pass the list to every :meth:`forward_step` call on
+        the same sequences."""
+        return [layer.attn.new_kv_cache(rows, capacity=capacity)
+                for _, layer in self.blocks.children()]
+
+    def forward_step(self, ids: np.ndarray, caches: list[LayerKVCache],
+                     rows: slice | None = None) -> np.ndarray:
+        """Incremental forward over the new token ids only.
+
+        ``ids`` is ``(b, tq)`` — the positions not yet in the caches; each
+        layer appends its K/V and attends over its cached prefix.  Returns
+        ``(b, tq, vocab)`` logits carrying the exact bits of the matching
+        positions of :meth:`forward` over the full sequence (the model has
+        no positional embeddings, so position enters only through the
+        causal mask — which the caches track via row lengths).
+        """
+        x = self.embed(ids)
+        for cache, (_, layer) in zip(caches, self.blocks.children()):
+            x = layer.forward_step(x, cache, rows=rows)
         return self.lm_head(self.final_norm(x))
 
 

@@ -7,7 +7,10 @@ The online half of Panacea's offline/online split, grown to process scale:
   with zero re-prepare work (load failures raise :class:`PlanStoreError`);
 * :mod:`repro.serve.batching` — :class:`MicroBatcher`/:class:`BatchPolicy`,
   the dynamic micro-batching scheduler coalescing single requests into
-  engine batches (bit-exact vs solo execution);
+  engine batches (bit-exact vs solo execution), and
+  :class:`DecodeBatcher`/:class:`DecodePolicy`, the continuous-batching
+  autoregressive decoder where requests join/leave the running batch per
+  step over KV-cached incremental forwards;
 * :mod:`repro.serve.server` — :class:`ModelServer`, many named deployments
   behind one submit API, with blocking (``submit``) and future-returning
   (``submit_async``) entry points;
@@ -25,13 +28,16 @@ The online half of Panacea's offline/online split, grown to process scale:
   the :class:`ExecutorBackend` protocol; capability refusals raise
   :class:`BackendCapabilityError`;
 * :mod:`repro.serve.cache` — :class:`ResultCache`, the content-addressed
-  per-deployment LRU result cache short-circuiting duplicate requests;
+  per-deployment LRU result cache short-circuiting duplicate requests, and
+  :class:`PrefixKVCache`, its autoregressive sibling seeding decode KV
+  caches from the longest cached token prefix;
 * :mod:`repro.serve.metrics` — :class:`LatencyStats` (the shared latency
   accumulator) and :class:`ServerMetrics` (the server-wide rollup).
 """
 
-from .batching import BatchPolicy, MicroBatcher, Ticket
-from .cache import ResultCache, request_key
+from .batching import (BatchPolicy, DecodeBatcher, DecodePolicy, DecodeTicket,
+                       MicroBatcher, Ticket)
+from .cache import PrefixKVCache, ResultCache, request_key
 from .metrics import LatencyStats, ServerMetrics
 from .pool import (BackendCapabilityError, ExecutorBackend,
                    PoolShutdownError, WorkerPool, WorkerStats)
@@ -45,6 +51,10 @@ __all__ = [
     "BatchPolicy",
     "MicroBatcher",
     "Ticket",
+    "DecodePolicy",
+    "DecodeBatcher",
+    "DecodeTicket",
+    "PrefixKVCache",
     "ResultCache",
     "request_key",
     "LatencyStats",

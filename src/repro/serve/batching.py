@@ -31,6 +31,17 @@ A :class:`~repro.serve.cache.ResultCache` can sit in front of the queue
 already-served request returns a completed ticket immediately, without
 touching the engine — bit-exact because cached outputs *are* recorded
 engine outputs.
+
+:class:`DecodeBatcher` is the autoregressive sibling: instead of coalescing
+one-shot forwards it runs a *continuous* decode batch, where requests join
+and leave the running batch per step.  A finishing sequence's KV-cache slot
+is compacted away and refilled from the queue on the very next step — the
+batch never drains to admit work, which is what keeps the engine batch full
+under heavy-tail length mixes (``refill="drain"`` disables refilling and
+degenerates to static batching, the baseline the decode bench compares
+against).  Per-step math is the model's ``forward_step`` over the batched
+KV caches, so every sequence's tokens are exactly the tokens it would
+produce decoding alone (see :mod:`repro.nn.attention`).
 """
 
 from __future__ import annotations
@@ -44,10 +55,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..engine.session import PanaceaSession, RequestRecord
-from .cache import ResultCache, request_key
+from .cache import PrefixKVCache, ResultCache, request_key
 from .metrics import LatencyStats
 
-__all__ = ["BatchPolicy", "Ticket", "MicroBatcher"]
+__all__ = ["BatchPolicy", "Ticket", "MicroBatcher",
+           "DecodePolicy", "DecodeTicket", "DecodeBatcher"]
 
 
 @dataclass(frozen=True)
@@ -182,7 +194,10 @@ class MicroBatcher:
         hit = None
         if self.cache is not None:
             key = request_key(x)      # hashed once, reused at insert time
-            hit = self.cache.get(x, key=key)
+            # Read-only view, not a copy: the hit goes straight onto the
+            # ticket, whose consumers get the same immutable array a put()
+            # froze — the warm-replay path pays zero memcpy.
+            hit = self.cache.get(x, key=key, copy=False)
         with self._lock:
             ticket = Ticket(ticket_id=self._next_id, submitted_t=self.clock(),
                             _batcher=self,
@@ -407,4 +422,459 @@ class MicroBatcher:
             }
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
+        return stats
+
+
+@dataclass(frozen=True)
+class DecodePolicy:
+    """Knobs of the continuous-batching decode scheduler.
+
+    ``max_batch`` is the number of concurrent decode slots (the batched KV
+    cache's row count).  ``refill`` picks the admission discipline:
+    ``"continuous"`` refills a freed slot from the queue on the next step
+    (requests join/leave mid-flight); ``"drain"`` admits only into an empty
+    batch and runs it to completion — classic static batching, kept as the
+    measurable baseline.  ``max_new_tokens`` caps generation per request
+    (per-submit override allowed); ``eos_token`` stops a sequence early.
+    ``temperature == 0`` decodes greedily; a positive value samples from
+    the scaled softmax with a per-request generator seeded by ``(seed,
+    request id)``, so replays are deterministic and independent of batch
+    composition.  ``prefix_cache_bytes`` > 0 puts a
+    :class:`~repro.serve.cache.PrefixKVCache` in front of prefill: a
+    longest-prefix hit seeds the request's KV rows and only the unseen
+    suffix is prefilled.  ``capacity`` is the initial per-slot KV capacity
+    (grows geometrically).
+    """
+
+    max_batch: int = 4
+    max_new_tokens: int = 32
+    refill: str = "continuous"
+    temperature: float = 0.0
+    seed: int = 0
+    eos_token: int | None = None
+    capacity: int = 64
+    prefix_cache_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_new_tokens < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {self.max_new_tokens}")
+        if self.refill not in ("continuous", "drain"):
+            raise ValueError(
+                f"refill must be 'continuous' or 'drain', got {self.refill!r}")
+        if self.temperature < 0:
+            raise ValueError(
+                f"temperature must be >= 0, got {self.temperature}")
+        if self.prefix_cache_bytes < 0:
+            raise ValueError(
+                f"prefix_cache_bytes must be >= 0, "
+                f"got {self.prefix_cache_bytes}")
+
+
+@dataclass
+class DecodeTicket:
+    """One decode request: a claim on a streaming token sequence.
+
+    Tokens land in :attr:`tokens` as the running batch produces them;
+    :meth:`iter_tokens` streams them (driving the batcher while waiting)
+    and :meth:`result` blocks for the full generation.  ``seeded_tokens``
+    reports how many prompt positions a prefix-cache hit skipped;
+    ``n_steps`` counts the engine steps this request rode in (prefill
+    included), so per-request engine cost is observable per ticket.
+    """
+
+    ticket_id: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    submitted_t: float
+    _batcher: "DecodeBatcher" = field(repr=False)
+    done: bool = False
+    seeded_tokens: int = 0
+    queue_wait_s: float = 0.0
+    n_steps: int = 0
+    tokens: list[int] = field(default_factory=list)
+    error: Exception | None = field(default=None, repr=False)
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+    _done_event: threading.Event = field(default_factory=threading.Event,
+                                         repr=False)
+
+    def _finish(self, error: Exception | None = None) -> None:
+        self.error = error
+        self.done = True
+        self._done_event.set()
+
+    def iter_tokens(self):
+        """Yield generated tokens as the batch produces them (streaming).
+
+        Drives the batcher while this ticket is unfinished, so a caller
+        iterating a single ticket makes progress without a separate pump
+        thread; with a server service thread attached, the drive calls
+        return immediately and this just streams.
+        """
+        emitted = 0
+        while True:
+            with self._batcher._lock:
+                n, done, error = len(self.tokens), self.done, self.error
+            while emitted < n:
+                yield self.tokens[emitted]
+                emitted += 1
+            if done:
+                if error is not None:
+                    raise error
+                return
+            self._batcher.step()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """The full generated token sequence (drives the batch if needed)."""
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        while not self.done:
+            self._batcher.step()
+            if deadline is not None and time.perf_counter() > deadline \
+                    and not self.done:
+                raise TimeoutError(
+                    f"decode ticket {self.ticket_id} unfinished after "
+                    f"{timeout} s")
+        if self.error is not None:
+            raise self.error
+        return np.asarray(self.tokens, dtype=np.int64)
+
+
+class _DecodeSlot:
+    """One active row of the running batch (internal to DecodeBatcher)."""
+
+    __slots__ = ("ticket", "next_token", "fed")
+
+    def __init__(self, ticket: DecodeTicket) -> None:
+        self.ticket = ticket
+        self.next_token: int | None = None  # sampled, not yet fed
+        self.fed: list[int] = []            # tokens whose KV is cached
+
+
+class DecodeBatcher:
+    """Continuous-batching autoregressive decoder over one session.
+
+    Owns a batched KV cache of ``policy.max_batch`` slots; active requests
+    occupy the compacted row range ``[0, n_active)`` so every engine step
+    is one ``forward_step`` over basic slices — no per-step gather.  When a
+    sequence finishes, the *last* active row is copied into its slot (a
+    bitwise K/V move) and the freed tail row is reset; under
+    ``refill="continuous"`` the next :meth:`step` immediately admits from
+    the queue into the open slot.
+
+    Every model call — per-request prefill and each batched step — runs
+    with the session trace captured and folds into the session ledger via
+    :meth:`~repro.engine.session.PanaceaSession.record_external` (a batched
+    step is one engine batch with ``coalesced=n_active``), so
+    ``session.stats()`` conservation holds across mixed one-shot + decode
+    traffic.
+
+    Thread-safe with the MicroBatcher's discipline: queue/metrics behind a
+    short state lock, a service lock serializing admission and stepping.
+    """
+
+    def __init__(self, session: PanaceaSession,
+                 policy: DecodePolicy | None = None, *,
+                 clock=time.perf_counter,
+                 prefix_cache: PrefixKVCache | None = None) -> None:
+        model = session.model
+        if not (hasattr(model, "forward_step")
+                and hasattr(model, "new_kv_cache")):
+            raise TypeError(
+                f"{type(model).__name__} has no forward_step/new_kv_cache: "
+                "decode serving needs a causal model (e.g. CausalLM)")
+        session._require_prepared("DecodeBatcher")
+        self.session = session
+        self.policy = policy or DecodePolicy()
+        self.clock = clock
+        if prefix_cache is None and self.policy.prefix_cache_bytes > 0:
+            prefix_cache = PrefixKVCache(self.policy.prefix_cache_bytes)
+        self.prefix_cache = prefix_cache
+        self._caches = None                  # built lazily at first admit
+        self._slots: list[_DecodeSlot] = []  # active rows, compacted
+        self._queue: deque[DecodeTicket] = deque()
+        self._next_id = 0
+        self._lock = threading.Lock()
+        self._service_lock = threading.Lock()
+        # Scheduler-side lifetime metrics.
+        self.queue_wait = LatencyStats()
+        self.step_exec = LatencyStats()
+        self.n_requests = 0      # completed decodes
+        self.n_steps = 0         # batched decode steps (prefills excluded)
+        self.n_prefills = 0
+        self.n_tokens = 0        # tokens generated
+        self.n_failed = 0
+        self._step_width_sum = 0
+        self.peak_active = 0
+
+    # -- intake ---------------------------------------------------------------
+    def submit(self, prompt, *,
+               max_new_tokens: int | None = None) -> DecodeTicket:
+        """Enqueue one prompt for decoding; returns its streaming ticket.
+
+        Nothing executes here — admission happens inside :meth:`step`
+        (driven by ``iter_tokens``/``result`` or a server service loop), so
+        submitters never run the batch.
+        """
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        if prompt.size == 0:
+            raise ValueError("decode needs a non-empty prompt")
+        budget = (self.policy.max_new_tokens if max_new_tokens is None
+                  else max_new_tokens)
+        if budget < 1:
+            raise ValueError(
+                f"max_new_tokens must be >= 1, got {budget}")
+        with self._lock:
+            ticket = DecodeTicket(
+                ticket_id=self._next_id, prompt=prompt,
+                max_new_tokens=budget, submitted_t=self.clock(),
+                _batcher=self)
+            if self.policy.temperature > 0:
+                ticket._rng = np.random.default_rng(
+                    (self.policy.seed, ticket.ticket_id))
+            self._next_id += 1
+            self._queue.append(ticket)
+        return ticket
+
+    @property
+    def depth(self) -> int:
+        """Requests waiting for a slot (not counting active ones)."""
+        return len(self._queue)
+
+    @property
+    def n_active(self) -> int:
+        """Sequences currently holding a slot in the running batch."""
+        return len(self._slots)
+
+    # -- service --------------------------------------------------------------
+    def step(self) -> int:
+        """Advance the running batch by one engine step.
+
+        Admits queued requests into free slots first (per the refill
+        policy), then feeds every active sequence's pending token through
+        one batched ``forward_step``.  Returns the number of sequences that
+        produced a token this call (0 = idle: queue empty and no active
+        work).  Drive it in a loop — ``while batcher.step(): ...`` — or let
+        ticket waiters drive it.
+        """
+        with self._service_lock:
+            produced = self._admit()
+            n = len(self._slots)
+            if n == 0:
+                return produced
+            x = np.array([[slot.next_token] for slot in self._slots],
+                         dtype=np.int64)
+            for slot in self._slots:
+                slot.fed.append(int(slot.next_token))
+                slot.next_token = None
+            session = self.session
+            try:
+                with session._lock:
+                    with session.trace.capture() as records:
+                        t0 = time.perf_counter()
+                        logits = session.model.forward_step(
+                            x, self._caches, rows=slice(0, n))
+                        latency = time.perf_counter() - t0
+                    session.record_external((n, 1), records, latency,
+                                            coalesced=n)
+            except Exception as exc:
+                # An engine failure mid-step poisons every rider's cache row
+                # (their pending tokens are already consumed): fail them all
+                # rather than strand tickets that can never complete.
+                self._fail_all(exc)
+                raise
+            finished = []
+            for i, slot in enumerate(self._slots):
+                tok = self._sample(slot.ticket, logits[i, -1])
+                self._emit(slot, tok)
+                if self._is_done(slot, tok):
+                    finished.append(i)
+                else:
+                    slot.next_token = tok
+            self._retire(finished)
+            with self._lock:
+                self.n_steps += 1
+                self._step_width_sum += n
+                self.step_exec.observe(latency)
+                self.n_tokens += n
+            return produced + n
+
+    def drain(self) -> int:
+        """Run the batch until queue and slots are empty; returns tokens
+        produced."""
+        total = 0
+        while True:
+            produced = self.step()
+            if produced == 0:
+                return total
+            total += produced
+
+    def _admit(self) -> int:
+        """Move queued requests into free slots; returns tokens produced
+        (each admission's prefill samples that request's first token).
+        Caller holds the service lock."""
+        produced = 0
+        with self._lock:
+            # Decide once per admit pass: static batching ("drain") opens
+            # admission only when the batch comes up empty, but then fills
+            # every slot — deciding per ticket would collapse it to
+            # batches of one.
+            can_refill = (self.policy.refill == "continuous"
+                          or not self._slots)
+        while True:
+            with self._lock:
+                if (not self._queue or not can_refill
+                        or len(self._slots) >= self.policy.max_batch):
+                    return produced
+                ticket = self._queue.popleft()
+            try:
+                produced += self._prefill(ticket)
+            except Exception as exc:
+                ticket._finish(error=exc)
+                with self._lock:
+                    self.n_failed += 1
+                raise
+
+    def _ensure_caches(self):
+        if self._caches is None:
+            self._caches = self.session.model.new_kv_cache(
+                self.policy.max_batch, capacity=self.policy.capacity)
+        return self._caches
+
+    def _prefill(self, ticket: DecodeTicket) -> int:
+        """Admit one request into the next free row: seed from the prefix
+        cache when possible, prefill the unseen suffix, sample its first
+        token.  Caller holds the service lock."""
+        caches = self._ensure_caches()
+        row = len(self._slots)
+        slot = _DecodeSlot(ticket)
+        prompt = ticket.prompt
+        seeded = 0
+        if self.prefix_cache is not None:
+            hit = self.prefix_cache.lookup(prompt)
+            if hit is not None:
+                seeded, snapshot = hit
+                for cache, (k, v) in zip(caches, snapshot):
+                    cache.load_row(row, k, v)
+                ticket.seeded_tokens = seeded
+        slot.fed.extend(int(t) for t in prompt[:seeded])
+        suffix = prompt[seeded:]
+        session = self.session
+        with session._lock:
+            with session.trace.capture() as records:
+                t0 = time.perf_counter()
+                logits = session.model.forward_step(
+                    suffix.reshape(1, -1), caches,
+                    rows=slice(row, row + 1))
+                latency = time.perf_counter() - t0
+            session.record_external((1, int(suffix.size)), records, latency)
+        slot.fed.extend(int(t) for t in suffix)
+        now = self.clock()
+        ticket.queue_wait_s = max(0.0, now - ticket.submitted_t)
+        self._slots.append(slot)
+        if self.prefix_cache is not None and seeded < prompt.size:
+            # Record the full prompt's KV so future prompts sharing it
+            # (conversation turns, shared system prompts) skip its prefill.
+            self.prefix_cache.put(
+                prompt, [cache.snapshot_row(row) for cache in caches])
+        tok = self._sample(ticket, logits[0, -1])
+        self._emit(slot, tok)
+        with self._lock:
+            self.n_prefills += 1
+            self.queue_wait.observe(ticket.queue_wait_s)
+            self.peak_active = max(self.peak_active, len(self._slots))
+        if self._is_done(slot, tok):
+            self._retire([len(self._slots) - 1])
+        else:
+            slot.next_token = tok
+        return 1
+
+    def _sample(self, ticket: DecodeTicket, logits: np.ndarray) -> int:
+        if self.policy.temperature == 0.0:
+            return int(np.argmax(logits))
+        z = logits / self.policy.temperature
+        z = z - np.max(z)
+        p = np.exp(z)
+        p /= p.sum()
+        return int(ticket._rng.choice(len(p), p=p))
+
+    def _emit(self, slot: _DecodeSlot, tok: int) -> None:
+        with self._lock:
+            slot.ticket.tokens.append(tok)
+            slot.ticket.n_steps += 1
+
+    def _is_done(self, slot: _DecodeSlot, tok: int) -> bool:
+        return (len(slot.ticket.tokens) >= slot.ticket.max_new_tokens
+                or tok == self.policy.eos_token)
+
+    def _retire(self, rows: list[int]) -> None:
+        """Finish and compact the given rows (ascending). Caller holds the
+        service lock."""
+        for row in sorted(rows, reverse=True):
+            slot = self._slots[row]
+            if self.prefix_cache is not None and slot.fed:
+                # The completed sequence's cached positions are a reusable
+                # prefix for any continuation of this conversation.
+                self.prefix_cache.put(
+                    slot.fed,
+                    [cache.snapshot_row(row) for cache in self._caches])
+            last = len(self._slots) - 1
+            if row != last:
+                for cache in self._caches:
+                    cache.copy_row(last, row)
+                self._slots[row] = self._slots[last]
+            for cache in self._caches:
+                cache.reset_row(last)
+            self._slots.pop()
+            with self._lock:
+                self.n_requests += 1
+            slot.ticket._finish()
+
+    def _fail_all(self, exc: Exception) -> None:
+        """Fail every active ticket after an engine error mid-step."""
+        for slot in self._slots:
+            slot.ticket._finish(error=exc)
+        with self._lock:
+            self.n_failed += len(self._slots)
+        for cache in self._caches or []:
+            for row in range(len(self._slots)):
+                cache.reset_row(row)
+        self._slots.clear()
+
+    # -- observability --------------------------------------------------------
+    def queue_wait_view(self) -> LatencyStats:
+        """A consistent copy of the admission-wait accumulator."""
+        with self._lock:
+            return LatencyStats(max_samples=self.queue_wait.max_samples) \
+                .merge(self.queue_wait)
+
+    def stats(self) -> dict:
+        """Scheduler summary: slots, step widths, waits, prefix-cache view."""
+        with self._lock:
+            stats = {
+                "n_requests": self.n_requests,
+                "n_steps": self.n_steps,
+                "n_prefills": self.n_prefills,
+                "n_tokens": self.n_tokens,
+                "n_failed": self.n_failed,
+                "depth": len(self._queue),
+                "n_active": len(self._slots),
+                "peak_active": self.peak_active,
+                "mean_step_width": (self._step_width_sum / self.n_steps
+                                    if self.n_steps else 0.0),
+                "queue_wait": self.queue_wait.summary(),
+                "step_exec": self.step_exec.summary(),
+                "policy": {
+                    "max_batch": self.policy.max_batch,
+                    "max_new_tokens": self.policy.max_new_tokens,
+                    "refill": self.policy.refill,
+                    "temperature": self.policy.temperature,
+                    "eos_token": self.policy.eos_token,
+                    "prefix_cache_bytes": self.policy.prefix_cache_bytes,
+                },
+            }
+        if self.prefix_cache is not None:
+            stats["prefix_cache"] = self.prefix_cache.stats()
         return stats

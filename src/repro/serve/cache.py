@@ -12,6 +12,13 @@ array *is* the array the engine produced.
 Keys hash the full request content (dtype, shape, bytes) with BLAKE2b, so
 two requests collide only if they are byte-identical — exactly the case
 where returning the recorded output is correct.
+
+:class:`PrefixKVCache` is the autoregressive sibling: instead of whole-request
+outputs it records per-layer K/V snapshots keyed by *token prefixes*, and a
+lookup returns the longest cached prefix of a new prompt — seeding a decode's
+KV cache so only the unseen suffix is prefetched.  Exact by the causal
+property: position ``j``'s K/V depend only on tokens ``<= j``, so a shared
+prefix's cache rows are identical whatever follows.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["ResultCache", "request_key"]
+__all__ = ["PrefixKVCache", "ResultCache", "request_key"]
 
 
 def request_key(x: np.ndarray) -> str:
@@ -63,12 +70,20 @@ class ResultCache:
         self.insertions = 0
         self.evictions = 0
 
-    def get(self, x: np.ndarray, *,
-            key: str | None = None) -> np.ndarray | None:
+    def get(self, x: np.ndarray, *, key: str | None = None,
+            copy: bool = True) -> np.ndarray | None:
         """The recorded output for a byte-identical past request, or None.
 
         ``key`` accepts a precomputed :func:`request_key` so callers that
         hash once at intake (the batcher) don't pay the hash again here.
+
+        ``copy=False`` skips the per-hit memcpy and returns the stored
+        array itself — safe because entries are frozen read-only
+        (``writeable=False``) at insertion and eviction only drops the dict
+        reference, never the buffer.  Callers that hand results straight to
+        consumers who treat them as immutable (the batcher's cache
+        short-circuit) take this fast path; callers that mutate their
+        results keep the default copying contract.
         """
         key = request_key(x) if key is None else key
         with self._lock:
@@ -78,6 +93,8 @@ class ResultCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+        if not copy:
+            return cached
         # A copy per hit: the stored array must survive caller mutation.
         # Copied *outside* the lock — stored entries are immutable
         # (write=False) and eviction only drops the dict reference, so
@@ -139,4 +156,111 @@ class ResultCache:
                 "hit_rate": self.hits / lookups if lookups else 0.0,
                 "insertions": self.insertions,
                 "evictions": self.evictions,
+            }
+
+
+class PrefixKVCache:
+    """Bounded LRU map from token prefixes to per-layer KV snapshots.
+
+    Entries are keyed by the exact token tuple they cover; :meth:`lookup`
+    walks a new prompt's prefixes longest-first and returns the longest
+    cached one (never the whole prompt — reusing *everything* would leave
+    the decode nothing to prefill, and the last position's logits are
+    needed to sample).  Snapshots are stored as the per-layer ``(K, V)``
+    copies :meth:`~repro.engine.session.DecodeSession.snapshot` produces and
+    handed back by reference; adopters copy into their own buffers
+    (``LayerKVCache.load_row``), so stored arrays are never aliased by live
+    decode writes.
+
+    ``max_bytes`` bounds the summed snapshot footprint with LRU eviction,
+    mirroring :class:`ResultCache`.  Thread-safe; ``hits``/``misses``/
+    ``seeded_tokens`` are the lifetime counters the server metrics surface.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, list] = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.seeded_tokens = 0
+
+    @staticmethod
+    def _snapshot_bytes(snapshot: list) -> int:
+        return sum(k.nbytes + v.nbytes for k, v in snapshot)
+
+    def put(self, tokens, snapshot: list) -> bool:
+        """Record one prefix's per-layer ``(K, V)`` snapshot list."""
+        key = tuple(int(t) for t in tokens)
+        if not key or not snapshot:
+            return False
+        if len(key) != snapshot[0][0].shape[1]:
+            raise ValueError(
+                f"snapshot covers {snapshot[0][0].shape[1]} positions but "
+                f"the key has {len(key)} tokens")
+        size = self._snapshot_bytes(snapshot)
+        if size > self.max_bytes:
+            return False
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self.current_bytes -= self._snapshot_bytes(previous)
+            self._entries[key] = snapshot
+            self.current_bytes += size
+            self.insertions += 1
+            while self.current_bytes > self.max_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self.current_bytes -= self._snapshot_bytes(evicted)
+                self.evictions += 1
+        return True
+
+    def lookup(self, tokens) -> tuple[int, list] | None:
+        """Longest cached *proper* prefix of ``tokens``: ``(length,
+        snapshot)``, or None.
+
+        Walks candidate lengths descending, so the cost is one tuple hash
+        per candidate — O(T) hashes of O(T) tuples, trivial next to the
+        O(T·d²) prefill it saves.
+        """
+        key = tuple(int(t) for t in tokens)
+        with self._lock:
+            for n in range(len(key) - 1, 0, -1):
+                snapshot = self._entries.get(key[:n])
+                if snapshot is not None:
+                    self._entries.move_to_end(key[:n])
+                    self.hits += 1
+                    self.seeded_tokens += n
+                    return n, snapshot
+            self.misses += 1
+            return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Dashboard dict mirroring :meth:`ResultCache.stats` plus the
+        decode-specific ``seeded_tokens`` total."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "bytes": self.current_bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "insertions": self.insertions,
+                "evictions": self.evictions,
+                "seeded_tokens": self.seeded_tokens,
             }

@@ -119,7 +119,12 @@ class ServerMetrics:
     execution/stall latency view (``None`` when nothing is sharded) — the
     dashboard that answers "which stage is the pipeline's bottleneck?";
     a process-per-stage pipeline's view also carries its ``stage_edges``
-    transport counters.
+    transport counters; ``decode`` sums every deployment's
+    continuous-batching decoder counters (completed decodes, engine steps,
+    generated tokens, failures — ``None`` when nothing decoded) and
+    ``prefix_cache`` the decoders' longest-prefix KV caches, whose
+    ``hits``/``misses``/``seeded_tokens`` are conserved against the
+    per-deployment stats embedded under ``deployments``.
     """
 
     n_deployments: int
@@ -134,6 +139,8 @@ class ServerMetrics:
     process_workers: dict | None = None
     cache: dict | None = None
     pipelines: dict | None = None
+    decode: dict | None = None
+    prefix_cache: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -158,5 +165,7 @@ class ServerMetrics:
             "process_workers": self.process_workers,
             "cache": self.cache,
             "pipelines": self.pipelines,
+            "decode": self.decode,
+            "prefix_cache": self.prefix_cache,
             "deployments": self.deployments,
         }

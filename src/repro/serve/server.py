@@ -41,7 +41,8 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..engine.session import PanaceaSession
-from .batching import BatchPolicy, MicroBatcher, Ticket
+from .batching import (BatchPolicy, DecodeBatcher, DecodePolicy, DecodeTicket,
+                       MicroBatcher, Ticket)
 from .metrics import LatencyStats, ServerMetrics
 from .pool import BackendCapabilityError, WorkerPool
 
@@ -68,6 +69,12 @@ class ModelEntry:
     #: remote or not — stay False: their sessions release their own
     #: backend resources in ``close()``.
     remote: bool = False
+    #: The deployment's continuous-batching decoder, created lazily by the
+    #: first ``submit_decode`` (None until then, and forever on deployments
+    #: whose model has no incremental path).
+    decoder: DecodeBatcher | None = None
+    #: The decode policy the lazy decoder will be built with.
+    decode_policy: DecodePolicy | None = None
 
     @property
     def policy(self) -> BatchPolicy:
@@ -92,6 +99,8 @@ class ModelEntry:
         }
         if self.sharded:
             stats["pipeline"] = self.session.stage_stats()
+        if self.decoder is not None:
+            stats["decode"] = self.decoder.stats()
         return stats
 
 
@@ -118,7 +127,8 @@ class ModelServer:
     def __init__(self, default_policy: BatchPolicy | None = None, *,
                  clock=None, workers: int = 0, cache_bytes: int = 0,
                  backend: str = "thread",
-                 blas_threads: int | None = None) -> None:
+                 blas_threads: int | None = None,
+                 default_decode_policy: DecodePolicy | None = None) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if cache_bytes < 0:
@@ -131,6 +141,7 @@ class ModelServer:
                 "backend='process' needs workers >= 1 (the process pool "
                 "size); workers=0 is inline thread serving")
         self.default_policy = default_policy or BatchPolicy()
+        self.default_decode_policy = default_decode_policy or DecodePolicy()
         self.cache_bytes = cache_bytes
         self.backend = backend
         self._clock = clock
@@ -286,7 +297,8 @@ class ModelServer:
                  shard_plan=None, depth: int = 2, shard_sample=None,
                  stage_workers: int | None = None,
                  model_name: str | None = None, model_factory=None,
-                 store_path=None, model_seed: int = 0) -> ModelEntry:
+                 store_path=None, model_seed: int = 0,
+                 decode_policy: DecodePolicy | None = None) -> ModelEntry:
         """Host a prepared session under ``name``.
 
         The session must already be calibrated (or explicitly built with
@@ -344,7 +356,8 @@ class ModelServer:
             name=name, session=session,
             batcher=MicroBatcher(session, self._effective_policy(policy),
                                  **kwargs),
-            remote=remote)
+            remote=remote,
+            decode_policy=decode_policy or self.default_decode_policy)
         with self._entries_lock:
             if name in self._entries:
                 raise ValueError(f"model {name!r} is already registered")
@@ -358,7 +371,8 @@ class ModelServer:
                      policy: BatchPolicy | None = None,
                      max_records: int | None = None, shards: int = 0,
                      depth: int = 2,
-                     stage_workers: int | None = None) -> ModelEntry:
+                     stage_workers: int | None = None,
+                     decode_policy: DecodePolicy | None = None) -> ModelEntry:
         """Build, calibrate and host one proxy-zoo model variant.
 
         The convenience path the CLI and benchmarks use: builds the runnable
@@ -367,6 +381,8 @@ class ModelServer:
         server default with the proxy's natural ``pad_axis`` applied.
         ``shards >= 2`` deploys pipelined: the auto-partitioner balances the
         stages on a measured profile of one synthetic batch.
+        ``decode_policy`` configures the deployment's continuous-batching
+        decoder (LM proxies only; created lazily on first decode submit).
         """
         from ..core.pipeline import PtqConfig
         from ..models.zoo import PROXY_SPECS, build_proxy, proxy_batches
@@ -386,7 +402,8 @@ class ModelServer:
                              self._policy_for_proxy(policy, model_name),
                              shards=shards, depth=depth, shard_sample=sample,
                              stage_workers=stage_workers,
-                             model_name=model_name, model_seed=seed)
+                             model_name=model_name, model_seed=seed,
+                             decode_policy=decode_policy)
 
     def _policy_for_proxy(self, policy: BatchPolicy | None,
                           model_name: str | None) -> BatchPolicy:
@@ -454,6 +471,8 @@ class ModelServer:
         """
         entry = self._get(name)
         entry.batcher.flush()
+        if entry.decoder is not None:
+            entry.decoder.drain()
         with self._entries_lock:
             self._entries.pop(name, None)
         if entry.sharded:
@@ -482,6 +501,8 @@ class ModelServer:
             for entry in entries:
                 try:
                     entry.batcher.flush()
+                    if entry.decoder is not None:
+                        entry.decoder.drain()
                 except Exception as exc:  # noqa: BLE001 — re-raised below
                     if first_error is None:
                         first_error = exc
@@ -588,6 +609,54 @@ class ModelServer:
         future.ticket = ticket
         return future
 
+    # -- decode path ----------------------------------------------------------
+    def _decoder(self, name: str) -> DecodeBatcher:
+        """The deployment's decoder, created on first use.
+
+        Decode runs the model's incremental ``forward_step`` against live
+        KV state in the scheduler's process, so it is a thread-backend,
+        unsharded capability: process-backed deployments execute in worker
+        processes that only expose one-shot forwards, and sharded sessions
+        split the layer chain across stages — both refuse with
+        :class:`BackendCapabilityError` rather than silently recomputing
+        the prefix every step.
+        """
+        entry = self._get(name)
+        if entry.decoder is None:
+            if entry.remote or self._proc_pool is not None:
+                raise BackendCapabilityError(
+                    f"deployment {name!r} executes on backend='process'; "
+                    "incremental decode needs in-process KV state — deploy "
+                    "on the thread backend to decode")
+            if entry.sharded:
+                raise BackendCapabilityError(
+                    f"deployment {name!r} is sharded; incremental decode "
+                    "needs the whole layer chain in one session")
+            kwargs = {} if self._clock is None else {"clock": self._clock}
+            entry.decoder = DecodeBatcher(entry.session, entry.decode_policy,
+                                          **kwargs)
+        return entry.decoder
+
+    def submit_decode(self, name: str, prompt, *,
+                      max_new_tokens: int | None = None) -> DecodeTicket:
+        """Enqueue one prompt for autoregressive decoding on ``name``.
+
+        Returns a :class:`DecodeTicket`: ``result()`` blocks for the full
+        generation, ``iter_tokens()`` streams tokens as the continuous
+        batch produces them.  Requests submitted together share the
+        running batch step by step — joining and leaving mid-flight — and
+        every sequence's tokens are exactly what it would produce decoding
+        alone.
+        """
+        return self._decoder(name).submit(prompt,
+                                          max_new_tokens=max_new_tokens)
+
+    def decode_stream(self, name: str, prompt, *,
+                      max_new_tokens: int | None = None):
+        """Submit and stream: yields tokens as they are generated."""
+        return self.submit_decode(
+            name, prompt, max_new_tokens=max_new_tokens).iter_tokens()
+
     def submit_many(self, name: str, xs) -> list[Ticket]:
         """Enqueue a request list (batches fire as they fill)."""
         return [self.submit(name, x) for x in xs]
@@ -615,14 +684,29 @@ class ModelServer:
         runtime's core path: every deployment's engine executes its
         micro-batches simultaneously while each session stays internally
         serialized, so outputs are bit-exact vs a serial drain.
+
+        Decode queues drain too (their running batches step to completion);
+        the returned count covers one-shot requests only — decode progress
+        is visible as tokens under ``stats()['decode']``.
         """
         if name is not None:
-            return self._get(name).batcher.flush()
-        batchers = [entry.batcher for entry in self._snapshot()]
-        if self._pool is not None and len(batchers) > 1:
+            entry = self._get(name)
+            served = entry.batcher.flush()
+            if entry.decoder is not None:
+                entry.decoder.drain()
+            return served
+        entries = self._snapshot()
+
+        def drain_entry(entry: ModelEntry) -> int:
+            served = entry.batcher.flush()
+            if entry.decoder is not None:
+                entry.decoder.drain()
+            return served
+
+        if self._pool is not None and len(entries) > 1:
             return self._drain_fanout(
-                [lambda b=b: b.flush() for b in batchers])
-        return sum(b.flush() for b in batchers)
+                [lambda e=e: drain_entry(e) for e in entries])
+        return sum(drain_entry(e) for e in entries)
 
     # -- observability --------------------------------------------------------
     def __contains__(self, name: str) -> bool:
@@ -671,6 +755,26 @@ class ModelServer:
             lookups = cache_totals["hits"] + cache_totals["misses"]
             cache_totals["hit_rate"] = (cache_totals["hits"] / lookups
                                         if lookups else 0.0)
+        decoders = [d["decode"] for d in deployments.values()
+                    if "decode" in d]
+        decode_totals = None
+        prefix_totals = None
+        if decoders:
+            decode_totals = {
+                key: sum(dec[key] for dec in decoders)
+                for key in ("n_requests", "n_steps", "n_prefills",
+                            "n_tokens", "n_failed", "depth", "n_active")}
+            prefixes = [dec["prefix_cache"] for dec in decoders
+                        if "prefix_cache" in dec]
+            if prefixes:
+                prefix_totals = {
+                    key: sum(p[key] for p in prefixes)
+                    for key in ("entries", "bytes", "max_bytes", "hits",
+                                "misses", "insertions", "evictions",
+                                "seeded_tokens")}
+                lookups = prefix_totals["hits"] + prefix_totals["misses"]
+                prefix_totals["hit_rate"] = (
+                    prefix_totals["hits"] / lookups if lookups else 0.0)
         return ServerMetrics(
             n_deployments=len(deployments),
             n_requests=sum(s["n_requests"] for s in schedulers),
@@ -685,4 +789,6 @@ class ModelServer:
                              if self._proc_pool is not None else None),
             cache=cache_totals,
             pipelines=pipelines or None,
+            decode=decode_totals,
+            prefix_cache=prefix_totals,
         )

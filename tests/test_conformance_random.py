@@ -499,6 +499,106 @@ class TestShardedProcessFuzz:
                     f"(seed={BASE_SEED})"
 
 
+def _decode_lm_case(engine_name, granularity, exec_path, rng):
+    """A calibrated causal-LM session with randomized shape, deterministic.
+
+    Alternates GPT and Llama (GQA) blocks so both cache layouts fuzz.
+    """
+    from repro.nn import CausalLM
+
+    n_heads = int(rng.choice([2, 4]))
+    dim = n_heads * int(rng.integers(4, 10))
+    vocab = int(rng.integers(48, 128))
+    block = "llama" if int(rng.integers(2)) else "gpt"
+    model = CausalLM(vocab, dim, int(rng.integers(1, 3)), n_heads,
+                     int(rng.integers(16, 48)), block=block,
+                     n_kv_heads=(n_heads // 2 if block == "llama" else None),
+                     seed=int(rng.integers(0, 2 ** 31)))
+    config = PtqConfig.for_scheme(engine_name, exec_path=exec_path,
+                                  w_granularity=granularity)
+    calibration = [rng.integers(0, vocab, (2, 12)) for _ in range(2)]
+    return PanaceaSession(model, config, calibration=calibration), \
+        vocab, block
+
+
+class TestDecodeFuzz:
+    """KV-cached step decode equals the one-shot forward: all four engines
+    x both granularities x both exec paths over randomized causal LMs.
+
+    The quantized engines are held to strict bit-equality — integer-valued
+    float64 accumulation plus in-order einsum reductions make the cached
+    path association-proof.  The fp32 reference runs plain BLAS Linears
+    whose summation tree shifts with the fused sequence length, so it gets
+    the documented allclose(1e-12) carve-out.
+    """
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_step_decode_equals_one_shot(self, engine_name, granularity):
+        from repro.engine import DecodeSession
+
+        rng = _rng(12, hash(engine_name) & 0xFFFF,
+                   hash(granularity) & 0xFFFF)
+        for exec_path in ("fast", "sliced"):
+            session, vocab, block = _decode_lm_case(
+                engine_name, granularity, exec_path, rng)
+            decoder = DecodeSession(session)
+            prompt_len = int(rng.integers(2, 8))
+            prompt = rng.integers(0, vocab, prompt_len)
+            step_logits = [decoder.prefill(prompt)]
+            tok = decoder.sample(step_logits[-1])
+            for _ in range(4):
+                step_logits.append(decoder.step(tok))
+                tok = decoder.sample(step_logits[-1])
+            label = (f"{engine_name}/{granularity}/{exec_path} "
+                     f"block={block} seed={BASE_SEED}")
+            for i, got in enumerate(step_logits):
+                ids = np.asarray([decoder.tokens[:prompt_len + i]],
+                                 dtype=np.int64)
+                expect = session.run(ids)[0, -1]
+                _assert_outputs_match(got, expect, engine_name,
+                                      f"{label}: step {i} != one-shot")
+
+    @pytest.mark.parametrize("engine_name",
+                             ("int8_dense", "sibia", "aqs"))
+    def test_batched_decode_equals_solo(self, engine_name):
+        """Continuous-batched decode emits exactly the tokens each request
+        would produce decoding alone.
+
+        Quantized engines only: ragged rows change the fp32 reference's
+        fused BLAS widths (the allclose carve-out), and a 1e-12 logit
+        wobble could flip an argmax tie — token equality is only a
+        contract where the logits are bit-exact.
+        """
+        from repro.engine import DecodeSession
+        from repro.serve import DecodeBatcher, DecodePolicy
+
+        rng = _rng(13, hash(engine_name) & 0xFFFF)
+        session, vocab, block = _decode_lm_case(
+            engine_name, "per_tensor", "fast", rng)
+        prompts = [rng.integers(0, vocab, int(rng.integers(2, 9)))
+                   for _ in range(6)]
+        max_new = [int(rng.integers(2, 7)) for _ in prompts]
+
+        solo = []
+        for prompt, m in zip(prompts, max_new):
+            ref_session, _, _ = _decode_lm_case(
+                engine_name, "per_tensor", "fast",
+                _rng(13, hash(engine_name) & 0xFFFF))
+            solo.append(DecodeSession(ref_session).generate(prompt, m))
+
+        batcher = DecodeBatcher(session,
+                                DecodePolicy(max_batch=3,
+                                             max_new_tokens=max(max_new)))
+        tickets = [batcher.submit(p, max_new_tokens=m)
+                   for p, m in zip(prompts, max_new)]
+        batcher.drain()
+        for i, (ticket, expect) in enumerate(zip(tickets, solo)):
+            assert ticket.result().tolist() == expect, (
+                f"{engine_name} block={block}: batched decode of request "
+                f"{i} differs from solo (seed={BASE_SEED})")
+
+
 class TestCacheConformance:
     @pytest.mark.parametrize("engine_name", ENGINES)
     def test_cache_hits_are_bit_exact(self, engine_name):

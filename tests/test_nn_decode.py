@@ -1,0 +1,171 @@
+"""KV-cache mechanics and incremental-forward exactness at the nn layer.
+
+The decode stack's foundation: :class:`~repro.nn.attention.LayerKVCache`
+(preallocated, geometrically grown, slot-compacted K/V buffers) and
+``forward_step`` on :class:`~repro.nn.CausalLM` /
+:class:`~repro.nn.attention.MultiHeadAttention`.  Everything above —
+:class:`DecodeSession`, :class:`DecodeBatcher`, the server routing — relies
+on the invariants pinned here: appended steps reproduce the full forward
+(to machine precision on the raw float model; strictly bit-exact through
+the quantized engines, see ``TestDecodeFuzz`` in the conformance suite),
+growth preserves content, rows compact and reset cleanly, and non-causal
+attention refuses the incremental API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import CausalLM, LayerKVCache
+from repro.nn.attention import MultiHeadAttention
+
+
+def _float_model(block="gpt", n_layers=2, n_heads=4, dim=32, vocab=64,
+                 seed=0):
+    return CausalLM(vocab, dim, n_layers, n_heads, 48, block=block,
+                    n_kv_heads=(2 if block == "llama" else None), seed=seed)
+
+
+class TestLayerKVCache:
+    def test_zeros_init_and_shapes(self):
+        cache = LayerKVCache(3, 2, 8, capacity=4)
+        assert cache.rows == 3
+        assert cache.capacity == 4
+        assert cache.k.shape == (3, 2, 4, 8)
+        assert cache.v.shape == (3, 2, 4, 8)
+        assert not cache.k.any() and not cache.v.any()
+        assert cache.lengths.tolist() == [0, 0, 0]
+
+    def test_append_advances_lengths(self):
+        cache = LayerKVCache(2, 2, 4, capacity=4)
+        k = np.ones((2, 2, 1, 4))
+        cache.append(k, 2 * k)
+        assert cache.lengths.tolist() == [1, 1]
+        assert np.array_equal(cache.k[:, :, 0], k[:, :, 0])
+        assert np.array_equal(cache.v[:, :, 0], 2 * k[:, :, 0])
+
+    def test_geometric_growth_preserves_content(self):
+        cache = LayerKVCache(2, 2, 4, capacity=2)
+        rng = np.random.default_rng(0)
+        steps = [rng.normal(size=(2, 2, 1, 4)) for _ in range(7)]
+        for k in steps:
+            cache.append(k, -k)
+        assert cache.capacity >= 7
+        assert cache.lengths.tolist() == [7, 7]
+        for t, k in enumerate(steps):
+            assert np.array_equal(cache.k[:, :, t], k[:, :, 0])
+            assert np.array_equal(cache.v[:, :, t], -k[:, :, 0])
+        # Unwritten tail stays zero — the trailing-zero exactness invariant.
+        assert not cache.k[:, :, 7:].any()
+
+    def test_ragged_rows_append(self):
+        """A rows slice appends only into those slots; others untouched."""
+        cache = LayerKVCache(3, 1, 2, capacity=4)
+        full = np.ones((3, 1, 1, 2))
+        cache.append(full, full)
+        sub = 5.0 * np.ones((1, 1, 1, 2))
+        cache.append(sub, sub, rows=slice(1, 2))
+        assert cache.lengths.tolist() == [1, 2, 1]
+        assert np.array_equal(cache.k[1, 0, 1], [5.0, 5.0])
+        assert not cache.k[0, 0, 1:].any()
+
+    def test_copy_and_reset_row(self):
+        cache = LayerKVCache(2, 1, 2, capacity=2)
+        k = np.arange(4, dtype=np.float64).reshape(2, 1, 1, 2)
+        cache.append(k, k)
+        cache.copy_row(1, 0)
+        assert np.array_equal(cache.k[0], cache.k[1])
+        assert cache.lengths[0] == cache.lengths[1]
+        cache.reset_row(1)
+        assert cache.lengths[1] == 0
+        # Stale K/V may remain past the length — they stay masked (the
+        # additive -inf mask zeroes their attention weight exactly), so
+        # reset only has to drop the length.
+        k_snap, v_snap = cache.snapshot_row(1)
+        assert k_snap.shape[1] == 0 and v_snap.shape[1] == 0
+
+    def test_load_and_snapshot_row_round_trip(self):
+        cache = LayerKVCache(2, 2, 4, capacity=2)
+        rng = np.random.default_rng(1)
+        k = rng.normal(size=(2, 5, 4))
+        v = rng.normal(size=(2, 5, 4))
+        cache.load_row(0, k, v)
+        assert cache.lengths[0] == 5
+        got_k, got_v = cache.snapshot_row(0)
+        assert np.array_equal(got_k, k) and np.array_equal(got_v, v)
+        # Snapshots are owned copies, not views into the live buffer.
+        got_k[...] = 0.0
+        assert cache.k[0, :, :5].any()
+
+    def test_nbytes_tracks_buffers(self):
+        cache = LayerKVCache(1, 1, 8, capacity=4)
+        assert cache.nbytes == cache.k.nbytes + cache.v.nbytes
+
+
+class TestForwardStep:
+    @pytest.mark.parametrize("block", ["gpt", "llama"])
+    def test_step_matches_full_forward(self, block):
+        """Float model, batch 1: stepping token by token reproduces the
+        full forward's logits to machine precision.
+
+        The attention einsums are length-stable, but the float model's
+        Linears run plain BLAS matmuls whose summation trees shift with
+        the fused row count — so the raw float model gets allclose(1e-12),
+        while *strict* bit-equality is the quantized engines' property
+        (locked down in ``tests/test_conformance_random.py``'s
+        ``TestDecodeFuzz``, where integer-valued float64 accumulation
+        makes every association exact).
+        """
+        model = _float_model(block=block)
+        rng = np.random.default_rng(2)
+        ids = rng.integers(0, 64, (1, 9))
+        full = model.forward(ids)
+        caches = model.new_kv_cache(1, capacity=2)
+        stepped = [model.forward_step(ids[:, :3], caches)]
+        for t in range(3, 9):
+            stepped.append(model.forward_step(ids[:, t:t + 1], caches))
+        got = np.concatenate(stepped, axis=1)
+        assert np.allclose(got, full, rtol=1e-12, atol=1e-12), (
+            f"{block}: step != full forward")
+
+    @pytest.mark.parametrize("block", ["gpt", "llama"])
+    def test_ragged_batch_rows_match_solo(self, block):
+        """Rows at different cached lengths stepping together equal each
+        row stepping alone — the continuous-batching substrate."""
+        model = _float_model(block=block)
+        rng = np.random.default_rng(3)
+        prompts = [rng.integers(0, 64, (1, n)) for n in (3, 7, 5)]
+
+        solo_logits = []
+        for prompt in prompts:
+            caches = model.new_kv_cache(1, capacity=2)
+            model.forward_step(prompt, caches)
+            tok = rng.integers(0, 64, (1, 1))
+            solo_logits.append(model.forward_step(tok, caches))
+            prompt_tok = tok
+            del prompt_tok
+
+        rng = np.random.default_rng(3)
+        prompts = [rng.integers(0, 64, (1, n)) for n in (3, 7, 5)]
+        caches = model.new_kv_cache(3, capacity=2)
+        for i, prompt in enumerate(prompts):
+            model.forward_step(prompt, caches, rows=slice(i, i + 1))
+        toks = np.concatenate([rng.integers(0, 64, (1, 1))
+                               for _ in prompts], axis=0)
+        batched = model.forward_step(toks, caches, rows=slice(0, 3))
+        for i, expect in enumerate(solo_logits):
+            assert np.allclose(batched[i:i + 1], expect,
+                               rtol=1e-12, atol=1e-12), (
+                f"{block}: ragged row {i} differs from solo decode")
+
+    def test_non_causal_attention_refuses_step(self):
+        attn = MultiHeadAttention(16, 4, causal=False,
+                                  rng=np.random.default_rng(0))
+        cache = attn.new_kv_cache(1)
+        with pytest.raises(ValueError, match="causal"):
+            attn.forward_step(np.zeros((1, 1, 16)), cache)
+
+    def test_new_kv_cache_one_per_block(self):
+        model = _float_model(n_layers=3)
+        caches = model.new_kv_cache(2, capacity=8)
+        assert len(caches) == 3
+        assert all(c.rows == 2 and c.capacity == 8 for c in caches)

@@ -73,6 +73,55 @@ class TestHitMiss:
         assert len(cache) == 1
         assert np.array_equal(cache.get(x), _arr(3))
 
+    def test_copy_false_returns_frozen_stored_array(self):
+        """The zero-copy fast path hands back the stored entry itself:
+        no memcpy per hit, and the read-only flag keeps it safe."""
+        cache = ResultCache(1 << 20)
+        x, out = _arr(1), _arr(2)
+        cache.put(x, out)
+        view = cache.get(x, copy=False)
+        assert np.array_equal(view, out)
+        assert view.flags.writeable is False
+        with pytest.raises(ValueError):
+            view[0, 0] = 9.0
+        # Same buffer on every zero-copy hit — it IS the stored entry.
+        assert cache.get(x, copy=False) is view
+        # The default path still returns a private writable copy.
+        copied = cache.get(x)
+        assert copied is not view and copied.flags.writeable
+        copied[:] = 0.0
+        assert np.array_equal(cache.get(x, copy=False), out)
+
+    def test_copy_false_survives_eviction(self):
+        """Eviction drops the dict reference, never the buffer: a view
+        handed out before eviction stays valid and unchanged."""
+        out = _arr(2, shape=(8, 8))
+        cache = ResultCache(out.nbytes + 8)
+        x = _arr(1)
+        cache.put(x, out)
+        view = cache.get(x, copy=False)
+        cache.put(_arr(3), _arr(4, shape=(8, 8)))  # evicts the first entry
+        assert cache.get(x) is None
+        assert np.array_equal(view, out)
+
+    def test_copy_false_counts_hits(self):
+        cache = ResultCache(1 << 20)
+        x = _arr(1)
+        cache.put(x, _arr(2))
+        cache.get(x, copy=False)
+        cache.get(x, copy=False)
+        assert cache.hits == 2 and cache.misses == 0
+
+    def test_precomputed_key_skips_rehash(self):
+        """Callers that hash at intake pass ``key=`` and get the same
+        entry back on both paths."""
+        cache = ResultCache(1 << 20)
+        x, out = _arr(1), _arr(2)
+        key = request_key(x)
+        cache.put(x, out, key=key)
+        assert np.array_equal(cache.get(x, key=key), out)
+        assert cache.get(x, key=key, copy=False).flags.writeable is False
+
 
 class TestByteBudget:
     def test_lru_eviction_under_budget(self):
