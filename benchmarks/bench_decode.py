@@ -46,7 +46,8 @@ import argparse
 import os
 import time
 
-from _util import blas_report, emit, emit_json, pin_blas_threads
+from _util import (blas_report, emit, emit_json, pin_blas_threads,
+                   throughput_gate_or_skip)
 
 # Cap the BLAS pools before numpy loads them: the O(T) vs O(T^2) comparison
 # must measure the algorithm, not hidden BLAS parallelism.
@@ -368,34 +369,18 @@ def test_prefix_cache_seeding_is_exact():
 def test_kv_decode_speedup():
     """The PR's perf criterion: >= 3x steps/sec at T=128 vs recompute.
 
-    Wall-clock gates are opt-in (they need uncontended cores); the
-    exactness asserts above always run regardless.
+    Wall-clock gates are opt-in (they need uncontended cores) and skip
+    explicitly on few-core hosts; the exactness asserts above always run
+    regardless.
     """
-    import pytest
-
-    if not os.environ.get("REPRO_RUN_THROUGHPUT_GATE"):
-        pytest.skip("wall-clock gate is opt-in (it needs exclusive cores "
-                    "and flakes on contended machines): set "
-                    "REPRO_RUN_THROUGHPUT_GATE=1 — CI's dedicated serial "
-                    "step does")
-    if (os.cpu_count() or 1) < 4:
-        pytest.skip(f"needs >= 4 cores for a stable baseline, "
-                    f"have {os.cpu_count()}")
+    throughput_gate_or_skip(min_cores=4, purpose="a stable KV baseline")
     results = run_sweep(ts=(128,))
     assert results[0]["speedup"] >= 3.0, results
 
 
 def test_continuous_beats_static_on_heavy_tail():
     """Continuous refill must beat drain on wall clock for skewed mixes."""
-    import pytest
-
-    if not os.environ.get("REPRO_RUN_THROUGHPUT_GATE"):
-        pytest.skip("wall-clock gate is opt-in: set "
-                    "REPRO_RUN_THROUGHPUT_GATE=1 — CI's dedicated serial "
-                    "step does")
-    if (os.cpu_count() or 1) < 4:
-        pytest.skip(f"needs >= 4 cores for a stable baseline, "
-                    f"have {os.cpu_count()}")
+    throughput_gate_or_skip(min_cores=4, purpose="a stable decode baseline")
     result = run_continuous(n_requests=24)
     assert result["speedup"] > 1.0, result
 

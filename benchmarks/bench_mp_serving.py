@@ -50,7 +50,8 @@ import shutil
 import tempfile
 import time
 
-from _util import blas_report, emit, emit_json, pin_blas_threads
+from _util import (blas_report, emit, emit_json, pin_blas_threads,
+                   throughput_gate_or_skip)
 
 # Cap the BLAS pools before numpy loads them: the whole point of the
 # comparison is scheduling-tier parallelism, and an unpinned BLAS would
@@ -319,18 +320,11 @@ def test_process_backend_speedup():
     thread backend cannot pass this gate on pure-Python engine batches —
     that is the point.  Wall-clock gates cannot share cores with other
     test workers, so the gate is opt-in and CI runs it in the dedicated
-    serial step; the exactness asserts always ran in
-    test_process_backend_bit_exact regardless."""
-    import pytest
-
-    if not os.environ.get("REPRO_RUN_THROUGHPUT_GATE"):
-        pytest.skip("wall-clock gate is opt-in (it needs exclusive cores "
-                    "and flakes on contended machines): set "
-                    "REPRO_RUN_THROUGHPUT_GATE=1 — CI's dedicated serial "
-                    "step does")
-    if (os.cpu_count() or 1) < GATE_MIN_CORES:
-        pytest.skip(f"needs >= {GATE_MIN_CORES} cores for process-parallel "
-                    f"drains, have {os.cpu_count()}")
+    serial step; few-core hosts skip explicitly, naming their core count.
+    The exactness asserts always ran in test_process_backend_bit_exact
+    regardless."""
+    throughput_gate_or_skip(min_cores=GATE_MIN_CORES,
+                            purpose="process-parallel drains")
     payload = run_compare(n_deployments=4, n_requests=8,
                           workers_sweep=(1, 4), backends=("process",))
     best = max(r["speedup_vs_workers1"] for r in payload["results"])

@@ -46,7 +46,8 @@ import shutil
 import tempfile
 import time
 
-from _util import blas_report, emit, emit_json, pin_blas_threads
+from _util import (blas_report, emit, emit_json, pin_blas_threads,
+                   throughput_gate_or_skip)
 
 # Cap the BLAS pools before numpy loads them — pipeline speedups must come
 # from stage overlap, not from a multi-threaded GEMM hiding underneath.
@@ -272,18 +273,11 @@ def test_pipeline_throughput_speedup():
     """The PR's throughput criterion: >= 1.3x at depth >= 2 on >= 4 cores
     vs serial session.run.  Wall-clock gates cannot share cores with other
     test workers, so the gate is opt-in and CI runs it in the dedicated
-    serial step; the exactness asserts always ran in
-    test_pipelined_bit_exact regardless."""
-    import pytest
-
-    if not os.environ.get("REPRO_RUN_THROUGHPUT_GATE"):
-        pytest.skip("wall-clock gate is opt-in (it needs exclusive cores "
-                    "and flakes on contended machines): set "
-                    "REPRO_RUN_THROUGHPUT_GATE=1 — CI's dedicated serial "
-                    "step does")
-    if (os.cpu_count() or 1) < GATE_MIN_CORES:
-        pytest.skip(f"needs >= {GATE_MIN_CORES} cores for stage overlap, "
-                    f"have {os.cpu_count()}")
+    serial step; few-core hosts skip explicitly, naming their core count.
+    The exactness asserts always ran in test_pipelined_bit_exact
+    regardless."""
+    throughput_gate_or_skip(min_cores=GATE_MIN_CORES,
+                            purpose="pipeline stage overlap")
     payload = run_pipeline(n_requests=24, depths=(1, 4))
     overlapped = [r for r in payload["pipeline"] if r["depth"] >= 2]
     best = max(r["speedup_vs_serial"] for r in overlapped)

@@ -38,7 +38,8 @@ import argparse
 import os
 import time
 
-from _util import blas_report, emit, emit_json, pin_blas_threads
+from _util import (blas_report, emit, emit_json, pin_blas_threads,
+                   throughput_gate_or_skip)
 
 # Cap the BLAS pools before numpy loads them: the thread- vs process-tier
 # comparisons must measure scheduling, not hidden BLAS parallelism.  An
@@ -321,18 +322,10 @@ def test_concurrent_drain_bit_exact():
 def test_concurrent_multi_deployment_speedup():
     """The PR's throughput criterion: >= 1.5x with workers=4 vs workers=1
     on the BERT-base smoke shapes.  Thread-level speedup needs free cores,
-    so the gate only binds where they exist; the exactness asserts always
-    ran in test_concurrent_drain_bit_exact regardless."""
-    import pytest
-
-    if not os.environ.get("REPRO_RUN_THROUGHPUT_GATE"):
-        pytest.skip("wall-clock gate is opt-in (it needs exclusive cores "
-                    "and flakes on contended machines): set "
-                    "REPRO_RUN_THROUGHPUT_GATE=1 — CI's dedicated serial "
-                    "step does")
-    if (os.cpu_count() or 1) < 4:
-        pytest.skip(f"needs >= 4 cores for thread-parallel drains, "
-                    f"have {os.cpu_count()}")
+    so the gate skips — explicitly, naming the core count — where they
+    don't exist; the exactness asserts always ran in
+    test_concurrent_drain_bit_exact regardless."""
+    throughput_gate_or_skip(min_cores=4, purpose="thread-parallel drains")
     results = run_concurrent(workers_sweep=(1, 4))
     best = results[-1]["speedup_vs_workers1"]
     assert best >= 1.5, [r["speedup_vs_workers1"] for r in results]

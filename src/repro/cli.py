@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the everyday workflows:
+Eleven commands cover the everyday workflows:
 
 * ``list-models`` — the benchmark zoo with shapes and MAC counts;
 * ``engines`` — the registered GEMM engines and their config constraints;
@@ -26,6 +26,14 @@ Nine commands cover the everyday workflows:
   picks continuous vs drain admission, ``--prefix-cache-kib`` seeds new
   prompts from the longest cached prefix, ``--heavy-tail`` skews the
   prompt-length mix);
+* ``gateway <model>`` — host a deployment behind the asyncio HTTP front
+  end (admission control, per-tenant quotas, deadline-driven micro-batch
+  release) and drive a seeded open-loop mix through it, printing goodput
+  / SLO-attainment / shed-rate; ``--hold`` keeps it serving for an
+  external driver;
+* ``loadgen <model>`` — replay a deterministic open-loop schedule
+  (Poisson or bursty MMPP arrivals) against a running gateway and print
+  the same latency/goodput dashboard;
 * ``shard <model>`` — auto-partition a proxy into balanced pipeline
   stages (measured or modeled costs) and stream a request set through
   the pipelined vs serial paths;
@@ -198,6 +206,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_dec.add_argument("--temperature", type=float, default=0.0,
                        help="sampling temperature (0 = greedy argmax)")
     p_dec.add_argument("--seed", type=int, default=0)
+
+    p_gw = sub.add_parser(
+        "gateway",
+        help="host a model behind the asyncio HTTP gateway and drive a "
+             "seeded open-loop load through it")
+    p_gw.add_argument("model")
+    p_gw.add_argument("--scheme", default="aqs",
+                      choices=["aqs", "sibia", "int8_dense", "fp32"])
+    p_gw.add_argument("--exec-path", default="fast",
+                      choices=["fast", "sliced"])
+    p_gw.add_argument("--policy", default="deadline",
+                      choices=["deadline", "fixed"],
+                      help="'deadline' releases micro-batches when the "
+                           "oldest request's SLO slack hits the measured "
+                           "expected service time; 'fixed' waits a constant "
+                           "--max-delay-ms for riders")
+    p_gw.add_argument("--slo-ms", type=float, default=50.0,
+                      help="per-request latency objective: the deadline "
+                           "policy's release driver and the goodput "
+                           "criterion of the printed summary")
+    p_gw.add_argument("--max-delay-ms", type=float, default=2.0,
+                      help="fixed policy's rider wait")
+    p_gw.add_argument("--max-batch", type=int, default=8,
+                      help="requests coalesced into one engine batch")
+    p_gw.add_argument("--max-pending", type=int, default=64,
+                      help="admission queue bound per deployment; beyond "
+                           "it requests shed with 503")
+    p_gw.add_argument("--rate-rps", type=float, default=None,
+                      help="per-tenant token-bucket refill rate (default: "
+                           "unlimited); beyond it requests reject with 429")
+    p_gw.add_argument("--rps", type=float, default=60.0,
+                      help="offered load of the built-in open-loop mix")
+    p_gw.add_argument("--duration", type=float, default=2.0,
+                      help="seconds of open-loop traffic")
+    p_gw.add_argument("--host", default="127.0.0.1")
+    p_gw.add_argument("--port", type=int, default=0,
+                      help="listen port (0 = ephemeral)")
+    p_gw.add_argument("--hold", action="store_true",
+                      help="skip the built-in load and serve until "
+                           "interrupted (pair with `repro loadgen`)")
+    p_gw.add_argument("--seed", type=int, default=0)
+
+    p_lg = sub.add_parser(
+        "loadgen",
+        help="replay a seeded open-loop schedule against a running gateway")
+    p_lg.add_argument("model",
+                      help="proxy whose input modality shapes the payloads")
+    p_lg.add_argument("--host", default="127.0.0.1")
+    p_lg.add_argument("--port", type=int, required=True,
+                      help="the gateway's listen port")
+    p_lg.add_argument("--deployment", default=None,
+                      help="target deployment name (default "
+                           "<model>/<scheme> with --scheme aqs)")
+    p_lg.add_argument("--scheme", default="aqs",
+                      help="only names the default deployment")
+    p_lg.add_argument("--rps", type=float, default=60.0,
+                      help="offered request rate")
+    p_lg.add_argument("--duration", type=float, default=2.0)
+    p_lg.add_argument("--arrivals", default="poisson",
+                      choices=["poisson", "mmpp"],
+                      help="'poisson' is memoryless; 'mmpp' alternates "
+                           "calm and bursty phases at the same mean rate")
+    p_lg.add_argument("--slo-ms", type=float, default=50.0,
+                      help="latency objective goodput is scored against")
+    p_lg.add_argument("--heavy-tail", action="store_true",
+                      help="log-uniform row/prompt-length mix")
+    p_lg.add_argument("--max-new-tokens", type=int, default=8,
+                      help="decode generation budget (LM proxies)")
+    p_lg.add_argument("--seed", type=int, default=0)
 
     p_shard = sub.add_parser(
         "shard",
@@ -557,6 +634,156 @@ def _cmd_decode(args, out) -> int:
     return 0
 
 
+def _loadgen_tenants(spec, deployment, rps, arrivals, slo_s, *,
+                     heavy_tail=False, max_new_tokens=8):
+    """Map one proxy's input modality onto open-loop tenant specs.
+
+    LM proxies decode (token prompts through the continuous batcher);
+    classifier/ResNet proxies send one-shot infer batches shaped like
+    :func:`repro.models.zoo.proxy_batches` emits.  A single 'mmpp' tenant
+    carries the whole rate; 'poisson' splits it into a steady majority
+    plus a bursty minority so the mix exercises both arrival styles.
+    """
+    from .serve import MMPPArrivals, PoissonArrivals, TenantSpec
+
+    if spec.kind == "classifier":
+        kind, shape = "infer", (24, spec.dim)
+    elif spec.kind == "resnet":
+        kind, shape = "infer", (3, 32, 32)
+    else:
+        kind, shape = "decode", ()
+    common = dict(deployment=deployment, kind=kind, feature_shape=shape,
+                  heavy_tail=heavy_tail, proxy=spec.config_name,
+                  max_new_tokens=max_new_tokens, slo_s=slo_s)
+    if arrivals == "mmpp":
+        return [TenantSpec("bursty", arrivals=MMPPArrivals(
+            base_rps=rps * 0.5, burst_rps=rps * 2.0), **common)]
+    return [TenantSpec("steady", arrivals=PoissonArrivals(rps * 0.8),
+                       **common),
+            TenantSpec("bursty", arrivals=MMPPArrivals(
+                base_rps=rps * 0.1, burst_rps=rps * 0.6), **common)]
+
+
+def _print_loadgen_summary(summary, stats, out) -> None:
+    from .eval.tables import format_table
+
+    rows = [[f"{summary['offered_rps']:.1f}",
+             f"{summary['goodput_rps']:.1f}",
+             f"{summary['slo_attainment']:.0%}",
+             f"{summary['shed_rate']:.0%}",
+             f"{summary['p50_ms']:.1f}", f"{summary['p95_ms']:.1f}",
+             f"{summary['p99_ms']:.1f}"]]
+    print(format_table(
+        ["offered rps", "goodput rps", "slo", "shed", "p50 ms",
+         "p95 ms", "p99 ms"], rows, title="open-loop load summary"),
+        file=out)
+    if stats is not None:
+        adm = stats["admission"]
+        print(f"admission: offered={adm['offered']} "
+              f"accepted={adm['accepted']} shed={adm['shed']} "
+              f"rejected={adm['rejected']} "
+              f"conserved={adm['conserved']}", file=out)
+
+
+def _cmd_gateway(args, out) -> int:
+    from .models.zoo import PROXY_SPECS, proxy_batches
+    from .serve import (
+        BatchPolicy,
+        DeadlinePolicy,
+        Gateway,
+        ModelServer,
+        TenantQuota,
+        build_schedule,
+        run_schedule,
+        summarize,
+    )
+
+    spec = PROXY_SPECS.get(args.model)
+    if spec is None:
+        print(f"no runnable proxy for {args.model!r}; "
+              f"available: {sorted(PROXY_SPECS)}", file=out)
+        return 2
+    server = ModelServer()
+    deployment = f"{args.model}/{args.scheme}"
+    entry = server.deploy_proxy(deployment, args.model, scheme=args.scheme,
+                                exec_path=args.exec_path, seed=args.seed)
+    slo_s = args.slo_ms / 1e3
+    if args.policy == "deadline":
+        report = entry.session.profile(
+            proxy_batches(args.model, 2, 1, seed=args.seed + 1)[0])
+        policy = DeadlinePolicy.from_profile(report, slo_s=slo_s,
+                                             max_batch=args.max_batch)
+        service = policy.service
+        print(f"{deployment}: deadline policy (slo {args.slo_ms:.0f} ms, "
+              f"measured service {service.base_s * 1e3:.2f} ms + "
+              f"{service.per_item_s * 1e3:.2f} ms/req)", file=out)
+    else:
+        policy = BatchPolicy(max_batch=args.max_batch,
+                             max_delay_s=args.max_delay_ms / 1e3)
+        print(f"{deployment}: fixed policy (max_delay "
+              f"{args.max_delay_ms:.1f} ms)", file=out)
+    entry.batcher.policy = policy
+    quotas = None
+    if args.rate_rps is not None:
+        quotas = {"steady": TenantQuota(rate_rps=args.rate_rps),
+                  "bursty": TenantQuota(rate_rps=args.rate_rps)}
+    with Gateway.launch(server, host=args.host, port=args.port,
+                        quotas=quotas,
+                        max_pending=args.max_pending) as handle:
+        print(f"gateway listening on http://{handle.host}:{handle.port} "
+              f"(POST /v1/infer/{deployment}, /v1/decode/{deployment}, "
+              f"GET /metrics)", file=out)
+        if args.hold:
+            import time
+
+            print("serving until interrupted "
+                  "(drive it with `repro loadgen`)", file=out)
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                pass
+        else:
+            tenants = _loadgen_tenants(
+                spec, deployment, args.rps, "poisson", slo_s)
+            schedule = build_schedule(tenants, args.duration,
+                                      seed=args.seed)
+            outcomes = run_schedule(handle.host, handle.port, schedule,
+                                    keep_outputs=False)
+            _print_loadgen_summary(summarize(outcomes, args.duration),
+                                   handle.stats(), out)
+    server.close()
+    return 0
+
+
+def _cmd_loadgen(args, out) -> int:
+    from .models.zoo import PROXY_SPECS
+    from .serve import build_schedule, run_schedule, summarize
+
+    spec = PROXY_SPECS.get(args.model)
+    if spec is None:
+        print(f"no runnable proxy for {args.model!r}; "
+              f"available: {sorted(PROXY_SPECS)}", file=out)
+        return 2
+    deployment = args.deployment or f"{args.model}/{args.scheme}"
+    tenants = _loadgen_tenants(
+        spec, deployment, args.rps, args.arrivals, args.slo_ms / 1e3,
+        heavy_tail=args.heavy_tail, max_new_tokens=args.max_new_tokens)
+    schedule = build_schedule(tenants, args.duration, seed=args.seed)
+    print(f"replaying {len(schedule)} requests over {args.duration:.1f} s "
+          f"against http://{args.host}:{args.port}/.../{deployment}",
+          file=out)
+    try:
+        outcomes = run_schedule(args.host, args.port, schedule,
+                                keep_outputs=False)
+    except OSError as exc:
+        print(f"cannot reach the gateway at {args.host}:{args.port}: "
+              f"{exc}", file=out)
+        return 2
+    _print_loadgen_summary(summarize(outcomes, args.duration), None, out)
+    return 0
+
+
 def _cmd_shard(args, out) -> int:
     import time
 
@@ -703,6 +930,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "decode":
         return _cmd_decode(args, out)
+    if args.command == "gateway":
+        return _cmd_gateway(args, out)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args, out)
     if args.command == "shard":
         return _cmd_shard(args, out)
     if args.command == "plan":

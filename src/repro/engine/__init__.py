@@ -21,7 +21,7 @@ from .base import (
 )
 from .engines import AqsEngine, Fp32Engine, Fp32Plan, Int8DenseEngine, SibiaEngine
 from .session import (DecodeSession, LayerProfile, PanaceaSession,
-                      ProfileReport, RequestRecord)
+                      ProfileReport, RequestRecord, ServiceModel)
 
 __all__ = [
     "Engine",
@@ -43,4 +43,5 @@ __all__ = [
     "RequestRecord",
     "LayerProfile",
     "ProfileReport",
+    "ServiceModel",
 ]

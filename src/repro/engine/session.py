@@ -52,7 +52,54 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->engine cycle
                                  LayerQuantRecord, PtqConfig)
 
 __all__ = ["PanaceaSession", "DecodeSession", "RequestRecord",
-           "LayerProfile", "ProfileReport"]
+           "LayerProfile", "ProfileReport", "ServiceModel"]
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Expected engine-batch service time as a function of batch size.
+
+    The slack-estimation currency of SLO-aware scheduling: a
+    :class:`~repro.serve.batching.DeadlinePolicy` holds a queued batch
+    until the oldest ticket's remaining deadline slack shrinks to the
+    batch's *expected service time*, and this model is where that
+    expectation comes from — ``base_s`` is the per-forward overhead
+    outside the GEMM layers (norms, softmax, Python dispatch) and
+    ``per_item_s`` the measured GEMM cost of one batch row, both derived
+    from the same :class:`LayerProfile` measurements the shard
+    partitioner balances on (one measurement path, per the serving
+    design).
+    """
+
+    base_s: float
+    per_item_s: float
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.per_item_s < 0:
+            raise ValueError(
+                f"service model times must be >= 0, got base_s={self.base_s} "
+                f"per_item_s={self.per_item_s}")
+
+    def expected_s(self, batch_size: int) -> float:
+        """Expected wall seconds to serve one engine batch of ``batch_size``
+        coalesced requests."""
+        return self.base_s + self.per_item_s * max(0, batch_size)
+
+    @classmethod
+    def from_profile(cls, report: "ProfileReport") -> "ServiceModel":
+        """Fit the model to one measured :meth:`PanaceaSession.profile`.
+
+        GEMM time scales with the row count (the engines are row-linear in
+        the fast path), so the profiled per-forward layer time divides by
+        the profiled batch rows to give ``per_item_s``; everything outside
+        the GEMM layers is batch-size-independent overhead and becomes
+        ``base_s``.
+        """
+        repeats = max(1, report.repeats)
+        rows = report.batch_shape[0] if report.batch_shape else 1
+        per_forward_layer_s = report.layer_s / repeats
+        return cls(base_s=report.other_s / repeats,
+                   per_item_s=per_forward_layer_s / max(1, rows))
 
 
 @dataclass
@@ -97,6 +144,11 @@ class ProfileReport:
     def latency_by_layer(self) -> dict[str, float]:
         """Mean per-call wall seconds keyed by dotted layer name."""
         return {layer.name: layer.mean_s for layer in self.layers}
+
+    def service_model(self) -> ServiceModel:
+        """The deadline scheduler's slack estimator fitted to this profile
+        (see :meth:`ServiceModel.from_profile`)."""
+        return ServiceModel.from_profile(self)
 
     def total_ops(self) -> OpCounts:
         total = OpCounts()

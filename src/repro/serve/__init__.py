@@ -32,11 +32,27 @@ The online half of Panacea's offline/online split, grown to process scale:
   :class:`PrefixKVCache`, its autoregressive sibling seeding decode KV
   caches from the longest cached token prefix;
 * :mod:`repro.serve.metrics` — :class:`LatencyStats` (the shared latency
-  accumulator) and :class:`ServerMetrics` (the server-wide rollup).
+  accumulator) and :class:`ServerMetrics` (the server-wide rollup);
+* :mod:`repro.serve.gateway` — :class:`Gateway`, the asyncio HTTP/1.1
+  network front end over a :class:`ModelServer`, with
+  :class:`AdmissionControl` (bounded per-deployment admission, per-tenant
+  :class:`TokenBucket` quotas and priority classes, typed 429/503
+  :class:`AdmissionError` backpressure) and deadline-aware micro-batch
+  release via :class:`~repro.serve.batching.DeadlinePolicy`;
+* :mod:`repro.serve.loadgen` — the seeded open-loop load generator
+  (Poisson and bursty MMPP arrivals, heavy-tail request mixes,
+  per-tenant traffic) that drives the gateway without ever slowing down
+  when the server does, plus the latency/goodput summarizer.
 """
 
-from .batching import (BatchPolicy, DecodeBatcher, DecodePolicy, DecodeTicket,
-                       MicroBatcher, Ticket)
+from .batching import (BatchPolicy, DeadlinePolicy, DecodeBatcher,
+                       DecodePolicy, DecodeTicket, MicroBatcher, Ticket)
+from .gateway import (AdmissionControl, AdmissionError, Gateway,
+                      GatewayClosedError, GatewayHandle, QueueFullError,
+                      QuotaExceededError, TenantQuota, TokenBucket)
+from .loadgen import (MMPPArrivals, PlannedRequest, PoissonArrivals,
+                      RequestOutcome, TenantSpec, build_schedule,
+                      run_schedule, summarize)
 from .cache import PrefixKVCache, ResultCache, request_key
 from .metrics import LatencyStats, ServerMetrics
 from .pool import (BackendCapabilityError, ExecutorBackend,
@@ -49,8 +65,26 @@ from .store import PlanStore, PlanStoreError, STORE_FORMAT, STORE_VERSION
 
 __all__ = [
     "BatchPolicy",
+    "DeadlinePolicy",
     "MicroBatcher",
     "Ticket",
+    "AdmissionControl",
+    "AdmissionError",
+    "Gateway",
+    "GatewayClosedError",
+    "GatewayHandle",
+    "QueueFullError",
+    "QuotaExceededError",
+    "TenantQuota",
+    "TokenBucket",
+    "MMPPArrivals",
+    "PlannedRequest",
+    "PoissonArrivals",
+    "RequestOutcome",
+    "TenantSpec",
+    "build_schedule",
+    "run_schedule",
+    "summarize",
     "DecodePolicy",
     "DecodeBatcher",
     "DecodeTicket",

@@ -54,11 +54,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..engine.session import PanaceaSession, RequestRecord
+from ..engine.session import (PanaceaSession, ProfileReport, RequestRecord,
+                              ServiceModel)
 from .cache import PrefixKVCache, ResultCache, request_key
 from .metrics import LatencyStats
 
-__all__ = ["BatchPolicy", "Ticket", "MicroBatcher",
+__all__ = ["BatchPolicy", "DeadlinePolicy", "Ticket", "MicroBatcher",
            "DecodePolicy", "DecodeTicket", "DecodeBatcher"]
 
 
@@ -92,6 +93,70 @@ class BatchPolicy:
         if self.cache_bytes < 0:
             raise ValueError(
                 f"cache_bytes must be >= 0, got {self.cache_bytes}")
+
+    def release_wait_s(self, depth: int) -> float:
+        """Seconds after submission when the queue head becomes due.
+
+        ``depth`` is the current queue depth; the fixed-delay policy
+        ignores it (a full batch fires through the depth check in
+        ``submit`` regardless).  :class:`DeadlinePolicy` overrides this
+        with a deadline-slack rule.
+        """
+        return self.max_delay_s
+
+    @property
+    def max_wait_s(self) -> float:
+        """Upper bound on any time-based release wait — the *real* wall
+        clamp serving threads apply so an injected test clock can never
+        wedge a pool worker."""
+        return self.max_delay_s
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy(BatchPolicy):
+    """SLO-aware micro-batch release: hold for riders while slack allows.
+
+    Every request carries an implicit deadline ``submitted_t + slo_s``.
+    Instead of waiting a fixed ``max_delay_s`` for riders, the scheduler
+    holds a queued batch exactly until the oldest ticket's remaining slack
+    shrinks to the batch's *expected service time* — estimated from
+    measured per-layer latency via
+    :class:`~repro.engine.session.ServiceModel` — and releases then: the
+    latest moment the head request can still meet its SLO.  Short queues
+    therefore wait longer (collecting riders, raising goodput) and deep
+    queues release early (their expected service time is already large),
+    which is what flattens the p99 under open-loop load vs a fixed delay.
+
+    ``service=None`` (no profile measured yet) falls back to the fixed
+    ``max_delay_s`` rule — a deployment without measurements schedules
+    exactly like :class:`BatchPolicy`.  An already-expired deadline gives
+    zero wait: the head releases on the next pump/serve pass.
+    """
+
+    slo_s: float = 0.05
+    service: ServiceModel | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.slo_s <= 0:
+            raise ValueError(f"slo_s must be > 0, got {self.slo_s}")
+
+    @classmethod
+    def from_profile(cls, report: ProfileReport, **kwargs) -> \
+            "DeadlinePolicy":
+        """Build a deadline policy whose service estimate is fitted to one
+        measured :meth:`~repro.engine.session.PanaceaSession.profile`."""
+        return cls(service=ServiceModel.from_profile(report), **kwargs)
+
+    def release_wait_s(self, depth: int) -> float:
+        if self.service is None:
+            return self.max_delay_s
+        batch = min(max(depth, 1), self.max_batch)
+        return max(0.0, self.slo_s - self.service.expected_s(batch))
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.slo_s if self.service is not None else self.max_delay_s
 
 
 @dataclass
@@ -223,21 +288,26 @@ class MicroBatcher:
         return ticket
 
     def pump(self, now: float | None = None) -> int:
-        """Service-loop hook: fire if the oldest ticket exceeded max_delay.
+        """Service-loop hook: fire if the oldest ticket's release is due.
 
-        Returns the number of requests served (possibly across several
-        batches when the queue ran deep).  Call this regularly from the
-        serving loop; ``Ticket.result()`` and :meth:`flush` do not need it.
+        The policy decides what "due" means: a fixed rider window for
+        :class:`BatchPolicy` (``max_delay_s``), remaining deadline slack vs
+        expected service time for :class:`DeadlinePolicy`.  Returns the
+        number of requests served (possibly across several batches when the
+        queue ran deep).  Call this regularly from the serving loop;
+        ``Ticket.result()`` and :meth:`flush` do not need it.
         """
         served = 0
         now = self.clock() if now is None else now
 
-        def due(head: Ticket, _depth: int) -> bool:
-            return now - head.submitted_t >= self.policy.max_delay_s
+        def due(head: Ticket, depth: int) -> bool:
+            return (now - head.submitted_t
+                    >= self.policy.release_wait_s(depth))
 
         while True:
             with self._lock:
-                ready = bool(self._queue) and due(self._queue[0][0], 0)
+                ready = bool(self._queue) and due(self._queue[0][0],
+                                                  len(self._queue))
             if not ready:
                 return served
             # The predicate re-runs on whatever is at the head at pop time,
@@ -279,14 +349,18 @@ class MicroBatcher:
         additionally bounded by *real* wall time so an injected test clock
         can never wedge a pool worker.
         """
-        if not ticket.done and self.policy.max_delay_s > 0:
-            deadline = ticket.submitted_t + self.policy.max_delay_s
-            real_deadline = time.perf_counter() + self.policy.max_delay_s
+        if not ticket.done and self.policy.max_wait_s > 0:
+            real_deadline = time.perf_counter() + self.policy.max_wait_s
             while not ticket.done:
                 with self._lock:
                     depth = len(self._queue)
                     is_head = bool(self._queue) \
                         and self._queue[0][0] is ticket
+                # The release point moves with the queue: a deadline policy
+                # shortens the wait as riders deepen the expected batch, so
+                # it is recomputed every pass instead of fixed at entry.
+                deadline = (ticket.submitted_t
+                            + self.policy.release_wait_s(depth))
                 remaining = min(deadline - self.clock(),
                                 real_deadline - time.perf_counter())
                 if remaining <= 0 or depth >= self.policy.max_batch:
@@ -420,6 +494,9 @@ class MicroBatcher:
                     "cache_bytes": self.policy.cache_bytes,
                 },
             }
+            slo_s = getattr(self.policy, "slo_s", None)
+            if slo_s is not None:
+                stats["policy"]["slo_s"] = slo_s
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
         return stats
@@ -491,6 +568,11 @@ class DecodeTicket:
     submitted_t: float
     _batcher: "DecodeBatcher" = field(repr=False)
     done: bool = False
+    #: Set by :meth:`DecodeBatcher.cancel` (e.g. the gateway noticing a
+    #: dropped client mid-stream); the ticket finishes with
+    #: :class:`~concurrent.futures.CancelledError` and its KV slot is
+    #: compacted away, leaving the rest of the running batch untouched.
+    cancelled: bool = False
     seeded_tokens: int = 0
     queue_wait_s: float = 0.0
     n_steps: int = 0
@@ -606,6 +688,7 @@ class DecodeBatcher:
         self.n_prefills = 0
         self.n_tokens = 0        # tokens generated
         self.n_failed = 0
+        self.n_cancelled = 0
         self._step_width_sum = 0
         self.peak_active = 0
 
@@ -637,6 +720,40 @@ class DecodeBatcher:
             self._next_id += 1
             self._queue.append(ticket)
         return ticket
+
+    def cancel(self, ticket: DecodeTicket) -> bool:
+        """Abandon one decode request; returns whether anything changed.
+
+        A still-queued ticket is dequeued and finishes with
+        :class:`~concurrent.futures.CancelledError`.  An *active* ticket
+        (mid-stream — the gateway's dropped-client case) is retired
+        immediately under the service lock: its KV slot compacts away
+        exactly like a normal finish, so the remaining sequences keep
+        decoding bit-exactly and the freed slot refills from the queue on
+        the next step.  A ticket already done is not cancellable.
+        """
+        dequeued = False
+        with self._lock:
+            for i, queued in enumerate(self._queue):
+                if queued is ticket:
+                    del self._queue[i]
+                    ticket.cancelled = True
+                    self.n_cancelled += 1
+                    dequeued = True
+                    break
+        if dequeued:
+            ticket._finish(error=CancelledError())
+            return True
+        # Possibly active: the service lock serializes against a running
+        # step, so the retire below never races a forward that still feeds
+        # this slot's pending token.
+        with self._service_lock:
+            for row, slot in enumerate(self._slots):
+                if slot.ticket is ticket and not ticket.done:
+                    ticket.cancelled = True
+                    self._retire([row])
+                    return True
+        return False
 
     @property
     def depth(self) -> int:
@@ -806,7 +923,8 @@ class DecodeBatcher:
             slot.ticket.n_steps += 1
 
     def _is_done(self, slot: _DecodeSlot, tok: int) -> bool:
-        return (len(slot.ticket.tokens) >= slot.ticket.max_new_tokens
+        return (slot.ticket.cancelled
+                or len(slot.ticket.tokens) >= slot.ticket.max_new_tokens
                 or tok == self.policy.eos_token)
 
     def _retire(self, rows: list[int]) -> None:
@@ -828,9 +946,14 @@ class DecodeBatcher:
             for cache in self._caches:
                 cache.reset_row(last)
             self._slots.pop()
-            with self._lock:
-                self.n_requests += 1
-            slot.ticket._finish()
+            if slot.ticket.cancelled:
+                with self._lock:
+                    self.n_cancelled += 1
+                slot.ticket._finish(error=CancelledError())
+            else:
+                with self._lock:
+                    self.n_requests += 1
+                slot.ticket._finish()
 
     def _fail_all(self, exc: Exception) -> None:
         """Fail every active ticket after an engine error mid-step."""
@@ -859,6 +982,7 @@ class DecodeBatcher:
                 "n_prefills": self.n_prefills,
                 "n_tokens": self.n_tokens,
                 "n_failed": self.n_failed,
+                "n_cancelled": self.n_cancelled,
                 "depth": len(self._queue),
                 "n_active": len(self._slots),
                 "peak_active": self.peak_active,

@@ -1,0 +1,1026 @@
+"""Async network front end: HTTP serving with admission control.
+
+The millions-of-users story needs more than an in-process ``submit()``:
+traffic arrives over the network, open-loop — clients do not stop sending
+because the server slowed down — and an overloaded server must *shed*
+excess load with typed backpressure instead of queueing without bound
+until every request misses its SLO.  :class:`Gateway` is that front end:
+
+* an :mod:`asyncio` HTTP/1.1 server (stdlib ``asyncio.start_server``, no
+  third-party dependencies) exposing every :class:`ModelServer` deployment
+  at ``POST /v1/infer/<deployment>`` and ``POST /v1/decode/<deployment>``
+  (plus ``/healthz`` and ``/metrics``);
+* :class:`AdmissionControl` in front of the schedulers: bounded
+  per-deployment admission counts, per-tenant token-bucket quotas and
+  priority classes, every refusal a typed :class:`AdmissionError` mapped
+  to HTTP 429/503 with a ``Retry-After`` hint;
+* strict accounting: ``offered == accepted + shed + rejected`` and
+  ``accepted == completed + failed + cancelled + in_flight`` hold at all
+  times (property-tested under random interleavings), so the operator
+  dashboard can always answer "where did my requests go?";
+* deadline-aware scheduling: deployments registered with a
+  :class:`~repro.serve.batching.DeadlinePolicy` release micro-batches when
+  SLO slack runs out rather than after a fixed delay — the gateway's pump
+  thread guarantees releases happen even when no serving thread is
+  waiting.
+
+Execution stays bit-exact: the gateway encodes arrays losslessly (raw
+little-endian bytes in base64, or JSON numbers whose ``repr`` round-trips
+exactly) and forwards them untouched to the same
+:class:`~repro.serve.batching.MicroBatcher` path in-process callers use,
+so a response served over the network equals ``session.run`` to the bit
+(the conformance suite's ``TestGatewayFuzz`` locks this down for all four
+engines).
+
+The event loop never blocks on engine work: request service runs on a
+private thread pool (``entry.batcher.serve`` honors the deployment's
+release policy there), decode streams are driven by a pool thread feeding
+an ``asyncio.Queue``, and a dropped client connection cancels only its own
+request — mid-stream decode cancellation compacts the request's KV slot
+out of the running batch and the other sequences continue bit-exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import math
+import threading
+import time
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .metrics import LatencyStats
+from .server import ModelServer
+
+__all__ = [
+    "AdmissionError", "QueueFullError", "QuotaExceededError",
+    "GatewayClosedError", "TokenBucket", "TenantQuota", "AdmissionControl",
+    "Gateway", "GatewayHandle",
+]
+
+
+class AdmissionError(RuntimeError):
+    """Base of the gateway's typed backpressure refusals.
+
+    Every admission failure is one of these, never a silent drop or an
+    unbounded queue: the HTTP layer maps :attr:`status` onto the response
+    code (429 for per-tenant quota exhaustion, 503 for shed load and
+    shutdown) and :attr:`retry_after_s`, when known, onto a ``Retry-After``
+    header so a well-behaved client can back off precisely.  Catching
+    :class:`AdmissionError` is therefore the one handler an embedding
+    application needs for "the server said no, not the model".
+    """
+
+    #: HTTP status the refusal maps to (subclasses override).
+    status = 503
+    #: Machine-readable refusal class for clients and dashboards.
+    code = "admission"
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueFullError(AdmissionError):
+    """Load shed: the deployment's bounded admission queue is full (503).
+
+    Raised *before* the request touches a scheduler queue, so shed traffic
+    costs the serving path nothing — the open-loop defense.  Priority
+    class 0 tenants may still be admitted into the reserved headroom when
+    best-effort traffic is already being shed.
+    """
+
+    status = 503
+    code = "queue_full"
+
+
+class QuotaExceededError(AdmissionError):
+    """Per-tenant token-bucket quota exhausted (429).
+
+    ``retry_after_s`` reports when the bucket will next hold a full token
+    at its refill rate — the precise back-off hint.
+    """
+
+    status = 429
+    code = "quota"
+
+
+class GatewayClosedError(AdmissionError):
+    """The gateway is shutting down; nothing new is admitted (503)."""
+
+    status = 503
+    code = "closed"
+
+
+class TokenBucket:
+    """Classic token-bucket rate limiter (``rate_rps`` refill, ``burst``
+    cap), the per-tenant quota primitive.
+
+    ``clock`` is injectable so quota behaviour is testable without
+    sleeping; an infinite rate never refuses (the default tenant class).
+    """
+
+    def __init__(self, rate_rps: float, burst: float, *,
+                 clock=time.monotonic) -> None:
+        if rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate_rps = float(rate_rps)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = float(burst)
+        self._t = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        if math.isinf(self.rate_rps):
+            self._tokens = self.burst
+        else:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._t) * self.rate_rps)
+        self._t = now
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Consume ``n`` tokens if available; False (nothing consumed)
+        otherwise."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def retry_after_s(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will have refilled (0 if available
+        now)."""
+        self._refill()
+        deficit = n - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate_rps
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission contract: rate quota and priority class.
+
+    ``priority`` 0 is the interactive/"gold" class: it may fill the
+    admission queue's reserved headroom that best-effort classes
+    (``priority >= 1``) are shed from, so an overload of batch traffic
+    cannot starve interactive traffic.  ``rate_rps=inf`` (the default)
+    disables the token bucket for tenants that are only bounded by the
+    shared queue.
+    """
+
+    rate_rps: float = math.inf
+    burst: float = 64.0
+    priority: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+
+
+@dataclass
+class AdmissionTicket:
+    """One admitted request's claim; hand it back via
+    :meth:`AdmissionControl.release` exactly once."""
+
+    deployment: str
+    tenant: str
+    priority: int
+    admitted_t: float
+    released: bool = field(default=False, repr=False)
+
+
+class AdmissionControl:
+    """Bounded admission with per-tenant quotas and conserved accounting.
+
+    Thread-safe (admissions arrive from the event loop, releases from
+    executor threads).  The two invariants every caller may rely on — and
+    the property tests hammer —
+
+    * ``offered == accepted + shed + rejected``
+    * ``accepted == completed + failed + cancelled + in_flight``
+
+    hold under any interleaving of :meth:`admit`/:meth:`release`, because
+    both transitions happen under one lock and a ticket releases exactly
+    once (double releases raise).
+
+    ``max_pending`` bounds each deployment's in-flight admissions; the top
+    ``reserve_frac`` of that budget is reserved for priority-0 tenants, so
+    best-effort load sheds *before* interactive load does.
+    """
+
+    def __init__(self, *, max_pending: int = 64, reserve_frac: float = 0.25,
+                 quotas: dict[str, TenantQuota] | None = None,
+                 default_quota: TenantQuota | None = None,
+                 clock=time.monotonic) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if not 0.0 <= reserve_frac < 1.0:
+            raise ValueError(
+                f"reserve_frac must be in [0, 1), got {reserve_frac}")
+        self.max_pending = max_pending
+        self.reserve_frac = reserve_frac
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota or TenantQuota()
+        self.clock = clock
+        self.closed = False
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._pending: dict[str, int] = {}
+        self._peak_pending: dict[str, int] = {}
+        self._tenants: dict[str, dict] = {}
+        self.offered = 0
+        self.accepted = 0
+        self.shed = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def _tenant(self, tenant: str) -> dict:
+        return self._tenants.setdefault(tenant, {
+            "offered": 0, "accepted": 0, "shed": 0, "rejected": 0,
+            "completed": 0, "failed": 0, "cancelled": 0, "in_flight": 0,
+        })
+
+    @property
+    def in_flight(self) -> int:
+        return sum(self._pending.values())
+
+    def admit(self, deployment: str, tenant: str = "anon") -> AdmissionTicket:
+        """Admit one request or raise the matching typed refusal.
+
+        Order of checks: shutdown (503), bounded queue (503 shed; the
+        priority class picks the effective bound), then the tenant's token
+        bucket (429) — so a shed request never burns quota tokens and a
+        quota refusal reports an exact ``Retry-After``.
+        """
+        quota = self.quota_for(tenant)
+        with self._lock:
+            t = self._tenant(tenant)
+            self.offered += 1
+            t["offered"] += 1
+            if self.closed:
+                self.shed += 1
+                t["shed"] += 1
+                raise GatewayClosedError("gateway is shutting down")
+            limit = (self.max_pending if quota.priority <= 0 else
+                     max(1, int(self.max_pending
+                                * (1.0 - self.reserve_frac))))
+            pending = self._pending.get(deployment, 0)
+            if pending >= limit:
+                self.shed += 1
+                t["shed"] += 1
+                raise QueueFullError(
+                    f"deployment {deployment!r} has {pending} requests in "
+                    f"flight (limit {limit} for priority {quota.priority})",
+                    retry_after_s=0.05)
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    quota.rate_rps, quota.burst, clock=self.clock)
+            if not bucket.try_take():
+                self.rejected += 1
+                t["rejected"] += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} exceeded {quota.rate_rps:g} rps "
+                    f"(burst {quota.burst:g})",
+                    retry_after_s=bucket.retry_after_s())
+            self._pending[deployment] = pending + 1
+            self._peak_pending[deployment] = max(
+                self._peak_pending.get(deployment, 0), pending + 1)
+            self.accepted += 1
+            t["accepted"] += 1
+            t["in_flight"] += 1
+            return AdmissionTicket(deployment=deployment, tenant=tenant,
+                                   priority=quota.priority,
+                                   admitted_t=self.clock())
+
+    def release(self, ticket: AdmissionTicket, outcome: str) -> None:
+        """Retire one admitted ticket as ``completed``/``failed``/
+        ``cancelled`` (exactly once; anything else is a programming
+        error)."""
+        if outcome not in ("completed", "failed", "cancelled"):
+            raise ValueError(f"unknown admission outcome {outcome!r}")
+        with self._lock:
+            if ticket.released:
+                raise RuntimeError(
+                    f"admission ticket for {ticket.deployment!r} released "
+                    "twice")
+            ticket.released = True
+            self._pending[ticket.deployment] -= 1
+            t = self._tenant(ticket.tenant)
+            t["in_flight"] -= 1
+            t[outcome] += 1
+            setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def close(self) -> None:
+        """Stop admitting; everything already admitted may still finish."""
+        with self._lock:
+            self.closed = True
+
+    def stats(self) -> dict:
+        """Counters snapshot; ``conserved`` is the two invariants checked
+        live."""
+        with self._lock:
+            in_flight = sum(self._pending.values())
+            return {
+                "offered": self.offered,
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "in_flight": in_flight,
+                "max_pending": self.max_pending,
+                "reserve_frac": self.reserve_frac,
+                "conserved": (
+                    self.offered == self.accepted + self.shed + self.rejected
+                    and self.accepted == (self.completed + self.failed
+                                          + self.cancelled + in_flight)),
+                "tenants": {name: dict(c)
+                            for name, c in self._tenants.items()},
+                "pending": dict(self._pending),
+                "peak_pending": dict(self._peak_pending),
+            }
+
+
+# -- HTTP plumbing ------------------------------------------------------------
+
+_MAX_HEADER_BYTES = 32 * 1024
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    501: "Not Implemented", 503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Internal: a malformed/oversized request, answered then closed."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+def _encode_array(out: np.ndarray, *, b64: bool) -> dict:
+    """Lossless response encoding, mirroring how the input arrived."""
+    if b64:
+        return {"output_b64": base64.b64encode(
+                    np.ascontiguousarray(out).tobytes()).decode("ascii"),
+                "dtype": str(out.dtype), "shape": list(out.shape)}
+    # json floats round-trip exactly (repr is shortest-exact), so the list
+    # path is bit-exact too — just larger on the wire.
+    return {"output": out.tolist(), "dtype": str(out.dtype),
+            "shape": list(out.shape)}
+
+
+def _decode_array(body: dict) -> tuple[np.ndarray, bool]:
+    """Parse a request payload array; returns ``(array, was_b64)``."""
+    if "input_b64" in body:
+        try:
+            dtype = np.dtype(body.get("dtype", "float64"))
+            shape = tuple(int(d) for d in body["shape"])
+            raw = base64.b64decode(body["input_b64"], validate=True)
+            return np.frombuffer(raw, dtype=dtype).reshape(shape).copy(), True
+        except (KeyError, ValueError, TypeError) as exc:
+            raise _HttpError(400, f"bad b64 payload: {exc}") from exc
+    if "input" not in body:
+        raise _HttpError(400, "payload needs 'input' or 'input_b64'")
+    try:
+        dtype = np.dtype(body["dtype"]) if "dtype" in body else None
+        return np.asarray(body["input"], dtype=dtype), False
+    except (ValueError, TypeError) as exc:
+        raise _HttpError(400, f"bad input array: {exc}") from exc
+
+
+class Gateway:
+    """Asyncio HTTP/1.1 front end over one :class:`ModelServer`.
+
+    Construct, then :meth:`start` inside a running event loop — or use
+    :meth:`launch` to run the whole gateway on a background thread with a
+    blocking :class:`GatewayHandle` (the CLI, tests and benchmarks do).
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`).
+    ``executor_threads`` sizes the private pool that serves requests and
+    drives decode streams; admission's ``max_pending`` should not exceed a
+    small multiple of it, or accepted requests will queue for a thread.
+    ``pump_interval_s`` is the scheduler heartbeat that guarantees
+    deadline/delay releases even when no serving thread is waiting on a
+    rider window (0 disables it).
+
+    Routes::
+
+        GET  /healthz                     -> {"ok": true, ...}
+        GET  /metrics                     -> gateway + server metrics JSON
+        POST /v1/infer/<deployment>       -> one forward; JSON in/out
+        POST /v1/decode/<deployment>      -> autoregressive decode; JSON,
+                                             or chunked token stream with
+                                             {"stream": true}
+
+    Infer payloads carry ``input`` (nested JSON lists) or ``input_b64`` +
+    ``dtype`` + ``shape`` (raw array bytes), plus optional ``tenant``.
+    Responses mirror the input encoding and include scheduler metadata
+    (queue wait, batch size).  Decode payloads carry ``prompt`` (token
+    ids), optional ``max_new_tokens``/``tenant``/``stream``.
+    """
+
+    def __init__(self, server: ModelServer, *, host: str = "127.0.0.1",
+                 port: int = 0,
+                 admission: AdmissionControl | None = None,
+                 quotas: dict[str, TenantQuota] | None = None,
+                 max_pending: int = 64,
+                 executor_threads: int = 16,
+                 pump_interval_s: float = 0.005,
+                 max_body_bytes: int = 8 << 20) -> None:
+        if executor_threads < 1:
+            raise ValueError(
+                f"executor_threads must be >= 1, got {executor_threads}")
+        if pump_interval_s < 0:
+            raise ValueError(
+                f"pump_interval_s must be >= 0, got {pump_interval_s}")
+        self.server = server
+        self.host = host
+        self._requested_port = port
+        self.admission = admission or AdmissionControl(
+            max_pending=max_pending, quotas=quotas)
+        self.pump_interval_s = pump_interval_s
+        self.max_body_bytes = max_body_bytes
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads,
+            thread_name_prefix="gateway-serve")
+        self._aio_server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._pump_stop = threading.Event()
+        self._pump_thread: threading.Thread | None = None
+        self._closed = False
+        # HTTP-level counters + end-to-end request latency (admission to
+        # last response byte), all guarded by one lock: handler coroutines
+        # run on the loop but decode drivers observe from pool threads.
+        self._http_lock = threading.Lock()
+        self.n_connections = 0
+        self.n_http_requests = 0
+        self.responses_by_status: dict[int, int] = {}
+        self.request_latency = LatencyStats()
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._aio_server is None:
+            return self._requested_port
+        return self._aio_server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "Gateway":
+        """Bind and start accepting connections (idempotent)."""
+        if self._aio_server is not None:
+            return self
+        self._aio_server = await asyncio.start_server(
+            self._handle_conn, self.host, self._requested_port,
+            limit=_MAX_HEADER_BYTES)
+        if self.pump_interval_s > 0:
+            self._pump_thread = threading.Thread(
+                target=self._pump_loop, name="gateway-pump", daemon=True)
+            self._pump_thread.start()
+        return self
+
+    def _pump_loop(self) -> None:
+        """Scheduler heartbeat: fire due micro-batches on a wall cadence.
+
+        Serving threads waiting out rider windows fire their own batches;
+        this thread covers the complement — queued tickets whose serve
+        task has not been scheduled yet (executor saturation) still
+        release when their delay/deadline policy says so, never later.
+        """
+        while not self._pump_stop.wait(self.pump_interval_s):
+            try:
+                self.server.pump()
+            except Exception:  # noqa: BLE001 — heartbeat must survive
+                # A poison batch fails its own tickets (and is counted by
+                # the batcher); the heartbeat keeps beating for the rest.
+                pass
+
+    async def aclose(self) -> None:
+        """Stop admitting, close the listener, cancel open connections."""
+        if self._closed:
+            return
+        self._closed = True
+        self.admission.close()
+        if self._aio_server is not None:
+            self._aio_server.close()
+            await self._aio_server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._pump_stop.set()
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=5)
+        self._executor.shutdown(wait=False)
+
+    @classmethod
+    def launch(cls, server: ModelServer, **kwargs) -> "GatewayHandle":
+        """Run a gateway on a dedicated event-loop thread; returns the
+        blocking handle synchronous callers (CLI/tests/benches) drive."""
+        gateway = cls(server, **kwargs)
+        return GatewayHandle._start(gateway)
+
+    # -- connection handling --------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        with self._http_lock:
+            self.n_connections += 1
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, reader, writer)
+                if not keep_alive:
+                    break
+        except _HttpError as exc:
+            # Unparseable request: best-effort error response, then close.
+            try:
+                await self._respond_json(
+                    writer, exc.status,
+                    {"error": "HttpError", "detail": exc.detail},
+                    keep_alive=False)
+            except (ConnectionError, RuntimeError):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader) -> dict | None:
+        """Parse one HTTP/1.1 request; None on clean EOF between requests."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise _HttpError(400, "truncated request head") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(413, "request head too large") from exc
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"bad request line {lines[0]!r}")
+        method, target, _version = parts
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _HttpError(400, f"bad header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError as exc:
+                raise _HttpError(400, f"bad content-length {length!r}") \
+                    from exc
+            if n < 0 or n > self.max_body_bytes:
+                raise _HttpError(
+                    413, f"body of {n} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte limit")
+            body = await reader.readexactly(n)
+        return {"method": method, "target": target.split("?", 1)[0],
+                "headers": headers, "body": body}
+
+    # -- responses ------------------------------------------------------------
+    def _observe_response(self, status: int,
+                          started_t: float | None = None) -> None:
+        with self._http_lock:
+            self.responses_by_status[status] = \
+                self.responses_by_status.get(status, 0) + 1
+            if started_t is not None:
+                self.request_latency.observe(
+                    max(0.0, time.perf_counter() - started_t))
+
+    async def _respond_json(self, writer, status: int, payload: dict, *,
+                            keep_alive: bool = True,
+                            extra_headers: dict | None = None,
+                            started_t: float | None = None) -> None:
+        body = json.dumps(payload, default=str).encode()
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+        self._observe_response(status, started_t)
+
+    def _error_payload(self, exc: Exception) -> tuple[int, dict, dict]:
+        """Map an exception to ``(status, json payload, extra headers)``.
+
+        Admission refusals keep their own status (429/503) and advertise
+        ``Retry-After``; scheduler/engine failures surface as typed 500s
+        (the error class name crosses the wire, so a client can tell a
+        crashed worker from a bad payload); unknown deployments are 404.
+        """
+        if isinstance(exc, AdmissionError):
+            headers = {}
+            if exc.retry_after_s is not None:
+                headers["Retry-After"] = f"{exc.retry_after_s:.3f}"
+            return exc.status, {"error": type(exc).__name__,
+                                "code": exc.code, "detail": str(exc)}, headers
+        if isinstance(exc, KeyError):
+            return 404, {"error": "UnknownDeployment",
+                         "detail": str(exc.args[0]) if exc.args else ""}, {}
+        if isinstance(exc, (ValueError, TypeError)):
+            return 400, {"error": type(exc).__name__, "detail": str(exc)}, {}
+        return 500, {"error": type(exc).__name__, "detail": str(exc)}, {}
+
+    # -- dispatch -------------------------------------------------------------
+    async def _dispatch(self, request: dict, reader, writer) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        started_t = time.perf_counter()
+        with self._http_lock:
+            self.n_http_requests += 1
+        method, target = request["method"], request["target"]
+        keep_alive = request["headers"].get("connection", "").lower() \
+            != "close"
+        if target == "/healthz" and method == "GET":
+            await self._respond_json(
+                writer, 200,
+                {"ok": True, "deployments": self.server.models()},
+                keep_alive=keep_alive, started_t=started_t)
+            return keep_alive
+        if target == "/metrics" and method == "GET":
+            await self._respond_json(writer, 200, self.stats(),
+                                     keep_alive=keep_alive,
+                                     started_t=started_t)
+            return keep_alive
+        if target.startswith("/v1/infer/"):
+            if method != "POST":
+                await self._respond_json(
+                    writer, 405, {"error": "MethodNotAllowed"},
+                    keep_alive=False, started_t=started_t)
+                return False
+            return await self._handle_infer(
+                target[len("/v1/infer/"):], request, writer,
+                keep_alive=keep_alive, started_t=started_t)
+        if target.startswith("/v1/decode/"):
+            if method != "POST":
+                await self._respond_json(
+                    writer, 405, {"error": "MethodNotAllowed"},
+                    keep_alive=False, started_t=started_t)
+                return False
+            return await self._handle_decode(
+                target[len("/v1/decode/"):], request, reader, writer,
+                keep_alive=keep_alive, started_t=started_t)
+        await self._respond_json(
+            writer, 404, {"error": "NoSuchRoute", "detail": target},
+            keep_alive=keep_alive, started_t=started_t)
+        return keep_alive
+
+    @staticmethod
+    def _parse_body(request: dict) -> dict:
+        try:
+            body = json.loads(request["body"] or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"bad json body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise _HttpError(400, "json body must be an object")
+        return body
+
+    async def _handle_infer(self, name: str, request: dict, writer, *,
+                            keep_alive: bool, started_t: float) -> bool:
+        try:
+            body = self._parse_body(request)
+        except _HttpError as exc:
+            await self._respond_json(
+                writer, exc.status,
+                {"error": "HttpError", "detail": exc.detail},
+                keep_alive=keep_alive, started_t=started_t)
+            return keep_alive
+        tenant = str(body.get("tenant", "anon"))
+        try:
+            x, was_b64 = _decode_array(body)
+            entry = self.server.entry(name)        # KeyError -> 404
+            admission = self.admission.admit(name, tenant)
+        except Exception as exc:  # noqa: BLE001 — mapped to typed responses
+            status, payload, headers = (
+                (exc.status, {"error": "HttpError", "detail": exc.detail},
+                 {}) if isinstance(exc, _HttpError)
+                else self._error_payload(exc))
+            await self._respond_json(writer, status, payload,
+                                     keep_alive=keep_alive,
+                                     extra_headers=headers,
+                                     started_t=started_t)
+            return keep_alive
+        loop = asyncio.get_running_loop()
+        try:
+            # Enqueue without firing, then serve on a pool thread: the
+            # serving thread honors the deployment's release policy
+            # (DeadlinePolicy slack or fixed delay) exactly like
+            # ModelServer.submit_async, and the event loop never blocks.
+            ticket = entry.batcher.submit(x, fire=False)
+            out = await loop.run_in_executor(
+                self._executor, entry.batcher.serve, ticket)
+        except Exception as exc:  # noqa: BLE001 — typed 500 to the client
+            self.admission.release(admission, "failed")
+            status, payload, headers = self._error_payload(exc)
+            await self._respond_json(writer, status, payload,
+                                     keep_alive=keep_alive,
+                                     extra_headers=headers,
+                                     started_t=started_t)
+            return keep_alive
+        self.admission.release(admission, "completed")
+        payload = _encode_array(out, b64=was_b64)
+        payload.update({
+            "deployment": name,
+            "tenant": tenant,
+            "queue_wait_ms": ticket.queue_wait_s * 1e3,
+            "batch_size": ticket.batch_size,
+            "cached": ticket.cached,
+        })
+        await self._respond_json(writer, 200, payload,
+                                 keep_alive=keep_alive, started_t=started_t)
+        return keep_alive
+
+    async def _handle_decode(self, name: str, request: dict, reader,
+                             writer, *, keep_alive: bool,
+                             started_t: float) -> bool:
+        try:
+            body = self._parse_body(request)
+            prompt = body.get("prompt")
+            if not isinstance(prompt, list) or not prompt:
+                raise _HttpError(400, "decode needs a non-empty 'prompt' "
+                                      "list of token ids")
+            prompt = np.asarray(prompt, dtype=np.int64)
+            max_new = body.get("max_new_tokens")
+            stream = bool(body.get("stream", False))
+            tenant = str(body.get("tenant", "anon"))
+        except _HttpError as exc:
+            await self._respond_json(
+                writer, exc.status,
+                {"error": "HttpError", "detail": exc.detail},
+                keep_alive=keep_alive, started_t=started_t)
+            return keep_alive
+        try:
+            self.server.entry(name)                # KeyError -> 404
+            admission = self.admission.admit(name, tenant)
+            ticket = self.server.submit_decode(name, prompt,
+                                               max_new_tokens=max_new)
+        except Exception as exc:  # noqa: BLE001 — mapped to typed responses
+            if isinstance(exc, (KeyError, AdmissionError)):
+                status, payload, headers = self._error_payload(exc)
+            else:
+                # submit_decode refusals (capability, bad prompt) after a
+                # successful admission must release what they admitted.
+                try:
+                    self.admission.release(admission, "failed")
+                except UnboundLocalError:
+                    pass
+                status, payload, headers = self._error_payload(exc)
+            await self._respond_json(writer, status, payload,
+                                     keep_alive=keep_alive,
+                                     extra_headers=headers,
+                                     started_t=started_t)
+            return keep_alive
+        if stream:
+            return await self._stream_decode(name, ticket, admission,
+                                             reader, writer,
+                                             started_t=started_t)
+        loop = asyncio.get_running_loop()
+        try:
+            tokens = await loop.run_in_executor(self._executor,
+                                                ticket.result)
+        except Exception as exc:  # noqa: BLE001 — typed 500 to the client
+            self.admission.release(admission, "failed")
+            status, payload, headers = self._error_payload(exc)
+            await self._respond_json(writer, status, payload,
+                                     keep_alive=keep_alive,
+                                     extra_headers=headers,
+                                     started_t=started_t)
+            return keep_alive
+        self.admission.release(admission, "completed")
+        await self._respond_json(
+            writer, 200,
+            {"tokens": [int(t) for t in tokens], "deployment": name,
+             "seeded_tokens": ticket.seeded_tokens,
+             "n_steps": ticket.n_steps,
+             "queue_wait_ms": ticket.queue_wait_s * 1e3},
+            keep_alive=keep_alive, started_t=started_t)
+        return keep_alive
+
+    async def _stream_decode(self, name: str, ticket, admission, reader,
+                             writer, *, started_t: float) -> bool:
+        """Chunked token stream; a dropped client cancels only this
+        request.
+
+        A pool thread drives the continuous batch (``iter_tokens``) and
+        feeds an ``asyncio.Queue``; the coroutine multiplexes that queue
+        against connection EOF, so the moment the client goes away the
+        ticket is cancelled — its KV slot compacts out of the running
+        batch — and every other stream keeps its exact tokens.  Streaming
+        responses always close the connection (the EOF watcher consumes
+        the socket).
+        """
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def drive() -> None:
+            try:
+                for tok in ticket.iter_tokens():
+                    loop.call_soon_threadsafe(queue.put_nowait,
+                                              ("token", tok))
+            except Exception as exc:  # noqa: BLE001 — surfaced as a chunk
+                loop.call_soon_threadsafe(queue.put_nowait, ("error", exc))
+            else:
+                loop.call_soon_threadsafe(queue.put_nowait, ("end", None))
+
+        driver = loop.run_in_executor(self._executor, drive)
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/jsonl\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        eof_task = asyncio.create_task(reader.read(1))
+        outcome = "completed"
+        status = 200
+        try:
+            while True:
+                get_task = asyncio.create_task(queue.get())
+                done, _ = await asyncio.wait(
+                    {get_task, eof_task},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if eof_task in done and get_task not in done:
+                    get_task.cancel()
+                    outcome = "cancelled"
+                    break
+                kind, value = get_task.result()
+                if kind == "token":
+                    line = json.dumps({"token": int(value)}).encode() + b"\n"
+                    writer.write(f"{len(line):x}\r\n".encode() + line
+                                 + b"\r\n")
+                    await writer.drain()
+                elif kind == "end":
+                    line = json.dumps(
+                        {"done": True,
+                         "n_tokens": len(ticket.tokens),
+                         "seeded_tokens": ticket.seeded_tokens}
+                    ).encode() + b"\n"
+                    writer.write(f"{len(line):x}\r\n".encode() + line
+                                 + b"\r\n" + b"0\r\n\r\n")
+                    await writer.drain()
+                    break
+                else:
+                    outcome = "failed"
+                    status = 500
+                    line = json.dumps(
+                        {"error": type(value).__name__,
+                         "detail": str(value)}).encode() + b"\n"
+                    writer.write(f"{len(line):x}\r\n".encode() + line
+                                 + b"\r\n" + b"0\r\n\r\n")
+                    await writer.drain()
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            outcome = "cancelled"
+        finally:
+            if not eof_task.done():
+                eof_task.cancel()
+            if outcome == "cancelled":
+                # Compact the request out of the running batch; the driver
+                # thread unblocks with CancelledError and exits.
+                await loop.run_in_executor(
+                    self._executor, self.server.cancel_decode, name, ticket)
+                status = 499  # client closed request (nginx convention)
+            await asyncio.wrap_future(driver)
+            self.admission.release(admission, outcome)
+            self._observe_response(status, started_t)
+        return False
+
+    # -- observability --------------------------------------------------------
+    def stats(self) -> dict:
+        """Gateway-level snapshot: admission, HTTP counters, server rollup."""
+        with self._http_lock:
+            http = {
+                "n_connections": self.n_connections,
+                "n_http_requests": self.n_http_requests,
+                "responses_by_status": dict(self.responses_by_status),
+                "request_latency": self.request_latency.summary(),
+            }
+            http["request_latency"]["p99_ms"] = \
+                self.request_latency.percentile(99.0) * 1e3
+        return {
+            "admission": self.admission.stats(),
+            "http": http,
+            "server": self.server.metrics().summary(),
+        }
+
+
+class GatewayHandle:
+    """A gateway running on its own event-loop thread (see
+    :meth:`Gateway.launch`): synchronous ``host``/``port``/``stats``/
+    ``close`` for CLI, tests and benchmarks.  Context-manager friendly;
+    ``close`` is idempotent and leaves the wrapped :class:`ModelServer`
+    untouched (the caller owns it)."""
+
+    def __init__(self, gateway: Gateway) -> None:
+        self.gateway = gateway
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @classmethod
+    def _start(cls, gateway: Gateway) -> "GatewayHandle":
+        handle = cls(gateway)
+        started = threading.Event()
+        boot_error: list[BaseException] = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            handle._loop = loop
+            try:
+                loop.run_until_complete(gateway.start())
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                boot_error.append(exc)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        handle._thread = threading.Thread(target=runner,
+                                          name="gateway-loop", daemon=True)
+        handle._thread.start()
+        started.wait()
+        if boot_error:
+            raise boot_error[0]
+        return handle
+
+    @property
+    def host(self) -> str:
+        return self.gateway.host
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    def stats(self) -> dict:
+        return self.gateway.stats()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut the gateway down and join its loop thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        future = asyncio.run_coroutine_threadsafe(self.gateway.aclose(),
+                                                  self._loop)
+        try:
+            future.result(timeout=timeout)
+        except CancelledError:
+            pass
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "GatewayHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

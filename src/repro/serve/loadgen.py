@@ -1,0 +1,371 @@
+"""Seeded open-loop load generation for the gateway.
+
+A closed-loop client (send, wait, send again) self-throttles when the
+server slows down, flattering every latency number.  Real traffic does
+not: arrivals keep coming at the offered rate whether or not the server
+keeps up, and the only honest overload measurements — goodput, tail
+latency, shed rate vs *offered* load — come from an open-loop driver.
+This module is that driver:
+
+* arrival processes: :class:`PoissonArrivals` (memoryless, the classic
+  open-loop model) and :class:`MMPPArrivals` (a two-state Markov-modulated
+  Poisson process whose high-rate state produces the bursts that defeat
+  fixed micro-batch delays);
+* :class:`TenantSpec`: one tenant's traffic — target deployment, arrival
+  process, request kind (one-shot ``infer`` or autoregressive ``decode``),
+  and a heavy-tail size mix (decode prompts via
+  :func:`repro.models.zoo.proxy_prompts`, infer batch rows log-uniform);
+* :func:`build_schedule`: the *deterministic* part — expands tenant specs
+  into a time-sorted list of :class:`PlannedRequest` with materialized
+  payloads, so a benchmark can precompute every expected response
+  bit-exactly before a single packet is sent;
+* :func:`run_schedule`: the asyncio client that replays a schedule
+  open-loop (each request fires at its scheduled offset on its own
+  connection; a slow server never delays the next arrival) and records
+  per-request :class:`RequestOutcome`;
+* :func:`summarize`: goodput, p50/p95/p99 latency, SLO attainment and
+  shed rate from the outcome list.
+
+Everything is seeded: the same ``(tenants, duration, seed)`` triple yields
+the same schedule, byte for byte, which is what lets CI compare two
+scheduler policies under identical offered load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PoissonArrivals", "MMPPArrivals", "TenantSpec", "PlannedRequest",
+    "RequestOutcome", "build_schedule", "run_schedule", "summarize",
+]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate_rps``: i.i.d. exponential gaps."""
+
+    rate_rps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+
+    def times(self, rng: np.random.Generator, duration_s: float) -> list:
+        """Arrival offsets in ``[0, duration_s)``, ascending."""
+        out, t = [], 0.0
+        while True:
+            t += rng.exponential(1.0 / self.rate_rps)
+            if t >= duration_s:
+                return out
+            out.append(t)
+
+
+@dataclass(frozen=True)
+class MMPPArrivals:
+    """Two-state Markov-modulated Poisson process: bursty arrivals.
+
+    The process alternates between a ``base_rps`` state and a
+    ``burst_rps`` state; dwell times are exponential with means
+    ``mean_dwell_s`` (base) and ``mean_burst_s`` (burst).  Within a state
+    arrivals are Poisson at that state's rate — so the long-run offered
+    rate is a dwell-weighted mix, but the *instantaneous* rate spikes,
+    which is exactly the traffic shape that separates deadline-driven
+    batch release from a fixed delay.
+    """
+
+    base_rps: float
+    burst_rps: float
+    mean_dwell_s: float = 1.0
+    mean_burst_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_rps <= 0 or self.burst_rps <= 0:
+            raise ValueError("arrival rates must be > 0, got "
+                             f"{self.base_rps}/{self.burst_rps}")
+        if self.mean_dwell_s <= 0 or self.mean_burst_s <= 0:
+            raise ValueError("dwell means must be > 0")
+
+    def times(self, rng: np.random.Generator, duration_s: float) -> list:
+        """Arrival offsets in ``[0, duration_s)``, ascending."""
+        out: list = []
+        t = 0.0
+        bursting = False
+        while t < duration_s:
+            dwell = rng.exponential(
+                self.mean_burst_s if bursting else self.mean_dwell_s)
+            rate = self.burst_rps if bursting else self.base_rps
+            end = min(t + dwell, duration_s)
+            arrival = t + rng.exponential(1.0 / rate)
+            while arrival < end:
+                out.append(arrival)
+                arrival += rng.exponential(1.0 / rate)
+            t = end
+            bursting = not bursting
+        return out
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's open-loop traffic against one deployment.
+
+    ``kind='infer'`` sends one-shot forwards whose row count draws from
+    ``[min_rows, max_rows]`` (log-uniform when ``heavy_tail`` — mostly
+    small requests, a few large, the mix micro-batching exists for) with
+    feature shape ``feature_shape``.  ``kind='decode'`` sends
+    autoregressive requests whose prompts come from
+    :func:`repro.models.zoo.proxy_prompts` on ``proxy`` (honoring the same
+    ``heavy_tail`` flag) with ``max_new_tokens`` generation budget.
+    ``slo_s`` is the per-request latency objective ``summarize`` scores
+    goodput against.
+    """
+
+    name: str
+    deployment: str
+    arrivals: "PoissonArrivals | MMPPArrivals"
+    kind: str = "infer"
+    feature_shape: tuple = (16,)
+    min_rows: int = 1
+    max_rows: int = 4
+    heavy_tail: bool = False
+    proxy: str = "gpt2"
+    min_prompt: int = 4
+    max_prompt: int = 16
+    max_new_tokens: int = 8
+    slo_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("infer", "decode"):
+            raise ValueError(f"kind must be 'infer' or 'decode', "
+                             f"got {self.kind!r}")
+        if not 1 <= self.min_rows <= self.max_rows:
+            raise ValueError("need 1 <= min_rows <= max_rows, got "
+                             f"[{self.min_rows}, {self.max_rows}]")
+        if self.slo_s <= 0:
+            raise ValueError(f"slo_s must be > 0, got {self.slo_s}")
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One scheduled request: fire at offset ``t``, payload materialized."""
+
+    t: float
+    tenant: str
+    deployment: str
+    kind: str
+    slo_s: float
+    x: np.ndarray | None = None          # infer payload
+    prompt: np.ndarray | None = None     # decode payload
+    max_new_tokens: int | None = None
+
+
+@dataclass
+class RequestOutcome:
+    """What one planned request actually got back."""
+
+    request: PlannedRequest
+    status: int                  # HTTP status; 0 = transport failure
+    latency_s: float
+    error: str | None = None     # error class/code from the response body
+    output: np.ndarray | None = field(default=None, repr=False)
+    tokens: list | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def within_slo(self) -> bool:
+        return self.ok and self.latency_s <= self.request.slo_s
+
+
+def _rows(spec: TenantSpec, rng: np.random.Generator) -> int:
+    if spec.min_rows == spec.max_rows:
+        return spec.min_rows
+    if spec.heavy_tail:
+        # Log-uniform rows: mass at min_rows, tail to max_rows (mirrors
+        # proxy_prompts' length mix).
+        log = rng.uniform(np.log(spec.min_rows), np.log(spec.max_rows + 1))
+        return int(np.clip(np.exp(log), spec.min_rows, spec.max_rows))
+    return int(rng.integers(spec.min_rows, spec.max_rows + 1))
+
+
+def build_schedule(tenants, duration_s: float, *,
+                   seed: int = 0) -> list:
+    """Expand tenant specs into one time-sorted request schedule.
+
+    Deterministic: each tenant draws from its own
+    ``default_rng([seed, index])`` stream, so adding a tenant never
+    perturbs another tenant's arrivals or payloads, and the same inputs
+    reproduce the same schedule exactly — benchmarks precompute expected
+    outputs from it before issuing any traffic.
+    """
+    from ..models.zoo import proxy_prompts
+
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    schedule: list = []
+    for idx, spec in enumerate(tenants):
+        rng = np.random.default_rng([seed, idx])
+        times = spec.arrivals.times(rng, duration_s)
+        if spec.kind == "decode":
+            prompts = proxy_prompts(
+                spec.proxy, len(times), min_len=spec.min_prompt,
+                max_len=spec.max_prompt, heavy_tail=spec.heavy_tail,
+                seed=int(rng.integers(0, 2**31)))
+            for t, prompt in zip(times, prompts):
+                schedule.append(PlannedRequest(
+                    t=float(t), tenant=spec.name,
+                    deployment=spec.deployment, kind="decode",
+                    slo_s=spec.slo_s, prompt=prompt,
+                    max_new_tokens=spec.max_new_tokens))
+        else:
+            for t in times:
+                x = rng.normal(0.0, 1.0,
+                               (_rows(spec, rng),) + tuple(spec.feature_shape))
+                schedule.append(PlannedRequest(
+                    t=float(t), tenant=spec.name,
+                    deployment=spec.deployment, kind="infer",
+                    slo_s=spec.slo_s, x=x))
+    schedule.sort(key=lambda r: r.t)
+    return schedule
+
+
+# -- the open-loop client -----------------------------------------------------
+
+def _request_bytes(req: PlannedRequest) -> bytes:
+    if req.kind == "decode":
+        body = {"prompt": [int(tok) for tok in req.prompt],
+                "tenant": req.tenant}
+        if req.max_new_tokens is not None:
+            body["max_new_tokens"] = int(req.max_new_tokens)
+        path = f"/v1/decode/{req.deployment}"
+    else:
+        x = np.ascontiguousarray(req.x)
+        body = {"input_b64": base64.b64encode(x.tobytes()).decode("ascii"),
+                "dtype": str(x.dtype), "shape": list(x.shape),
+                "tenant": req.tenant}
+        path = f"/v1/infer/{req.deployment}"
+    payload = json.dumps(body).encode()
+    head = (f"POST {path} HTTP/1.1\r\nHost: loadgen\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n")
+    return head.encode() + payload
+
+
+def _parse_response(raw: bytes) -> tuple:
+    """``(status, json body)`` from a Connection: close HTTP response."""
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split(" ")[1])
+    return status, (json.loads(body) if body else {})
+
+
+async def _issue(host: str, port: int, req: PlannedRequest,
+                 timeout_s: float, keep_outputs: bool) -> RequestOutcome:
+    t0 = time.perf_counter()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(_request_bytes(req))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout=timeout_s)
+        writer.close()
+        status, body = _parse_response(raw)
+    except (OSError, asyncio.TimeoutError, ValueError, IndexError,
+            json.JSONDecodeError) as exc:
+        return RequestOutcome(request=req, status=0,
+                              latency_s=time.perf_counter() - t0,
+                              error=type(exc).__name__)
+    latency = time.perf_counter() - t0
+    outcome = RequestOutcome(request=req, status=status, latency_s=latency,
+                             error=body.get("code") or body.get("error")
+                             if status != 200 else None)
+    if status == 200 and keep_outputs:
+        if "output_b64" in body:
+            outcome.output = np.frombuffer(
+                base64.b64decode(body["output_b64"]),
+                dtype=np.dtype(body["dtype"])).reshape(body["shape"])
+        elif "tokens" in body:
+            outcome.tokens = [int(tok) for tok in body["tokens"]]
+    return outcome
+
+
+async def _run_open_loop(host, port, schedule, timeout_s, keep_outputs):
+    start = time.perf_counter()
+    tasks = []
+    for req in schedule:
+        delay = req.t - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # Fire-and-track: the next arrival never waits on this response —
+        # the open-loop property everything downstream depends on.
+        tasks.append(asyncio.ensure_future(
+            _issue(host, port, req, timeout_s, keep_outputs)))
+    return await asyncio.gather(*tasks)
+
+
+def run_schedule(host: str, port: int, schedule, *,
+                 timeout_s: float = 30.0,
+                 keep_outputs: bool = True) -> list:
+    """Replay a schedule open-loop against a gateway; one
+    :class:`RequestOutcome` per planned request, schedule order.
+
+    Each request opens its own connection (``Connection: close``) at its
+    scheduled offset regardless of how many earlier requests are still in
+    flight; if the replay falls behind (the client host itself saturated),
+    late requests fire immediately rather than silently stretching the
+    offered load.  ``keep_outputs=False`` drops response payloads for
+    long measurement runs.
+    """
+    return asyncio.run(
+        _run_open_loop(host, port, list(schedule), timeout_s, keep_outputs))
+
+
+def _percentile(ordered: list, p: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = max(1, int(np.ceil(p / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+def summarize(outcomes, duration_s: float) -> dict:
+    """Roll an outcome list up into the overload dashboard.
+
+    ``goodput_rps`` counts only responses that completed *within their
+    SLO* (per second of schedule duration) — completing late is not good
+    throughput; ``slo_attainment`` is the within-SLO fraction of offered
+    load, ``shed_rate`` the fraction refused with 429/503, and the
+    latency percentiles are nearest-rank over completed requests.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    outcomes = list(outcomes)
+    completed = [o for o in outcomes if o.ok]
+    shed = sum(1 for o in outcomes if o.status == 503)
+    rejected = sum(1 for o in outcomes if o.status == 429)
+    failed = sum(1 for o in outcomes
+                 if not o.ok and o.status not in (429, 503))
+    within = sum(1 for o in completed if o.within_slo)
+    lat = sorted(o.latency_s for o in completed)
+    offered = len(outcomes)
+    return {
+        "offered": offered,
+        "offered_rps": offered / duration_s,
+        "completed": len(completed),
+        "shed": shed,
+        "rejected": rejected,
+        "failed": failed,
+        "goodput_rps": within / duration_s,
+        "slo_attainment": within / offered if offered else 0.0,
+        "shed_rate": (shed + rejected) / offered if offered else 0.0,
+        "p50_ms": _percentile(lat, 50.0) * 1e3,
+        "p95_ms": _percentile(lat, 95.0) * 1e3,
+        "p99_ms": _percentile(lat, 99.0) * 1e3,
+        "max_ms": (lat[-1] * 1e3) if lat else 0.0,
+    }

@@ -657,6 +657,19 @@ class ModelServer:
         return self.submit_decode(
             name, prompt, max_new_tokens=max_new_tokens).iter_tokens()
 
+    def cancel_decode(self, name: str, ticket: DecodeTicket) -> bool:
+        """Abandon one in-flight decode request (a dropped client).
+
+        Queued requests are dequeued; active ones are compacted out of the
+        running batch at the next step boundary, leaving every other
+        sequence's tokens bit-exact.  Returns False when the ticket already
+        finished (nothing to cancel).
+        """
+        entry = self._get(name)
+        if entry.decoder is None:
+            return False
+        return entry.decoder.cancel(ticket)
+
     def submit_many(self, name: str, xs) -> list[Ticket]:
         """Enqueue a request list (batches fire as they fill)."""
         return [self.submit(name, x) for x in xs]
@@ -763,7 +776,8 @@ class ModelServer:
             decode_totals = {
                 key: sum(dec[key] for dec in decoders)
                 for key in ("n_requests", "n_steps", "n_prefills",
-                            "n_tokens", "n_failed", "depth", "n_active")}
+                            "n_tokens", "n_failed", "n_cancelled", "depth",
+                            "n_active")}
             prefixes = [dec["prefix_cache"] for dec in decoders
                         if "prefix_cache" in dec]
             if prefixes:

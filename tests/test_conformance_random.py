@@ -41,7 +41,7 @@ from repro.engine import (
 from repro.gemm.sibia_gemm import execute_sibia, prepare_sibia
 from repro.nn.layers import Linear
 from repro.nn.module import Module
-from repro.serve import BatchPolicy, ModelServer
+from repro.serve import BatchPolicy, Gateway, ModelServer
 
 BASE_SEED = int(os.environ.get("REPRO_CONFORMANCE_SEED", "0"))
 
@@ -617,3 +617,138 @@ class TestCacheConformance:
                 assert np.array_equal(a, b), f"{engine_name}: cache hit " \
                     f"differs (seed={BASE_SEED})"
             assert server.entry("m").batcher.n_cache_hits == len(requests)
+
+
+def _http_post(handle, path, payload, timeout=60):
+    import http.client
+    import json
+
+    conn = http.client.HTTPConnection(handle.host, handle.port,
+                                      timeout=timeout)
+    try:
+        conn.request("POST", path, body=json.dumps(payload))
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+    finally:
+        conn.close()
+
+
+class TestGatewayFuzz:
+    """The HTTP front end adds nothing: networked responses equal serial
+    runs bit for bit across all four engines × both granularities.
+
+    Requests travel JSON-over-HTTP through admission control, the asyncio
+    loop, the executor and the micro-batcher — with concurrent tenants
+    racing — and must still reproduce ``session.run`` /
+    ``DecodeSession.generate`` exactly (fp32 gets the documented
+    allclose(1e-12) carve-out on the coalescing path).  Dropping a client
+    mid-decode-stream must cancel only that request: the surviving
+    stream's tokens stay exact and the admission ledger stays conserved.
+    """
+
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_networked_infer_matches_serial(self, engine_name, granularity):
+        import base64
+
+        rng = _rng(14, hash(engine_name) & 0xFFFF,
+                   hash(granularity) & 0xFFFF)
+        dims = tuple(int(rng.integers(6, 32)) for _ in range(3))
+        model_seed = int(rng.integers(0, 2 ** 31))
+        session = _session_case(engine_name, granularity, "fast", dims,
+                                model_seed)
+        reference = _session_case(engine_name, granularity, "fast", dims,
+                                  model_seed)
+        requests = [rng.normal(0, 1, (int(rng.integers(1, 4)), dims[0]))
+                    for _ in range(6)]
+        expected = [reference.run(x) for x in requests]
+        server = ModelServer(BatchPolicy(max_batch=3, max_delay_s=0.002))
+        server.register("fuzz", session)
+        results = [None] * len(requests)
+
+        def tenant_worker(i):
+            x = np.ascontiguousarray(requests[i])
+            status, body = _http_post(handle, "/v1/infer/fuzz", {
+                "input_b64": base64.b64encode(x.tobytes()).decode("ascii"),
+                "dtype": str(x.dtype), "shape": list(x.shape),
+                "tenant": f"tenant-{i % 3}"})
+            assert status == 200, body
+            results[i] = np.frombuffer(
+                base64.b64decode(body["output_b64"]),
+                dtype=np.dtype(body["dtype"])).reshape(body["shape"])
+
+        with Gateway.launch(server) as handle:
+            threads = [threading.Thread(target=tenant_worker, args=(i,))
+                       for i in range(len(requests))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            stats = handle.stats()["admission"]
+            assert stats["conserved"]
+            assert stats["completed"] == len(requests)
+            assert len(stats["tenants"]) == 3
+        server.close()
+        for i, (got, expect) in enumerate(zip(results, expected)):
+            assert got is not None, f"request {i} never completed"
+            _assert_outputs_match(
+                got, expect, engine_name,
+                f"{engine_name}/{granularity}: networked response {i} != "
+                f"serial run (seed={BASE_SEED})")
+
+    @pytest.mark.parametrize("engine_name", ENGINES)
+    def test_networked_decode_matches_serial_with_cancellation(
+            self, engine_name):
+        """Greedy tokens over the wire equal DecodeSession.generate, while
+        a second client's mid-stream disconnect cancels only itself."""
+        import json
+        import socket
+        import time
+
+        from repro.engine import DecodeSession
+
+        granularity = GRANULARITIES[
+            int(_rng(15, hash(engine_name) & 0xFFFF, 0).integers(2))]
+        rng = _rng(15, hash(engine_name) & 0xFFFF, 1)
+        ref_rng = _rng(15, hash(engine_name) & 0xFFFF, 1)
+        session, vocab, block = _decode_lm_case(engine_name, granularity,
+                                                "fast", rng)
+        reference, _, _ = _decode_lm_case(engine_name, granularity,
+                                          "fast", ref_rng)
+        prompt = [int(t) for t in rng.integers(0, vocab, 5)]
+        _ = ref_rng.integers(0, vocab, 5)   # keep the streams aligned
+        expect = [int(t) for t in
+                  DecodeSession(reference).generate(
+                      np.asarray(prompt, dtype=np.int64), 5)]
+        server = ModelServer()
+        server.register("lm", session)
+        with Gateway.launch(server) as handle:
+            # The victim stream: read two chunks, then hang up.
+            payload = json.dumps({"prompt": prompt, "max_new_tokens": 256,
+                                  "stream": True}).encode()
+            sock = socket.create_connection((handle.host, handle.port),
+                                            timeout=60)
+            sock.sendall(b"POST /v1/decode/lm HTTP/1.1\r\nHost: f\r\n"
+                         + f"Content-Length: {len(payload)}"
+                           "\r\n\r\n".encode() + payload)
+            received = b""
+            while received.count(b"\n") < 4:
+                received += sock.recv(4096)
+            sock.close()
+            # The survivor, issued while the cancel is in flight.
+            status, body = _http_post(handle, "/v1/decode/lm",
+                                      {"prompt": prompt,
+                                       "max_new_tokens": 5})
+            assert status == 200
+            assert body["tokens"] == expect, \
+                f"{engine_name}/{granularity} block={block}: networked " \
+                f"decode != DecodeSession.generate (seed={BASE_SEED})"
+            deadline = time.time() + 15
+            while time.time() < deadline:
+                stats = handle.stats()["admission"]
+                if stats["cancelled"] == 1 and stats["in_flight"] == 0:
+                    break
+                time.sleep(0.05)
+            assert stats["cancelled"] == 1, stats
+            assert stats["conserved"], stats
+        server.close()

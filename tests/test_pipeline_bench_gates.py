@@ -6,7 +6,10 @@ depth >= 2 / >= 1.3x throughput criterion), whose file name pytest never
 collects on its own — a regression that broke stage scheduling or pipeline
 exactness would ship green.  This wrapper re-exports them so plain
 ``pytest`` (local and CI) runs them; the wall-clock gate stays opt-in via
-``REPRO_RUN_THROUGHPUT_GATE`` exactly like the serving gate.
+``REPRO_RUN_THROUGHPUT_GATE`` exactly like the serving gate, and skips
+*explicitly* below its 4-core floor, naming the host's core count
+(``benchmarks._util.throughput_gate_or_skip``), so a few-core lane
+reports why the gate could not bind instead of a hollow pass.
 """
 
 import pathlib

@@ -8,7 +8,9 @@ from repro.engine import PanaceaSession
 from repro.nn.layers import Linear
 from repro.nn.module import Module
 from repro.nn.transformer import CausalLM
-from repro.serve import BatchPolicy, LatencyStats, MicroBatcher
+from repro.engine import ServiceModel
+from repro.serve import (BatchPolicy, DeadlinePolicy, LatencyStats,
+                         MicroBatcher)
 
 
 class TinyNet(Module):
@@ -314,3 +316,104 @@ class TestLatencyStats:
         summary = LatencyStats().summary()
         assert summary["count"] == 0
         assert summary["max_ms"] == 0.0
+
+
+class TestDeadlinePolicy:
+    """SLO-slack release: edge cases the gateway's scheduling rests on."""
+
+    def test_service_none_falls_back_to_fixed_delay(self):
+        """Empty profile / no service model: behaves exactly like the
+        fixed max_delay policy it extends."""
+        policy = DeadlinePolicy(max_batch=8, max_delay_s=0.5, slo_s=0.25)
+        assert policy.release_wait_s(1) == 0.5
+        assert policy.release_wait_s(8) == 0.5
+        assert policy.max_wait_s == 0.5
+        clock = FakeClock()
+        batcher = MicroBatcher(_session(seed=30), policy, clock=clock)
+        ticket = batcher.submit(_batches(1, seed=31, rows=2)[0])
+        assert batcher.pump() == 0          # fixed deadline not reached
+        clock.advance(0.6)
+        assert batcher.pump() == 1 and ticket.done
+
+    def test_already_expired_deadline_releases_immediately(self):
+        """Expected service alone exceeds the SLO: zero slack, so the
+        batch must release on the very next pump without any wait."""
+        service = ServiceModel(base_s=0.3, per_item_s=0.0)
+        policy = DeadlinePolicy(max_batch=8, max_delay_s=60.0, slo_s=0.05,
+                                service=service)
+        assert policy.release_wait_s(1) == 0.0
+        clock = FakeClock()
+        batcher = MicroBatcher(_session(seed=32), policy, clock=clock)
+        ticket = batcher.submit(_batches(1, seed=33, rows=2)[0])
+        assert batcher.pump() == 1          # no clock advance needed
+        assert ticket.done and ticket.batch_size == 1
+
+    def test_wait_shrinks_as_riders_deepen(self):
+        """A fuller batch costs more service, so the same SLO leaves less
+        room to wait; depth clamps at max_batch and 0 reads as 1."""
+        service = ServiceModel(base_s=0.005, per_item_s=0.005)
+        policy = DeadlinePolicy(max_batch=4, max_delay_s=60.0, slo_s=0.1,
+                                service=service)
+        waits = [policy.release_wait_s(depth) for depth in (1, 2, 3, 4)]
+        assert waits == sorted(waits, reverse=True)
+        assert waits[0] == pytest.approx(0.1 - 0.01)
+        assert waits[3] == pytest.approx(0.1 - 0.025)
+        assert policy.release_wait_s(99) == policy.release_wait_s(4)
+        assert policy.release_wait_s(0) == policy.release_wait_s(1)
+        assert policy.max_wait_s == 0.1     # worst case: the SLO itself
+
+    def test_all_same_deadline_fires_as_one_batch(self):
+        """Tickets submitted at the same instant share one deadline: when
+        it lapses, one pump releases them as a single batch."""
+        clock = FakeClock()
+        service = ServiceModel(base_s=0.01, per_item_s=0.0)
+        policy = DeadlinePolicy(max_batch=8, max_delay_s=60.0, slo_s=0.2,
+                                service=service)
+        batcher = MicroBatcher(_session(seed=34), policy, clock=clock)
+        tickets = [batcher.submit(b) for b in _batches(3, seed=35, rows=2)]
+        assert batcher.pump() == 0
+        clock.advance(policy.release_wait_s(3) + 1e-9)
+        assert batcher.pump() == 3
+        assert all(t.done and t.batch_size == 3 for t in tickets)
+
+    def test_from_profile_builds_service_model(self):
+        session = _session(seed=36)
+        report = session.profile(_batches(1, seed=37)[0], repeats=2)
+        policy = DeadlinePolicy.from_profile(report, slo_s=0.5, max_batch=4)
+        assert policy.service is not None
+        assert policy.service.base_s >= 0.0
+        assert policy.service.expected_s(4) > policy.service.expected_s(0)
+        assert 0.0 < policy.release_wait_s(1) < 0.5
+        assert policy.max_wait_s == 0.5
+
+    def test_bit_exact_vs_solo_under_deadline_policy(self):
+        """The release policy is scheduling-only: coalesced outputs equal
+        solo runs bit for bit."""
+        reqs = _batches(5, seed=38, rows=2)
+        solo = _session(seed=20)
+        expected = [solo.run(r) for r in reqs]
+        service = ServiceModel(base_s=0.001, per_item_s=0.001)
+        batcher = MicroBatcher(
+            _session(seed=20),
+            DeadlinePolicy(max_batch=3, max_delay_s=60.0, slo_s=30.0,
+                           service=service))
+        tickets = [batcher.submit(r) for r in reqs]
+        batcher.flush()
+        for ticket, expect in zip(tickets, expected):
+            assert np.array_equal(ticket.result(), expect)
+
+    def test_stats_surface_slo(self):
+        batcher = MicroBatcher(
+            _session(seed=39),
+            DeadlinePolicy(max_batch=2, max_delay_s=0.0, slo_s=0.07))
+        batcher.submit(_batches(1, seed=40, rows=2)[0])
+        batcher.flush()
+        assert batcher.stats()["policy"]["slo_s"] == 0.07
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="slo_s"):
+            DeadlinePolicy(slo_s=0.0)
+        with pytest.raises(ValueError, match="base_s"):
+            ServiceModel(base_s=-1.0, per_item_s=0.0)
+        with pytest.raises(ValueError, match="per_item_s"):
+            ServiceModel(base_s=0.0, per_item_s=-1.0)

@@ -409,3 +409,67 @@ class TestServerDecode:
                 t.join(timeout=120)
         for i, (got, prompt) in enumerate(zip(results, prompts)):
             assert got == _solo_decode(prompt, 4), f"thread {i} differs"
+
+
+class TestDecodeCancel:
+    """DecodeBatcher.cancel: dropped-client semantics (the gateway path)."""
+
+    def test_cancel_queued_ticket_never_decodes(self):
+        from concurrent.futures import CancelledError
+
+        prompts = _prompts(3, seed=21)
+        batcher = DecodeBatcher(_lm_session(),
+                                DecodePolicy(max_batch=2, max_new_tokens=4))
+        tickets = [batcher.submit(p) for p in prompts]
+        assert batcher.cancel(tickets[2])          # still queued: dequeued
+        assert not batcher.cancel(tickets[2])      # already finished
+        batcher.drain()
+        for ticket, prompt in zip(tickets[:2], prompts[:2]):
+            assert ticket.result().tolist() == _solo_decode(prompt, 4)
+        with pytest.raises(CancelledError):
+            tickets[2].result()
+        stats = batcher.stats()
+        assert stats["n_cancelled"] == 1
+        assert stats["n_requests"] == 2            # only the survivors
+        assert stats["n_prefills"] == 2            # never entered the batch
+        assert stats["depth"] == 0 and stats["n_active"] == 0
+
+    def test_cancel_active_slot_compacts_others_bit_exact(self):
+        """Cancel a request mid-flight in the shared batch: its slot
+        retires at the next step boundary and the surviving sequences
+        finish with their exact solo tokens."""
+        from concurrent.futures import CancelledError
+
+        prompts = _prompts(3, seed=22, lo=4, hi=6)
+        batcher = DecodeBatcher(_lm_session(),
+                                DecodePolicy(max_batch=3,
+                                             max_new_tokens=16))
+        tickets = [batcher.submit(p) for p in prompts]
+        victim = tickets[1]
+        stream = iter(victim.iter_tokens())
+        next(stream)                               # victim is active now
+        assert batcher.cancel(victim)
+        batcher.drain()
+        with pytest.raises(CancelledError):
+            victim.result()
+        for i in (0, 2):
+            assert tickets[i].result().tolist() == \
+                _solo_decode(prompts[i], 16), f"survivor {i} diverged"
+        stats = batcher.stats()
+        assert stats["n_cancelled"] == 1
+        assert stats["n_requests"] == 2
+
+    def test_server_cancel_decode_routes_to_batcher(self):
+        with ModelServer() as server:
+            server.register("lm", _lm_session(),
+                            decode_policy=DecodePolicy(max_batch=2,
+                                                       max_new_tokens=3))
+            # No decoder yet (lazy): nothing to cancel, typed False.
+            assert not server.cancel_decode("lm", None)
+            ticket = server.submit_decode("lm", _prompts(1, seed=23)[0])
+            other = server.submit_decode("lm", _prompts(1, seed=24)[0])
+            assert server.cancel_decode("lm", ticket)
+            assert other.result().tolist() == \
+                _solo_decode(_prompts(1, seed=24)[0], 3)
+            metrics = server.metrics()
+            assert metrics.decode["n_cancelled"] == 1
