@@ -169,6 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="driver threads of a sharded deployment's "
                               "owned stage pool (default: one per stage, "
                               "capped at the core count)")
+    p_serve.add_argument("--trace-sample", type=float, default=1.0,
+                         help="fraction of requests to trace "
+                              "(0 disables tracing, 1 traces everything)")
     p_serve.add_argument("--seed", type=int, default=0)
 
     p_dec = sub.add_parser(
@@ -243,6 +246,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_gw.add_argument("--host", default="127.0.0.1")
     p_gw.add_argument("--port", type=int, default=0,
                       help="listen port (0 = ephemeral)")
+    p_gw.add_argument("--trace-sample", type=float, default=1.0,
+                      help="fraction of requests to trace "
+                           "(0 disables tracing, 1 traces everything)")
     p_gw.add_argument("--hold", action="store_true",
                       help="skip the built-in load and serve until "
                            "interrupted (pair with `repro loadgen`)")
@@ -322,6 +328,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "over the store's mmap blob sidecar (shared "
                              "pages across processes)")
     p_load.add_argument("--seed", type=int, default=0)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="fetch one request's span tree from a running gateway")
+    p_trace.add_argument("id", help="trace id (16-digit hex, echoed as "
+                                    "trace_id in infer responses)")
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument("--port", type=int, required=True,
+                         help="the gateway's TCP port")
+    p_trace.add_argument("--jsonl", action="store_true",
+                         help="print the raw JSON-lines export instead of "
+                              "the rendered span tree")
 
     p_exp = sub.add_parser("experiment",
                            help="regenerate one paper figure/table")
@@ -455,6 +473,31 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _print_metrics_table(registries, out) -> None:
+    """Render every registry instrument as one table (shutdown summary)."""
+    from .eval.tables import format_table
+
+    rows = []
+    for registry in registries:
+        for family in registry.collect():
+            for labels, value in family["samples"]:
+                if family["kind"] == "histogram":
+                    rendered = (f"n={value.count} "
+                                f"mean={value.mean_s * 1e3:.2f}ms "
+                                f"max={value.max_s * 1e3:.2f}ms"
+                                if value.count else "n=0")
+                elif isinstance(value, float):
+                    rendered = f"{value:.4g}"
+                else:
+                    rendered = str(value)
+                label_s = ",".join(f"{k}={v}"
+                                   for k, v in sorted(labels.items()))
+                rows.append([family["name"], label_s, rendered])
+    if rows:
+        print(format_table(["metric", "labels", "value"], rows,
+                           title="metrics summary"), file=out)
+
+
 def _cmd_serve(args, out) -> int:
     import time
 
@@ -478,10 +521,15 @@ def _cmd_serve(args, out) -> int:
         print("--backend process needs --workers >= 1 "
               "(the worker-process count)", file=out)
         return 2
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print(f"--trace-sample must be in [0, 1], got {args.trace_sample}",
+              file=out)
+        return 2
     server = ModelServer(workers=args.workers,
                          cache_bytes=args.cache_kib * 1024,
                          backend=args.backend,
-                         blas_threads=args.blas_threads)
+                         blas_threads=args.blas_threads,
+                         trace_sample=args.trace_sample)
     deployment = f"{args.model}/{args.scheme}"
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_delay_s=args.max_delay_ms / 1e3)
@@ -557,6 +605,7 @@ def _cmd_serve(args, out) -> int:
           f"ema_nibbles={sess['ema_nibbles']:.3g}  "
           f"mean rho_w {sess['mean_rho_w']:.3f}  "
           f"mean rho_x {sess['mean_rho_x']:.3f}", file=out)
+    _print_metrics_table([server.metrics_registry()], out)
     return 0
 
 
@@ -703,7 +752,11 @@ def _cmd_gateway(args, out) -> int:
         print(f"no runnable proxy for {args.model!r}; "
               f"available: {sorted(PROXY_SPECS)}", file=out)
         return 2
-    server = ModelServer()
+    if not 0.0 <= args.trace_sample <= 1.0:
+        print(f"--trace-sample must be in [0, 1], got {args.trace_sample}",
+              file=out)
+        return 2
+    server = ModelServer(trace_sample=args.trace_sample)
     deployment = f"{args.model}/{args.scheme}"
     entry = server.deploy_proxy(deployment, args.model, scheme=args.scheme,
                                 exec_path=args.exec_path, seed=args.seed)
@@ -752,7 +805,60 @@ def _cmd_gateway(args, out) -> int:
                                     keep_outputs=False)
             _print_loadgen_summary(summarize(outcomes, args.duration),
                                    handle.stats(), out)
+        registries = [handle.gateway.metrics_registry(),
+                      server.metrics_registry()]
+    _print_metrics_table(registries, out)
     server.close()
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    """Fetch and render one span tree from a running gateway."""
+    import json as _json
+    from http.client import HTTPConnection
+
+    path = f"/v1/trace/{args.id}"
+    if args.jsonl:
+        path += "?format=jsonl"
+    conn = HTTPConnection(args.host, args.port, timeout=10.0)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        body = resp.read().decode()
+    except OSError as exc:
+        print(f"cannot reach the gateway at {args.host}:{args.port}: "
+              f"{exc}", file=out)
+        return 2
+    finally:
+        conn.close()
+    if resp.status != 200:
+        print(f"HTTP {resp.status}: {body.strip()}", file=out)
+        return 1
+    if args.jsonl:
+        print(body.rstrip("\n"), file=out)
+        return 0
+    trace = _json.loads(body)
+    print(f"trace {trace['trace_id']} ({trace['name']}): "
+          f"{trace['n_spans']} spans, status {trace['status']}", file=out)
+    by_parent: dict[str, list] = {}
+    roots = []
+    for span in trace["spans"]:
+        if span["parent_id"]:
+            by_parent.setdefault(span["parent_id"], []).append(span)
+        else:
+            roots.append(span)
+
+    def emit(span, depth):
+        dur = span["duration_s"]
+        timing = f"{dur * 1e3:.3f} ms" if dur is not None else "open"
+        print(f"{'  ' * depth}{span['name']}  [{timing}, {span['status']}]",
+              file=out)
+        for child in sorted(by_parent.get(span["span_id"], []),
+                            key=lambda s: s["start_s"]):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s["start_s"]):
+        emit(root, 0)
     return 0
 
 
@@ -934,6 +1040,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_gateway(args, out)
     if args.command == "loadgen":
         return _cmd_loadgen(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
     if args.command == "shard":
         return _cmd_shard(args, out)
     if args.command == "plan":

@@ -410,9 +410,15 @@ class PanaceaSession:
         return self.serve_coalesced(batches, pad_axis=pad_axis,
                                     pad_value=pad_value)[0]
 
+    #: The batcher may pass per-request tracing spans via ``traces=``.
+    #: The fused path has no internal stages, so spans gain request
+    #: attribution attributes only — no child spans.
+    accepts_traces = True
+
     def serve_coalesced(self, batches: Sequence[np.ndarray], *,
-                        pad_axis: int | None = None,
-                        pad_value=0) -> tuple[list, list[RequestRecord]]:
+                        pad_axis: int | None = None, pad_value=0,
+                        traces: Sequence | None = None,
+                        ) -> tuple[list, list[RequestRecord]]:
         """:meth:`run_coalesced` plus the per-request records, atomically.
 
         The scheduler's entry point: outputs and records come back
@@ -426,7 +432,17 @@ class PanaceaSession:
         if not batches:
             return [], []
         with self._lock:
-            return self._serve_coalesced(batches, pad_axis, pad_value)
+            outputs, records = self._serve_coalesced(batches, pad_axis,
+                                                     pad_value)
+        if traces is not None:
+            for span, record in zip(traces, records):
+                if span is None:
+                    continue
+                span.attrs["request_id"] = record.request_id
+                span.attrs["batch_shape"] = list(record.batch_shape)
+                span.attrs["n_layers"] = len(record.layers)
+                span.attrs["coalesced"] = record.coalesced
+        return outputs, records
 
     def _serve_coalesced(self, batches: list, pad_axis: int | None,
                          pad_value) -> tuple[list, list[RequestRecord]]:

@@ -1,0 +1,120 @@
+"""Prometheus text-exposition serializer (stdlib only).
+
+Renders :meth:`MetricsRegistry.collect` snapshots as version 0.0.4 text
+format: ``# HELP``/``# TYPE`` headers, escaped label values, histograms
+as cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+
+Histogram buckets come from :class:`~repro.serve.metrics.LatencyStats`:
+the lifetime ``count``/``total_s`` are exact and become ``_count`` and
+``_sum``; per-bucket counts are estimated by scaling the bounded
+reservoir's fraction-at-or-below each bound up to the lifetime count.
+The ``+Inf`` bucket is pinned to ``_count`` exactly, and scaling a
+monotonic fraction keeps the cumulative series monotonic, so the output
+always parses as a well-formed histogram even when the reservoir has
+wrapped.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["render_prometheus"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"'
+                    for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _sample_line(name: str, labels: dict, value) -> str:
+    return f"{name}{_format_labels(labels)} {_format_value(value)}"
+
+
+def _bucket_counts(stats, buckets: tuple) -> list[int]:
+    """Cumulative bucket counts scaled from the reservoir to lifetime."""
+    samples = sorted(stats.samples())
+    total = stats.count
+    counts = []
+    if not samples:
+        # No reservoir (or a merged-empty accumulator): all observations
+        # collapse into +Inf, which the caller pins to the exact count.
+        return [0] * len(buckets)
+    n = len(samples)
+    idx = 0
+    for bound in buckets:
+        while idx < n and samples[idx] <= bound:
+            idx += 1
+        counts.append(round(total * idx / n))
+    return counts
+
+
+def _render_histogram(entry: dict, lines: list[str]) -> None:
+    name = entry["name"]
+    buckets = tuple(entry.get("buckets", ()))
+    for labels, stats in entry["samples"]:
+        counts = _bucket_counts(stats, buckets)
+        for bound, count in zip(buckets, counts):
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(bound)
+            lines.append(_sample_line(f"{name}_bucket", bucket_labels,
+                                      count))
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(_sample_line(f"{name}_bucket", inf_labels, stats.count))
+        lines.append(_sample_line(f"{name}_sum", labels, stats.total_s))
+        lines.append(_sample_line(f"{name}_count", labels, stats.count))
+
+
+def render_prometheus(registries) -> str:
+    """Serialize one or more registries into one exposition document.
+
+    A single registry is accepted bare.  Later registries may not reuse a
+    metric name an earlier one exported (duplicate families would make
+    the document ambiguous; this raises instead).
+    """
+    if not isinstance(registries, (list, tuple)):
+        registries = [registries]
+    lines: list[str] = []
+    seen: set[str] = set()
+    for registry in registries:
+        for entry in registry.collect():
+            name = entry["name"]
+            if name in seen:
+                raise ValueError(
+                    f"metric family {name!r} exported by two registries")
+            seen.add(name)
+            lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
+            lines.append(f"# TYPE {name} {entry['kind']}")
+            if entry["kind"] == "histogram":
+                _render_histogram(entry, lines)
+            else:
+                for labels, value in entry["samples"]:
+                    lines.append(_sample_line(name, labels, value))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,164 @@
+"""Unified metrics registry: typed instruments over the layers' live stats.
+
+The serving layers already keep authoritative counters and
+:class:`~repro.serve.metrics.LatencyStats` accumulators under their own
+locks; duplicating them into a second store would invite drift.  So the
+registry's instruments are *callbacks*: each holds a function that reads
+the live value at scrape time.  Registration is cheap, scrapes see a
+point-in-time view through the owning layer's own locking, and the
+existing JSON stats views stay byte-compatible because nothing about how
+the layers account changes.
+
+A callback returns either a bare value (one unlabeled sample) or a list
+of ``(labels_dict, value)`` pairs (one sample per label set — e.g. one
+per deployment).  Histograms return :class:`LatencyStats` objects in
+place of values; the Prometheus serializer turns their reservoir into
+bucket counts.
+
+Conservation invariants — ``offered == accepted + shed + rejected``,
+``n_requests == cache_hits + executed`` — register as named boolean
+callbacks and export as gauge samples, so a scrape *checks* them rather
+than trusting scattered asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Latency bucket bounds in seconds (+Inf implied), spanning sub-ms engine
+#: forwards through multi-second cold paths.
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0)
+
+
+def _normalize(value) -> list[tuple[dict, object]]:
+    """Callback results become ``[(labels, value), ...]`` uniformly."""
+    if value is None:
+        return []
+    if isinstance(value, list):
+        return [(dict(labels), v) for labels, v in value]
+    return [({}, value)]
+
+
+class _Instrument:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, fn: Callable):
+        self.name = name
+        self.help = help
+        self.fn = fn
+
+    def samples(self) -> list[tuple[dict, object]]:
+        return _normalize(self.fn())
+
+
+class Counter(_Instrument):
+    """A monotonically-increasing count (requests served, bytes moved)."""
+    kind = "counter"
+
+
+class Gauge(_Instrument):
+    """A point-in-time level (queue depth, utilization, uptime)."""
+    kind = "gauge"
+
+
+class Histogram(_Instrument):
+    """A latency distribution backed by :class:`LatencyStats`.
+
+    The callback returns ``LatencyStats`` (or labeled pairs of them); the
+    exact lifetime ``count``/``total_s`` become ``_count``/``_sum`` and
+    the bounded reservoir is scaled up to the lifetime count for bucket
+    estimates (the ``+Inf`` bucket always equals ``_count`` exactly).
+    """
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, fn: Callable, *,
+                 buckets: tuple = DEFAULT_BUCKETS):
+        super().__init__(name, help, fn)
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"buckets must be sorted, got {buckets}")
+        self.buckets = tuple(float(b) for b in buckets)
+
+
+class MetricsRegistry:
+    """Named instruments plus checked conservation invariants.
+
+    One registry per ownership domain: :class:`ModelServer` owns the
+    serving-side registry; the gateway owns its HTTP/admission registry
+    and renders both on a scrape.  Names must be unique within a registry
+    (a duplicate registration is a programming error and raises).
+    """
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._instruments: dict[str, _Instrument] = {}
+        self._invariants: dict[str, Callable[[], bool]] = {}
+
+    def _add(self, instrument: _Instrument) -> _Instrument:
+        if instrument.name in self._instruments:
+            raise ValueError(
+                f"instrument {instrument.name!r} already registered")
+        self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str, fn: Callable) -> Counter:
+        return self._add(Counter(name, help, fn))
+
+    def gauge(self, name: str, help: str, fn: Callable) -> Gauge:
+        return self._add(Gauge(name, help, fn))
+
+    def histogram(self, name: str, help: str, fn: Callable, *,
+                  buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        return self._add(Histogram(name, help, fn, buckets=buckets))
+
+    def invariant(self, name: str, fn: Callable[[], bool]) -> None:
+        """Register a named conservation check (callback returns truth)."""
+        if name in self._invariants:
+            raise ValueError(f"invariant {name!r} already registered")
+        self._invariants[name] = fn
+
+    @property
+    def instruments(self) -> list[_Instrument]:
+        return list(self._instruments.values())
+
+    def get(self, name: str) -> _Instrument | None:
+        return self._instruments.get(name)
+
+    def check(self) -> dict[str, bool]:
+        """Evaluate every invariant; an exception counts as a failure."""
+        results = {}
+        for name, fn in self._invariants.items():
+            try:
+                results[name] = bool(fn())
+            except Exception:
+                results[name] = False
+        return results
+
+    def collect(self) -> list[dict]:
+        """Point-in-time snapshot of every instrument, plus invariants.
+
+        Invariant results append as a synthetic ``*_invariant`` gauge
+        (1 = holding, 0 = violated) labeled by invariant name, so the
+        conservation checks travel inside the same scrape that carries
+        the values they constrain.
+        """
+        out = []
+        for inst in self.instruments:
+            entry = {"name": inst.name, "kind": inst.kind,
+                     "help": inst.help, "samples": inst.samples()}
+            if isinstance(inst, Histogram):
+                entry["buckets"] = inst.buckets
+            out.append(entry)
+        checks = self.check()
+        if checks:
+            name = (self.prefix or "repro") + "_invariant"
+            out.append({
+                "name": name, "kind": "gauge",
+                "help": "Conservation invariant status (1 = holding).",
+                "samples": [({"invariant": k}, 1.0 if ok else 0.0)
+                            for k, ok in checks.items()],
+            })
+        return out

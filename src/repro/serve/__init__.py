@@ -33,6 +33,11 @@ The online half of Panacea's offline/online split, grown to process scale:
   caches from the longest cached token prefix;
 * :mod:`repro.serve.metrics` — :class:`LatencyStats` (the shared latency
   accumulator) and :class:`ServerMetrics` (the server-wide rollup);
+  :mod:`repro.obs` adds request tracing (:class:`~repro.obs.Trace` span
+  trees following one request through every layer, including across
+  process boundaries), the unified callback-instrument
+  :class:`~repro.obs.MetricsRegistry` and the Prometheus text exposition
+  behind ``GET /metrics?format=prometheus``;
 * :mod:`repro.serve.gateway` — :class:`Gateway`, the asyncio HTTP/1.1
   network front end over a :class:`ModelServer`, with
   :class:`AdmissionControl` (bounded per-deployment admission, per-tenant

@@ -177,6 +177,9 @@ class Ticket:
     record: RequestRecord | None = field(default=None, repr=False)
     #: The exception that killed this ticket's batch, if service failed.
     error: Exception | None = field(default=None, repr=False)
+    #: The request's :class:`~repro.obs.trace.Trace` (None = untraced).
+    trace: object | None = field(default=None, repr=False)
+    _queue_span: object | None = field(default=None, repr=False)
     _output: np.ndarray | None = field(default=None, repr=False)
     _done_event: threading.Event = field(default_factory=threading.Event,
                                          repr=False)
@@ -186,6 +189,14 @@ class Ticket:
         self._output = output
         self.error = error
         self.done = True
+        if self.trace is not None and getattr(self.trace, "root_autoclose",
+                                              True):
+            # Direct submit()/submit_async() callers own no post-serve work,
+            # so ticket resolution is the end of the request.  The gateway
+            # flips root_autoclose off and closes the root after its own
+            # ``respond`` span.
+            self.trace.root.end(
+                status="error" if error is not None else "ok")
         self._done_event.set()
 
     def result(self, timeout: float | None = None) -> np.ndarray:
@@ -242,17 +253,28 @@ class MicroBatcher:
         self.n_failed = 0
         self.n_cache_hits = 0
         self.n_cancelled = 0
+        #: Requests popped off the queue whose batch has not resolved yet
+        #: — the term that makes the submission ledger conserve at any
+        #: instant, not just when the batcher is idle.
+        self.n_inflight = 0
         self._batch_size_sum = 0
         self.peak_depth = 0
 
     # -- intake ---------------------------------------------------------------
-    def submit(self, x: np.ndarray, *, fire: bool = True) -> Ticket:
+    def submit(self, x: np.ndarray, *, fire: bool = True,
+               trace=None) -> Ticket:
         """Enqueue one request; serves immediately once a batch fills.
 
         ``fire=False`` only enqueues — the async path uses it so the
         *submitting* thread never executes a batch; a pool worker (or the
         eventual ``result()`` call) serves it instead.  A result-cache hit
         returns a completed ticket without queueing at all.
+
+        ``trace`` attaches a :class:`~repro.obs.trace.Trace`: the ticket
+        opens a ``queue_wait`` span now and the batch that claims it adds
+        ``batch_release``/``engine_execute`` spans at fire time.  The
+        *root* span stays open — it belongs to whoever created the trace
+        (gateway or server), who closes it after responding.
         """
         x = np.asarray(x)
         key = None
@@ -265,7 +287,7 @@ class MicroBatcher:
             hit = self.cache.get(x, key=key, copy=False)
         with self._lock:
             ticket = Ticket(ticket_id=self._next_id, submitted_t=self.clock(),
-                            _batcher=self,
+                            _batcher=self, trace=trace,
                             queue_depth_at_submit=len(self._queue))
             self._next_id += 1
             if hit is not None:
@@ -275,9 +297,17 @@ class MicroBatcher:
                 self._queue.append((ticket, x, key))
                 self.peak_depth = max(self.peak_depth, len(self._queue))
             depth = len(self._queue)
+        if trace is not None:
+            trace.root.attrs["ticket_id"] = ticket.ticket_id
+            trace.root.attrs["cached"] = hit is not None
         if hit is not None:
             ticket._finish(output=hit)
             return ticket
+        if trace is not None:
+            span = trace.span("queue_wait")
+            span.attrs["queue_depth_at_submit"] = \
+                ticket.queue_depth_at_submit
+            ticket._queue_span = span
         if fire and depth >= self.policy.max_batch:
             # Re-checked at pop time: if a concurrent fire already drained
             # the queue below a full batch, don't serve the stragglers
@@ -390,6 +420,9 @@ class MicroBatcher:
                     break
             else:
                 return False
+        if ticket._queue_span is not None:
+            ticket._queue_span.attrs["cancelled"] = True
+            ticket._queue_span.end(status="error")
         ticket._finish(error=CancelledError())
         return True
 
@@ -418,24 +451,67 @@ class MicroBatcher:
                     return 0
                 group = [self._queue.popleft()
                          for _ in range(min(max_batch, len(self._queue)))]
+                self.n_inflight += len(group)
             tickets = [t for t, _, _ in group]
             payloads = [x for _, x, _ in group]
+            # Span timing runs on time.perf_counter even when the batcher
+            # has an injected test clock: span endpoints must share one
+            # clock domain with every other span of the trace.
+            traced = any(t.trace is not None for t in tickets)
+            release_spans = []
+            if traced:
+                fire_t = time.perf_counter()
+                for ticket in tickets:
+                    if ticket.trace is None:
+                        release_spans.append(None)
+                        continue
+                    if ticket._queue_span is not None:
+                        ticket._queue_span.end(end_s=fire_t)
+                    span = ticket.trace.span("batch_release", start_s=fire_t)
+                    span.attrs["batch_size"] = len(group)
+                    release_spans.append(span)
+            engine_spans = None
             t0 = self.clock()
             try:
+                kwargs = {}
+                if traced:
+                    serve_t0 = time.perf_counter()
+                    for span in release_spans:
+                        if span is not None:
+                            span.end(end_s=serve_t0)
+                    engine_spans = [
+                        t.trace.span("engine_execute", start_s=serve_t0)
+                        if t.trace is not None else None for t in tickets]
+                    if getattr(self.session, "accepts_traces", False):
+                        kwargs["traces"] = engine_spans
                 outputs, records = self.session.serve_coalesced(
                     payloads, pad_axis=self.policy.pad_axis,
-                    pad_value=self.policy.pad_value)
+                    pad_value=self.policy.pad_value, **kwargs)
             except Exception as exc:
                 # The group is already off the queue; fail every rider
                 # rather than strand valid tickets (or retry a poison batch
                 # forever).  The triggering caller sees the raise; the other
-                # riders see it from Ticket.result().
-                for ticket in tickets:
+                # riders see it from Ticket.result().  Traced riders keep an
+                # error-status span instead of an unclosed leak.
+                for i, ticket in enumerate(tickets):
+                    if ticket.trace is not None:
+                        if engine_spans is not None \
+                                and engine_spans[i] is not None:
+                            engine_spans[i].attrs["exception"] = repr(exc)
+                            engine_spans[i].end(status="error")
+                        elif release_spans[i] is not None:
+                            release_spans[i].end(status="error")
                     ticket._finish(error=exc)
                 with self._lock:
                     self.n_failed += len(group)
+                    self.n_inflight -= len(group)
                 raise
             exec_s = self.clock() - t0
+            if traced:
+                serve_t1 = time.perf_counter()
+                for span in engine_spans:
+                    if span is not None:
+                        span.end(end_s=serve_t1)
             now = self.clock()
             waits = []
             for ticket, out, record in zip(tickets, outputs, records):
@@ -451,6 +527,7 @@ class MicroBatcher:
                 self.batch_exec.observe(exec_s)
                 self.n_batches += 1
                 self.n_requests += len(group)
+                self.n_inflight -= len(group)
                 self._batch_size_sum += len(group)
         # Cache inserts run outside the service lock (the cache has its
         # own) with the keys hashed at intake, so recording outputs never
@@ -472,6 +549,14 @@ class MicroBatcher:
             return LatencyStats(max_samples=self.queue_wait.max_samples) \
                 .merge(self.queue_wait)
 
+    def batch_exec_view(self) -> LatencyStats:
+        """A consistent copy of the batch-execution accumulator (same
+        contract as :meth:`queue_wait_view`; the Prometheus histogram's
+        source)."""
+        with self._lock:
+            return LatencyStats(max_samples=self.batch_exec.max_samples) \
+                .merge(self.batch_exec)
+
     def stats(self) -> dict:
         """Scheduler summary: batch shapes, queue waits, execution times."""
         with self._lock:
@@ -481,6 +566,16 @@ class MicroBatcher:
                 "n_failed": self.n_failed,
                 "n_cache_hits": self.n_cache_hits,
                 "n_cancelled": self.n_cancelled,
+                "n_submitted": self._next_id,
+                "n_inflight": self.n_inflight,
+                # The submission ledger, checked live under the lock:
+                # everything ever submitted is exactly one of served,
+                # cache-answered, cancelled, failed, still queued, or
+                # riding an in-flight batch.
+                "conserved": (self._next_id
+                              == self.n_requests + self.n_cache_hits
+                              + self.n_cancelled + self.n_failed
+                              + len(self._queue) + self.n_inflight),
                 "mean_batch_size": (self._batch_size_sum / self.n_batches
                                     if self.n_batches else 0.0),
                 "depth": len(self._queue),

@@ -50,9 +50,12 @@ import threading
 import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from urllib.parse import parse_qs
 
 import numpy as np
 
+from ..obs import (MetricsRegistry, format_trace_id, parse_trace_id,
+                   render_prometheus)
 from .metrics import LatencyStats
 from .server import ModelServer
 
@@ -417,6 +420,12 @@ def _decode_array(body: dict) -> tuple[np.ndarray, bool]:
         raise _HttpError(400, f"bad input array: {exc}") from exc
 
 
+def _query_format(query: str) -> str | None:
+    """The ``format=`` query parameter (last occurrence wins), or None."""
+    values = parse_qs(query).get("format")
+    return values[-1] if values else None
+
+
 class Gateway:
     """Asyncio HTTP/1.1 front end over one :class:`ModelServer`.
 
@@ -436,6 +445,9 @@ class Gateway:
 
         GET  /healthz                     -> {"ok": true, ...}
         GET  /metrics                     -> gateway + server metrics JSON
+        GET  /metrics?format=prometheus   -> Prometheus text exposition
+        GET  /v1/trace/<id>               -> one request's span tree
+                                             (?format=jsonl for JSON-lines)
         POST /v1/infer/<deployment>       -> one forward; JSON in/out
         POST /v1/decode/<deployment>      -> autoregressive decode; JSON,
                                              or chunked token stream with
@@ -485,6 +497,12 @@ class Gateway:
         self.n_http_requests = 0
         self.responses_by_status: dict[int, int] = {}
         self.request_latency = LatencyStats()
+        # Restart detection for scrapers: uptime plus a sequence that
+        # increments per snapshot — a scrape seeing either go backwards
+        # knows it is talking to a new gateway process.
+        self._started_t = time.perf_counter()
+        self._snapshot_seq = 0
+        self._registry: MetricsRegistry | None = None
 
     # -- lifecycle ------------------------------------------------------------
     @property
@@ -619,7 +637,9 @@ class Gateway:
                     413, f"body of {n} bytes exceeds the "
                     f"{self.max_body_bytes}-byte limit")
             body = await reader.readexactly(n)
-        return {"method": method, "target": target.split("?", 1)[0],
+        # The query string survives into dispatch (``/metrics?format=...``);
+        # routes match on the path component only.
+        return {"method": method, "target": target,
                 "headers": headers, "body": body}
 
     # -- responses ------------------------------------------------------------
@@ -649,6 +669,31 @@ class Gateway:
         await writer.drain()
         self._observe_response(status, started_t)
 
+    async def _respond_text(self, writer, status: int, text: str, *,
+                            content_type: str = ("text/plain; version=0.0.4"
+                                                 "; charset=utf-8"),
+                            keep_alive: bool = True,
+                            started_t: float | None = None) -> None:
+        """Plain-text response (Prometheus exposition, JSONL exports)."""
+        body = text.encode()
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+        self._observe_response(status, started_t)
+
+    def _snapshot_meta(self) -> dict:
+        """Advance and report the scrape sequence (plus uptime)."""
+        with self._http_lock:
+            self._snapshot_seq += 1
+            seq = self._snapshot_seq
+        return {"uptime_s": time.perf_counter() - self._started_t,
+                "snapshot_seq": seq}
+
     def _error_payload(self, exc: Exception) -> tuple[int, dict, dict]:
         """Map an exception to ``(status, json payload, extra headers)``.
 
@@ -676,20 +721,37 @@ class Gateway:
         started_t = time.perf_counter()
         with self._http_lock:
             self.n_http_requests += 1
-        method, target = request["method"], request["target"]
+        method, full_target = request["method"], request["target"]
+        target, _, query = full_target.partition("?")
         keep_alive = request["headers"].get("connection", "").lower() \
             != "close"
         if target == "/healthz" and method == "GET":
-            await self._respond_json(
-                writer, 200,
-                {"ok": True, "deployments": self.server.models()},
-                keep_alive=keep_alive, started_t=started_t)
-            return keep_alive
-        if target == "/metrics" and method == "GET":
-            await self._respond_json(writer, 200, self.stats(),
+            payload = {"ok": True, "deployments": self.server.models()}
+            payload.update(self._snapshot_meta())
+            await self._respond_json(writer, 200, payload,
                                      keep_alive=keep_alive,
                                      started_t=started_t)
             return keep_alive
+        if target == "/metrics" and method == "GET":
+            if _query_format(query) == "prometheus":
+                self._snapshot_meta()  # a scrape advances the sequence too
+                text = render_prometheus(
+                    [self.metrics_registry(),
+                     self.server.metrics_registry()])
+                await self._respond_text(writer, 200, text,
+                                         keep_alive=keep_alive,
+                                         started_t=started_t)
+                return keep_alive
+            payload = self.stats()
+            payload.update(self._snapshot_meta())
+            await self._respond_json(writer, 200, payload,
+                                     keep_alive=keep_alive,
+                                     started_t=started_t)
+            return keep_alive
+        if target.startswith("/v1/trace/") and method == "GET":
+            return await self._handle_trace(
+                target[len("/v1/trace/"):], query, writer,
+                keep_alive=keep_alive, started_t=started_t)
         if target.startswith("/v1/infer/"):
             if method != "POST":
                 await self._respond_json(
@@ -723,6 +785,31 @@ class Gateway:
             raise _HttpError(400, "json body must be an object")
         return body
 
+    async def _handle_trace(self, raw_id: str, query: str, writer, *,
+                            keep_alive: bool, started_t: float) -> bool:
+        """``GET /v1/trace/<id>``: one request's span tree, JSON by default,
+        JSON-lines (one span per line) with ``?format=jsonl``.  Unknown,
+        evicted and unparseable ids are all 404 — the buffer is bounded, so
+        "never existed" and "aged out" are indistinguishable by design."""
+        try:
+            trace = self.server.get_trace(parse_trace_id(raw_id))
+        except ValueError:
+            trace = None
+        if trace is None:
+            await self._respond_json(
+                writer, 404, {"error": "UnknownTrace", "detail": raw_id},
+                keep_alive=keep_alive, started_t=started_t)
+            return keep_alive
+        if _query_format(query) == "jsonl":
+            await self._respond_text(writer, 200, trace.to_jsonl() + "\n",
+                                     content_type="application/jsonl",
+                                     keep_alive=keep_alive,
+                                     started_t=started_t)
+            return keep_alive
+        await self._respond_json(writer, 200, trace.to_dict(),
+                                 keep_alive=keep_alive, started_t=started_t)
+        return keep_alive
+
     async def _handle_infer(self, name: str, request: dict, writer, *,
                             keep_alive: bool, started_t: float) -> bool:
         try:
@@ -749,16 +836,28 @@ class Gateway:
                                      started_t=started_t)
             return keep_alive
         loop = asyncio.get_running_loop()
+        # Ingress owns the trace: the root span opens here and closes only
+        # after the response drained, so the tree covers the request's full
+        # gateway residency (root_autoclose off keeps the ticket's
+        # completion from closing it early).
+        trace = self.server.start_trace(name)
+        if trace is not None:
+            trace.root_autoclose = False
+            trace.root.attrs["tenant"] = tenant
+            trace.root.attrs["ingress"] = "http"
         try:
             # Enqueue without firing, then serve on a pool thread: the
             # serving thread honors the deployment's release policy
             # (DeadlinePolicy slack or fixed delay) exactly like
             # ModelServer.submit_async, and the event loop never blocks.
-            ticket = entry.batcher.submit(x, fire=False)
+            ticket = entry.batcher.submit(x, fire=False, trace=trace)
             out = await loop.run_in_executor(
                 self._executor, entry.batcher.serve, ticket)
         except Exception as exc:  # noqa: BLE001 — typed 500 to the client
             self.admission.release(admission, "failed")
+            if trace is not None:
+                trace.root.attrs["error"] = type(exc).__name__
+                trace.root.end(status="error")
             status, payload, headers = self._error_payload(exc)
             await self._respond_json(writer, status, payload,
                                      keep_alive=keep_alive,
@@ -766,6 +865,7 @@ class Gateway:
                                      started_t=started_t)
             return keep_alive
         self.admission.release(admission, "completed")
+        respond_span = trace.span("respond") if trace is not None else None
         payload = _encode_array(out, b64=was_b64)
         payload.update({
             "deployment": name,
@@ -774,8 +874,14 @@ class Gateway:
             "batch_size": ticket.batch_size,
             "cached": ticket.cached,
         })
+        if trace is not None:
+            payload["trace_id"] = format_trace_id(trace.trace_id)
         await self._respond_json(writer, 200, payload,
                                  keep_alive=keep_alive, started_t=started_t)
+        if respond_span is not None:
+            respond_span.attrs["http_status"] = 200
+            respond_span.end()
+            trace.root.end()
         return keep_alive
 
     async def _handle_decode(self, name: str, request: dict, reader,
@@ -931,6 +1037,81 @@ class Gateway:
         return False
 
     # -- observability --------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """The gateway's own instrument registry (HTTP + admission).
+
+        Rendered together with the wrapped server's registry by the
+        Prometheus endpoint; the admission ledger's conservation laws ride
+        along as checked invariants.
+        """
+        if self._registry is None:
+            self._registry = self._build_registry()
+        return self._registry
+
+    def _build_registry(self) -> MetricsRegistry:
+        # Prefixed so the synthetic invariant gauge (repro_gateway_invariant)
+        # never collides with the server registry's repro_invariant when one
+        # scrape renders both.
+        reg = MetricsRegistry(prefix="repro_gateway")
+
+        def admission_stat(key):
+            return lambda: self.admission.stats()[key]
+
+        def by_status():
+            with self._http_lock:
+                items = sorted(self.responses_by_status.items())
+            return [({"status": str(status)}, n) for status, n in items]
+
+        def latency_view():
+            with self._http_lock:
+                return LatencyStats(
+                    max_samples=self.request_latency.max_samples) \
+                    .merge(self.request_latency)
+
+        reg.counter("repro_gateway_connections_total",
+                    "TCP connections accepted.",
+                    lambda: self.n_connections)
+        reg.counter("repro_gateway_http_requests_total",
+                    "HTTP requests received.",
+                    lambda: self.n_http_requests)
+        reg.counter("repro_gateway_responses_total",
+                    "HTTP responses sent, by status code.", by_status)
+        reg.histogram("repro_gateway_request_seconds",
+                      "End-to-end request latency (admission to last "
+                      "response byte).", latency_view)
+        reg.gauge("repro_gateway_uptime_seconds",
+                  "Seconds since the gateway started.",
+                  lambda: time.perf_counter() - self._started_t)
+        reg.gauge("repro_gateway_snapshot_seq",
+                  "Monotonic snapshot sequence (resets on restart).",
+                  lambda: self._snapshot_seq)
+        reg.counter("repro_admission_offered_total",
+                    "Requests that reached admission control.",
+                    admission_stat("offered"))
+        reg.counter("repro_admission_accepted_total",
+                    "Requests admitted to a scheduler.",
+                    admission_stat("accepted"))
+        reg.counter("repro_admission_shed_total",
+                    "Requests shed by the bounded admission queue.",
+                    admission_stat("shed"))
+        reg.counter("repro_admission_rejected_total",
+                    "Requests rejected by tenant quota.",
+                    admission_stat("rejected"))
+        reg.counter("repro_admission_completed_total",
+                    "Admitted requests that completed.",
+                    admission_stat("completed"))
+        reg.counter("repro_admission_failed_total",
+                    "Admitted requests that failed.",
+                    admission_stat("failed"))
+        reg.counter("repro_admission_cancelled_total",
+                    "Admitted requests cancelled by their client.",
+                    admission_stat("cancelled"))
+        reg.gauge("repro_admission_in_flight",
+                  "Admitted requests currently in flight.",
+                  admission_stat("in_flight"))
+        reg.invariant("admission_conserved", admission_stat("conserved"))
+        return reg
+
     def stats(self) -> dict:
         """Gateway-level snapshot: admission, HTTP counters, server rollup."""
         with self._http_lock:

@@ -66,19 +66,32 @@ class LatencyStats:
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
+    def samples(self) -> list[float]:
+        """The retained reservoir, oldest-to-newest (ring unrolled).
+
+        The public view the Prometheus histogram serializer scales up to
+        the lifetime count; also what :meth:`merge` pools, so "newest
+        kept" is literal even after the ring has wrapped.
+        """
+        return self._samples[self._head:] + self._samples[:self._head]
+
     def merge(self, other: "LatencyStats") -> "LatencyStats":
         """Combined view of two accumulators (server-level rollups).
 
-        Lifetime aggregates add exactly; the percentile window concatenates
-        and re-bounds to ``max_samples`` (newest kept), which is the usual
-        approximation for merged dashboards.
+        Lifetime aggregates add *exactly* — count and total sum, min/max
+        take extrema — so merging is associative and merging with a fresh
+        accumulator is the identity on every exact field.  The percentile
+        window concatenates in time order (each ring unrolled oldest to
+        newest) and re-bounds to ``max_samples``, newest kept — the usual
+        approximation for merged dashboards, and itself exact whenever
+        the pooled reservoirs fit the bound.
         """
         merged = LatencyStats(max_samples=self.max_samples)
         merged.count = self.count + other.count
         merged.total_s = self.total_s + other.total_s
         merged.min_s = min(self.min_s, other.min_s)
         merged.max_s = max(self.max_s, other.max_s)
-        pool = self._samples + other._samples
+        pool = self.samples() + other.samples()
         merged._samples = pool[-merged.max_samples:]
         return merged
 

@@ -183,7 +183,7 @@ class WorkerPool:
     # -- task intake ----------------------------------------------------------
     def submit(self, fn, /, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)``; returns its future."""
-        return self.submit_grouped(None, fn, *args, **kwargs)
+        return self._submit(None, None, fn, args, kwargs)
 
     def submit_grouped(self, group, fn, /, *args, **kwargs) -> Future:
         """Schedule a task under a help group (see :meth:`wait`).
@@ -193,12 +193,30 @@ class WorkerPool:
         group may execute this task inline on the waiting worker; every
         other waiter leaves it to the worker loop.
         """
+        return self._submit(group, None, fn, args, kwargs)
+
+    def submit_traced(self, span, fn, /, *args, **kwargs) -> Future:
+        """:meth:`submit` that annotates ``span`` with pool-side facts.
+
+        When the task starts, the span (any open span of the request's
+        trace — typically the root) gains ``pool_queue_wait_s`` (time
+        spent queued behind other deployments' drains), ``pool_worker``
+        and ``pool_helped``.  Attributes only: the pool adds no spans of
+        its own, so the trace's span count stays identical whether a
+        request was drained by a pool worker or served inline.
+        """
+        return self._submit(None, span, fn, args, kwargs)
+
+    def _submit(self, group, span, fn, args, kwargs) -> Future:
         with self._lock:
             if self._shutdown:
                 raise PoolShutdownError(
                     "cannot submit to a shut-down WorkerPool")
             future: Future = Future()
-            self._tasks.put((future, fn, args, kwargs, group))
+            traced = (span, self.clock()) if span is not None else None
+            # Group stays the tuple's last slot: the helping scan keys on
+            # ``task[-1]``.
+            self._tasks.put((future, fn, args, kwargs, traced, group))
         return future
 
     def run_all(self, thunks) -> list:
@@ -297,11 +315,16 @@ class WorkerPool:
         (double-counting would report utilization above wall time).
         """
         stats = self._worker_stats[self._local.worker_id]
-        future, fn, args, kwargs, _group = task
+        future, fn, args, kwargs, traced, _group = task
         if not future.set_running_or_notify_cancel():
             self._tasks.task_done()
             return
         t0 = self.clock()
+        if traced is not None:
+            span, t_submit = traced
+            span.attrs["pool_queue_wait_s"] = max(0.0, t0 - t_submit)
+            span.attrs["pool_worker"] = self._local.worker_id
+            span.attrs["pool_helped"] = helped
         if not helped:
             with self._lock:
                 stats.busy_since = t0

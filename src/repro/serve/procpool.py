@@ -303,44 +303,48 @@ class ProcessWorkerPool:
     def _execute_once(self, slot: _Slot, kind: str, payload):
         """Build the wire message (fresh per attempt) and exchange it."""
         if kind == "serve":
-            deployment_name, batches, pad_axis, pad_value = payload
+            deployment_name, batches, pad_axis, pad_value, trace_id = payload
             arrays = [np.ascontiguousarray(np.asarray(b)) for b in batches]
-            offset = slot.req_ring.write(slot.req_ring.n_frames, arrays)
+            offset = slot.req_ring.write(slot.req_ring.n_frames, arrays,
+                                         trace_id=trace_id)
             fallback = None
             if offset is None:
                 slot.n_pipe_fallback += 1
                 fallback = arrays
+            # The trace id rides the pipe envelope too, so the pipe
+            # fallback path propagates it even when no frame was written.
             reply = self._round_trip(
                 slot, ("serve", deployment_name, pad_axis, pad_value,
-                       offset, fallback))
+                       offset, fallback, trace_id))
             _, out_offset, fb_outputs, metas = reply
             if out_offset is not None:
                 # Copy out: the child reuses the response slot on its
                 # next reply, so parent-held outputs must not alias it.
-                _, outputs = slot.resp_ring.read(out_offset, copy=True)
+                _, _, outputs = slot.resp_ring.read(out_offset, copy=True)
             else:
                 slot.n_pipe_fallback += 1
                 outputs = fb_outputs
             return outputs, metas
         if kind == "stage":
-            name, stage, x = payload
+            name, stage, x, trace_id = payload
             edge = self._stage_edges[name][stage]
             arr = np.ascontiguousarray(np.asarray(x))
-            offset = edge.req_ring.write(edge.req_ring.n_frames, [arr])
+            offset = edge.req_ring.write(edge.req_ring.n_frames, [arr],
+                                         trace_id=trace_id)
             fallback = None
             if offset is None:
                 edge.n_pipe_fallback += 1
                 fallback = arr
             reply = self._round_trip(
-                slot, ("stage", name, stage, offset, fallback))
-            _, out_offset, fb_output, layer_states = reply
+                slot, ("stage", name, stage, offset, fallback, trace_id))
+            _, out_offset, fb_output, layer_states, exec_s = reply
             if out_offset is not None:
-                _, outputs = edge.resp_ring.read(out_offset, copy=True)
+                _, _, outputs = edge.resp_ring.read(out_offset, copy=True)
                 y = outputs[0]
             else:
                 edge.n_pipe_fallback += 1
                 y = fb_output
-            return y, layer_states
+            return y, layer_states, exec_s
         return self._round_trip(slot, (kind, *payload))[1]
 
     def _execute(self, slot: _Slot, kind: str, payload):
@@ -544,15 +548,22 @@ class ProcessWorkerPool:
         self.wait(futures)
 
     def serve_async(self, name: str, batches, *, pad_axis=None,
-                    pad_value=0) -> Future:
-        """Dispatch one coalesced group; future of ``(outputs, metas)``."""
-        return self._enqueue("serve", (name, list(batches), pad_axis,
-                                       pad_value))
+                    pad_value=0, trace_id: int = 0) -> Future:
+        """Dispatch one coalesced group; future of ``(outputs, metas)``.
 
-    def serve(self, name: str, batches, *, pad_axis=None, pad_value=0):
+        ``trace_id`` (0 = untraced) stamps the request frame header and
+        the control envelope so the group stays attributable to its trace
+        on the worker side of the boundary.
+        """
+        return self._enqueue("serve", (name, list(batches), pad_axis,
+                                       pad_value, trace_id))
+
+    def serve(self, name: str, batches, *, pad_axis=None, pad_value=0,
+              trace_id: int = 0):
         """Blocking :meth:`serve_async`; the session-proxy entry point."""
         return self.serve_async(name, batches, pad_axis=pad_axis,
-                                pad_value=pad_value).result()
+                                pad_value=pad_value,
+                                trace_id=trace_id).result()
 
     # -- stage transport (process-per-stage sharded pipelines) ---------------
     def load_stages(self, name: str, store_path, plan_state: dict, *,
@@ -631,14 +642,19 @@ class ProcessWorkerPool:
             for edge in edges.values():
                 edge.close()
 
-    def run_stage_async(self, name: str, stage: int, x) -> Future:
+    def run_stage_async(self, name: str, stage: int, x, *,
+                        trace_id: int = 0) -> Future:
         """One stage hop, targeted at the owning worker; future of
-        ``(output, layer_states)``.
+        ``(output, layer_states, worker_exec_s)``.
 
         ``layer_states`` are the stage's captured trace records as
         :meth:`~repro.core.pipeline.LayerExecution.to_state` dicts — the
         caller folds them back through
-        :meth:`~repro.engine.session.PanaceaSession.record_external`.
+        :meth:`~repro.engine.session.PanaceaSession.record_external` —
+        and ``worker_exec_s`` is the stage's compute time on the worker's
+        own clock (a span attribute, never a span endpoint: worker clocks
+        have their own epoch).  ``trace_id`` rides the stage-edge frame
+        header and the control envelope.
         """
         with self._lock:
             if self._shutdown:
@@ -651,12 +667,13 @@ class ProcessWorkerPool:
                     f"(loaded: {sorted(self._stage_edges)})")
             future: Future = Future()
             self._slots[edges[stage].slot_id].direct.append(
-                (future, "stage", (name, stage, x)))
+                (future, "stage", (name, stage, x, trace_id)))
         return future
 
-    def run_stage(self, name: str, stage: int, x):
+    def run_stage(self, name: str, stage: int, x, *, trace_id: int = 0):
         """Blocking :meth:`run_stage_async`."""
-        return self.run_stage_async(name, stage, x).result()
+        return self.run_stage_async(name, stage, x,
+                                    trace_id=trace_id).result()
 
     def stage_edge_stats(self, name: str | None = None) -> dict:
         """Per-edge transport counters (frames, wraps, pipe fallbacks)."""
@@ -796,21 +813,40 @@ class ProcessSessionProxy:
 
     prepared = True
     auto_calibrate = False
+    accepts_traces = True
 
     def __init__(self, pool: ProcessWorkerPool, name: str) -> None:
         self._pool = pool
         self.name = name
 
-    def serve_coalesced(self, batches, *, pad_axis=None, pad_value=0):
+    def serve_coalesced(self, batches, *, pad_axis=None, pad_value=0,
+                        traces=None):
         from ..engine.session import RequestRecord
 
+        # One fused group travels as one frame, so one representative
+        # trace id stamps the envelope (the first traced rider's); every
+        # rider's own span still gets the worker-measured attributes.
+        trace_id = 0
+        if traces:
+            for span in traces:
+                if span is not None:
+                    trace_id = span.trace_id
+                    break
         outputs, metas = self._pool.serve(self.name, batches,
                                           pad_axis=pad_axis,
-                                          pad_value=pad_value)
+                                          pad_value=pad_value,
+                                          trace_id=trace_id)
         records = [RequestRecord(request_id=rid, batch_shape=tuple(shape),
                                  layers=[], latency_s=latency,
                                  coalesced=coalesced)
                    for rid, shape, latency, coalesced in metas]
+        if traces:
+            for span, record in zip(traces, records):
+                if span is None:
+                    continue
+                span.attrs["backend"] = "process"
+                span.attrs["worker_exec_s"] = record.latency_s
+                span.attrs["coalesced"] = record.coalesced
         return outputs, records
 
     def run(self, x):

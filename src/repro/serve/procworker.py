@@ -37,6 +37,7 @@ surfaces as a crash, which the pool detects on the broken pipe.
 from __future__ import annotations
 
 import os
+import time
 
 __all__ = ["worker_main", "pin_blas_env", "blas_env", "BLAS_ENV_VARS"]
 
@@ -208,7 +209,7 @@ def worker_main(conn, req_ring_name: str, resp_ring_name: str,
                     stage_hosts[name] = (session, slices, rings)
                     _reply(conn, ("ok", sorted(rings)))
                 elif tag == "stage":
-                    name, k, offset, fallback = payload
+                    name, k, offset, fallback, trace_id = payload
                     host = stage_hosts.get(name)
                     if host is None:
                         raise KeyError(
@@ -220,20 +221,28 @@ def worker_main(conn, req_ring_name: str, resp_ring_name: str,
                         # Zero-copy is safe: the edge's slotted ring keeps
                         # up to ``depth`` frames live and the parent never
                         # reuses this frame's slot before the reply.
-                        _, arrays = stage_req.read(offset)
+                        _, frame_tid, arrays = stage_req.read(offset)
+                        trace_id = trace_id or frame_tid
                         x = arrays[0]
                     else:
                         x = fallback
+                    t0 = time.perf_counter()
                     with session.trace.capture() as records:
                         for segment in slices[k]:
                             x = segment.fn(x)
+                    exec_s = time.perf_counter() - t0
                     x = np.ascontiguousarray(x)
                     states = [rec.to_state() for rec in records]
-                    out_offset = stage_resp.write(k, [x])
+                    # Echo the trace id into the response frame: driver-side
+                    # spans stay on the driver's clock, but the id closes
+                    # the propagation loop and worker exec time rides back
+                    # as a span attribute.
+                    out_offset = stage_resp.write(k, [x], trace_id=trace_id)
                     if out_offset is None:   # bigger than one slot region
-                        _reply(conn, ("staged", None, x, states))
+                        _reply(conn, ("staged", None, x, states, exec_s))
                     else:
-                        _reply(conn, ("staged", out_offset, None, states))
+                        _reply(conn,
+                               ("staged", out_offset, None, states, exec_s))
                 elif tag == "unload_stages":
                     host = stage_hosts.pop(payload[0], None)
                     if host is not None:
@@ -242,7 +251,8 @@ def worker_main(conn, req_ring_name: str, resp_ring_name: str,
                                 ring.close()
                     _reply(conn, ("ok", None))
                 elif tag == "serve":
-                    name, pad_axis, pad_value, offset, fallback = payload
+                    (name, pad_axis, pad_value, offset, fallback,
+                     trace_id) = payload
                     session = sessions.get(name)
                     if session is None:
                         raise KeyError(
@@ -252,7 +262,8 @@ def worker_main(conn, req_ring_name: str, resp_ring_name: str,
                         # Zero-copy: the views stay valid through the
                         # forward because the parent never writes the next
                         # request frame before this reply arrives.
-                        _, batches = req_ring.read(offset)
+                        _, frame_tid, batches = req_ring.read(offset)
+                        trace_id = trace_id or frame_tid
                     else:
                         batches = fallback
                     outputs, records = session.serve_coalesced(
@@ -260,7 +271,8 @@ def worker_main(conn, req_ring_name: str, resp_ring_name: str,
                     outputs = [np.ascontiguousarray(o) for o in outputs]
                     metas = [(r.request_id, tuple(r.batch_shape),
                               r.latency_s, r.coalesced) for r in records]
-                    out_offset = resp_ring.write(0, outputs)
+                    out_offset = resp_ring.write(0, outputs,
+                                                 trace_id=trace_id)
                     if out_offset is None:    # bigger than the ring
                         _reply(conn, ("served", None, outputs, metas))
                     else:

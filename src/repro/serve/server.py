@@ -34,6 +34,7 @@ deployments, per-worker utilization and cache hit-rates into one
 
 from __future__ import annotations
 
+import random
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, replace
@@ -41,6 +42,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from ..engine.session import PanaceaSession
+from ..obs import MetricsRegistry, Trace, TraceBuffer
 from .batching import (BatchPolicy, DecodeBatcher, DecodePolicy, DecodeTicket,
                        MicroBatcher, Ticket)
 from .metrics import LatencyStats, ServerMetrics
@@ -75,6 +77,9 @@ class ModelEntry:
     decoder: DecodeBatcher | None = None
     #: The decode policy the lazy decoder will be built with.
     decode_policy: DecodePolicy | None = None
+    #: Per-deployment trace sampling override; ``None`` defers to the
+    #: server-wide rate.
+    trace_sample: float | None = None
 
     @property
     def policy(self) -> BatchPolicy:
@@ -128,11 +133,16 @@ class ModelServer:
                  clock=None, workers: int = 0, cache_bytes: int = 0,
                  backend: str = "thread",
                  blas_threads: int | None = None,
-                 default_decode_policy: DecodePolicy | None = None) -> None:
+                 default_decode_policy: DecodePolicy | None = None,
+                 trace_sample: float = 1.0,
+                 trace_buffer: int = 256) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         if cache_bytes < 0:
             raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {trace_sample}")
         if backend not in ("thread", "process"):
             raise ValueError(
                 f"backend must be 'thread' or 'process', got {backend!r}")
@@ -145,6 +155,14 @@ class ModelServer:
         self.cache_bytes = cache_bytes
         self.backend = backend
         self._clock = clock
+        #: Server-wide trace sampling rate (1.0 = trace every request);
+        #: deployments may override via ``register(trace_sample=...)``.
+        self.trace_sample = trace_sample
+        #: Bounded trace store; a trace is registered here at ingress, so
+        #: in-flight requests are already retrievable by id.
+        self.traces = TraceBuffer(trace_buffer)
+        self._trace_rng = random.Random()
+        self._registry: MetricsRegistry | None = None
         self._entries: dict[str, ModelEntry] = {}
         # Guards deployment lifecycle vs iteration: register/unregister
         # from one thread must not crash a pump/flush/stats walking the
@@ -298,7 +316,8 @@ class ModelServer:
                  stage_workers: int | None = None,
                  model_name: str | None = None, model_factory=None,
                  store_path=None, model_seed: int = 0,
-                 decode_policy: DecodePolicy | None = None) -> ModelEntry:
+                 decode_policy: DecodePolicy | None = None,
+                 trace_sample: float | None = None) -> ModelEntry:
         """Host a prepared session under ``name``.
 
         The session must already be calibrated (or explicitly built with
@@ -327,6 +346,9 @@ class ModelServer:
             raise ValueError(
                 f"shards must be an int >= 0, got {shards!r} "
                 "(only load() accepts the string 'stored')")
+        if trace_sample is not None and not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {trace_sample}")
         remote = False
         if self._proc_pool is not None:
             if not session.prepared:
@@ -357,7 +379,8 @@ class ModelServer:
             batcher=MicroBatcher(session, self._effective_policy(policy),
                                  **kwargs),
             remote=remote,
-            decode_policy=decode_policy or self.default_decode_policy)
+            decode_policy=decode_policy or self.default_decode_policy,
+            trace_sample=trace_sample)
         with self._entries_lock:
             if name in self._entries:
                 raise ValueError(f"model {name!r} is already registered")
@@ -565,9 +588,44 @@ class ModelServer:
                 f"unknown model {name!r}; registered: {self.models()}")
         return self._entries[name]
 
+    def start_trace(self, name: str, *,
+                    sample: float | None = None) -> Trace | None:
+        """Start (or sample away) a trace for one request on ``name``.
+
+        Sampling resolves ``sample`` (the caller's explicit rate) over the
+        deployment's ``trace_sample`` over the server-wide default.  A
+        started trace is registered in the trace buffer immediately, so
+        ``get_trace`` finds in-flight requests.  Returns ``None`` when the
+        request is not sampled — every traced path treats that as "tracing
+        off" for this request.
+        """
+        entry = self._get(name)
+        rate = sample
+        if rate is None:
+            rate = entry.trace_sample
+        if rate is None:
+            rate = self.trace_sample
+        if rate <= 0.0:
+            return None
+        if rate < 1.0 and self._trace_rng.random() >= rate:
+            return None
+        return self.traces.add(Trace(name))
+
+    def get_trace(self, trace_id) -> Trace | None:
+        """Look up a trace by id (int or hex string); None when unknown
+        or already evicted from the bounded buffer."""
+        return self.traces.get(trace_id)
+
     def submit(self, name: str, x: np.ndarray) -> Ticket:
-        """Enqueue one request for ``name``; returns its ticket."""
-        return self._get(name).batcher.submit(x)
+        """Enqueue one request for ``name``; returns its ticket.
+
+        When the request is sampled (see :meth:`start_trace`) the ticket
+        carries a :class:`~repro.obs.Trace` as ``ticket.trace`` and the
+        span tree closes with the ticket.
+        """
+        entry = self._get(name)
+        trace = self.start_trace(name)
+        return entry.batcher.submit(x, trace=trace)
 
     def submit_async(self, name: str, x: np.ndarray) -> Future:
         """Enqueue one request; returns a future of its output array.
@@ -585,8 +643,10 @@ class ModelServer:
         batch.
         """
         entry = self._get(name)
+        trace = self.start_trace(name)
         try:
-            ticket = entry.batcher.submit(x, fire=self._pool is None)
+            ticket = entry.batcher.submit(x, fire=self._pool is None,
+                                          trace=trace)
         except Exception as exc:  # noqa: BLE001 — future carries it
             # Inline submits can fire (and fail) a batch on this thread;
             # the error must surface through the future exactly as the
@@ -596,7 +656,9 @@ class ModelServer:
             future.ticket = None
             return future
         if self._pool is not None and not ticket.done:
-            future = self._pool.submit(entry.batcher.serve, ticket)
+            future = self._pool.submit_traced(
+                trace.root if trace is not None else None,
+                entry.batcher.serve, ticket)
             future.add_done_callback(
                 lambda f: entry.batcher.cancel(ticket)
                 if f.cancelled() else None)
@@ -806,3 +868,199 @@ class ModelServer:
             decode=decode_totals,
             prefix_cache=prefix_totals,
         )
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The server's unified instrument registry (built lazily, once).
+
+        Every instrument is a *callback* over the live serving state —
+        registering a deployment after the registry exists still shows up
+        on the next collection, because the callbacks walk the deployment
+        snapshot at read time.  The conservation invariants (the batcher
+        submission ledger, the bounded trace buffer) ride along as checked
+        registry properties; :func:`repro.obs.render_prometheus` turns a
+        collection into exposition text.
+        """
+        if self._registry is None:
+            self._registry = self._build_registry()
+        return self._registry
+
+    def _build_registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+
+        def per_entry(read):
+            """Per-deployment sample list from one scheduler-stats key."""
+            def collect():
+                return [({"deployment": e.name}, read(e))
+                        for e in self._snapshot()]
+            return collect
+
+        def per_batcher(key):
+            return per_entry(lambda e: e.batcher.stats()[key])
+
+        def per_cache(key):
+            def collect():
+                out = []
+                for e in self._snapshot():
+                    if e.cache is not None:
+                        out.append(({"deployment": e.name},
+                                    e.cache.stats()[key]))
+                return out
+            return collect
+
+        def per_decoder(key):
+            def collect():
+                return [({"deployment": e.name}, e.decoder.stats()[key])
+                        for e in self._snapshot() if e.decoder is not None]
+            return collect
+
+        def per_stage(view_key):
+            def collect():
+                out = []
+                for e in self._snapshot():
+                    if not e.sharded:
+                        continue
+                    executor = getattr(e.session, "executor", None)
+                    if executor is None:
+                        continue
+                    for row in executor.stage_latency_view():
+                        out.append(({"deployment": e.name,
+                                     "stage": str(row["stage"])},
+                                    row[view_key]))
+                return out
+            return collect
+
+        def stage_edges(key):
+            def collect():
+                if self._proc_pool is None:
+                    return []
+                edges = self._proc_pool.stats()["stage_edges"]
+                return [({"deployment": name, "stage": str(e["stage"])},
+                         e[key])
+                        for name, rows in edges.items() for e in rows]
+            return collect
+
+        def pool_stat(key):
+            def collect():
+                if self._pool is None:
+                    return []
+                return [({}, self._pool.stats()[key])]
+            return collect
+
+        def proc_stat(key):
+            def collect():
+                if self._proc_pool is None:
+                    return []
+                return [({}, self._proc_pool.stats()[key])]
+            return collect
+
+        reg.gauge("repro_server_deployments",
+                  "Deployments currently registered.",
+                  lambda: len(self._entries))
+        reg.counter("repro_batcher_submitted_total",
+                    "Requests ever submitted to the micro-batcher.",
+                    per_batcher("n_submitted"))
+        reg.counter("repro_batcher_requests_total",
+                    "Requests served by engine execution.",
+                    per_batcher("n_requests"))
+        reg.counter("repro_batcher_batches_total",
+                    "Engine batches fired.", per_batcher("n_batches"))
+        reg.counter("repro_batcher_failed_total",
+                    "Requests failed by a raising batch.",
+                    per_batcher("n_failed"))
+        reg.counter("repro_batcher_cache_hits_total",
+                    "Requests answered by the result cache.",
+                    per_batcher("n_cache_hits"))
+        reg.counter("repro_batcher_cancelled_total",
+                    "Requests dequeued by cancellation.",
+                    per_batcher("n_cancelled"))
+        reg.gauge("repro_batcher_queue_depth",
+                  "Requests waiting in the micro-batch queue.",
+                  per_batcher("depth"))
+        reg.gauge("repro_batcher_inflight",
+                  "Requests riding a batch being executed right now.",
+                  per_batcher("n_inflight"))
+        reg.histogram("repro_batcher_queue_wait_seconds",
+                      "Submit-to-fire wait per request.",
+                      per_entry(lambda e: e.batcher.queue_wait_view()))
+        reg.histogram("repro_batcher_batch_exec_seconds",
+                      "Engine execution time per fired batch.",
+                      per_entry(lambda e: e.batcher.batch_exec_view()))
+        reg.histogram("repro_stage_exec_seconds",
+                      "Stage execution time per pipeline micro-batch.",
+                      per_stage("exec"))
+        reg.histogram("repro_stage_stall_seconds",
+                      "Wait for a busy pipeline stage per micro-batch.",
+                      per_stage("stall"))
+        reg.counter("repro_cache_hits_total", "Result-cache hits.",
+                    per_cache("hits"))
+        reg.counter("repro_cache_misses_total", "Result-cache misses.",
+                    per_cache("misses"))
+        reg.counter("repro_cache_insertions_total",
+                    "Result-cache insertions.", per_cache("insertions"))
+        reg.counter("repro_cache_evictions_total",
+                    "Result-cache evictions.", per_cache("evictions"))
+        reg.gauge("repro_cache_entries", "Result-cache resident entries.",
+                  per_cache("entries"))
+        reg.gauge("repro_cache_bytes", "Result-cache resident bytes.",
+                  per_cache("bytes"))
+        reg.counter("repro_decode_requests_total",
+                    "Completed decode requests.",
+                    per_decoder("n_requests"))
+        reg.counter("repro_decode_steps_total",
+                    "Continuous-batching engine steps.",
+                    per_decoder("n_steps"))
+        reg.counter("repro_decode_tokens_total", "Generated tokens.",
+                    per_decoder("n_tokens"))
+        reg.counter("repro_decode_failed_total", "Failed decode requests.",
+                    per_decoder("n_failed"))
+        reg.gauge("repro_decode_active",
+                  "Sequences in the running decode batch.",
+                  per_decoder("n_active"))
+        reg.gauge("repro_pool_workers", "Worker-pool threads.",
+                  pool_stat("workers"))
+        reg.counter("repro_pool_tasks_total", "Tasks the pool executed.",
+                    pool_stat("n_tasks"))
+        reg.counter("repro_pool_busy_seconds_total",
+                    "Summed busy seconds across pool workers.",
+                    pool_stat("busy_s"))
+        reg.gauge("repro_pool_mean_utilization",
+                  "Mean busy fraction across pool workers.",
+                  pool_stat("mean_utilization"))
+        reg.gauge("repro_pool_queue_depth", "Tasks waiting for a worker.",
+                  pool_stat("queue_depth"))
+        reg.gauge("repro_process_pool_workers", "Worker processes.",
+                  proc_stat("workers"))
+        reg.counter("repro_process_pool_tasks_total",
+                    "Tasks executed in worker processes.",
+                    proc_stat("n_tasks"))
+        reg.counter("repro_process_pool_crashes_total",
+                    "Worker-process crashes (each respawned).",
+                    proc_stat("n_crashes"))
+        reg.counter("repro_process_pool_pipe_fallback_total",
+                    "Transfers that fell back from shared memory to pipes.",
+                    proc_stat("n_pipe_fallback"))
+        reg.counter("repro_stage_edge_frames_total",
+                    "Activation frames carried per stage edge ring.",
+                    stage_edges("n_frames"))
+        reg.counter("repro_stage_edge_wraps_total",
+                    "Stage edge ring slot wraps.", stage_edges("n_wraps"))
+        reg.counter("repro_stage_edge_pipe_fallback_total",
+                    "Stage edge transfers that fell back to pipes.",
+                    stage_edges("n_pipe_fallback"))
+        reg.gauge("repro_server_trace_buffer_size",
+                  "Traces resident in the bounded buffer.",
+                  lambda: self.traces.stats()["size"])
+        reg.counter("repro_server_trace_added_total",
+                    "Traces ever started.",
+                    lambda: self.traces.stats()["n_added"])
+        reg.counter("repro_server_trace_evicted_total",
+                    "Traces evicted from the bounded buffer.",
+                    lambda: self.traces.stats()["n_evicted"])
+        reg.invariant(
+            "batcher_conserved",
+            lambda: all(e.batcher.stats()["conserved"]
+                        for e in self._snapshot()))
+        reg.invariant(
+            "trace_buffer_bounded",
+            lambda: self.traces.stats()["size"] <= self.traces.capacity)
+        return reg

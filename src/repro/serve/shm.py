@@ -5,7 +5,8 @@ and a worker process without pickling the payload: one
 :class:`multiprocessing.shared_memory.SharedMemory` block per direction
 holds framed array groups, and only the *frame offset* (one integer)
 travels over the control pipe.  A frame is a small binary header —
-magic/version, request id, then per array the dtype string, shape and byte
+magic/version, request id, trace id, then per array the dtype string,
+shape and byte
 length — followed by the 64-byte-aligned array payloads, so the reader can
 map every array as a zero-copy ``np.ndarray`` view straight into the
 segment.
@@ -55,8 +56,10 @@ DEFAULT_RING_BYTES = 32 << 20
 
 _MAGIC = 0x52_50_52_47  # "RPRG" — repro ring
 _ALIGN = 64
-# Frame header: magic u32, n_arrays u32, req_id u64.
-_HEAD = struct.Struct("<IIQ")
+# Frame header: magic u32, n_arrays u32, req_id u64, trace_id u64.
+# The trace id rides the frame itself so request identity survives the
+# process hop even on the shared-memory fast path (0 = untraced).
+_HEAD = struct.Struct("<IIQQ")
 # Per-array header: dtype-string length u32, ndim u32, nbytes u64,
 # then ndim * i64 dims after the dtype string.
 _ARR = struct.Struct("<IIQ")
@@ -141,14 +144,16 @@ class ShmRing:
             size += _aligned(arr.nbytes)
         return size
 
-    def write(self, req_id: int, arrays) -> int | None:
+    def write(self, req_id: int, arrays, *,
+              trace_id: int = 0) -> int | None:
         """Frame ``arrays`` into the ring; returns the frame offset.
 
         ``None`` means the frame exceeds the whole segment (one slot
         region, in slotted mode) — the caller must transport the arrays
         another way.  Object dtypes are refused: they have no flat byte
         representation (and pickling them is exactly what this ring exists
-        to avoid).
+        to avoid).  ``trace_id`` stamps the frame header for request
+        tracing across the process boundary; 0 means untraced.
         """
         arrays = [np.ascontiguousarray(a) for a in arrays]
         for arr in arrays:
@@ -168,7 +173,7 @@ class ShmRing:
             if slot == 0 and self._seq > 1:
                 self.n_wraps += 1
             offset = slot * region
-            self._write_frame(offset, req_id, arrays)
+            self._write_frame(offset, req_id, trace_id, arrays)
             self.n_frames += 1
             return offset
         if size > self.capacity:
@@ -177,15 +182,16 @@ class ShmRing:
             self._head = 0
             self.n_wraps += 1
         offset = self._head
-        self._write_frame(offset, req_id, arrays)
+        self._write_frame(offset, req_id, trace_id, arrays)
         self._head = offset + size
         self.n_frames += 1
         return offset
 
-    def _write_frame(self, offset: int, req_id: int, arrays) -> None:
+    def _write_frame(self, offset: int, req_id: int, trace_id: int,
+                     arrays) -> None:
         """Pack one header + payload frame at ``offset`` (pre-sized)."""
         buf = self._shm.buf
-        _HEAD.pack_into(buf, offset, _MAGIC, len(arrays), req_id)
+        _HEAD.pack_into(buf, offset, _MAGIC, len(arrays), req_id, trace_id)
         cursor = offset + _HEAD.size
         for arr in arrays:
             dtype_s = arr.dtype.str.encode("ascii")
@@ -203,8 +209,8 @@ class ShmRing:
             cursor += _aligned(arr.nbytes)
 
     def read(self, offset: int, *,
-             copy: bool = False) -> tuple[int, list[np.ndarray]]:
-        """Decode the frame at ``offset`` to ``(req_id, arrays)``.
+             copy: bool = False) -> tuple[int, int, list[np.ndarray]]:
+        """Decode the frame at ``offset`` to ``(req_id, trace_id, arrays)``.
 
         ``copy=False`` returns views into the segment — valid only until
         the writer reuses the slot, which under the one-in-flight protocol
@@ -212,7 +218,7 @@ class ShmRing:
         the arrays from the segment entirely.
         """
         buf = self._shm.buf
-        magic, n_arrays, req_id = _HEAD.unpack_from(buf, offset)
+        magic, n_arrays, req_id, trace_id = _HEAD.unpack_from(buf, offset)
         if magic != _MAGIC:
             raise ValueError(
                 f"no frame at ring offset {offset} "
@@ -234,7 +240,7 @@ class ShmRing:
             view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=cursor)
             arrays.append(view.copy() if copy else view)
             cursor += _aligned(nbytes)
-        return req_id, arrays
+        return req_id, trace_id, arrays
 
     # -- lifecycle ------------------------------------------------------------
     def stats(self) -> dict:

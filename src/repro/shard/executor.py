@@ -92,13 +92,23 @@ class PipelineExecutor:
     def n_stages(self) -> int:
         return len(self._stage_fns)
 
-    def run(self, batches: Sequence) -> list[StageResult]:
+    def run(self, batches: Sequence, *,
+            spans: Sequence | None = None) -> list[StageResult]:
         """Stream ``batches`` through the pipeline; results in input order.
 
         Blocks until every batch completed.  A failing stage fails only its
         own batch (the exception re-raises here, after all other batches
         finished) — later batches still flow, exactly like a poison request
         in a serving queue.
+
+        ``spans`` (parallel to ``batches``; entries may be ``None``) are
+        each batch's parent tracing span: every executed stage then
+        records a ``stage[k]`` child span from the *same* ``perf_counter``
+        reads the stage stats use, so the span tree and the stats agree by
+        construction.  A stage callable marked ``accepts_trace_id`` is
+        additionally called with ``trace_id=`` so remote stage transports
+        can stamp their frames, and may return a third element — an attrs
+        dict (e.g. worker-clock exec time) folded into the stage span.
         """
         batches = list(batches)
         if not batches:
@@ -142,15 +152,29 @@ class PipelineExecutor:
 
         def run_stage(i: int, k: int, x) -> None:
             try:
+                span = spans[i] if spans is not None else None
+                fn = self._stage_fns[k]
                 stall0 = time.perf_counter()
                 with self._stage_locks[k]:
                     stalled = time.perf_counter() - stall0
                     t0 = time.perf_counter()
-                    y, extra = self._stage_fns[k](x)
+                    if getattr(fn, "accepts_trace_id", False):
+                        result = fn(x, trace_id=span.trace_id if span else 0)
+                    else:
+                        result = fn(x)
                     elapsed = time.perf_counter() - t0
+                y, extra = result[0], result[1]
                 with self._stats_lock:
                     self._exec_stats[k].observe(elapsed)
                     self._stall_stats[k].observe(stalled)
+                if span is not None:
+                    child = span.child(f"stage[{k}]", start_s=t0)
+                    child.attrs["stage"] = k
+                    child.attrs["exec_s"] = elapsed
+                    child.attrs["stall_s"] = stalled
+                    if len(result) > 2 and result[2]:
+                        child.attrs.update(result[2])
+                    child.end(end_s=t0 + elapsed)
                 extras[i][k] = extra
                 exec_s[i] += elapsed
                 if k + 1 < n_stages:
@@ -195,6 +219,23 @@ class PipelineExecutor:
         if first_error is not None:
             raise first_error
         return results
+
+    def stage_latency_view(self) -> list[dict]:
+        """Consistent per-stage ``LatencyStats`` copies (``exec``/``stall``
+        per stage), taken under the stats lock — the Prometheus histogram
+        serializer reads these instead of the live accumulators."""
+        with self._stats_lock:
+            out = []
+            for k in range(self.n_stages):
+                exec_copy = LatencyStats(
+                    max_samples=self._exec_stats[k].max_samples) \
+                    .merge(self._exec_stats[k])
+                stall_copy = LatencyStats(
+                    max_samples=self._stall_stats[k].max_samples) \
+                    .merge(self._stall_stats[k])
+                out.append({"stage": k, "exec": exec_copy,
+                            "stall": stall_copy})
+            return out
 
     def stats(self) -> dict:
         """Per-stage pipeline metrics: executions, stalls, queue pressure."""

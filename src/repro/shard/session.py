@@ -176,9 +176,19 @@ class ShardedSession:
 
     def _remote_stage_fn(self, stage: int):
         """One remote stage callable: an shm round trip to the owning
-        worker; the ``extra`` is the stage's serialized layer states."""
-        def fn(x):
-            return self._proc_pool.run_stage(self._stage_name, stage, x)
+        worker; the ``extra`` is the stage's serialized layer states.
+
+        ``accepts_trace_id`` tells the executor to pass the batch's trace
+        id through, so it rides the stage-edge frame header across the
+        process boundary; the worker-clock exec time comes back as stage
+        span attributes (third tuple element — see
+        :meth:`PipelineExecutor.run`).
+        """
+        def fn(x, trace_id: int = 0):
+            y, states, exec_s = self._proc_pool.run_stage(
+                self._stage_name, stage, x, trace_id=trace_id)
+            return y, states, {"worker_exec_s": exec_s, "transport": "shm"}
+        fn.accepts_trace_id = True
         return fn
 
     # -- serving surface (duck-compatible with PanaceaSession) ---------------
@@ -248,9 +258,13 @@ class ShardedSession:
         """Stream a request group through the pipeline; outputs in order."""
         return self.serve_coalesced(batches)[0]
 
+    #: The batcher may pass per-request tracing spans via ``traces=``.
+    accepts_traces = True
+
     def serve_coalesced(self, batches: Sequence[np.ndarray], *,
-                        pad_axis: int | None = None,
-                        pad_value=0) -> tuple[list, list[RequestRecord]]:
+                        pad_axis: int | None = None, pad_value=0,
+                        traces: Sequence | None = None,
+                        ) -> tuple[list, list[RequestRecord]]:
         """The scheduler's entry point: pipelined group execution.
 
         Unlike the fused path, every request runs as its own micro-batch —
@@ -260,18 +274,27 @@ class ShardedSession:
         each request's record carries its own pure-compute ``latency_s``
         (stage execution sum, excluding pipeline stalls), so coalesced-style
         latency accounting stays meaningful.
+
+        ``traces`` (parallel to ``batches``) are per-request parent spans:
+        the executor grows a ``stage[k]`` child under each as the request
+        moves down the pipeline, thread- and process-hosted stages alike.
         """
         del pad_axis, pad_value  # each request is its own engine batch
         batches = [np.asarray(b) for b in batches]
         if not batches:
             return [], []
-        results = self.executor.run(batches)
+        results = self.executor.run(batches, spans=traces)
         outputs, records = [], []
-        for batch, result in zip(batches, results):
+        for i, (batch, result) in enumerate(zip(batches, results)):
             layers = [rec for stage_records in result.extras
                       for rec in (stage_records or [])]
             record = self.session.record_external(
                 batch.shape, layers, result.exec_s)
+            if traces is not None and traces[i] is not None:
+                traces[i].attrs["request_id"] = record.request_id
+                traces[i].attrs["n_stages"] = self.plan.n_stages
+                traces[i].attrs["pipeline_exec_s"] = result.exec_s
+                traces[i].attrs["pipeline_latency_s"] = result.latency_s
             outputs.append(result.output)
             records.append(record)
         return outputs, records

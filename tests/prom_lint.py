@@ -1,0 +1,159 @@
+"""Prometheus text-exposition line-format checker (stdlib only).
+
+``lint(text)`` returns a list of problem strings (empty = valid): every
+sample line must parse, every sample needs a preceding ``# TYPE``, label
+syntax must be well-formed, no (name, labels) sample may repeat, and
+histogram families must be structurally sound (cumulative buckets ending
+in ``+Inf``, ``_count`` matching the ``+Inf`` bucket, ``_sum`` present).
+
+Used two ways: imported by the observability tests, and run as a script
+by the CI smoke step against a live gateway scrape::
+
+    python tests/prom_lint.py metrics.prom
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+__all__ = ["lint", "main"]
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE = re.compile(
+    rf"^({_NAME})(\{{.*\}})? (-?(?:[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?"
+    rf"|\.[0-9]+)|NaN|[+-]Inf)$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n])*)"')
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_labels(raw: str) -> dict | None:
+    """``{a="b",c="d"}`` -> dict, or None when the syntax is malformed."""
+    inner = raw[1:-1]
+    if not inner:
+        return {}
+    labels: dict[str, str] = {}
+    pos = 0
+    while True:
+        match = _LABEL.match(inner, pos)
+        if match is None:
+            return None
+        labels[match.group(1)] = match.group(2)
+        pos = match.end()
+        if pos == len(inner):
+            return labels
+        if inner[pos] != ",":
+            return None
+        pos += 1
+
+
+def _base_family(name: str, types: dict) -> str:
+    """Resolve histogram series names back to their declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name[: -len(suffix)] if name.endswith(suffix) else None
+        if base and types.get(base) == "histogram":
+            return base
+    return name
+
+
+def lint(text: str) -> list[str]:
+    """Validate one exposition document; returns problem strings."""
+    problems: list[str] = []
+    if not text:
+        return ["empty exposition document"]
+    if not text.endswith("\n"):
+        problems.append("document must end with a newline")
+    types: dict[str, str] = {}
+    seen: set[tuple[str, str]] = set()
+    # histogram structure accumulators, keyed by (family, non-le labels)
+    buckets: dict[tuple, list[tuple[str, float]]] = {}
+    counts: dict[tuple, float] = {}
+    sums: set[tuple] = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in _TYPES:
+                problems.append(f"line {lineno}: bad TYPE line {line!r}")
+            elif parts[2] in types:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {parts[2]!r}")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            # Arbitrary comments are legal exposition; skip them.
+            continue
+        if not line:
+            problems.append(f"line {lineno}: blank line")
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, raw_labels, raw_value = match.groups()
+        raw_labels = raw_labels or ""
+        labels = _parse_labels(raw_labels) if raw_labels else {}
+        if labels is None:
+            problems.append(f"line {lineno}: bad labels {raw_labels!r}")
+            continue
+        family = _base_family(name, types)
+        if family not in types:
+            problems.append(f"line {lineno}: sample {name!r} has no # TYPE")
+        if (name, raw_labels) in seen:
+            problems.append(
+                f"line {lineno}: duplicate sample {name}{raw_labels}")
+        seen.add((name, raw_labels))
+        if types.get(family) == "histogram":
+            value = float(raw_value)
+            key_labels = tuple(sorted((k, v) for k, v in labels.items()
+                                      if k != "le"))
+            key = (family, key_labels)
+            if name == f"{family}_bucket":
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: bucket sample without le label")
+                else:
+                    buckets.setdefault(key, []).append((labels["le"], value))
+            elif name == f"{family}_count":
+                counts[key] = value
+            elif name == f"{family}_sum":
+                sums.add(key)
+    for key, series in buckets.items():
+        family = key[0]
+        if series[-1][0] != "+Inf":
+            problems.append(f"{family}: bucket series must end at le=+Inf")
+        values = [v for _, v in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(f"{family}: bucket counts must be cumulative")
+        if key in counts and counts[key] != values[-1]:
+            problems.append(
+                f"{family}: _count {counts[key]} != +Inf bucket "
+                f"{values[-1]}")
+        if key not in counts:
+            problems.append(f"{family}: histogram series without _count")
+        if key not in sums:
+            problems.append(f"{family}: histogram series without _sum")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        with open(argv[0], encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+    problems = lint(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        n = sum(1 for line in text.splitlines()
+                if line and not line.startswith("#"))
+        print(f"ok: {n} samples")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Tracing-overhead gate: full sampling must cost <= 5% throughput.
+
+The observability layer's core bargain is that ``sample=1.0`` is cheap
+enough to leave on: spans are a handful of ``perf_counter`` reads and
+list appends per request, and the metrics registry only reads state at
+scrape time.  This gate measures steady-state submit/serve throughput
+with tracing fully on vs fully off and fails if the traced run is more
+than 5% slower.
+
+Wall-clock, so it follows the repo's gate discipline: opt-in via
+``REPRO_RUN_THROUGHPUT_GATE=1`` and skipped explicitly below the core
+floor (``benchmarks._util.throughput_gate_or_skip``).
+"""
+
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.pipeline import PtqConfig
+from repro.engine import PanaceaSession
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.serve import BatchPolicy, ModelServer
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+from _util import throughput_gate_or_skip  # noqa: E402
+
+DIM = 32
+N_REQUESTS = 600
+MAX_OVERHEAD = 0.05
+
+
+class _GateNet(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(DIM, DIM, rng=rng)
+        self.fc2 = Linear(DIM, DIM, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(np.maximum(self.fc1(x), 0.0))
+
+
+def _session(seed=0):
+    rng = np.random.default_rng(seed + 9)
+    return PanaceaSession(_GateNet(seed), PtqConfig.for_scheme("aqs"),
+                         calibration=[rng.normal(0, 1, (4, DIM))
+                                      for _ in range(2)])
+
+
+def _run_once(trace_sample: float, stream) -> float:
+    """Requests/s for one steady-state submit+flush run."""
+    server = ModelServer(BatchPolicy(max_batch=8, max_delay_s=0.0),
+                         trace_sample=trace_sample,
+                         trace_buffer=N_REQUESTS + 8)
+    server.register("gate", _session())
+    # Warmup outside the timed window (first batch pays plan setup).
+    for x in stream[:16]:
+        server.submit("gate", x)
+    server.flush("gate")
+    t0 = time.perf_counter()
+    tickets = [server.submit("gate", x) for x in stream[16:]]
+    server.flush("gate")
+    for ticket in tickets:
+        ticket.result()
+    elapsed = time.perf_counter() - t0
+    server.close()
+    return len(tickets) / elapsed
+
+
+def test_tracing_overhead_within_five_percent():
+    throughput_gate_or_skip(min_cores=4,
+                            purpose="a stable tracing-overhead ratio")
+    rng = np.random.default_rng(17)
+    stream = [rng.normal(0, 1, (2, DIM)) for _ in range(N_REQUESTS + 16)]
+    # Interleave repetitions so machine drift hits both variants equally;
+    # keep the best of each (the least-perturbed measurement).
+    traced, untraced = [], []
+    for _ in range(3):
+        untraced.append(_run_once(0.0, stream))
+        traced.append(_run_once(1.0, stream))
+    best_traced, best_untraced = max(traced), max(untraced)
+    overhead = 1.0 - best_traced / best_untraced
+    assert overhead <= MAX_OVERHEAD, (
+        f"tracing at sample=1.0 costs {overhead:.1%} throughput "
+        f"(traced {best_traced:.0f} req/s vs untraced "
+        f"{best_untraced:.0f} req/s); the gate allows "
+        f"{MAX_OVERHEAD:.0%}")

@@ -1,0 +1,274 @@
+"""MetricsRegistry, LatencyStats merge algebra, and Prometheus rendering.
+
+The merge tests pin the rollup semantics the observability layer depends
+on: ``merge`` must be exact on the lifetime aggregates (count/total/min/
+max — associative, with the empty accumulator as identity) even though
+the percentile reservoir is bounded.  The rendering tests run every
+document through ``tests/prom_lint.py`` — the same checker CI runs
+against a live gateway scrape.
+"""
+
+import pytest
+
+from prom_lint import lint
+from repro.obs import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
+                       MetricsRegistry, render_prometheus)
+from repro.serve.metrics import LatencyStats
+
+
+def _stats(values, max_samples=512):
+    stats = LatencyStats(max_samples=max_samples)
+    for v in values:
+        stats.observe(v)
+    return stats
+
+
+def _aggregates(stats):
+    return (stats.count, stats.total_s, stats.min_s, stats.max_s)
+
+
+class TestLatencyStatsMerge:
+    def test_merge_is_exact_on_lifetime_aggregates(self):
+        a = _stats([0.1, 0.2, 0.3])
+        b = _stats([0.05, 0.4])
+        merged = a.merge(b)
+        assert merged.count == 5
+        assert merged.total_s == pytest.approx(1.05)
+        assert merged.min_s == pytest.approx(0.05)
+        assert merged.max_s == pytest.approx(0.4)
+        # Inputs untouched: merge returns a new accumulator.
+        assert a.count == 3 and b.count == 2
+
+    def test_empty_is_identity_both_sides(self):
+        empty = LatencyStats()
+        a = _stats([0.1, 0.2])
+        assert _aggregates(a.merge(empty)) == _aggregates(a)
+        assert _aggregates(empty.merge(a)) == _aggregates(a)
+        assert sorted(a.merge(empty).samples()) == sorted(a.samples())
+
+    def test_merge_of_empties_is_empty(self):
+        merged = LatencyStats().merge(LatencyStats())
+        assert merged.count == 0
+        assert merged.total_s == 0.0
+        assert merged.samples() == []
+
+    def test_merge_is_associative_on_aggregates(self):
+        a = _stats([0.1, 0.9])
+        b = _stats([0.2])
+        c = _stats([0.3, 0.4, 0.5])
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert _aggregates(left) == _aggregates(right)
+        assert sorted(left.samples()) == sorted(right.samples())
+
+    def test_merge_keeps_newest_reservoir_but_exact_counts(self):
+        # 8-deep reservoirs, 12 observations each side: the pooled sample
+        # set is clipped to the newest max_samples, but the lifetime
+        # aggregates still reflect every observation.
+        a = _stats([i * 0.01 for i in range(12)], max_samples=8)
+        b = _stats([1.0 + i * 0.01 for i in range(12)], max_samples=8)
+        merged = a.merge(b)
+        assert merged.count == 24
+        assert merged.min_s == pytest.approx(0.0)
+        assert merged.max_s == pytest.approx(1.11)
+        assert len(merged.samples()) == 8
+        # Newest-kept: the tail of the pool is b's newest observations.
+        assert merged.samples() == [1.0 + i * 0.01 for i in range(4, 12)]
+
+
+class TestRegistry:
+    def test_instrument_kinds_and_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_reqs_total", "Requests.", lambda: 7)
+        reg.gauge("repro_depth", "Depth.", lambda: [({"d": "a"}, 1),
+                                                    ({"d": "b"}, 2)])
+        reg.histogram("repro_wait_seconds", "Wait.",
+                      lambda: _stats([0.01, 0.02]))
+        entries = {e["name"]: e for e in reg.collect()}
+        assert entries["repro_reqs_total"]["kind"] == "counter"
+        assert entries["repro_reqs_total"]["samples"] == [({}, 7)]
+        assert entries["repro_depth"]["samples"] == [({"d": "a"}, 1),
+                                                     ({"d": "b"}, 2)]
+        assert entries["repro_wait_seconds"]["buckets"] == DEFAULT_BUCKETS
+
+    def test_duplicate_name_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "X.", lambda: 0)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("repro_x_total", "X again.", lambda: 0)
+        reg.invariant("conserved", lambda: True)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.invariant("conserved", lambda: True)
+
+    def test_invariant_exception_counts_as_violation(self):
+        reg = MetricsRegistry()
+        reg.invariant("holds", lambda: True)
+        reg.invariant("broken", lambda: 1 / 0)
+        assert reg.check() == {"holds": True, "broken": False}
+
+    def test_collect_appends_synthetic_invariant_gauge(self):
+        reg = MetricsRegistry()
+        reg.invariant("conserved", lambda: True)
+        reg.invariant("violated", lambda: False)
+        entry = reg.collect()[-1]
+        assert entry["name"] == "repro_invariant"
+        assert entry["kind"] == "gauge"
+        assert ({"invariant": "conserved"}, 1.0) in entry["samples"]
+        assert ({"invariant": "violated"}, 0.0) in entry["samples"]
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="sorted"):
+            reg.histogram("repro_bad_seconds", "Bad.", lambda: None,
+                          buckets=(1.0, 0.5))
+
+    def test_none_callback_yields_no_samples(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_maybe", "Optional.", lambda: None)
+        entry, = reg.collect()
+        assert entry["samples"] == []
+
+
+class TestRenderPrometheus:
+    def test_counters_and_gauges_lint_clean(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_reqs_total", "Requests served.", lambda: 41)
+        reg.gauge("repro_depth", "Queue depth.",
+                  lambda: [({"deployment": "tiny"}, 3)])
+        reg.invariant("conserved", lambda: True)
+        text = render_prometheus(reg)
+        assert lint(text) == []
+        assert "# TYPE repro_reqs_total counter" in text
+        assert "repro_reqs_total 41" in text.splitlines()
+        assert 'repro_depth{deployment="tiny"} 3' in text.splitlines()
+        assert 'repro_invariant{invariant="conserved"} 1' in \
+            text.splitlines()
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_weird", "Weird labels.",
+                  lambda: [({"name": 'a"b\\c\nd'}, 1)])
+        text = render_prometheus(reg)
+        assert lint(text) == []
+        assert 'repro_weird{name="a\\"b\\\\c\\nd"} 1' in text.splitlines()
+
+    def test_histogram_structure(self):
+        stats = _stats([0.0004, 0.002, 0.002, 0.04, 3.0])
+        reg = MetricsRegistry()
+        reg.histogram("repro_wait_seconds", "Wait.", lambda: stats,
+                      buckets=(0.001, 0.01, 1.0))
+        text = render_prometheus(reg)
+        assert lint(text) == []
+        lines = text.splitlines()
+        assert 'repro_wait_seconds_bucket{le="0.001"} 1' in lines
+        assert 'repro_wait_seconds_bucket{le="0.01"} 3' in lines
+        assert 'repro_wait_seconds_bucket{le="1"} 4' in lines
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 5' in lines
+        assert "repro_wait_seconds_count 5" in lines
+        sum_line, = [ln for ln in lines
+                     if ln.startswith("repro_wait_seconds_sum ")]
+        assert float(sum_line.split()[-1]) == pytest.approx(3.0444)
+
+    def test_histogram_inf_bucket_pinned_after_reservoir_wrap(self):
+        # 4-deep reservoir, 100 observations: bucket counts are estimates
+        # scaled from the survivors, but +Inf and _count stay exact.
+        stats = _stats([i * 0.001 for i in range(100)], max_samples=4)
+        reg = MetricsRegistry()
+        reg.histogram("repro_wrap_seconds", "Wrapped.", lambda: stats,
+                      buckets=(0.01, 0.05))
+        text = render_prometheus(reg)
+        assert lint(text) == []
+        lines = text.splitlines()
+        assert 'repro_wrap_seconds_bucket{le="+Inf"} 100' in lines
+        assert "repro_wrap_seconds_count 100" in lines
+
+    def test_empty_histogram_renders_zero_series(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_idle_seconds", "Never observed.",
+                      lambda: LatencyStats(), buckets=(0.01,))
+        text = render_prometheus(reg)
+        assert lint(text) == []
+        lines = text.splitlines()
+        assert 'repro_idle_seconds_bucket{le="+Inf"} 0' in lines
+        assert "repro_idle_seconds_count 0" in lines
+
+    def test_duplicate_family_across_registries_raises(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("repro_reqs_total", "A.", lambda: 1)
+        b.counter("repro_reqs_total", "B.", lambda: 2)
+        with pytest.raises(ValueError, match="two registries"):
+            render_prometheus([a, b])
+
+    def test_multi_registry_document_lints(self):
+        a = MetricsRegistry()
+        a.counter("repro_a_total", "A.", lambda: 1)
+        a.invariant("a_conserved", lambda: True)
+        b = MetricsRegistry(prefix="repro_gateway")
+        b.gauge("repro_gateway_uptime_seconds", "Uptime.", lambda: 12.5)
+        b.invariant("b_conserved", lambda: True)
+        text = render_prometheus([a, b])
+        assert lint(text) == []
+        assert 'repro_invariant{invariant="a_conserved"} 1' in \
+            text.splitlines()
+        assert 'repro_gateway_invariant{invariant="b_conserved"} 1' in \
+            text.splitlines()
+
+    def test_document_ends_with_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_one_total", "One.", lambda: 1)
+        assert render_prometheus(reg).endswith("\n")
+
+
+class TestLintSelfCheck:
+    """The linter itself must reject the malformations it exists to catch
+    (otherwise the CI smoke step is a rubber stamp)."""
+
+    def test_rejects_missing_type(self):
+        assert lint("repro_x_total 1\n")
+
+    def test_rejects_duplicate_sample(self):
+        doc = ("# TYPE repro_x gauge\n"
+               "repro_x 1\n"
+               "repro_x 2\n")
+        assert any("duplicate sample" in p for p in lint(doc))
+
+    def test_rejects_non_cumulative_histogram(self):
+        doc = ("# TYPE repro_h histogram\n"
+               'repro_h_bucket{le="0.1"} 5\n'
+               'repro_h_bucket{le="+Inf"} 3\n'
+               "repro_h_sum 1.0\n"
+               "repro_h_count 3\n")
+        assert any("cumulative" in p for p in lint(doc))
+
+    def test_rejects_count_mismatch(self):
+        doc = ("# TYPE repro_h histogram\n"
+               'repro_h_bucket{le="+Inf"} 3\n'
+               "repro_h_sum 1.0\n"
+               "repro_h_count 4\n")
+        assert any("_count" in p for p in lint(doc))
+
+    def test_rejects_malformed_labels(self):
+        doc = ("# TYPE repro_x gauge\n"
+               'repro_x{bad-label="v"} 1\n')
+        assert lint(doc)
+
+    def test_accepts_own_inf_and_scientific_values(self):
+        doc = ("# TYPE repro_x gauge\n"
+               "repro_x{} 0\n"
+               "# TYPE repro_y gauge\n"
+               "repro_y 1.5e-05\n"
+               "# TYPE repro_z gauge\n"
+               "repro_z +Inf\n")
+        assert lint(doc) == []
+
+
+def test_default_buckets_sorted_and_positive():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert all(b > 0 for b in DEFAULT_BUCKETS)
+
+
+def test_instrument_classes_exported():
+    assert Counter.kind == "counter"
+    assert Gauge.kind == "gauge"
+    assert Histogram.kind == "histogram"

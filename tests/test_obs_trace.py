@@ -1,0 +1,289 @@
+"""Tracing primitives and the thread-backend end-to-end span tree.
+
+Covers the :mod:`repro.obs` trace layer on its own (span lifecycle, tree
+validation, id parsing, buffer bounds) and wired into :class:`ModelServer`:
+a served request must come back with the canonical
+``request -> queue_wait / batch_release / engine_execute`` tree, sampling
+must be honored per server and per deployment, and failures must close the
+root with ``error`` status rather than leaking open spans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PtqConfig
+from repro.engine import PanaceaSession
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.obs import (Span, Trace, TraceBuffer, format_trace_id, new_id,
+                       parse_trace_id)
+from repro.serve import BatchPolicy, ModelServer
+
+
+class TinyNet(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(16, 32, rng=rng)
+        self.fc2 = Linear(32, 8, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(np.maximum(self.fc1(x), 0.0))
+
+
+def _batches(n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(0, 1, (4, 16)) for _ in range(n)]
+
+
+def _session(seed=0):
+    return PanaceaSession(TinyNet(seed), PtqConfig(scheme="aqs"),
+                         calibration=_batches(seed=seed))
+
+
+class TestSpan:
+    def test_end_is_idempotent_first_close_wins(self):
+        span = Span("s")
+        span.end(status="ok", end_s=span.start_s + 1.0)
+        first_end = span.end_s
+        span.end(status="error", end_s=span.start_s + 99.0)
+        assert span.end_s == first_end
+        assert span.status == "ok"
+        assert span.duration_s == pytest.approx(1.0)
+
+    def test_child_registers_into_owning_trace(self):
+        trace = Trace("req")
+        parent = trace.span("engine_execute")
+        child = parent.child("stage[0]")
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == trace.trace_id
+        assert child in trace.spans
+
+    def test_attrs_stay_mutable_after_close(self):
+        span = Span("stage[1]")
+        span.end()
+        span.attrs["worker_exec_s"] = 0.004
+        assert span.to_dict()["attrs"] == {"worker_exec_s": 0.004}
+
+
+class TestTraceValidate:
+    def test_well_formed_tree_is_clean(self):
+        trace = Trace("req")
+        t0 = trace.root.start_s
+        a = trace.span("queue_wait", start_s=t0)
+        a.end(end_s=t0 + 0.1)
+        b = trace.span("engine_execute", start_s=t0 + 0.1)
+        child = trace.span("stage[0]", parent=b, start_s=t0 + 0.1)
+        child.end(end_s=t0 + 0.2)
+        b.end(end_s=t0 + 0.3)
+        trace.root.end(end_s=t0 + 0.4)
+        assert trace.validate() == []
+        assert trace.status == "ok"
+        assert trace.complete
+
+    def test_unclosed_span_reported(self):
+        trace = Trace("req")
+        trace.span("queue_wait")
+        trace.root.end()
+        assert any("never closed" in p for p in trace.validate())
+        assert trace.status == "open"
+
+    def test_child_escaping_parent_reported(self):
+        trace = Trace("req")
+        t0 = trace.root.start_s
+        parent = trace.span("engine_execute", start_s=t0)
+        child = trace.span("stage[0]", parent=parent, start_s=t0)
+        child.end(end_s=t0 + 2.0)
+        parent.end(end_s=t0 + 1.0)   # child outlives parent
+        trace.root.end(end_s=t0 + 3.0)
+        assert any("escapes parent" in p for p in trace.validate())
+
+    def test_overlapping_siblings_reported(self):
+        trace = Trace("req")
+        t0 = trace.root.start_s
+        a = trace.span("queue_wait", start_s=t0)
+        a.end(end_s=t0 + 1.0)
+        b = trace.span("batch_release", start_s=t0 + 0.5)
+        b.end(end_s=t0 + 1.5)
+        trace.root.end(end_s=t0 + 2.0)
+        assert any("overlap" in p for p in trace.validate())
+
+    def test_unknown_parent_reported(self):
+        trace = Trace("req")
+        orphan = Span("stray", parent_id=new_id())
+        trace.spans  # snapshot API stays usable mid-build
+        trace._register(orphan)
+        orphan.end()
+        trace.root.end()
+        assert any("unknown parent" in p for p in trace.validate())
+
+
+class TestIds:
+    def test_format_parse_round_trip(self):
+        tid = new_id()
+        assert parse_trace_id(format_trace_id(tid)) == tid
+        assert len(format_trace_id(tid)) == 16
+
+    def test_parse_accepts_int(self):
+        assert parse_trace_id(42) == 42
+
+    def test_parse_rejects_bool_and_junk(self):
+        with pytest.raises(ValueError):
+            parse_trace_id(True)
+        with pytest.raises(ValueError):
+            parse_trace_id("not-hex")
+        with pytest.raises(ValueError):
+            parse_trace_id(3.14)
+
+    def test_new_id_nonzero(self):
+        assert all(new_id() != 0 for _ in range(64))
+
+
+class TestTraceBuffer:
+    def test_eviction_is_fifo_and_counted(self):
+        buf = TraceBuffer(2)
+        traces = [buf.add(Trace(f"r{i}")) for i in range(3)]
+        assert len(buf) == 2
+        assert buf.get(traces[0].trace_id) is None
+        assert buf.get(traces[2].trace_id) is traces[2]
+        stats = buf.stats()
+        assert (stats["n_added"], stats["n_evicted"]) == (3, 1)
+        assert stats["size"] <= stats["capacity"]
+
+    def test_get_accepts_hex(self):
+        buf = TraceBuffer(4)
+        trace = buf.add(Trace("r"))
+        assert buf.get(format_trace_id(trace.trace_id)) is trace
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceBuffer(0)
+
+
+class TestServerTracing:
+    def test_submit_builds_canonical_span_tree(self):
+        server = ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0))
+        server.register("tiny", _session())
+        ticket = server.submit("tiny", _batches(1, seed=5)[0])
+        out = ticket.result()
+        assert out.shape == (4, 8)
+        trace = ticket.trace
+        assert trace is not None
+        assert server.get_trace(trace.trace_id) is trace
+        assert server.get_trace(format_trace_id(trace.trace_id)) is trace
+        names = sorted(s.name for s in trace.spans)
+        assert names == ["batch_release", "engine_execute", "queue_wait",
+                         "tiny"]
+        assert trace.validate() == []
+        assert trace.status == "ok"
+        # Children all hang off the root; engine_execute knows its batch.
+        root_id = trace.root.span_id
+        assert all(s.parent_id == root_id for s in trace.spans
+                   if s is not trace.root)
+        release_span, = trace.find("batch_release")
+        assert release_span.attrs["batch_size"] == 1
+        server.close()
+
+    def test_sample_zero_disables_tracing(self):
+        server = ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0),
+                             trace_sample=0.0)
+        server.register("tiny", _session())
+        ticket = server.submit("tiny", _batches(1, seed=6)[0])
+        ticket.result()
+        assert ticket.trace is None
+        assert server.traces.stats()["n_added"] == 0
+        server.close()
+
+    def test_per_deployment_sample_overrides_server(self):
+        server = ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0),
+                             trace_sample=1.0)
+        server.register("silent", _session(), trace_sample=0.0)
+        server.register("loud", _session(seed=1))
+        t_silent = server.submit("silent", _batches(1, seed=7)[0])
+        t_loud = server.submit("loud", _batches(1, seed=7)[0])
+        t_silent.result(), t_loud.result()
+        assert t_silent.trace is None
+        assert t_loud.trace is not None
+        server.close()
+
+    def test_sample_range_validated(self):
+        with pytest.raises(ValueError, match="trace_sample"):
+            ModelServer(trace_sample=1.5)
+        server = ModelServer()
+        with pytest.raises(ValueError, match="trace_sample"):
+            server.register("tiny", _session(), trace_sample=-0.1)
+        server.close()
+
+    def test_cache_hit_trace_completes_without_queue_span(self):
+        server = ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0,
+                                         cache_bytes=1 << 20))
+        server.register("tiny", _session())
+        x = _batches(1, seed=8)[0]
+        server.submit("tiny", x).result()
+        hit = server.submit("tiny", x)
+        assert hit.cached
+        trace = hit.trace
+        assert trace is not None
+        assert trace.root.attrs["cached"] is True
+        assert trace.find("queue_wait") == []
+        assert trace.complete and trace.status == "ok"
+        server.close()
+
+    def test_failed_batch_closes_root_with_error(self):
+        # Deep batch + long delay: submit only enqueues, so the engine
+        # failure surfaces from result() rather than inline at submit().
+        server = ModelServer(BatchPolicy(max_batch=8, max_delay_s=60.0))
+        server.register("tiny", _session())
+        bad = np.zeros((4, 7))   # wrong feature width: the engine raises
+        ticket = server.submit("tiny", bad)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            ticket.result()
+        trace = ticket.trace
+        assert trace is not None
+        assert trace.status == "error"
+        assert trace.root.closed and trace.root.status == "error"
+        assert all(s.closed for s in trace.spans)
+        server.close()
+
+    def test_root_autoclose_off_leaves_root_to_the_caller(self):
+        server = ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0))
+        server.register("tiny", _session())
+        trace = server.start_trace("tiny")
+        trace.root_autoclose = False
+        ticket = server._get("tiny").batcher.submit(
+            _batches(1, seed=9)[0], trace=trace)
+        ticket.result()
+        assert not trace.root.closed
+        trace.root.end()
+        assert trace.validate() == []
+        server.close()
+
+    def test_async_submit_traced_through_pool(self):
+        server = ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0),
+                             workers=2)
+        server.register("tiny", _session())
+        futures = [server.submit_async("tiny", b)
+                   for b in _batches(4, seed=10)]
+        for fut in futures:
+            fut.result(timeout=10.0)
+        traced = [server.get_trace(tid) for tid in server.traces.ids()]
+        assert len(traced) == 4
+        for trace in traced:
+            assert trace.complete and trace.status == "ok"
+            assert trace.validate() == []
+            assert trace.find("engine_execute")
+        server.close()
+
+    def test_jsonl_export_one_object_per_span(self):
+        import json
+        server = ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0))
+        server.register("tiny", _session())
+        ticket = server.submit("tiny", _batches(1, seed=11)[0])
+        ticket.result()
+        lines = ticket.trace.to_jsonl().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert len(rows) == len(ticket.trace.spans)
+        assert {row["trace_id"] for row in rows} == \
+            {format_trace_id(ticket.trace.trace_id)}
+        assert all(row["status"] == "ok" for row in rows)
+        server.close()

@@ -583,3 +583,137 @@ class TestFailureInjection:
             assert metrics.decode["n_cancelled"] == 1
             assert metrics.decode["n_requests"] == 2
         server.close()
+
+
+def _get_text(handle, path, timeout=30):
+    """GET returning (status, content-type, raw text) — the Prometheus and
+    JSONL endpoints, where the body is not JSON."""
+    conn = http.client.HTTPConnection(handle.host, handle.port,
+                                      timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return (response.status, response.getheader("Content-Type"),
+                response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+class TestObservabilityHttp:
+    """The tracing + Prometheus surface: GET /v1/trace/<id> and
+    GET /metrics?format=prometheus."""
+
+    def test_trace_endpoint_returns_complete_span_tree(self):
+        server = ModelServer(BatchPolicy(max_batch=2, max_delay_s=0.0))
+        server.register("tiny", _session())
+        rng = np.random.default_rng(21)
+        with Gateway.launch(server) as handle:
+            x = rng.normal(0, 1, (2, DIM))
+            status, _, body = _post(handle, "/v1/infer/tiny",
+                                    {"input": x.tolist()})
+            assert status == 200
+            trace_id = body["trace_id"]
+            assert len(trace_id) == 16
+            status, tree = _get(handle, f"/v1/trace/{trace_id}")
+            assert status == 200
+            assert tree["trace_id"] == trace_id
+            assert tree["status"] == "ok"
+            names = sorted(s["name"] for s in tree["spans"])
+            assert names == ["batch_release", "engine_execute",
+                             "queue_wait", "respond", "tiny"]
+            # Every span closed, every parent resolvable, root carries the
+            # HTTP ingress annotations.
+            ids = {s["span_id"] for s in tree["spans"]}
+            for span in tree["spans"]:
+                assert span["end_s"] is not None
+                assert span["parent_id"] in ids or span["parent_id"] is None
+            root, = [s for s in tree["spans"] if s["parent_id"] is None]
+            assert root["attrs"]["ingress"] == "http"
+            # JSONL export: one object per span, same ids.
+            status, ctype, text = _get_text(
+                handle, f"/v1/trace/{trace_id}?format=jsonl")
+            assert status == 200 and "jsonl" in ctype
+            rows = [json.loads(line) for line in text.splitlines()]
+            assert {r["span_id"] for r in rows} == ids
+        server.close()
+
+    def test_trace_endpoint_unknown_and_garbage_ids(self):
+        server = ModelServer()
+        server.register("tiny", _session())
+        with Gateway.launch(server) as handle:
+            status, body = _get(handle, "/v1/trace/00000000000000ff")
+            assert (status, body["error"]) == (404, "UnknownTrace")
+            status, body = _get(handle, "/v1/trace/not-a-trace-id")
+            assert (status, body["error"]) == (404, "UnknownTrace")
+        server.close()
+
+    def test_untraced_request_has_no_trace_id(self):
+        server = ModelServer(BatchPolicy(max_batch=1, max_delay_s=0.0),
+                             trace_sample=0.0)
+        server.register("tiny", _session())
+        with Gateway.launch(server) as handle:
+            status, _, body = _post(handle, "/v1/infer/tiny",
+                                    {"input": [[0.0] * DIM]})
+            assert status == 200
+            assert "trace_id" not in body
+        server.close()
+
+    def test_prometheus_exposition_lints_and_conserves(self):
+        from prom_lint import lint
+
+        server = ModelServer(BatchPolicy(max_batch=2, max_delay_s=0.0))
+        server.register("tiny", _session())
+        rng = np.random.default_rng(22)
+        with Gateway.launch(server) as handle:
+            for _ in range(3):
+                status, _, _body = _post(
+                    handle, "/v1/infer/tiny",
+                    {"input": rng.normal(0, 1, (2, DIM)).tolist()})
+                assert status == 200
+            status, ctype, text = _get_text(handle,
+                                            "/metrics?format=prometheus")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            assert lint(text) == [], lint(text)
+            lines = text.splitlines()
+            # Both registries in one document: gateway/admission families
+            # and server/batcher families.
+            assert "# TYPE repro_gateway_http_requests_total counter" \
+                in lines
+            assert "# TYPE repro_admission_offered_total counter" in lines
+            assert "# TYPE repro_batcher_requests_total counter" in lines
+            assert "# TYPE repro_batcher_queue_wait_seconds histogram" \
+                in lines
+            assert 'repro_batcher_requests_total{deployment="tiny"} 3' \
+                in lines
+            assert "repro_admission_completed_total 3" in lines
+            # Conservation invariants ride in the scrape — and hold.
+            assert 'repro_gateway_invariant{invariant="admission_conserved"}'\
+                ' 1' in lines
+            assert 'repro_invariant{invariant="batcher_conserved"} 1' \
+                in lines
+            # The JSON view is unchanged by the exposition format.
+            status, body = _get(handle, "/metrics")
+            assert status == 200
+            assert body["admission"]["conserved"]
+        server.close()
+
+    def test_uptime_and_snapshot_seq_monotonic(self):
+        server = ModelServer()
+        server.register("tiny", _session())
+        with Gateway.launch(server) as handle:
+            status, first = _get(handle, "/healthz")
+            assert status == 200
+            time.sleep(0.01)
+            status, second = _get(handle, "/healthz")
+            assert second["uptime_s"] > first["uptime_s"] > 0.0
+            assert second["snapshot_seq"] == first["snapshot_seq"] + 1
+            status, metrics = _get(handle, "/metrics")
+            assert metrics["snapshot_seq"] == second["snapshot_seq"] + 1
+            assert metrics["uptime_s"] >= second["uptime_s"]
+            _status, _ctype, text = _get_text(handle,
+                                              "/metrics?format=prometheus")
+            seq_line, = [ln for ln in text.splitlines()
+                         if ln.startswith("repro_gateway_snapshot_seq ")]
+            assert int(seq_line.split()[-1]) == metrics["snapshot_seq"] + 1
+        server.close()

@@ -44,11 +44,11 @@ def test_unslotted_wrap_at_exact_capacity_boundary():
         off = ring.write(per_ring, [_array_for_frame(frame, -1.0)])
         assert off == 0
         assert ring.n_wraps == 1
-        req_id, arrays = ring.read(0)
+        req_id, _tid, arrays = ring.read(0)
         assert req_id == per_ring
         assert arrays[0][0] == -1.0
         # The frame *after* the wrapped one is still intact.
-        req_id, arrays = ring.read(frame)
+        req_id, _tid, arrays = ring.read(frame)
         assert req_id == 1
         assert arrays[0][0] == 1.0
     finally:
@@ -71,7 +71,7 @@ def test_slotted_accepts_exact_region_and_refuses_one_chunk_more():
         assert ring.write(2, [_array_for_frame(128, 4.0)]) == region
         assert ring.n_frames == 2
         assert ring.n_wraps == 0
-        _, arrays = ring.read(0)
+        _, _, arrays = ring.read(0)
         assert np.all(arrays[0] == 2.0)
     finally:
         ring.close()
@@ -118,7 +118,7 @@ def test_interleaved_streams_share_one_slotted_segment():
         assert ring.n_frames == 4
         assert len({off for off in offsets.values()}) == 4  # distinct slots
         for (edge, i), offset in offsets.items():
-            req_id, arrays = ring.read(offset)
+            req_id, _tid, arrays = ring.read(offset)
             assert req_id == (100 if edge == "a" else 200) + i
             assert np.array_equal(arrays[0], payloads[(edge, i)])
     finally:
@@ -138,11 +138,29 @@ def test_attached_writer_shares_slot_geometry():
         c = writer.write(2, [np.arange(8.0) + 2])
         assert (a, b, c) == (0, region, 0)
         assert writer.n_wraps == 1
-        req_id, arrays = ring.read(region)
+        req_id, _tid, arrays = ring.read(region)
         assert req_id == 1
         assert np.array_equal(arrays[0], np.arange(8.0) + 1)
     finally:
         writer.close()
+        ring.close()
+
+
+def test_trace_id_rides_frame_header():
+    """The u64 trace id round-trips through the frame header, defaults to
+    0 (untraced), and is per-frame state — one traced frame does not
+    contaminate its neighbours."""
+    ring = ShmRing(4096, slots=2)
+    try:
+        tid = 0xDEAD_BEEF_CAFE_F00D
+        off_a = ring.write(1, [np.arange(4.0)], trace_id=tid)
+        off_b = ring.write(2, [np.arange(4.0) + 1])
+        req_id, got_tid, arrays = ring.read(off_a)
+        assert (req_id, got_tid) == (1, tid)
+        assert np.array_equal(arrays[0], np.arange(4.0))
+        req_id, got_tid, _ = ring.read(off_b)
+        assert (req_id, got_tid) == (2, 0)
+    finally:
         ring.close()
 
 
